@@ -1,0 +1,66 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! Eq. 5 over-provisioning margin, the power-gating group size, the nap
+//! wake period, and the DVFS extension. Each prints its sweep once and
+//! measures one representative configuration.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_power::DvfsPolicy;
+use lte_uplink::ablation;
+
+fn ablation_benches(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+
+    println!("margin ablation (Eq. 5 '+2'):");
+    for row in ablation::margin_ablation(&ctx, &[0, 2, 8]) {
+        println!(
+            "  margin {:2}: {:.2} W, p95 {:.1} ms",
+            row.margin, row.mean_watts, row.p95_latency_ms
+        );
+    }
+    let study = ctx.run_power_study();
+    println!("gating group-size ablation (Eq. 6 'groups of 8'):");
+    for row in ablation::gating_group_ablation(&study, &[4, 8, 16]) {
+        println!(
+            "  group {:2}: saves {:.2} W",
+            row.group_size, row.mean_saving
+        );
+    }
+    println!("wake-period ablation:");
+    for row in ablation::wake_period_ablation(&ctx, &[0.5, 2.0]) {
+        println!(
+            "  {:.1} ms: IDLE {:.2} W, NAP {:.2} W",
+            row.period_ms, row.idle_watts, row.nap_watts
+        );
+    }
+    let dvfs = ablation::dvfs_study(&ctx, &study, &DvfsPolicy::default_ladder());
+    println!(
+        "DVFS: {:.2} W -> {:.2} W",
+        dvfs.baseline_watts, dvfs.dvfs_watts
+    );
+
+    let tiny = lte_bench::tiny_context();
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("margin_sweep_3pt", |b| {
+        b.iter(|| black_box(ablation::margin_ablation(&tiny, &[0, 2, 8])))
+    });
+    let tiny_study = tiny.run_power_study();
+    group.bench_function("gating_group_sweep", |b| {
+        b.iter(|| black_box(ablation::gating_group_ablation(&tiny_study, &[4, 8, 16])))
+    });
+    group.bench_function("dvfs_apply", |b| {
+        b.iter(|| {
+            black_box(ablation::dvfs_study(
+                &tiny,
+                &tiny_study,
+                &DvfsPolicy::default_ladder(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation_benches);
+criterion_main!(benches);

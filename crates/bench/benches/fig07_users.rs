@@ -1,0 +1,29 @@
+//! Fig. 7 — number of users for every 25th subframe: prints the series
+//! and measures regenerating the 68 000-subframe parameter trace.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_model::trace::Trace;
+use lte_model::{ParameterModel, RampModel, EVALUATION_SUBFRAMES};
+
+fn fig07(c: &mut Criterion) {
+    // Print the paper's series once (every 25th subframe).
+    let trace = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
+    let users: Vec<f64> = trace.every(25).iter().map(|r| r.users as f64).collect();
+    lte_bench::preview("fig7 users/subframe", &users);
+    println!("mean users: {:.2} (paper: varies 1..10, Fig. 7)", trace.mean_users());
+
+    let mut group = c.benchmark_group("fig07");
+    group.sample_size(10);
+    group.bench_function("generate_68k_subframes", |b| {
+        b.iter(|| {
+            let t = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
+            black_box(t.mean_users())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig07);
+criterion_main!(benches);

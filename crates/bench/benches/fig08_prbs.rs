@@ -1,0 +1,31 @@
+//! Fig. 8 — total/max/min PRBs per subframe: prints the series and
+//! measures the trace statistics pass.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_model::trace::Trace;
+use lte_model::{ParameterModel, RampModel, EVALUATION_SUBFRAMES};
+
+fn fig08(c: &mut Criterion) {
+    let configs = RampModel::new(2012).subframes(EVALUATION_SUBFRAMES);
+    let trace = Trace::from_configs(&configs);
+    let total: Vec<f64> = trace.every(25).iter().map(|r| r.total_prbs as f64).collect();
+    let maxes: Vec<f64> = trace.every(25).iter().map(|r| r.max_prbs as f64).collect();
+    lte_bench::preview("fig8 total PRBs", &total);
+    lte_bench::preview("fig8 max-per-user PRBs", &maxes);
+    println!(
+        "max single-user allocation over run: {} (paper: 20..190 band)",
+        trace.rows().iter().map(|r| r.max_prbs).max().unwrap()
+    );
+
+    let mut group = c.benchmark_group("fig08");
+    group.sample_size(10);
+    group.bench_function("trace_stats_68k", |b| {
+        b.iter(|| black_box(Trace::from_configs(&configs).mean_total_prbs()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig08);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Fig. 9 — max/min layers per subframe along the probability ramp.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_model::trace::Trace;
+use lte_model::{current_probability, ParameterModel, RampModel, EVALUATION_SUBFRAMES};
+
+fn fig09(c: &mut Criterion) {
+    let trace = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
+    let max_layers: Vec<f64> = trace.every(25).iter().map(|r| r.max_layers as f64).collect();
+    lte_bench::preview("fig9 max layers", &max_layers);
+    println!(
+        "probability ramp: {:.1}% → {:.1}% → {:.1}% (paper: 0.6% → 100% → 0.6%)",
+        100.0 * current_probability(0),
+        100.0 * current_probability(34_000),
+        100.0 * current_probability(67_999),
+    );
+
+    let mut group = c.benchmark_group("fig09");
+    group.sample_size(10);
+    group.bench_function("layer_trace_68k", |b| {
+        b.iter(|| {
+            let t = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
+            black_box(t.rows().iter().map(|r| r.max_layers).max())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig09);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 11 — activity vs PRBs for all twelve (layers, modulation)
+//! configurations: prints the fitted slopes and measures one steady-state
+//! calibration sweep.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_dsp::Modulation;
+
+fn fig11(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let (curves, estimator) = ctx.run_calibration();
+    println!("fitted k_LM slopes ×10⁻³ (activity per PRB):");
+    for layers in 1..=4 {
+        let row: Vec<String> = Modulation::ALL
+            .iter()
+            .map(|&m| format!("{:6.3}", 1e3 * estimator.k(layers, m)))
+            .collect();
+        println!("  {layers} layer(s): {}", row.join(" "));
+    }
+    let top = curves.iter().find(|cv| cv.layers == 4 && cv.modulation == Modulation::Qam64).unwrap();
+    let series: Vec<f64> = top.points.iter().map(|p| p.activity).collect();
+    lte_bench::preview("fig11 64QAM/4L activity", &series);
+
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    group.bench_function("calibration_sweep", |b| {
+        b.iter(|| black_box(tiny.run_calibration().1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig11);
+criterion_main!(benches);

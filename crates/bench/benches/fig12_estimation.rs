@@ -1,0 +1,33 @@
+//! Fig. 12 — estimated vs measured activity over the evaluation run:
+//! prints the error statistics and measures the validation pass.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig12(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let (_, estimator) = ctx.run_calibration();
+    let subframes = ctx.subframes();
+    let v = ctx.run_estimation_validation(&estimator, &subframes);
+    lte_bench::preview("fig12 estimated", &v.estimated);
+    lte_bench::preview("fig12 measured", &v.measured);
+    println!(
+        "mean |err| {:.2}% (paper 1.2%), max |err| {:.2}% (paper 5.4%)",
+        100.0 * v.mean_abs_err,
+        100.0 * v.max_abs_err
+    );
+
+    let mut group = c.benchmark_group("fig12");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    let (_, est) = tiny.run_calibration();
+    let sf = tiny.subframes();
+    group.bench_function("estimation_validation", |b| {
+        b.iter(|| black_box(tiny.run_estimation_validation(&est, &sf).mean_abs_err))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig12);
+criterion_main!(benches);

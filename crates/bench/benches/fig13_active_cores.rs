@@ -1,0 +1,29 @@
+//! Fig. 13 — estimated number of active cores per subframe (Eq. 5).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig13(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let (_, estimator) = ctx.run_calibration();
+    let subframes = ctx.subframes();
+    let targets = ctx.estimated_targets(&estimator, &subframes);
+    let series: Vec<f64> = targets.iter().step_by(25).map(|&t| t as f64).collect();
+    lte_bench::preview("fig13 active cores (every 25th)", &series);
+    println!(
+        "targets span {}..{} of 62 (paper: rapid changes across the full range)",
+        targets.iter().min().unwrap(),
+        targets.iter().max().unwrap()
+    );
+
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(20);
+    group.bench_function("eq5_targets", |b| {
+        b.iter(|| black_box(ctx.estimated_targets(&estimator, &subframes)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig13);
+criterion_main!(benches);

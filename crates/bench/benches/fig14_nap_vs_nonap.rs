@@ -1,0 +1,38 @@
+//! Fig. 14 — measured power with (NAP) and without (NONAP) estimation-
+//! guided core deactivation, plus the activity overlay.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_sched::NapPolicy;
+
+fn fig14(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let (_, estimator) = ctx.run_calibration();
+    let subframes = ctx.subframes();
+    let targets = ctx.estimated_targets(&estimator, &subframes);
+    let full = vec![ctx.controller.max_cores; subframes.len()];
+    let nonap = ctx.run_policy(NapPolicy::NoNap, &subframes, &full);
+    let nap = ctx.run_policy(NapPolicy::Nap, &subframes, &targets);
+    lte_bench::preview("fig14 NONAP RMS power (W)", &nonap.rms);
+    lte_bench::preview("fig14 NAP RMS power (W)", &nap.rms);
+    println!(
+        "means: NONAP {:.2} W, NAP {:.2} W — gap {:.2} W (paper: 25 vs 20.5, largest at low load)",
+        nonap.mean_total,
+        nap.mean_total,
+        nonap.mean_total - nap.mean_total
+    );
+
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    let sf = tiny.subframes();
+    let t = vec![8; sf.len()];
+    group.bench_function("nap_policy_run", |b| {
+        b.iter(|| black_box(tiny.run_policy(NapPolicy::Nap, &sf, &t).mean_total))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig14);
+criterion_main!(benches);

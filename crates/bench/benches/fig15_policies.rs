@@ -1,0 +1,26 @@
+//! Fig. 15 — power under all four techniques (NONAP / IDLE / NAP /
+//! NAP+IDLE).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn fig15(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let study = ctx.run_power_study();
+    for run in &study.runs {
+        println!("{:8}: mean {:.2} W", run.policy.to_string(), run.mean_total);
+        lte_bench::preview(&format!("fig15 {} RMS", run.policy), &run.rms);
+    }
+
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    group.bench_function("four_policy_study", |b| {
+        b.iter(|| black_box(tiny.run_power_study().gated_mean))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig15);
+criterion_main!(benches);

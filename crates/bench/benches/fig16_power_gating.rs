@@ -1,0 +1,32 @@
+//! Fig. 16 — estimated power with power gating applied on top of
+//! NAP+IDLE (Eqs. 6–9).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_power::PowerGating;
+use lte_sched::NapPolicy;
+
+fn fig16(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let study = ctx.run_power_study();
+    lte_bench::preview("fig16 NAP+IDLE RMS", &study.run(NapPolicy::NapIdle).rms);
+    lte_bench::preview("fig16 PowerGating RMS", &study.gated_rms);
+    println!(
+        "means: NAP+IDLE {:.2} W → gated {:.2} W (paper: 19.9 → 18.5, −7%)",
+        study.run(NapPolicy::NapIdle).mean_total,
+        study.gated_mean
+    );
+
+    let mut group = c.benchmark_group("fig16");
+    let gating = PowerGating::paper();
+    let targets: Vec<usize> = study.targets.clone();
+    let power: Vec<f64> = study.run(NapPolicy::NapIdle).power.clone();
+    group.bench_function("gating_model_apply", |b| {
+        b.iter(|| black_box(gating.apply(&power, &targets)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig16);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! The real benchmark on the work-stealing pool: throughput of subframe
+//! processing at different worker counts (the paper's §III parallelism
+//! study, host-scale).
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_model::{ParameterModel, RampModel};
+use lte_phy::params::CellConfig;
+use lte_uplink::{BenchmarkConfig, UplinkBenchmark};
+
+fn bench_pool_scaling(c: &mut Criterion) {
+    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut group = c.benchmark_group("pool_subframes");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, max].into_iter().collect::<std::collections::BTreeSet<_>>() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let subframes = RampModel::new(8).subframes(5);
+                b.iter(|| {
+                    let mut bench = UplinkBenchmark::new(
+                        CellConfig::with_antennas(2),
+                        BenchmarkConfig {
+                            workers,
+                            delta: Duration::ZERO, // back-to-back dispatch
+                            ..BenchmarkConfig::default()
+                        },
+                    );
+                    black_box(bench.run(&subframes).crc_pass_rate)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_scaling);
+criterion_main!(benches);

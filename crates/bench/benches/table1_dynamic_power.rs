@@ -1,0 +1,24 @@
+//! Table I — average dynamic power dissipation (base power subtracted)
+//! for the four techniques.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_uplink::report;
+
+fn table1(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let study = ctx.run_power_study();
+    println!("{}", report::table1_markdown(&study.table1()));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    group.bench_function("dynamic_power_table", |b| {
+        b.iter(|| black_box(tiny.run_power_study().table1()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table II — average total power dissipation for the four techniques
+//! plus the analytical PowerGating row.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_uplink::report;
+
+fn table2(c: &mut Criterion) {
+    let ctx = lte_bench::bench_context();
+    let study = ctx.run_power_study();
+    println!("{}", report::table2_markdown(&study.table2()));
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    let tiny = lte_bench::tiny_context();
+    group.bench_function("total_power_table", |b| {
+        b.iter(|| black_box(tiny.run_power_study().table2()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every figure and table of the paper has a dedicated bench target (see
+//! `benches/`); each prints the series/rows it reproduces once, then
+//! measures the cost of regenerating them at a reduced scale so `cargo
+//! bench` stays tractable. The full-scale experiments are run by the
+//! `lte-sim` binary.
+
+use lte_uplink::experiments::ExperimentContext;
+
+/// A reduced experiment context sized for benchmarking: 600 subframes
+/// (3 simulated seconds) and a coarse calibration sweep.
+pub fn bench_context() -> ExperimentContext {
+    ExperimentContext {
+        n_subframes: 600,
+        cal_subframes: 16,
+        cal_prb_step: 50,
+        ..ExperimentContext::paper()
+    }
+}
+
+/// An even smaller context for the per-iteration hot loops.
+pub fn tiny_context() -> ExperimentContext {
+    ExperimentContext {
+        n_subframes: 200,
+        cal_subframes: 12,
+        cal_prb_step: 100,
+        ..ExperimentContext::paper()
+    }
+}
+
+/// Prints a short preview of a series (first/last few points).
+pub fn preview(name: &str, series: &[f64]) {
+    let head: Vec<String> = series.iter().take(4).map(|v| format!("{v:.3}")).collect();
+    let tail: Vec<String> = series
+        .iter()
+        .rev()
+        .take(2)
+        .rev()
+        .map(|v| format!("{v:.3}"))
+        .collect();
+    println!(
+        "{name}: {} points [{} … {}]",
+        series.len(),
+        head.join(", "),
+        tail.join(", ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contexts_are_reduced() {
+        assert!(bench_context().n_subframes < 68_000);
+        assert!(tiny_context().n_subframes < bench_context().n_subframes);
+    }
+}

@@ -1,0 +1,229 @@
+//! Ablation studies of the design choices the paper fixes by fiat, plus
+//! the DVFS extension it sketches as future work.
+//!
+//! * **Eq. 5 margin** — the paper over-provisions the active-core target
+//!   by two cores "to provide some margin of error in the estimation".
+//!   [`margin_ablation`] sweeps that margin and reports the power/latency
+//!   trade-off.
+//! * **Power-domain granularity** — Eq. 6 manages cores "in groups of
+//!   eight … a reasonable number for a chip of this complexity".
+//!   [`gating_group_ablation`] sweeps the group size.
+//! * **Nap wake period** — the paper notes napping cores "periodically
+//!   wake up"; the period is unspecified. [`wake_period_ablation`]
+//!   sweeps it, exposing the reactive-polling overhead that separates
+//!   IDLE from NAP.
+//! * **DVFS** (§VII related work) — [`dvfs_study`] drives a
+//!   voltage/frequency ladder from the same Eq. 4 estimate and stacks it
+//!   on NAP+IDLE.
+
+use lte_power::dvfs::DvfsPolicy;
+use lte_power::gating::PowerGating;
+use lte_power::model::PowerModel;
+use lte_sched::sim::NapPolicy;
+
+use crate::experiments::{ExperimentContext, PowerStudy};
+
+/// One row of the Eq. 5 margin sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MarginRow {
+    /// Over-provisioning margin in cores.
+    pub margin: usize,
+    /// Mean total power under NAP+IDLE with this margin.
+    pub mean_watts: f64,
+    /// 95th-percentile job latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// Maximum job latency in milliseconds.
+    pub max_latency_ms: f64,
+}
+
+/// Sweeps the Eq. 5 over-provisioning margin under NAP+IDLE.
+pub fn margin_ablation(ctx: &ExperimentContext, margins: &[usize]) -> Vec<MarginRow> {
+    let (_, estimator) = ctx.run_calibration();
+    let subframes = ctx.subframes();
+    let cfg = ctx.sim_config(NapPolicy::NapIdle);
+    margins
+        .iter()
+        .map(|&margin| {
+            let controller = lte_power::CoreController {
+                margin,
+                ..ctx.controller
+            };
+            let targets = controller.targets(&estimator, &subframes);
+            let run = ctx.run_policy(NapPolicy::NapIdle, &subframes, &targets);
+            let mut lat: Vec<u64> = run.report.job_latencies.clone();
+            lat.sort_unstable();
+            let to_ms = |c: u64| c as f64 / cfg.clock_hz * 1e3;
+            let p95 = lat
+                .get(lat.len().saturating_sub(1).min(lat.len() * 95 / 100))
+                .copied()
+                .unwrap_or(0);
+            MarginRow {
+                margin,
+                mean_watts: run.mean_total,
+                p95_latency_ms: to_ms(p95),
+                max_latency_ms: to_ms(lat.last().copied().unwrap_or(0)),
+            }
+        })
+        .collect()
+}
+
+/// One row of the power-gating granularity sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GroupRow {
+    /// Power-domain group size in cores.
+    pub group_size: usize,
+    /// Mean gated power in watts.
+    pub mean_watts: f64,
+    /// Mean saving vs the ungated NAP+IDLE trace, watts.
+    pub mean_saving: f64,
+}
+
+/// Sweeps the Eq. 6 power-domain group size over an existing study.
+pub fn gating_group_ablation(study: &PowerStudy, group_sizes: &[usize]) -> Vec<GroupRow> {
+    let napidle = study.run(NapPolicy::NapIdle);
+    group_sizes
+        .iter()
+        .map(|&group_size| {
+            let gating = PowerGating {
+                group_size,
+                ..PowerGating::paper()
+            };
+            let gated = gating.apply(&napidle.power, &study.targets);
+            let mean = PowerModel::mean(&gated);
+            GroupRow {
+                group_size,
+                mean_watts: mean,
+                mean_saving: napidle.mean_total - mean,
+            }
+        })
+        .collect()
+}
+
+/// One row of the nap wake-period sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WakeRow {
+    /// Wake period in milliseconds.
+    pub period_ms: f64,
+    /// Mean IDLE power (reactive polling pays per wake).
+    pub idle_watts: f64,
+    /// Mean NAP power (status checks are cheaper).
+    pub nap_watts: f64,
+}
+
+/// Sweeps the nap wake period for the IDLE and NAP policies.
+pub fn wake_period_ablation(ctx: &ExperimentContext, periods_ms: &[f64]) -> Vec<WakeRow> {
+    let (_, estimator) = ctx.run_calibration();
+    let subframes = ctx.subframes();
+    let targets = ctx.estimated_targets(&estimator, &subframes);
+    let full = vec![ctx.controller.max_cores; subframes.len()];
+    periods_ms
+        .iter()
+        .map(|&period_ms| {
+            let run_with = |policy: NapPolicy, t: &[usize]| {
+                let mut cfg = ctx.sim_config(policy);
+                cfg.wake_period = (period_ms * 1e-3 * cfg.clock_hz) as u64;
+                let report = lte_sched::Simulator::new(cfg).run(&ctx.loads(&subframes, t));
+                let power = ctx.power.power_trace(&report.buckets, &cfg);
+                PowerModel::mean(&power)
+            };
+            let idle_watts = run_with(NapPolicy::Idle, &full);
+            let nap_watts = run_with(NapPolicy::Nap, &targets);
+            WakeRow {
+                period_ms,
+                idle_watts,
+                nap_watts,
+            }
+        })
+        .collect()
+}
+
+/// Result of stacking estimator-driven DVFS on NAP+IDLE.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DvfsResult {
+    /// Mean NAP+IDLE power without DVFS.
+    pub baseline_watts: f64,
+    /// Mean power with the DVFS ladder applied to the dynamic component.
+    pub dvfs_watts: f64,
+    /// Fraction of subframes run below nominal frequency.
+    pub scaled_fraction: f64,
+}
+
+/// Applies the estimator-driven DVFS ladder on top of a NAP+IDLE run —
+/// the combination the paper names as future work.
+pub fn dvfs_study(ctx: &ExperimentContext, study: &PowerStudy, ladder: &DvfsPolicy) -> DvfsResult {
+    let subframes = ctx.subframes();
+    let estimates: Vec<f64> = subframes
+        .iter()
+        .map(|sf| study.estimator.subframe_activity(sf))
+        .collect();
+    let napidle = study.run(NapPolicy::NapIdle);
+    let dynamic: Vec<f64> = napidle
+        .power
+        .iter()
+        .map(|p| p - ctx.power.base_watts)
+        .collect();
+    let scaled = ladder.apply(&dynamic, &estimates);
+    let dvfs_power: Vec<f64> = scaled.iter().map(|d| d + ctx.power.base_watts).collect();
+    let below = estimates
+        .iter()
+        .filter(|&&e| ladder.select(e).freq < 1.0)
+        .count();
+    DvfsResult {
+        baseline_watts: napidle.mean_total,
+        dvfs_watts: PowerModel::mean(&dvfs_power),
+        scaled_fraction: below as f64 / estimates.len().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ExperimentContext {
+        ExperimentContext {
+            n_subframes: 800,
+            cal_subframes: 16,
+            cal_prb_step: 50,
+            ..ExperimentContext::paper()
+        }
+    }
+
+    #[test]
+    fn margin_trades_power_for_latency() {
+        let rows = margin_ablation(&ctx(), &[0, 2, 8]);
+        assert_eq!(rows.len(), 3);
+        // More margin → more active cores → more power, less latency.
+        assert!(rows[0].mean_watts <= rows[2].mean_watts + 0.05);
+        assert!(rows[0].max_latency_ms >= rows[2].max_latency_ms);
+    }
+
+    #[test]
+    fn finer_gating_saves_more() {
+        let study = ctx().run_power_study();
+        let rows = gating_group_ablation(&study, &[4, 8, 16, 32]);
+        for w in rows.windows(2) {
+            assert!(
+                w[0].mean_saving >= w[1].mean_saving - 1e-9,
+                "finer domains must save at least as much: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn longer_wake_period_cheapens_idle() {
+        let rows = wake_period_ablation(&ctx(), &[0.5, 4.0]);
+        assert!(
+            rows[1].idle_watts <= rows[0].idle_watts + 0.05,
+            "fewer polls cannot cost more: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn dvfs_saves_on_top_of_napidle() {
+        let c = ctx();
+        let study = c.run_power_study();
+        let result = dvfs_study(&c, &study, &DvfsPolicy::default_ladder());
+        assert!(result.dvfs_watts < result.baseline_watts);
+        assert!(result.scaled_fraction > 0.0);
+    }
+}

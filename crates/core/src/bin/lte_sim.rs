@@ -1,0 +1,372 @@
+//! `lte-sim` — command-line runner for every experiment in the paper.
+//!
+//! ```text
+//! lte-sim <command> [--quick] [--subframes N] [--seed S] [--out DIR]
+//!
+//! Commands:
+//!   fig7 fig8 fig9   input parameter traces
+//!   fig11            activity/PRB calibration sweep
+//!   fig12            estimator validation
+//!   fig13            estimated active cores
+//!   fig14 fig15 fig16 power traces (all run the full power study)
+//!   table1 table2    average power tables
+//!   bench            run the real parallel benchmark briefly
+//!   all              everything above, written to --out
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use lte_model::{ParameterModel, RampModel};
+use lte_phy::params::CellConfig;
+use lte_uplink::ablation;
+use lte_uplink::experiments::ExperimentContext;
+use lte_uplink::report;
+use lte_uplink::{BenchmarkConfig, UplinkBenchmark};
+
+struct Options {
+    command: String,
+    ctx: ExperimentContext,
+    out: PathBuf,
+    stride: usize,
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = String::from("all");
+    let mut ctx = ExperimentContext::paper();
+    let mut out = PathBuf::from("results");
+    let mut i = 0;
+    // Fetch the value of `--flag value`, exiting with a clear message if
+    // it is missing.
+    let value_of = |args: &[String], i: usize, flag: &str| -> String {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    let parse_number = |text: &str, flag: &str| -> u64 {
+        text.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} takes a number, got '{text}'");
+            std::process::exit(2);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => ctx = ExperimentContext::quick(),
+            "--subframes" => {
+                ctx.n_subframes = parse_number(&value_of(&args, i, "--subframes"), "--subframes") as usize;
+                i += 1;
+            }
+            "--seed" => {
+                ctx.seed = parse_number(&value_of(&args, i, "--seed"), "--seed");
+                i += 1;
+            }
+            "--out" => {
+                out = PathBuf::from(value_of(&args, i, "--out"));
+                i += 1;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag: {flag}");
+                std::process::exit(2);
+            }
+            cmd => command = cmd.to_string(),
+        }
+        i += 1;
+    }
+    Options {
+        command,
+        ctx,
+        out,
+        stride: 25,
+    }
+}
+
+fn write(path: &Path, contents: &str) {
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir).expect("create output directory");
+    }
+    fs::write(path, contents).expect("write output file");
+    println!("wrote {}", path.display());
+}
+
+fn run_traces(opts: &Options, which: &str) {
+    let trace = opts.ctx.trace();
+    match which {
+        "fig7" => write(
+            &opts.out.join("fig7_users.csv"),
+            &report::fig7_csv(&trace, opts.stride),
+        ),
+        "fig8" => write(
+            &opts.out.join("fig8_prbs.csv"),
+            &report::fig8_csv(&trace, opts.stride),
+        ),
+        "fig9" => write(
+            &opts.out.join("fig9_layers.csv"),
+            &report::fig9_csv(&trace, opts.stride),
+        ),
+        _ => {
+            write(
+                &opts.out.join("fig7_users.csv"),
+                &report::fig7_csv(&trace, opts.stride),
+            );
+            write(
+                &opts.out.join("fig8_prbs.csv"),
+                &report::fig8_csv(&trace, opts.stride),
+            );
+            write(
+                &opts.out.join("fig9_layers.csv"),
+                &report::fig9_csv(&trace, opts.stride),
+            );
+        }
+    }
+    println!(
+        "trace: {} subframes, mean users {:.2}, mean PRBs {:.1}",
+        trace.len(),
+        trace.mean_users(),
+        trace.mean_total_prbs()
+    );
+}
+
+fn run_power_study(opts: &Options, emit: &[&str]) {
+    let ctx = &opts.ctx;
+    println!(
+        "running power study: {} subframes, calibration step {} PRBs …",
+        ctx.n_subframes, ctx.cal_prb_step
+    );
+    let study = ctx.run_power_study();
+    let window_s = ctx.activity_window as f64 * ctx.sim_config(lte_sched::NapPolicy::NoNap).dispatch_seconds();
+    let rms_s = ctx.rms_window as f64 * ctx.sim_config(lte_sched::NapPolicy::NoNap).dispatch_seconds();
+    for e in emit {
+        match *e {
+            "fig11" => {
+                write(&opts.out.join("fig11_calibration.csv"), &report::fig11_csv(&study.curves));
+                write(&opts.out.join("fig11_calibration.svg"), &report::fig11_svg(&study.curves));
+            }
+            "fig12" => {
+                write(
+                    &opts.out.join("fig12_estimation.csv"),
+                    &report::fig12_csv(&study.validation, window_s),
+                );
+                write(
+                    &opts.out.join("fig12_estimation.svg"),
+                    &report::fig12_svg(&study.validation, window_s),
+                );
+                println!(
+                    "fig12: mean |err| {:.2}% (paper 1.2%), max |err| {:.2}% (paper 5.4%)",
+                    100.0 * study.validation.mean_abs_err,
+                    100.0 * study.validation.max_abs_err
+                );
+            }
+            "fig13" => write(
+                &opts.out.join("fig13_active_cores.csv"),
+                &report::fig13_csv(&study.targets, opts.stride),
+            ),
+            "fig14" | "fig15" | "fig16" => {
+                write(
+                    &opts.out.join("fig14_15_16_power.csv"),
+                    &report::power_traces_csv(&study, rms_s),
+                );
+                write(
+                    &opts.out.join("fig14_15_16_power.svg"),
+                    &report::power_svg(&study, rms_s),
+                );
+            }
+            "table1" => {
+                let md = report::table1_markdown(&study.table1());
+                write(&opts.out.join("table1_dynamic_power.md"), &md);
+                println!("\nTable I — average dynamic power (base subtracted)\n{md}");
+            }
+            "concurrency" => {
+                // The paper's "no more than two to three subframes
+                // concurrently" describes a real base station's
+                // responsiveness budget (1 ms dispatch, ~3 ms deadline);
+                // the benchmark's stress ramp deliberately drives the
+                // 5 ms-dispatch TILEPro64 model to saturation, where the
+                // backlog grows deeper at the load peak.
+                let clock = ctx.sim_config(lte_sched::NapPolicy::NoNap).clock_hz;
+                let to_ms = |c: u64| c as f64 / clock * 1e3;
+                let nonap = study.run(lte_sched::NapPolicy::NoNap);
+                println!(
+                    "NONAP: max concurrent subframes {} | job latency p50 {:.1} ms, p95 {:.1} ms, max {:.1} ms",
+                    nonap.report.max_concurrent_subframes,
+                    to_ms(nonap.report.latency_percentile(50)),
+                    to_ms(nonap.report.latency_percentile(95)),
+                    to_ms(nonap.report.latency_percentile(100)),
+                );
+                let napidle = study.run(lte_sched::NapPolicy::NapIdle);
+                println!(
+                    "NAP+IDLE: max concurrent subframes {} | job latency p50 {:.1} ms, p95 {:.1} ms, max {:.1} ms",
+                    napidle.report.max_concurrent_subframes,
+                    to_ms(napidle.report.latency_percentile(50)),
+                    to_ms(napidle.report.latency_percentile(95)),
+                    to_ms(napidle.report.latency_percentile(100)),
+                );
+            }
+            "table2" => {
+                let md = report::table2_markdown(&study.table2());
+                write(&opts.out.join("table2_total_power.md"), &md);
+                println!("\nTable II — average total power\n{md}");
+            }
+            _ => {}
+        }
+    }
+}
+
+fn run_ablations(opts: &Options) {
+    let ctx = ExperimentContext {
+        // Ablations sweep many runs; cap the per-run length.
+        n_subframes: opts.ctx.n_subframes.min(8_000),
+        ..opts.ctx
+    };
+    println!("Eq. 5 margin ablation (NAP+IDLE):");
+    println!("  margin |  power (W) | p95 latency | max latency");
+    for row in ablation::margin_ablation(&ctx, &[0, 1, 2, 4, 8, 16]) {
+        println!(
+            "  {:6} | {:9.2} | {:8.2} ms | {:8.2} ms",
+            row.margin, row.mean_watts, row.p95_latency_ms, row.max_latency_ms
+        );
+    }
+    let study = ctx.run_power_study();
+    println!("\npower-domain group-size ablation (Eq. 6):");
+    println!("  group |  gated (W) | saving (W)");
+    for row in ablation::gating_group_ablation(&study, &[1, 2, 4, 8, 16, 32, 64]) {
+        println!(
+            "  {:5} | {:9.2} | {:8.2}",
+            row.group_size, row.mean_watts, row.mean_saving
+        );
+    }
+    println!("\nnap wake-period ablation:");
+    println!("  period |  IDLE (W) |  NAP (W)");
+    for row in ablation::wake_period_ablation(&ctx, &[0.25, 0.5, 1.0, 2.0, 4.0]) {
+        println!(
+            "  {:4.2} ms | {:8.2} | {:7.2}",
+            row.period_ms, row.idle_watts, row.nap_watts
+        );
+    }
+    println!("\nDVFS extension (estimator-driven ladder on NAP+IDLE):");
+    let dvfs = ablation::dvfs_study(&ctx, &study, &lte_power::DvfsPolicy::default_ladder());
+    println!(
+        "  NAP+IDLE {:.2} W -> with DVFS {:.2} W ({:.0}% of subframes run below nominal f)",
+        dvfs.baseline_watts,
+        dvfs.dvfs_watts,
+        100.0 * dvfs.scaled_fraction
+    );
+}
+
+fn run_golden(opts: &Options) {
+    use lte_phy::verify::GoldenRecord;
+    // Build the predetermined sequence, store the serial record, then
+    // verify a parallel run against the stored file — the paper's §IV-D
+    // methodology including the "recording and storing" step.
+    let subframes = RampModel::new(opts.ctx.seed).subframes(10);
+    let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), BenchmarkConfig::default());
+    let inputs: Vec<Vec<lte_phy::grid::UserInput>> = subframes
+        .iter()
+        .map(|sf| {
+            sf.users
+                .iter()
+                .map(|u| (*bench.input_for(u)).clone())
+                .collect()
+        })
+        .collect();
+    let golden = GoldenRecord::build(
+        &CellConfig::with_antennas(2),
+        &inputs,
+        lte_phy::params::TurboMode::Passthrough,
+    );
+    let path = opts.out.join("golden_record.txt");
+    write(&path, &golden.to_text());
+    let restored = GoldenRecord::from_text(
+        &fs::read_to_string(&path).expect("read back golden record"),
+    )
+    .expect("parse stored record");
+    let run = bench.run(&subframes);
+    match restored.verify(&run.results) {
+        Ok(()) => println!("parallel run verified against the stored golden record"),
+        Err(e) => {
+            eprintln!("verification FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_diurnal(opts: &Options) {
+    println!(
+        "running the diurnal-day study ({} subframes) …",
+        opts.ctx.n_subframes
+    );
+    let study = opts.ctx.run_diurnal_study();
+    println!(
+        "mean activity over the day: {:.1}% (paper: 'about 25%' is typical)",
+        100.0 * study.mean_activity
+    );
+    for row in &study.rows {
+        println!(
+            "  {:12} {:5.2} W  ({:+.0}% vs NONAP, {:+.0}% vs IDLE)",
+            row.technique,
+            row.watts,
+            100.0 * row.vs_nonap,
+            100.0 * row.vs_idle
+        );
+    }
+    println!(
+        "power-gated saving: {:.0}% vs NONAP, {:.0}% vs IDLE (ramp study: 24-26% / 9-11%)",
+        100.0 * study.gated_saving_vs_nonap,
+        100.0 * study.gated_saving_vs_idle
+    );
+}
+
+fn run_bench(opts: &Options) {
+    let subframes = RampModel::new(opts.ctx.seed).subframes(20);
+    let mut bench = UplinkBenchmark::new(
+        CellConfig::default(),
+        BenchmarkConfig {
+            delta: Duration::from_millis(5),
+            ..BenchmarkConfig::default()
+        },
+    );
+    println!("running the real parallel benchmark on 20 subframes …");
+    let run = bench.run(&subframes);
+    println!(
+        "processed {} subframes in {:?}; activity {:.1}%, CRC pass rate {:.1}%",
+        run.results.len(),
+        run.elapsed,
+        100.0 * run.activity,
+        100.0 * run.crc_pass_rate
+    );
+    match bench.verify(&subframes, &run) {
+        Ok(()) => println!("golden-reference verification: OK (bit-exact with serial)"),
+        Err(e) => {
+            eprintln!("golden-reference verification FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    match opts.command.as_str() {
+        "fig7" | "fig8" | "fig9" => run_traces(&opts, &opts.command),
+        "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table1" | "table2"
+        | "concurrency" => run_power_study(&opts, &[opts.command.as_str()]),
+        "bench" => run_bench(&opts),
+        "ablation" => run_ablations(&opts),
+        "diurnal" => run_diurnal(&opts),
+        "golden" => run_golden(&opts),
+        "all" => {
+            run_traces(&opts, "all");
+            run_power_study(
+                &opts,
+                &["fig11", "fig12", "fig13", "fig14", "table1", "table2"],
+            );
+            run_bench(&opts);
+        }
+        other => {
+            eprintln!("unknown command: {other}");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency ablation diurnal golden bench all");
+            std::process::exit(2);
+        }
+    }
+}

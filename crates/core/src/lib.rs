@@ -1,0 +1,37 @@
+//! The LTE Uplink Receiver PHY benchmark.
+//!
+//! This crate is the paper's primary artifact: an open benchmark that
+//! "realistically captures the dynamic behavior of an LTE baseband uplink
+//! as viewed by the base station", plus the subframe-based power
+//! management study built on it.
+//!
+//! * [`benchmark`] — the executable benchmark: a maintenance loop
+//!   generates subframe input parameters and data, dispatches a subframe
+//!   every DELTA, and a work-stealing pool of worker threads runs the
+//!   real DSP pipeline (channel estimation → combiner weights → antenna
+//!   combining → demap → decode → CRC) with results verified against the
+//!   serial golden reference (§IV of the paper).
+//! * [`experiments`] — deterministic reproductions of every figure and
+//!   table in the paper's evaluation, driven by the 64-core discrete-
+//!   event simulator and the calibrated power model.
+//! * [`ablation`] — sweeps of the design constants the paper fixes
+//!   (Eq. 5 margin, power-domain group size, nap wake period) plus the
+//!   estimator-driven DVFS extension the paper names as future work.
+//! * [`report`] — CSV/markdown rendering of experiment results.
+//!
+//! The `lte-sim` binary exposes all experiments from the command line:
+//!
+//! ```text
+//! lte-sim all --out results/     # every figure and table
+//! lte-sim fig12                  # estimator validation only
+//! lte-sim table2 --quick         # reduced run for smoke testing
+//! ```
+
+pub mod ablation;
+pub mod benchmark;
+pub mod experiments;
+pub mod report;
+pub mod svg;
+
+pub use benchmark::{BenchmarkConfig, BenchmarkRun, UplinkBenchmark};
+pub use experiments::ExperimentContext;

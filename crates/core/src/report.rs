@@ -1,0 +1,391 @@
+//! CSV and markdown rendering of experiment results.
+//!
+//! Every figure becomes a CSV with one row per plotted point; tables
+//! become markdown with the paper's reference values alongside the
+//! reproduced ones, ready for EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+use lte_model::trace::Trace;
+
+use crate::experiments::{CalibrationCurve, EstimationValidation, PowerRow, PowerStudy};
+use crate::svg::{line_chart, Chart, Series};
+
+/// Renders rows as CSV with a header line.
+pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Fig. 7 CSV: users per subframe (every `stride`-th).
+pub fn fig7_csv(trace: &Trace, stride: usize) -> String {
+    let rows: Vec<Vec<String>> = trace
+        .every(stride)
+        .iter()
+        .map(|r| vec![r.subframe.to_string(), r.users.to_string()])
+        .collect();
+    csv(&["subframe", "users"], &rows)
+}
+
+/// Fig. 8 CSV: total/max/min PRBs per subframe.
+pub fn fig8_csv(trace: &Trace, stride: usize) -> String {
+    let rows: Vec<Vec<String>> = trace
+        .every(stride)
+        .iter()
+        .map(|r| {
+            vec![
+                r.subframe.to_string(),
+                r.total_prbs.to_string(),
+                r.max_prbs.to_string(),
+                r.min_prbs.to_string(),
+            ]
+        })
+        .collect();
+    csv(&["subframe", "total_prbs", "max_prbs", "min_prbs"], &rows)
+}
+
+/// Fig. 9 CSV: max/min layers per subframe.
+pub fn fig9_csv(trace: &Trace, stride: usize) -> String {
+    let rows: Vec<Vec<String>> = trace
+        .every(stride)
+        .iter()
+        .map(|r| {
+            vec![
+                r.subframe.to_string(),
+                r.max_layers.to_string(),
+                r.min_layers.to_string(),
+            ]
+        })
+        .collect();
+    csv(&["subframe", "max_layers", "min_layers"], &rows)
+}
+
+/// Fig. 11 CSV: activity vs PRBs, one column per (modulation, layers).
+pub fn fig11_csv(curves: &[CalibrationCurve]) -> String {
+    let mut header: Vec<String> = vec!["prbs".to_string()];
+    for c in curves {
+        header.push(format!("{}_{}layer", c.modulation, c.layers));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let n_points = curves.first().map_or(0, |c| c.points.len());
+    let rows: Vec<Vec<String>> = (0..n_points)
+        .map(|i| {
+            let mut row = vec![curves[0].points[i].prbs.to_string()];
+            for c in curves {
+                row.push(format!("{:.6}", c.points[i].activity));
+            }
+            row
+        })
+        .collect();
+    csv(&header_refs, &rows)
+}
+
+/// Fig. 12 CSV: estimated and measured activity per window.
+pub fn fig12_csv(v: &EstimationValidation, window_seconds: f64) -> String {
+    let rows: Vec<Vec<String>> = v
+        .estimated
+        .iter()
+        .zip(&v.measured)
+        .enumerate()
+        .map(|(i, (e, m))| {
+            vec![
+                format!("{:.1}", i as f64 * window_seconds),
+                format!("{e:.6}"),
+                format!("{m:.6}"),
+            ]
+        })
+        .collect();
+    csv(&["time_s", "estimated", "measured"], &rows)
+}
+
+/// Fig. 13 CSV: estimated active cores per subframe.
+pub fn fig13_csv(targets: &[usize], stride: usize) -> String {
+    let rows: Vec<Vec<String>> = targets
+        .iter()
+        .step_by(stride)
+        .enumerate()
+        .map(|(i, t)| vec![(i * stride).to_string(), t.to_string()])
+        .collect();
+    csv(&["subframe", "active_cores"], &rows)
+}
+
+/// Figs. 14–16 CSV: RMS power traces for all techniques.
+pub fn power_traces_csv(study: &PowerStudy, rms_window_seconds: f64) -> String {
+    let series: Vec<(&str, &[f64])> = study
+        .runs
+        .iter()
+        .map(|r| (policy_label(&r.policy.to_string()), r.rms.as_slice()))
+        .chain(std::iter::once(("PowerGating", study.gated_rms.as_slice())))
+        .collect();
+    let n = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    let mut header = vec!["time_s".to_string()];
+    header.extend(series.iter().map(|(name, _)| name.to_string()));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let mut row = vec![format!("{:.2}", i as f64 * rms_window_seconds)];
+            for (_, s) in &series {
+                row.push(s.get(i).map_or(String::new(), |v| format!("{v:.4}")));
+            }
+            row
+        })
+        .collect();
+    csv(&header_refs, &rows)
+}
+
+fn policy_label(name: &str) -> &'static str {
+    match name {
+        "NONAP" => "NONAP",
+        "IDLE" => "IDLE",
+        "NAP" => "NAP",
+        _ => "NAP+IDLE",
+    }
+}
+
+/// Table I markdown with the paper's reference column.
+pub fn table1_markdown(rows: &[PowerRow]) -> String {
+    let paper: &[(&str, f64, i32)] = &[
+        ("NONAP", 11.0, 0),
+        ("IDLE", 6.7, -39),
+        ("NAP", 6.5, -41),
+        ("NAP+IDLE", 5.9, -46),
+    ];
+    let mut out = String::from(
+        "| Technique | Power (W) | Reduction | Paper (W) | Paper reduction |\n|---|---|---|---|---|\n",
+    );
+    for row in rows {
+        let reference = paper.iter().find(|(n, _, _)| *n == row.technique);
+        let (pw, pr) = reference.map_or((f64::NAN, 0), |&(_, w, r)| (w, r));
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:+.0}% | {:.1} | {:+}% |",
+            row.technique,
+            row.watts,
+            100.0 * row.vs_nonap,
+            pw,
+            pr
+        );
+    }
+    out
+}
+
+/// Table II markdown with the paper's reference column.
+pub fn table2_markdown(rows: &[PowerRow]) -> String {
+    let paper: &[(&str, f64, i32, i32)] = &[
+        ("NONAP", 25.0, 0, 21),
+        ("IDLE", 20.7, -17, 0),
+        ("NAP", 20.5, -18, -1),
+        ("NAP+IDLE", 19.9, -22, -4),
+        ("PowerGating", 18.5, -26, -11),
+    ];
+    let mut out = String::from(
+        "| Technique | Power (W) | vs NONAP | vs IDLE | Paper (W) | Paper vs NONAP |\n|---|---|---|---|---|---|\n",
+    );
+    for row in rows {
+        let reference = paper.iter().find(|(n, _, _, _)| *n == row.technique);
+        let (pw, pn) = reference.map_or((f64::NAN, 0), |&(_, w, n, _)| (w, n));
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:+.0}% | {:+.0}% | {:.1} | {:+}% |",
+            row.technique,
+            row.watts,
+            100.0 * row.vs_nonap,
+            100.0 * row.vs_idle,
+            pw,
+            pn
+        );
+    }
+    out
+}
+
+/// Fig. 11 SVG: the twelve activity-vs-PRB calibration curves.
+pub fn fig11_svg(curves: &[CalibrationCurve]) -> String {
+    let labels: Vec<String> = curves
+        .iter()
+        .map(|c| format!("{} {}L", c.modulation, c.layers))
+        .collect();
+    let series: Vec<Series<'_>> = curves
+        .iter()
+        .zip(&labels)
+        .map(|(c, label)| Series {
+            label,
+            points: c
+                .points
+                .iter()
+                .map(|p| (p.prbs as f64, 100.0 * p.activity))
+                .collect(),
+        })
+        .collect();
+    line_chart(
+        &Chart {
+            title: "Fig. 11 — activity vs PRBs (62 workers)",
+            x_label: "physical resource blocks",
+            y_label: "activity (%)",
+            ..Chart::default()
+        },
+        &series,
+    )
+}
+
+/// Fig. 12 SVG: estimated vs measured activity over the run.
+pub fn fig12_svg(v: &EstimationValidation, window_seconds: f64) -> String {
+    let to_points = |ys: &[f64]| {
+        ys.iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 * window_seconds, y))
+            .collect()
+    };
+    line_chart(
+        &Chart {
+            title: "Fig. 12 — estimated vs measured activity",
+            x_label: "time (s)",
+            y_label: "activity",
+            ..Chart::default()
+        },
+        &[
+            Series {
+                label: "Estimated",
+                points: to_points(&v.estimated),
+            },
+            Series {
+                label: "Measured",
+                points: to_points(&v.measured),
+            },
+        ],
+    )
+}
+
+/// Figs. 14–16 SVG: RMS power for every technique.
+pub fn power_svg(study: &PowerStudy, rms_window_seconds: f64) -> String {
+    let to_points = |ys: &[f64]| {
+        ys.iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 * rms_window_seconds, y))
+            .collect()
+    };
+    let mut series: Vec<Series<'_>> = study
+        .runs
+        .iter()
+        .map(|r| Series {
+            label: policy_label(&r.policy.to_string()),
+            points: to_points(&r.rms),
+        })
+        .collect();
+    series.push(Series {
+        label: "PowerGating",
+        points: to_points(&study.gated_rms),
+    });
+    line_chart(
+        &Chart {
+            title: "Figs. 14-16 — RMS power by technique",
+            x_label: "time (s)",
+            y_label: "power (W)",
+            ..Chart::default()
+        },
+        &series,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_model::{ParameterModel, RampModel};
+
+    #[test]
+    fn csv_shape() {
+        let out = csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(out, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn trace_csvs_have_headers_and_rows() {
+        let trace = Trace::from_configs(&RampModel::new(1).subframes(100));
+        let f7 = fig7_csv(&trace, 25);
+        assert!(f7.starts_with("subframe,users\n"));
+        assert_eq!(f7.lines().count(), 1 + 4);
+        let f8 = fig8_csv(&trace, 25);
+        assert!(f8.contains("total_prbs"));
+        let f9 = fig9_csv(&trace, 25);
+        assert!(f9.contains("max_layers"));
+    }
+
+    #[test]
+    fn fig13_stride() {
+        let out = fig13_csv(&[2, 4, 6, 8, 10], 2);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "0,2");
+        assert_eq!(lines[2], "2,6");
+    }
+
+    #[test]
+    fn table_markdown_includes_paper_reference() {
+        let rows = vec![
+            PowerRow {
+                technique: "NONAP".into(),
+                watts: 11.2,
+                vs_nonap: 0.0,
+                vs_idle: 0.2,
+            },
+            PowerRow {
+                technique: "NAP+IDLE".into(),
+                watts: 6.0,
+                vs_nonap: -0.46,
+                vs_idle: -0.05,
+            },
+        ];
+        let md = table1_markdown(&rows);
+        assert!(md.contains("| NONAP | 11.2 | +0% | 11.0 | +0% |"));
+        assert!(md.contains("NAP+IDLE"));
+        assert!(md.contains("-46%"));
+    }
+}
+
+#[cfg(test)]
+mod svg_tests {
+    use super::*;
+    use crate::experiments::{CalibrationCurve, EstimationValidation};
+    use lte_dsp::Modulation;
+    use lte_power::estimator::CalibrationPoint;
+
+    fn curves() -> Vec<CalibrationCurve> {
+        vec![CalibrationCurve {
+            layers: 1,
+            modulation: Modulation::Qpsk,
+            points: (1..=5)
+                .map(|i| CalibrationPoint {
+                    prbs: 40 * i,
+                    activity: 0.02 * i as f64,
+                })
+                .collect(),
+        }]
+    }
+
+    #[test]
+    fn fig11_svg_renders_each_curve() {
+        let svg = fig11_svg(&curves());
+        assert!(svg.contains("<svg"));
+        assert!(svg.contains("QPSK 1L"));
+        assert!(svg.contains("activity (%)"));
+    }
+
+    #[test]
+    fn fig12_svg_renders_both_series() {
+        let v = EstimationValidation {
+            estimated: vec![0.1, 0.2, 0.3],
+            measured: vec![0.11, 0.19, 0.31],
+            mean_abs_err: 0.01,
+            max_abs_err: 0.01,
+        };
+        let svg = fig12_svg(&v, 1.0);
+        assert!(svg.contains("Estimated"));
+        assert!(svg.contains("Measured"));
+        assert_eq!(svg.matches("<path").count(), 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! Minimal SVG line-chart rendering for the paper's figures.
+//!
+//! The paper presents its results as time-series plots (Figs. 7–9 and
+//! 12–16). Alongside the CSVs, the experiment runner can emit
+//! self-contained SVG renderings so the reproduced figures can be eyed
+//! against the paper without external tooling.
+
+use std::fmt::Write as _;
+
+/// One plotted series.
+#[derive(Clone, Debug)]
+pub struct Series<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Chart configuration.
+#[derive(Clone, Debug)]
+pub struct Chart<'a> {
+    /// Title shown above the plot.
+    pub title: &'a str,
+    /// X-axis label.
+    pub x_label: &'a str,
+    /// Y-axis label.
+    pub y_label: &'a str,
+    /// Pixel width.
+    pub width: u32,
+    /// Pixel height.
+    pub height: u32,
+}
+
+impl Default for Chart<'_> {
+    fn default() -> Self {
+        Chart {
+            title: "",
+            x_label: "",
+            y_label: "",
+            width: 860,
+            height: 420,
+        }
+    }
+}
+
+const PALETTE: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#17becf",
+];
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 140.0;
+const MARGIN_T: f64 = 36.0;
+const MARGIN_B: f64 = 46.0;
+
+/// Renders a multi-series line chart as a standalone SVG document.
+///
+/// Series with no points are skipped; an entirely empty chart still
+/// renders axes.
+pub fn line_chart(chart: &Chart<'_>, series: &[Series<'_>]) -> String {
+    let w = chart.width as f64;
+    let h = chart.height as f64;
+    let plot_w = (w - MARGIN_L - MARGIN_R).max(1.0);
+    let plot_h = (h - MARGIN_T - MARGIN_B).max(1.0);
+
+    // Data bounds.
+    let mut x_min = f64::INFINITY;
+    let mut x_max = f64::NEG_INFINITY;
+    let mut y_min = f64::INFINITY;
+    let mut y_max = f64::NEG_INFINITY;
+    for s in series {
+        for &(x, y) in &s.points {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() {
+        (x_min, x_max, y_min, y_max) = (0.0, 1.0, 0.0, 1.0);
+    }
+    if (x_max - x_min).abs() < 1e-12 {
+        x_max = x_min + 1.0;
+    }
+    // A little vertical headroom.
+    let pad = 0.05 * (y_max - y_min).max(1e-9);
+    y_min -= pad;
+    y_max += pad;
+
+    let sx = move |x: f64| MARGIN_L + (x - x_min) / (x_max - x_min) * plot_w;
+    let sy = move |y: f64| MARGIN_T + (1.0 - (y - y_min) / (y_max - y_min)) * plot_h;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="12">"#
+    );
+    let _ = writeln!(out, r#"<rect width="{w}" height="{h}" fill="white"/>"#);
+    // Title and axis labels.
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="20" text-anchor="middle" font-size="15">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        escape(chart.title)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+        MARGIN_L + plot_w / 2.0,
+        h - 8.0,
+        escape(chart.x_label)
+    );
+    let _ = writeln!(
+        out,
+        r#"<text x="14" y="{}" text-anchor="middle" transform="rotate(-90 14 {})">{}</text>"#,
+        MARGIN_T + plot_h / 2.0,
+        MARGIN_T + plot_h / 2.0,
+        escape(chart.y_label)
+    );
+
+    // Axes frame and ticks.
+    let _ = writeln!(
+        out,
+        r##"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="#444"/>"##
+    );
+    for i in 0..=5 {
+        let fx = x_min + (x_max - x_min) * i as f64 / 5.0;
+        let fy = y_min + (y_max - y_min) * i as f64 / 5.0;
+        let px = sx(fx);
+        let py = sy(fy);
+        let _ = writeln!(
+            out,
+            r##"<line x1="{px:.1}" y1="{}" x2="{px:.1}" y2="{}" stroke="#ddd"/>"##,
+            MARGIN_T,
+            MARGIN_T + plot_h
+        );
+        let _ = writeln!(
+            out,
+            r##"<line x1="{}" y1="{py:.1}" x2="{}" y2="{py:.1}" stroke="#ddd"/>"##,
+            MARGIN_L,
+            MARGIN_L + plot_w
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{px:.1}" y="{}" text-anchor="middle">{}</text>"#,
+            MARGIN_T + plot_h + 16.0,
+            format_tick(fx)
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+            MARGIN_L - 6.0,
+            py + 4.0,
+            format_tick(fy)
+        );
+    }
+
+    // Series polylines and legend.
+    for (i, s) in series.iter().filter(|s| !s.points.is_empty()).enumerate() {
+        let colour = PALETTE[i % PALETTE.len()];
+        let mut path = String::new();
+        for (j, &(x, y)) in s.points.iter().enumerate() {
+            let _ = write!(
+                path,
+                "{}{:.1},{:.1} ",
+                if j == 0 { "M" } else { "L" },
+                sx(x),
+                sy(y)
+            );
+        }
+        let _ = writeln!(
+            out,
+            r#"<path d="{path}" fill="none" stroke="{colour}" stroke-width="1.4"/>"#
+        );
+        let ly = MARGIN_T + 14.0 + 18.0 * i as f64;
+        let lx = MARGIN_L + plot_w + 10.0;
+        let _ = writeln!(
+            out,
+            r#"<line x1="{lx}" y1="{ly}" x2="{}" y2="{ly}" stroke="{colour}" stroke-width="2"/>"#,
+            lx + 18.0
+        );
+        let _ = writeln!(
+            out,
+            r#"<text x="{}" y="{}">{}</text>"#,
+            lx + 24.0,
+            ly + 4.0,
+            escape(s.label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn format_tick(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{:.0}", v)
+    } else if v.abs() >= 10.0 {
+        format!("{:.1}", v)
+    } else {
+        format!("{:.2}", v)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> Vec<Series<'static>> {
+        vec![
+            Series {
+                label: "a",
+                points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect(),
+            },
+            Series {
+                label: "b",
+                points: (0..10).map(|i| (i as f64, 50.0 - i as f64)).collect(),
+            },
+        ]
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = line_chart(
+            &Chart {
+                title: "Test & <Chart>",
+                x_label: "x",
+                y_label: "y",
+                ..Chart::default()
+            },
+            &sample_series(),
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("Test &amp; &lt;Chart&gt;"));
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders_axes() {
+        let svg = line_chart(&Chart::default(), &[]);
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let svg = line_chart(
+            &Chart::default(),
+            &[Series {
+                label: "flat",
+                points: vec![(0.0, 5.0), (1.0, 5.0)],
+            }],
+        );
+        assert!(!svg.contains("NaN"), "no NaN coordinates allowed");
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn single_point_series() {
+        let svg = line_chart(
+            &Chart::default(),
+            &[Series {
+                label: "dot",
+                points: vec![(2.0, 3.0)],
+            }],
+        );
+        assert!(svg.contains("<path"));
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,56 @@
+//! End-to-end tests of the `lte-sim` binary.
+
+use std::process::Command;
+
+fn lte_sim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_lte-sim"))
+}
+
+#[test]
+fn fig7_writes_csv() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_fig7");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = lte_sim()
+        .args(["fig7", "--subframes", "200", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let csv = std::fs::read_to_string(dir.join("fig7_users.csv")).expect("csv exists");
+    assert!(csv.starts_with("subframe,users\n"));
+    assert!(csv.lines().count() > 2);
+}
+
+#[test]
+fn table2_quick_prints_all_techniques() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_t2");
+    let out = lte_sim()
+        .args(["table2", "--quick", "--subframes", "400", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for technique in ["NONAP", "IDLE", "NAP", "NAP+IDLE", "PowerGating"] {
+        assert!(stdout.contains(technique), "missing {technique} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = lte_sim().arg("nonsense").output().expect("run lte-sim");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn golden_round_trip_via_cli() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_golden");
+    let out = lte_sim()
+        .args(["golden", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified against the stored golden record"));
+}

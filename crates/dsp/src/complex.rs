@@ -1,0 +1,410 @@
+//! Single-precision complex arithmetic.
+//!
+//! The benchmark operates on `f32` baseband samples exactly as the original
+//! C implementation did; a dedicated type (rather than `(f32, f32)` tuples)
+//! keeps kernel code readable and lets the compiler vectorise butterflies.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f32` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use lte_dsp::Complex32;
+///
+/// let a = Complex32::new(1.0, 2.0);
+/// let b = Complex32::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex32::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
+/// ```
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex32 {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex32 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Complex32 = Complex32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Complex32 = Complex32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Complex32 = Complex32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Complex32 { re, im }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lte_dsp::Complex32;
+    /// let z = Complex32::from_polar(2.0, std::f32::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-6 && (z.im - 2.0).abs() < 1e-6);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex32::new(r * c, r * s)
+    }
+
+    /// `e^{iθ}` — a unit phasor; the workhorse of twiddle-factor generation.
+    #[inline]
+    pub fn cis(theta: f32) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex32::new(self.re, -self.im)
+    }
+
+    /// The squared magnitude `re² + im²` (avoids the square root of [`abs`]).
+    ///
+    /// [`abs`]: Complex32::abs
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The magnitude `√(re² + im²)`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// The argument (phase angle) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Complex32::new(self.re * k, self.im * k)
+    }
+
+    /// The multiplicative inverse `1/z`.
+    ///
+    /// Returns non-finite components when `self` is zero, mirroring `f32`
+    /// division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex32::new(self.re / d, -self.im / d)
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    ///
+    /// Channel-estimation and combining inner loops are chains of these.
+    #[inline]
+    pub fn mul_add(self, a: Complex32, b: Complex32) -> Self {
+        Complex32::new(
+            a.re.mul_add(b.re, (-a.im).mul_add(b.im, self.re)),
+            a.re.mul_add(b.im, a.im.mul_add(b.re, self.im)),
+        )
+    }
+
+    /// `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Rotates by +90° (multiplication by `i`) without multiplications.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex32::new(-self.im, self.re)
+    }
+
+    /// Rotates by −90° (multiplication by `−i`) without multiplications.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex32::new(self.im, -self.re)
+    }
+}
+
+impl fmt::Debug for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+impl From<f32> for Complex32 {
+    #[inline]
+    fn from(re: f32) -> Self {
+        Complex32::new(re, 0.0)
+    }
+}
+
+impl Add for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn add(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn sub(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        Complex32::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: f32) -> Complex32 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex32> for f32 {
+    type Output = Complex32;
+    #[inline]
+    fn mul(self, rhs: Complex32) -> Complex32 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via multiplicative inverse
+    fn div(self, rhs: Complex32) -> Complex32 {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f32> for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn div(self, rhs: f32) -> Complex32 {
+        Complex32::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex32 {
+    type Output = Complex32;
+    #[inline]
+    fn neg(self) -> Complex32 {
+        Complex32::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex32) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex32) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex32) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f32> for Complex32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = self.scale(rhs);
+    }
+}
+
+impl DivAssign for Complex32 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex32 {
+    fn sum<I: Iterator<Item = Complex32>>(iter: I) -> Complex32 {
+        iter.fold(Complex32::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl<'a> Sum<&'a Complex32> for Complex32 {
+    fn sum<I: Iterator<Item = &'a Complex32>>(iter: I) -> Complex32 {
+        iter.fold(Complex32::ZERO, |acc, z| acc + *z)
+    }
+}
+
+/// Mean power (average squared magnitude) of a sample block.
+///
+/// Returns `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// use lte_dsp::complex::mean_power;
+/// use lte_dsp::Complex32;
+/// let samples = [Complex32::new(1.0, 0.0), Complex32::new(0.0, 1.0)];
+/// assert_eq!(mean_power(&samples), 1.0);
+/// ```
+pub fn mean_power(samples: &[Complex32]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().map(|z| z.norm_sqr()).sum::<f32>() / samples.len() as f32
+}
+
+/// Maximum absolute component-wise difference between two equal-length blocks.
+///
+/// Used by the golden-reference verification of the parallel receiver.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[Complex32], b: &[Complex32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "blocks must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.re - y.re).abs().max((x.im - y.im).abs()))
+        .fold(0.0, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f32 = 1e-6;
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex32::ZERO + Complex32::ONE, Complex32::ONE);
+        assert_eq!(Complex32::I * Complex32::I, -Complex32::ONE);
+        assert_eq!(Complex32::from(2.5), Complex32::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex32::new(3.0, -4.0);
+        let b = Complex32::new(-1.5, 2.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * Complex32::ONE, a);
+        let q = (a / b) * b;
+        assert!((q - a).abs() < 1e-5);
+        assert_eq!(-a, Complex32::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let a = Complex32::new(3.0, -4.0);
+        assert_eq!(a.conj(), Complex32::new(3.0, 4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        // z * conj(z) = |z|^2
+        let p = a * a.conj();
+        assert!((p.re - 25.0).abs() < EPS && p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex32::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < EPS);
+        assert!((z.arg() - 0.7).abs() < EPS);
+    }
+
+    #[test]
+    fn inverse() {
+        let a = Complex32::new(0.5, -1.25);
+        let p = a * a.inv();
+        assert!((p.re - 1.0).abs() < EPS && p.im.abs() < EPS);
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = Complex32::new(1.0, 1.0);
+        let a = Complex32::new(2.0, -3.0);
+        let b = Complex32::new(-1.0, 0.5);
+        let fused = acc.mul_add(a, b);
+        let plain = acc + a * b;
+        assert!((fused - plain).abs() < 1e-5);
+    }
+
+    #[test]
+    fn i_rotations() {
+        let a = Complex32::new(2.0, 5.0);
+        assert_eq!(a.mul_i(), a * Complex32::I);
+        assert_eq!(a.mul_neg_i(), a * -Complex32::I);
+    }
+
+    #[test]
+    fn sums() {
+        let v = [
+            Complex32::new(1.0, 2.0),
+            Complex32::new(3.0, 4.0),
+            Complex32::new(-4.0, -6.0),
+        ];
+        let s: Complex32 = v.iter().sum();
+        assert_eq!(s, Complex32::ZERO);
+        let s2: Complex32 = v.into_iter().sum();
+        assert_eq!(s2, Complex32::ZERO);
+    }
+
+    #[test]
+    fn mean_power_and_max_diff() {
+        let a = [Complex32::new(2.0, 0.0), Complex32::new(0.0, 2.0)];
+        assert_eq!(mean_power(&a), 4.0);
+        assert_eq!(mean_power(&[]), 0.0);
+        let b = [Complex32::new(2.0, 0.1), Complex32::new(0.0, 2.0)];
+        assert!((max_abs_diff(&a, &b) - 0.1).abs() < EPS);
+    }
+
+    #[test]
+    fn display_shows_sign() {
+        assert_eq!(format!("{}", Complex32::new(1.0, -2.0)), "1-2i");
+        assert_eq!(format!("{:?}", Complex32::new(0.0, 0.0)), "0+0i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = Complex32::new(1.0, 1.0);
+        z += Complex32::ONE;
+        z -= Complex32::I;
+        z *= Complex32::new(0.0, 1.0);
+        z /= Complex32::new(0.0, 1.0);
+        z *= 2.0;
+        assert_eq!(z, Complex32::new(4.0, 0.0));
+    }
+}

@@ -1,0 +1,203 @@
+//! LTE cyclic redundancy checks (TS 36.212 §5.1.1).
+//!
+//! Transport blocks carry CRC-24A; code-block segments carry CRC-24B; the
+//! 16- and 8-bit variants cover control channels. The benchmark's final
+//! pipeline stage (Fig. 3) verifies the CRC of every decoded transport
+//! block.
+//!
+//! Bits are processed MSB-first, matching the 3GPP bit ordering; the
+//! registers start at zero (LTE uses all-zero initial state, unlike
+//! Ethernet-style CRCs).
+
+/// A CRC generator polynomial of up to 24 bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Crc {
+    /// Polynomial without the leading `x^width` term.
+    poly: u32,
+    /// CRC width in bits.
+    width: u32,
+}
+
+/// CRC-24A (`gCRC24A`, transport-block CRC): `0x864CFB`.
+pub const CRC24A: Crc = Crc::new(0x86_4C_FB, 24);
+/// CRC-24B (`gCRC24B`, code-block CRC): `0x800063`.
+pub const CRC24B: Crc = Crc::new(0x80_00_63, 24);
+/// CRC-16 (`gCRC16`): `0x1021` (CCITT).
+pub const CRC16: Crc = Crc::new(0x1021, 16);
+/// CRC-8 (`gCRC8`): `0x9B`.
+pub const CRC8: Crc = Crc::new(0x9B, 8);
+
+impl Crc {
+    /// Defines a CRC with the given polynomial (sans leading term) and width.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time for const uses) if `width` is 0 or > 24.
+    pub const fn new(poly: u32, width: u32) -> Self {
+        assert!(width >= 1 && width <= 24, "width must be in 1..=24");
+        Crc { poly, width }
+    }
+
+    /// CRC width in bits.
+    pub const fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Computes the CRC of a bit slice (elements must be 0 or 1, MSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element is not 0 or 1 (debug builds only; release
+    /// builds mask to the low bit).
+    pub fn compute_bits(&self, bits: &[u8]) -> u32 {
+        let mut reg: u32 = 0;
+        let top = 1u32 << (self.width - 1);
+        let mask = (1u64 << self.width) as u32 - 1;
+        for &b in bits {
+            debug_assert!(b <= 1, "bits must be 0 or 1");
+            let fb = ((reg & top) != 0) ^ ((b & 1) != 0);
+            reg = (reg << 1) & mask;
+            if fb {
+                reg ^= self.poly;
+            }
+        }
+        reg
+    }
+
+    /// Computes the CRC of a byte slice (bits taken MSB-first within each
+    /// byte).
+    pub fn compute_bytes(&self, bytes: &[u8]) -> u32 {
+        let mut reg: u32 = 0;
+        let top = 1u32 << (self.width - 1);
+        let mask = (1u64 << self.width) as u32 - 1;
+        for &byte in bytes {
+            for k in (0..8).rev() {
+                let b = (byte >> k) & 1;
+                let fb = ((reg & top) != 0) ^ (b != 0);
+                reg = (reg << 1) & mask;
+                if fb {
+                    reg ^= self.poly;
+                }
+            }
+        }
+        reg
+    }
+
+    /// Appends the CRC parity bits (MSB-first) to a bit vector.
+    pub fn append_bits(&self, bits: &mut Vec<u8>) {
+        let crc = self.compute_bits(bits);
+        for k in (0..self.width).rev() {
+            bits.push(((crc >> k) & 1) as u8);
+        }
+    }
+
+    /// Checks a bit vector whose tail carries the CRC parity.
+    ///
+    /// Returns `true` when the CRC matches (i.e. the whole sequence,
+    /// including parity, divides the generator).
+    pub fn check_bits(&self, bits: &[u8]) -> bool {
+        if bits.len() < self.width as usize {
+            return false;
+        }
+        self.compute_bits(bits) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn bytes_to_bits(bytes: &[u8]) -> Vec<u8> {
+        bytes
+            .iter()
+            .flat_map(|&b| (0..8).rev().map(move |k| (b >> k) & 1))
+            .collect()
+    }
+
+    #[test]
+    fn bit_and_byte_paths_agree() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for crc in [CRC24A, CRC24B, CRC16, CRC8] {
+            let bytes: Vec<u8> = (0..64).map(|_| rng.next_u32() as u8).collect();
+            assert_eq!(
+                crc.compute_bytes(&bytes),
+                crc.compute_bits(&bytes_to_bits(&bytes))
+            );
+        }
+    }
+
+    #[test]
+    fn crc16_known_vector() {
+        // CCITT "123456789" with zero initial value → 0x31C3.
+        assert_eq!(CRC16.compute_bytes(b"123456789"), 0x31C3);
+    }
+
+    #[test]
+    fn crc24a_zero_message_is_zero() {
+        // All-zero input with zero init yields zero parity (linearity).
+        assert_eq!(CRC24A.compute_bits(&[0; 100]), 0);
+    }
+
+    #[test]
+    fn append_then_check_round_trip() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for crc in [CRC24A, CRC24B, CRC16, CRC8] {
+            for len in [1usize, 7, 40, 123] {
+                let mut bits: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 1) as u8).collect();
+                crc.append_bits(&mut bits);
+                assert!(crc.check_bits(&bits));
+            }
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_errors_anywhere() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let mut bits: Vec<u8> = (0..128).map(|_| (rng.next_u64() & 1) as u8).collect();
+        CRC24A.append_bits(&mut bits);
+        for i in 0..bits.len() {
+            bits[i] ^= 1;
+            assert!(!CRC24A.check_bits(&bits), "missed error at bit {i}");
+            bits[i] ^= 1;
+        }
+    }
+
+    #[test]
+    fn detects_burst_errors_up_to_width() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut bits: Vec<u8> = (0..256).map(|_| (rng.next_u64() & 1) as u8).collect();
+        CRC24B.append_bits(&mut bits);
+        // Any burst of length <= 24 is detected by a degree-24 generator
+        // with nonzero constant term.
+        for start in [0usize, 13, 100, 200] {
+            for burst in [2usize, 8, 24] {
+                for b in bits[start..start + burst].iter_mut() {
+                    *b ^= 1;
+                }
+                assert!(!CRC24B.check_bits(&bits), "missed burst {burst}@{start}");
+                for b in bits[start..start + burst].iter_mut() {
+                    *b ^= 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn short_input_fails_check() {
+        assert!(!CRC24A.check_bits(&[1, 0, 1]));
+    }
+
+    #[test]
+    fn linearity_of_crc() {
+        // CRC(a ^ b) == CRC(a) ^ CRC(b) for zero-init CRCs.
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let a: Vec<u8> = (0..96).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let b: Vec<u8> = (0..96).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        assert_eq!(
+            CRC24A.compute_bits(&x),
+            CRC24A.compute_bits(&a) ^ CRC24A.compute_bits(&b)
+        );
+    }
+}

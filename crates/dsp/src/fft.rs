@@ -1,0 +1,549 @@
+//! Mixed-radix fast Fourier transforms.
+//!
+//! LTE uplink transform sizes are `12 × N_PRB` subcarriers (with `N_PRB`
+//! restricted to 2,3,5-smooth values in the standard), plus power-of-two
+//! front-end sizes. A recursive Cooley–Tukey decomposition with specialised
+//! radix-2/3/4 butterflies and a table-driven generic radix (used for 5 and,
+//! defensively, any other prime) covers every size the benchmark needs in
+//! `O(n log n)`; non-smooth sizes still work via the generic-prime path
+//! (at `O(p²)` per prime factor `p`, which never occurs on the hot path).
+//!
+//! Plans are immutable and [`Sync`], so one [`FftPlanner`] can serve all
+//! worker threads.
+//!
+//! # Example
+//!
+//! ```
+//! use lte_dsp::fft::FftPlan;
+//! use lte_dsp::Complex32;
+//!
+//! let fwd = FftPlan::forward(60);
+//! let inv = FftPlan::inverse(60);
+//! let original: Vec<Complex32> =
+//!     (0..60).map(|i| Complex32::new(i as f32, -(i as f32))).collect();
+//! let mut data = original.clone();
+//! fwd.process(&mut data);
+//! inv.process(&mut data);
+//! for (a, b) in data.iter().zip(&original) {
+//!     assert!((*a - *b).abs() < 1e-3);
+//! }
+//! ```
+
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+use std::sync::{Arc, Mutex};
+
+use crate::complex::Complex32;
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// `X[k] = Σ x[j]·e^{−2πi jk/n}`.
+    Forward,
+    /// `x[j] = (1/n) Σ X[k]·e^{+2πi jk/n}` — scaled so that
+    /// `inverse(forward(x)) == x`.
+    Inverse,
+}
+
+/// A precomputed transform of one size and direction.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    direction: Direction,
+    /// `twiddles[k] = e^{∓2πi k/n}` (sign per direction).
+    twiddles: Vec<Complex32>,
+    /// Radix schedule, product equals `n` (empty for `n == 1`).
+    factors: Vec<usize>,
+}
+
+impl FftPlan {
+    /// Plans a forward DFT of length `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn forward(n: usize) -> Self {
+        Self::new(n, Direction::Forward)
+    }
+
+    /// Plans an inverse DFT of length `n` (normalised by `1/n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn inverse(n: usize) -> Self {
+        Self::new(n, Direction::Inverse)
+    }
+
+    /// Plans a transform of length `n` in the given direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        assert!(n > 0, "transform length must be positive");
+        let sign = match direction {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        };
+        let twiddles = (0..n)
+            .map(|k| {
+                let theta = sign * TAU * k as f64 / n as f64;
+                Complex32::new(theta.cos() as f32, theta.sin() as f32)
+            })
+            .collect();
+        FftPlan {
+            n,
+            direction,
+            twiddles,
+            factors: radix_schedule(n),
+        }
+    }
+
+    /// The transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` for the degenerate length-1 transform.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The transform direction.
+    #[inline]
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Transforms `data` in place, allocating a scratch buffer internally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex32]) {
+        let mut scratch = vec![Complex32::ZERO; self.n];
+        self.process_with_scratch(data, &mut scratch);
+    }
+
+    /// Transforms `data` in place, reusing a caller-provided scratch buffer.
+    ///
+    /// Useful on the hot path to avoid per-call allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.len()` or `scratch.len() < self.len()`.
+    pub fn process_with_scratch(&self, data: &mut [Complex32], scratch: &mut [Complex32]) {
+        assert_eq!(data.len(), self.n, "data length must equal plan length");
+        assert!(
+            scratch.len() >= self.n,
+            "scratch must be at least the plan length"
+        );
+        let scratch = &mut scratch[..self.n];
+        scratch.copy_from_slice(data);
+        self.recurse(scratch, 1, data, &self.factors);
+        if self.direction == Direction::Inverse {
+            let k = 1.0 / self.n as f32;
+            for z in data.iter_mut() {
+                *z = z.scale(k);
+            }
+        }
+    }
+
+    /// Recursive decimation-in-time step: transforms `input` (viewed with
+    /// `stride`) into `out` (contiguous, length `out.len()`).
+    fn recurse(
+        &self,
+        input: &[Complex32],
+        stride: usize,
+        out: &mut [Complex32],
+        factors: &[usize],
+    ) {
+        let n = out.len();
+        if n == 1 {
+            out[0] = input[0];
+            return;
+        }
+        let r = factors[0];
+        let m = n / r;
+        for j in 0..r {
+            self.recurse(&input[j * stride..], stride * r, &mut out[j * m..(j + 1) * m], &factors[1..]);
+        }
+        // Twiddle stride mapping sub-size n to the full-size table.
+        let tw_step = self.n / n;
+        match r {
+            2 => self.combine2(out, m, tw_step),
+            3 => self.combine3(out, m, tw_step),
+            4 => self.combine4(out, m, tw_step),
+            _ => self.combine_generic(out, r, m, tw_step),
+        }
+    }
+
+    #[inline]
+    fn tw(&self, idx: usize) -> Complex32 {
+        self.twiddles[idx % self.n]
+    }
+
+    fn combine2(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
+        for k in 0..m {
+            let a = out[k];
+            let b = out[m + k] * self.tw(k * tw_step);
+            out[k] = a + b;
+            out[m + k] = a - b;
+        }
+    }
+
+    fn combine3(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
+        // sin(2π/3), sign-flipped for the inverse transform.
+        let s3 = match self.direction {
+            Direction::Forward => -0.866_025_4_f32,
+            Direction::Inverse => 0.866_025_4_f32,
+        };
+        for k in 0..m {
+            let t0 = out[k];
+            let t1 = out[m + k] * self.tw(k * tw_step);
+            let t2 = out[2 * m + k] * self.tw(2 * k * tw_step);
+            let sum = t1 + t2;
+            let diff = (t1 - t2).scale(s3).mul_i();
+            let base = t0 - sum.scale(0.5);
+            out[k] = t0 + sum;
+            out[m + k] = base + diff;
+            out[2 * m + k] = base - diff;
+        }
+    }
+
+    fn combine4(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
+        let forward = self.direction == Direction::Forward;
+        for k in 0..m {
+            let t0 = out[k];
+            let t1 = out[m + k] * self.tw(k * tw_step);
+            let t2 = out[2 * m + k] * self.tw(2 * k * tw_step);
+            let t3 = out[3 * m + k] * self.tw(3 * k * tw_step);
+            let a = t0 + t2;
+            let b = t0 - t2;
+            let c = t1 + t3;
+            let d = if forward {
+                (t1 - t3).mul_neg_i()
+            } else {
+                (t1 - t3).mul_i()
+            };
+            out[k] = a + c;
+            out[m + k] = b + d;
+            out[2 * m + k] = a - c;
+            out[3 * m + k] = b - d;
+        }
+    }
+
+    /// Table-driven radix used for 5 and any other prime factor.
+    fn combine_generic(&self, out: &mut [Complex32], r: usize, m: usize, tw_step: usize) {
+        debug_assert!(r >= 2);
+        let root_step = self.n / r;
+        let mut t = vec![Complex32::ZERO; r];
+        for k in 0..m {
+            for (j, tj) in t.iter_mut().enumerate() {
+                *tj = out[j * m + k] * self.tw(j * k * tw_step);
+            }
+            for q in 0..r {
+                let mut acc = t[0];
+                for (j, &tj) in t.iter().enumerate().skip(1) {
+                    acc = acc.mul_add(tj, self.tw(j * q * root_step));
+                }
+                out[q * m + k] = acc;
+            }
+        }
+    }
+}
+
+/// Builds the radix schedule for `n`: 4s first (fewest operations), then
+/// 2, 3, 5, then any remaining primes. Shared with the fixed-point FFT so
+/// both transforms always decompose identically.
+pub(crate) fn radix_schedule(mut n: usize) -> Vec<usize> {
+    let mut factors = Vec::new();
+    while n.is_multiple_of(4) {
+        factors.push(4);
+        n /= 4;
+    }
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+    }
+    let mut p = 7;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            factors.push(p);
+            n /= p;
+        }
+        p += 2;
+    }
+    if n > 1 {
+        factors.push(n);
+    }
+    factors
+}
+
+/// A thread-safe cache of [`FftPlan`]s keyed by `(length, direction)`.
+///
+/// The receiver pipeline needs transforms of many sizes (one per PRB
+/// allocation); the planner amortises twiddle-table construction across
+/// subframes and threads.
+///
+/// # Example
+///
+/// ```
+/// use lte_dsp::fft::{Direction, FftPlanner};
+///
+/// let planner = FftPlanner::new();
+/// let a = planner.plan(120, Direction::Forward);
+/// let b = planner.plan(120, Direction::Forward);
+/// assert!(std::sync::Arc::ptr_eq(&a, &b)); // cached
+/// ```
+#[derive(Debug, Default)]
+pub struct FftPlanner {
+    cache: Mutex<HashMap<(usize, Direction), Arc<FftPlan>>>,
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a (shared) plan for the given length and direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn plan(&self, n: usize, direction: Direction) -> Arc<FftPlan> {
+        let mut cache = self.cache.lock().expect("planner mutex poisoned");
+        Arc::clone(
+            cache
+                .entry((n, direction))
+                .or_insert_with(|| Arc::new(FftPlan::new(n, direction))),
+        )
+    }
+
+    /// Convenience wrapper for [`Direction::Forward`].
+    pub fn forward(&self, n: usize) -> Arc<FftPlan> {
+        self.plan(n, Direction::Forward)
+    }
+
+    /// Convenience wrapper for [`Direction::Inverse`].
+    pub fn inverse(&self, n: usize) -> Arc<FftPlan> {
+        self.plan(n, Direction::Inverse)
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().expect("planner mutex poisoned").len()
+    }
+}
+
+/// Reference `O(n²)` DFT used by tests and as an executable specification.
+pub fn dft_naive(input: &[Complex32], direction: Direction) -> Vec<Complex32> {
+    let n = input.len();
+    let sign = match direction {
+        Direction::Forward => -1.0f64,
+        Direction::Inverse => 1.0,
+    };
+    let mut out = vec![Complex32::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc_re = 0.0f64;
+        let mut acc_im = 0.0f64;
+        for (j, x) in input.iter().enumerate() {
+            let theta = sign * TAU * (j * k % n) as f64 / n as f64;
+            let (s, c) = theta.sin_cos();
+            acc_re += x.re as f64 * c - x.im as f64 * s;
+            acc_im += x.re as f64 * s + x.im as f64 * c;
+        }
+        *o = Complex32::new(acc_re as f32, acc_im as f32);
+    }
+    if direction == Direction::Inverse {
+        for z in &mut out {
+            *z = z.scale(1.0 / n as f32);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    fn random_block(n: usize, seed: u64) -> Vec<Complex32> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex32], b: &[Complex32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (*x - *y).abs() <= tol,
+                "index {i}: {x:?} vs {y:?} (tol {tol})"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_schedule_products() {
+        for n in 1..=600 {
+            let fs = radix_schedule(n);
+            assert_eq!(fs.iter().product::<usize>().max(1), n.max(1));
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        for n in [1, 2, 3, 4, 5, 12, 36, 300] {
+            let plan = FftPlan::forward(n);
+            let mut data = vec![Complex32::ZERO; n];
+            data[0] = Complex32::ONE;
+            plan.process(&mut data);
+            for z in &data {
+                assert!((*z - Complex32::ONE).abs() < 1e-4, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 144;
+        let plan = FftPlan::forward(n);
+        let mut data = vec![Complex32::ONE; n];
+        plan.process(&mut data);
+        assert!((data[0].re - n as f32).abs() < 1e-2);
+        for z in &data[1..] {
+            assert!(z.abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_on_lte_sizes() {
+        // Every 5-smooth 12·PRB size up to 50 PRBs plus assorted others.
+        let mut sizes: Vec<usize> = (1..=50).map(|p| 12 * p).collect();
+        sizes.extend([1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 25, 128, 2048]);
+        for n in sizes {
+            let input = random_block(n, n as u64);
+            let mut fast = input.clone();
+            FftPlan::forward(n).process(&mut fast);
+            let slow = dft_naive(&input, Direction::Forward);
+            let tol = 1e-4 * (n as f32).max(8.0);
+            assert_close(&fast, &slow, tol);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive() {
+        for n in [12, 60, 71, 180] {
+            let input = random_block(n, 1000 + n as u64);
+            let mut fast = input.clone();
+            FftPlan::inverse(n).process(&mut fast);
+            let slow = dft_naive(&input, Direction::Inverse);
+            assert_close(&fast, &slow, 1e-4);
+        }
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for n in [12, 24, 300, 1200, 2400] {
+            let original = random_block(n, 7 * n as u64);
+            let mut data = original.clone();
+            FftPlan::forward(n).process(&mut data);
+            FftPlan::inverse(n).process(&mut data);
+            assert_close(&data, &original, 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let n = 600;
+        let input = random_block(n, 42);
+        let time_energy: f64 = input.iter().map(|z| z.norm_sqr() as f64).sum();
+        let mut freq = input;
+        FftPlan::forward(n).process(&mut freq);
+        let freq_energy: f64 =
+            freq.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() / time_energy < 1e-5,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 180;
+        let a = random_block(n, 1);
+        let b = random_block(n, 2);
+        let plan = FftPlan::forward(n);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        plan.process(&mut fa);
+        plan.process(&mut fb);
+        let mut sum: Vec<Complex32> = a.iter().zip(&b).map(|(x, y)| *x + y.scale(2.0)).collect();
+        plan.process(&mut sum);
+        let expect: Vec<Complex32> = fa.iter().zip(&fb).map(|(x, y)| *x + y.scale(2.0)).collect();
+        assert_close(&sum, &expect, 1e-3);
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // Circularly shifting the input multiplies the spectrum by a phasor.
+        let n = 48;
+        let input = random_block(n, 9);
+        let mut shifted: Vec<Complex32> = input.clone();
+        shifted.rotate_left(1);
+        let plan = FftPlan::forward(n);
+        let mut f0 = input;
+        let mut f1 = shifted;
+        plan.process(&mut f0);
+        plan.process(&mut f1);
+        for k in 0..n {
+            let phase = Complex32::cis(TAU as f32 * k as f32 / n as f32);
+            assert!((f1[k] - f0[k] * phase).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_alloc_path() {
+        let n = 360;
+        let input = random_block(n, 77);
+        let plan = FftPlan::forward(n);
+        let mut a = input.clone();
+        let mut b = input;
+        plan.process(&mut a);
+        let mut scratch = vec![Complex32::ZERO; n];
+        plan.process_with_scratch(&mut b, &mut scratch);
+        assert_close(&a, &b, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn wrong_length_panics() {
+        FftPlan::forward(8).process(&mut [Complex32::ZERO; 4]);
+    }
+
+    #[test]
+    fn planner_caches_and_is_shared() {
+        let planner = FftPlanner::new();
+        let p1 = planner.forward(12);
+        let p2 = planner.forward(12);
+        let p3 = planner.inverse(12);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn planner_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<FftPlanner>();
+        assert_sync::<FftPlan>();
+    }
+}

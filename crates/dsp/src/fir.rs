@@ -1,0 +1,197 @@
+//! FIR filtering for the receiver front-end.
+//!
+//! The paper's Fig. 2 front-end includes a receive filter ahead of CP
+//! removal. This module provides direct-form FIR filtering and a
+//! windowed-sinc low-pass designer good enough for the benchmark's
+//! oversampled front-end model.
+
+use crate::complex::Complex32;
+
+/// A real-coefficient FIR filter applied to complex samples.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f32>,
+}
+
+impl FirFilter {
+    /// Builds a filter from explicit taps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(taps: Vec<f32>) -> Self {
+        assert!(!taps.is_empty(), "filter needs at least one tap");
+        FirFilter { taps }
+    }
+
+    /// Designs a windowed-sinc (Hamming) low-pass filter with normalised
+    /// cutoff `cutoff` (fraction of Nyquist, in `(0, 1)`) and `n_taps`
+    /// taps, unit DC gain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cutoff` is outside `(0, 1)` or `n_taps == 0`.
+    pub fn low_pass(cutoff: f32, n_taps: usize) -> Self {
+        assert!(cutoff > 0.0 && cutoff < 1.0, "cutoff must be in (0, 1)");
+        assert!(n_taps > 0, "need at least one tap");
+        let mid = (n_taps - 1) as f32 / 2.0;
+        let mut taps: Vec<f32> = (0..n_taps)
+            .map(|i| {
+                let x = i as f32 - mid;
+                let sinc = if x.abs() < 1e-6 {
+                    cutoff
+                } else {
+                    (std::f32::consts::PI * cutoff * x).sin() / (std::f32::consts::PI * x)
+                };
+                let hamming = 0.54
+                    - 0.46 * (std::f32::consts::TAU * i as f32 / (n_taps.max(2) - 1) as f32).cos();
+                sinc * hamming
+            })
+            .collect();
+        let sum: f32 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        FirFilter { taps }
+    }
+
+    /// Number of taps.
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// `true` if the filter has no taps (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// The taps.
+    pub fn taps(&self) -> &[f32] {
+        &self.taps
+    }
+
+    /// Filters a block, returning `input.len()` samples with the filter's
+    /// group delay compensated (the output is aligned with the input; the
+    /// first and last `len/2` samples see zero-padded edges).
+    pub fn filter(&self, input: &[Complex32]) -> Vec<Complex32> {
+        let half = self.taps.len() / 2;
+        let n = input.len();
+        (0..n)
+            .map(|i| {
+                let mut acc = Complex32::ZERO;
+                for (k, &t) in self.taps.iter().enumerate() {
+                    // Output sample i uses input[i + half - k] (aligned).
+                    let idx = i as isize + half as isize - k as isize;
+                    if idx >= 0 && (idx as usize) < n {
+                        acc += input[idx as usize].scale(t);
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Magnitude response at normalised frequency `f` (fraction of
+    /// Nyquist).
+    pub fn magnitude_at(&self, f: f32) -> f32 {
+        let omega = std::f32::consts::PI * f;
+        let mut acc = Complex32::ZERO;
+        for (k, &t) in self.taps.iter().enumerate() {
+            acc += Complex32::cis(-omega * k as f32).scale(t);
+        }
+        acc.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn identity_filter_passes_through() {
+        let f = FirFilter::new(vec![1.0]);
+        let x: Vec<Complex32> = (0..8).map(|i| Complex32::new(i as f32, -1.0)).collect();
+        assert_eq!(f.filter(&x), x);
+    }
+
+    #[test]
+    fn low_pass_has_unit_dc_gain() {
+        let f = FirFilter::low_pass(0.4, 31);
+        assert!((f.magnitude_at(0.0) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn low_pass_attenuates_high_frequencies() {
+        let f = FirFilter::low_pass(0.25, 63);
+        let passband = f.magnitude_at(0.1);
+        let stopband = f.magnitude_at(0.8);
+        assert!(passband > 0.95, "passband {passband}");
+        assert!(stopband < 0.05, "stopband {stopband}");
+    }
+
+    #[test]
+    fn filtering_suppresses_a_high_frequency_tone() {
+        let f = FirFilter::low_pass(0.25, 63);
+        let n = 256;
+        // High-frequency tone at 0.9 × Nyquist.
+        let tone: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::cis(std::f32::consts::PI * 0.9 * i as f32))
+            .collect();
+        let out = f.filter(&tone);
+        let in_power = crate::complex::mean_power(&tone[64..192]);
+        let out_power = crate::complex::mean_power(&out[64..192]);
+        assert!(
+            out_power < 0.01 * in_power,
+            "tone not suppressed: {out_power} vs {in_power}"
+        );
+    }
+
+    #[test]
+    fn filtering_preserves_a_low_frequency_tone() {
+        let f = FirFilter::low_pass(0.5, 63);
+        let n = 256;
+        let tone: Vec<Complex32> = (0..n)
+            .map(|i| Complex32::cis(std::f32::consts::PI * 0.05 * i as f32))
+            .collect();
+        let out = f.filter(&tone);
+        let in_power = crate::complex::mean_power(&tone[64..192]);
+        let out_power = crate::complex::mean_power(&out[64..192]);
+        assert!((out_power / in_power - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn group_delay_is_compensated() {
+        // An impulse stays centred at its original position.
+        let f = FirFilter::low_pass(0.5, 31);
+        let mut x = vec![Complex32::ZERO; 64];
+        x[32] = Complex32::ONE;
+        let y = f.filter(&x);
+        let peak = y
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+            .map(|(i, _)| i)
+            .unwrap();
+        assert_eq!(peak, 32);
+    }
+
+    #[test]
+    fn random_signal_energy_bounded() {
+        let f = FirFilter::low_pass(0.5, 31);
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let x: Vec<Complex32> = (0..128)
+            .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+            .collect();
+        let y = f.filter(&x);
+        // A half-band low-pass keeps roughly half the white-noise power.
+        let ratio = crate::complex::mean_power(&y) / crate::complex::mean_power(&x);
+        assert!((0.3..=0.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn invalid_cutoff_rejected() {
+        FirFilter::low_pass(1.5, 11);
+    }
+}

@@ -1,0 +1,74 @@
+//! The channel-estimation matched filter.
+//!
+//! The first stage of channel estimation (Fig. 3 of the paper) multiplies
+//! the received, channel-distorted reference symbol by the conjugate of the
+//! known reference sequence. Because the reference is CAZAC (unit
+//! magnitude), the product is exactly the raw per-subcarrier channel
+//! estimate `H(f) = Y(f)·X*(f)`.
+
+use crate::complex::Complex32;
+
+/// Multiplies `received` by the conjugate of `reference`, writing the raw
+/// frequency-domain channel estimate into `out`.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn matched_filter(received: &[Complex32], reference: &[Complex32], out: &mut [Complex32]) {
+    assert_eq!(received.len(), reference.len(), "length mismatch");
+    assert_eq!(received.len(), out.len(), "output length mismatch");
+    for ((y, x), o) in received.iter().zip(reference).zip(out.iter_mut()) {
+        *o = *y * x.conj();
+    }
+}
+
+/// In-place variant of [`matched_filter`].
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn matched_filter_inplace(received: &mut [Complex32], reference: &[Complex32]) {
+    assert_eq!(received.len(), reference.len(), "length mismatch");
+    for (y, x) in received.iter_mut().zip(reference) {
+        *y *= x.conj();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zadoff_chu::ReferenceSequence;
+
+    #[test]
+    fn recovers_flat_channel_exactly() {
+        // If the channel is a pure complex gain h, Y = h·X and the matched
+        // filter output is h·|X|² = h for a unit-magnitude reference.
+        let h = Complex32::new(0.8, -0.6);
+        let reference = ReferenceSequence::new(24, 3);
+        let received: Vec<Complex32> = reference.samples().iter().map(|x| h * *x).collect();
+        let mut out = vec![Complex32::ZERO; 24];
+        matched_filter(&received, reference.samples(), &mut out);
+        for z in &out {
+            assert!((*z - h).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn inplace_matches_out_of_place() {
+        let reference = ReferenceSequence::new(12, 1);
+        let mut received: Vec<Complex32> = (0..12)
+            .map(|i| Complex32::new(i as f32, 1.0))
+            .collect();
+        let mut out = vec![Complex32::ZERO; 12];
+        matched_filter(&received, reference.samples(), &mut out);
+        matched_filter_inplace(&mut received, reference.samples());
+        assert_eq!(received, out);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut out = vec![Complex32::ZERO; 3];
+        matched_filter(&[Complex32::ONE; 3], &[Complex32::ONE; 4], &mut out);
+    }
+}

@@ -1,0 +1,196 @@
+//! Small numeric helpers shared across the DSP kernels.
+
+/// Converts a linear power ratio to decibels.
+///
+/// # Example
+///
+/// ```
+/// assert!((lte_dsp::math::to_db(100.0) - 20.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Converts decibels to a linear power ratio.
+#[inline]
+pub fn from_db(db: f64) -> f64 {
+    10f64.powf(db / 10.0)
+}
+
+/// `true` if `n` has no prime factors other than 2, 3 and 5.
+///
+/// LTE transform sizes (12 × number of PRBs with standard allocations) are
+/// 5-smooth, which is what lets the mixed-radix FFT cover them all.
+///
+/// # Example
+///
+/// ```
+/// assert!(lte_dsp::math::is_5_smooth(1200));
+/// assert!(!lte_dsp::math::is_5_smooth(132)); // 132 = 2²·3·11
+/// ```
+pub fn is_5_smooth(mut n: usize) -> bool {
+    if n == 0 {
+        return false;
+    }
+    for p in [2, 3, 5] {
+        while n.is_multiple_of(p) {
+            n /= p;
+        }
+    }
+    n == 1
+}
+
+/// The smallest power of two that is `>= n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the result would overflow `usize`.
+pub fn next_pow2(n: usize) -> usize {
+    assert!(n > 0, "next_pow2 of zero is undefined");
+    n.checked_next_power_of_two()
+        .expect("next power of two overflows usize")
+}
+
+/// Factorises `n` into its prime factors in non-decreasing order.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(lte_dsp::math::prime_factors(600), vec![2, 2, 2, 3, 5, 5]);
+/// ```
+pub fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= n {
+        while n.is_multiple_of(p) {
+            out.push(p);
+            n /= p;
+        }
+        p += if p == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// Greatest common divisor.
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Linear least-squares slope through the origin: the `k` minimising
+/// `Σ (y_i − k·x_i)²`.
+///
+/// This is exactly the fit the paper's workload estimator needs: activity is
+/// proportional to the number of PRBs (Eq. 3), so the model is `y = k·x`.
+///
+/// Returns `0.0` when the inputs carry no signal (`Σx² == 0`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn slope_through_origin(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "x and y must have equal length");
+    let sxx: f64 = x.iter().map(|v| v * v).sum();
+    if sxx == 0.0 {
+        return 0.0;
+    }
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| a * b).sum();
+    sxy / sxx
+}
+
+/// Root-mean-square of a sample block; `0.0` for an empty block.
+pub fn rms(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    (samples.iter().map(|s| s * s).sum::<f64>() / samples.len() as f64).sqrt()
+}
+
+/// Arithmetic mean; `0.0` for an empty block.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().sum::<f64>() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_round_trip() {
+        for v in [0.01, 1.0, 2.0, 1e4] {
+            assert!((from_db(to_db(v)) - v).abs() / v < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoothness() {
+        // All valid LTE PRB allocations (1..=110 PRBs in the standard; the
+        // benchmark uses up to 200) with 2,3,5-smooth PRB counts give smooth
+        // transform sizes because 12 = 2²·3 is itself smooth.
+        assert!(is_5_smooth(12));
+        assert!(is_5_smooth(1200));
+        assert!(is_5_smooth(2400));
+        assert!(!is_5_smooth(7));
+        assert!(!is_5_smooth(0));
+    }
+
+    #[test]
+    fn pow2() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1200), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn pow2_zero_panics() {
+        next_pow2(0);
+    }
+
+    #[test]
+    fn factorisation() {
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(360), vec![2, 2, 2, 3, 3, 5]);
+        assert_eq!(prime_factors(97), vec![97]);
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+    }
+
+    #[test]
+    fn slope_fit_recovers_exact_line() {
+        let x: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 0.37 * v).collect();
+        assert!((slope_through_origin(&x, &y) - 0.37).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slope_fit_degenerate() {
+        assert_eq!(slope_through_origin(&[], &[]), 0.0);
+        assert_eq!(slope_through_origin(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rms_and_mean() {
+        assert_eq!(rms(&[]), 0.0);
+        assert!((rms(&[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! LTE modulation mapping (TS 36.211 §7.1).
+//!
+//! The uplink carries QPSK, 16-QAM or 64-QAM depending on channel quality —
+//! these are the `userMod` values of the paper's input parameter model
+//! (Fig. 10). Mappings are the standard Gray-coded constellations,
+//! normalised to unit average energy.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use crate::complex::Complex32;
+
+/// An LTE modulation scheme.
+///
+/// # Example
+///
+/// ```
+/// use lte_dsp::Modulation;
+///
+/// assert_eq!(Modulation::Qam64.bits_per_symbol(), 6);
+/// let syms = Modulation::Qpsk.map_bits(&[0, 0, 1, 1]);
+/// assert_eq!(syms.len(), 2);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Modulation {
+    /// 2 bits per symbol.
+    Qpsk,
+    /// 4 bits per symbol.
+    Qam16,
+    /// 6 bits per symbol.
+    Qam64,
+}
+
+impl Modulation {
+    /// All schemes, lowest order first.
+    pub const ALL: [Modulation; 3] = [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64];
+
+    /// Bits carried by one symbol.
+    #[inline]
+    pub const fn bits_per_symbol(self) -> usize {
+        match self {
+            Modulation::Qpsk => 2,
+            Modulation::Qam16 => 4,
+            Modulation::Qam64 => 6,
+        }
+    }
+
+    /// Constellation size (`2^bits_per_symbol`).
+    #[inline]
+    pub const fn points(self) -> usize {
+        1 << self.bits_per_symbol()
+    }
+
+    /// The full constellation, indexed by the bit label
+    /// `b0 b1 … b_{m−1}` read MSB-first (`b0` is the first transmitted bit).
+    pub fn constellation(self) -> &'static [Complex32] {
+        match self {
+            Modulation::Qpsk => {
+                static T: OnceLock<Vec<Complex32>> = OnceLock::new();
+                T.get_or_init(|| build_constellation(Modulation::Qpsk))
+            }
+            Modulation::Qam16 => {
+                static T: OnceLock<Vec<Complex32>> = OnceLock::new();
+                T.get_or_init(|| build_constellation(Modulation::Qam16))
+            }
+            Modulation::Qam64 => {
+                static T: OnceLock<Vec<Complex32>> = OnceLock::new();
+                T.get_or_init(|| build_constellation(Modulation::Qam64))
+            }
+        }
+    }
+
+    /// Maps one bit label (an integer whose top `bits_per_symbol` low bits
+    /// are `b0…b_{m−1}` MSB-first) to its constellation point.
+    #[inline]
+    pub fn map_label(self, label: usize) -> Complex32 {
+        self.constellation()[label & (self.points() - 1)]
+    }
+
+    /// Maps a bit slice (values 0/1) to symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of [`bits_per_symbol`] or if
+    /// any element is not 0 or 1.
+    ///
+    /// [`bits_per_symbol`]: Modulation::bits_per_symbol
+    pub fn map_bits(self, bits: &[u8]) -> Vec<Complex32> {
+        let m = self.bits_per_symbol();
+        assert_eq!(bits.len() % m, 0, "bit count must be a multiple of {m}");
+        bits.chunks_exact(m)
+            .map(|chunk| {
+                let mut label = 0usize;
+                for &b in chunk {
+                    assert!(b <= 1, "bits must be 0 or 1");
+                    label = (label << 1) | b as usize;
+                }
+                self.map_label(label)
+            })
+            .collect()
+    }
+
+    /// Hard-decision demapping: the nearest constellation point's label bits.
+    pub fn demap_hard(self, symbols: &[Complex32]) -> Vec<u8> {
+        let m = self.bits_per_symbol();
+        let constellation = self.constellation();
+        let mut bits = Vec::with_capacity(symbols.len() * m);
+        for y in symbols {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (label, s) in constellation.iter().enumerate() {
+                let d = (*y - *s).norm_sqr();
+                if d < best_d {
+                    best_d = d;
+                    best = label;
+                }
+            }
+            for k in (0..m).rev() {
+                bits.push(((best >> k) & 1) as u8);
+            }
+        }
+        bits
+    }
+
+    /// Per-axis amplitude levels of the Gray-coded PAM component, used by
+    /// the fast max-log demapper. Returns the normalisation factor.
+    pub(crate) fn norm(self) -> f32 {
+        match self {
+            Modulation::Qpsk => 1.0 / 2f32.sqrt(),
+            Modulation::Qam16 => 1.0 / 10f32.sqrt(),
+            Modulation::Qam64 => 1.0 / 42f32.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for Modulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Modulation::Qpsk => "QPSK",
+            Modulation::Qam16 => "16QAM",
+            Modulation::Qam64 => "64QAM",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Gray-coded PAM amplitude for the bit pair/triple controlling one axis,
+/// per TS 36.211 tables (before normalisation).
+///
+/// * QPSK: 1 bit per axis → {+1, −1}
+/// * 16-QAM: 2 bits per axis → {+1, +3, −1, −3} for labels 00,01,10,11
+/// * 64-QAM: 3 bits per axis → {+3,+1,+5,+7,−3,−1,−5,−7} for labels 000…111
+fn pam_level(bits: usize, n_bits: usize) -> f32 {
+    match n_bits {
+        1 => {
+            if bits == 0 {
+                1.0
+            } else {
+                -1.0
+            }
+        }
+        2 => {
+            let sign = if bits >> 1 == 0 { 1.0 } else { -1.0 };
+            let mag = if bits & 1 == 0 { 1.0 } else { 3.0 };
+            sign * mag
+        }
+        3 => {
+            let sign = if bits >> 2 == 0 { 1.0 } else { -1.0 };
+            let mag = match bits & 0b11 {
+                0b00 => 3.0,
+                0b01 => 1.0,
+                0b10 => 5.0,
+                _ => 7.0,
+            };
+            sign * mag
+        }
+        _ => unreachable!("axis widths are 1, 2 or 3 bits"),
+    }
+}
+
+/// Builds a constellation with the TS 36.211 bit-to-axis assignment:
+/// even-position bits (b0, b2, b4) steer I; odd-position bits steer Q.
+fn build_constellation(modulation: Modulation) -> Vec<Complex32> {
+    let m = modulation.bits_per_symbol();
+    let half = m / 2;
+    let norm = modulation.norm();
+    (0..modulation.points())
+        .map(|label| {
+            let mut i_bits = 0usize;
+            let mut q_bits = 0usize;
+            // label holds b0..b_{m-1} MSB-first.
+            for k in 0..m {
+                let bit = (label >> (m - 1 - k)) & 1;
+                if k % 2 == 0 {
+                    i_bits = (i_bits << 1) | bit;
+                } else {
+                    q_bits = (q_bits << 1) | bit;
+                }
+            }
+            Complex32::new(
+                pam_level(i_bits, half) * norm,
+                pam_level(q_bits, half) * norm,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Modulation::Qpsk.points(), 4);
+        assert_eq!(Modulation::Qam16.points(), 16);
+        assert_eq!(Modulation::Qam64.points(), 64);
+    }
+
+    #[test]
+    fn unit_average_energy() {
+        for m in Modulation::ALL {
+            let e: f32 = m.constellation().iter().map(|z| z.norm_sqr()).sum::<f32>()
+                / m.points() as f32;
+            assert!((e - 1.0).abs() < 1e-5, "{m}: energy {e}");
+        }
+    }
+
+    #[test]
+    fn all_points_distinct() {
+        for m in Modulation::ALL {
+            let c = m.constellation();
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    assert!((c[i] - c[j]).abs() > 1e-3, "{m}: {i} == {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qpsk_matches_standard() {
+        // TS 36.211 Table 7.1.2-1: label 00 → (1+i)/√2, 01 → (1−i)/√2,
+        // 10 → (−1+i)/√2, 11 → (−1−i)/√2.
+        let s = 1.0 / 2f32.sqrt();
+        let c = Modulation::Qpsk.constellation();
+        assert!((c[0b00] - Complex32::new(s, s)).abs() < 1e-6);
+        assert!((c[0b01] - Complex32::new(s, -s)).abs() < 1e-6);
+        assert!((c[0b10] - Complex32::new(-s, s)).abs() < 1e-6);
+        assert!((c[0b11] - Complex32::new(-s, -s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qam16_spot_checks() {
+        // TS 36.211 Table 7.1.3-1: 0000 → (1+i)/√10, 0100 → (1+3i)·? …
+        // label bits are b0b1b2b3; b0,b2 → I; b1,b3 → Q.
+        let s = 1.0 / 10f32.sqrt();
+        let c = Modulation::Qam16.constellation();
+        assert!((c[0b0000] - Complex32::new(s, s)).abs() < 1e-6);
+        assert!((c[0b0011] - Complex32::new(3.0 * s, 3.0 * s)).abs() < 1e-6);
+        assert!((c[0b1100] - Complex32::new(-s, -s)).abs() < 1e-6);
+        assert!((c[0b0010] - Complex32::new(3.0 * s, s)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gray_property_nearest_neighbours_differ_in_one_bit() {
+        // For each point, its nearest neighbours (distance = one grid step)
+        // must differ in exactly one bit — the defining Gray property.
+        for m in [Modulation::Qam16, Modulation::Qam64] {
+            let c = m.constellation();
+            let step = 2.0 * m.norm();
+            for i in 0..c.len() {
+                for j in 0..c.len() {
+                    if i == j {
+                        continue;
+                    }
+                    if ((c[i] - c[j]).abs() - step).abs() < 1e-4 {
+                        let diff = (i ^ j).count_ones();
+                        assert_eq!(diff, 1, "{m}: labels {i:b} vs {j:b}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_demap_round_trip() {
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        for m in Modulation::ALL {
+            let bits: Vec<u8> = (0..m.bits_per_symbol() * 100)
+                .map(|_| (rng.next_u64() & 1) as u8)
+                .collect();
+            let symbols = m.map_bits(&bits);
+            let recovered = m.demap_hard(&symbols);
+            assert_eq!(bits, recovered, "{m}");
+        }
+    }
+
+    #[test]
+    fn demap_tolerates_noise_within_decision_region() {
+        let m = Modulation::Qam64;
+        let bits = vec![1, 0, 1, 1, 0, 0];
+        let mut symbols = m.map_bits(&bits);
+        symbols[0] += Complex32::new(0.4 * m.norm(), -0.4 * m.norm());
+        assert_eq!(m.demap_hard(&symbols), bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn map_bits_requires_full_symbols() {
+        Modulation::Qpsk.map_bits(&[1]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Modulation::Qpsk.to_string(), "QPSK");
+        assert_eq!(Modulation::Qam16.to_string(), "16QAM");
+        assert_eq!(Modulation::Qam64.to_string(), "64QAM");
+    }
+}

@@ -1,0 +1,383 @@
+//! Turbo-code rate matching (TS 36.212 §5.1.4.1).
+//!
+//! The rate-1/3 mother code's three streams (systematic, parity 1,
+//! parity 2, each carrying a share of the tail bits) are sub-block
+//! interleaved, packed into a circular buffer — systematic first, the
+//! two parity streams interlaced — and the transmitter reads exactly `E`
+//! bits from the buffer, wrapping around: fewer than `3K` bits puncture
+//! the code (higher rate), more repeat bits (lower rate, soft-combined
+//! at the receiver). This lets a code block fill *any* allocation
+//! exactly, with no filler.
+//!
+//! The tail-bit distribution onto the three streams is a fixed
+//! convention documented on [`RateMatcher::new`]; encoder and decoder
+//! agree by construction.
+
+use crate::interleave::Interleaver;
+use crate::turbo::{TurboCodeword, TurboLlrs};
+
+/// Precomputed rate-matching maps for one turbo block size.
+#[derive(Clone, Debug)]
+pub struct RateMatcher {
+    k: usize,
+    /// Circular-buffer order: each entry addresses `(stream, index)` in
+    /// the three length-`k+4` bit streams.
+    buffer: Vec<(u8, u32)>,
+}
+
+/// Bits per stream: the block plus four distributed tail bits.
+fn stream_len(k: usize) -> usize {
+    k + 4
+}
+
+impl RateMatcher {
+    /// Builds the rate matcher for turbo block size `k`.
+    ///
+    /// Tail distribution: stream 0 (systematic) carries the three
+    /// encoder-1 tail systematic bits and the first encoder-2 tail
+    /// systematic bit; stream 1 (parity 1) the three encoder-1 tail
+    /// parities plus the second encoder-2 tail systematic bit; stream 2
+    /// (parity 2) the three encoder-2 tail parities plus the third
+    /// encoder-2 tail systematic bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "block size must be positive");
+        let d = stream_len(k);
+        // Sub-block interleave each stream with the standard 32-column
+        // permutation (dummy-padded); dummies are skipped when packing
+        // the circular buffer.
+        let interleaver = Interleaver::subblock(d);
+        let order: Vec<u32> = interleaver.permutation().to_vec();
+        let mut buffer = Vec::with_capacity(3 * d);
+        // v0 first …
+        for &idx in &order {
+            buffer.push((0u8, idx));
+        }
+        // … then v1 and v2 interlaced.
+        for &idx in order.iter().take(d) {
+            buffer.push((1u8, idx));
+            buffer.push((2u8, idx));
+        }
+        RateMatcher { k, buffer }
+    }
+
+    /// Turbo block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.k
+    }
+
+    /// Mother-code bits available before wrapping (`3·(k+4)`).
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Flattens a codeword into the three tail-augmented streams.
+    fn streams(&self, code: &TurboCodeword) -> [Vec<u8>; 3] {
+        let d = stream_len(self.k);
+        let mut s0 = Vec::with_capacity(d);
+        let mut s1 = Vec::with_capacity(d);
+        let mut s2 = Vec::with_capacity(d);
+        s0.extend_from_slice(&code.systematic);
+        s1.extend_from_slice(&code.parity1);
+        s2.extend_from_slice(&code.parity2);
+        s0.extend([code.tail1[0].0, code.tail1[1].0, code.tail1[2].0, code.tail2[0].0]);
+        s1.extend([code.tail1[0].1, code.tail1[1].1, code.tail1[2].1, code.tail2[1].0]);
+        s2.extend([code.tail2[0].1, code.tail2[1].1, code.tail2[2].0, code.tail2[2].1]);
+        [s0, s1, s2]
+    }
+
+    /// Produces exactly `e` transmitted bits for the codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword's block size differs from the matcher's or
+    /// `e == 0`.
+    pub fn match_bits(&self, code: &TurboCodeword, e: usize) -> Vec<u8> {
+        self.match_bits_rv(code, e, 0)
+    }
+
+    /// Circular-buffer start offset for a redundancy version (0..=3):
+    /// HARQ retransmissions read from different points so combining
+    /// recovers more of the mother code.
+    pub fn rv_offset(&self, rv: u8) -> usize {
+        (rv as usize % 4) * self.buffer.len() / 4
+    }
+
+    /// [`match_bits`](Self::match_bits) starting at redundancy version
+    /// `rv`'s buffer offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the codeword's block size differs from the matcher's or
+    /// `e == 0`.
+    pub fn match_bits_rv(&self, code: &TurboCodeword, e: usize, rv: u8) -> Vec<u8> {
+        assert_eq!(code.systematic.len(), self.k, "block size mismatch");
+        assert!(e > 0, "output length must be positive");
+        let streams = self.streams(code);
+        let k0 = self.rv_offset(rv);
+        (0..e)
+            .map(|j| {
+                let (s, i) = self.buffer[(k0 + j) % self.buffer.len()];
+                streams[s as usize][i as usize]
+            })
+            .collect()
+    }
+
+    /// Accumulates received LLRs back into mother-code positions:
+    /// repeated bits soft-combine (LLRs add), punctured bits stay 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs` is empty.
+    pub fn accumulate_llrs(&self, llrs: &[f32]) -> TurboLlrs {
+        self.accumulate_llrs_rv(&[(llrs, 0)])
+    }
+
+    /// Soft-combines one or more (LLR block, redundancy version)
+    /// transmissions into mother-code LLRs — the HARQ combining buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every block is empty.
+    pub fn accumulate_llrs_rv(&self, transmissions: &[(&[f32], u8)]) -> TurboLlrs {
+        assert!(
+            transmissions.iter().any(|(l, _)| !l.is_empty()),
+            "need at least one LLR"
+        );
+        let d = stream_len(self.k);
+        let mut acc = [vec![0f32; d], vec![0f32; d], vec![0f32; d]];
+        for &(llrs, rv) in transmissions {
+            let k0 = self.rv_offset(rv);
+            for (j, &l) in llrs.iter().enumerate() {
+                let (s, i) = self.buffer[(k0 + j) % self.buffer.len()];
+                acc[s as usize][i as usize] += l;
+            }
+        }
+        let k = self.k;
+        let tail1 = [
+            (acc[0][k], acc[1][k]),
+            (acc[0][k + 1], acc[1][k + 1]),
+            (acc[0][k + 2], acc[1][k + 2]),
+        ];
+        let tail2 = [
+            (acc[0][k + 3], acc[2][k]),
+            (acc[1][k + 3], acc[2][k + 1]),
+            (acc[2][k + 2], acc[2][k + 3]),
+        ];
+        TurboLlrs {
+            systematic: acc[0][..k].to_vec(),
+            parity1: acc[1][..k].to_vec(),
+            parity2: acc[2][..k].to_vec(),
+            tail1,
+            tail2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+    use crate::turbo::{TurboDecoder, TurboEncoder};
+
+    fn random_bits(k: usize, seed: u64) -> Vec<u8> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..k).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    fn llrs_from_bits(bits: &[u8], mag: f32) -> Vec<f32> {
+        bits.iter().map(|&b| if b == 0 { mag } else { -mag }).collect()
+    }
+
+    #[test]
+    fn buffer_covers_every_mother_bit_exactly_once() {
+        let rm = RateMatcher::new(64);
+        let mut seen = vec![[false; 3]; stream_len(64)];
+        for &(s, i) in &rm.buffer {
+            assert!(!seen[i as usize][s as usize], "duplicate ({s},{i})");
+            seen[i as usize][s as usize] = true;
+        }
+        assert!(seen.iter().all(|row| row.iter().all(|&b| b)));
+    }
+
+    #[test]
+    fn full_rate_round_trips() {
+        // E = 3(k+4): every mother bit transmitted exactly once.
+        let k = 128;
+        let bits = random_bits(k, 1);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let e = rm.buffer_len();
+        let tx = rm.match_bits(&code, e);
+        let turbo_llrs = rm.accumulate_llrs(&llrs_from_bits(&tx, 4.0));
+        let decoded = TurboDecoder::new(k, 4).decode(&turbo_llrs);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn punctured_code_still_decodes_cleanly() {
+        // Rate ~1/2: transmit only 2(k+4) of the 3(k+4) mother bits.
+        let k = 256;
+        let bits = random_bits(k, 2);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let e = 2 * stream_len(k);
+        let tx = rm.match_bits(&code, e);
+        assert_eq!(tx.len(), e);
+        let turbo_llrs = rm.accumulate_llrs(&llrs_from_bits(&tx, 4.0));
+        let decoded = TurboDecoder::new(k, 6).decode(&turbo_llrs);
+        assert_eq!(decoded, bits, "rate-1/2 puncturing must still decode");
+    }
+
+    #[test]
+    fn repetition_soft_combines() {
+        // E = 2 × buffer: every LLR doubles.
+        let k = 64;
+        let bits = random_bits(k, 3);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let once = rm.accumulate_llrs(&llrs_from_bits(&rm.match_bits(&code, rm.buffer_len()), 2.0));
+        let twice =
+            rm.accumulate_llrs(&llrs_from_bits(&rm.match_bits(&code, 2 * rm.buffer_len()), 2.0));
+        for (a, b) in once.systematic.iter().zip(&twice.systematic) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+        let decoded = TurboDecoder::new(k, 4).decode(&twice);
+        assert_eq!(decoded, bits);
+    }
+
+    #[test]
+    fn systematic_bits_survive_heavy_puncturing() {
+        // The circular buffer fronts the systematic stream, so even
+        // E ≈ k+4 keeps all systematic bits (pure rate-1 transmission).
+        let k = 104;
+        let bits = random_bits(k, 4);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let e = stream_len(k);
+        let turbo_llrs = rm.accumulate_llrs(&llrs_from_bits(&rm.match_bits(&code, e), 4.0));
+        let nonzero_sys = turbo_llrs.systematic.iter().filter(|&&l| l != 0.0).count();
+        assert_eq!(nonzero_sys, k, "all systematic bits must be transmitted");
+        // Hard decision on the systematic LLRs recovers the bits.
+        let hard: Vec<u8> = turbo_llrs.systematic.iter().map(|&l| (l < 0.0) as u8).collect();
+        assert_eq!(hard, bits);
+    }
+
+    #[test]
+    fn awkward_e_values_work() {
+        let k = 40;
+        let bits = random_bits(k, 5);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        for e in [k + 10, 97, 131, 3 * (k + 4) - 1, 3 * (k + 4) + 1] {
+            let tx = rm.match_bits(&code, e);
+            assert_eq!(tx.len(), e);
+            let _ = rm.accumulate_llrs(&llrs_from_bits(&tx, 1.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size mismatch")]
+    fn wrong_block_size_rejected() {
+        let code = TurboEncoder::new(40).encode(&random_bits(40, 6));
+        RateMatcher::new(64).match_bits(&code, 10);
+    }
+}
+
+#[cfg(test)]
+mod harq_tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+    use crate::turbo::{TurboDecoder, TurboEncoder};
+
+    fn noisy_llrs(bits: &[u8], sigma: f32, rng: &mut Xoshiro256) -> Vec<f32> {
+        bits.iter()
+            .map(|&b| {
+                let tx = if b == 0 { 1.0f32 } else { -1.0 };
+                let y = tx + sigma * rng.next_gaussian() as f32;
+                2.0 * y / (sigma * sigma)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rv_offsets_are_distinct_quarters() {
+        let rm = RateMatcher::new(128);
+        let offsets: Vec<usize> = (0..4).map(|rv| rm.rv_offset(rv)).collect();
+        assert_eq!(offsets[0], 0);
+        for w in offsets.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert_eq!(rm.rv_offset(4), rm.rv_offset(0), "rv wraps mod 4");
+    }
+
+    #[test]
+    fn different_rvs_transmit_different_bits() {
+        let k = 64;
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let e = k; // heavily punctured single transmission
+        let rv0 = rm.match_bits_rv(&code, e, 0);
+        let rv2 = rm.match_bits_rv(&code, e, 2);
+        assert_ne!(rv0, rv2, "redundancy versions must differ");
+    }
+
+    #[test]
+    fn harq_combining_rescues_failed_first_transmissions() {
+        // A punctured rate-1/2 first transmission through a noisy
+        // channel sometimes fails; whenever it does, combining a second
+        // transmission at rv 2 must rescue the block. Deterministic
+        // seeds; we require at least one genuine first-attempt failure
+        // across the sweep so the combining path is actually exercised.
+        let k = 512;
+        let sigma = 1.05f32;
+        let decoder = TurboDecoder::new(k, 8);
+        let rm = RateMatcher::new(k);
+        let e = (3 * (k + 4)) / 2; // rate ≈ 1/2 transmission
+        let mut first_failures = 0;
+        for seed in 30..38u64 {
+            let mut rng = Xoshiro256::seed_from_u64(seed);
+            let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let code = TurboEncoder::new(k).encode(&bits);
+            let tx1_bits = rm.match_bits_rv(&code, e, 0);
+            let tx1 = noisy_llrs(&tx1_bits, sigma, &mut rng);
+            let first_alone = decoder.decode(&rm.accumulate_llrs_rv(&[(&tx1, 0)]));
+            if first_alone == bits {
+                continue; // this channel realisation got through
+            }
+            first_failures += 1;
+            let tx2_bits = rm.match_bits_rv(&code, e, 2);
+            let tx2 = noisy_llrs(&tx2_bits, sigma, &mut rng);
+            let combined =
+                decoder.decode(&rm.accumulate_llrs_rv(&[(&tx1, 0), (&tx2, 2)]));
+            assert_eq!(combined, bits, "seed {seed}: HARQ combining must recover");
+        }
+        assert!(
+            first_failures >= 1,
+            "the sweep must contain at least one first-attempt failure"
+        );
+    }
+
+    #[test]
+    fn chase_combining_same_rv_also_helps() {
+        // Retransmitting the SAME rv doubles every received LLR.
+        let k = 64;
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        let e = rm.buffer_len();
+        let tx = rm.match_bits_rv(&code, e, 0);
+        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let once = rm.accumulate_llrs_rv(&[(&llrs, 0)]);
+        let twice = rm.accumulate_llrs_rv(&[(&llrs, 0), (&llrs, 0)]);
+        for (a, b) in once.systematic.iter().zip(&twice.systematic) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Transport-block code-block segmentation (TS 36.212 §5.1.2).
+//!
+//! The turbo code's internal interleaver supports blocks of at most 6144
+//! bits; larger transport blocks are split into `C` code blocks, each
+//! padded up to a supported QPP size, with a CRC-24B appended to every
+//! block when `C > 1` (the transport block itself carries CRC-24A from
+//! the previous stage). Filler bits pad the front of the first block.
+
+use crate::crc::CRC24B;
+use crate::turbo::{nearest_block_size, supported_block_sizes};
+
+/// Maximum turbo code block size `Z`.
+pub const MAX_BLOCK: usize = 6144;
+/// Per-code-block CRC bits when segmented.
+const BLOCK_CRC_BITS: usize = 24;
+
+/// The segmentation of one transport block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segmentation {
+    /// Code blocks, each of a tabulated QPP size, ready for turbo
+    /// encoding (filler + data [+ CRC-24B]).
+    pub blocks: Vec<Vec<u8>>,
+    /// Filler bits prepended to the first block.
+    pub filler: usize,
+}
+
+impl Segmentation {
+    /// Segments transport-block bits (which already include their
+    /// CRC-24A) into turbo code blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is empty.
+    pub fn segment(bits: &[u8]) -> Self {
+        assert!(!bits.is_empty(), "cannot segment an empty block");
+        let b = bits.len();
+        if b <= MAX_BLOCK {
+            // Single block, no per-block CRC; pad to a supported size.
+            let k = nearest_block_size(b);
+            let filler = k - b;
+            let mut block = vec![0u8; filler];
+            block.extend_from_slice(bits);
+            return Segmentation {
+                blocks: vec![block],
+                filler,
+            };
+        }
+        // C blocks, each carrying its own CRC-24B.
+        let c = b.div_ceil(MAX_BLOCK - BLOCK_CRC_BITS);
+        let b_prime = b + c * BLOCK_CRC_BITS;
+        // Uniform-ish per-block size: the smallest K with C·K ≥ B'.
+        let k_plus = supported_block_sizes()
+            .into_iter()
+            .find(|&k| c * k >= b_prime)
+            .unwrap_or(MAX_BLOCK);
+        let filler = c * k_plus - b_prime;
+        let payload_per_block = k_plus - BLOCK_CRC_BITS;
+        let mut blocks = Vec::with_capacity(c);
+        let mut cursor = 0usize;
+        for i in 0..c {
+            let mut block = Vec::with_capacity(k_plus);
+            if i == 0 {
+                block.extend(std::iter::repeat_n(0u8, filler));
+            }
+            let take = payload_per_block - if i == 0 { filler } else { 0 };
+            let end = (cursor + take).min(b);
+            block.extend_from_slice(&bits[cursor..end]);
+            cursor = end;
+            debug_assert_eq!(block.len(), payload_per_block);
+            CRC24B.append_bits(&mut block);
+            debug_assert_eq!(block.len(), k_plus);
+            blocks.push(block);
+        }
+        debug_assert_eq!(cursor, b, "all bits must be consumed");
+        Segmentation { blocks, filler }
+    }
+
+    /// Number of code blocks `C`.
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The (uniform) code-block size `K`.
+    pub fn block_size(&self) -> usize {
+        self.blocks.first().map_or(0, |b| b.len())
+    }
+
+    /// Reassembles decoded code blocks into the transport block,
+    /// verifying per-block CRCs when segmented.
+    ///
+    /// Returns `(bits, all_block_crcs_ok)`; the transport-block CRC-24A
+    /// is the caller's to check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` disagrees with this segmentation's shape.
+    pub fn desegment(&self, decoded: &[Vec<u8>]) -> (Vec<u8>, bool) {
+        assert_eq!(decoded.len(), self.n_blocks(), "block count mismatch");
+        for d in decoded {
+            assert_eq!(d.len(), self.block_size(), "block size mismatch");
+        }
+        if self.n_blocks() == 1 {
+            return (decoded[0][self.filler..].to_vec(), true);
+        }
+        let mut ok = true;
+        let mut out = Vec::new();
+        for (i, d) in decoded.iter().enumerate() {
+            ok &= CRC24B.check_bits(d);
+            let start = if i == 0 { self.filler } else { 0 };
+            out.extend_from_slice(&d[start..d.len() - BLOCK_CRC_BITS]);
+        }
+        (out, ok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+    use crate::turbo::{TurboDecoder, TurboEncoder};
+
+    fn random_bits(n: usize, seed: u64) -> Vec<u8> {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        (0..n).map(|_| (rng.next_u64() & 1) as u8).collect()
+    }
+
+    #[test]
+    fn small_block_stays_single() {
+        let bits = random_bits(1000, 1);
+        let seg = Segmentation::segment(&bits);
+        assert_eq!(seg.n_blocks(), 1);
+        assert_eq!(seg.block_size(), 1024);
+        assert_eq!(seg.filler, 24);
+        let (out, ok) = seg.desegment(&seg.blocks);
+        assert!(ok);
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn exact_table_size_needs_no_filler() {
+        let bits = random_bits(512, 2);
+        let seg = Segmentation::segment(&bits);
+        assert_eq!(seg.filler, 0);
+        assert_eq!(seg.block_size(), 512);
+    }
+
+    #[test]
+    fn large_block_splits_with_per_block_crcs() {
+        let bits = random_bits(20_000, 3);
+        let seg = Segmentation::segment(&bits);
+        assert!(seg.n_blocks() >= 4, "C = {}", seg.n_blocks());
+        assert!(seg.block_size() <= MAX_BLOCK);
+        // Round trip.
+        let (out, ok) = seg.desegment(&seg.blocks);
+        assert!(ok, "freshly segmented blocks must pass their CRCs");
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn corrupted_block_fails_its_crc() {
+        let bits = random_bits(15_000, 4);
+        let seg = Segmentation::segment(&bits);
+        let mut tampered = seg.blocks.clone();
+        let mid = tampered[1].len() / 2;
+        tampered[1][mid] ^= 1;
+        let (_, ok) = seg.desegment(&tampered);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn segmentation_covers_a_size_sweep() {
+        for n in [40usize, 100, 6144, 6145, 12_000, 50_000, 100_000] {
+            let bits = random_bits(n, n as u64);
+            let seg = Segmentation::segment(&bits);
+            let (out, ok) = seg.desegment(&seg.blocks);
+            assert!(ok, "n={n}");
+            assert_eq!(out, bits, "n={n}");
+            for b in &seg.blocks {
+                assert!(b.len() <= MAX_BLOCK, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_turbo_over_segmentation() {
+        // Segment → turbo encode each block → noiseless LLRs → decode →
+        // desegment must reproduce the transport block.
+        let bits = random_bits(13_000, 9);
+        let seg = Segmentation::segment(&bits);
+        let decoded: Vec<Vec<u8>> = seg
+            .blocks
+            .iter()
+            .map(|block| {
+                let k = block.len();
+                let code = TurboEncoder::new(k).encode(block);
+                TurboDecoder::new(k, 3).decode(&code.to_llrs(5.0))
+            })
+            .collect();
+        let (out, ok) = seg.desegment(&decoded);
+        assert!(ok);
+        assert_eq!(out, bits);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_input_rejected() {
+        Segmentation::segment(&[]);
+    }
+}

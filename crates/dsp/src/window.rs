@@ -1,0 +1,155 @@
+//! Time-domain windowing for channel-estimation denoising.
+//!
+//! After the matched filter and IFFT, the channel impulse response is
+//! concentrated in the first few time-domain taps; everything beyond the
+//! cyclic-prefix span is noise. The estimator therefore applies a window
+//! that keeps the leading taps (and, because the response of a slightly
+//! mistimed user can wrap, a small tail) and zeroes the rest, then returns
+//! to the frequency domain. This is the `window` kernel of Fig. 3.
+
+use crate::complex::Complex32;
+
+/// Parameters of the rectangular channel-truncation window.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChannelWindow {
+    /// Number of leading taps kept (main channel energy).
+    pub head: usize,
+    /// Number of trailing taps kept (wrap-around of early energy).
+    pub tail: usize,
+}
+
+impl ChannelWindow {
+    /// A window keeping `head` leading and `tail` trailing taps.
+    pub const fn new(head: usize, tail: usize) -> Self {
+        ChannelWindow { head, tail }
+    }
+
+    /// The default used by the benchmark: keep 1/8 of the taps at the head
+    /// and 1/32 at the tail, matching a normal-CP delay-spread budget.
+    pub fn for_len(n: usize) -> Self {
+        ChannelWindow {
+            head: (n / 8).max(1),
+            tail: n / 32,
+        }
+    }
+
+    /// Applies the window in place: samples outside the kept regions are
+    /// zeroed.
+    ///
+    /// If `head + tail >= data.len()` the window degenerates to a no-op
+    /// (everything is kept).
+    pub fn apply(&self, data: &mut [Complex32]) {
+        let n = data.len();
+        if self.head + self.tail >= n {
+            return;
+        }
+        for z in data[self.head..n - self.tail].iter_mut() {
+            *z = Complex32::ZERO;
+        }
+    }
+
+    /// Fraction of taps kept, in `(0, 1]`.
+    pub fn kept_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 1.0;
+        }
+        ((self.head + self.tail).min(n)) as f64 / n as f64
+    }
+}
+
+/// A raised-cosine (Hann) taper of length `n`, used by tests and available
+/// for experiments with smoother windows.
+pub fn hann(n: usize) -> Vec<f32> {
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    (0..n)
+        .map(|i| {
+            let x = std::f32::consts::TAU * i as f32 / (n - 1) as f32;
+            0.5 * (1.0 - x.cos())
+        })
+        .collect()
+}
+
+/// Multiplies a complex block by a real taper, in place.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn apply_taper(data: &mut [Complex32], taper: &[f32]) {
+    assert_eq!(data.len(), taper.len(), "taper length mismatch");
+    for (z, &w) in data.iter_mut().zip(taper) {
+        *z = z.scale(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Vec<Complex32> {
+        (0..n).map(|i| Complex32::new(1.0 + i as f32, -1.0)).collect()
+    }
+
+    #[test]
+    fn keeps_head_and_tail() {
+        let mut data = block(16);
+        ChannelWindow::new(2, 1).apply(&mut data);
+        assert_ne!(data[0], Complex32::ZERO);
+        assert_ne!(data[1], Complex32::ZERO);
+        for z in &data[2..15] {
+            assert_eq!(*z, Complex32::ZERO);
+        }
+        assert_ne!(data[15], Complex32::ZERO);
+    }
+
+    #[test]
+    fn degenerate_window_is_noop() {
+        let mut data = block(4);
+        let orig = data.clone();
+        ChannelWindow::new(3, 2).apply(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn default_window_scales_with_length() {
+        let w = ChannelWindow::for_len(256);
+        assert_eq!(w.head, 32);
+        assert_eq!(w.tail, 8);
+        let tiny = ChannelWindow::for_len(4);
+        assert_eq!(tiny.head, 1);
+    }
+
+    #[test]
+    fn kept_fraction_bounds() {
+        let w = ChannelWindow::new(2, 2);
+        assert!((w.kept_fraction(16) - 0.25).abs() < 1e-12);
+        assert_eq!(w.kept_fraction(0), 1.0);
+        assert_eq!(ChannelWindow::new(8, 8).kept_fraction(4), 1.0);
+    }
+
+    #[test]
+    fn hann_endpoints_and_peak() {
+        let w = hann(65);
+        assert!(w[0].abs() < 1e-6);
+        assert!(w[64].abs() < 1e-6);
+        assert!((w[32] - 1.0).abs() < 1e-6);
+        assert_eq!(hann(1), vec![1.0]);
+        assert!(hann(0).is_empty());
+    }
+
+    #[test]
+    fn taper_multiplies() {
+        let mut data = block(3);
+        apply_taper(&mut data, &[0.0, 1.0, 2.0]);
+        assert_eq!(data[0], Complex32::ZERO);
+        assert_eq!(data[1], Complex32::new(2.0, -1.0));
+        assert_eq!(data[2], Complex32::new(6.0, -2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn taper_length_mismatch_panics() {
+        apply_taper(&mut block(3), &[1.0; 2]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Zadoff–Chu reference (DM-RS) sequences.
+//!
+//! LTE uplink demodulation reference symbols are built from Zadoff–Chu
+//! sequences: constant-amplitude, zero-autocorrelation (CAZAC) sequences
+//! whose DFT is again CAZAC. The channel estimator's matched filter
+//! multiplies the received reference symbol by the conjugate of the known
+//! sequence — flat amplitude makes that multiplication distortion-free.
+//!
+//! Following TS 36.211 §5.5.1, a base sequence of length `12·N_PRB` is
+//! generated from a ZC sequence of the largest prime length `N_zc` smaller
+//! than the allocation, cyclically extended; distinct users/layers use
+//! cyclic time shifts which become phase ramps in the frequency domain.
+
+use crate::complex::Complex32;
+
+/// Largest prime strictly smaller than `n` (or `n` itself if `n` is prime
+/// and `allow_equal`), used for the ZC base length.
+fn largest_prime_at_most(n: usize) -> usize {
+    assert!(n >= 2, "no prime below 2");
+    let mut cand = n;
+    loop {
+        if is_prime(cand) {
+            return cand;
+        }
+        cand -= 1;
+    }
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// A frequency-domain DM-RS reference sequence for one allocation.
+///
+/// # Example
+///
+/// ```
+/// use lte_dsp::zadoff_chu::ReferenceSequence;
+///
+/// // 4 PRBs → 48 subcarriers, root index 5.
+/// let seq = ReferenceSequence::new(48, 5);
+/// assert_eq!(seq.len(), 48);
+/// // CAZAC: every sample has unit magnitude.
+/// for z in seq.samples() {
+///     assert!((z.abs() - 1.0).abs() < 1e-5);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReferenceSequence {
+    samples: Vec<Complex32>,
+    root: usize,
+}
+
+impl ReferenceSequence {
+    /// Builds a cyclically-extended ZC base sequence of `len` subcarriers
+    /// with root `u` (reduced modulo the underlying prime length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 3` (an LTE allocation is at least one PRB, i.e. 12
+    /// subcarriers; 3 is the mathematical minimum here).
+    pub fn new(len: usize, root: usize) -> Self {
+        assert!(len >= 3, "reference sequence needs at least 3 subcarriers");
+        let n_zc = largest_prime_at_most(len);
+        let u = 1 + root % (n_zc - 1); // valid ZC roots are 1..n_zc-1
+        let mut samples = Vec::with_capacity(len);
+        for n in 0..len {
+            let m = n % n_zc;
+            // x_u(m) = exp(-iπ u m (m+1) / N_zc); compute the phase with
+            // integer arithmetic modulo 2·N_zc to keep precision at large m.
+            let q = (u * m % (2 * n_zc)) * ((m + 1) % (2 * n_zc)) % (2 * n_zc);
+            let phase = -(std::f64::consts::PI) * q as f64 / n_zc as f64;
+            samples.push(Complex32::new(phase.cos() as f32, phase.sin() as f32));
+        }
+        ReferenceSequence { samples, root: u }
+    }
+
+    /// Applies a cyclic time shift of `alpha` (radians per subcarrier): a
+    /// frequency-domain phase ramp distinguishing users/layers that share a
+    /// base sequence.
+    pub fn with_cyclic_shift(&self, alpha: f32) -> ReferenceSequence {
+        let samples = self
+            .samples
+            .iter()
+            .enumerate()
+            .map(|(n, z)| *z * Complex32::cis(alpha * n as f32))
+            .collect();
+        ReferenceSequence {
+            samples,
+            root: self.root,
+        }
+    }
+
+    /// The frequency-domain samples.
+    pub fn samples(&self) -> &[Complex32] {
+        &self.samples
+    }
+
+    /// Sequence length in subcarriers.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the sequence is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The effective ZC root in use.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+}
+
+/// The cyclic-shift angle (radians per subcarrier) for layer `layer` of
+/// `n_layers`.
+///
+/// A frequency-domain ramp of `α` radians/subcarrier is a time-domain
+/// cyclic shift of `α·N/2π` samples; spreading layers evenly
+/// (`α = 2π·layer/n_layers`) places each layer's channel response
+/// `N/n_layers` samples apart, which is what lets the estimator's
+/// time-domain window separate them.
+pub fn layer_cyclic_shift(layer: usize, n_layers: usize) -> f32 {
+    assert!(n_layers > 0 && layer < n_layers, "layer out of range");
+    std::f32::consts::TAU * layer as f32 / n_layers as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes() {
+        assert!(is_prime(2));
+        assert!(is_prime(47));
+        assert!(!is_prime(1));
+        assert!(!is_prime(49));
+        assert_eq!(largest_prime_at_most(12), 11);
+        assert_eq!(largest_prime_at_most(48), 47);
+        assert_eq!(largest_prime_at_most(13), 13);
+    }
+
+    #[test]
+    fn unit_magnitude_everywhere() {
+        for len in [12, 24, 48, 120, 300] {
+            let seq = ReferenceSequence::new(len, 3);
+            for z in seq.samples() {
+                assert!((z.abs() - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_give_distinct_sequences() {
+        let a = ReferenceSequence::new(36, 1);
+        let b = ReferenceSequence::new(36, 2);
+        assert_ne!(a.samples()[1], b.samples()[1]);
+    }
+
+    #[test]
+    fn low_cross_correlation_between_roots() {
+        let n = 132; // 11 PRBs → prime 131
+        let a = ReferenceSequence::new(n, 1);
+        let b = ReferenceSequence::new(n, 2);
+        let cross: Complex32 = a
+            .samples()
+            .iter()
+            .zip(b.samples())
+            .map(|(x, y)| *x * y.conj())
+            .sum();
+        // Ideal ZC cross-correlation is √N_zc ≈ 11.4 ≪ N.
+        assert!(
+            cross.abs() < 0.25 * n as f32,
+            "cross-correlation too high: {}",
+            cross.abs()
+        );
+    }
+
+    #[test]
+    fn autocorrelation_peaks_at_zero_lag() {
+        let n = 48;
+        let seq = ReferenceSequence::new(n, 5);
+        let zero_lag: Complex32 = seq
+            .samples()
+            .iter()
+            .map(|z| *z * z.conj())
+            .sum();
+        assert!((zero_lag.re - n as f32).abs() < 1e-3);
+        // Nonzero cyclic lag within the underlying prime span is small.
+        let lag = 7;
+        let shifted: Complex32 = (0..n)
+            .map(|i| seq.samples()[i] * seq.samples()[(i + lag) % n].conj())
+            .sum();
+        assert!(shifted.abs() < 0.35 * n as f32);
+    }
+
+    #[test]
+    fn cyclic_shift_preserves_magnitude_and_changes_phase() {
+        let seq = ReferenceSequence::new(24, 4);
+        let shifted = seq.with_cyclic_shift(0.3);
+        for (a, b) in seq.samples().iter().zip(shifted.samples()) {
+            assert!((a.abs() - b.abs()).abs() < 1e-6);
+        }
+        assert_ne!(seq.samples()[5], shifted.samples()[5]);
+        assert_eq!(seq.samples()[0], shifted.samples()[0]); // ramp starts at 0
+    }
+
+    #[test]
+    fn layer_shifts_are_distinct() {
+        let shifts: Vec<f32> = (0..4).map(|l| layer_cyclic_shift(l, 4)).collect();
+        for i in 0..4 {
+            for j in i + 1..4 {
+                assert!((shifts[i] - shifts[j]).abs() > 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn layer_shift_bounds() {
+        layer_cyclic_shift(4, 4);
+    }
+}

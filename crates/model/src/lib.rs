@@ -1,0 +1,454 @@
+//! Subframe input parameter models (§IV-B2 and §V-A of the paper).
+//!
+//! The benchmark's dynamic behaviour comes entirely from the per-subframe
+//! input parameters: the number of users, each user's PRB allocation,
+//! layer count and modulation. This crate implements:
+//!
+//! * [`RampModel`] — the paper's evaluation model: users and PRBs drawn
+//!   per the Fig. 6 pseudocode, layers and modulation per Fig. 10, with
+//!   the layer/modulation probability ramped 0.6 % → 100 % → 0.6 % over
+//!   2 × 34 000 subframes ("the input parameter model … tries to effect
+//!   a high variation with rapid changes … while still achieving a
+//!   continuous trend");
+//! * [`SteadyModel`] — the §VI-A calibration model: one user with a fixed
+//!   configuration for every subframe, used to measure the activity/PRB
+//!   correlation of Fig. 11;
+//! * [`trace`] — per-subframe statistics reproducing Figs. 7, 8 and 9.
+
+pub mod trace;
+
+use lte_dsp::{Modulation, Xoshiro256};
+use lte_phy::params::{SubframeConfig, UserConfig, MAX_PRB, MAX_USERS, MIN_USER_PRB};
+
+/// Total subframes in the paper's evaluation run.
+pub const EVALUATION_SUBFRAMES: usize = 68_000;
+/// Subframes between probability adjustments (Fig. 10's
+/// `current_probability` changes "every 200th subframe").
+pub const PROB_STEP_SUBFRAMES: usize = 200;
+/// Subframes over which the probability ramps from minimum to maximum.
+pub const RAMP_SUBFRAMES: usize = 34_000;
+/// The minimum layer/modulation probability (0.6 %).
+pub const PROB_MIN: f64 = 0.006;
+
+/// A source of per-subframe input parameters — the paper's
+/// `uplink_parameters(parameter_model*)` interface.
+pub trait ParameterModel {
+    /// Produces the next subframe's users.
+    fn next_subframe(&mut self) -> SubframeConfig;
+
+    /// Generates `n` consecutive subframes.
+    fn subframes(&mut self, n: usize) -> Vec<SubframeConfig> {
+        (0..n).map(|_| self.next_subframe()).collect()
+    }
+}
+
+/// The layer/modulation probability at a given subframe index: linear
+/// ramp up over the first [`RAMP_SUBFRAMES`], then back down, quantised
+/// to [`PROB_STEP_SUBFRAMES`] steps.
+pub fn current_probability(subframe: usize) -> f64 {
+    let step = (subframe / PROB_STEP_SUBFRAMES) * PROB_STEP_SUBFRAMES;
+    let pos = if step < RAMP_SUBFRAMES {
+        step as f64 / RAMP_SUBFRAMES as f64
+    } else {
+        let down = (step - RAMP_SUBFRAMES).min(RAMP_SUBFRAMES);
+        1.0 - down as f64 / RAMP_SUBFRAMES as f64
+    };
+    PROB_MIN + (1.0 - PROB_MIN) * pos
+}
+
+/// Draws one user's PRB count per the Fig. 6 pseudocode: a uniform draw
+/// over `MAX_PRB`, divided by 8/4/2 with probability 0.4/0.2/0.3 "to
+/// create a larger spread", clamped to `[MIN_USER_PRB, remaining]`.
+fn draw_user_prb(rng: &mut Xoshiro256, remaining: usize) -> usize {
+    let mut user_prb = (MAX_PRB as f64 * rng.next_f64()) as usize;
+    let distribution = rng.next_f64();
+    if distribution < 0.4 {
+        user_prb /= 8;
+    } else if distribution < 0.6 {
+        user_prb /= 4;
+    } else if distribution < 0.9 {
+        user_prb /= 2;
+    }
+    user_prb.clamp(MIN_USER_PRB, remaining)
+}
+
+/// The paper's evaluation model (Fig. 6 + Fig. 10).
+#[derive(Clone, Debug)]
+pub struct RampModel {
+    rng: Xoshiro256,
+    subframe: usize,
+}
+
+impl RampModel {
+    /// Creates the model with a deterministic seed — the
+    /// `init_parameter_model` step.
+    pub fn new(seed: u64) -> Self {
+        RampModel {
+            rng: Xoshiro256::seed_from_u64(seed),
+            subframe: 0,
+        }
+    }
+
+    /// The current subframe index (subframes generated so far).
+    pub fn subframe(&self) -> usize {
+        self.subframe
+    }
+
+    /// Skips ahead to an absolute subframe index without consuming
+    /// random draws (useful for sampling a region of the ramp).
+    pub fn seek(&mut self, subframe: usize) {
+        self.subframe = subframe;
+    }
+
+    /// Draws one user's layer count per the Fig. 10 pseudocode.
+    pub(crate) fn draw_layers(rng: &mut Xoshiro256, prob: f64) -> usize {
+        let mut layers = 1;
+        for _ in 0..3 {
+            if prob > rng.next_f64() {
+                layers += 1;
+            }
+        }
+        layers
+    }
+
+    /// Draws one user's modulation per the Fig. 10 pseudocode.
+    pub(crate) fn draw_modulation(rng: &mut Xoshiro256, prob: f64) -> Modulation {
+        if prob > rng.next_f64() {
+            if prob > rng.next_f64() {
+                Modulation::Qam64
+            } else {
+                Modulation::Qam16
+            }
+        } else {
+            Modulation::Qpsk
+        }
+    }
+}
+
+impl ParameterModel for RampModel {
+    fn next_subframe(&mut self) -> SubframeConfig {
+        let prob = current_probability(self.subframe);
+        self.subframe += 1;
+        let mut remaining = MAX_PRB;
+        let mut users = Vec::new();
+        // Fig. 6: while nmbUsers < MAX_USERS and nmbPRB > 0.
+        while users.len() < MAX_USERS && remaining >= MIN_USER_PRB {
+            let user_prb = draw_user_prb(&mut self.rng, remaining);
+            let layers = Self::draw_layers(&mut self.rng, prob);
+            let modulation = Self::draw_modulation(&mut self.rng, prob);
+            users.push(UserConfig::new(user_prb, layers, modulation));
+            remaining -= user_prb;
+        }
+        SubframeConfig::new(users)
+    }
+}
+
+/// The §VI-A calibration model: a single user with a fixed configuration
+/// in every subframe, creating the steady state used to measure the
+/// activity/parameter correlation.
+#[derive(Clone, Debug)]
+pub struct SteadyModel {
+    user: UserConfig,
+}
+
+impl SteadyModel {
+    /// A steady single-user load.
+    pub fn new(user: UserConfig) -> Self {
+        SteadyModel { user }
+    }
+
+    /// The fixed user configuration.
+    pub fn user(&self) -> UserConfig {
+        self.user
+    }
+}
+
+impl ParameterModel for SteadyModel {
+    fn next_subframe(&mut self) -> SubframeConfig {
+        SubframeConfig::new(vec![self.user])
+    }
+}
+
+/// An empty-load model (no users scheduled) — the benchmark's idle case.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleModel;
+
+impl ParameterModel for IdleModel {
+    fn next_subframe(&mut self) -> SubframeConfig {
+        SubframeConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_schedule_endpoints() {
+        assert!((current_probability(0) - PROB_MIN).abs() < 1e-9);
+        assert!((current_probability(RAMP_SUBFRAMES) - 1.0).abs() < 1e-9);
+        assert!((current_probability(2 * RAMP_SUBFRAMES) - PROB_MIN).abs() < 1e-9);
+        // Midpoint of the up-ramp ≈ 50 %.
+        let mid = current_probability(RAMP_SUBFRAMES / 2);
+        assert!((mid - 0.503).abs() < 0.01, "{mid}");
+    }
+
+    #[test]
+    fn probability_steps_every_200_subframes() {
+        assert_eq!(current_probability(0), current_probability(199));
+        assert!(current_probability(200) > current_probability(199));
+    }
+
+    #[test]
+    fn ramp_is_symmetric() {
+        for sf in (0..RAMP_SUBFRAMES).step_by(1000) {
+            let up = current_probability(sf);
+            let down = current_probability(2 * RAMP_SUBFRAMES - sf);
+            assert!((up - down).abs() < 1e-9, "sf={sf}: {up} vs {down}");
+        }
+    }
+
+    #[test]
+    fn subframes_respect_fig6_invariants() {
+        let mut model = RampModel::new(1);
+        for _ in 0..2_000 {
+            let sf = model.next_subframe();
+            assert!(sf.n_users() >= 1 && sf.n_users() <= MAX_USERS);
+            assert!(sf.total_prbs() <= MAX_PRB, "total {}", sf.total_prbs());
+            for u in &sf.users {
+                assert!(u.prbs >= MIN_USER_PRB);
+                assert!((1..=4).contains(&u.layers));
+            }
+        }
+    }
+
+    #[test]
+    fn user_count_varies_rapidly() {
+        // Fig. 7: "the number of users varies constantly and rapidly".
+        let mut model = RampModel::new(2);
+        let counts: Vec<usize> = (0..500).map(|_| model.next_subframe().n_users()).collect();
+        let distinct: std::collections::HashSet<_> = counts.iter().collect();
+        assert!(distinct.len() >= 6, "only {} distinct counts", distinct.len());
+        let changes = counts.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(changes > 250, "only {changes} changes in 500 subframes");
+    }
+
+    #[test]
+    fn prb_spread_is_large() {
+        // Fig. 8: max-per-user ranges widely; minimum can be 2.
+        let mut model = RampModel::new(3);
+        let mut max_seen = 0;
+        let mut min_seen = usize::MAX;
+        for _ in 0..5_000 {
+            let sf = model.next_subframe();
+            for u in &sf.users {
+                max_seen = max_seen.max(u.prbs);
+                min_seen = min_seen.min(u.prbs);
+            }
+        }
+        assert!(max_seen >= 150, "max {max_seen}");
+        assert_eq!(min_seen, MIN_USER_PRB);
+    }
+
+    #[test]
+    fn layers_follow_the_ramp() {
+        // Early subframes: almost all single-layer. At the peak: almost
+        // all four layers (Fig. 9).
+        let mut model = RampModel::new(4);
+        let early: Vec<SubframeConfig> = model.subframes(1_000);
+        let early_multi = early
+            .iter()
+            .flat_map(|s| &s.users)
+            .filter(|u| u.layers > 1)
+            .count();
+        let early_total = early.iter().map(|s| s.n_users()).sum::<usize>();
+        assert!(
+            (early_multi as f64) < 0.05 * early_total as f64,
+            "{early_multi}/{early_total} multi-layer early"
+        );
+        // Jump the model to the peak; stay within one 200-subframe step
+        // so the probability is exactly 1.0 throughout.
+        let mut peak_model = RampModel::new(5);
+        peak_model.seek(RAMP_SUBFRAMES);
+        let peak: Vec<SubframeConfig> = peak_model.subframes(PROB_STEP_SUBFRAMES);
+        let peak_four = peak
+            .iter()
+            .flat_map(|s| &s.users)
+            .filter(|u| u.layers == 4 && u.modulation == Modulation::Qam64)
+            .count();
+        let peak_total = peak.iter().map(|s| s.n_users()).sum::<usize>();
+        assert_eq!(peak_four, peak_total, "at prob=1.0 every user is 4L/64QAM");
+    }
+
+    #[test]
+    fn modulation_mix_at_half_probability() {
+        // At prob p: P(QPSK)=1−p, P(16QAM)=p(1−p), P(64QAM)=p².
+        // Re-seek to the half-probability point before every batch so the
+        // whole sample sees prob ≈ 0.5.
+        let mut model = RampModel::new(6);
+        let mut users: Vec<UserConfig> = Vec::new();
+        for _ in 0..20 {
+            model.seek(RAMP_SUBFRAMES / 2); // prob ≈ 0.5
+            users.extend(
+                model
+                    .subframes(PROB_STEP_SUBFRAMES)
+                    .iter()
+                    .flat_map(|s| s.users.clone()),
+            );
+        }
+        let n = users.len() as f64;
+        let frac = |m: Modulation| users.iter().filter(|u| u.modulation == m).count() as f64 / n;
+        assert!((frac(Modulation::Qpsk) - 0.5).abs() < 0.05);
+        assert!((frac(Modulation::Qam16) - 0.25).abs() < 0.05);
+        assert!((frac(Modulation::Qam64) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: Vec<SubframeConfig> = RampModel::new(9).subframes(100);
+        let b: Vec<SubframeConfig> = RampModel::new(9).subframes(100);
+        assert_eq!(a, b);
+        let c: Vec<SubframeConfig> = RampModel::new(10).subframes(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn steady_model_is_constant() {
+        let user = UserConfig::new(50, 2, Modulation::Qam16);
+        let mut model = SteadyModel::new(user);
+        for _ in 0..10 {
+            let sf = model.next_subframe();
+            assert_eq!(sf.users, vec![user]);
+        }
+        assert_eq!(model.user(), user);
+    }
+
+    #[test]
+    fn idle_model_schedules_nobody() {
+        assert_eq!(IdleModel.next_subframe().n_users(), 0);
+    }
+}
+
+/// A compressed diurnal (24-hour) load model — the paper's §VIII remarks
+/// that real base stations average ≈ 25 % load with long low-load
+/// periods (nights), and that the proposed technique "would show even
+/// greater benefits for a more realistic use case". This model scales
+/// the Fig. 6 user generator by a day-shaped envelope so that claim can
+/// be tested: load rises through the morning, peaks in the evening, and
+/// drops to near-idle at night.
+#[derive(Clone, Debug)]
+pub struct DiurnalModel {
+    rng: Xoshiro256,
+    subframe: usize,
+    /// Subframes representing one full day.
+    day_subframes: usize,
+    /// Peak layer/modulation probability at the busiest hour.
+    peak_prob: f64,
+}
+
+impl DiurnalModel {
+    /// Creates a diurnal model compressing one day into `day_subframes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `day_subframes == 0`.
+    pub fn new(seed: u64, day_subframes: usize) -> Self {
+        assert!(day_subframes > 0, "day length must be positive");
+        DiurnalModel {
+            rng: Xoshiro256::seed_from_u64(seed),
+            subframe: 0,
+            day_subframes,
+            peak_prob: 0.9,
+        }
+    }
+
+    /// The load envelope in `[0, 1]` at a fraction `t` of the day
+    /// (`t = 0` is 04:00, the quietest hour): a raised cosine with a
+    /// long night floor.
+    pub fn envelope(t: f64) -> f64 {
+        let t = t.rem_euclid(1.0);
+        // Quiet 04:00–07:00 (first eighth), busy evening peak around
+        // t ≈ 0.65, floor of 5 %.
+        let base = 0.5 + 0.5 * (std::f64::consts::TAU * (t - 0.65)).cos();
+        (0.05 + 0.95 * base.powi(2)).min(1.0)
+    }
+
+    /// Mean of the envelope over a day (≈ 0.4 before user-count capping;
+    /// effective processed load lands near the paper's 25 %).
+    pub fn mean_envelope() -> f64 {
+        let n = 1000;
+        (0..n).map(|i| Self::envelope(i as f64 / n as f64)).sum::<f64>() / n as f64
+    }
+}
+
+impl ParameterModel for DiurnalModel {
+    fn next_subframe(&mut self) -> SubframeConfig {
+        let t = self.subframe as f64 / self.day_subframes as f64;
+        self.subframe += 1;
+        let envelope = Self::envelope(t);
+        let prob = PROB_MIN + (self.peak_prob - PROB_MIN) * envelope;
+        // Scale the schedulable resources by the envelope: fewer users
+        // and fewer PRBs in quiet hours.
+        let budget = (MAX_PRB as f64 * envelope) as usize;
+        let max_users = ((MAX_USERS as f64 * envelope).ceil() as usize).min(MAX_USERS);
+        let mut remaining = budget;
+        let mut users = Vec::new();
+        while users.len() < max_users && remaining >= MIN_USER_PRB {
+            let user_prb = draw_user_prb(&mut self.rng, remaining);
+            let layers = RampModel::draw_layers(&mut self.rng, prob);
+            let modulation = RampModel::draw_modulation(&mut self.rng, prob);
+            users.push(UserConfig::new(user_prb, layers, modulation));
+            remaining -= user_prb;
+        }
+        SubframeConfig::new(users)
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+
+    #[test]
+    fn envelope_shape() {
+        // Night (t=0) is quiet; evening peak is busy.
+        assert!(DiurnalModel::envelope(0.0) < 0.1);
+        assert!(DiurnalModel::envelope(0.65) > 0.9);
+        // Periodic.
+        assert!((DiurnalModel::envelope(0.3) - DiurnalModel::envelope(1.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_envelope_is_moderate() {
+        let m = DiurnalModel::mean_envelope();
+        assert!((0.2..=0.5).contains(&m), "mean envelope {m}");
+    }
+
+    #[test]
+    fn quiet_hours_schedule_little() {
+        let mut model = DiurnalModel::new(1, 10_000);
+        // First 10 % of the day is near the night floor.
+        let quiet: Vec<SubframeConfig> = model.subframes(1_000);
+        let quiet_prbs: f64 = quiet.iter().map(|s| s.total_prbs() as f64).sum::<f64>()
+            / quiet.len() as f64;
+        // Jump to the evening peak.
+        let mut busy_model = DiurnalModel::new(1, 10_000);
+        busy_model.subframe = 6_500;
+        let busy: Vec<SubframeConfig> = busy_model.subframes(1_000);
+        let busy_prbs: f64 =
+            busy.iter().map(|s| s.total_prbs() as f64).sum::<f64>() / busy.len() as f64;
+        assert!(
+            busy_prbs > 4.0 * quiet_prbs,
+            "evening {busy_prbs:.0} PRBs !≫ night {quiet_prbs:.0}"
+        );
+    }
+
+    #[test]
+    fn diurnal_subframes_respect_invariants() {
+        let mut model = DiurnalModel::new(2, 5_000);
+        for _ in 0..2_000 {
+            let sf = model.next_subframe();
+            assert!(sf.total_prbs() <= MAX_PRB);
+            assert!(sf.n_users() <= MAX_USERS);
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-subframe trace statistics — the data behind Figs. 7, 8 and 9.
+//!
+//! The paper plots, for every 25th of 68 000 subframes: the number of
+//! users (Fig. 7), the total/max/min PRBs (Fig. 8), and the max/min layer
+//! counts (Fig. 9). [`SubframeStats`] captures those quantities for one
+//! subframe; [`Trace`] aggregates a run.
+
+use lte_phy::params::SubframeConfig;
+use serde::{Deserialize, Serialize};
+
+/// The plotted quantities for one subframe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubframeStats {
+    /// Subframe index.
+    pub subframe: usize,
+    /// Scheduled users (Fig. 7).
+    pub users: usize,
+    /// Total PRBs allocated (Fig. 8 "Total").
+    pub total_prbs: usize,
+    /// Largest single-user allocation (Fig. 8 "Max"); 0 if no users.
+    pub max_prbs: usize,
+    /// Smallest single-user allocation (Fig. 8 "Min"); 0 if no users.
+    pub min_prbs: usize,
+    /// Largest layer count (Fig. 9 "Max"); 0 if no users.
+    pub max_layers: usize,
+    /// Smallest layer count (Fig. 9 "Min"); 0 if no users.
+    pub min_layers: usize,
+}
+
+impl SubframeStats {
+    /// Computes the statistics of one subframe.
+    pub fn of(subframe: usize, config: &SubframeConfig) -> Self {
+        let users = config.n_users();
+        let (max_prbs, min_prbs, max_layers, min_layers) = if users == 0 {
+            (0, 0, 0, 0)
+        } else {
+            (
+                config.users.iter().map(|u| u.prbs).max().unwrap_or(0),
+                config.users.iter().map(|u| u.prbs).min().unwrap_or(0),
+                config.users.iter().map(|u| u.layers).max().unwrap_or(0),
+                config.users.iter().map(|u| u.layers).min().unwrap_or(0),
+            )
+        };
+        SubframeStats {
+            subframe,
+            users,
+            total_prbs: config.total_prbs(),
+            max_prbs,
+            min_prbs,
+            max_layers,
+            min_layers,
+        }
+    }
+}
+
+/// Statistics over a subframe sequence.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rows: Vec<SubframeStats>,
+}
+
+impl Trace {
+    /// Builds a trace from a subframe sequence.
+    pub fn from_configs(configs: &[SubframeConfig]) -> Self {
+        Trace {
+            rows: configs
+                .iter()
+                .enumerate()
+                .map(|(i, c)| SubframeStats::of(i, c))
+                .collect(),
+        }
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[SubframeStats] {
+        &self.rows
+    }
+
+    /// Every `n`-th row — the paper plots every 25th subframe "to make
+    /// the graph clearer".
+    pub fn every(&self, n: usize) -> Vec<SubframeStats> {
+        assert!(n > 0, "stride must be positive");
+        self.rows.iter().copied().step_by(n).collect()
+    }
+
+    /// Number of recorded subframes.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Mean user count.
+    pub fn mean_users(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.users as f64).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Mean total PRBs.
+    pub fn mean_total_prbs(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|r| r.total_prbs as f64).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ParameterModel, RampModel};
+    use lte_dsp::Modulation;
+    use lte_phy::params::UserConfig;
+
+    #[test]
+    fn stats_of_simple_subframe() {
+        let sf = SubframeConfig::new(vec![
+            UserConfig::new(10, 1, Modulation::Qpsk),
+            UserConfig::new(30, 4, Modulation::Qam64),
+        ]);
+        let s = SubframeStats::of(7, &sf);
+        assert_eq!(s.subframe, 7);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.total_prbs, 40);
+        assert_eq!(s.max_prbs, 30);
+        assert_eq!(s.min_prbs, 10);
+        assert_eq!(s.max_layers, 4);
+        assert_eq!(s.min_layers, 1);
+    }
+
+    #[test]
+    fn empty_subframe_stats_are_zero() {
+        let s = SubframeStats::of(0, &SubframeConfig::default());
+        assert_eq!(s.users, 0);
+        assert_eq!(s.max_prbs, 0);
+        assert_eq!(s.min_layers, 0);
+    }
+
+    #[test]
+    fn trace_every_25th_matches_paper_plot_density() {
+        let configs = RampModel::new(1).subframes(1_000);
+        let trace = Trace::from_configs(&configs);
+        assert_eq!(trace.len(), 1_000);
+        let plotted = trace.every(25);
+        assert_eq!(plotted.len(), 40);
+        assert_eq!(plotted[1].subframe, 25);
+    }
+
+    #[test]
+    fn means_are_sane() {
+        let configs = RampModel::new(2).subframes(2_000);
+        let trace = Trace::from_configs(&configs);
+        let mu = trace.mean_users();
+        assert!((1.0..=10.0).contains(&mu), "mean users {mu}");
+        let mp = trace.mean_total_prbs();
+        assert!((50.0..=200.0).contains(&mp), "mean PRBs {mp}");
+    }
+
+    #[test]
+    fn stats_are_copy_and_comparable() {
+        let configs = RampModel::new(3).subframes(10);
+        let trace = Trace::from_configs(&configs);
+        let again = Trace::from_configs(&configs);
+        assert_eq!(trace, again);
+    }
+}

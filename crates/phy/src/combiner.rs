@@ -1,0 +1,242 @@
+//! MMSE combiner weights and antenna combining.
+//!
+//! After both slots' channel estimates are in, the user thread computes
+//! combiner weights — the step the paper singles out as *not* easily
+//! parallelised because it couples all receive channels and layers
+//! (§III). Per subcarrier `k` the MMSE solution is
+//!
+//! ```text
+//! W(k) = (Ĥ(k)ᴴ·Ĥ(k) + σ²·I)⁻¹ · Ĥ(k)ᴴ          (layers × rx)
+//! ```
+//!
+//! Combining one data symbol for one layer (`x̂ = W·y`, then an IFFT to
+//! undo the SC-FDMA DFT precoding) is the per-(symbol, layer) task of the
+//! demodulation stage.
+
+use lte_dsp::fft::FftPlanner;
+use lte_dsp::Complex32;
+
+use crate::estimator::ChannelEstimate;
+use crate::grid::UserInput;
+use crate::linalg::CMatrix;
+
+/// Per-subcarrier MMSE weights for one slot: row `(sc, layer)` holds the
+/// `n_rx` weights applied to the antenna samples of subcarrier `sc`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CombinerWeights {
+    /// Flattened `[sc][layer][rx]`.
+    w: Vec<Complex32>,
+    n_sc: usize,
+    n_layers: usize,
+    n_rx: usize,
+}
+
+impl CombinerWeights {
+    /// Computes MMSE weights from a slot's channel estimate.
+    ///
+    /// Falls back to a matched-filter row (scaled Ĥᴴ) for any subcarrier
+    /// whose regularised Gram matrix is numerically singular — which can
+    /// only happen with a zero channel estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var <= 0`.
+    pub fn mmse(estimate: &ChannelEstimate, noise_var: f32) -> Self {
+        assert!(noise_var > 0.0, "noise variance must be positive");
+        let n_rx = estimate.n_rx();
+        let n_layers = estimate.n_layers();
+        let n_sc = estimate.n_sc();
+        let mut w = vec![Complex32::ZERO; n_sc * n_layers * n_rx];
+        for sc in 0..n_sc {
+            // H: n_rx × n_layers for this subcarrier.
+            let mut h = CMatrix::zeros(n_rx, n_layers);
+            for rx in 0..n_rx {
+                for layer in 0..n_layers {
+                    h[(rx, layer)] = estimate.path(rx, layer)[sc];
+                }
+            }
+            let hh = h.hermitian();
+            let mut gram = hh.mul(&h);
+            gram.add_diagonal(noise_var);
+            let weights = match gram.inverse() {
+                Some(inv) => inv.mul(&hh),
+                None => hh.clone(), // matched-filter fallback
+            };
+            for layer in 0..n_layers {
+                for rx in 0..n_rx {
+                    w[(sc * n_layers + layer) * n_rx + rx] = weights[(layer, rx)];
+                }
+            }
+        }
+        CombinerWeights {
+            w,
+            n_sc,
+            n_layers,
+            n_rx,
+        }
+    }
+
+    /// The weight row for (subcarrier, layer).
+    #[inline]
+    pub fn row(&self, sc: usize, layer: usize) -> &[Complex32] {
+        let base = (sc * self.n_layers + layer) * self.n_rx;
+        &self.w[base..base + self.n_rx]
+    }
+
+    /// Number of subcarriers.
+    pub fn n_sc(&self) -> usize {
+        self.n_sc
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// Number of receive antennas.
+    pub fn n_rx(&self) -> usize {
+        self.n_rx
+    }
+}
+
+/// Combines one data symbol for one layer and despreads it back to the
+/// time domain — the benchmark's per-(symbol, layer) demodulation task.
+///
+/// Returns the `n_sc` equalised QAM symbols.
+///
+/// # Panics
+///
+/// Panics if `slot`/`symbol` are out of range or the weights don't match
+/// the input dimensions.
+pub fn combine_symbol(
+    input: &UserInput,
+    weights: &CombinerWeights,
+    slot: usize,
+    symbol: usize,
+    layer: usize,
+    planner: &FftPlanner,
+) -> Vec<Complex32> {
+    let rx_symbol = &input.slots[slot].data[symbol];
+    let n_sc = rx_symbol.n_sc();
+    assert_eq!(weights.n_sc(), n_sc, "weights/subcarrier mismatch");
+    assert_eq!(weights.n_rx(), rx_symbol.n_rx(), "weights/antenna mismatch");
+    let mut combined = Vec::with_capacity(n_sc);
+    for sc in 0..n_sc {
+        let row = weights.row(sc, layer);
+        let mut acc = Complex32::ZERO;
+        for (rx, &wgt) in row.iter().enumerate() {
+            acc = acc.mul_add(wgt, rx_symbol.antenna(rx)[sc]);
+        }
+        combined.push(acc);
+    }
+    // Undo the SC-FDMA DFT precoding.
+    planner.inverse(n_sc).process(&mut combined);
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate_slot;
+    use crate::params::{CellConfig, TurboMode, UserConfig};
+    use crate::tx::synthesize_user_over_channel;
+    use lte_dsp::channel::MimoChannel;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    #[test]
+    fn mmse_inverts_identity_channel() {
+        // With H = I per subcarrier and tiny noise, W ≈ I.
+        let n_sc = 24;
+        let mut est = ChannelEstimate::empty(2, 2, n_sc);
+        for rx in 0..2 {
+            for layer in 0..2 {
+                let v = if rx == layer { Complex32::ONE } else { Complex32::ZERO };
+                est.set_path(rx, layer, vec![v; n_sc]);
+            }
+        }
+        let w = CombinerWeights::mmse(&est, 1e-4);
+        for sc in 0..n_sc {
+            for layer in 0..2 {
+                let row = w.row(sc, layer);
+                for (rx, &wgt) in row.iter().enumerate() {
+                    let expect = if rx == layer { 1.0 } else { 0.0 };
+                    assert!((wgt.re - expect).abs() < 1e-3 && wgt.im.abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mmse_suppresses_inter_layer_interference() {
+        // Random 4×2 channel: W·H should approximate the 2×2 identity.
+        let mut rng = Xoshiro256::seed_from_u64(21);
+        let channel = MimoChannel::randomize(4, 2, 1, &mut rng);
+        let n_sc = 12;
+        let mut est = ChannelEstimate::empty(4, 2, n_sc);
+        for rx in 0..4 {
+            for layer in 0..2 {
+                est.set_path(rx, layer, channel.frequency_response(rx, layer, n_sc));
+            }
+        }
+        let w = CombinerWeights::mmse(&est, 1e-3);
+        for sc in 0..n_sc {
+            for layer in 0..2 {
+                for other in 0..2 {
+                    let mut acc = Complex32::ZERO;
+                    for rx in 0..4 {
+                        acc = acc.mul_add(
+                            w.row(sc, layer)[rx],
+                            channel.frequency_response(rx, other, n_sc)[sc],
+                        );
+                    }
+                    let expect = if layer == other { 1.0 } else { 0.0 };
+                    assert!(
+                        (acc.re - expect).abs() < 0.05 && acc.im.abs() < 0.05,
+                        "sc {sc} layer {layer} other {other}: {acc:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_estimate_falls_back_without_panicking() {
+        let est = ChannelEstimate::empty(2, 2, 4);
+        let w = CombinerWeights::mmse(&est, 0.1);
+        for sc in 0..4 {
+            assert_eq!(w.row(sc, 0), &[Complex32::ZERO, Complex32::ZERO]);
+        }
+    }
+
+    #[test]
+    fn combine_recovers_symbols_on_clean_channel() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(4, 1, Modulation::Qpsk);
+        let channel = MimoChannel::identity(2, 1);
+        let mut rng = Xoshiro256::seed_from_u64(33);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            50.0,
+            &channel,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let est = estimate_slot(&cell, &input, 0, &planner);
+        let w = CombinerWeights::mmse(&est, input.noise_var);
+        let recovered = combine_symbol(&input, &w, 0, 0, 0, &planner);
+        // Every recovered point should sit on the QPSK constellation.
+        let c = Modulation::Qpsk.constellation();
+        for z in &recovered {
+            let nearest = c.iter().map(|s| (*z - *s).abs()).fold(f32::MAX, f32::min);
+            assert!(nearest < 0.1, "{z:?} too far from constellation");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "noise variance")]
+    fn mmse_rejects_nonpositive_noise() {
+        CombinerWeights::mmse(&ChannelEstimate::empty(1, 1, 1), 0.0);
+    }
+}

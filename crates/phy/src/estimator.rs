@@ -1,0 +1,483 @@
+//! Channel estimation (left half of Fig. 3).
+//!
+//! For each (receive antenna, layer) pair — the paper's unit of
+//! channel-estimation parallelism, up to 4×4 = 16 tasks per user — the
+//! estimator runs:
+//!
+//! 1. **matched filter**: received reference symbol × conjugate of the
+//!    layer's known DM-RS sequence,
+//! 2. **IFFT** to the time domain, where the path's impulse response sits
+//!    at delay 0 and other layers' responses sit `N/L` samples away
+//!    (their cyclic shifts),
+//! 3. **window**: zero everything outside the delay-spread budget,
+//!    suppressing noise and the other layers,
+//! 4. **FFT** back to the frequency domain → the denoised estimate
+//!    `Ĥ(rx, layer, subcarrier)`.
+
+use lte_dsp::fft::FftPlanner;
+use lte_dsp::matched_filter::matched_filter;
+use lte_dsp::window::ChannelWindow;
+use lte_dsp::Complex32;
+
+use crate::grid::UserInput;
+use crate::params::CellConfig;
+use crate::tx::reference_for_layer;
+
+
+/// Channel estimates for one slot: `paths[rx][layer][subcarrier]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelEstimate {
+    paths: Vec<Vec<Vec<Complex32>>>,
+}
+
+impl ChannelEstimate {
+    /// Creates an empty estimate container for `n_rx × n_layers` paths of
+    /// `n_sc` subcarriers.
+    pub fn empty(n_rx: usize, n_layers: usize, n_sc: usize) -> Self {
+        ChannelEstimate {
+            paths: vec![vec![vec![Complex32::ZERO; n_sc]; n_layers]; n_rx],
+        }
+    }
+
+    /// Stores one estimated path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range or the length mismatches.
+    pub fn set_path(&mut self, rx: usize, layer: usize, estimate: Vec<Complex32>) {
+        assert_eq!(
+            estimate.len(),
+            self.paths[rx][layer].len(),
+            "estimate length mismatch"
+        );
+        self.paths[rx][layer] = estimate;
+    }
+
+    /// One estimated path.
+    pub fn path(&self, rx: usize, layer: usize) -> &[Complex32] {
+        &self.paths[rx][layer]
+    }
+
+    /// Number of receive antennas.
+    pub fn n_rx(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Number of layers.
+    pub fn n_layers(&self) -> usize {
+        self.paths[0].len()
+    }
+
+    /// Number of subcarriers.
+    pub fn n_sc(&self) -> usize {
+        self.paths[0][0].len()
+    }
+}
+
+/// Estimates a single (rx, layer) path from one slot's reference symbol —
+/// the benchmark's channel-estimation *task*.
+///
+/// # Panics
+///
+/// Panics if `slot`, `rx` or `layer` are out of range for the input.
+pub fn estimate_path(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    layer: usize,
+    planner: &FftPlanner,
+) -> Vec<Complex32> {
+    let received = input.slots[slot].reference.antenna(rx);
+    let n = received.len();
+    let reference = reference_for_layer(cell, &input.config, layer);
+    let mut work = vec![Complex32::ZERO; n];
+    matched_filter(received, reference.samples(), &mut work);
+    planner.inverse(n).process(&mut work);
+    ChannelWindow::for_len(n).apply(&mut work);
+    planner.forward(n).process(&mut work);
+    work
+}
+
+/// Estimates every path of one slot serially (the reference
+/// implementation; the parallel runtime spawns [`estimate_path`] tasks
+/// instead).
+pub fn estimate_slot(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    planner: &FftPlanner,
+) -> ChannelEstimate {
+    let n_sc = input.config.subcarriers();
+    let mut est = ChannelEstimate::empty(cell.n_rx, input.config.layers, n_sc);
+    for rx in 0..cell.n_rx {
+        for layer in 0..input.config.layers {
+            est.set_path(rx, layer, estimate_path(cell, input, slot, rx, layer, planner));
+        }
+    }
+    est
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{TurboMode, UserConfig};
+    use crate::tx::synthesize_user_over_channel;
+    use lte_dsp::channel::MimoChannel;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    fn estimate_error(
+        cell: &CellConfig,
+        user: &UserConfig,
+        channel: &MimoChannel,
+        snr_db: f64,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let input = synthesize_user_over_channel(
+            cell,
+            user,
+            TurboMode::Passthrough,
+            snr_db,
+            channel,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let est = estimate_slot(cell, &input, 0, &planner);
+        let n_sc = user.subcarriers();
+        let mut err = 0.0f64;
+        let mut energy = 0.0f64;
+        for rx in 0..cell.n_rx {
+            for layer in 0..user.layers {
+                let truth = channel.frequency_response(rx, layer, n_sc);
+                for (e, t) in est.path(rx, layer).iter().zip(&truth) {
+                    err += (*e - *t).norm_sqr() as f64;
+                    energy += t.norm_sqr() as f64;
+                }
+            }
+        }
+        err / energy.max(1e-12)
+    }
+
+    #[test]
+    fn identity_channel_estimated_exactly() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(8, 2, Modulation::Qpsk);
+        let channel = MimoChannel::identity(2, 2);
+        let rel_err = estimate_error(&cell, &user, &channel, 60.0, 3);
+        assert!(rel_err < 1e-3, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn fading_channel_estimated_accurately_at_high_snr() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(16, 4, Modulation::Qam16);
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let channel = MimoChannel::randomize(4, 4, 4, &mut rng);
+        let rel_err = estimate_error(&cell, &user, &channel, 40.0, 7);
+        assert!(rel_err < 0.05, "relative error {rel_err}");
+    }
+
+    #[test]
+    fn windowing_improves_noisy_estimates() {
+        // At moderate SNR the windowed estimator must beat the raw matched
+        // filter (which is what the window is for).
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(16, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let channel = MimoChannel::randomize(2, 1, 3, &mut rng);
+        let mut data_rng = Xoshiro256::seed_from_u64(10);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            5.0,
+            &channel,
+            &mut data_rng,
+        );
+        let planner = FftPlanner::new();
+        let windowed = estimate_path(&cell, &input, 0, 0, 0, &planner);
+        // Raw estimate: matched filter only.
+        let reference = reference_for_layer(&cell, &user, 0);
+        let mut raw = vec![Complex32::ZERO; user.subcarriers()];
+        lte_dsp::matched_filter::matched_filter(
+            input.slots[0].reference.antenna(0),
+            reference.samples(),
+            &mut raw,
+        );
+        let truth = channel.frequency_response(0, 0, user.subcarriers());
+        let err = |est: &[Complex32]| -> f64 {
+            est.iter()
+                .zip(&truth)
+                .map(|(e, t)| (*e - *t).norm_sqr() as f64)
+                .sum()
+        };
+        assert!(
+            err(&windowed) < err(&raw),
+            "windowed {} !< raw {}",
+            err(&windowed),
+            err(&raw)
+        );
+    }
+
+    #[test]
+    fn estimate_container_shape() {
+        let est = ChannelEstimate::empty(4, 3, 24);
+        assert_eq!(est.n_rx(), 4);
+        assert_eq!(est.n_layers(), 3);
+        assert_eq!(est.n_sc(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn set_path_length_checked() {
+        let mut est = ChannelEstimate::empty(1, 1, 12);
+        est.set_path(0, 0, vec![Complex32::ZERO; 13]);
+    }
+}
+
+/// Blind noise-variance estimation from one received reference symbol.
+///
+/// After the matched filter and IFFT, the channel energy of every layer
+/// is confined to a window around its cyclic-shift offset; the remaining
+/// taps contain only noise with per-tap variance `σ²/N` (the IFFT's
+/// `1/N` scaling). Averaging their power and scaling by `N` recovers the
+/// per-subcarrier noise variance — the receiver does not need the true
+/// value the synthesiser used.
+///
+/// # Panics
+///
+/// Panics if `slot` or `rx` is out of range.
+pub fn estimate_noise_var(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    planner: &FftPlanner,
+) -> f32 {
+    let received = input.slots[slot].reference.antenna(rx);
+    let n = received.len();
+    let reference = reference_for_layer(cell, &input.config, 0);
+    let mut work = vec![Complex32::ZERO; n];
+    matched_filter(received, reference.samples(), &mut work);
+    planner.inverse(n).process(&mut work);
+    // Mark the kept window of every layer (relative to layer 0's
+    // matched filter, layer l sits at offset l·N/L).
+    let window = ChannelWindow::for_len(n);
+    let layers = crate::tx::shift_denominator(&input.config);
+    let mut excluded = vec![false; n];
+    for l in 0..input.config.layers {
+        let offset = l * n / layers;
+        for t in 0..window.head {
+            excluded[(offset + t) % n] = true;
+        }
+        for t in 0..window.tail {
+            excluded[(offset + n - 1 - t) % n] = true;
+        }
+    }
+    let mut acc = 0.0f64;
+    let mut count = 0usize;
+    for (t, z) in work.iter().enumerate() {
+        if !excluded[t] {
+            acc += z.norm_sqr() as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        return input.noise_var; // degenerate tiny allocation
+    }
+    (acc / count as f64 * n as f64) as f32
+}
+
+#[cfg(test)]
+mod noise_tests {
+    use super::*;
+    use crate::params::{TurboMode, UserConfig};
+    use crate::tx::synthesize_user_with_mode;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    #[test]
+    fn noise_estimate_tracks_truth() {
+        let cell = CellConfig::with_antennas(2);
+        let planner = FftPlanner::new();
+        for snr_db in [0.0, 10.0, 20.0] {
+            let user = UserConfig::new(16, 2, Modulation::Qpsk);
+            let mut rng = Xoshiro256::seed_from_u64(42);
+            // Average the estimate over several realisations.
+            let mut est = 0.0f64;
+            let mut truth = 0.0f64;
+            let trials = 12;
+            for _ in 0..trials {
+                let input = synthesize_user_with_mode(
+                    &cell,
+                    &user,
+                    TurboMode::Passthrough,
+                    snr_db,
+                    &mut rng,
+                );
+                est += estimate_noise_var(&cell, &input, 0, 0, &planner) as f64;
+                truth += input.noise_var as f64;
+            }
+            let ratio = est / truth;
+            assert!(
+                (0.6..=1.6).contains(&ratio),
+                "snr {snr_db} dB: estimate/truth = {ratio:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimate_is_positive_even_on_clean_channels() {
+        let cell = CellConfig::with_antennas(2);
+        let planner = FftPlanner::new();
+        let user = UserConfig::new(8, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let input =
+            synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 50.0, &mut rng);
+        let est = estimate_noise_var(&cell, &input, 0, 0, &planner);
+        assert!(est > 0.0 && est.is_finite());
+    }
+}
+
+/// Fixed-point (Q15) variant of [`estimate_path`] — the "modules can
+/// easily be replaced to model different algorithms" extension point of
+/// the paper, here swapping the float kernels for the arithmetic an
+/// FPU-less tile core would actually run: the matched filter and both
+/// transforms execute in Q15 with block scaling.
+///
+/// Accuracy: within the quantisation noise floor of the float path (the
+/// companion test measures > 35 dB agreement), which is far below the
+/// channel noise at any practical SNR.
+pub fn estimate_path_q15(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    layer: usize,
+) -> Vec<Complex32> {
+    use lte_dsp::fft::Direction;
+    use lte_dsp::q15::{dequantize_block, quantize_block, CQ15, FixedFft};
+
+    let received = input.slots[slot].reference.antenna(rx);
+    let n = received.len();
+    let reference = reference_for_layer(cell, &input.config, layer);
+
+    // Scale the block into [-1, 1) with headroom.
+    let peak = received
+        .iter()
+        .map(|z| z.re.abs().max(z.im.abs()))
+        .fold(1e-9f32, f32::max);
+    let scale = 0.5 / peak;
+    let rx_q = quantize_block(received, scale);
+    let ref_q = quantize_block(reference.samples(), 0.999);
+
+    // Matched filter in Q15: y · conj(x).
+    let mut work: Vec<CQ15> = rx_q
+        .iter()
+        .zip(&ref_q)
+        .map(|(y, x)| {
+            let conj = CQ15 {
+                re: x.re,
+                im: lte_dsp::q15::Q15(x.im.0.saturating_neg()),
+            };
+            y.mul(conj)
+        })
+        .collect();
+
+    // IFFT (scaled by 1/n), window, FFT (scaled by 1/n again).
+    let ifft = FixedFft::new(n, Direction::Inverse);
+    ifft.process(&mut work);
+    let window = ChannelWindow::for_len(n);
+    // Apply the window on the fixed-point samples directly.
+    {
+        let head = window.head;
+        let tail = window.tail;
+        if head + tail < n {
+            for q in work[head..n - tail].iter_mut() {
+                *q = CQ15::ZERO;
+            }
+        }
+    }
+    // Re-amplify between transforms to preserve precision (block
+    // floating point): scale the sparse windowed CIR so its peak sits at
+    // half range. The forward transform spreads that energy over n bins,
+    // so the peak cannot saturate the output either.
+    let cir = dequantize_block(&work, 1.0);
+    let cir_peak = cir
+        .iter()
+        .map(|z| z.re.abs().max(z.im.abs()))
+        .fold(1e-9f32, f32::max);
+    let gain = 0.5 / cir_peak;
+    let mut boosted: Vec<CQ15> = cir
+        .into_iter()
+        .map(|z| CQ15::from_c32(z.scale(gain)))
+        .collect();
+    let fft = FixedFft::new(n, Direction::Forward);
+    fft.process(&mut boosted);
+
+    // Undo all scalings: quantize scale, two 1/n FFT scalings (the
+    // inverse plan already includes the conventional 1/n), and the
+    // inter-transform gain.
+    let undo = n as f32 / (scale * gain);
+    dequantize_block(&boosted, 1.0)
+        .into_iter()
+        .map(|z| z.scale(undo * 0.999))
+        .collect()
+}
+
+#[cfg(test)]
+mod q15_estimator_tests {
+    use super::*;
+    use crate::params::{TurboMode, UserConfig};
+    use crate::tx::synthesize_user_over_channel;
+    use lte_dsp::channel::MimoChannel;
+    use lte_dsp::q15::quantization_snr_db;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    #[test]
+    fn fixed_point_estimator_matches_float_path() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(16, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        let channel = MimoChannel::randomize(2, 1, 3, &mut rng);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            30.0,
+            &channel,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let float_est = estimate_path(&cell, &input, 0, 0, 0, &planner);
+        let fixed_est = estimate_path_q15(&cell, &input, 0, 0, 0);
+        let snr = quantization_snr_db(&float_est, &fixed_est);
+        assert!(snr > 30.0, "fixed/float agreement only {snr:.1} dB");
+    }
+
+    #[test]
+    fn fixed_point_estimator_tracks_the_true_channel() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(16, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(78);
+        let channel = MimoChannel::randomize(2, 1, 2, &mut rng);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            35.0,
+            &channel,
+            &mut rng,
+        );
+        let est = estimate_path_q15(&cell, &input, 0, 0, 0);
+        let truth = channel.frequency_response(0, 0, user.subcarriers());
+        let mut err = 0.0f64;
+        let mut energy = 0.0f64;
+        for (e, t) in est.iter().zip(&truth) {
+            err += (*e - *t).norm_sqr() as f64;
+            energy += t.norm_sqr() as f64;
+        }
+        let rel = err / energy.max(1e-12);
+        assert!(rel < 0.05, "relative error {rel:.4}");
+    }
+}

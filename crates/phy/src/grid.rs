@@ -1,0 +1,169 @@
+//! Received-signal containers for one user's subframe.
+//!
+//! The front-end (radio, filter, CP removal, FFT — Fig. 2) is outside the
+//! benchmark; what the receiver sees is the *frequency-domain* resource
+//! grid restricted to the user's allocation: per slot, one reference
+//! symbol and six data symbols, each a `[rx antenna][subcarrier]` matrix.
+
+use lte_dsp::Complex32;
+
+use crate::params::{DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME};
+
+/// One received SC-FDMA symbol: `samples[rx][subcarrier]`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RxSymbol {
+    samples: Vec<Vec<Complex32>>,
+}
+
+impl RxSymbol {
+    /// Creates a symbol from per-antenna sample rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or have unequal lengths.
+    pub fn new(samples: Vec<Vec<Complex32>>) -> Self {
+        assert!(!samples.is_empty(), "need at least one antenna");
+        let n = samples[0].len();
+        assert!(n > 0, "need at least one subcarrier");
+        for row in &samples {
+            assert_eq!(row.len(), n, "antenna rows must have equal length");
+        }
+        RxSymbol { samples }
+    }
+
+    /// An all-zero symbol.
+    pub fn zeros(n_rx: usize, n_sc: usize) -> Self {
+        Self::new(vec![vec![Complex32::ZERO; n_sc]; n_rx])
+    }
+
+    /// Samples of one antenna.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx` is out of range.
+    pub fn antenna(&self, rx: usize) -> &[Complex32] {
+        &self.samples[rx]
+    }
+
+    /// Mutable samples of one antenna.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rx` is out of range.
+    pub fn antenna_mut(&mut self, rx: usize) -> &mut [Complex32] {
+        &mut self.samples[rx]
+    }
+
+    /// Number of receive antennas.
+    pub fn n_rx(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Number of subcarriers.
+    pub fn n_sc(&self) -> usize {
+        self.samples[0].len()
+    }
+}
+
+/// One received slot: six data symbols around one reference symbol.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RxSlot {
+    /// The reference (DM-RS) symbol.
+    pub reference: RxSymbol,
+    /// The six data symbols in transmission order (three before the
+    /// reference, three after — §II-A).
+    pub data: Vec<RxSymbol>,
+}
+
+impl RxSlot {
+    /// Creates a slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless exactly [`DATA_SYMBOLS_PER_SLOT`] data symbols with
+    /// dimensions matching the reference are provided.
+    pub fn new(reference: RxSymbol, data: Vec<RxSymbol>) -> Self {
+        assert_eq!(
+            data.len(),
+            DATA_SYMBOLS_PER_SLOT,
+            "a slot has {DATA_SYMBOLS_PER_SLOT} data symbols"
+        );
+        for s in &data {
+            assert_eq!(s.n_rx(), reference.n_rx(), "antenna count mismatch");
+            assert_eq!(s.n_sc(), reference.n_sc(), "subcarrier count mismatch");
+        }
+        RxSlot { reference, data }
+    }
+}
+
+/// Everything the receiver sees for one user in one subframe, plus the
+/// ground truth the verifier checks against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UserInput {
+    /// Per-user parameters.
+    pub config: crate::params::UserConfig,
+    /// The two received slots.
+    pub slots: Vec<RxSlot>,
+    /// Noise variance the receiver should assume (perfect noise estimation,
+    /// as in the benchmark).
+    pub noise_var: f32,
+    /// The information bits that were transmitted (before CRC/coding).
+    pub ground_truth: Vec<u8>,
+}
+
+impl UserInput {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slot count or dimensions are inconsistent with the config.
+    pub fn validate(&self) {
+        assert_eq!(self.slots.len(), SLOTS_PER_SUBFRAME, "two slots expected");
+        for slot in &self.slots {
+            assert_eq!(
+                slot.reference.n_sc(),
+                self.config.subcarriers(),
+                "subcarrier count must match allocation"
+            );
+        }
+        assert!(self.noise_var > 0.0, "noise variance must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbol_shape() {
+        let s = RxSymbol::zeros(4, 24);
+        assert_eq!(s.n_rx(), 4);
+        assert_eq!(s.n_sc(), 24);
+        assert_eq!(s.antenna(3).len(), 24);
+    }
+
+    #[test]
+    fn symbol_mutation() {
+        let mut s = RxSymbol::zeros(1, 2);
+        s.antenna_mut(0)[1] = Complex32::ONE;
+        assert_eq!(s.antenna(0)[1], Complex32::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn ragged_rows_rejected() {
+        RxSymbol::new(vec![vec![Complex32::ZERO; 2], vec![Complex32::ZERO; 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "data symbols")]
+    fn slot_needs_six_data_symbols() {
+        RxSlot::new(RxSymbol::zeros(1, 12), vec![RxSymbol::zeros(1, 12); 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "antenna count")]
+    fn slot_dimension_mismatch_rejected() {
+        RxSlot::new(RxSymbol::zeros(2, 12), vec![RxSymbol::zeros(1, 12); 6]);
+    }
+}

@@ -1,0 +1,52 @@
+//! The LTE uplink physical-layer pipeline.
+//!
+//! This crate implements the per-user receive chain of the ISPASS 2012
+//! benchmark (Fig. 3 of the paper):
+//!
+//! ```text
+//!             reference symbol                         data symbols
+//!  ┌─────────────────────────────────┐   ┌────────────────────────────────┐
+//!  │ matched filter → IFFT → window  │   │ antenna combining → IFFT       │
+//!  │ → FFT   (per rx-antenna, layer) │ → │   (per symbol, layer)          │
+//!  └─────────────────────────────────┘   │ → deinterleave → soft demap    │
+//!         → combiner weights             │ → turbo decode → CRC           │
+//!                                        └────────────────────────────────┘
+//! ```
+//!
+//! plus the *transmit* side ([`tx`]) needed to synthesise realistic input
+//! grids (the paper likewise generates its input data at initialisation),
+//! and a serial golden-reference path ([`verify`]) used to validate any
+//! parallel execution of the same kernels — the paper's §IV-D methodology.
+//!
+//! The kernels are exposed individually (estimate one antenna/layer path,
+//! combine one symbol/layer, …) precisely because the benchmark's runtime
+//! schedules them as independent work-stealing tasks.
+//!
+//! # Example
+//!
+//! ```
+//! use lte_phy::params::{CellConfig, TurboMode, UserConfig};
+//! use lte_phy::tx::synthesize_user;
+//! use lte_phy::receiver::process_user;
+//! use lte_dsp::{Modulation, Xoshiro256};
+//!
+//! let cell = CellConfig::default();
+//! let user = UserConfig::new(4, 2, Modulation::Qam16);
+//! let mut rng = Xoshiro256::seed_from_u64(7);
+//! let input = synthesize_user(&cell, &user, 30.0, &mut rng);
+//! let result = process_user(&cell, &input, TurboMode::Passthrough);
+//! assert!(result.crc_ok);
+//! ```
+
+pub mod combiner;
+pub mod estimator;
+pub mod frontend;
+pub mod grid;
+pub mod linalg;
+pub mod params;
+pub mod receiver;
+pub mod tx;
+pub mod verify;
+
+pub use params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
+pub use receiver::{process_user, UserResult};

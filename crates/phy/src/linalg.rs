@@ -1,0 +1,293 @@
+//! Small complex matrix operations for MMSE combining.
+//!
+//! Combiner-weight computation needs, per subcarrier, the inverse of an
+//! `L×L` Gram matrix with `L ≤ 4` layers. A dense row-major matrix with
+//! Gaussian elimination and partial pivoting is exact enough at these
+//! sizes and keeps the crate dependency-free.
+
+use lte_dsp::Complex32;
+
+/// A dense row-major complex matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex32>,
+}
+
+impl CMatrix {
+    /// An all-zero `rows × cols` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex32::ZERO; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex32::ONE;
+        }
+        m
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        CMatrix { rows, cols, data }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Conjugate transpose.
+    pub fn hermitian(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex32::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] = out[(r, c)].mul_add(a, rhs[(k, c)]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Adds `lambda` to every diagonal entry (diagonal loading / noise
+    /// regularisation).
+    pub fn add_diagonal(&mut self, lambda: f32) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += Complex32::new(lambda, 0.0);
+        }
+    }
+
+    /// Inverse via Gauss–Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<CMatrix> {
+        assert_eq!(self.rows, self.cols, "inverse needs a square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = CMatrix::identity(n);
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let mut pivot = col;
+            let mut best = a[(col, col)].norm_sqr();
+            for r in col + 1..n {
+                let mag = a[(r, col)].norm_sqr();
+                if mag > best {
+                    best = mag;
+                    pivot = r;
+                }
+            }
+            if best < 1e-20 {
+                return None;
+            }
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            let scale = a[(col, col)].inv();
+            for c in 0..n {
+                a[(col, c)] *= scale;
+                inv[(col, c)] *= scale;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let factor = a[(r, col)];
+                if factor == Complex32::ZERO {
+                    continue;
+                }
+                for c in 0..n {
+                    let ac = a[(col, c)];
+                    let ic = inv[(col, c)];
+                    a[(r, c)] -= factor * ac;
+                    inv[(r, c)] -= factor * ic;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, i: usize, j: usize) {
+        if i == j {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(i * self.cols + c, j * self.cols + c);
+        }
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols`.
+    pub fn mul_vec(&self, v: &[Complex32]) -> Vec<Complex32> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|r| {
+                let mut acc = Complex32::ZERO;
+                for c in 0..self.cols {
+                    acc = acc.mul_add(self[(r, c)], v[c]);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMatrix {
+    type Output = Complex32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_dsp::Xoshiro256;
+
+    fn random_matrix(n: usize, seed: u64) -> CMatrix {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let data = (0..n * n)
+            .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+            .collect();
+        CMatrix::from_rows(n, n, data)
+    }
+
+    fn assert_identity(m: &CMatrix, tol: f32) {
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                let expect = if r == c { Complex32::ONE } else { Complex32::ZERO };
+                assert!(
+                    (m[(r, c)] - expect).abs() < tol,
+                    "({r},{c}) = {:?}",
+                    m[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_inverse_is_identity() {
+        let i4 = CMatrix::identity(4);
+        assert_identity(&i4.inverse().unwrap(), 1e-6);
+    }
+
+    #[test]
+    fn inverse_of_random_matrices() {
+        for n in 1..=4 {
+            for seed in 0..20 {
+                let mut m = random_matrix(n, seed);
+                m.add_diagonal(0.5); // keep well-conditioned
+                let inv = m.inverse().expect("invertible");
+                assert_identity(&m.mul(&inv), 1e-4);
+                assert_identity(&inv.mul(&m), 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = CMatrix::zeros(2, 2);
+        m[(0, 0)] = Complex32::ONE;
+        m[(1, 0)] = Complex32::ONE; // rank 1
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn hermitian_transpose() {
+        let m = CMatrix::from_rows(
+            1,
+            2,
+            vec![Complex32::new(1.0, 2.0), Complex32::new(3.0, -4.0)],
+        );
+        let h = m.hermitian();
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h[(0, 0)], Complex32::new(1.0, -2.0));
+        assert_eq!(h[(1, 0)], Complex32::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let m = random_matrix(3, 3);
+        let v = vec![Complex32::ONE, Complex32::I, Complex32::new(0.5, 0.5)];
+        let as_mat = m.mul(&CMatrix::from_rows(3, 1, v.clone()));
+        let as_vec = m.mul_vec(&v);
+        for r in 0..3 {
+            assert!((as_mat[(r, 0)] - as_vec[r]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn diagonal_loading() {
+        let mut m = CMatrix::zeros(2, 2);
+        m.add_diagonal(2.5);
+        assert_eq!(m[(0, 0)], Complex32::new(2.5, 0.0));
+        assert_eq!(m[(1, 1)], Complex32::new(2.5, 0.0));
+        assert_eq!(m[(0, 1)], Complex32::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn inverse_requires_square() {
+        CMatrix::zeros(2, 3).inverse();
+    }
+}

@@ -1,0 +1,361 @@
+//! The complete per-user receive pipeline (Fig. 3) and its serial
+//! reference implementation.
+//!
+//! [`process_user`] runs every stage in order on one thread — this is the
+//! *serial version* the paper uses to verify the parallel benchmark
+//! (§IV-D). The parallel runtime in `lte-uplink` calls the same kernels
+//! ([`crate::estimator::estimate_path`], [`crate::combiner::combine_symbol`],
+//! [`finish_user`]) as work-stealing tasks; because every task computes an
+//! independent output block, serial and parallel results are bit-exact.
+
+use lte_dsp::crc::CRC24A;
+use lte_dsp::fft::FftPlanner;
+use lte_dsp::interleave::subblock_cached;
+use lte_dsp::llr::{demap_block, hard_decisions};
+use lte_dsp::scrambling::descramble_llrs;
+use lte_dsp::rate_match::RateMatcher;
+use lte_dsp::segmentation::Segmentation;
+use lte_dsp::turbo::TurboDecoder;
+use lte_dsp::Complex32;
+
+use crate::combiner::{combine_symbol, CombinerWeights};
+use crate::estimator::estimate_slot;
+use crate::grid::UserInput;
+use crate::params::{
+    CellConfig, TurboMode, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME,
+};
+use crate::tx::FramePlan;
+
+/// The outcome of processing one user.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UserResult {
+    /// Decoded payload bits (CRC stripped).
+    pub payload: Vec<u8>,
+    /// Whether the CRC verified.
+    pub crc_ok: bool,
+}
+
+impl UserResult {
+    /// `true` when the payload matches the transmitted ground truth.
+    pub fn matches(&self, ground_truth: &[u8]) -> bool {
+        self.crc_ok && self.payload == ground_truth
+    }
+}
+
+/// Runs the final, non-parallelisable tail of the pipeline: deinterleave →
+/// soft demap has already produced `llrs` in transmission order; this
+/// performs deinterleaving, turbo decode (or pass-through), and the CRC.
+///
+/// `llrs` must be ordered exactly as the transmitter's
+/// [`crate::tx::split_bits`] chunks: slot-major, then symbol, then layer.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
+pub fn finish_user(input: &UserInput, mode: TurboMode, llrs: &[f32]) -> UserResult {
+    let user = &input.config;
+    let total = user.bits_per_subframe();
+    assert_eq!(llrs.len(), total, "LLR count must match the allocation");
+    // Undo the Gold-sequence scrambling (sign flips), then deinterleave.
+    let mut llrs = llrs.to_vec();
+    descramble_llrs(&mut llrs, crate::tx::scrambling_init(user));
+    let deinterleaved = subblock_cached(total).invert(&llrs);
+    let plan = FramePlan::for_user(user, mode);
+    let (mut frame_bits, expected_len) = match (mode, plan) {
+        (TurboMode::Passthrough, FramePlan::Passthrough { payload_bits }) => {
+            (hard_decisions(&deinterleaved), payload_bits + 24)
+        }
+        (
+            TurboMode::Decode { iterations },
+            FramePlan::Coded {
+                transport_bits,
+                n_blocks,
+                block_size: k,
+                ..
+            },
+        ) => {
+            // Undo rate matching per block (soft-combining repeats),
+            // decode, then reassemble the transport block (per-block
+            // CRC-24B checks happen inside desegment; a failed block CRC
+            // implies the transport CRC-24A will fail too).
+            let decoder = TurboDecoder::new(k, iterations);
+            let matcher = RateMatcher::new(k);
+            let shares = crate::tx::rate_match_shares(total, n_blocks);
+            let mut cursor = 0usize;
+            let decoded: Vec<Vec<u8>> = shares
+                .iter()
+                .map(|&e| {
+                    let llr = &deinterleaved[cursor..cursor + e];
+                    cursor += e;
+                    decoder.decode(&matcher.accumulate_llrs(llr))
+                })
+                .collect();
+            let shape = Segmentation::segment(&vec![0u8; transport_bits]);
+            let (bits, _blocks_ok) = shape.desegment(&decoded);
+            (bits, transport_bits)
+        }
+        _ => unreachable!("plan always matches mode"),
+    };
+    frame_bits.truncate(expected_len);
+    let crc_ok = CRC24A.check_bits(&frame_bits);
+    frame_bits.truncate(expected_len - 24);
+    UserResult {
+        payload: frame_bits,
+        crc_ok,
+    }
+}
+
+/// Soft-demaps one combined (symbol, layer) block into LLRs.
+pub fn demap_symbol(input: &UserInput, combined: &[Complex32]) -> Vec<f32> {
+    demap_block(input.config.modulation, combined, input.noise_var)
+}
+
+/// Processes one user end to end, serially — the reference path.
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn process_user(cell: &CellConfig, input: &UserInput, mode: TurboMode) -> UserResult {
+    let planner = FftPlanner::new();
+    process_user_with_planner(cell, input, mode, &planner)
+}
+
+/// [`process_user`] with a shared FFT planner (avoids replanning when many
+/// users share allocation sizes).
+pub fn process_user_with_planner(
+    cell: &CellConfig,
+    input: &UserInput,
+    mode: TurboMode,
+    planner: &FftPlanner,
+) -> UserResult {
+    input.validate();
+    let user = &input.config;
+
+    // Stage 1: channel estimation per slot (rx × layer tasks), then
+    // combiner weights — data processing for a slot needs that slot's
+    // estimate (§II-C).
+    let weights: Vec<CombinerWeights> = (0..SLOTS_PER_SUBFRAME)
+        .map(|slot| {
+            let est = estimate_slot(cell, input, slot, planner);
+            CombinerWeights::mmse(&est, input.noise_var)
+        })
+        .collect();
+
+    // Stage 2: antenna combining + IFFT per (slot, symbol, layer), then
+    // soft demapping, keeping the transmitter's bit order.
+    let mut llrs = Vec::with_capacity(user.bits_per_subframe());
+    #[allow(clippy::needless_range_loop)] // slot indexes input and weights in parallel
+    for slot in 0..SLOTS_PER_SUBFRAME {
+        for sym in 0..DATA_SYMBOLS_PER_SLOT {
+            for layer in 0..user.layers {
+                let combined = combine_symbol(input, &weights[slot], slot, sym, layer, planner);
+                llrs.extend(demap_symbol(input, &combined));
+            }
+        }
+    }
+
+    // Stage 3: deinterleave → (turbo) decode → CRC.
+    finish_user(input, mode, &llrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::UserConfig;
+    use crate::tx::{synthesize_user, synthesize_user_over_channel, synthesize_user_with_mode};
+    use lte_dsp::channel::MimoChannel;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    #[test]
+    fn clean_channel_every_modulation_and_layer_count() {
+        let cell = CellConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(100);
+        for modulation in Modulation::ALL {
+            // Higher-order constellations need more margin against MMSE
+            // noise enhancement on random ill-conditioned 4×4 channels.
+            let snr_db = match modulation {
+                Modulation::Qpsk => 30.0,
+                Modulation::Qam16 => 35.0,
+                Modulation::Qam64 => 45.0,
+            };
+            for layers in 1..=4 {
+                let user = UserConfig::new(4, layers, modulation);
+                let input = synthesize_user(&cell, &user, snr_db, &mut rng);
+                let result = process_user(&cell, &input, TurboMode::Passthrough);
+                assert!(
+                    result.matches(&input.ground_truth),
+                    "{modulation} x{layers} failed (crc_ok={})",
+                    result.crc_ok
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_allocation_decodes() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(50, 2, Modulation::Qam64);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let input = synthesize_user(&cell, &user, 35.0, &mut rng);
+        let result = process_user(&cell, &input, TurboMode::Passthrough);
+        assert!(result.matches(&input.ground_truth));
+    }
+
+    #[test]
+    fn turbo_decode_mode_round_trips() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(6, 2, Modulation::Qam16);
+        let mode = TurboMode::Decode { iterations: 4 };
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let input = synthesize_user_with_mode(&cell, &user, mode, 25.0, &mut rng);
+        let result = process_user(&cell, &input, mode);
+        assert!(result.matches(&input.ground_truth));
+    }
+
+    #[test]
+    fn turbo_decode_survives_lower_snr_than_passthrough() {
+        // The coded mode should still pass CRC at an SNR where the uncoded
+        // pass-through frame takes bit errors.
+        let cell = CellConfig::default();
+        let user = UserConfig::new(8, 1, Modulation::Qpsk);
+        let snr_db = 3.0;
+        let mut failures_plain = 0;
+        let mut failures_coded = 0;
+        for seed in 0..8 {
+            let mut rng = Xoshiro256::seed_from_u64(1000 + seed);
+            let channel = MimoChannel::randomize(cell.n_rx, 1, 3, &mut rng);
+            let plain = synthesize_user_over_channel(
+                &cell, &user, TurboMode::Passthrough, snr_db, &channel, &mut rng,
+            );
+            if !process_user(&cell, &plain, TurboMode::Passthrough).matches(&plain.ground_truth) {
+                failures_plain += 1;
+            }
+            let mode = TurboMode::Decode { iterations: 6 };
+            let coded =
+                synthesize_user_over_channel(&cell, &user, mode, snr_db, &channel, &mut rng);
+            if !process_user(&cell, &coded, mode).matches(&coded.ground_truth) {
+                failures_coded += 1;
+            }
+        }
+        assert!(
+            failures_coded <= failures_plain,
+            "coded {failures_coded} vs plain {failures_plain}"
+        );
+    }
+
+    #[test]
+    fn corrupted_input_fails_crc() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(4, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(55);
+        let mut input = synthesize_user(&cell, &user, 35.0, &mut rng);
+        // Zero out one whole data symbol on every antenna.
+        for rx in 0..cell.n_rx {
+            for z in input.slots[0].data[2].antenna_mut(rx) {
+                *z = Complex32::ZERO;
+            }
+        }
+        let result = process_user(&cell, &input, TurboMode::Passthrough);
+        assert!(!result.crc_ok, "CRC must catch a destroyed symbol");
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(10, 3, Modulation::Qam16);
+        let input = synthesize_user(&cell, &user, 30.0, &mut Xoshiro256::seed_from_u64(77));
+        let a = process_user(&cell, &input, TurboMode::Passthrough);
+        let b = process_user(&cell, &input, TurboMode::Passthrough);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "LLR count")]
+    fn finish_user_checks_llr_length() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(2, 1, Modulation::Qpsk);
+        let input = synthesize_user(&cell, &user, 30.0, &mut Xoshiro256::seed_from_u64(1));
+        finish_user(&input, TurboMode::Passthrough, &[0.0; 10]);
+    }
+}
+
+/// Processes one user end to end *without* genie knowledge of the noise
+/// variance: the receiver estimates it blindly from the out-of-window
+/// taps of the reference symbol's channel impulse response (see
+/// [`crate::estimator::estimate_noise_var`]) and uses the estimate for
+/// MMSE regularisation and LLR scaling.
+pub fn process_user_blind(cell: &CellConfig, input: &UserInput, mode: TurboMode) -> UserResult {
+    let planner = FftPlanner::new();
+    input.validate();
+    let user = &input.config;
+    // Average the blind estimate over both slots and all antennas.
+    let mut noise = 0.0f64;
+    for slot in 0..SLOTS_PER_SUBFRAME {
+        for rx in 0..cell.n_rx {
+            noise +=
+                crate::estimator::estimate_noise_var(cell, input, slot, rx, &planner) as f64;
+        }
+    }
+    let noise_var = (noise / (SLOTS_PER_SUBFRAME * cell.n_rx) as f64).max(1e-9) as f32;
+
+    let weights: Vec<CombinerWeights> = (0..SLOTS_PER_SUBFRAME)
+        .map(|slot| {
+            let est = estimate_slot(cell, input, slot, &planner);
+            CombinerWeights::mmse(&est, noise_var)
+        })
+        .collect();
+    let mut llrs = Vec::with_capacity(user.bits_per_subframe());
+    for (slot, w) in weights.iter().enumerate() {
+        for sym in 0..DATA_SYMBOLS_PER_SLOT {
+            for layer in 0..user.layers {
+                let combined = combine_symbol(input, w, slot, sym, layer, &planner);
+                llrs.extend(demap_block(user.modulation, &combined, noise_var));
+            }
+        }
+    }
+    finish_user(input, mode, &llrs)
+}
+
+#[cfg(test)]
+mod blind_tests {
+    use super::*;
+    use crate::params::UserConfig;
+    use crate::tx::synthesize_user;
+    use lte_dsp::{Modulation, Xoshiro256};
+
+    #[test]
+    fn blind_receiver_matches_genie_at_moderate_snr() {
+        let cell = CellConfig::default();
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let mut genie_ok = 0;
+        let mut blind_ok = 0;
+        for _ in 0..6 {
+            let user = UserConfig::new(12, 2, Modulation::Qam16);
+            let input = synthesize_user(&cell, &user, 25.0, &mut rng);
+            if process_user(&cell, &input, TurboMode::Passthrough).matches(&input.ground_truth) {
+                genie_ok += 1;
+            }
+            if process_user_blind(&cell, &input, TurboMode::Passthrough)
+                .matches(&input.ground_truth)
+            {
+                blind_ok += 1;
+            }
+        }
+        assert!(genie_ok >= 5, "genie baseline should mostly pass: {genie_ok}/6");
+        assert!(
+            blind_ok + 1 >= genie_ok,
+            "blind ({blind_ok}) must be within one block of genie ({genie_ok})"
+        );
+    }
+
+    #[test]
+    fn blind_receiver_rejects_noise() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(4, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let input = synthesize_user(&cell, &user, -25.0, &mut rng);
+        let result = process_user_blind(&cell, &input, TurboMode::Passthrough);
+        assert!(!result.crc_ok);
+    }
+}

@@ -1,0 +1,196 @@
+//! Dynamic voltage and frequency scaling — the paper's stated future
+//! work.
+//!
+//! §VII: "We use our workload estimation for clock gating and show the
+//! potential when power gating cores, but we could also use it in
+//! combination with DVFS to create further power management
+//! opportunities." This module adds that combination: a discrete
+//! frequency/voltage ladder, a subframe-rate governor driven by the same
+//! Eq. 4 workload estimate, and the standard dynamic-power scaling
+//! `P ∝ f·V²` with voltage reduced alongside frequency.
+//!
+//! The governor picks the lowest operating point that still leaves
+//! headroom over the estimated activity — slowing every core down rather
+//! than (or in addition to) switching cores off, which trades parallel
+//! slack for supply-voltage reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// One operating point of the ladder.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Frequency relative to nominal (0 < `freq` ≤ 1).
+    pub freq: f64,
+    /// Supply voltage relative to nominal (0 < `volt` ≤ 1).
+    pub volt: f64,
+}
+
+impl OperatingPoint {
+    /// Dynamic-power multiplier at this point: `f · V²`.
+    pub fn dynamic_scale(&self) -> f64 {
+        self.freq * self.volt * self.volt
+    }
+}
+
+/// A DVFS ladder plus governor driven by estimated subframe activity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DvfsPolicy {
+    /// Operating points, sorted by ascending frequency. The last entry
+    /// must be the nominal point (1.0, 1.0).
+    points: Vec<OperatingPoint>,
+    /// Utilisation headroom: the governor requires
+    /// `freq ≥ estimated_activity × (1 + headroom)`.
+    headroom: f64,
+}
+
+impl DvfsPolicy {
+    /// A TILEPro64-flavoured ladder with four points down to half
+    /// frequency at 85 % voltage, and a 20 % headroom margin (the DVFS
+    /// analogue of Eq. 5's "+2 cores").
+    pub fn default_ladder() -> Self {
+        DvfsPolicy::new(
+            vec![
+                OperatingPoint { freq: 0.50, volt: 0.85 },
+                OperatingPoint { freq: 0.67, volt: 0.90 },
+                OperatingPoint { freq: 0.83, volt: 0.95 },
+                OperatingPoint { freq: 1.00, volt: 1.00 },
+            ],
+            0.20,
+        )
+    }
+
+    /// Builds a policy from a custom ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ladder is empty, unsorted, has non-positive entries,
+    /// or does not end at the nominal point.
+    pub fn new(points: Vec<OperatingPoint>, headroom: f64) -> Self {
+        assert!(!points.is_empty(), "ladder must have at least one point");
+        for w in points.windows(2) {
+            assert!(w[0].freq < w[1].freq, "ladder must be sorted by frequency");
+        }
+        for p in &points {
+            assert!(p.freq > 0.0 && p.volt > 0.0, "points must be positive");
+        }
+        let last = points.last().expect("non-empty");
+        assert!(
+            (last.freq - 1.0).abs() < 1e-9 && (last.volt - 1.0).abs() < 1e-9,
+            "ladder must end at the nominal point"
+        );
+        assert!(headroom >= 0.0, "headroom must be non-negative");
+        DvfsPolicy { points, headroom }
+    }
+
+    /// The ladder.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Selects the lowest operating point with enough throughput for the
+    /// estimated activity (relative to full-speed capacity).
+    pub fn select(&self, estimated_activity: f64) -> OperatingPoint {
+        let need = (estimated_activity.clamp(0.0, 1.0) * (1.0 + self.headroom)).min(1.0);
+        *self
+            .points
+            .iter()
+            .find(|p| p.freq >= need)
+            .unwrap_or_else(|| self.points.last().expect("non-empty"))
+    }
+
+    /// Scales a dynamic-power trace by the per-subframe operating point.
+    ///
+    /// `dynamic` is the per-subframe dynamic power (total minus base) and
+    /// `estimates` the per-subframe activity estimates; returns the scaled
+    /// dynamic power. Running slower stretches work into otherwise-idle
+    /// time, so busy energy at reduced `f` is conservatively modelled as
+    /// unchanged cycles × `V²` scaling — i.e. power scales by
+    /// `dynamic_scale() / freq = V²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn apply(&self, dynamic: &[f64], estimates: &[f64]) -> Vec<f64> {
+        assert_eq!(dynamic.len(), estimates.len(), "trace length mismatch");
+        dynamic
+            .iter()
+            .zip(estimates)
+            .map(|(p, &e)| {
+                let op = self.select(e);
+                p * op.volt * op.volt
+            })
+            .collect()
+    }
+}
+
+impl Default for DvfsPolicy {
+    fn default() -> Self {
+        Self::default_ladder()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_selection_is_monotone() {
+        let p = DvfsPolicy::default_ladder();
+        let mut last = 0.0;
+        for e in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            let f = p.select(e).freq;
+            assert!(f >= last, "selection must not decrease with load");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn low_load_runs_slow_high_load_runs_nominal() {
+        let p = DvfsPolicy::default_ladder();
+        assert_eq!(p.select(0.1).freq, 0.50);
+        assert_eq!(p.select(0.95).freq, 1.00);
+        assert_eq!(p.select(2.0).freq, 1.00);
+    }
+
+    #[test]
+    fn headroom_forces_a_step_up() {
+        let p = DvfsPolicy::default_ladder();
+        // 0.45 × 1.2 = 0.54 > 0.50 → must pick 0.67.
+        assert_eq!(p.select(0.45).freq, 0.67);
+    }
+
+    #[test]
+    fn dynamic_scale_drops_superlinearly() {
+        let p = DvfsPolicy::default_ladder();
+        let slow = p.points()[0];
+        assert!(slow.dynamic_scale() < slow.freq, "V² term must bite");
+    }
+
+    #[test]
+    fn apply_scales_by_v_squared() {
+        let p = DvfsPolicy::default_ladder();
+        let out = p.apply(&[10.0, 10.0], &[0.1, 1.0]);
+        assert!((out[0] - 10.0 * 0.85 * 0.85).abs() < 1e-9);
+        assert!((out[1] - 10.0).abs() < 1e-9);
+        assert!(out[0] < out[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_ladder_rejected() {
+        DvfsPolicy::new(
+            vec![
+                OperatingPoint { freq: 0.8, volt: 0.9 },
+                OperatingPoint { freq: 0.5, volt: 0.85 },
+                OperatingPoint { freq: 1.0, volt: 1.0 },
+            ],
+            0.1,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "nominal")]
+    fn ladder_must_end_nominal() {
+        DvfsPolicy::new(vec![OperatingPoint { freq: 0.5, volt: 0.8 }], 0.1);
+    }
+}

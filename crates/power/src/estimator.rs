@@ -1,0 +1,253 @@
+//! The subframe workload estimator and active-core controller (§VI-A/B).
+//!
+//! The paper's key observation (Fig. 11): for a fixed (layers,
+//! modulation) pair, system activity is linear in the number of PRBs —
+//! `estimated_user_activity = PRBs × k_{L,M}` (Eq. 3) — and a subframe's
+//! workload is the sum over its users (Eq. 4). The twelve `k_{L,M}`
+//! slopes are fitted from steady-state single-user calibration runs.
+//! The controller then sizes the active core set per subframe:
+//! `active_cores = estimated_activity × max_cores + 2` (Eq. 5).
+
+use lte_dsp::math::slope_through_origin;
+use lte_dsp::Modulation;
+use lte_phy::params::SubframeConfig;
+use serde::{Deserialize, Serialize};
+
+/// Index of a modulation in the estimator's tables.
+fn mod_index(m: Modulation) -> usize {
+    match m {
+        Modulation::Qpsk => 0,
+        Modulation::Qam16 => 1,
+        Modulation::Qam64 => 2,
+    }
+}
+
+/// One calibration sample: measured activity at a given PRB count for a
+/// fixed (layers, modulation) configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationPoint {
+    /// PRBs of the single calibration user.
+    pub prbs: usize,
+    /// Measured activity in `[0, 1]`.
+    pub activity: f64,
+}
+
+/// The fitted per-(layers, modulation) activity slopes.
+///
+/// # Example
+///
+/// ```
+/// use lte_power::WorkloadEstimator;
+/// use lte_power::estimator::CalibrationPoint;
+/// use lte_dsp::Modulation;
+///
+/// let mut est = WorkloadEstimator::new();
+/// // Perfectly linear calibration data: activity = 0.001 × PRBs.
+/// let pts: Vec<CalibrationPoint> = (1..=20)
+///     .map(|p| CalibrationPoint { prbs: 10 * p, activity: 0.01 * p as f64 })
+///     .collect();
+/// est.fit(1, Modulation::Qpsk, &pts);
+/// assert!((est.k(1, Modulation::Qpsk) - 0.001).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadEstimator {
+    /// `k[layers-1][modulation]` slopes (activity per PRB).
+    k: [[f64; 3]; 4],
+}
+
+impl WorkloadEstimator {
+    /// An estimator with all slopes zero (must be fitted or loaded).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an estimator from explicit slopes `k[layers-1][modulation]`.
+    pub fn from_slopes(k: [[f64; 3]; 4]) -> Self {
+        WorkloadEstimator { k }
+    }
+
+    /// Fits the slope for one (layers, modulation) pair from calibration
+    /// samples (least squares through the origin, per Eq. 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is not in `1..=4`.
+    pub fn fit(&mut self, layers: usize, modulation: Modulation, points: &[CalibrationPoint]) {
+        assert!((1..=4).contains(&layers), "layers must be 1..=4");
+        let x: Vec<f64> = points.iter().map(|p| p.prbs as f64).collect();
+        let y: Vec<f64> = points.iter().map(|p| p.activity).collect();
+        self.k[layers - 1][mod_index(modulation)] = slope_through_origin(&x, &y);
+    }
+
+    /// The slope `k_{L,M}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is not in `1..=4`.
+    pub fn k(&self, layers: usize, modulation: Modulation) -> f64 {
+        assert!((1..=4).contains(&layers), "layers must be 1..=4");
+        self.k[layers - 1][mod_index(modulation)]
+    }
+
+    /// Estimated activity of one user (Eq. 3), not clamped.
+    pub fn user_activity(&self, prbs: usize, layers: usize, modulation: Modulation) -> f64 {
+        prbs as f64 * self.k(layers, modulation)
+    }
+
+    /// Estimated activity of a subframe (Eq. 4), clamped to `[0, 1]`.
+    pub fn subframe_activity(&self, subframe: &SubframeConfig) -> f64 {
+        subframe
+            .users
+            .iter()
+            .map(|u| self.user_activity(u.prbs, u.layers, u.modulation))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// `true` once every slope has been fitted to a positive value.
+    pub fn is_calibrated(&self) -> bool {
+        self.k.iter().flatten().all(|&k| k > 0.0)
+    }
+}
+
+/// The active-core controller (Eq. 5 of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoreController {
+    /// Worker cores available (the paper: 62).
+    pub max_cores: usize,
+    /// Over-provisioning margin ("the system is over-provisioned with two
+    /// cores").
+    pub margin: usize,
+}
+
+impl CoreController {
+    /// The paper's controller: 62 cores, margin 2.
+    pub fn paper() -> Self {
+        CoreController {
+            max_cores: 62,
+            margin: 2,
+        }
+    }
+
+    /// Eq. 5: `active_cores = estimated_activity × max_cores + margin`,
+    /// clamped to `[margin, max_cores]`.
+    pub fn active_cores(&self, estimated_activity: f64) -> usize {
+        let raw = (estimated_activity.clamp(0.0, 1.0) * self.max_cores as f64) as usize;
+        (raw + self.margin).min(self.max_cores)
+    }
+
+    /// Active-core targets for a subframe sequence.
+    pub fn targets(
+        &self,
+        estimator: &WorkloadEstimator,
+        subframes: &[SubframeConfig],
+    ) -> Vec<usize> {
+        subframes
+            .iter()
+            .map(|sf| self.active_cores(estimator.subframe_activity(sf)))
+            .collect()
+    }
+}
+
+impl Default for CoreController {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_phy::params::UserConfig;
+
+    fn calibrated() -> WorkloadEstimator {
+        // Synthetic slopes increasing in layers and modulation order.
+        let mut k = [[0.0; 3]; 4];
+        for (l, row) in k.iter_mut().enumerate() {
+            for (m, v) in row.iter_mut().enumerate() {
+                *v = 0.0005 * (l + 1) as f64 * (1.0 + 0.3 * m as f64);
+            }
+        }
+        WorkloadEstimator::from_slopes(k)
+    }
+
+    #[test]
+    fn fit_recovers_linear_relation() {
+        let mut est = WorkloadEstimator::new();
+        let pts: Vec<CalibrationPoint> = (1..=50)
+            .map(|i| CalibrationPoint {
+                prbs: 4 * i,
+                activity: 0.002 * (4 * i) as f64,
+            })
+            .collect();
+        est.fit(2, Modulation::Qam16, &pts);
+        assert!((est.k(2, Modulation::Qam16) - 0.002).abs() < 1e-12);
+        assert!(!est.is_calibrated(), "only one cell fitted");
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let mut est = WorkloadEstimator::new();
+        let pts: Vec<CalibrationPoint> = (1..=100)
+            .map(|i| CalibrationPoint {
+                prbs: 2 * i,
+                activity: 0.001 * (2 * i) as f64 * if i % 2 == 0 { 1.05 } else { 0.95 },
+            })
+            .collect();
+        est.fit(1, Modulation::Qpsk, &pts);
+        assert!((est.k(1, Modulation::Qpsk) - 0.001).abs() < 5e-5);
+    }
+
+    #[test]
+    fn subframe_activity_sums_users() {
+        let est = calibrated();
+        let sf = SubframeConfig::new(vec![
+            UserConfig::new(100, 1, Modulation::Qpsk),
+            UserConfig::new(50, 2, Modulation::Qam64),
+        ]);
+        let expect = 100.0 * est.k(1, Modulation::Qpsk) + 50.0 * est.k(2, Modulation::Qam64);
+        assert!((est.subframe_activity(&sf) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subframe_activity_clamped_to_one() {
+        let est = WorkloadEstimator::from_slopes([[1.0; 3]; 4]);
+        let sf = SubframeConfig::new(vec![UserConfig::new(200, 4, Modulation::Qam64)]);
+        assert_eq!(est.subframe_activity(&sf), 1.0);
+    }
+
+    #[test]
+    fn empty_subframe_has_zero_activity() {
+        assert_eq!(calibrated().subframe_activity(&SubframeConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn controller_eq5() {
+        let c = CoreController::paper();
+        assert_eq!(c.active_cores(0.0), 2);
+        assert_eq!(c.active_cores(0.5), 33); // 31 + 2
+        assert_eq!(c.active_cores(1.0), 62); // clamped to max
+        assert_eq!(c.active_cores(2.0), 62);
+        assert_eq!(c.active_cores(-1.0), 2);
+    }
+
+    #[test]
+    fn targets_track_subframes() {
+        let est = calibrated();
+        let c = CoreController::paper();
+        let subframes = vec![
+            SubframeConfig::default(),
+            SubframeConfig::new(vec![UserConfig::new(200, 4, Modulation::Qam64)]),
+        ];
+        let t = c.targets(&est, &subframes);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0], 2);
+        assert!(t[1] > t[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "layers")]
+    fn out_of_range_layers_rejected() {
+        calibrated().k(5, Modulation::Qpsk);
+    }
+}

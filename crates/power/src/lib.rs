@@ -1,0 +1,31 @@
+//! Power modelling, workload estimation and power-aware resource
+//! management (§V-B and §VI of the paper).
+//!
+//! * [`model`] — a calibrated power/thermal model of the 64-core chip
+//!   (base power 14 W, per-core busy/spin dynamic power, nap wake-pulse
+//!   overheads, first-order thermal feedback) that converts the
+//!   simulator's occupancy buckets into watts. This substitutes for the
+//!   paper's NI USB-6210 measurements of the TILEPro64's buck converter.
+//! * [`meter`] — the RMS power meter (100 ms windows) used to present
+//!   every power trace, matching the paper's measurement post-processing.
+//! * [`estimator`] — the subframe workload estimator: per-(layers,
+//!   modulation) activity slopes `k_{L,M}` (Eq. 3) fitted from
+//!   steady-state calibration runs (Fig. 11), summed over users (Eq. 4),
+//!   and the active-core controller (Eq. 5).
+//! * [`gating`] — the analytical power-gating model (Eqs. 6–9): groups of
+//!   eight cores, a five-subframe look-around window, 55 mW static power
+//!   per core and 15 mW switching overhead.
+//! * [`dvfs`] — the paper's stated future work: a voltage/frequency
+//!   ladder governed by the same workload estimate.
+
+pub mod dvfs;
+pub mod estimator;
+pub mod gating;
+pub mod meter;
+pub mod model;
+
+pub use dvfs::DvfsPolicy;
+pub use estimator::{CoreController, WorkloadEstimator};
+pub use gating::PowerGating;
+pub use meter::rms_windows;
+pub use model::PowerModel;

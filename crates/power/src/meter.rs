@@ -1,0 +1,80 @@
+//! RMS power metering (§V-B).
+//!
+//! "The current varies rapidly, so we compute the root mean square (RMS)
+//! value of the current for every 100 milliseconds." The model produces
+//! one power sample per 5 ms dispatch period; the meter reduces those to
+//! RMS values over fixed windows, exactly as the paper's DAQ
+//! post-processing does.
+
+/// Reduces a sample trace to RMS values over windows of `window` samples.
+///
+/// The final window may be shorter. With 5 ms samples, `window = 20`
+/// gives the paper's 100 ms metering.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn rms_windows(samples: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    samples
+        .chunks(window)
+        .map(|w| (w.iter().map(|s| s * s).sum::<f64>() / w.len() as f64).sqrt())
+        .collect()
+}
+
+/// Arithmetic mean over windows of `window` samples (used for the
+/// 1-second activity averages of Fig. 12).
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn mean_windows(samples: &[f64], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    samples
+        .chunks(window)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_rms_is_the_constant() {
+        let out = rms_windows(&[3.0; 100], 20);
+        assert_eq!(out.len(), 5);
+        for v in out {
+            assert!((v - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rms_exceeds_mean_for_varying_signal() {
+        let samples = [1.0, 3.0, 1.0, 3.0];
+        let rms = rms_windows(&samples, 4)[0];
+        let mean = mean_windows(&samples, 4)[0];
+        assert!(rms > mean);
+        assert!((rms - (5.0f64).sqrt()).abs() < 1e-12);
+        assert!((mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_final_window() {
+        let out = rms_windows(&[2.0; 25], 20);
+        assert_eq!(out.len(), 2);
+        assert!((out[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(rms_windows(&[], 20).is_empty());
+        assert!(mean_windows(&[], 20).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        rms_windows(&[1.0], 0);
+    }
+}

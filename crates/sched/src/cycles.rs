@@ -1,0 +1,265 @@
+//! Per-kernel cycle cost model.
+//!
+//! The paper measures work in TILEPro64 cycles via `get_cycle_count()`
+//! around every useful-processing region (Eq. 1). The simulator charges
+//! the same regions with costs from this model: floating-point operation
+//! counts derived from the real Rust kernels in `lte-dsp`/`lte-phy`,
+//! multiplied by a cycles-per-flop factor calibrated so that a maximally
+//! loaded subframe (200 PRBs, 4 layers, 64-QAM, 4 RX antennas) costs
+//! ≈ 62 workers × 5 ms × 700 MHz — the paper's observed saturation point
+//! ("a new subframe can be received every fifth millisecond"). The large
+//! factor reflects the TILEPro64's software floating point.
+//!
+//! Costs are deterministic functions of the subframe input parameters,
+//! which is exactly the property the paper's workload estimator exploits.
+
+/// Subcarriers per PRB (kept local so this crate stays dependency-free).
+const SC_PER_PRB: usize = 12;
+/// Data symbols per subframe (two slots of six).
+const DATA_SYMBOLS: usize = 12;
+
+/// The platform cost model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Core clock in Hz (TILEPro64: 700 MHz).
+    pub clock_hz: f64,
+    /// Effective cycles per floating-point operation (software FP on the
+    /// TILEPro64's integer VLIW cores).
+    pub cycles_per_flop: f64,
+}
+
+impl CostModel {
+    /// The calibrated TILEPro64-like model used throughout the
+    /// reproduction.
+    pub const fn tilepro64() -> Self {
+        CostModel {
+            clock_hz: 700.0e6,
+            cycles_per_flop: 6.0,
+        }
+    }
+
+    /// Cycles for `flops` floating-point operations.
+    #[inline]
+    fn cycles(&self, flops: f64) -> u64 {
+        (flops * self.cycles_per_flop) as u64
+    }
+
+    /// Flops of one complex FFT/IFFT of length `n`.
+    ///
+    /// Modelled as a *constant cost per point* (5 × log₂ 2400 ≈ 56
+    /// flops) rather than `5·n·log₂n`: on the TILEPro64 the paper
+    /// measures activity to be linear in the number of PRBs (Fig. 11 —
+    /// the whole premise of Eq. 3), which means per-point transform cost
+    /// is effectively flat across the benchmark's size range; software-FP
+    /// emulation overhead per butterfly dwarfs the `log n` spread. The
+    /// constant is anchored at the largest LTE size so the maximum-load
+    /// calibration point is unchanged.
+    fn fft_flops(n: usize) -> f64 {
+        const LOG2_MAX_SIZE: f64 = 11.23; // log₂(12 × 200 PRBs)
+        5.0 * n as f64 * LOG2_MAX_SIZE
+    }
+
+    /// Cost of one channel-estimation task — matched filter, IFFT, window
+    /// and FFT over both slots for one (rx antenna, layer) path.
+    pub fn estimation_task(&self, prbs: usize) -> u64 {
+        let n = (prbs * SC_PER_PRB) as f64;
+        let per_slot = 6.0 * n              // matched filter (complex mult)
+            + 2.0 * Self::fft_flops(prbs * SC_PER_PRB) // IFFT + FFT
+            + 0.25 * n;                     // window
+        self.cycles(2.0 * per_slot)
+    }
+
+    /// Cost of the combiner-weight computation (both slots, all
+    /// subcarriers) — runs on the user thread, not parallelised.
+    pub fn combiner_weights(&self, prbs: usize, layers: usize, n_rx: usize) -> u64 {
+        let n_sc = (prbs * SC_PER_PRB) as f64;
+        let l = layers as f64;
+        let r = n_rx as f64;
+        // Per subcarrier: Gram matrix (r·l² complex MACs), l×l inverse
+        // (≈ l³), W = G⁻¹Hᴴ (l²·r).
+        let per_sc = 8.0 * (r * l * l + l * l * l + l * l * r);
+        self.cycles(2.0 * n_sc * per_sc)
+    }
+
+    /// Cost of one antenna-combining + IFFT task for one (symbol, layer).
+    pub fn combine_task(&self, prbs: usize, n_rx: usize) -> u64 {
+        let n = (prbs * SC_PER_PRB) as f64;
+        let combine = 8.0 * n * n_rx as f64; // complex MAC per antenna
+        self.cycles(combine + Self::fft_flops(prbs * SC_PER_PRB))
+    }
+
+    /// Cost of the serial tail on the user thread: deinterleave, soft
+    /// demap, turbo pass-through, CRC.
+    pub fn finish_task(&self, prbs: usize, layers: usize, mod_bits: usize) -> u64 {
+        let n_sym = (prbs * SC_PER_PRB * DATA_SYMBOLS * layers) as f64;
+        let bits = n_sym * mod_bits as f64;
+        // Max-log demap cost grows with constellation size.
+        let demap_per_symbol = match mod_bits {
+            2 => 6.0,
+            4 => 18.0,
+            _ => 40.0,
+        };
+        let deinterleave = 1.0 * bits;
+        let crc = 2.0 * bits;
+        self.cycles(n_sym * demap_per_symbol + deinterleave + crc)
+    }
+
+    /// Total cycles for one user's subframe (all stages).
+    pub fn user_total(&self, prbs: usize, layers: usize, mod_bits: usize, n_rx: usize) -> u64 {
+        self.user_job(prbs, layers, mod_bits, n_rx).total_cycles()
+    }
+
+    /// Builds the simulator task graph for one user.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero or `mod_bits` is not 2, 4 or 6.
+    pub fn user_job(&self, prbs: usize, layers: usize, mod_bits: usize, n_rx: usize) -> SimJob {
+        assert!(prbs > 0 && layers > 0 && n_rx > 0, "parameters must be positive");
+        assert!(matches!(mod_bits, 2 | 4 | 6), "mod_bits must be 2, 4 or 6");
+        let est = self.estimation_task(prbs);
+        let combine = self.combine_task(prbs, n_rx);
+        SimJob {
+            est_tasks: vec![est; n_rx * layers],
+            weights_cost: self.combiner_weights(prbs, layers, n_rx),
+            combine_tasks: vec![combine; DATA_SYMBOLS * layers],
+            finish_cost: self.finish_task(prbs, layers, mod_bits),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::tilepro64()
+    }
+}
+
+/// The task graph of one user job, as the simulator executes it:
+/// estimation tasks (parallel) → combiner weights (user thread) →
+/// combine tasks (parallel) → finish (user thread).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimJob {
+    /// Channel-estimation task costs (`n_rx × layers` entries).
+    pub est_tasks: Vec<u64>,
+    /// Combiner-weight cost, run serially on the user thread.
+    pub weights_cost: u64,
+    /// Antenna-combining task costs (`12 × layers` entries).
+    pub combine_tasks: Vec<u64>,
+    /// Serial tail cost (deinterleave, demap, turbo pass, CRC).
+    pub finish_cost: u64,
+}
+
+impl SimJob {
+    /// Sum of all task costs.
+    pub fn total_cycles(&self) -> u64 {
+        self.est_tasks.iter().sum::<u64>()
+            + self.weights_cost
+            + self.combine_tasks.iter().sum::<u64>()
+            + self.finish_cost
+    }
+
+    /// Length of the critical (serial) path assuming unlimited workers.
+    pub fn critical_path(&self) -> u64 {
+        self.est_tasks.iter().copied().max().unwrap_or(0)
+            + self.weights_cost
+            + self.combine_tasks.iter().copied().max().unwrap_or(0)
+            + self.finish_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODEL: CostModel = CostModel::tilepro64();
+
+    #[test]
+    fn max_load_subframe_saturates_62_workers_for_5ms() {
+        // The paper: at maximum workload (200 PRBs total, every user 4
+        // layers + 64-QAM) with 62 workers, one subframe per 5 ms.
+        // Model it as 10 users × 20 PRBs.
+        let total: u64 = (0..10)
+            .map(|_| MODEL.user_total(20, 4, 6, 4))
+            .sum();
+        let budget = 62.0 * 5.0e-3 * MODEL.clock_hz;
+        let ratio = total as f64 / budget;
+        assert!(
+            (0.6..=1.1).contains(&ratio),
+            "max-load subframe uses {ratio:.2}× the 5 ms budget"
+        );
+    }
+
+    #[test]
+    fn single_max_user_close_to_budget() {
+        let total = MODEL.user_total(200, 4, 6, 4) as f64;
+        let budget = 62.0 * 5.0e-3 * MODEL.clock_hz;
+        let ratio = total / budget;
+        assert!((0.7..=1.1).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn cost_grows_with_every_parameter() {
+        let base = MODEL.user_total(20, 2, 4, 4);
+        assert!(MODEL.user_total(40, 2, 4, 4) > base, "more PRBs");
+        assert!(MODEL.user_total(20, 4, 4, 4) > base, "more layers");
+        assert!(MODEL.user_total(20, 2, 6, 4) > base, "higher modulation");
+        assert!(MODEL.user_total(20, 2, 4, 8) > base, "more antennas");
+    }
+
+    #[test]
+    fn roughly_linear_in_prbs() {
+        // Eq. 3 of the paper: activity ≈ k·PRBs for fixed layers and
+        // modulation. The model has an n·log n term, so allow ±20 %.
+        let k50 = MODEL.user_total(50, 2, 4, 4) as f64 / 50.0;
+        let k100 = MODEL.user_total(100, 2, 4, 4) as f64 / 100.0;
+        let k200 = MODEL.user_total(200, 2, 4, 4) as f64 / 200.0;
+        assert!((k100 / k50 - 1.0).abs() < 0.2, "{k50} vs {k100}");
+        assert!((k200 / k100 - 1.0).abs() < 0.2, "{k100} vs {k200}");
+    }
+
+    #[test]
+    fn layer_and_modulation_slopes_are_ordered() {
+        // Fig. 11: slope increases with layers and with modulation order.
+        let mut last = 0;
+        for layers in 1..=4 {
+            let c = MODEL.user_total(100, layers, 2, 4);
+            assert!(c > last, "layers {layers}");
+            last = c;
+        }
+        let qpsk = MODEL.user_total(100, 2, 2, 4);
+        let qam16 = MODEL.user_total(100, 2, 4, 4);
+        let qam64 = MODEL.user_total(100, 2, 6, 4);
+        assert!(qpsk < qam16 && qam16 < qam64);
+    }
+
+    #[test]
+    fn job_structure_matches_paper_parallelism() {
+        let job = MODEL.user_job(10, 3, 4, 4);
+        assert_eq!(job.est_tasks.len(), 12); // rx × layers
+        assert_eq!(job.combine_tasks.len(), 36); // 12 symbols × layers
+        assert!(job.weights_cost > 0 && job.finish_cost > 0);
+    }
+
+    #[test]
+    fn critical_path_le_total() {
+        let job = MODEL.user_job(50, 4, 6, 4);
+        assert!(job.critical_path() <= job.total_cycles());
+        assert!(job.critical_path() > 0);
+    }
+
+    #[test]
+    fn serial_tail_is_modest_fraction() {
+        // The serial stages must not dominate, or the paper's task-level
+        // parallelism claims would be meaningless.
+        let job = MODEL.user_job(200, 4, 6, 4);
+        let serial = job.weights_cost + job.finish_cost;
+        let frac = serial as f64 / job.total_cycles() as f64;
+        assert!(frac < 0.5, "serial fraction {frac:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mod_bits")]
+    fn invalid_modulation_rejected() {
+        MODEL.user_job(10, 1, 3, 4);
+    }
+}

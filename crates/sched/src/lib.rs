@@ -1,0 +1,28 @@
+//! Work-stealing runtime and tile-machine simulator.
+//!
+//! Two execution substrates back the benchmark:
+//!
+//! * [`pool`] — a real work-stealing thread pool (crossbeam deques, one OS
+//!   thread per worker) mirroring the paper's Pthreads runtime: a global
+//!   user queue checked before stealing, per-scope task sets, and
+//!   cycle-accounting instrumentation (the `get_cycle_count()` analogue).
+//!   This is what the *benchmark* deliverable runs on.
+//!
+//! * [`sim`] — a deterministic discrete-event simulator of a 64-core tile
+//!   processor (the TILEPro64 substitute): per-core queues, work stealing
+//!   with steal latency, the `nap` instruction with periodic wake polling,
+//!   and per-state occupancy accounting. Every power experiment in the
+//!   reproduction runs here, bit-reproducibly.
+//!
+//! [`cycles`] supplies the per-kernel cycle cost model that converts a
+//! user's subframe parameters into the simulator's task costs, calibrated
+//! so a maximally loaded subframe occupies 62 workers for ≈ 5 ms — the
+//! paper's measured rate on the TILEPro64.
+
+pub mod cycles;
+pub mod pool;
+pub mod sim;
+
+pub use cycles::{CostModel, SimJob};
+pub use pool::TaskPool;
+pub use sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};

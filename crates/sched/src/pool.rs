@@ -1,0 +1,519 @@
+//! A real work-stealing thread pool mirroring the paper's Pthreads runtime.
+//!
+//! Structure (§IV-B/C of the paper):
+//!
+//! * a **global user queue** of jobs — idle workers check it *before*
+//!   stealing fine-grained tasks, so new subframes start promptly;
+//! * **per-worker task deques** — a user thread (the worker that dequeued
+//!   a job) spawns its tasks onto *its own* deque and pops them LIFO;
+//!   idle workers steal FIFO from other workers' deques (Chase–Lev via
+//!   `crossbeam::deque`), exactly the paper's "each worker thread has a
+//!   local task queue, and if no work exists in its own queue, it tries
+//!   to steal work from another worker thread";
+//! * **task scopes** ([`TaskPool::scope`]) — the fork-join barrier
+//!   between pipeline phases: the caller helps execute until all tasks
+//!   of the scope complete;
+//! * **cycle accounting** — every executed task is timed, the analogue of
+//!   the paper's `get_cycle_count()` instrumentation, so the activity
+//!   metric (Eq. 2) can be computed for real runs too.
+//!
+//! One deliberate difference from the paper's implementation is noted on
+//! [`TaskPool::scope`]: a waiting user thread here may help execute other
+//! users' tasks instead of pure spinning, which only improves utilisation
+//! and cannot change results (tasks write disjoint outputs).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use parking_lot::{Condvar, Mutex};
+
+type Job = Box<dyn FnOnce(&TaskPool) + Send + 'static>;
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// The local deque of the worker thread currently running, if any.
+    static LOCAL_DEQUE: RefCell<Option<Worker<Task>>> = const { RefCell::new(None) };
+    /// Nanoseconds this thread has spent inside [`TaskPool::scope`] for
+    /// the job currently executing — subtracted from the job's own
+    /// elapsed time so barrier waits and helping are not double-counted
+    /// as useful work.
+    static SCOPE_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct Inner {
+    jobs: Injector<Job>,
+    /// Tasks submitted from threads without a local deque.
+    overflow: Injector<Task>,
+    /// Stealers for every worker's local deque.
+    stealers: Vec<Stealer<Task>>,
+    shutdown: AtomicBool,
+    pending_jobs: AtomicUsize,
+    busy_nanos: AtomicU64,
+    executed_tasks: AtomicU64,
+    steal_count: AtomicU64,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Inner {
+    /// Grabs one task from anywhere: the overflow queue, then other
+    /// workers' deques (round-robin from `start`).
+    fn steal_task(&self, start: usize) -> Option<Task> {
+        loop {
+            match self.overflow.steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Retry => continue,
+                Steal::Empty => break,
+            }
+        }
+        let n = self.stealers.len();
+        for i in 0..n {
+            let victim = (start + i) % n;
+            loop {
+                match self.stealers[victim].steal() {
+                    Steal::Success(t) => {
+                        self.steal_count.fetch_add(1, Ordering::Relaxed);
+                        return Some(t);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+}
+
+/// A work-stealing thread pool with a global user-job queue and
+/// per-worker task deques.
+///
+/// # Example
+///
+/// ```
+/// use lte_sched::TaskPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = TaskPool::new(4);
+/// let counter = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..10 {
+///     let c = Arc::clone(&counter);
+///     pool.submit_job(move |pool| {
+///         // A job fans out tasks and joins them.
+///         let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+///             .map(|_| {
+///                 let c = Arc::clone(&c);
+///                 Box::new(move || {
+///                     c.fetch_add(1, Ordering::Relaxed);
+///                 }) as Box<dyn FnOnce() + Send>
+///             })
+///             .collect();
+///         pool.scope(tasks);
+///     });
+/// }
+/// pool.wait_all();
+/// assert_eq!(counter.load(Ordering::Relaxed), 80);
+/// ```
+pub struct TaskPool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl TaskPool {
+    /// Spawns a pool with `n_workers` OS threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_workers == 0`.
+    pub fn new(n_workers: usize) -> Self {
+        assert!(n_workers > 0, "need at least one worker");
+        let deques: Vec<Worker<Task>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let inner = Arc::new(Inner {
+            jobs: Injector::new(),
+            overflow: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            pending_jobs: AtomicUsize::new(0),
+            busy_nanos: AtomicU64::new(0),
+            executed_tasks: AtomicU64::new(0),
+            steal_count: AtomicU64::new(0),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("lte-worker-{i}"))
+                    .spawn(move || worker_loop(inner, i, deque))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        TaskPool {
+            inner,
+            workers,
+            n_workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Enqueues a user job on the global queue. The job runs on some
+    /// worker (its "user thread") and receives a pool handle for nested
+    /// [`scope`](TaskPool::scope) fan-outs.
+    pub fn submit_job(&self, job: impl FnOnce(&TaskPool) + Send + 'static) {
+        self.inner.pending_jobs.fetch_add(1, Ordering::SeqCst);
+        self.inner.jobs.push(Box::new(job));
+        self.inner.idle_cv.notify_all();
+    }
+
+    /// Runs a set of tasks to completion, helping execute them from the
+    /// calling thread (fork-join barrier).
+    ///
+    /// When called from a worker thread the tasks go onto *that worker's*
+    /// deque (LIFO for the owner, stealable FIFO by others), as in the
+    /// paper. The caller may also pick up *other* pending tasks while it
+    /// waits — a benign deviation from the paper's pure spin wait that
+    /// can only improve core utilisation.
+    pub fn scope(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let remaining = Arc::new(AtomicUsize::new(tasks.len()));
+        LOCAL_DEQUE.with(|local| {
+            let local = local.borrow();
+            for task in tasks {
+                let remaining = Arc::clone(&remaining);
+                let wrapped: Task = Box::new(move || {
+                    task();
+                    remaining.fetch_sub(1, Ordering::SeqCst);
+                });
+                match local.as_ref() {
+                    Some(deque) => deque.push(wrapped),
+                    None => self.inner.overflow.push(wrapped),
+                }
+            }
+        });
+        self.inner.idle_cv.notify_all();
+        // Help until the barrier resolves: own deque first, then steal.
+        let scope_start = Instant::now();
+        while remaining.load(Ordering::SeqCst) > 0 {
+            let task = LOCAL_DEQUE
+                .with(|local| local.borrow().as_ref().and_then(|d| d.pop()))
+                .or_else(|| self.inner.steal_task(0));
+            match task {
+                Some(t) => run_timed(&self.inner, t),
+                None => std::hint::spin_loop(),
+            }
+        }
+        SCOPE_NANOS.with(|c| c.set(c.get() + scope_start.elapsed().as_nanos() as u64));
+    }
+
+    /// Blocks until every submitted job has completed.
+    pub fn wait_all(&self) {
+        let mut guard = self.inner.done_lock.lock();
+        while self.inner.pending_jobs.load(Ordering::SeqCst) > 0 {
+            self.inner
+                .done_cv
+                .wait_for(&mut guard, Duration::from_millis(10));
+        }
+    }
+
+    /// Total nanoseconds of useful task/job execution so far — the
+    /// `get_cycle_count()` sum of Eq. 1.
+    pub fn busy_nanos(&self) -> u64 {
+        self.inner.busy_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Total tasks executed so far.
+    pub fn executed_tasks(&self) -> u64 {
+        self.inner.executed_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Number of successful steals from other workers' deques so far.
+    pub fn steal_count(&self) -> u64 {
+        self.inner.steal_count.load(Ordering::Relaxed)
+    }
+
+    /// Activity over a wall-clock window per Eq. 2: useful time divided
+    /// by `n_workers × window`.
+    pub fn activity_since(&self, busy_start: u64, window: Duration) -> f64 {
+        let busy = self.busy_nanos().saturating_sub(busy_start) as f64;
+        busy / (self.n_workers as f64 * window.as_nanos() as f64)
+    }
+}
+
+impl Drop for TaskPool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.idle_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn run_timed(inner: &Inner, task: Task) {
+    let start = Instant::now();
+    task();
+    inner
+        .busy_nanos
+        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    inner.executed_tasks.fetch_add(1, Ordering::Relaxed);
+}
+
+fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
+    LOCAL_DEQUE.with(|local| *local.borrow_mut() = Some(deque));
+    let n_workers = inner.stealers.len();
+    let pool_handle = TaskPool {
+        inner: Arc::clone(&inner),
+        workers: Vec::new(), // handle owns no threads; Drop join is a no-op
+        n_workers,
+    };
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Own deque first (LIFO), …
+        if let Some(t) = LOCAL_DEQUE.with(|local| local.borrow().as_ref().and_then(|d| d.pop())) {
+            run_timed(&inner, t);
+            continue;
+        }
+        // … then the global user queue (§IV-C: checked before stealing), …
+        match inner.jobs.steal() {
+            Steal::Success(job) => {
+                let scope_before = SCOPE_NANOS.with(Cell::get);
+                let start = Instant::now();
+                job(&pool_handle);
+                let scoped = SCOPE_NANOS.with(Cell::get) - scope_before;
+                let useful = (start.elapsed().as_nanos() as u64).saturating_sub(scoped);
+                inner.busy_nanos.fetch_add(useful, Ordering::Relaxed);
+                if inner.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    inner.done_cv.notify_all();
+                }
+                continue;
+            }
+            Steal::Retry => continue,
+            Steal::Empty => {}
+        }
+        // … then steal tasks from anyone.
+        if let Some(t) = inner.steal_task(index + 1) {
+            run_timed(&inner, t);
+            continue;
+        }
+        // Nothing to do: brief wait (the IDLE policy analogue).
+        let mut guard = inner.idle_lock.lock();
+        if inner.jobs.is_empty() && inner.overflow.is_empty() && !inner.shutdown.load(Ordering::SeqCst)
+        {
+            inner.idle_cv.wait_for(&mut guard, Duration::from_micros(500));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = TaskPool::new(4);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..100 {
+            let c = Arc::clone(&counter);
+            pool.submit_job(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn scope_runs_every_task_exactly_once() {
+        let pool = TaskPool::new(4);
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        pool.submit_job(move |p| {
+            let tasks: Vec<Task> = (0..64)
+                .map(|_| {
+                    let h = Arc::clone(&h);
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }) as Task
+                })
+                .collect();
+            p.scope(tasks);
+            assert_eq!(h.load(Ordering::SeqCst), 64, "barrier must be complete");
+        });
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn scope_from_non_worker_thread_works() {
+        // Calling scope() from the main thread (no local deque) routes
+        // through the overflow queue.
+        let pool = TaskPool::new(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        let tasks: Vec<Task> = (0..16)
+            .map(|_| {
+                let h = Arc::clone(&hits);
+                Box::new(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                }) as Task
+            })
+            .collect();
+        pool.scope(tasks);
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn nested_phases_preserve_order() {
+        // Phase 2 tasks must observe every phase 1 effect.
+        let pool = TaskPool::new(8);
+        let phase1 = Arc::new(AtomicU32::new(0));
+        let violations = Arc::new(AtomicU32::new(0));
+        for _ in 0..20 {
+            let p1 = Arc::clone(&phase1);
+            let bad = Arc::clone(&violations);
+            pool.submit_job(move |p| {
+                let before = p1.load(Ordering::SeqCst);
+                let mine = 8;
+                let tasks: Vec<Task> = (0..mine)
+                    .map(|_| {
+                        let p1 = Arc::clone(&p1);
+                        Box::new(move || {
+                            p1.fetch_add(1, Ordering::SeqCst);
+                        }) as Task
+                    })
+                    .collect();
+                p.scope(tasks);
+                if p1.load(Ordering::SeqCst) < before + mine {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        pool.wait_all();
+        assert_eq!(violations.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn accounting_accumulates() {
+        let pool = TaskPool::new(2);
+        pool.submit_job(|p| {
+            let tasks: Vec<Task> = (0..4)
+                .map(|_| {
+                    Box::new(|| {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }) as Task
+                })
+                .collect();
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        assert!(pool.busy_nanos() >= 4 * 5_000_000 / 2, "{}", pool.busy_nanos());
+        assert_eq!(pool.executed_tasks(), 4);
+    }
+
+    #[test]
+    fn parallel_speedup_on_sleep_tasks() {
+        // 8 × 20 ms of sleeping on 8 workers should take well under the
+        // 160 ms serial time.
+        let pool = TaskPool::new(8);
+        let start = Instant::now();
+        pool.submit_job(|p| {
+            let tasks: Vec<Task> = (0..8)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(Duration::from_millis(20))) as Task
+                })
+                .collect();
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(120),
+            "took {elapsed:?}, expected parallel execution"
+        );
+    }
+
+    #[test]
+    fn stealing_happens_under_load() {
+        // With several workers and sleeping tasks spawned on one user
+        // thread, other workers must steal to overlap the sleeps.
+        let pool = TaskPool::new(4);
+        pool.submit_job(|p| {
+            let tasks: Vec<Task> = (0..12)
+                .map(|_| {
+                    Box::new(|| std::thread::sleep(Duration::from_millis(3))) as Task
+                })
+                .collect();
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        assert!(
+            pool.steal_count() > 0,
+            "parallel sleeps require successful steals"
+        );
+    }
+
+    #[test]
+    fn empty_scope_returns_immediately() {
+        let pool = TaskPool::new(1);
+        pool.submit_job(|p| p.scope(Vec::new()));
+        pool.wait_all();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let pool = TaskPool::new(4);
+        pool.submit_job(|_| {});
+        pool.wait_all();
+        drop(pool); // must not hang
+    }
+
+    #[test]
+    fn many_jobs_stress() {
+        let pool = TaskPool::new(4);
+        let total = Arc::new(AtomicU32::new(0));
+        for j in 0..200 {
+            let total = Arc::clone(&total);
+            pool.submit_job(move |p| {
+                let tasks: Vec<Task> = (0..(j % 7 + 1))
+                    .map(|_| {
+                        let t = Arc::clone(&total);
+                        Box::new(move || {
+                            t.fetch_add(1, Ordering::SeqCst);
+                        }) as Task
+                    })
+                    .collect();
+                p.scope(tasks);
+            });
+        }
+        pool.wait_all();
+        let expect: u32 = (0..200).map(|j| j % 7 + 1).sum();
+        assert_eq!(total.load(Ordering::SeqCst), expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        TaskPool::new(0);
+    }
+}

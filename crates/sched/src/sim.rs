@@ -1,0 +1,1004 @@
+//! Deterministic discrete-event simulator of a 64-core tile machine.
+//!
+//! This is the reproduction's stand-in for the Tilera TILEPro64: the power
+//! experiments of the paper are occupancy phenomena — which cores are
+//! busy, spinning, or napping at each instant under a given resource-
+//! management policy — and this simulator reproduces exactly those
+//! occupancy traces for the benchmark's task graph, deterministically.
+//!
+//! Modelled behaviour (matching §IV/§VI of the paper):
+//!
+//! * one global user queue; idle workers check it **before** stealing;
+//! * per-worker task queues; the user thread spawns its tasks locally and
+//!   pops LIFO, thieves steal FIFO from the front with a steal latency;
+//! * the user thread **waits** (spins) at each phase barrier instead of
+//!   stealing, exactly as described in §IV-C;
+//! * the `nap` instruction clock-gates a core; "there is no easy way to
+//!   reactivate a napping core; a core therefore periodically wakes up to
+//!   see if its status has changed" — napping cores here wake every
+//!   [`SimConfig::wake_period`] cycles, pay a wake pulse, and re-check;
+//! * proactive policies (NAP) deactivate cores whose id exceeds the
+//!   per-subframe active-core target (Eq. 5); reactive policies (IDLE)
+//!   nap cores that find no work; NAP+IDLE combines both.
+//!
+//! Per-bucket occupancy statistics (busy / spin / nap cycles, wake pulses)
+//! feed the `lte-power` model, and the busy-cycle counts are the
+//! `get_cycle_count()` sums behind the paper's activity metric (Eq. 2).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use crate::cycles::SimJob;
+
+/// Resource-management policy (§VI-B of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NapPolicy {
+    /// Idle cores spin; nothing is ever deactivated.
+    NoNap,
+    /// Reactive: cores that find no work nap and poll periodically.
+    Idle,
+    /// Proactive: cores above the estimated requirement nap; active
+    /// cores spin when idle.
+    Nap,
+    /// Proactive + reactive combined.
+    NapIdle,
+}
+
+impl NapPolicy {
+    /// `true` if the policy deactivates cores above the subframe target.
+    pub fn proactive(self) -> bool {
+        matches!(self, NapPolicy::Nap | NapPolicy::NapIdle)
+    }
+
+    /// `true` if idle cores nap instead of spinning.
+    pub fn reactive(self) -> bool {
+        matches!(self, NapPolicy::Idle | NapPolicy::NapIdle)
+    }
+
+    /// All four policies in the paper's presentation order.
+    pub const ALL: [NapPolicy; 4] = [
+        NapPolicy::NoNap,
+        NapPolicy::Idle,
+        NapPolicy::Nap,
+        NapPolicy::NapIdle,
+    ];
+}
+
+impl std::fmt::Display for NapPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            NapPolicy::NoNap => "NONAP",
+            NapPolicy::Idle => "IDLE",
+            NapPolicy::Nap => "NAP",
+            NapPolicy::NapIdle => "NAP+IDLE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine and runtime parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Worker cores (the paper: 62 of the 64, one for drivers, one for
+    /// the maintenance thread).
+    pub n_workers: usize,
+    /// Cycles between subframe dispatches (the paper's DELTA; 5 ms at
+    /// 700 MHz when running the TILEPro64 at its sustainable rate).
+    pub dispatch_period: u64,
+    /// Cycles to locate and steal a task from another queue.
+    pub steal_latency: u64,
+    /// Fixed per-task dispatch overhead.
+    pub task_overhead: u64,
+    /// Nap wake-poll period in cycles.
+    pub wake_period: u64,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// The resource-management policy.
+    pub policy: NapPolicy,
+}
+
+impl SimConfig {
+    /// The paper's evaluation platform: 62 workers at 700 MHz, subframes
+    /// every 5 ms, 1 ms nap wake polling.
+    pub fn tilepro64(policy: NapPolicy) -> Self {
+        SimConfig {
+            n_workers: 62,
+            dispatch_period: 3_500_000,
+            steal_latency: 400,
+            task_overhead: 200,
+            wake_period: 700_000,
+            clock_hz: 700.0e6,
+            policy,
+        }
+    }
+
+    /// Simulated seconds per dispatch period.
+    pub fn dispatch_seconds(&self) -> f64 {
+        self.dispatch_period as f64 / self.clock_hz
+    }
+}
+
+/// One subframe's workload: the user jobs plus the policy's active-core
+/// target (ignored by non-proactive policies).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubframeLoad {
+    /// User jobs to dispatch.
+    pub jobs: Vec<SimJob>,
+    /// Active-core target from the workload estimator (Eq. 5).
+    pub active_target: usize,
+}
+
+/// Occupancy statistics for one dispatch-period bucket.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BucketStats {
+    /// Cycles spent in useful compute (the Eq. 1 sums).
+    pub busy_cycles: u64,
+    /// Cycles spent spinning: idle work search plus barrier waits.
+    pub spin_cycles: u64,
+    /// Cycles spent napping (clock-gated).
+    pub nap_cycles: u64,
+    /// Nap wake pulses taken in this bucket (total).
+    pub wake_pulses: u64,
+    /// The subset of wake pulses that only checked a status flag
+    /// (proactively napped cores). The paper attributes IDLE's extra
+    /// power to the remaining, costlier work-polling pulses.
+    pub wake_pulses_status: u64,
+    /// The policy's active-core target during this bucket.
+    pub active_target: usize,
+    /// Jobs completed in this bucket.
+    pub jobs_completed: u64,
+}
+
+impl BucketStats {
+    /// Activity per Eq. 2: useful cycles over total worker cycles.
+    pub fn activity(&self, n_workers: usize, bucket_cycles: u64) -> f64 {
+        self.busy_cycles as f64 / (n_workers as u64 * bucket_cycles) as f64
+    }
+}
+
+/// The simulator's output.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Per-dispatch-period occupancy.
+    pub buckets: Vec<BucketStats>,
+    /// Completion latency (cycles from dispatch) of every job, in
+    /// completion order.
+    pub job_latencies: Vec<u64>,
+    /// Simulated end time in cycles.
+    pub end_time: u64,
+    /// Total jobs executed.
+    pub jobs_total: usize,
+    /// Largest number of *subframes* with unfinished jobs at any instant
+    /// — the paper: "A base station therefore processes no more than two
+    /// to three subframes concurrently."
+    pub max_concurrent_subframes: usize,
+    /// Total busy cycles per core over the run — shows how proactive
+    /// policies concentrate work on the low-numbered (always-active)
+    /// cores.
+    pub busy_per_core: Vec<u64>,
+}
+
+impl SimReport {
+    /// Latency percentile in cycles (`p` in 0..=100); 0 for empty runs.
+    pub fn latency_percentile(&self, p: usize) -> u64 {
+        if self.job_latencies.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.job_latencies.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() - 1).min(sorted.len() * p.min(100) / 100);
+        sorted[idx]
+    }
+
+    /// Mean activity over the whole run (Eq. 2 with a run-length window).
+    pub fn mean_activity(&self, cfg: &SimConfig) -> f64 {
+        let busy: u64 = self.buckets.iter().map(|b| b.busy_cycles).sum();
+        let total = cfg.n_workers as u64 * cfg.dispatch_period * self.buckets.len().max(1) as u64;
+        busy as f64 / total as f64
+    }
+
+    /// Activity averaged over windows of `per` buckets (the paper uses
+    /// 1-second windows = 200 subframes).
+    pub fn windowed_activity(&self, cfg: &SimConfig, per: usize) -> Vec<f64> {
+        assert!(per > 0, "window must be positive");
+        self.buckets
+            .chunks(per)
+            .map(|w| {
+                let busy: u64 = w.iter().map(|b| b.busy_cycles).sum();
+                busy as f64 / (cfg.n_workers as u64 * cfg.dispatch_period * w.len() as u64) as f64
+            })
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Phase {
+    Estimation,
+    Weights,
+    Combine,
+    Finish,
+}
+
+struct JobState {
+    spec: SimJob,
+    phase: Phase,
+    pending: usize,
+    user_core: usize,
+    ready_continuation: bool,
+    dispatched_at: u64,
+    subframe: usize,
+    done: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Work {
+    /// A stealable phase task of `job`.
+    Task { job: usize, cost: u64 },
+    /// The combiner-weight continuation of `job`.
+    Weights { job: usize },
+    /// The serial tail of `job`.
+    Finish { job: usize },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CoreState {
+    SpinIdle,
+    Busy,
+    WaitBarrier,
+    NapReactive,
+    NapProactive,
+}
+
+struct Core {
+    state: CoreState,
+    state_since: u64,
+    deque: VecDeque<Work>,
+    current: Option<Work>,
+    owned_job: Option<usize>,
+    wake_seq: u64,
+    wake_pending: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    Dispatch { subframe: usize },
+    TaskDone { core: usize },
+    Wake { core: usize, seq: u64 },
+}
+
+/// The discrete-event simulator. Construct with a config, feed it a
+/// subframe sequence with [`Simulator::run`].
+pub struct Simulator {
+    cfg: SimConfig,
+    cores: Vec<Core>,
+    jobs: Vec<JobState>,
+    user_queue: VecDeque<usize>,
+    events: BinaryHeap<Reverse<(u64, u64, Event)>>,
+    event_seq: u64,
+    now: u64,
+    target: usize,
+    buckets: Vec<BucketStats>,
+    job_latencies: Vec<u64>,
+    jobs_completed: usize,
+    dispatched_all: bool,
+    steal_cursor: usize,
+    /// Unfinished-job count per subframe index (for concurrency stats).
+    open_jobs_per_subframe: Vec<usize>,
+    busy_per_core: Vec<u64>,
+    open_subframes: usize,
+    max_concurrent_subframes: usize,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0` or `cfg.dispatch_period == 0`.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.n_workers > 0, "need at least one worker");
+        assert!(cfg.dispatch_period > 0, "dispatch period must be positive");
+        let cores = (0..cfg.n_workers)
+            .map(|_| Core {
+                state: CoreState::SpinIdle,
+                state_since: 0,
+                deque: VecDeque::new(),
+                current: None,
+                owned_job: None,
+                wake_seq: 0,
+                wake_pending: false,
+            })
+            .collect();
+        Simulator {
+            cfg,
+            cores,
+            jobs: Vec::new(),
+            user_queue: VecDeque::new(),
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            now: 0,
+            target: cfg.n_workers,
+            buckets: Vec::new(),
+            job_latencies: Vec::new(),
+            jobs_completed: 0,
+            dispatched_all: false,
+            steal_cursor: 0,
+            open_jobs_per_subframe: Vec::new(),
+            busy_per_core: vec![0; cfg.n_workers],
+            open_subframes: 0,
+            max_concurrent_subframes: 0,
+        }
+    }
+
+    /// Runs the subframe sequence to completion and reports occupancy.
+    pub fn run(mut self, subframes: &[SubframeLoad]) -> SimReport {
+        self.buckets = vec![BucketStats::default(); subframes.len().max(1)];
+        self.open_jobs_per_subframe = vec![0; subframes.len()];
+        for (i, _) in subframes.iter().enumerate() {
+            self.push_event(
+                i as u64 * self.cfg.dispatch_period,
+                Event::Dispatch { subframe: i },
+            );
+        }
+        if subframes.is_empty() {
+            self.dispatched_all = true;
+        }
+        while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            self.now = t;
+            match ev {
+                Event::Dispatch { subframe } => self.handle_dispatch(subframe, subframes),
+                Event::TaskDone { core } => self.handle_task_done(core),
+                Event::Wake { core, seq } => self.handle_wake(core, seq),
+            }
+        }
+        // Flush terminal states.
+        let end = self.now;
+        for c in 0..self.cores.len() {
+            let (state, since) = (self.cores[c].state, self.cores[c].state_since);
+            self.account(state, since, end);
+            if state == CoreState::Busy && end > since {
+                self.busy_per_core[c] += end - since;
+            }
+        }
+        debug_assert_eq!(self.jobs_completed, self.jobs.len(), "all jobs must finish");
+        SimReport {
+            buckets: self.buckets,
+            job_latencies: self.job_latencies,
+            end_time: end,
+            jobs_total: self.jobs.len(),
+            max_concurrent_subframes: self.max_concurrent_subframes,
+            busy_per_core: self.busy_per_core,
+        }
+    }
+
+    fn push_event(&mut self, t: u64, ev: Event) {
+        self.event_seq += 1;
+        self.events.push(Reverse((t, self.event_seq, ev)));
+    }
+
+    fn all_work_done(&self) -> bool {
+        self.dispatched_all && self.jobs_completed == self.jobs.len()
+    }
+
+    /// Splits a state interval across buckets and accumulates it.
+    fn account(&mut self, state: CoreState, from: u64, to: u64) {
+        if to <= from {
+            return;
+        }
+        let width = self.cfg.dispatch_period;
+        let last = self.buckets.len() - 1;
+        let mut t = from;
+        while t < to {
+            let idx = ((t / width) as usize).min(last);
+            let bucket_end = if idx == last {
+                to
+            } else {
+                ((t / width) + 1) * width
+            };
+            let span = bucket_end.min(to) - t;
+            let b = &mut self.buckets[idx];
+            match state {
+                CoreState::Busy => b.busy_cycles += span,
+                CoreState::SpinIdle | CoreState::WaitBarrier => b.spin_cycles += span,
+                CoreState::NapReactive | CoreState::NapProactive => b.nap_cycles += span,
+            }
+            t = bucket_end.min(to);
+        }
+    }
+
+    fn bucket_idx(&self, t: u64) -> usize {
+        ((t / self.cfg.dispatch_period) as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Transitions a core to a new state, accounting the old interval.
+    fn set_state(&mut self, core: usize, state: CoreState) {
+        let (old, since) = (self.cores[core].state, self.cores[core].state_since);
+        let now = self.now;
+        self.account(old, since, now);
+        if old == CoreState::Busy && now > since {
+            self.busy_per_core[core] += now - since;
+        }
+        let c = &mut self.cores[core];
+        c.state = state;
+        c.state_since = now;
+    }
+
+    fn handle_dispatch(&mut self, subframe: usize, subframes: &[SubframeLoad]) {
+        let load = &subframes[subframe];
+        self.target = if self.cfg.policy.proactive() {
+            load.active_target.clamp(1, self.cfg.n_workers)
+        } else {
+            self.cfg.n_workers
+        };
+        let idx = self.bucket_idx(self.now);
+        self.buckets[idx].active_target = self.target;
+        if !load.jobs.is_empty() {
+            self.open_jobs_per_subframe[subframe] = load.jobs.len();
+            self.open_subframes += 1;
+            self.max_concurrent_subframes =
+                self.max_concurrent_subframes.max(self.open_subframes);
+        }
+        for job in &load.jobs {
+            let id = self.jobs.len();
+            self.jobs.push(JobState {
+                spec: job.clone(),
+                phase: Phase::Estimation,
+                pending: 0,
+                user_core: usize::MAX,
+                ready_continuation: false,
+                dispatched_at: self.now,
+                subframe,
+                done: false,
+            });
+            self.user_queue.push_back(id);
+        }
+        if subframe + 1 == subframes.len() {
+            self.dispatched_all = true;
+        }
+        // A proactive target drop naps spinning cores above the line;
+        // new work wakes the rest.
+        self.renap_spinners_above_target();
+        self.notify_spinners();
+    }
+
+    /// Proactively naps spinning cores whose id is at or above the target.
+    fn renap_spinners_above_target(&mut self) {
+        if !self.cfg.policy.proactive() {
+            return;
+        }
+        for core in self.target..self.cfg.n_workers {
+            if self.cores[core].state == CoreState::SpinIdle
+                && self.cores[core].owned_job.is_none()
+            {
+                self.enter_nap(core, CoreState::NapProactive);
+            }
+        }
+    }
+
+    /// Schedules immediate work-search wakeups for all spinning cores.
+    fn notify_spinners(&mut self) {
+        for core in 0..self.cfg.n_workers {
+            if self.cores[core].state == CoreState::SpinIdle && !self.cores[core].wake_pending {
+                self.cores[core].wake_pending = true;
+                self.cores[core].wake_seq += 1;
+                let seq = self.cores[core].wake_seq;
+                self.push_event(self.now, Event::Wake { core, seq });
+            }
+        }
+    }
+
+    fn enter_nap(&mut self, core: usize, kind: CoreState) {
+        debug_assert!(matches!(kind, CoreState::NapReactive | CoreState::NapProactive));
+        self.set_state(core, kind);
+        if !self.all_work_done() {
+            self.cores[core].wake_seq += 1;
+            self.cores[core].wake_pending = true;
+            let seq = self.cores[core].wake_seq;
+            let t = self.now + self.cfg.wake_period;
+            self.push_event(t, Event::Wake { core, seq });
+        }
+    }
+
+    fn handle_wake(&mut self, core: usize, seq: u64) {
+        if self.cores[core].wake_seq != seq {
+            return; // stale wakeup
+        }
+        self.cores[core].wake_pending = false;
+        match self.cores[core].state {
+            CoreState::NapReactive | CoreState::NapProactive => {
+                let idx = self.bucket_idx(self.now);
+                self.buckets[idx].wake_pulses += 1;
+                if self.cores[core].state == CoreState::NapProactive {
+                    self.buckets[idx].wake_pulses_status += 1;
+                }
+                self.find_work(core);
+            }
+            CoreState::SpinIdle => self.find_work(core),
+            _ => {}
+        }
+    }
+
+    fn start_work(&mut self, core: usize, work: Work, extra_latency: u64) {
+        let cost = match work {
+            Work::Task { cost, .. } => cost,
+            Work::Weights { job } => self.jobs[job].spec.weights_cost,
+            Work::Finish { job } => self.jobs[job].spec.finish_cost,
+        };
+        self.set_state(core, CoreState::Busy);
+        self.cores[core].current = Some(work);
+        let done_at = self.now + extra_latency + self.cfg.task_overhead + cost;
+        self.push_event(done_at, Event::TaskDone { core });
+    }
+
+    /// Spawns the current phase's stealable tasks onto the user core's
+    /// deque and sets the pending barrier count.
+    fn spawn_phase_tasks(&mut self, job_id: usize) {
+        let (costs, phase) = {
+            let j = &self.jobs[job_id];
+            match j.phase {
+                Phase::Estimation => (j.spec.est_tasks.clone(), Phase::Estimation),
+                Phase::Combine => (j.spec.combine_tasks.clone(), Phase::Combine),
+                _ => unreachable!("only estimation/combine spawn task sets"),
+            }
+        };
+        let _ = phase;
+        let core = self.jobs[job_id].user_core;
+        self.jobs[job_id].pending = costs.len();
+        for cost in costs {
+            self.cores[core]
+                .deque
+                .push_back(Work::Task { job: job_id, cost });
+        }
+        self.notify_spinners();
+    }
+
+    fn handle_task_done(&mut self, core: usize) {
+        let work = self.cores[core]
+            .current
+            .take()
+            .expect("TaskDone without current work");
+        match work {
+            Work::Task { job, .. } => {
+                self.jobs[job].pending -= 1;
+                if self.jobs[job].pending == 0 {
+                    self.barrier_complete(job);
+                }
+            }
+            Work::Weights { job } => {
+                self.jobs[job].phase = Phase::Combine;
+                self.spawn_phase_tasks(job);
+            }
+            Work::Finish { job } => {
+                self.jobs[job].done = true;
+                self.jobs_completed += 1;
+                let latency = self.now - self.jobs[job].dispatched_at;
+                self.job_latencies.push(latency);
+                let idx = self.bucket_idx(self.now);
+                self.buckets[idx].jobs_completed += 1;
+                let sf = self.jobs[job].subframe;
+                self.open_jobs_per_subframe[sf] -= 1;
+                if self.open_jobs_per_subframe[sf] == 0 {
+                    self.open_subframes -= 1;
+                }
+                self.cores[core].owned_job = None;
+            }
+        }
+        self.find_work(core);
+    }
+
+    /// Called when the last task of a barrier phase finishes: makes the
+    /// continuation runnable and starts it immediately if the user thread
+    /// is already waiting.
+    fn barrier_complete(&mut self, job_id: usize) {
+        let (phase, user_core) = {
+            let j = &mut self.jobs[job_id];
+            j.phase = match j.phase {
+                Phase::Estimation => Phase::Weights,
+                Phase::Combine => Phase::Finish,
+                p => p,
+            };
+            j.ready_continuation = true;
+            (j.phase, j.user_core)
+        };
+        if self.cores[user_core].state == CoreState::WaitBarrier {
+            self.jobs[job_id].ready_continuation = false;
+            let work = match phase {
+                Phase::Weights => Work::Weights { job: job_id },
+                Phase::Finish => Work::Finish { job: job_id },
+                _ => unreachable!(),
+            };
+            self.start_work(user_core, work, 0);
+        }
+    }
+
+    /// The worker scheduling loop body: local queue → barrier
+    /// continuation → global user queue → steal → idle (per policy).
+    fn find_work(&mut self, core: usize) {
+        // User threads drain their own queue, then run continuations,
+        // then wait — they never steal mid-job (§IV-C).
+        if let Some(job_id) = self.cores[core].owned_job {
+            if let Some(task) = self.cores[core].deque.pop_back() {
+                self.start_work(core, task, 0);
+                return;
+            }
+            if self.jobs[job_id].ready_continuation {
+                self.jobs[job_id].ready_continuation = false;
+                let work = match self.jobs[job_id].phase {
+                    Phase::Weights => Work::Weights { job: job_id },
+                    Phase::Finish => Work::Finish { job: job_id },
+                    _ => unreachable!("continuation only in weights/finish"),
+                };
+                self.start_work(core, work, 0);
+                return;
+            }
+            self.set_state(core, CoreState::WaitBarrier);
+            return;
+        }
+
+        // Proactively deactivated cores go straight back to sleep.
+        if self.cfg.policy.proactive() && core >= self.target {
+            self.enter_nap(core, CoreState::NapProactive);
+            return;
+        }
+
+        // Global user queue first (§IV-C), then steal.
+        if let Some(job_id) = self.user_queue.pop_front() {
+            self.jobs[job_id].user_core = core;
+            self.cores[core].owned_job = Some(job_id);
+            self.spawn_phase_tasks(job_id);
+            if let Some(task) = self.cores[core].deque.pop_back() {
+                self.start_work(core, task, 0);
+            }
+            return;
+        }
+        if let Some(victim) = self.find_victim(core) {
+            let task = self.cores[victim]
+                .deque
+                .pop_front()
+                .expect("victim verified non-empty");
+            self.start_work(core, task, self.cfg.steal_latency);
+            return;
+        }
+
+        // Nothing to do.
+        if self.cfg.policy.reactive() {
+            self.enter_nap(core, CoreState::NapReactive);
+        } else {
+            self.set_state(core, CoreState::SpinIdle);
+        }
+    }
+
+    /// Round-robin victim search, deterministic and fair.
+    fn find_victim(&mut self, thief: usize) -> Option<usize> {
+        let n = self.cfg.n_workers;
+        for i in 0..n {
+            let v = (self.steal_cursor + i) % n;
+            if v != thief && !self.cores[v].deque.is_empty() {
+                self.steal_cursor = (v + 1) % n;
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(policy: NapPolicy) -> SimConfig {
+        SimConfig {
+            n_workers: 8,
+            dispatch_period: 100_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 20_000,
+            clock_hz: 700.0e6,
+            policy,
+        }
+    }
+
+    fn job(units: u64) -> SimJob {
+        SimJob {
+            est_tasks: vec![units; 4],
+            weights_cost: units / 2,
+            combine_tasks: vec![units; 8],
+            finish_cost: units,
+        }
+    }
+
+    fn loads(n: usize, units: u64, target: usize) -> Vec<SubframeLoad> {
+        (0..n)
+            .map(|_| SubframeLoad {
+                jobs: vec![job(units)],
+                active_target: target,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_jobs_complete_under_every_policy() {
+        for policy in NapPolicy::ALL {
+            let report = Simulator::new(small_cfg(policy)).run(&loads(10, 3_000, 4));
+            assert_eq!(report.jobs_total, 10, "{policy}");
+            assert_eq!(report.job_latencies.len(), 10, "{policy}");
+        }
+    }
+
+    #[test]
+    fn busy_cycles_equal_work_plus_overhead() {
+        // Conservation: total busy time must equal the sum of all task
+        // costs plus per-task overheads and steal latencies.
+        let cfg = small_cfg(NapPolicy::NoNap);
+        let subframes = loads(5, 2_000, 8);
+        let report = Simulator::new(cfg).run(&subframes);
+        let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+        let work: u64 = subframes
+            .iter()
+            .flat_map(|s| &s.jobs)
+            .map(|j| j.total_cycles())
+            .sum();
+        let tasks_per_job = 4 + 1 + 8 + 1;
+        let min = work + 5 * tasks_per_job * cfg.task_overhead;
+        let max = min + 5 * tasks_per_job * cfg.steal_latency;
+        assert!(
+            (min..=max).contains(&busy),
+            "busy {busy} outside [{min}, {max}]"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = Simulator::new(small_cfg(NapPolicy::NapIdle)).run(&loads(20, 1_500, 3));
+        let b = Simulator::new(small_cfg(NapPolicy::NapIdle)).run(&loads(20, 1_500, 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nonap_never_naps() {
+        let report = Simulator::new(small_cfg(NapPolicy::NoNap)).run(&loads(5, 1_000, 2));
+        let naps: u64 = report.buckets.iter().map(|b| b.nap_cycles).sum();
+        assert_eq!(naps, 0);
+        let pulses: u64 = report.buckets.iter().map(|b| b.wake_pulses).sum();
+        assert_eq!(pulses, 0);
+    }
+
+    #[test]
+    fn idle_policy_naps_idle_cores() {
+        let report = Simulator::new(small_cfg(NapPolicy::Idle)).run(&loads(5, 1_000, 8));
+        let naps: u64 = report.buckets.iter().map(|b| b.nap_cycles).sum();
+        assert!(naps > 0, "reactive policy must nap idle cores");
+        let pulses: u64 = report.buckets.iter().map(|b| b.wake_pulses).sum();
+        assert!(pulses > 0, "napping cores must wake periodically");
+    }
+
+    #[test]
+    fn nap_policy_reduces_spin_relative_to_nonap() {
+        // With a low active target, proactive napping converts spin
+        // cycles into nap cycles.
+        let spin_of = |policy| {
+            let r = Simulator::new(small_cfg(policy)).run(&loads(20, 1_000, 2));
+            r.buckets.iter().map(|b| b.spin_cycles).sum::<u64>()
+        };
+        let nonap = spin_of(NapPolicy::NoNap);
+        let nap = spin_of(NapPolicy::Nap);
+        assert!(nap < nonap, "NAP spin {nap} !< NONAP spin {nonap}");
+    }
+
+    #[test]
+    fn low_target_increases_latency() {
+        // Throttling to 2 cores must slow jobs down vs 8 cores.
+        let latency_of = |target| {
+            let r = Simulator::new(small_cfg(NapPolicy::Nap)).run(&loads(10, 5_000, target));
+            *r.job_latencies.iter().max().unwrap()
+        };
+        assert!(latency_of(2) > latency_of(8));
+    }
+
+    #[test]
+    fn conservation_under_stealing_with_many_workers() {
+        // Many small jobs per subframe: work must still be conserved.
+        let cfg = SimConfig {
+            n_workers: 16,
+            ..small_cfg(NapPolicy::NoNap)
+        };
+        let subframes: Vec<SubframeLoad> = (0..10)
+            .map(|_| SubframeLoad {
+                jobs: vec![job(500); 4],
+                active_target: 16,
+            })
+            .collect();
+        let report = Simulator::new(cfg).run(&subframes);
+        assert_eq!(report.jobs_total, 40);
+        let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+        let work: u64 = subframes
+            .iter()
+            .flat_map(|s| &s.jobs)
+            .map(|j| j.total_cycles())
+            .sum();
+        assert!(busy >= work, "busy {busy} < work {work}");
+    }
+
+    #[test]
+    fn occupancy_accounts_for_all_core_time() {
+        // busy + spin + nap over all buckets should equal workers ×
+        // end_time (within the final partial bucket's slack).
+        let cfg = small_cfg(NapPolicy::NapIdle);
+        let report = Simulator::new(cfg).run(&loads(10, 2_000, 4));
+        let accounted: u64 = report
+            .buckets
+            .iter()
+            .map(|b| b.busy_cycles + b.spin_cycles + b.nap_cycles)
+            .sum();
+        let total = cfg.n_workers as u64 * report.end_time;
+        let diff = (accounted as i64 - total as i64).unsigned_abs();
+        assert!(
+            diff <= total / 100,
+            "accounted {accounted} vs total {total}"
+        );
+    }
+
+    #[test]
+    fn activity_reflects_load() {
+        let cfg = small_cfg(NapPolicy::NoNap);
+        let light = Simulator::new(cfg).run(&loads(10, 500, 8));
+        let heavy = Simulator::new(cfg).run(&loads(10, 20_000, 8));
+        assert!(heavy.mean_activity(&cfg) > 3.0 * light.mean_activity(&cfg));
+        assert!(heavy.mean_activity(&cfg) <= 1.0);
+    }
+
+    #[test]
+    fn windowed_activity_covers_run() {
+        let cfg = small_cfg(NapPolicy::NoNap);
+        let report = Simulator::new(cfg).run(&loads(10, 1_000, 8));
+        let w = report.windowed_activity(&cfg, 5);
+        assert_eq!(w.len(), 2);
+        for a in w {
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn empty_run_is_fine() {
+        let report = Simulator::new(small_cfg(NapPolicy::NoNap)).run(&[]);
+        assert_eq!(report.jobs_total, 0);
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(NapPolicy::NoNap.to_string(), "NONAP");
+        assert_eq!(NapPolicy::NapIdle.to_string(), "NAP+IDLE");
+    }
+}
+
+#[cfg(test)]
+mod concurrency_tests {
+    use super::*;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            n_workers: 8,
+            dispatch_period: 100_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 20_000,
+            clock_hz: 700.0e6,
+            policy: NapPolicy::NoNap,
+        }
+    }
+
+    fn job(units: u64) -> SimJob {
+        SimJob {
+            est_tasks: vec![units; 4],
+            weights_cost: units / 2,
+            combine_tasks: vec![units; 8],
+            finish_cost: units,
+        }
+    }
+
+    #[test]
+    fn light_load_processes_one_subframe_at_a_time() {
+        let loads: Vec<SubframeLoad> = (0..10)
+            .map(|_| SubframeLoad {
+                jobs: vec![job(1_000)],
+                active_target: 8,
+            })
+            .collect();
+        let report = Simulator::new(cfg()).run(&loads);
+        assert_eq!(report.max_concurrent_subframes, 1);
+    }
+
+    #[test]
+    fn heavy_load_overlaps_subframes() {
+        // Each subframe carries far more than one period of work.
+        let loads: Vec<SubframeLoad> = (0..10)
+            .map(|_| SubframeLoad {
+                jobs: vec![job(30_000); 2],
+                active_target: 8,
+            })
+            .collect();
+        let report = Simulator::new(cfg()).run(&loads);
+        assert!(
+            report.max_concurrent_subframes >= 2,
+            "overloaded run must overlap subframes: {}",
+            report.max_concurrent_subframes
+        );
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let loads: Vec<SubframeLoad> = (0..20)
+            .map(|i| SubframeLoad {
+                jobs: vec![job(500 + 200 * (i % 5) as u64)],
+                active_target: 8,
+            })
+            .collect();
+        let report = Simulator::new(cfg()).run(&loads);
+        let p50 = report.latency_percentile(50);
+        let p95 = report.latency_percentile(95);
+        let p100 = report.latency_percentile(100);
+        assert!(p50 <= p95 && p95 <= p100);
+        assert_eq!(p100, *report.job_latencies.iter().max().unwrap());
+        assert_eq!(SimReport::default().latency_percentile(99), 0);
+    }
+}
+
+#[cfg(test)]
+mod per_core_tests {
+    use super::*;
+
+    fn cfg(policy: NapPolicy) -> SimConfig {
+        SimConfig {
+            n_workers: 8,
+            dispatch_period: 100_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 20_000,
+            clock_hz: 700.0e6,
+            policy,
+        }
+    }
+
+    fn loads(n: usize, target: usize) -> Vec<SubframeLoad> {
+        (0..n)
+            .map(|_| SubframeLoad {
+                jobs: vec![SimJob {
+                    est_tasks: vec![2_000; 4],
+                    weights_cost: 1_000,
+                    combine_tasks: vec![2_000; 8],
+                    finish_cost: 2_000,
+                }],
+                active_target: target,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn per_core_busy_sums_to_bucket_busy() {
+        let report = Simulator::new(cfg(NapPolicy::NoNap)).run(&loads(10, 8));
+        let per_core: u64 = report.busy_per_core.iter().sum();
+        let buckets: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+        assert_eq!(per_core, buckets);
+    }
+
+    #[test]
+    fn proactive_nap_concentrates_work_on_low_cores() {
+        let report = Simulator::new(cfg(NapPolicy::Nap)).run(&loads(40, 3));
+        let low: u64 = report.busy_per_core[..3].iter().sum();
+        let high: u64 = report.busy_per_core[3..].iter().sum();
+        assert!(
+            low > 5 * high.max(1),
+            "work must concentrate below the target: low {low} high {high}"
+        );
+    }
+
+    #[test]
+    fn nonap_spreads_work_more_evenly() {
+        let report = Simulator::new(cfg(NapPolicy::NoNap)).run(&loads(40, 8));
+        let busiest = *report.busy_per_core.iter().max().unwrap() as f64;
+        let active = report.busy_per_core.iter().filter(|&&b| b > 0).count();
+        assert!(active >= 4, "several cores should participate: {active}");
+        let total: u64 = report.busy_per_core.iter().sum();
+        assert!(busiest < 0.8 * total as f64, "no single core should dominate");
+    }
+}

@@ -1,0 +1,52 @@
+//! Fixed-point module replacement: run the channel estimator in Q15
+//! arithmetic — what an FPU-less tile core (like the TILEPro64) would
+//! actually execute — and compare against the float reference.
+//!
+//! The paper: "Our LTE benchmark is organized as a software pipeline in
+//! which modules can easily be replaced to model different algorithms."
+//!
+//! ```text
+//! cargo run --release --example fixed_point
+//! ```
+
+use lte_uplink_repro::dsp::fft::{Direction, FftPlan, FftPlanner};
+use lte_uplink_repro::dsp::q15::{
+    dequantize_block, quantization_snr_db, quantize_block, FixedFft,
+};
+use lte_uplink_repro::dsp::{Complex32, Modulation, Xoshiro256};
+use lte_uplink_repro::phy::estimator::{estimate_path, estimate_path_q15};
+use lte_uplink_repro::phy::params::{CellConfig, TurboMode, UserConfig};
+use lte_uplink_repro::phy::tx::synthesize_user_with_mode;
+
+fn main() {
+    // 1. Raw transform: fixed vs float FFT across LTE sizes.
+    println!("Q15 fixed-point FFT vs float FFT (quantisation SNR):");
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    for prbs in [2usize, 10, 50, 100] {
+        let n = 12 * prbs;
+        let input: Vec<Complex32> = (0..n)
+            .map(|_| Complex32::new(0.9 * (rng.next_f32() - 0.5), 0.9 * (rng.next_f32() - 0.5)))
+            .collect();
+        let mut float = input.clone();
+        FftPlan::forward(n).process(&mut float);
+        let mut fixed = quantize_block(&input, 1.0);
+        let plan = FixedFft::new(n, Direction::Forward);
+        plan.process(&mut fixed);
+        let fixed_out: Vec<Complex32> = dequantize_block(&fixed, plan.scaling());
+        let snr = quantization_snr_db(&float, &fixed_out);
+        println!("  {n:4} points: {snr:5.1} dB");
+    }
+
+    // 2. The replaceable pipeline module: Q15 channel estimation.
+    let cell = CellConfig::with_antennas(2);
+    let user = UserConfig::new(16, 1, Modulation::Qpsk);
+    let mut rng = Xoshiro256::seed_from_u64(4);
+    let input =
+        synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 30.0, &mut rng);
+    let planner = FftPlanner::new();
+    let float_est = estimate_path(&cell, &input, 0, 0, 0, &planner);
+    let fixed_est = estimate_path_q15(&cell, &input, 0, 0, 0);
+    let snr = quantization_snr_db(&float_est, &fixed_est);
+    println!("\nchannel estimator, float vs Q15 path: {snr:.1} dB agreement");
+    println!("(anything above ~30 dB is far below the channel noise at practical SNRs)");
+}

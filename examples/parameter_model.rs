@@ -1,0 +1,58 @@
+//! Explore the paper's input parameter model (Figs. 6–10): generate the
+//! 68 000-subframe evaluation sequence and print the distributions behind
+//! Figs. 7, 8 and 9.
+//!
+//! ```text
+//! cargo run --release --example parameter_model
+//! ```
+
+use lte_uplink_repro::model::trace::Trace;
+use lte_uplink_repro::model::{
+    current_probability, ParameterModel, RampModel, EVALUATION_SUBFRAMES,
+};
+
+fn main() {
+    let configs = RampModel::new(2012).subframes(EVALUATION_SUBFRAMES);
+    let trace = Trace::from_configs(&configs);
+    println!(
+        "{} subframes; mean users {:.2}, mean total PRBs {:.1}",
+        trace.len(),
+        trace.mean_users(),
+        trace.mean_total_prbs()
+    );
+
+    // Fig. 7: user-count histogram.
+    let mut user_hist = [0usize; 11];
+    for r in trace.rows() {
+        user_hist[r.users] += 1;
+    }
+    println!("\nusers/subframe histogram (Fig. 7's spread):");
+    for (users, count) in user_hist.iter().enumerate() {
+        if *count > 0 {
+            let bar = "#".repeat(60 * count / trace.len());
+            println!("  {users:2} users: {count:6} {bar}");
+        }
+    }
+
+    // Fig. 8: PRB extremes.
+    let max_prb = trace.rows().iter().map(|r| r.max_prbs).max().unwrap();
+    let min_prb = trace
+        .rows()
+        .iter()
+        .filter(|r| r.users > 0)
+        .map(|r| r.min_prbs)
+        .min()
+        .unwrap();
+    println!("\nPRBs per user (Fig. 8): largest single allocation {max_prb}, smallest {min_prb}");
+
+    // Fig. 9 / Fig. 10: layer mix along the probability ramp.
+    println!("\nlayer/modulation probability ramp (Fig. 10) and resulting max layers (Fig. 9):");
+    for sf in (0..EVALUATION_SUBFRAMES).step_by(EVALUATION_SUBFRAMES / 8) {
+        let window = &trace.rows()[sf..(sf + 200).min(trace.len())];
+        let max_layers = window.iter().map(|r| r.max_layers).max().unwrap();
+        println!(
+            "  subframe {sf:6}: prob {:5.1}%  max layers in window: {max_layers}",
+            100.0 * current_probability(sf)
+        );
+    }
+}

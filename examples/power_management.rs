@@ -1,0 +1,60 @@
+//! Reproduce the paper's power-management study (Figs. 13–16,
+//! Tables I–II) on a reduced run: calibrate the workload estimator,
+//! simulate all four nap policies on the 64-core tile machine, and apply
+//! the analytical power-gating model.
+//!
+//! ```text
+//! cargo run --release --example power_management
+//! ```
+
+use lte_uplink_repro::sched::NapPolicy;
+use lte_uplink_repro::uplink::experiments::ExperimentContext;
+use lte_uplink_repro::uplink::report;
+
+fn main() {
+    // A reduced ramp (8 000 subframes = 40 simulated seconds) so the
+    // example finishes in seconds; `lte-sim table2` runs the full 68 000.
+    let ctx = ExperimentContext {
+        n_subframes: 8_000,
+        cal_prb_step: 20,
+        ..ExperimentContext::paper()
+    };
+    println!(
+        "calibrating workload estimator ({} steady-state points per curve) …",
+        200 / ctx.cal_prb_step
+    );
+    let study = ctx.run_power_study();
+
+    println!(
+        "\nestimator validation (Fig. 12): mean |err| {:.2}%, max |err| {:.2}%  (paper: 1.2% / 5.4%)",
+        100.0 * study.validation.mean_abs_err,
+        100.0 * study.validation.max_abs_err
+    );
+
+    let min_t = study.targets.iter().min().unwrap();
+    let max_t = study.targets.iter().max().unwrap();
+    println!("active-core targets (Fig. 13 / Eq. 5): min {min_t}, max {max_t} of 62");
+
+    println!("\naverage power by technique (Table II analogue for this reduced run):");
+    for run in &study.runs {
+        println!(
+            "  {:8}  {:5.2} W total  ({:4.2} W dynamic)",
+            run.policy.to_string(),
+            run.mean_total,
+            run.mean_dynamic
+        );
+    }
+    println!(
+        "  {:8}  {:5.2} W total  (analytical gating on NAP+IDLE)",
+        "GATED", study.gated_mean
+    );
+
+    let nonap = study.run(NapPolicy::NoNap).mean_total;
+    println!(
+        "\npower-gated saving vs NONAP: {:.0}%  (paper: 26% on the full ramp)",
+        100.0 * (nonap - study.gated_mean) / nonap
+    );
+
+    println!("\nTable I (dynamic power, base subtracted):");
+    println!("{}", report::table1_markdown(&study.table1()));
+}

@@ -1,0 +1,53 @@
+//! Quickstart: run the LTE uplink benchmark for a handful of subframes
+//! on the real work-stealing pool and verify against the serial
+//! reference.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use lte_uplink_repro::model::{ParameterModel, RampModel};
+use lte_uplink_repro::phy::CellConfig;
+use lte_uplink_repro::uplink::{BenchmarkConfig, UplinkBenchmark};
+
+fn main() {
+    // A four-antenna base station, as in the paper's evaluation.
+    let cell = CellConfig::default();
+    let config = BenchmarkConfig {
+        // One worker per host core; the paper used 62 TILEPro64 tiles.
+        delta: Duration::from_millis(5),
+        snr_db: 30.0,
+        ..BenchmarkConfig::default()
+    };
+    println!(
+        "LTE Uplink Receiver PHY benchmark — {} workers, subframe every {:?}",
+        config.workers, config.delta
+    );
+
+    // The paper's input parameter model: random users/PRBs (Fig. 6),
+    // ramped layers/modulation (Fig. 10).
+    let subframes = RampModel::new(42).subframes(50);
+    let total_users: usize = subframes.iter().map(|s| s.n_users()).sum();
+    println!("generated 50 subframes carrying {total_users} users");
+
+    let mut bench = UplinkBenchmark::new(cell, config);
+    let run = bench.run(&subframes);
+    println!(
+        "processed in {:?} — activity {:.1}% (Eq. 2), CRC pass rate {:.1}%",
+        run.elapsed,
+        100.0 * run.activity,
+        100.0 * run.crc_pass_rate
+    );
+
+    // §IV-D verification: the parallel run must match the serial
+    // reference bit for bit.
+    match bench.verify(&subframes, &run) {
+        Ok(()) => println!("verification against serial reference: OK"),
+        Err(e) => {
+            eprintln!("verification FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}

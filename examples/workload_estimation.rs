@@ -1,0 +1,60 @@
+//! Demonstrate the subframe workload estimator (§VI-A): calibrate the
+//! twelve k_{L,M} slopes from steady-state runs (Fig. 11), then predict
+//! the activity of arbitrary subframes and compare with simulation.
+//!
+//! ```text
+//! cargo run --release --example workload_estimation
+//! ```
+
+use lte_uplink_repro::dsp::Modulation;
+use lte_uplink_repro::model::{ParameterModel, RampModel};
+use lte_uplink_repro::sched::{NapPolicy, Simulator};
+use lte_uplink_repro::uplink::experiments::ExperimentContext;
+
+fn main() {
+    let ctx = ExperimentContext {
+        cal_prb_step: 20,
+        ..ExperimentContext::paper()
+    };
+
+    println!("calibrating (Fig. 11 sweep, {} PRB steps) …\n", ctx.cal_prb_step);
+    let (curves, estimator) = ctx.run_calibration();
+
+    println!("fitted activity-per-PRB slopes k_LM (Eq. 3), ×10⁻³:");
+    println!("  layers |   QPSK  16QAM  64QAM");
+    for layers in 1..=4 {
+        print!("       {layers} |");
+        for m in Modulation::ALL {
+            print!(" {:6.3}", 1e3 * estimator.k(layers, m));
+        }
+        println!();
+    }
+
+    // Show the linearity the estimator exploits.
+    let top = curves
+        .iter()
+        .find(|c| c.layers == 4 && c.modulation == Modulation::Qam64)
+        .expect("curve exists");
+    println!("\n64QAM/4-layer curve (activity vs PRBs):");
+    for p in top.points.iter().step_by(2) {
+        println!("  {:3} PRBs → {:5.1}%", p.prbs, 100.0 * p.activity);
+    }
+
+    // Predict a fresh subframe mix and check against simulation (Eq. 4).
+    let subframes = RampModel::new(99).subframes(400);
+    let predicted: f64 = subframes
+        .iter()
+        .map(|sf| estimator.subframe_activity(sf))
+        .sum::<f64>()
+        / subframes.len() as f64;
+    let cfg = ctx.sim_config(NapPolicy::NoNap);
+    let targets = vec![cfg.n_workers; subframes.len()];
+    let report = Simulator::new(cfg).run(&ctx.loads(&subframes, &targets));
+    let measured = report.mean_activity(&cfg);
+    println!(
+        "\n400 unseen subframes: predicted activity {:.1}%, simulated {:.1}% (err {:+.1} pp)",
+        100.0 * predicted,
+        100.0 * measured,
+        100.0 * (predicted - measured)
+    );
+}

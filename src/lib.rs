@@ -1,0 +1,46 @@
+//! # LTE Uplink Receiver PHY Benchmark — reproduction
+//!
+//! A from-scratch Rust reproduction of *"An LTE Uplink Receiver PHY
+//! Benchmark and Subframe-Based Power Management"* (Själander, McKee,
+//! Brauer, Engdal, Vajda — ISPASS 2012): the open LTE uplink baseband
+//! benchmark, the subframe workload estimator, and the nap/power-gating
+//! resource-management study, with a deterministic 64-core simulator
+//! standing in for the Tilera TILEPro64.
+//!
+//! This facade crate re-exports the workspace's crates under one roof:
+//!
+//! * [`dsp`] — FFTs, Zadoff–Chu sequences, modulation, LLRs, CRC, turbo
+//!   coding, channel models ([`lte_dsp`]);
+//! * [`phy`] — the per-user uplink receive pipeline and its transmitter
+//!   counterpart ([`lte_phy`]);
+//! * [`sched`] — the work-stealing pool and the discrete-event tile
+//!   machine ([`lte_sched`]);
+//! * [`model`] — the paper's subframe input parameter models
+//!   ([`lte_model`]);
+//! * [`power`] — power/thermal model, workload estimator, power gating
+//!   ([`lte_power`]);
+//! * [`uplink`] — the benchmark binary's building blocks and every
+//!   figure/table experiment ([`lte_uplink`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lte_uplink_repro::model::{ParameterModel, RampModel};
+//! use lte_uplink_repro::phy::CellConfig;
+//! use lte_uplink_repro::uplink::{BenchmarkConfig, UplinkBenchmark};
+//!
+//! let mut bench = UplinkBenchmark::new(
+//!     CellConfig::default(),
+//!     BenchmarkConfig { workers: 2, ..BenchmarkConfig::default() },
+//! );
+//! let subframes = RampModel::new(1).subframes(2);
+//! let run = bench.run(&subframes);
+//! assert_eq!(run.results.len(), 2);
+//! ```
+
+pub use lte_dsp as dsp;
+pub use lte_model as model;
+pub use lte_phy as phy;
+pub use lte_power as power;
+pub use lte_sched as sched;
+pub use lte_uplink as uplink;

@@ -1,0 +1,91 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+//! The paper's verification methodology (§IV-D) depends on deterministic
+//! replay; these tests pin it down across the whole stack.
+
+use lte_uplink_repro::model::{DiurnalModel, ParameterModel, RampModel};
+use lte_uplink_repro::sched::NapPolicy;
+use lte_uplink_repro::uplink::experiments::ExperimentContext;
+
+fn ctx() -> ExperimentContext {
+    ExperimentContext {
+        n_subframes: 600,
+        cal_subframes: 12,
+        cal_prb_step: 100,
+        ..ExperimentContext::paper()
+    }
+}
+
+#[test]
+fn power_study_is_bit_reproducible() {
+    let a = ctx().run_power_study();
+    let b = ctx().run_power_study();
+    assert_eq!(a.targets, b.targets);
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.power, rb.power, "{}", ra.policy);
+        assert_eq!(ra.report, rb.report, "{}", ra.policy);
+    }
+    assert_eq!(a.gated_power, b.gated_power);
+    assert_eq!(a.validation.estimated, b.validation.estimated);
+    assert_eq!(a.validation.measured, b.validation.measured);
+}
+
+#[test]
+fn seeds_change_everything() {
+    let base = ctx();
+    let other = ExperimentContext { seed: 9999, ..base };
+    let a = base.subframes();
+    let b = other.subframes();
+    assert_ne!(a, b, "different seeds must give different workloads");
+}
+
+#[test]
+fn diurnal_model_is_reproducible() {
+    let a = DiurnalModel::new(5, 1000).subframes(500);
+    let b = DiurnalModel::new(5, 1000).subframes(500);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn calibration_is_reproducible() {
+    let (ca, ea) = ctx().run_calibration();
+    let (cb, eb) = ctx().run_calibration();
+    assert_eq!(ca, cb);
+    assert_eq!(ea, eb);
+}
+
+#[test]
+fn ramp_model_streams_are_stable_across_calls() {
+    // Generating in two chunks equals generating at once.
+    let mut one = RampModel::new(7);
+    let all = one.subframes(100);
+    let mut two = RampModel::new(7);
+    let mut chunked = two.subframes(60);
+    chunked.extend(two.subframes(40));
+    assert_eq!(all, chunked);
+}
+
+#[test]
+fn policy_runs_share_the_same_workload() {
+    // The four policies must see identical job sets (only scheduling
+    // differs) — totals across buckets are equal.
+    let c = ctx();
+    let subframes = c.subframes();
+    let full = vec![c.controller.max_cores; subframes.len()];
+    let busy: Vec<u64> = [NapPolicy::NoNap, NapPolicy::Idle]
+        .iter()
+        .map(|&p| {
+            let run = c.run_policy(p, &subframes, &full);
+            run.report.buckets.iter().map(|b| b.busy_cycles).sum()
+        })
+        .collect();
+    // IDLE may differ slightly in steal placement but total work is
+    // identical; busy includes identical per-task overheads except for
+    // steal latencies, so allow a small band.
+    let diff = (busy[0] as i64 - busy[1] as i64).unsigned_abs();
+    assert!(
+        diff < busy[0] / 100,
+        "NONAP {} vs IDLE {} busy cycles",
+        busy[0],
+        busy[1]
+    );
+}

@@ -1,0 +1,133 @@
+//! End-to-end link-level behaviour: CRC pass rates across SNR, the
+//! benefit of turbo coding, MIMO layer scaling, and failure injection.
+
+use lte_uplink_repro::dsp::{Modulation, Xoshiro256};
+use lte_uplink_repro::phy::params::{CellConfig, TurboMode, UserConfig};
+use lte_uplink_repro::phy::receiver::process_user;
+use lte_uplink_repro::phy::tx::synthesize_user_with_mode;
+
+/// Block success rate over `trials` independent channels.
+fn success_rate(
+    cell: &CellConfig,
+    user: &UserConfig,
+    mode: TurboMode,
+    snr_db: f64,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let ok = (0..trials)
+        .filter(|_| {
+            let input = synthesize_user_with_mode(cell, user, mode, snr_db, &mut rng);
+            process_user(cell, &input, mode).matches(&input.ground_truth)
+        })
+        .count();
+    ok as f64 / trials as f64
+}
+
+#[test]
+fn qpsk_link_success_improves_with_snr() {
+    let cell = CellConfig::with_antennas(2);
+    let user = UserConfig::new(6, 1, Modulation::Qpsk);
+    let low = success_rate(&cell, &user, TurboMode::Passthrough, 0.0, 12, 1);
+    let high = success_rate(&cell, &user, TurboMode::Passthrough, 30.0, 12, 1);
+    assert!(high > low, "high SNR {high} must beat low SNR {low}");
+    assert!(high >= 0.9, "30 dB QPSK should almost always pass: {high}");
+}
+
+#[test]
+fn higher_order_modulation_needs_more_snr() {
+    let cell = CellConfig::with_antennas(2);
+    let snr_db = 14.0;
+    let qpsk = success_rate(
+        &cell,
+        &UserConfig::new(6, 1, Modulation::Qpsk),
+        TurboMode::Passthrough,
+        snr_db,
+        12,
+        2,
+    );
+    let qam64 = success_rate(
+        &cell,
+        &UserConfig::new(6, 1, Modulation::Qam64),
+        TurboMode::Passthrough,
+        snr_db,
+        12,
+        2,
+    );
+    assert!(
+        qpsk >= qam64,
+        "at {snr_db} dB, QPSK ({qpsk}) must be at least as reliable as 64-QAM ({qam64})"
+    );
+}
+
+#[test]
+fn turbo_coding_extends_the_operating_range() {
+    let cell = CellConfig::with_antennas(4);
+    let user = UserConfig::new(8, 1, Modulation::Qpsk);
+    let snr_db = 2.0;
+    let uncoded = success_rate(&cell, &user, TurboMode::Passthrough, snr_db, 10, 3);
+    let coded = success_rate(
+        &cell,
+        &user,
+        TurboMode::Decode { iterations: 6 },
+        snr_db,
+        10,
+        3,
+    );
+    assert!(
+        coded >= uncoded,
+        "rate-1/3 turbo ({coded}) must not lose to uncoded ({uncoded}) at {snr_db} dB"
+    );
+}
+
+#[test]
+fn more_receive_antennas_help() {
+    let user = UserConfig::new(6, 1, Modulation::Qam16);
+    let snr_db = 8.0;
+    let two = success_rate(
+        &CellConfig::with_antennas(2),
+        &user,
+        TurboMode::Passthrough,
+        snr_db,
+        12,
+        4,
+    );
+    let eight = success_rate(
+        &CellConfig::with_antennas(8),
+        &user,
+        TurboMode::Passthrough,
+        snr_db,
+        12,
+        4,
+    );
+    assert!(
+        eight >= two,
+        "8 rx antennas ({eight}) must not lose to 2 ({two})"
+    );
+}
+
+#[test]
+fn spatial_multiplexing_trades_reliability_for_rate() {
+    let cell = CellConfig::with_antennas(4);
+    let snr_db = 15.0;
+    let one = UserConfig::new(6, 1, Modulation::Qam16);
+    let four = UserConfig::new(6, 4, Modulation::Qam16);
+    assert!(four.bits_per_subframe() == 4 * one.bits_per_subframe());
+    let r1 = success_rate(&cell, &one, TurboMode::Passthrough, snr_db, 10, 5);
+    let r4 = success_rate(&cell, &four, TurboMode::Passthrough, snr_db, 10, 5);
+    assert!(
+        r1 >= r4,
+        "1 layer ({r1}) must be at least as reliable as 4 layers ({r4})"
+    );
+}
+
+#[test]
+fn crc_never_passes_on_garbage() {
+    // Feed pure noise (no signal) — the CRC must reject essentially
+    // always; with 24 CRC bits a false pass has probability 2^-24.
+    let cell = CellConfig::with_antennas(2);
+    let user = UserConfig::new(4, 1, Modulation::Qpsk);
+    let rate = success_rate(&cell, &user, TurboMode::Passthrough, -30.0, 20, 6);
+    assert_eq!(rate, 0.0, "noise-only frames must fail CRC");
+}

@@ -1,0 +1,154 @@
+//! Full-stack integration: the complete uplink through the *time domain*.
+//!
+//! The benchmark proper starts after the front-end FFT (Fig. 2 excludes
+//! the front-end); this test exercises the whole physical chain the
+//! repository models: per-layer SC-FDMA time-domain symbols with cyclic
+//! prefixes, a multipath time channel with AWGN, the receive front-end
+//! (filter → CP removal → FFT → subcarrier demapping), and then the
+//! benchmark's per-user receiver on the resulting grid.
+
+use lte_uplink_repro::dsp::channel::add_awgn;
+use lte_uplink_repro::dsp::fft::FftPlanner;
+use lte_uplink_repro::dsp::{Complex32, Modulation, Xoshiro256};
+use lte_uplink_repro::phy::frontend::FrontEnd;
+use lte_uplink_repro::phy::grid::{RxSlot, RxSymbol, UserInput};
+use lte_uplink_repro::phy::params::{CellConfig, TurboMode, UserConfig};
+use lte_uplink_repro::phy::receiver::process_user;
+use lte_uplink_repro::phy::tx::{encode_frame, reference_for_layer, split_bits, FramePlan};
+
+/// Builds one user's received grid by going all the way down to time-
+/// domain samples and back up through the front-end.
+fn synthesize_through_frontend(
+    cell: &CellConfig,
+    user: &UserConfig,
+    snr_db: f64,
+    rng: &mut Xoshiro256,
+) -> UserInput {
+    let n_sc = user.subcarriers();
+    let fe = FrontEnd::for_allocation(n_sc);
+    let planner = FftPlanner::new();
+    let dft = planner.forward(n_sc);
+    let noise_var = lte_uplink_repro::dsp::channel::noise_var_for_snr_db(snr_db);
+
+    // Frame bits exactly as the benchmark transmitter builds them.
+    let plan = FramePlan::for_user(user, TurboMode::Passthrough);
+    let payload: Vec<u8> = (0..plan.payload_bits())
+        .map(|_| (rng.next_u64() & 1) as u8)
+        .collect();
+    let channel_bits = encode_frame(user, TurboMode::Passthrough, &payload);
+    let chunks = split_bits(user, &channel_bits);
+
+    // Per-(rx, layer) multipath impulse responses within the CP budget.
+    // Tap delays are multiples of the allocation sample spacing
+    // (fft_size / n_sc grid samples) so the channel stays compact in the
+    // estimator's allocation-domain window; the front-end's oversampling
+    // would otherwise turn fractional delays into sinc-spread responses.
+    let spacing = fe.fft_size() / n_sc;
+    let n_taps = 2usize;
+    let impulses: Vec<Vec<Vec<Complex32>>> = (0..cell.n_rx)
+        .map(|_| {
+            (0..user.layers)
+                .map(|_| {
+                    let mut h = vec![Complex32::ZERO; (n_taps - 1) * spacing + 1];
+                    for t in 0..n_taps {
+                        h[t * spacing] = Complex32::new(
+                            rng.next_gaussian() as f32 * 0.5,
+                            rng.next_gaussian() as f32 * 0.5,
+                        );
+                    }
+                    assert!(h.len() <= fe.cp_len(), "taps must fit the CP");
+                    h
+                })
+                .collect()
+        })
+        .collect();
+
+    let references: Vec<Vec<Complex32>> = (0..user.layers)
+        .map(|l| reference_for_layer(cell, user, l).samples().to_vec())
+        .collect();
+
+    let mut slots = Vec::new();
+    for slot in 0..2 {
+        // Frequency-domain content per layer: [ref, data0..data5].
+        let mut layer_symbols: Vec<Vec<Vec<Complex32>>> = vec![Vec::new(); user.layers];
+        for (layer, symbols) in layer_symbols.iter_mut().enumerate() {
+            symbols.push(references[layer].clone());
+            for sym in 0..6 {
+                let idx = (slot * 6 + sym) * user.layers + layer;
+                let mut x = user.modulation.map_bits(chunks[idx]);
+                dft.process(&mut x);
+                symbols.push(x);
+            }
+        }
+        // Time-domain per layer, per symbol; then superimpose through
+        // each rx antenna's channel.
+        let mut rx_sym_grids: Vec<Vec<Vec<Complex32>>> = Vec::new(); // [symbol][rx][sc]
+        #[allow(clippy::needless_range_loop)] // indexes parallel per-layer/per-rx tables
+        for sym_idx in 0..7 {
+            let mut per_rx: Vec<Vec<Complex32>> = Vec::new();
+            #[allow(clippy::needless_range_loop)] // indexes parallel impulse tables
+            for rx in 0..cell.n_rx {
+                let mut acc = vec![Complex32::ZERO; fe.samples_per_symbol()];
+                for layer in 0..user.layers {
+                    let time = fe.modulate(&layer_symbols[layer][sym_idx]);
+                    let through =
+                        fe.apply_time_channel(&[time], &impulses[rx][layer]);
+                    for (a, b) in acc.iter_mut().zip(&through[0]) {
+                        *a += *b;
+                    }
+                }
+                add_awgn(&mut acc, noise_var, rng);
+                // The front-end: receive filter → CP strip → FFT → demap.
+                per_rx.push(fe.demodulate(&acc));
+            }
+            rx_sym_grids.push(per_rx);
+        }
+        let reference = RxSymbol::new(rx_sym_grids[0].clone());
+        let data: Vec<RxSymbol> = rx_sym_grids[1..]
+            .iter()
+            .map(|per_rx| RxSymbol::new(per_rx.clone()))
+            .collect();
+        slots.push(RxSlot::new(reference, data));
+    }
+
+    UserInput {
+        config: *user,
+        slots,
+        noise_var,
+        ground_truth: payload,
+    }
+}
+
+#[test]
+fn complete_time_domain_chain_decodes() {
+    let cell = CellConfig::with_antennas(2);
+    let user = UserConfig::new(4, 1, Modulation::Qpsk);
+    let mut rng = Xoshiro256::seed_from_u64(11);
+    let input = synthesize_through_frontend(&cell, &user, 35.0, &mut rng);
+    let result = process_user(&cell, &input, TurboMode::Passthrough);
+    assert!(
+        result.matches(&input.ground_truth),
+        "time-domain chain failed (crc_ok={})",
+        result.crc_ok
+    );
+}
+
+#[test]
+fn time_domain_chain_with_mimo_layers() {
+    let cell = CellConfig::with_antennas(4);
+    let user = UserConfig::new(4, 2, Modulation::Qam16);
+    let mut rng = Xoshiro256::seed_from_u64(21);
+    let input = synthesize_through_frontend(&cell, &user, 40.0, &mut rng);
+    let result = process_user(&cell, &input, TurboMode::Passthrough);
+    assert!(result.matches(&input.ground_truth));
+}
+
+#[test]
+fn time_domain_chain_fails_gracefully_in_noise() {
+    let cell = CellConfig::with_antennas(2);
+    let user = UserConfig::new(4, 1, Modulation::Qam64);
+    let mut rng = Xoshiro256::seed_from_u64(31);
+    let input = synthesize_through_frontend(&cell, &user, -20.0, &mut rng);
+    let result = process_user(&cell, &input, TurboMode::Passthrough);
+    assert!(!result.crc_ok, "noise-only input must fail the CRC");
+}

@@ -1,0 +1,230 @@
+//! Cross-crate property-based tests (proptest): invariants of the DSP
+//! substrate, the receiver pipeline, the estimator algebra and the
+//! simulator, exercised over randomly drawn configurations.
+
+use proptest::prelude::*;
+
+use lte_uplink_repro::dsp::fft::{dft_naive, Direction, FftPlan};
+use lte_uplink_repro::dsp::interleave::Interleaver;
+use lte_uplink_repro::dsp::turbo::{TurboDecoder, TurboEncoder};
+use lte_uplink_repro::dsp::{crc::CRC24A, Complex32, Modulation, Xoshiro256};
+use lte_uplink_repro::phy::params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
+use lte_uplink_repro::phy::receiver::process_user;
+use lte_uplink_repro::phy::tx::synthesize_user;
+use lte_uplink_repro::power::estimator::WorkloadEstimator;
+use lte_uplink_repro::sched::cycles::CostModel;
+use lte_uplink_repro::sched::sim::{NapPolicy, SimConfig, Simulator, SubframeLoad};
+
+fn arb_modulation() -> impl Strategy<Value = Modulation> {
+    prop_oneof![
+        Just(Modulation::Qpsk),
+        Just(Modulation::Qam16),
+        Just(Modulation::Qam64)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fft_round_trip_any_smooth_size(prbs in 1usize..=40, seed in 0u64..1000) {
+        let n = 12 * prbs;
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let original: Vec<Complex32> = (0..n)
+            .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+            .collect();
+        let mut data = original.clone();
+        FftPlan::forward(n).process(&mut data);
+        FftPlan::inverse(n).process(&mut data);
+        for (a, b) in data.iter().zip(&original) {
+            prop_assert!((*a - *b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(n in 1usize..=64, seed in 0u64..1000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let input: Vec<Complex32> = (0..n)
+            .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+            .collect();
+        let mut fast = input.clone();
+        FftPlan::forward(n).process(&mut fast);
+        let slow = dft_naive(&input, Direction::Forward);
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((*a - *b).abs() < 1e-3, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn interleaver_is_a_bijection(n in 1usize..=4096) {
+        let il = Interleaver::subblock(n);
+        let data: Vec<u32> = (0..n as u32).collect();
+        let mixed = il.apply(&data);
+        let mut sorted = mixed.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&sorted, &data, "permutation must preserve the set");
+        prop_assert_eq!(il.invert(&mixed), data);
+    }
+
+    #[test]
+    fn crc_detects_random_corruption(len in 25usize..400, flips in 1usize..8, seed in 0u64..1000) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut bits: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 1) as u8).collect();
+        CRC24A.append_bits(&mut bits);
+        prop_assert!(CRC24A.check_bits(&bits));
+        // Flip `flips` distinct positions.
+        let mut positions: Vec<usize> =
+            (0..flips).map(|_| rng.next_below(bits.len() as u64) as usize).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        for &p in &positions {
+            bits[p] ^= 1;
+        }
+        prop_assert!(!CRC24A.check_bits(&bits), "corruption at {positions:?} missed");
+    }
+
+    #[test]
+    fn turbo_round_trips_any_tabulated_size(idx in 0usize..20, seed in 0u64..100) {
+        let sizes = lte_uplink_repro::dsp::turbo::tabulated_block_sizes();
+        let k = sizes[idx % sizes.len()].min(512); // keep tests fast
+        let k = lte_uplink_repro::dsp::turbo::nearest_block_size(k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let code = TurboEncoder::new(k).encode(&bits);
+        let out = TurboDecoder::new(k, 3).decode(&code.to_llrs(5.0));
+        prop_assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn receiver_decodes_any_valid_user_on_clean_channel(
+        prbs in 2usize..=20,
+        layers in 1usize..=2,
+        modulation in arb_modulation(),
+        seed in 0u64..200,
+    ) {
+        let cell = CellConfig::with_antennas(4);
+        let user = UserConfig::new(prbs, layers, modulation);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let input = synthesize_user(&cell, &user, 45.0, &mut rng);
+        let result = process_user(&cell, &input, TurboMode::Passthrough);
+        prop_assert!(result.matches(&input.ground_truth),
+            "{prbs} PRBs x{layers} {modulation} seed {seed} failed");
+    }
+
+    #[test]
+    fn estimator_is_additive_and_monotonic(
+        prbs_a in 2usize..=100,
+        prbs_b in 2usize..=100,
+        layers in 1usize..=4,
+        modulation in arb_modulation(),
+    ) {
+        // With any positive slopes, Eq. 4 is additive in users and
+        // monotone in PRBs (below the clamp).
+        let est = WorkloadEstimator::from_slopes([[1e-4; 3]; 4]);
+        let a = SubframeConfig::new(vec![UserConfig::new(prbs_a, layers, modulation)]);
+        let b = SubframeConfig::new(vec![UserConfig::new(prbs_b, layers, modulation)]);
+        let ab = SubframeConfig::new(vec![
+            UserConfig::new(prbs_a, layers, modulation),
+            UserConfig::new(prbs_b, layers, modulation),
+        ]);
+        let sum = est.subframe_activity(&a) + est.subframe_activity(&b);
+        prop_assert!((est.subframe_activity(&ab) - sum.min(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulator_conserves_work(
+        n_jobs in 1usize..6,
+        units in 200u64..5_000,
+        subframes in 1usize..8,
+        target in 2usize..8,
+        policy_idx in 0usize..4,
+    ) {
+        let policy = NapPolicy::ALL[policy_idx];
+        let cfg = SimConfig {
+            n_workers: 8,
+            dispatch_period: 50_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 10_000,
+            clock_hz: 700.0e6,
+            policy,
+        };
+        let job = CostModel::tilepro64().user_job(2, 1, 2, 2);
+        let _ = job; // template shape; use synthetic costs below
+        let loads: Vec<SubframeLoad> = (0..subframes)
+            .map(|_| SubframeLoad {
+                jobs: (0..n_jobs)
+                    .map(|_| lte_uplink_repro::sched::SimJob {
+                        est_tasks: vec![units; 4],
+                        weights_cost: units / 2,
+                        combine_tasks: vec![units; 6],
+                        finish_cost: units,
+                    })
+                    .collect(),
+                active_target: target,
+            })
+            .collect();
+        let report = Simulator::new(cfg).run(&loads);
+        // Every job completes.
+        prop_assert_eq!(report.jobs_total, n_jobs * subframes);
+        prop_assert_eq!(report.job_latencies.len(), n_jobs * subframes);
+        // Busy time covers at least the raw work.
+        let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+        let work: u64 = loads.iter().flat_map(|l| &l.jobs).map(|j| j.total_cycles()).sum();
+        prop_assert!(busy >= work, "busy {busy} < work {work}");
+        // And never exceeds work plus maximal per-task overheads.
+        let tasks = (n_jobs * subframes) as u64 * (4 + 1 + 6 + 1);
+        prop_assert!(busy <= work + tasks * (cfg.task_overhead + cfg.steal_latency));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rate_matching_round_trips_at_mother_rate_or_below(
+        k_idx in 0usize..10,
+        extra_frac in 0usize..100,
+        seed in 0u64..100,
+    ) {
+        use lte_uplink_repro::dsp::rate_match::RateMatcher;
+        let sizes = lte_uplink_repro::dsp::turbo::tabulated_block_sizes();
+        let k = sizes[k_idx % sizes.len()].min(256);
+        let k = lte_uplink_repro::dsp::turbo::nearest_block_size(k);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let code = TurboEncoder::new(k).encode(&bits);
+        let rm = RateMatcher::new(k);
+        // E from exactly the mother-code size up to 2x (repetition).
+        let e = rm.buffer_len() + extra_frac * rm.buffer_len() / 100;
+        let tx = rm.match_bits(&code, e);
+        prop_assert_eq!(tx.len(), e);
+        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        let out = TurboDecoder::new(k, 4).decode(&rm.accumulate_llrs(&llrs));
+        prop_assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn scrambling_round_trips_any_block(len in 1usize..2000, c_init in 0u32..0x7FFF_FFFF) {
+        use lte_uplink_repro::dsp::scrambling::{descramble_llrs, scramble_bits};
+        let mut rng = Xoshiro256::seed_from_u64(len as u64);
+        let bits: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let mut tx = bits.clone();
+        scramble_bits(&mut tx, c_init);
+        let mut llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        descramble_llrs(&mut llrs, c_init);
+        let rx: Vec<u8> = llrs.iter().map(|&l| (l < 0.0) as u8).collect();
+        prop_assert_eq!(rx, bits);
+    }
+
+    #[test]
+    fn segmentation_round_trips_any_transport_size(b in 30usize..30_000) {
+        use lte_uplink_repro::dsp::segmentation::Segmentation;
+        let mut rng = Xoshiro256::seed_from_u64(b as u64);
+        let bits: Vec<u8> = (0..b).map(|_| (rng.next_u64() & 1) as u8).collect();
+        let seg = Segmentation::segment(&bits);
+        let (out, ok) = seg.desegment(&seg.blocks);
+        prop_assert!(ok);
+        prop_assert_eq!(out, bits);
+    }
+}

@@ -1,0 +1,94 @@
+//! §IV-D verification at integration scale: the parallel benchmark must
+//! produce bit-identical results to the serial reference across varied
+//! workloads, worker counts and turbo modes.
+
+use std::time::Duration;
+
+use lte_uplink_repro::dsp::Modulation;
+use lte_uplink_repro::model::{ParameterModel, RampModel, SteadyModel};
+use lte_uplink_repro::phy::params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
+use lte_uplink_repro::uplink::{BenchmarkConfig, UplinkBenchmark};
+
+fn config(workers: usize) -> BenchmarkConfig {
+    BenchmarkConfig {
+        workers,
+        delta: Duration::from_millis(1),
+        snr_db: 30.0,
+        turbo: TurboMode::Passthrough,
+        seed: 11,
+    }
+}
+
+#[test]
+fn ramp_model_verifies_across_worker_counts() {
+    let subframes = RampModel::new(77).subframes(8);
+    for workers in [1, 2, 4] {
+        let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), config(workers));
+        let run = bench.run(&subframes);
+        bench
+            .verify(&subframes, &run)
+            .unwrap_or_else(|e| panic!("{workers} workers diverged: {e}"));
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_identical() {
+    let subframes = RampModel::new(5).subframes(6);
+    let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), config(4));
+    let a = bench.run(&subframes);
+    let b = bench.run(&subframes);
+    assert_eq!(a.results, b.results, "parallel runs must be deterministic");
+}
+
+#[test]
+fn steady_max_layers_and_modulation_verify() {
+    // The heaviest per-user configuration the ramp can produce.
+    let user = UserConfig::new(20, 4, Modulation::Qam64);
+    let subframes = SteadyModel::new(user).subframes(4);
+    let mut bench = UplinkBenchmark::new(
+        CellConfig::default(),
+        BenchmarkConfig {
+            snr_db: 45.0,
+            ..config(4)
+        },
+    );
+    let run = bench.run(&subframes);
+    assert_eq!(run.crc_pass_rate, 1.0, "clean channel must pass CRC");
+    bench.verify(&subframes, &run).expect("must verify");
+}
+
+#[test]
+fn turbo_decode_mode_verifies_in_parallel() {
+    let mode = TurboMode::Decode { iterations: 3 };
+    let user = UserConfig::new(4, 2, Modulation::Qam16);
+    let subframes = vec![SubframeConfig::new(vec![user]); 3];
+    let mut bench = UplinkBenchmark::new(
+        CellConfig::with_antennas(2),
+        BenchmarkConfig {
+            turbo: mode,
+            snr_db: 25.0,
+            ..config(4)
+        },
+    );
+    let run = bench.run(&subframes);
+    bench.verify(&subframes, &run).expect("turbo mode must verify");
+}
+
+#[test]
+fn mixed_subframes_with_many_users_verify() {
+    // Build a subframe with the maximum ten users.
+    let users: Vec<UserConfig> = (0..10)
+        .map(|i| {
+            UserConfig::new(
+                2 + 2 * i,
+                1 + i % 4,
+                [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64][i % 3],
+            )
+        })
+        .collect();
+    let subframes = vec![SubframeConfig::new(users)];
+    let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), config(4));
+    let run = bench.run(&subframes);
+    assert_eq!(run.results[0].len(), 10);
+    bench.verify(&subframes, &run).expect("must verify");
+}
