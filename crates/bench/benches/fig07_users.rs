@@ -12,7 +12,10 @@ fn fig07(c: &mut Criterion) {
     let trace = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
     let users: Vec<f64> = trace.every(25).iter().map(|r| r.users as f64).collect();
     lte_bench::preview("fig7 users/subframe", &users);
-    println!("mean users: {:.2} (paper: varies 1..10, Fig. 7)", trace.mean_users());
+    println!(
+        "mean users: {:.2} (paper: varies 1..10, Fig. 7)",
+        trace.mean_users()
+    );
 
     let mut group = c.benchmark_group("fig07");
     group.sample_size(10);

@@ -10,7 +10,11 @@ use lte_model::{ParameterModel, RampModel, EVALUATION_SUBFRAMES};
 fn fig08(c: &mut Criterion) {
     let configs = RampModel::new(2012).subframes(EVALUATION_SUBFRAMES);
     let trace = Trace::from_configs(&configs);
-    let total: Vec<f64> = trace.every(25).iter().map(|r| r.total_prbs as f64).collect();
+    let total: Vec<f64> = trace
+        .every(25)
+        .iter()
+        .map(|r| r.total_prbs as f64)
+        .collect();
     let maxes: Vec<f64> = trace.every(25).iter().map(|r| r.max_prbs as f64).collect();
     lte_bench::preview("fig8 total PRBs", &total);
     lte_bench::preview("fig8 max-per-user PRBs", &maxes);

@@ -8,7 +8,11 @@ use lte_model::{current_probability, ParameterModel, RampModel, EVALUATION_SUBFR
 
 fn fig09(c: &mut Criterion) {
     let trace = Trace::from_configs(&RampModel::new(2012).subframes(EVALUATION_SUBFRAMES));
-    let max_layers: Vec<f64> = trace.every(25).iter().map(|r| r.max_layers as f64).collect();
+    let max_layers: Vec<f64> = trace
+        .every(25)
+        .iter()
+        .map(|r| r.max_layers as f64)
+        .collect();
     lte_bench::preview("fig9 max layers", &max_layers);
     println!(
         "probability ramp: {:.1}% → {:.1}% → {:.1}% (paper: 0.6% → 100% → 0.6%)",

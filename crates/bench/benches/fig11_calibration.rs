@@ -18,7 +18,10 @@ fn fig11(c: &mut Criterion) {
             .collect();
         println!("  {layers} layer(s): {}", row.join(" "));
     }
-    let top = curves.iter().find(|cv| cv.layers == 4 && cv.modulation == Modulation::Qam64).unwrap();
+    let top = curves
+        .iter()
+        .find(|cv| cv.layers == 4 && cv.modulation == Modulation::Qam64)
+        .unwrap();
     let series: Vec<f64> = top.points.iter().map(|p| p.activity).collect();
     lte_bench::preview("fig11 64QAM/4L activity", &series);
 

@@ -1,0 +1,84 @@
+//! Observability overhead guard: a disabled recorder must be free.
+//!
+//! Runs the fig. 14 workload (NAP policy over the ramp sequence) three
+//! ways — recorder absent (`Simulator::new`), explicit `NoopRecorder`,
+//! and a live `RingRecorder` — and prints the no-op cost relative to
+//! the bare simulator. The no-op path is the default for every
+//! experiment in the repo, so it must stay within noise (< 1% on this
+//! workload; the enabled ring shows what full tracing costs).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lte_obs::{NoopRecorder, RingRecorder};
+use lte_sched::sim::Simulator;
+use lte_sched::NapPolicy;
+
+fn obs_overhead(c: &mut Criterion) {
+    let ctx = lte_bench::tiny_context();
+    let subframes = ctx.subframes();
+    let targets = vec![ctx.controller.max_cores; subframes.len()];
+    let cfg = ctx.sim_config(NapPolicy::Nap);
+    let loads = ctx.loads(&subframes, &targets);
+
+    // One-shot comparison printed up front: mean over a fixed batch,
+    // after a warmup pass so neither side pays cold caches.
+    let reps = 10;
+    for _ in 0..3 {
+        black_box(Simulator::new(cfg).run(&loads).end_time);
+    }
+    let bare = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(Simulator::new(cfg).run(&loads).end_time);
+        }
+        start.elapsed()
+    };
+    let noop = {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(
+                Simulator::with_recorder(cfg, NoopRecorder)
+                    .run(&loads)
+                    .end_time,
+            );
+        }
+        start.elapsed()
+    };
+    println!(
+        "obs_overhead: bare {:?}, noop recorder {:?} ({:+.2}% — must stay within noise)",
+        bare / reps,
+        noop / reps,
+        100.0 * (noop.as_secs_f64() - bare.as_secs_f64()) / bare.as_secs_f64()
+    );
+
+    let mut group = c.benchmark_group("obs_overhead");
+    group.sample_size(10);
+    group.bench_function("recorder_absent", |b| {
+        b.iter(|| black_box(Simulator::new(cfg).run(&loads).end_time))
+    });
+    group.bench_function("noop_recorder", |b| {
+        b.iter(|| {
+            black_box(
+                Simulator::with_recorder(cfg, NoopRecorder)
+                    .run(&loads)
+                    .end_time,
+            )
+        })
+    });
+    group.bench_function("ring_recorder", |b| {
+        b.iter(|| {
+            let recorder = RingRecorder::new(1_000_000);
+            black_box(
+                Simulator::with_recorder(cfg, &recorder)
+                    .run(&loads)
+                    .end_time,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, obs_overhead);
+criterion_main!(benches);

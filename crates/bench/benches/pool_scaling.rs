@@ -14,7 +14,10 @@ fn bench_pool_scaling(c: &mut Criterion) {
     let max = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut group = c.benchmark_group("pool_subframes");
     group.sample_size(10);
-    for workers in [1usize, 2, 4, max].into_iter().collect::<std::collections::BTreeSet<_>>() {
+    for workers in [1usize, 2, 4, max]
+        .into_iter()
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         group.bench_with_input(
             BenchmarkId::from_parameter(workers),
             &workers,

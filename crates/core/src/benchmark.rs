@@ -232,7 +232,7 @@ impl UplinkBenchmark {
 }
 
 /// Processes one user on the pool with the paper's task decomposition.
-fn process_user_parallel(
+pub(crate) fn process_user_parallel(
     pool: &TaskPool,
     cell: &CellConfig,
     input: &Arc<UserInput>,
@@ -301,8 +301,7 @@ fn process_user_parallel(
             let weights = Arc::clone(&weights);
             let llr_chunks = Arc::clone(&llr_chunks);
             Box::new(move || {
-                let combined =
-                    combine_symbol(&input, &weights[slot], slot, sym, layer, &planner);
+                let combined = combine_symbol(&input, &weights[slot], slot, sym, layer, &planner);
                 let llrs = demap_symbol(&input, &combined);
                 let idx = (slot * DATA_SYMBOLS_PER_SLOT + sym) * input.config.layers + layer;
                 *llr_chunks[idx].lock().expect("llr mutex") = Some(llrs);

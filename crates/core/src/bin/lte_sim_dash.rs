@@ -1,0 +1,5 @@
+//! The `lte-sim` spelling of the benchmark CLI (see [`lte_uplink::cli`]).
+
+fn main() {
+    lte_uplink::cli::run();
+}

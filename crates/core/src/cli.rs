@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! lte-sim <command> [--quick] [--subframes N] [--seed S] [--out DIR]
+//!         [--perfetto FILE] [--metrics FILE]
 //!
 //! Commands:
 //!   fig7 fig8 fig9   input parameter traces
@@ -10,33 +11,78 @@
 //!   fig13            estimated active cores
 //!   fig14 fig15 fig16 power traces (all run the full power study)
 //!   table1 table2    average power tables
+//!   trace            instrumented run: Perfetto trace + metrics JSON
 //!   bench            run the real parallel benchmark briefly
 //!   all              everything above, written to --out
 //! ```
+//!
+//! Run `lte-sim --help` for the full command and flag reference.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
+use crate::ablation;
+use crate::experiments::ExperimentContext;
+use crate::report;
+use crate::{BenchmarkConfig, UplinkBenchmark};
 use lte_model::{ParameterModel, RampModel};
 use lte_phy::params::CellConfig;
-use lte_uplink::ablation;
-use lte_uplink::experiments::ExperimentContext;
-use lte_uplink::report;
-use lte_uplink::{BenchmarkConfig, UplinkBenchmark};
 
 struct Options {
     command: String,
     ctx: ExperimentContext,
     out: PathBuf,
+    perfetto: Option<PathBuf>,
+    metrics: Option<PathBuf>,
     stride: usize,
 }
+
+const USAGE: &str = "\
+lte-sim — the LTE Uplink Receiver PHY benchmark and power study
+
+USAGE:
+    lte-sim [COMMAND] [FLAGS]
+
+COMMANDS:
+    fig7 fig8 fig9    input parameter traces (users, PRBs, layers) as CSV
+    fig11             activity/PRB calibration sweep (CSV + SVG)
+    fig12             workload-estimator validation (CSV + SVG)
+    fig13             estimated active-core targets (CSV)
+    fig14 fig15 fig16 power traces for all nap policies (CSV + SVG)
+    table1 table2     average dynamic / total power tables (markdown)
+    concurrency       subframe concurrency and job latency percentiles
+    trace             record an instrumented NAP+IDLE run: Perfetto
+                      trace-event JSON plus a flat metrics snapshot
+    bench             run the real parallel benchmark briefly
+    ablation          sweep the design constants the paper fixes
+    diurnal           the diurnal-day power study
+    golden            store and verify a serial golden record
+    all               every figure and table, written to --out
+                      (default command)
+
+FLAGS:
+    --quick           reduced setup for smoke tests (4 000 subframes,
+                      coarse calibration sweep)
+    --subframes N     length of the main evaluation run
+    --seed S          parameter-model seed
+    --out DIR         output directory (default: results)
+    --perfetto FILE   trace: write the trace-event JSON here
+                      (default: <out>/trace.perfetto.json)
+    --metrics FILE    trace: write the metrics snapshot here
+                      (default: <out>/metrics.json)
+    -h, --help        print this help
+
+Parse errors exit with status 2.
+";
 
 fn parse_args() -> Options {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = String::from("all");
     let mut ctx = ExperimentContext::paper();
     let mut out = PathBuf::from("results");
+    let mut perfetto = None;
+    let mut metrics = None;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -54,9 +100,14 @@ fn parse_args() -> Options {
     };
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" | "help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
             "--quick" => ctx = ExperimentContext::quick(),
             "--subframes" => {
-                ctx.n_subframes = parse_number(&value_of(&args, i, "--subframes"), "--subframes") as usize;
+                ctx.n_subframes =
+                    parse_number(&value_of(&args, i, "--subframes"), "--subframes") as usize;
                 i += 1;
             }
             "--seed" => {
@@ -67,8 +118,17 @@ fn parse_args() -> Options {
                 out = PathBuf::from(value_of(&args, i, "--out"));
                 i += 1;
             }
-            flag if flag.starts_with("--") => {
+            "--perfetto" => {
+                perfetto = Some(PathBuf::from(value_of(&args, i, "--perfetto")));
+                i += 1;
+            }
+            "--metrics" => {
+                metrics = Some(PathBuf::from(value_of(&args, i, "--metrics")));
+                i += 1;
+            }
+            flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
+                eprintln!("run 'lte-sim --help' for the full flag list");
                 std::process::exit(2);
             }
             cmd => command = cmd.to_string(),
@@ -79,6 +139,8 @@ fn parse_args() -> Options {
         command,
         ctx,
         out,
+        perfetto,
+        metrics,
         stride: 25,
     }
 }
@@ -136,13 +198,25 @@ fn run_power_study(opts: &Options, emit: &[&str]) {
         ctx.n_subframes, ctx.cal_prb_step
     );
     let study = ctx.run_power_study();
-    let window_s = ctx.activity_window as f64 * ctx.sim_config(lte_sched::NapPolicy::NoNap).dispatch_seconds();
-    let rms_s = ctx.rms_window as f64 * ctx.sim_config(lte_sched::NapPolicy::NoNap).dispatch_seconds();
+    let window_s = ctx.activity_window as f64
+        * ctx
+            .sim_config(lte_sched::NapPolicy::NoNap)
+            .dispatch_seconds();
+    let rms_s = ctx.rms_window as f64
+        * ctx
+            .sim_config(lte_sched::NapPolicy::NoNap)
+            .dispatch_seconds();
     for e in emit {
         match *e {
             "fig11" => {
-                write(&opts.out.join("fig11_calibration.csv"), &report::fig11_csv(&study.curves));
-                write(&opts.out.join("fig11_calibration.svg"), &report::fig11_svg(&study.curves));
+                write(
+                    &opts.out.join("fig11_calibration.csv"),
+                    &report::fig11_csv(&study.curves),
+                );
+                write(
+                    &opts.out.join("fig11_calibration.svg"),
+                    &report::fig11_svg(&study.curves),
+                );
             }
             "fig12" => {
                 write(
@@ -278,10 +352,9 @@ fn run_golden(opts: &Options) {
     );
     let path = opts.out.join("golden_record.txt");
     write(&path, &golden.to_text());
-    let restored = GoldenRecord::from_text(
-        &fs::read_to_string(&path).expect("read back golden record"),
-    )
-    .expect("parse stored record");
+    let restored =
+        GoldenRecord::from_text(&fs::read_to_string(&path).expect("read back golden record"))
+            .expect("parse stored record");
     let run = bench.run(&subframes);
     match restored.verify(&run.results) {
         Ok(()) => println!("parallel run verified against the stored golden record"),
@@ -345,12 +418,57 @@ fn run_bench(opts: &Options) {
     }
 }
 
-fn main() {
+fn run_trace_cmd(opts: &Options) {
+    use crate::trace;
+    println!(
+        "recording an instrumented NAP+IDLE run ({} subframes max) …",
+        opts.ctx.n_subframes.min(trace::TRACE_SUBFRAME_CAP)
+    );
+    let art = trace::run_trace(&opts.ctx);
+    let perfetto_path = opts
+        .perfetto
+        .clone()
+        .unwrap_or_else(|| opts.out.join("trace.perfetto.json"));
+    let metrics_path = opts
+        .metrics
+        .clone()
+        .unwrap_or_else(|| opts.out.join("metrics.json"));
+    write(&perfetto_path, &art.perfetto_json);
+    write(&metrics_path, &art.metrics_json);
+    let cfg = opts.ctx.sim_config(lte_sched::NapPolicy::NapIdle);
+    println!(
+        "traced {} subframes: activity {:.1}% (Eq. 2), {} jobs",
+        art.subframes,
+        100.0 * art.report.mean_activity(&cfg),
+        art.report.jobs_total,
+    );
+    let busy: u64 = art.report.stage_breakdown().iter().map(|(_, c)| c).sum();
+    for (stage, cycles) in art.report.stage_breakdown() {
+        println!(
+            "  {:12} {:>14} cycles ({:4.1}%)",
+            stage.name(),
+            cycles,
+            100.0 * cycles as f64 / busy.max(1) as f64
+        );
+    }
+    if art.dropped_events > 0 {
+        eprintln!(
+            "warning: ring filled, dropped {} oldest events — lower --subframes for a complete trace",
+            art.dropped_events
+        );
+    }
+    println!("open the trace in https://ui.perfetto.dev or chrome://tracing");
+}
+
+/// Parses `std::env::args` and runs the selected command. The two
+/// `lte-sim`/`lte_sim` binaries are thin wrappers around this.
+pub fn run() {
     let opts = parse_args();
     match opts.command.as_str() {
         "fig7" | "fig8" | "fig9" => run_traces(&opts, &opts.command),
         "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table1" | "table2"
         | "concurrency" => run_power_study(&opts, &[opts.command.as_str()]),
+        "trace" => run_trace_cmd(&opts),
         "bench" => run_bench(&opts),
         "ablation" => run_ablations(&opts),
         "diurnal" => run_diurnal(&opts),
@@ -365,7 +483,8 @@ fn main() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency ablation diurnal golden bench all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace ablation diurnal golden bench all");
+            eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }
     }

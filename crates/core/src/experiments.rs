@@ -625,7 +625,11 @@ mod diurnal_tests {
         let watts: Vec<f64> = diurnal.rows.iter().map(|r| r.watts).collect();
         assert!(watts[0] > watts[3], "NONAP must exceed NAP+IDLE");
         assert!(watts[4] < watts[3], "gating must beat NAP+IDLE");
-        assert!(diurnal.gated_saving_vs_nonap > 0.2, "saving {:.2}", diurnal.gated_saving_vs_nonap);
+        assert!(
+            diurnal.gated_saving_vs_nonap > 0.2,
+            "saving {:.2}",
+            diurnal.gated_saving_vs_nonap
+        );
         assert!(diurnal.gated_saving_vs_idle > 0.0);
     }
 }

@@ -29,9 +29,11 @@
 
 pub mod ablation;
 pub mod benchmark;
+pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod svg;
+pub mod trace;
 
 pub use benchmark::{BenchmarkConfig, BenchmarkRun, UplinkBenchmark};
 pub use experiments::ExperimentContext;

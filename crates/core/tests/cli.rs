@@ -15,7 +15,11 @@ fn fig7_writes_csv() {
         .arg(&dir)
         .output()
         .expect("run lte-sim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let csv = std::fs::read_to_string(dir.join("fig7_users.csv")).expect("csv exists");
     assert!(csv.starts_with("subframe,users\n"));
     assert!(csv.lines().count() > 2);
@@ -29,10 +33,17 @@ fn table2_quick_prints_all_techniques() {
         .arg(&dir)
         .output()
         .expect("run lte-sim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for technique in ["NONAP", "IDLE", "NAP", "NAP+IDLE", "PowerGating"] {
-        assert!(stdout.contains(technique), "missing {technique} in:\n{stdout}");
+        assert!(
+            stdout.contains(technique),
+            "missing {technique} in:\n{stdout}"
+        );
     }
 }
 
@@ -44,6 +55,105 @@ fn unknown_command_exits_nonzero() {
 }
 
 #[test]
+fn help_lists_every_command_and_flag() {
+    for flag in ["--help", "-h", "help"] {
+        let out = lte_sim().arg(flag).output().expect("run lte-sim");
+        assert!(out.status.success(), "{flag} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        for cmd in [
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "table1",
+            "table2",
+            "concurrency",
+            "trace",
+            "bench",
+            "ablation",
+            "diurnal",
+            "golden",
+            "all",
+        ] {
+            assert!(
+                stdout.contains(cmd),
+                "help missing command {cmd}:\n{stdout}"
+            );
+        }
+        for f in [
+            "--quick",
+            "--subframes",
+            "--seed",
+            "--out",
+            "--perfetto",
+            "--metrics",
+        ] {
+            assert!(stdout.contains(f), "help missing flag {f}:\n{stdout}");
+        }
+    }
+}
+
+#[test]
+fn parse_errors_exit_status_2() {
+    // Unknown command, unknown flag, missing value, non-numeric value:
+    // each is a parse error and must exit with status 2 exactly.
+    for args in [
+        vec!["nonsense"],
+        vec!["--bogus"],
+        vec!["fig7", "--subframes"],
+        vec!["fig7", "--subframes", "many"],
+        vec!["fig7", "--seed", "1.5"],
+    ] {
+        let out = lte_sim().args(&args).output().expect("run lte-sim");
+        assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
+    }
+}
+
+#[test]
+fn trace_writes_perfetto_and_metrics() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    let perfetto = dir.join("trace.json");
+    let metrics = dir.join("metrics.json");
+    let out = lte_sim()
+        .args(["trace", "--quick", "--subframes", "40", "--perfetto"])
+        .arg(&perfetto)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("run lte-sim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&perfetto).expect("perfetto file exists");
+    assert!(trace.starts_with("{\"traceEvents\":["));
+    assert!(trace.contains("\"core 0\""), "per-core tracks named");
+    assert!(
+        trace.contains("\"receiver stages\""),
+        "PHY stage track named"
+    );
+    let snapshot = std::fs::read_to_string(&metrics).expect("metrics file exists");
+    for key in [
+        "sim.activity",
+        "sim.stage.estimation.cycles",
+        "sim.stage.total_cycles",
+        "sim.core.0.steals",
+        "sim.core.0.tasks",
+        "pool.worker.0.executed_tasks",
+        "power.mean_watts",
+    ] {
+        assert!(snapshot.contains(key), "metrics missing {key}:\n{snapshot}");
+    }
+}
+
+#[test]
 fn golden_round_trip_via_cli() {
     let dir = std::env::temp_dir().join("lte_sim_cli_golden");
     let out = lte_sim()
@@ -51,6 +161,12 @@ fn golden_round_trip_via_cli() {
         .arg(&dir)
         .output()
         .expect("run lte-sim");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(String::from_utf8_lossy(&out.stdout).contains("verified against the stored golden record"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("verified against the stored golden record")
+    );
 }

@@ -40,7 +40,10 @@ impl MimoChannel {
     ///
     /// Panics if any dimension is zero.
     pub fn randomize(n_rx: usize, n_layers: usize, n_taps: usize, rng: &mut Xoshiro256) -> Self {
-        assert!(n_rx > 0 && n_layers > 0 && n_taps > 0, "dimensions must be positive");
+        assert!(
+            n_rx > 0 && n_layers > 0 && n_taps > 0,
+            "dimensions must be positive"
+        );
         let scale = (1.0 / (n_taps as f64)).sqrt() as f32 / std::f32::consts::SQRT_2;
         let taps = (0..n_rx)
             .map(|_| {
@@ -58,7 +61,11 @@ impl MimoChannel {
                     .collect()
             })
             .collect();
-        MimoChannel { n_rx, n_layers, taps }
+        MimoChannel {
+            n_rx,
+            n_layers,
+            taps,
+        }
     }
 
     /// An ideal channel: identity mapping from layer `l` to antenna `l`
@@ -69,12 +76,20 @@ impl MimoChannel {
             .map(|rx| {
                 (0..n_layers)
                     .map(|l| {
-                        vec![if rx == l { Complex32::ONE } else { Complex32::ZERO }]
+                        vec![if rx == l {
+                            Complex32::ONE
+                        } else {
+                            Complex32::ZERO
+                        }]
                     })
                     .collect()
             })
             .collect();
-        MimoChannel { n_rx, n_layers, taps }
+        MimoChannel {
+            n_rx,
+            n_layers,
+            taps,
+        }
     }
 
     /// Number of receive antennas.
@@ -101,8 +116,8 @@ impl MimoChannel {
             .map(|k| {
                 let mut h = Complex32::ZERO;
                 for (t, &tap) in taps.iter().enumerate() {
-                    let theta =
-                        -std::f64::consts::TAU * (t as f64) * (k as f64) / (n_sc.max(2 * taps.len())) as f64;
+                    let theta = -std::f64::consts::TAU * (t as f64) * (k as f64)
+                        / (n_sc.max(2 * taps.len())) as f64;
                     h += tap * Complex32::new(theta.cos() as f32, theta.sin() as f32);
                 }
                 h
@@ -394,7 +409,11 @@ impl MimoChannel {
                     .collect()
             })
             .collect();
-        MimoChannel { n_rx, n_layers, taps }
+        MimoChannel {
+            n_rx,
+            n_layers,
+            taps,
+        }
     }
 }
 

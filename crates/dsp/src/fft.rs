@@ -169,7 +169,12 @@ impl FftPlan {
         let r = factors[0];
         let m = n / r;
         for j in 0..r {
-            self.recurse(&input[j * stride..], stride * r, &mut out[j * m..(j + 1) * m], &factors[1..]);
+            self.recurse(
+                &input[j * stride..],
+                stride * r,
+                &mut out[j * m..(j + 1) * m],
+                &factors[1..],
+            );
         }
         // Twiddle stride mapping sub-size n to the full-size table.
         let tw_step = self.n / n;
@@ -468,8 +473,7 @@ mod tests {
         let time_energy: f64 = input.iter().map(|z| z.norm_sqr() as f64).sum();
         let mut freq = input;
         FftPlan::forward(n).process(&mut freq);
-        let freq_energy: f64 =
-            freq.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / n as f64;
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() / n as f64;
         assert!(
             (time_energy - freq_energy).abs() / time_energy < 1e-5,
             "{time_energy} vs {freq_energy}"

@@ -9,8 +9,8 @@
 /// The fixed inter-column permutation of the TS 36.212 sub-block
 /// interleaver.
 pub const COLUMN_PERMUTATION: [usize; 32] = [
-    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30, 1, 17, 9, 25, 5, 21, 13, 29, 3,
-    19, 11, 27, 7, 23, 15, 31,
+    0, 16, 8, 24, 4, 20, 12, 28, 2, 18, 10, 26, 6, 22, 14, 30, 1, 17, 9, 25, 5, 21, 13, 29, 3, 19,
+    11, 27, 7, 23, 15, 31,
 ];
 
 /// Returns a shared, cached sub-block interleaver for `n` elements.

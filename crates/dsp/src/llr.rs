@@ -83,11 +83,7 @@ pub fn maxlog_llr(modulation: Modulation, y: Complex32, noise_var: f32, out: &mu
 }
 
 /// Demaps a block of symbols with the max-log demapper.
-pub fn demap_block(
-    modulation: Modulation,
-    symbols: &[Complex32],
-    noise_var: f32,
-) -> Vec<f32> {
+pub fn demap_block(modulation: Modulation, symbols: &[Complex32], noise_var: f32) -> Vec<f32> {
     let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
     for &y in symbols {
         maxlog_llr(modulation, y, noise_var, &mut out);
@@ -203,10 +199,7 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(5);
         for m in Modulation::ALL {
             for _ in 0..500 {
-                let y = Complex32::new(
-                    3.0 * (rng.next_f32() - 0.5),
-                    3.0 * (rng.next_f32() - 0.5),
-                );
+                let y = Complex32::new(3.0 * (rng.next_f32() - 0.5), 3.0 * (rng.next_f32() - 0.5));
                 let nv = 0.05 + rng.next_f32();
                 let mut fast = Vec::new();
                 maxlog_llr(m, y, nv, &mut fast);
@@ -226,7 +219,9 @@ mod tests {
     fn exact_llr_close_to_maxlog_at_high_snr() {
         let mut rng = Xoshiro256::seed_from_u64(8);
         for m in Modulation::ALL {
-            let bits: Vec<u8> = (0..m.bits_per_symbol()).map(|_| (rng.next_u64() & 1) as u8).collect();
+            let bits: Vec<u8> = (0..m.bits_per_symbol())
+                .map(|_| (rng.next_u64() & 1) as u8)
+                .collect();
             let y = m.map_bits(&bits)[0];
             let nv = 1e-3;
             let mut exact = Vec::new();

@@ -56,9 +56,7 @@ mod tests {
     #[test]
     fn inplace_matches_out_of_place() {
         let reference = ReferenceSequence::new(12, 1);
-        let mut received: Vec<Complex32> = (0..12)
-            .map(|i| Complex32::new(i as f32, 1.0))
-            .collect();
+        let mut received: Vec<Complex32> = (0..12).map(|i| Complex32::new(i as f32, 1.0)).collect();
         let mut out = vec![Complex32::ZERO; 12];
         matched_filter(&received, reference.samples(), &mut out);
         matched_filter_inplace(&mut received, reference.samples());

@@ -220,8 +220,8 @@ mod tests {
     #[test]
     fn unit_average_energy() {
         for m in Modulation::ALL {
-            let e: f32 = m.constellation().iter().map(|z| z.norm_sqr()).sum::<f32>()
-                / m.points() as f32;
+            let e: f32 =
+                m.constellation().iter().map(|z| z.norm_sqr()).sum::<f32>() / m.points() as f32;
             assert!((e - 1.0).abs() < 1e-5, "{m}: energy {e}");
         }
     }

@@ -111,10 +111,10 @@ impl CQ15 {
         let ai = self.im.0 as i32;
         let br = rhs.re.0 as i32;
         let bi = rhs.im.0 as i32;
-        let re = ((ar * br - ai * bi + (1 << 14)) >> 15)
-            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
-        let im = ((ar * bi + ai * br + (1 << 14)) >> 15)
-            .clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        let re =
+            ((ar * br - ai * bi + (1 << 14)) >> 15).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
+        let im =
+            ((ar * bi + ai * br + (1 << 14)) >> 15).clamp(i16::MIN as i32, i16::MAX as i32) as i16;
         CQ15 {
             re: Q15(re),
             im: Q15(im),
@@ -267,10 +267,8 @@ impl FixedFft {
                 let mut acc_im = 0i64;
                 for (j, &tj) in t.iter().enumerate() {
                     let w = self.tw(j * q * root_step);
-                    acc_re +=
-                        tj.re.0 as i64 * w.re.0 as i64 - tj.im.0 as i64 * w.im.0 as i64;
-                    acc_im +=
-                        tj.re.0 as i64 * w.im.0 as i64 + tj.im.0 as i64 * w.re.0 as i64;
+                    acc_re += tj.re.0 as i64 * w.re.0 as i64 - tj.im.0 as i64 * w.im.0 as i64;
+                    acc_im += tj.re.0 as i64 * w.im.0 as i64 + tj.im.0 as i64 * w.re.0 as i64;
                 }
                 let denom = (1i64 << 15) * r as i64;
                 let round = |v: i64| -> i16 {

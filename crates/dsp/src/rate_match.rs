@@ -83,9 +83,24 @@ impl RateMatcher {
         s0.extend_from_slice(&code.systematic);
         s1.extend_from_slice(&code.parity1);
         s2.extend_from_slice(&code.parity2);
-        s0.extend([code.tail1[0].0, code.tail1[1].0, code.tail1[2].0, code.tail2[0].0]);
-        s1.extend([code.tail1[0].1, code.tail1[1].1, code.tail1[2].1, code.tail2[1].0]);
-        s2.extend([code.tail2[0].1, code.tail2[1].1, code.tail2[2].0, code.tail2[2].1]);
+        s0.extend([
+            code.tail1[0].0,
+            code.tail1[1].0,
+            code.tail1[2].0,
+            code.tail2[0].0,
+        ]);
+        s1.extend([
+            code.tail1[0].1,
+            code.tail1[1].1,
+            code.tail1[2].1,
+            code.tail2[1].0,
+        ]);
+        s2.extend([
+            code.tail2[0].1,
+            code.tail2[1].1,
+            code.tail2[2].0,
+            code.tail2[2].1,
+        ]);
         [s0, s1, s2]
     }
 
@@ -189,7 +204,9 @@ mod tests {
     }
 
     fn llrs_from_bits(bits: &[u8], mag: f32) -> Vec<f32> {
-        bits.iter().map(|&b| if b == 0 { mag } else { -mag }).collect()
+        bits.iter()
+            .map(|&b| if b == 0 { mag } else { -mag })
+            .collect()
     }
 
     #[test]
@@ -240,8 +257,10 @@ mod tests {
         let code = TurboEncoder::new(k).encode(&bits);
         let rm = RateMatcher::new(k);
         let once = rm.accumulate_llrs(&llrs_from_bits(&rm.match_bits(&code, rm.buffer_len()), 2.0));
-        let twice =
-            rm.accumulate_llrs(&llrs_from_bits(&rm.match_bits(&code, 2 * rm.buffer_len()), 2.0));
+        let twice = rm.accumulate_llrs(&llrs_from_bits(
+            &rm.match_bits(&code, 2 * rm.buffer_len()),
+            2.0,
+        ));
         for (a, b) in once.systematic.iter().zip(&twice.systematic) {
             assert!((2.0 * a - b).abs() < 1e-6);
         }
@@ -262,7 +281,11 @@ mod tests {
         let nonzero_sys = turbo_llrs.systematic.iter().filter(|&&l| l != 0.0).count();
         assert_eq!(nonzero_sys, k, "all systematic bits must be transmitted");
         // Hard decision on the systematic LLRs recovers the bits.
-        let hard: Vec<u8> = turbo_llrs.systematic.iter().map(|&l| (l < 0.0) as u8).collect();
+        let hard: Vec<u8> = turbo_llrs
+            .systematic
+            .iter()
+            .map(|&l| (l < 0.0) as u8)
+            .collect();
         assert_eq!(hard, bits);
     }
 
@@ -353,8 +376,7 @@ mod harq_tests {
             first_failures += 1;
             let tx2_bits = rm.match_bits_rv(&code, e, 2);
             let tx2 = noisy_llrs(&tx2_bits, sigma, &mut rng);
-            let combined =
-                decoder.decode(&rm.accumulate_llrs_rv(&[(&tx1, 0), (&tx2, 2)]));
+            let combined = decoder.decode(&rm.accumulate_llrs_rv(&[(&tx1, 0), (&tx2, 2)]));
             assert_eq!(combined, bits, "seed {seed}: HARQ combining must recover");
         }
         assert!(
@@ -373,7 +395,10 @@ mod harq_tests {
         let rm = RateMatcher::new(k);
         let e = rm.buffer_len();
         let tx = rm.match_bits_rv(&code, e, 0);
-        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         let once = rm.accumulate_llrs_rv(&[(&llrs, 0)]);
         let twice = rm.accumulate_llrs_rv(&[(&llrs, 0), (&llrs, 0)]);
         for (a, b) in once.systematic.iter().zip(&twice.systematic) {

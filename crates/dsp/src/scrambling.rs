@@ -70,7 +70,10 @@ impl GoldSequence {
 /// The standard `c_init` for uplink shared-channel scrambling:
 /// `n_rnti·2¹⁴ + q·2¹³ + ⌊n_s/2⌋·2⁹ + cell_id`.
 pub fn pusch_c_init(n_rnti: u16, codeword: u8, subframe: u32, cell_id: u16) -> u32 {
-    ((n_rnti as u32) << 14) | ((codeword as u32 & 1) << 13) | ((subframe % 10) << 9) | (cell_id as u32 % 504)
+    ((n_rnti as u32) << 14)
+        | ((codeword as u32 & 1) << 13)
+        | ((subframe % 10) << 9)
+        | (cell_id as u32 % 504)
 }
 
 /// Scrambles a bit vector in place (XOR with the sequence).
@@ -147,7 +150,10 @@ mod tests {
         let mut tx = clean_bits.clone();
         scramble_bits(&mut tx, c_init);
         // Noiseless LLRs for the scrambled bits: +2 for 0, −2 for 1.
-        let mut llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 2.0 } else { -2.0 }).collect();
+        let mut llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 2.0 } else { -2.0 })
+            .collect();
         descramble_llrs(&mut llrs, c_init);
         let rx: Vec<u8> = llrs.iter().map(|&l| (l < 0.0) as u8).collect();
         assert_eq!(rx, clean_bits);

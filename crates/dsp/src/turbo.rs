@@ -136,8 +136,7 @@ impl QppInterleaver {
         for i in 0..k {
             // Compute (f1·i + f2·i²) mod k without overflow.
             let i64k = k as u128;
-            let v = ((f1 as u128 * i as u128) + (f2 as u128 * i as u128 % i64k * i as u128))
-                % i64k;
+            let v = ((f1 as u128 * i as u128) + (f2 as u128 * i as u128 % i64k * i as u128)) % i64k;
             let v = v as usize;
             if seen[v] {
                 return None;

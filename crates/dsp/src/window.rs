@@ -88,7 +88,9 @@ mod tests {
     use super::*;
 
     fn block(n: usize) -> Vec<Complex32> {
-        (0..n).map(|i| Complex32::new(1.0 + i as f32, -1.0)).collect()
+        (0..n)
+            .map(|i| Complex32::new(1.0 + i as f32, -1.0))
+            .collect()
     }
 
     #[test]

@@ -193,11 +193,7 @@ mod tests {
     fn autocorrelation_peaks_at_zero_lag() {
         let n = 48;
         let seq = ReferenceSequence::new(n, 5);
-        let zero_lag: Complex32 = seq
-            .samples()
-            .iter()
-            .map(|z| *z * z.conj())
-            .sum();
+        let zero_lag: Complex32 = seq.samples().iter().map(|z| *z * z.conj()).sum();
         assert!((zero_lag.re - n as f32).abs() < 1e-3);
         // Nonzero cyclic lag within the underlying prime span is small.
         let lag = 7;

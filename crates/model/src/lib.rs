@@ -228,7 +228,11 @@ mod tests {
         let mut model = RampModel::new(2);
         let counts: Vec<usize> = (0..500).map(|_| model.next_subframe().n_users()).collect();
         let distinct: std::collections::HashSet<_> = counts.iter().collect();
-        assert!(distinct.len() >= 6, "only {} distinct counts", distinct.len());
+        assert!(
+            distinct.len() >= 6,
+            "only {} distinct counts",
+            distinct.len()
+        );
         let changes = counts.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(changes > 250, "only {changes} changes in 500 subframes");
     }
@@ -377,7 +381,10 @@ impl DiurnalModel {
     /// effective processed load lands near the paper's 25 %).
     pub fn mean_envelope() -> f64 {
         let n = 1000;
-        (0..n).map(|i| Self::envelope(i as f64 / n as f64)).sum::<f64>() / n as f64
+        (0..n)
+            .map(|i| Self::envelope(i as f64 / n as f64))
+            .sum::<f64>()
+            / n as f64
     }
 }
 
@@ -428,8 +435,8 @@ mod diurnal_tests {
         let mut model = DiurnalModel::new(1, 10_000);
         // First 10 % of the day is near the night floor.
         let quiet: Vec<SubframeConfig> = model.subframes(1_000);
-        let quiet_prbs: f64 = quiet.iter().map(|s| s.total_prbs() as f64).sum::<f64>()
-            / quiet.len() as f64;
+        let quiet_prbs: f64 =
+            quiet.iter().map(|s| s.total_prbs() as f64).sum::<f64>() / quiet.len() as f64;
         // Jump to the evening peak.
         let mut busy_model = DiurnalModel::new(1, 10_000);
         busy_model.subframe = 6_500;

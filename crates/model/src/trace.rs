@@ -6,10 +6,9 @@
 //! subframe; [`Trace`] aggregates a run.
 
 use lte_phy::params::SubframeConfig;
-use serde::{Deserialize, Serialize};
 
 /// The plotted quantities for one subframe.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SubframeStats {
     /// Subframe index.
     pub subframe: usize,
@@ -54,7 +53,7 @@ impl SubframeStats {
 }
 
 /// Statistics over a subframe sequence.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Trace {
     rows: Vec<SubframeStats>,
 }

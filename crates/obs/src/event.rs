@@ -1,0 +1,232 @@
+//! Structured trace events.
+//!
+//! One flat [`Event`] enum covers every layer that emits telemetry: the
+//! discrete-event simulator (core occupancy in simulated cycles), the
+//! PHY receiver (stage spans in wall-clock nanoseconds) and the power
+//! model (sampled series). Events carry plain integers/floats only, so
+//! recording is allocation-free and a recorded stream is a pure function
+//! of the run that produced it — the determinism tests depend on that.
+
+/// A core's occupancy state, as traced by the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CoreState {
+    /// Executing useful work.
+    Busy,
+    /// Spinning while searching for work.
+    Spin,
+    /// Spinning at a phase barrier (user threads only).
+    Barrier,
+    /// Clock-gated by the reactive (IDLE) path.
+    NapReactive,
+    /// Clock-gated by the proactive (NAP) path.
+    NapProactive,
+}
+
+impl CoreState {
+    /// Stable lower-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CoreState::Busy => "busy",
+            CoreState::Spin => "spin",
+            CoreState::Barrier => "barrier",
+            CoreState::NapReactive => "nap",
+            CoreState::NapProactive => "nap_proactive",
+        }
+    }
+}
+
+/// A pipeline stage, both at simulator granularity (estimation /
+/// weights / combine / finish task kinds) and at PHY kernel granularity
+/// (matched filter, IFFT, …).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// Channel-estimation task (one per rx × layer in the simulator).
+    Estimation,
+    /// MMSE combiner-weight computation on the user thread.
+    Weights,
+    /// Antenna combining + IFFT + demap task.
+    Combine,
+    /// Serial tail: deinterleave, decode, CRC.
+    Finish,
+    /// Matched filter against the reference sequence.
+    MatchedFilter,
+    /// IFFT of the matched-filter output to the delay domain.
+    Ifft,
+    /// Delay-domain windowing of the channel impulse response.
+    Window,
+    /// FFT back to the frequency domain.
+    Fft,
+    /// Per-symbol antenna combining.
+    Combining,
+    /// Soft demapping to LLRs.
+    Demap,
+    /// Deinterleave + descramble.
+    Deinterleave,
+    /// Turbo decode (or pass-through hard decision).
+    Turbo,
+    /// Transport-block CRC check.
+    Crc,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order. Exports iterate this so output
+    /// ordering is stable.
+    pub const ALL: [Stage; 13] = [
+        Stage::Estimation,
+        Stage::Weights,
+        Stage::Combine,
+        Stage::Finish,
+        Stage::MatchedFilter,
+        Stage::Ifft,
+        Stage::Window,
+        Stage::Fft,
+        Stage::Combining,
+        Stage::Demap,
+        Stage::Deinterleave,
+        Stage::Turbo,
+        Stage::Crc,
+    ];
+
+    /// The four coarse simulator task kinds.
+    pub const SIM: [Stage; 4] = [
+        Stage::Estimation,
+        Stage::Weights,
+        Stage::Combine,
+        Stage::Finish,
+    ];
+
+    /// Stable snake_case name used in exports and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Estimation => "estimation",
+            Stage::Weights => "weights",
+            Stage::Combine => "combine",
+            Stage::Finish => "finish",
+            Stage::MatchedFilter => "matched_filter",
+            Stage::Ifft => "ifft",
+            Stage::Window => "window",
+            Stage::Fft => "fft",
+            Stage::Combining => "combining",
+            Stage::Demap => "demap",
+            Stage::Deinterleave => "deinterleave",
+            Stage::Turbo => "turbo",
+            Stage::Crc => "crc",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One structured trace event.
+///
+/// Simulator events carry times in **simulated cycles**; PHY stage spans
+/// carry **wall-clock nanoseconds**; samples are dimensionless pairs.
+/// Exporters translate to the target format's timebase.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Event {
+    /// A core occupied `state` over `[start, end)` cycles. Busy spans
+    /// name the stage and subframe they worked for.
+    CoreSpan {
+        /// Worker core id.
+        core: u32,
+        /// Occupancy state over the span.
+        state: CoreState,
+        /// Span start, simulated cycles.
+        start: u64,
+        /// Span end, simulated cycles.
+        end: u64,
+        /// Stage attribution for busy spans.
+        stage: Option<Stage>,
+        /// Subframe attribution for busy spans.
+        subframe: Option<u32>,
+    },
+    /// A napping core woke to poll for status/work.
+    WakePulse {
+        /// Worker core id.
+        core: u32,
+        /// Pulse time, simulated cycles.
+        t: u64,
+        /// `true` when the pulse only checked a status flag (proactive
+        /// nap) rather than polling queues.
+        status_only: bool,
+    },
+    /// A successful steal of one task.
+    Steal {
+        /// The stealing core.
+        thief: u32,
+        /// The core whose deque lost the task.
+        victim: u32,
+        /// Steal time, simulated cycles.
+        t: u64,
+    },
+    /// A work search that found nothing to steal.
+    StealFail {
+        /// The searching core.
+        core: u32,
+        /// Search time, simulated cycles.
+        t: u64,
+    },
+    /// A subframe was dispatched with `jobs` user jobs.
+    Dispatch {
+        /// Subframe index.
+        subframe: u32,
+        /// Dispatch time, simulated cycles.
+        t: u64,
+        /// User jobs in the subframe.
+        jobs: u32,
+        /// The policy's active-core target for the subframe.
+        active_target: u32,
+    },
+    /// A subframe's full latency span: dispatch to last job completion.
+    SubframeSpan {
+        /// Subframe index.
+        subframe: u32,
+        /// Dispatch time, simulated cycles.
+        start: u64,
+        /// Completion time of the subframe's last job, simulated cycles.
+        end: u64,
+    },
+    /// A wall-clock PHY stage span (real receiver execution).
+    StageSpan {
+        /// The PHY stage.
+        stage: Stage,
+        /// Span start, nanoseconds from an arbitrary epoch.
+        start_ns: u64,
+        /// Span end, nanoseconds from the same epoch.
+        end_ns: u64,
+    },
+    /// One sample of a named series (e.g. power watts per bucket).
+    Sample {
+        /// Series name.
+        series: &'static str,
+        /// Sample index within the series.
+        index: u64,
+        /// Sample value.
+        value: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Stage::ALL.len());
+        assert_eq!(Stage::MatchedFilter.to_string(), "matched_filter");
+    }
+
+    #[test]
+    fn sim_stages_are_a_subset_of_all() {
+        for s in Stage::SIM {
+            assert!(Stage::ALL.contains(&s));
+        }
+    }
+}

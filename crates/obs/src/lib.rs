@@ -1,0 +1,45 @@
+//! `lte-obs`: the observability layer for the LTE uplink benchmark.
+//!
+//! Three pieces, all dependency-free and deterministic:
+//!
+//! * [`event`] / [`recorder`] — a flat [`Event`](event::Event) enum and
+//!   the [`Recorder`](recorder::Recorder) trait with a zero-overhead
+//!   [`NoopRecorder`](recorder::NoopRecorder) default plus ring-buffer
+//!   and JSON-lines sinks. Instrumented crates (`lte-sched`, `lte-phy`,
+//!   `lte-power`) are generic over `R: Recorder`, so disabled tracing
+//!   compiles away entirely.
+//! * [`metrics`] — a flat [`MetricsRegistry`](metrics::MetricsRegistry)
+//!   of named counters/gauges with a sorted-key JSON snapshot.
+//! * [`perfetto`] — a Chrome/Perfetto trace-event JSON exporter
+//!   ([`PerfettoExporter`](perfetto::PerfettoExporter)) rendering one
+//!   track per simulated core plus a wall-clock PHY stage track.
+
+pub mod event;
+pub mod metrics;
+pub mod perfetto;
+pub mod recorder;
+
+pub use event::{CoreState, Event, Stage};
+pub use metrics::{MetricValue, MetricsRegistry};
+pub use perfetto::PerfettoExporter;
+pub use recorder::{event_json, JsonLinesRecorder, NoopRecorder, Recorder, RingRecorder};
+
+impl<R: Recorder> Recorder for &R {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&self, event: Event) {
+        (**self).record(event)
+    }
+}
+
+impl<R: Recorder> Recorder for std::sync::Arc<R> {
+    fn enabled(&self) -> bool {
+        (**self).enabled()
+    }
+
+    fn record(&self, event: Event) {
+        (**self).record(event)
+    }
+}

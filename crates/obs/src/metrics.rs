@@ -1,0 +1,166 @@
+//! A flat, deterministic metrics registry.
+//!
+//! Counters and gauges are keyed by `String` names (dotted paths such as
+//! `worker.3.steals` or `stage.turbo.cycles`). Snapshots render as a
+//! single JSON object with keys in sorted order, so two identical runs
+//! serialize byte-identically.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A metric value: integer counters or floating-point gauges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic integer counter.
+    Counter(u64),
+    /// Point-in-time floating-point reading.
+    Gauge(f64),
+}
+
+impl MetricValue {
+    fn json(&self) -> String {
+        match self {
+            MetricValue::Counter(v) => v.to_string(),
+            MetricValue::Gauge(v) => {
+                if v.is_finite() {
+                    // Ensure the value parses back as a JSON number and
+                    // always reads as a float (12 -> "12.0").
+                    let s = v.to_string();
+                    if s.contains('.') || s.contains('e') || s.contains('E') {
+                        s
+                    } else {
+                        format!("{s}.0")
+                    }
+                } else {
+                    "null".to_string()
+                }
+            }
+        }
+    }
+}
+
+/// A thread-safe registry of named metrics.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    values: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        let mut values = self.values.lock().unwrap_or_else(|e| e.into_inner());
+        match values
+            .entry(name.to_string())
+            .or_insert(MetricValue::Counter(0))
+        {
+            MetricValue::Counter(v) => *v += delta,
+            MetricValue::Gauge(_) => panic!("metric {name} is a gauge, not a counter"),
+        }
+    }
+
+    /// Sets the counter `name` to an absolute value.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Sets the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Reads one metric, if present.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.values.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// `true` when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// The snapshot as one pretty-printed JSON object with sorted keys.
+    pub fn to_json(&self) -> String {
+        let snapshot = self.snapshot();
+        let mut out = String::from("{\n");
+        for (i, (name, value)) in snapshot.iter().enumerate() {
+            out.push_str(&format!("  \"{name}\": {}", value.json()));
+            if i + 1 < snapshot.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.add_counter("worker.0.steals", 2);
+        m.add_counter("worker.0.steals", 3);
+        assert_eq!(m.get("worker.0.steals"), Some(MetricValue::Counter(5)));
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("b.activity", 0.5);
+        m.add_counter("a.count", 7);
+        m.set_gauge("c.whole", 12.0);
+        assert_eq!(
+            m.to_json(),
+            "{\n  \"a.count\": 7,\n  \"b.activity\": 0.5,\n  \"c.whole\": 12.0\n}\n"
+        );
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_object() {
+        let m = MetricsRegistry::new();
+        assert!(m.is_empty());
+        assert_eq!(m.to_json(), "{\n}\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "gauge, not a counter")]
+    fn type_confusion_is_rejected() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("x", 1.0);
+        m.add_counter("x", 1);
+    }
+}

@@ -150,7 +150,11 @@ mod tests {
         let mut est = ChannelEstimate::empty(2, 2, n_sc);
         for rx in 0..2 {
             for layer in 0..2 {
-                let v = if rx == layer { Complex32::ONE } else { Complex32::ZERO };
+                let v = if rx == layer {
+                    Complex32::ONE
+                } else {
+                    Complex32::ZERO
+                };
                 est.set_path(rx, layer, vec![v; n_sc]);
             }
         }

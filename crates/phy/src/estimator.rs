@@ -18,11 +18,12 @@ use lte_dsp::fft::FftPlanner;
 use lte_dsp::matched_filter::matched_filter;
 use lte_dsp::window::ChannelWindow;
 use lte_dsp::Complex32;
+use lte_obs::{Recorder, Stage};
 
 use crate::grid::UserInput;
 use crate::params::CellConfig;
+use crate::trace::StageTimer;
 use crate::tx::reference_for_layer;
-
 
 /// Channel estimates for one slot: `paths[rx][layer][subcarrier]`.
 #[derive(Clone, Debug, PartialEq)]
@@ -88,14 +89,38 @@ pub fn estimate_path(
     layer: usize,
     planner: &FftPlanner,
 ) -> Vec<Complex32> {
+    estimate_path_traced(
+        cell,
+        input,
+        slot,
+        rx,
+        layer,
+        planner,
+        &StageTimer::disabled(),
+    )
+}
+
+/// [`estimate_path`] with each kernel (matched filter → IFFT → window →
+/// FFT) wrapped in a wall-clock trace span.
+pub fn estimate_path_traced<R: Recorder>(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    layer: usize,
+    planner: &FftPlanner,
+    timer: &StageTimer<'_, R>,
+) -> Vec<Complex32> {
     let received = input.slots[slot].reference.antenna(rx);
     let n = received.len();
     let reference = reference_for_layer(cell, &input.config, layer);
     let mut work = vec![Complex32::ZERO; n];
-    matched_filter(received, reference.samples(), &mut work);
-    planner.inverse(n).process(&mut work);
-    ChannelWindow::for_len(n).apply(&mut work);
-    planner.forward(n).process(&mut work);
+    timer.time(Stage::MatchedFilter, || {
+        matched_filter(received, reference.samples(), &mut work)
+    });
+    timer.time(Stage::Ifft, || planner.inverse(n).process(&mut work));
+    timer.time(Stage::Window, || ChannelWindow::for_len(n).apply(&mut work));
+    timer.time(Stage::Fft, || planner.forward(n).process(&mut work));
     work
 }
 
@@ -108,11 +133,26 @@ pub fn estimate_slot(
     slot: usize,
     planner: &FftPlanner,
 ) -> ChannelEstimate {
+    estimate_slot_traced(cell, input, slot, planner, &StageTimer::disabled())
+}
+
+/// [`estimate_slot`] with per-kernel trace spans.
+pub fn estimate_slot_traced<R: Recorder>(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    planner: &FftPlanner,
+    timer: &StageTimer<'_, R>,
+) -> ChannelEstimate {
     let n_sc = input.config.subcarriers();
     let mut est = ChannelEstimate::empty(cell.n_rx, input.config.layers, n_sc);
     for rx in 0..cell.n_rx {
         for layer in 0..input.config.layers {
-            est.set_path(rx, layer, estimate_path(cell, input, slot, rx, layer, planner));
+            est.set_path(
+                rx,
+                layer,
+                estimate_path_traced(cell, input, slot, rx, layer, planner, timer),
+            );
         }
     }
     est
@@ -332,8 +372,7 @@ mod noise_tests {
         let planner = FftPlanner::new();
         let user = UserConfig::new(8, 1, Modulation::Qpsk);
         let mut rng = Xoshiro256::seed_from_u64(7);
-        let input =
-            synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 50.0, &mut rng);
+        let input = synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 50.0, &mut rng);
         let est = estimate_noise_var(&cell, &input, 0, 0, &planner);
         assert!(est > 0.0 && est.is_finite());
     }
@@ -356,7 +395,7 @@ pub fn estimate_path_q15(
     layer: usize,
 ) -> Vec<Complex32> {
     use lte_dsp::fft::Direction;
-    use lte_dsp::q15::{dequantize_block, quantize_block, CQ15, FixedFft};
+    use lte_dsp::q15::{dequantize_block, quantize_block, FixedFft, CQ15};
 
     let received = input.slots[slot].reference.antenna(rx);
     let n = received.len();

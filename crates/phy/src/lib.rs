@@ -45,8 +45,10 @@ pub mod grid;
 pub mod linalg;
 pub mod params;
 pub mod receiver;
+pub mod trace;
 pub mod tx;
 pub mod verify;
 
 pub use params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
 pub use receiver::{process_user, UserResult};
+pub use trace::StageTimer;

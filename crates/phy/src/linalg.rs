@@ -215,7 +215,11 @@ mod tests {
     fn assert_identity(m: &CMatrix, tol: f32) {
         for r in 0..m.rows() {
             for c in 0..m.cols() {
-                let expect = if r == c { Complex32::ONE } else { Complex32::ZERO };
+                let expect = if r == c {
+                    Complex32::ONE
+                } else {
+                    Complex32::ZERO
+                };
                 assert!(
                     (m[(r, c)] - expect).abs() < tol,
                     "({r},{c}) = {:?}",

@@ -12,18 +12,18 @@ use lte_dsp::crc::CRC24A;
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::interleave::subblock_cached;
 use lte_dsp::llr::{demap_block, hard_decisions};
-use lte_dsp::scrambling::descramble_llrs;
 use lte_dsp::rate_match::RateMatcher;
+use lte_dsp::scrambling::descramble_llrs;
 use lte_dsp::segmentation::Segmentation;
 use lte_dsp::turbo::TurboDecoder;
 use lte_dsp::Complex32;
+use lte_obs::{Recorder, Stage};
 
 use crate::combiner::{combine_symbol, CombinerWeights};
-use crate::estimator::estimate_slot;
+use crate::estimator::{estimate_slot, estimate_slot_traced};
 use crate::grid::UserInput;
-use crate::params::{
-    CellConfig, TurboMode, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME,
-};
+use crate::params::{CellConfig, TurboMode, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME};
+use crate::trace::StageTimer;
 use crate::tx::FramePlan;
 
 /// The outcome of processing one user.
@@ -53,15 +53,31 @@ impl UserResult {
 ///
 /// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
 pub fn finish_user(input: &UserInput, mode: TurboMode, llrs: &[f32]) -> UserResult {
+    finish_user_traced(input, mode, llrs, &StageTimer::disabled())
+}
+
+/// [`finish_user`] with deinterleave / turbo / CRC trace spans.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
+pub fn finish_user_traced<R: Recorder>(
+    input: &UserInput,
+    mode: TurboMode,
+    llrs: &[f32],
+    timer: &StageTimer<'_, R>,
+) -> UserResult {
     let user = &input.config;
     let total = user.bits_per_subframe();
     assert_eq!(llrs.len(), total, "LLR count must match the allocation");
     // Undo the Gold-sequence scrambling (sign flips), then deinterleave.
-    let mut llrs = llrs.to_vec();
-    descramble_llrs(&mut llrs, crate::tx::scrambling_init(user));
-    let deinterleaved = subblock_cached(total).invert(&llrs);
+    let deinterleaved = timer.time(Stage::Deinterleave, || {
+        let mut llrs = llrs.to_vec();
+        descramble_llrs(&mut llrs, crate::tx::scrambling_init(user));
+        subblock_cached(total).invert(&llrs)
+    });
     let plan = FramePlan::for_user(user, mode);
-    let (mut frame_bits, expected_len) = match (mode, plan) {
+    let (mut frame_bits, expected_len) = timer.time(Stage::Turbo, || match (mode, plan) {
         (TurboMode::Passthrough, FramePlan::Passthrough { payload_bits }) => {
             (hard_decisions(&deinterleaved), payload_bits + 24)
         }
@@ -95,9 +111,11 @@ pub fn finish_user(input: &UserInput, mode: TurboMode, llrs: &[f32]) -> UserResu
             (bits, transport_bits)
         }
         _ => unreachable!("plan always matches mode"),
-    };
-    frame_bits.truncate(expected_len);
-    let crc_ok = CRC24A.check_bits(&frame_bits);
+    });
+    let crc_ok = timer.time(Stage::Crc, || {
+        frame_bits.truncate(expected_len);
+        CRC24A.check_bits(&frame_bits)
+    });
     frame_bits.truncate(expected_len - 24);
     UserResult {
         payload: frame_bits,
@@ -129,6 +147,25 @@ pub fn process_user_with_planner(
     mode: TurboMode,
     planner: &FftPlanner,
 ) -> UserResult {
+    process_user_traced(cell, input, mode, planner, &StageTimer::disabled())
+}
+
+/// The serial pipeline with every stage wrapped in a wall-clock trace
+/// span: the estimation kernels (matched filter, IFFT, window, FFT),
+/// combiner weights, per-symbol combining, demapping, and the serial
+/// tail (deinterleave, turbo, CRC).
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn process_user_traced<R: Recorder>(
+    cell: &CellConfig,
+    input: &UserInput,
+    mode: TurboMode,
+    planner: &FftPlanner,
+    timer: &StageTimer<'_, R>,
+) -> UserResult {
     input.validate();
     let user = &input.config;
 
@@ -137,8 +174,10 @@ pub fn process_user_with_planner(
     // estimate (§II-C).
     let weights: Vec<CombinerWeights> = (0..SLOTS_PER_SUBFRAME)
         .map(|slot| {
-            let est = estimate_slot(cell, input, slot, planner);
-            CombinerWeights::mmse(&est, input.noise_var)
+            let est = estimate_slot_traced(cell, input, slot, planner, timer);
+            timer.time(Stage::Weights, || {
+                CombinerWeights::mmse(&est, input.noise_var)
+            })
         })
         .collect();
 
@@ -149,14 +188,17 @@ pub fn process_user_with_planner(
     for slot in 0..SLOTS_PER_SUBFRAME {
         for sym in 0..DATA_SYMBOLS_PER_SLOT {
             for layer in 0..user.layers {
-                let combined = combine_symbol(input, &weights[slot], slot, sym, layer, planner);
-                llrs.extend(demap_symbol(input, &combined));
+                let combined = timer.time(Stage::Combining, || {
+                    combine_symbol(input, &weights[slot], slot, sym, layer, planner)
+                });
+                let demapped = timer.time(Stage::Demap, || demap_symbol(input, &combined));
+                llrs.extend(demapped);
             }
         }
     }
 
     // Stage 3: deinterleave → (turbo) decode → CRC.
-    finish_user(input, mode, &llrs)
+    finish_user_traced(input, mode, &llrs, timer)
 }
 
 #[cfg(test)]
@@ -226,7 +268,12 @@ mod tests {
             let mut rng = Xoshiro256::seed_from_u64(1000 + seed);
             let channel = MimoChannel::randomize(cell.n_rx, 1, 3, &mut rng);
             let plain = synthesize_user_over_channel(
-                &cell, &user, TurboMode::Passthrough, snr_db, &channel, &mut rng,
+                &cell,
+                &user,
+                TurboMode::Passthrough,
+                snr_db,
+                &channel,
+                &mut rng,
             );
             if !process_user(&cell, &plain, TurboMode::Passthrough).matches(&plain.ground_truth) {
                 failures_plain += 1;
@@ -278,6 +325,49 @@ mod tests {
         let input = synthesize_user(&cell, &user, 30.0, &mut Xoshiro256::seed_from_u64(1));
         finish_user(&input, TurboMode::Passthrough, &[0.0; 10]);
     }
+
+    #[test]
+    fn traced_pipeline_matches_untraced_and_covers_every_stage() {
+        use lte_obs::{Event, RingRecorder, Stage};
+
+        let cell = CellConfig::default();
+        let user = UserConfig::new(6, 2, Modulation::Qam16);
+        let input = synthesize_user(&cell, &user, 30.0, &mut Xoshiro256::seed_from_u64(21));
+        let plain = process_user(&cell, &input, TurboMode::Passthrough);
+
+        let recorder = RingRecorder::new(1 << 16);
+        let timer = StageTimer::new(&recorder);
+        let planner = FftPlanner::new();
+        let traced = process_user_traced(&cell, &input, TurboMode::Passthrough, &planner, &timer);
+        assert_eq!(plain, traced, "tracing must not change results");
+
+        let mut seen = std::collections::BTreeSet::new();
+        for ev in recorder.events() {
+            if let Event::StageSpan {
+                stage,
+                start_ns,
+                end_ns,
+            } = ev
+            {
+                assert!(end_ns >= start_ns);
+                seen.insert(stage.name());
+            }
+        }
+        for stage in [
+            Stage::MatchedFilter,
+            Stage::Ifft,
+            Stage::Window,
+            Stage::Fft,
+            Stage::Weights,
+            Stage::Combining,
+            Stage::Demap,
+            Stage::Deinterleave,
+            Stage::Turbo,
+            Stage::Crc,
+        ] {
+            assert!(seen.contains(stage.name()), "no span for {stage}");
+        }
+    }
 }
 
 /// Processes one user end to end *without* genie knowledge of the noise
@@ -293,8 +383,7 @@ pub fn process_user_blind(cell: &CellConfig, input: &UserInput, mode: TurboMode)
     let mut noise = 0.0f64;
     for slot in 0..SLOTS_PER_SUBFRAME {
         for rx in 0..cell.n_rx {
-            noise +=
-                crate::estimator::estimate_noise_var(cell, input, slot, rx, &planner) as f64;
+            noise += crate::estimator::estimate_noise_var(cell, input, slot, rx, &planner) as f64;
         }
     }
     let noise_var = (noise / (SLOTS_PER_SUBFRAME * cell.n_rx) as f64).max(1e-9) as f32;
@@ -342,7 +431,10 @@ mod blind_tests {
                 blind_ok += 1;
             }
         }
-        assert!(genie_ok >= 5, "genie baseline should mostly pass: {genie_ok}/6");
+        assert!(
+            genie_ok >= 5,
+            "genie baseline should mostly pass: {genie_ok}/6"
+        );
         assert!(
             blind_ok + 1 >= genie_ok,
             "blind ({blind_ok}) must be within one block of genie ({genie_ok})"

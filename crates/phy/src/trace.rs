@@ -1,0 +1,100 @@
+//! Wall-clock stage timing for the real receiver.
+//!
+//! [`StageTimer`] wraps each PHY kernel invocation in a timed span and
+//! records it as an [`lte_obs::Event::StageSpan`] (nanoseconds from the
+//! timer's creation). With a disabled recorder the closure runs bare —
+//! no `Instant::now()` calls, no event construction — so the untraced
+//! entry points ([`crate::receiver::process_user`] and friends) pay
+//! nothing for the instrumentation hooks.
+
+use std::time::Instant;
+
+use lte_obs::{Event, NoopRecorder, Recorder, Stage};
+
+static NOOP: NoopRecorder = NoopRecorder;
+
+/// Times named pipeline stages against a shared epoch.
+pub struct StageTimer<'a, R: Recorder> {
+    recorder: &'a R,
+    epoch: Instant,
+}
+
+impl StageTimer<'static, NoopRecorder> {
+    /// A timer that records nothing and adds no timing overhead.
+    pub fn disabled() -> Self {
+        StageTimer {
+            recorder: &NOOP,
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl<'a, R: Recorder> StageTimer<'a, R> {
+    /// Creates a timer recording into `recorder`, with "now" as the
+    /// span epoch.
+    pub fn new(recorder: &'a R) -> Self {
+        StageTimer {
+            recorder,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Runs `f`, recording its wall-clock extent as a span of `stage`.
+    #[inline]
+    pub fn time<T>(&self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        if !self.recorder.enabled() {
+            return f();
+        }
+        let start_ns = self.epoch.elapsed().as_nanos() as u64;
+        let out = f();
+        let end_ns = self.epoch.elapsed().as_nanos() as u64;
+        self.recorder.record(Event::StageSpan {
+            stage,
+            start_ns,
+            end_ns,
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lte_obs::RingRecorder;
+
+    #[test]
+    fn disabled_timer_runs_closure_without_recording() {
+        let timer = StageTimer::disabled();
+        let v = timer.time(Stage::Fft, || 41 + 1);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn enabled_timer_records_ordered_spans() {
+        let recorder = RingRecorder::new(16);
+        let timer = StageTimer::new(&recorder);
+        timer.time(Stage::MatchedFilter, || std::hint::black_box(1));
+        timer.time(Stage::Ifft, || std::hint::black_box(2));
+        let events = recorder.events();
+        assert_eq!(events.len(), 2);
+        match (events[0], events[1]) {
+            (
+                Event::StageSpan {
+                    stage: a,
+                    end_ns: a_end,
+                    ..
+                },
+                Event::StageSpan {
+                    stage: b,
+                    start_ns: b_start,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, Stage::MatchedFilter);
+                assert_eq!(b, Stage::Ifft);
+                assert!(b_start >= a_end, "spans must not overlap");
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+}

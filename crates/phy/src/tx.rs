@@ -20,9 +20,7 @@ use lte_dsp::zadoff_chu::{layer_cyclic_shift, ReferenceSequence};
 use lte_dsp::{Complex32, Xoshiro256};
 
 use crate::grid::{RxSlot, RxSymbol, UserInput};
-use crate::params::{
-    CellConfig, TurboMode, UserConfig, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME,
-};
+use crate::params::{CellConfig, TurboMode, UserConfig, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME};
 
 /// How one user's subframe bits are framed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,7 +108,11 @@ impl FramePlan {
 /// Panics if `payload.len() != plan.payload_bits()`.
 pub fn encode_frame(user: &UserConfig, mode: TurboMode, payload: &[u8]) -> Vec<u8> {
     let plan = FramePlan::for_user(user, mode);
-    assert_eq!(payload.len(), plan.payload_bits(), "payload length mismatch");
+    assert_eq!(
+        payload.len(),
+        plan.payload_bits(),
+        "payload length mismatch"
+    );
     let total = user.bits_per_subframe();
     let mut bits = payload.to_vec();
     CRC24A.append_bits(&mut bits);
@@ -154,7 +156,11 @@ pub fn shift_denominator(user: &UserConfig) -> usize {
 }
 
 /// The per-layer DM-RS sequence for a user's allocation.
-pub fn reference_for_layer(cell: &CellConfig, user: &UserConfig, layer: usize) -> ReferenceSequence {
+pub fn reference_for_layer(
+    cell: &CellConfig,
+    user: &UserConfig,
+    layer: usize,
+) -> ReferenceSequence {
     ReferenceSequence::new(user.subcarriers(), cell.zc_root)
         .with_cyclic_shift(layer_cyclic_shift(layer, shift_denominator(user)))
 }
@@ -164,7 +170,10 @@ pub fn reference_for_layer(cell: &CellConfig, user: &UserConfig, layer: usize) -
 /// carries `subcarriers × bits_per_symbol` bits.
 pub fn split_bits<'a>(user: &UserConfig, bits: &'a [u8]) -> Vec<&'a [u8]> {
     let chunk = user.subcarriers() * user.modulation.bits_per_symbol();
-    assert_eq!(bits.len(), chunk * SLOTS_PER_SUBFRAME * DATA_SYMBOLS_PER_SLOT * user.layers);
+    assert_eq!(
+        bits.len(),
+        chunk * SLOTS_PER_SUBFRAME * DATA_SYMBOLS_PER_SLOT * user.layers
+    );
     bits.chunks_exact(chunk).collect()
 }
 
@@ -341,10 +350,7 @@ mod tests {
         assert_eq!(input.slots.len(), 2);
         assert_eq!(input.slots[0].reference.n_rx(), 4);
         assert_eq!(input.slots[0].reference.n_sc(), 72);
-        assert_eq!(
-            input.ground_truth.len(),
-            user.bits_per_subframe() - 24
-        );
+        assert_eq!(input.ground_truth.len(), user.bits_per_subframe() - 24);
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VerifyError::SubframeCount { expected, actual } => {
-                write!(f, "subframe count mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "subframe count mismatch: expected {expected}, got {actual}"
+                )
             }
             VerifyError::UserCount {
                 subframe,
@@ -205,7 +208,10 @@ impl GoldenRecord {
             }
             for (u, (e, a)) in exp.iter().zip(act).enumerate() {
                 if e != a {
-                    return Err(VerifyError::ResultMismatch { subframe: sf, user: u });
+                    return Err(VerifyError::ResultMismatch {
+                        subframe: sf,
+                        user: u,
+                    });
                 }
             }
         }
@@ -227,8 +233,7 @@ mod tests {
             .map(|i| {
                 (0..=(i % 2))
                     .map(|j| {
-                        let user =
-                            UserConfig::new(2 + 2 * j, 1 + j, Modulation::Qpsk);
+                        let user = UserConfig::new(2 + 2 * j, 1 + j, Modulation::Qpsk);
                         synthesize_user(&cell, &user, 30.0, &mut rng)
                     })
                     .collect()
@@ -260,7 +265,13 @@ mod tests {
         let (cell, subframes) = sample_subframes(2);
         let golden = GoldenRecord::build(&cell, &subframes, TurboMode::Passthrough);
         let err = golden.verify(&[]).unwrap_err();
-        assert!(matches!(err, VerifyError::SubframeCount { expected: 2, actual: 0 }));
+        assert!(matches!(
+            err,
+            VerifyError::SubframeCount {
+                expected: 2,
+                actual: 0
+            }
+        ));
     }
 
     #[test]
@@ -278,7 +289,13 @@ mod tests {
         let mut tampered = vec![golden.subframe(0).to_vec()];
         tampered[0][0].crc_ok = !tampered[0][0].crc_ok;
         let err = golden.verify(&tampered).unwrap_err();
-        assert_eq!(err, VerifyError::ResultMismatch { subframe: 0, user: 0 });
+        assert_eq!(
+            err,
+            VerifyError::ResultMismatch {
+                subframe: 0,
+                user: 0
+            }
+        );
         assert!(err.to_string().contains("subframe 0"));
     }
 }
@@ -312,7 +329,11 @@ mod persistence_tests {
 
     #[test]
     fn empty_subframes_round_trip() {
-        let golden = GoldenRecord::build(&CellConfig::default(), &[vec![], vec![]], TurboMode::Passthrough);
+        let golden = GoldenRecord::build(
+            &CellConfig::default(),
+            &[vec![], vec![]],
+            TurboMode::Passthrough,
+        );
         let restored = GoldenRecord::from_text(&golden.to_text()).expect("parse");
         assert_eq!(golden, restored);
         assert_eq!(restored.len(), 2);

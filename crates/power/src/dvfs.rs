@@ -14,10 +14,8 @@
 //! than (or in addition to) switching cores off, which trades parallel
 //! slack for supply-voltage reduction.
 
-use serde::{Deserialize, Serialize};
-
 /// One operating point of the ladder.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OperatingPoint {
     /// Frequency relative to nominal (0 < `freq` ≤ 1).
     pub freq: f64,
@@ -33,7 +31,7 @@ impl OperatingPoint {
 }
 
 /// A DVFS ladder plus governor driven by estimated subframe activity.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DvfsPolicy {
     /// Operating points, sorted by ascending frequency. The last entry
     /// must be the nominal point (1.0, 1.0).
@@ -50,10 +48,22 @@ impl DvfsPolicy {
     pub fn default_ladder() -> Self {
         DvfsPolicy::new(
             vec![
-                OperatingPoint { freq: 0.50, volt: 0.85 },
-                OperatingPoint { freq: 0.67, volt: 0.90 },
-                OperatingPoint { freq: 0.83, volt: 0.95 },
-                OperatingPoint { freq: 1.00, volt: 1.00 },
+                OperatingPoint {
+                    freq: 0.50,
+                    volt: 0.85,
+                },
+                OperatingPoint {
+                    freq: 0.67,
+                    volt: 0.90,
+                },
+                OperatingPoint {
+                    freq: 0.83,
+                    volt: 0.95,
+                },
+                OperatingPoint {
+                    freq: 1.00,
+                    volt: 1.00,
+                },
             ],
             0.20,
         )
@@ -180,9 +190,18 @@ mod tests {
     fn unsorted_ladder_rejected() {
         DvfsPolicy::new(
             vec![
-                OperatingPoint { freq: 0.8, volt: 0.9 },
-                OperatingPoint { freq: 0.5, volt: 0.85 },
-                OperatingPoint { freq: 1.0, volt: 1.0 },
+                OperatingPoint {
+                    freq: 0.8,
+                    volt: 0.9,
+                },
+                OperatingPoint {
+                    freq: 0.5,
+                    volt: 0.85,
+                },
+                OperatingPoint {
+                    freq: 1.0,
+                    volt: 1.0,
+                },
             ],
             0.1,
         );
@@ -191,6 +210,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "nominal")]
     fn ladder_must_end_nominal() {
-        DvfsPolicy::new(vec![OperatingPoint { freq: 0.5, volt: 0.8 }], 0.1);
+        DvfsPolicy::new(
+            vec![OperatingPoint {
+                freq: 0.5,
+                volt: 0.8,
+            }],
+            0.1,
+        );
     }
 }

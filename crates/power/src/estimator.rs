@@ -11,7 +11,6 @@
 use lte_dsp::math::slope_through_origin;
 use lte_dsp::Modulation;
 use lte_phy::params::SubframeConfig;
-use serde::{Deserialize, Serialize};
 
 /// Index of a modulation in the estimator's tables.
 fn mod_index(m: Modulation) -> usize {
@@ -24,7 +23,7 @@ fn mod_index(m: Modulation) -> usize {
 
 /// One calibration sample: measured activity at a given PRB count for a
 /// fixed (layers, modulation) configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CalibrationPoint {
     /// PRBs of the single calibration user.
     pub prbs: usize,
@@ -49,7 +48,7 @@ pub struct CalibrationPoint {
 /// est.fit(1, Modulation::Qpsk, &pts);
 /// assert!((est.k(1, Modulation::Qpsk) - 0.001).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WorkloadEstimator {
     /// `k[layers-1][modulation]` slopes (activity per PRB).
     k: [[f64; 3]; 4],
@@ -111,7 +110,7 @@ impl WorkloadEstimator {
 }
 
 /// The active-core controller (Eq. 5 of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreController {
     /// Worker cores available (the paper: 62).
     pub max_cores: usize,
@@ -218,7 +217,10 @@ mod tests {
 
     #[test]
     fn empty_subframe_has_zero_activity() {
-        assert_eq!(calibrated().subframe_activity(&SubframeConfig::default()), 0.0);
+        assert_eq!(
+            calibrated().subframe_activity(&SubframeConfig::default()),
+            0.0
+        );
     }
 
     #[test]

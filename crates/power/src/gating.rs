@@ -10,10 +10,8 @@
 //! of the 14 W base attributed to the 64 idle cores), and toggling a
 //! core costs 15 mW for the duration of one subframe.
 
-use serde::{Deserialize, Serialize};
-
 /// Power-gating model parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PowerGating {
     /// Total cores on the chip (64).
     pub total_cores: usize,
@@ -77,7 +75,8 @@ impl PowerGating {
             .enumerate()
             .map(|(i, &p)| {
                 let prev = if i == 0 { p } else { powered[i - 1] };
-                let overhead = (p as i64 - prev as i64).unsigned_abs() as f64 * self.toggle_overhead;
+                let overhead =
+                    (p as i64 - prev as i64).unsigned_abs() as f64 * self.toggle_overhead;
                 (self.total_cores - p) as f64 * self.static_per_core - overhead
             })
             .collect()

@@ -27,5 +27,5 @@ pub mod model;
 pub use dvfs::DvfsPolicy;
 pub use estimator::{CoreController, WorkloadEstimator};
 pub use gating::PowerGating;
-pub use meter::rms_windows;
+pub use meter::{record_series, rms_windows, rms_windows_recorded};
 pub use model::PowerModel;

@@ -6,6 +6,8 @@
 //! RMS values over fixed windows, exactly as the paper's DAQ
 //! post-processing does.
 
+use lte_obs::{Event, Recorder};
+
 /// Reduces a sample trace to RMS values over windows of `window` samples.
 ///
 /// The final window may be shorter. With 5 ms samples, `window = 20`
@@ -20,6 +22,48 @@ pub fn rms_windows(samples: &[f64], window: usize) -> Vec<f64> {
         .chunks(window)
         .map(|w| (w.iter().map(|s| s * s).sum::<f64>() / w.len() as f64).sqrt())
         .collect()
+}
+
+/// Records a sample trace as an [`Event::Sample`] series.
+///
+/// Each sample becomes one event with its index in the trace, so
+/// exporters can reconstruct the series (e.g. as a Perfetto counter
+/// track). Does nothing when the recorder is disabled.
+pub fn record_series<R: Recorder>(recorder: &R, series: &'static str, samples: &[f64]) {
+    if !recorder.enabled() {
+        return;
+    }
+    for (index, &value) in samples.iter().enumerate() {
+        recorder.record(Event::Sample {
+            series,
+            index: index as u64,
+            value,
+        });
+    }
+}
+
+/// Meters a raw power trace and records both the raw and RMS-reduced
+/// series, returning the RMS values.
+///
+/// This is the instrumented equivalent of [`rms_windows`]: the paper's
+/// DAQ captures the raw current trace and post-processes it into 100 ms
+/// RMS values; both ends of that reduction become recorded series under
+/// the two caller-supplied names.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn rms_windows_recorded<R: Recorder>(
+    recorder: &R,
+    raw_series: &'static str,
+    rms_series: &'static str,
+    samples: &[f64],
+    window: usize,
+) -> Vec<f64> {
+    record_series(recorder, raw_series, samples);
+    let rms = rms_windows(samples, window);
+    record_series(recorder, rms_series, &rms);
+    rms
 }
 
 /// Arithmetic mean over windows of `window` samples (used for the
@@ -76,5 +120,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_window_panics() {
         rms_windows(&[1.0], 0);
+    }
+
+    #[test]
+    fn window_of_one_is_identity_up_to_abs() {
+        let samples = [1.0, -2.0, 3.0, 0.0];
+        let rms = rms_windows(&samples, 1);
+        assert_eq!(rms, vec![1.0, 2.0, 3.0, 0.0]);
+        let mean = mean_windows(&samples, 1);
+        assert_eq!(mean, samples.to_vec());
+    }
+
+    #[test]
+    fn short_final_window_uses_its_own_length() {
+        // 5 samples, window 4: the final window holds a single 6.0, so
+        // its RMS/mean must be 6.0, not 6.0 diluted over 4 slots.
+        let samples = [2.0, 2.0, 2.0, 2.0, 6.0];
+        assert!((rms_windows(&samples, 4)[1] - 6.0).abs() < 1e-12);
+        assert!((mean_windows(&samples, 4)[1] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_series_is_a_noop_when_disabled() {
+        use lte_obs::NoopRecorder;
+        // Must not panic or allocate events; nothing observable to
+        // assert beyond "returns".
+        record_series(&NoopRecorder, "power.raw", &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn recorded_meter_emits_raw_and_rms_series() {
+        use lte_obs::{Event, RingRecorder};
+        let rec = RingRecorder::new(64);
+        let rms = rms_windows_recorded(&rec, "power.raw", "power.rms", &[3.0; 5], 2);
+        assert_eq!(rms.len(), 3);
+        let events = rec.events();
+        let raw: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Sample { series, .. } if *series == "power.raw"))
+            .collect();
+        let reduced: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Sample { series, .. } if *series == "power.rms"))
+            .collect();
+        assert_eq!(raw.len(), 5);
+        assert_eq!(reduced.len(), 3);
+        if let Event::Sample { index, value, .. } = reduced[2] {
+            assert_eq!(*index, 2);
+            assert!((value - 3.0).abs() < 1e-12);
+        }
     }
 }

@@ -20,10 +20,9 @@
 //! of the traces, not absolute watts.
 
 use lte_sched::sim::{BucketStats, SimConfig};
-use serde::{Deserialize, Serialize};
 
 /// Power/thermal model parameters.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PowerModel {
     /// Chip power with all cores napping (the paper's measured 14 W).
     pub base_watts: f64,

@@ -65,7 +65,7 @@ impl CostModel {
         let n = (prbs * SC_PER_PRB) as f64;
         let per_slot = 6.0 * n              // matched filter (complex mult)
             + 2.0 * Self::fft_flops(prbs * SC_PER_PRB) // IFFT + FFT
-            + 0.25 * n;                     // window
+            + 0.25 * n; // window
         self.cycles(2.0 * per_slot)
     }
 
@@ -115,7 +115,10 @@ impl CostModel {
     ///
     /// Panics if any parameter is zero or `mod_bits` is not 2, 4 or 6.
     pub fn user_job(&self, prbs: usize, layers: usize, mod_bits: usize, n_rx: usize) -> SimJob {
-        assert!(prbs > 0 && layers > 0 && n_rx > 0, "parameters must be positive");
+        assert!(
+            prbs > 0 && layers > 0 && n_rx > 0,
+            "parameters must be positive"
+        );
         assert!(matches!(mod_bits, 2 | 4 | 6), "mod_bits must be 2, 4 or 6");
         let est = self.estimation_task(prbs);
         let combine = self.combine_task(prbs, n_rx);
@@ -178,9 +181,7 @@ mod tests {
         // The paper: at maximum workload (200 PRBs total, every user 4
         // layers + 64-QAM) with 62 workers, one subframe per 5 ms.
         // Model it as 10 users × 20 PRBs.
-        let total: u64 = (0..10)
-            .map(|_| MODEL.user_total(20, 4, 6, 4))
-            .sum();
+        let total: u64 = (0..10).map(|_| MODEL.user_total(20, 4, 6, 4)).sum();
         let budget = 62.0 * 5.0e-3 * MODEL.clock_hz;
         let ratio = total as f64 / budget;
         assert!(

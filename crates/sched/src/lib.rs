@@ -24,5 +24,5 @@ pub mod pool;
 pub mod sim;
 
 pub use cycles::{CostModel, SimJob};
-pub use pool::TaskPool;
+pub use pool::{TaskPool, WorkerSnapshot};
 pub use sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};

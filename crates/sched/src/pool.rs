@@ -29,6 +29,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use lte_obs::MetricsRegistry;
 use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce(&TaskPool) + Send + 'static>;
@@ -37,11 +38,37 @@ type Task = Box<dyn FnOnce() + Send + 'static>;
 thread_local! {
     /// The local deque of the worker thread currently running, if any.
     static LOCAL_DEQUE: RefCell<Option<Worker<Task>>> = const { RefCell::new(None) };
+    /// Index of the worker thread currently running, if any — used to
+    /// attribute counters per worker.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
     /// Nanoseconds this thread has spent inside [`TaskPool::scope`] for
     /// the job currently executing — subtracted from the job's own
     /// elapsed time so barrier waits and helping are not double-counted
     /// as useful work.
     static SCOPE_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Per-worker activity counters, all updated with relaxed atomics from
+/// the worker's own thread (plus foreign threads helping via `scope`).
+#[derive(Default)]
+struct WorkerStats {
+    busy_nanos: AtomicU64,
+    executed_tasks: AtomicU64,
+    steals: AtomicU64,
+    steal_failures: AtomicU64,
+}
+
+/// A point-in-time copy of one worker's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Nanoseconds of useful task execution on this worker.
+    pub busy_nanos: u64,
+    /// Tasks this worker executed (its own plus stolen ones).
+    pub executed_tasks: u64,
+    /// Successful steals from other workers' deques.
+    pub steals: u64,
+    /// Work searches that found nothing anywhere.
+    pub steal_failures: u64,
 }
 
 struct Inner {
@@ -55,6 +82,8 @@ struct Inner {
     busy_nanos: AtomicU64,
     executed_tasks: AtomicU64,
     steal_count: AtomicU64,
+    steal_failures: AtomicU64,
+    worker_stats: Vec<WorkerStats>,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
     done_lock: Mutex<()>,
@@ -79,6 +108,9 @@ impl Inner {
                 match self.stealers[victim].steal() {
                     Steal::Success(t) => {
                         self.steal_count.fetch_add(1, Ordering::Relaxed);
+                        if let Some(w) = WORKER_INDEX.with(Cell::get) {
+                            self.worker_stats[w].steals.fetch_add(1, Ordering::Relaxed);
+                        }
                         return Some(t);
                     }
                     Steal::Retry => continue,
@@ -145,6 +177,8 @@ impl TaskPool {
             busy_nanos: AtomicU64::new(0),
             executed_tasks: AtomicU64::new(0),
             steal_count: AtomicU64::new(0),
+            steal_failures: AtomicU64::new(0),
+            worker_stats: (0..n_workers).map(|_| WorkerStats::default()).collect(),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
@@ -250,6 +284,43 @@ impl TaskPool {
         self.inner.steal_count.load(Ordering::Relaxed)
     }
 
+    /// Number of work searches that found nothing anywhere so far.
+    pub fn steal_failures(&self) -> u64 {
+        self.inner.steal_failures.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of worker `i`'s counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_workers()`.
+    pub fn worker_snapshot(&self, i: usize) -> WorkerSnapshot {
+        let s = &self.inner.worker_stats[i];
+        WorkerSnapshot {
+            busy_nanos: s.busy_nanos.load(Ordering::Relaxed),
+            executed_tasks: s.executed_tasks.load(Ordering::Relaxed),
+            steals: s.steals.load(Ordering::Relaxed),
+            steal_failures: s.steal_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes pool totals and per-worker counters into `metrics`
+    /// under `pool.*` / `pool.worker.<i>.*` keys.
+    pub fn export_metrics(&self, metrics: &MetricsRegistry) {
+        metrics.set_counter("pool.busy_nanos", self.busy_nanos());
+        metrics.set_counter("pool.executed_tasks", self.executed_tasks());
+        metrics.set_counter("pool.steals", self.steal_count());
+        metrics.set_counter("pool.steal_failures", self.steal_failures());
+        metrics.set_counter("pool.workers", self.n_workers as u64);
+        for i in 0..self.n_workers {
+            let s = self.worker_snapshot(i);
+            metrics.set_counter(&format!("pool.worker.{i}.busy_nanos"), s.busy_nanos);
+            metrics.set_counter(&format!("pool.worker.{i}.executed_tasks"), s.executed_tasks);
+            metrics.set_counter(&format!("pool.worker.{i}.steals"), s.steals);
+            metrics.set_counter(&format!("pool.worker.{i}.steal_failures"), s.steal_failures);
+        }
+    }
+
     /// Activity over a wall-clock window per Eq. 2: useful time divided
     /// by `n_workers × window`.
     pub fn activity_since(&self, busy_start: u64, window: Duration) -> f64 {
@@ -271,14 +342,19 @@ impl Drop for TaskPool {
 fn run_timed(inner: &Inner, task: Task) {
     let start = Instant::now();
     task();
-    inner
-        .busy_nanos
-        .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    let nanos = start.elapsed().as_nanos() as u64;
+    inner.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
     inner.executed_tasks.fetch_add(1, Ordering::Relaxed);
+    if let Some(w) = WORKER_INDEX.with(Cell::get) {
+        let s = &inner.worker_stats[w];
+        s.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
+        s.executed_tasks.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
     LOCAL_DEQUE.with(|local| *local.borrow_mut() = Some(deque));
+    WORKER_INDEX.with(|w| w.set(Some(index)));
     let n_workers = inner.stealers.len();
     let pool_handle = TaskPool {
         inner: Arc::clone(&inner),
@@ -316,11 +392,20 @@ fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
             run_timed(&inner, t);
             continue;
         }
-        // Nothing to do: brief wait (the IDLE policy analogue).
+        // Nothing to do: count the failed search, then a brief wait
+        // (the IDLE policy analogue).
+        inner.steal_failures.fetch_add(1, Ordering::Relaxed);
+        inner.worker_stats[index]
+            .steal_failures
+            .fetch_add(1, Ordering::Relaxed);
         let mut guard = inner.idle_lock.lock();
-        if inner.jobs.is_empty() && inner.overflow.is_empty() && !inner.shutdown.load(Ordering::SeqCst)
+        if inner.jobs.is_empty()
+            && inner.overflow.is_empty()
+            && !inner.shutdown.load(Ordering::SeqCst)
         {
-            inner.idle_cv.wait_for(&mut guard, Duration::from_micros(500));
+            inner
+                .idle_cv
+                .wait_for(&mut guard, Duration::from_micros(500));
         }
     }
 }
@@ -427,7 +512,11 @@ mod tests {
             p.scope(tasks);
         });
         pool.wait_all();
-        assert!(pool.busy_nanos() >= 4 * 5_000_000 / 2, "{}", pool.busy_nanos());
+        assert!(
+            pool.busy_nanos() >= 4 * 5_000_000 / 2,
+            "{}",
+            pool.busy_nanos()
+        );
         assert_eq!(pool.executed_tasks(), 4);
     }
 
@@ -439,9 +528,7 @@ mod tests {
         let start = Instant::now();
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..8)
-                .map(|_| {
-                    Box::new(|| std::thread::sleep(Duration::from_millis(20))) as Task
-                })
+                .map(|_| Box::new(|| std::thread::sleep(Duration::from_millis(20))) as Task)
                 .collect();
             p.scope(tasks);
         });
@@ -460,9 +547,7 @@ mod tests {
         let pool = TaskPool::new(4);
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..12)
-                .map(|_| {
-                    Box::new(|| std::thread::sleep(Duration::from_millis(3))) as Task
-                })
+                .map(|_| Box::new(|| std::thread::sleep(Duration::from_millis(3))) as Task)
                 .collect();
             p.scope(tasks);
         });
@@ -515,5 +600,59 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         TaskPool::new(0);
+    }
+
+    #[test]
+    fn per_worker_counters_sum_to_totals() {
+        let pool = TaskPool::new(4);
+        for _ in 0..8 {
+            pool.submit_job(|p| {
+                let tasks: Vec<Task> = (0..16)
+                    .map(|_| Box::new(|| std::thread::sleep(Duration::from_micros(200))) as Task)
+                    .collect();
+                p.scope(tasks);
+            });
+        }
+        pool.wait_all();
+        let per_worker: Vec<WorkerSnapshot> = (0..pool.n_workers())
+            .map(|i| pool.worker_snapshot(i))
+            .collect();
+        let tasks: u64 = per_worker.iter().map(|s| s.executed_tasks).sum();
+        assert_eq!(tasks, pool.executed_tasks());
+        assert_eq!(tasks, 8 * 16);
+        let steals: u64 = per_worker.iter().map(|s| s.steals).sum();
+        assert_eq!(steals, pool.steal_count());
+        let busy: u64 = per_worker.iter().map(|s| s.busy_nanos).sum();
+        // Worker task time is a subset of total busy time (which also
+        // counts job bodies run outside any single task).
+        assert!(busy > 0 && busy <= pool.busy_nanos());
+    }
+
+    #[test]
+    fn metrics_export_covers_every_worker() {
+        let pool = TaskPool::new(3);
+        pool.submit_job(|p| {
+            let tasks: Vec<Task> = (0..6)
+                .map(|_| Box::new(|| std::thread::sleep(Duration::from_micros(100))) as Task)
+                .collect();
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        let metrics = lte_obs::MetricsRegistry::new();
+        pool.export_metrics(&metrics);
+        assert_eq!(
+            metrics.get("pool.workers"),
+            Some(lte_obs::MetricValue::Counter(3))
+        );
+        for i in 0..3 {
+            for key in ["busy_nanos", "executed_tasks", "steals", "steal_failures"] {
+                assert!(
+                    metrics.get(&format!("pool.worker.{i}.{key}")).is_some(),
+                    "missing pool.worker.{i}.{key}"
+                );
+            }
+        }
+        let json = metrics.to_json();
+        assert!(json.contains("\"pool.executed_tasks\": 6"), "{json}");
     }
 }

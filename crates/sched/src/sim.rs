@@ -24,9 +24,17 @@
 //! Per-bucket occupancy statistics (busy / spin / nap cycles, wake pulses)
 //! feed the `lte-power` model, and the busy-cycle counts are the
 //! `get_cycle_count()` sums behind the paper's activity metric (Eq. 2).
+//!
+//! The simulator is generic over an [`lte_obs::Recorder`]; with the
+//! default [`NoopRecorder`] every trace emission compiles away. A real
+//! recorder receives per-core state-transition spans (stage- and
+//! subframe-attributed when busy), wake pulses, steals, dispatches and
+//! per-subframe latency spans, all timestamped in simulated cycles.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+
+use lte_obs::{Event as TraceEvent, NoopRecorder, Recorder, Stage};
 
 use crate::cycles::SimJob;
 
@@ -176,6 +184,18 @@ pub struct SimReport {
     /// policies concentrate work on the low-numbered (always-active)
     /// cores.
     pub busy_per_core: Vec<u64>,
+    /// Busy cycles attributed to each coarse stage, indexed in
+    /// [`Stage::SIM`] order (estimation, weights, combine, finish).
+    /// The four entries sum exactly to the run's total busy cycles.
+    pub stage_cycles: [u64; 4],
+    /// Successful steals per core.
+    pub steals_per_core: Vec<u64>,
+    /// Work searches per core that found nothing to run or steal.
+    pub steal_fails_per_core: Vec<u64>,
+    /// Tasks (including continuations) executed per core.
+    pub tasks_per_core: Vec<u64>,
+    /// Nap wake pulses taken per core.
+    pub wake_pulses_per_core: Vec<u64>,
 }
 
 impl SimReport {
@@ -208,6 +228,19 @@ impl SimReport {
                 busy as f64 / (cfg.n_workers as u64 * cfg.dispatch_period * w.len() as u64) as f64
             })
             .collect()
+    }
+
+    /// Busy cycles per coarse pipeline stage, in pipeline order.
+    ///
+    /// The stage totals sum exactly to the run's busy cycles, i.e. to
+    /// the Eq. 2 activity figure times `n_workers × cycles` capacity.
+    pub fn stage_breakdown(&self) -> [(Stage, u64); 4] {
+        [
+            (Stage::Estimation, self.stage_cycles[0]),
+            (Stage::Weights, self.stage_cycles[1]),
+            (Stage::Combine, self.stage_cycles[2]),
+            (Stage::Finish, self.stage_cycles[3]),
+        ]
     }
 }
 
@@ -249,11 +282,37 @@ enum CoreState {
     NapProactive,
 }
 
+/// Maps the simulator's internal state onto the trace vocabulary.
+fn trace_state(state: CoreState) -> lte_obs::CoreState {
+    match state {
+        CoreState::Busy => lte_obs::CoreState::Busy,
+        CoreState::SpinIdle => lte_obs::CoreState::Spin,
+        CoreState::WaitBarrier => lte_obs::CoreState::Barrier,
+        CoreState::NapReactive => lte_obs::CoreState::NapReactive,
+        CoreState::NapProactive => lte_obs::CoreState::NapProactive,
+    }
+}
+
+/// Index of a coarse stage in [`SimReport::stage_cycles`].
+fn stage_slot(stage: Stage) -> usize {
+    match stage {
+        Stage::Estimation => 0,
+        Stage::Weights => 1,
+        Stage::Combine => 2,
+        Stage::Finish => 3,
+        other => unreachable!("simulator never runs fine-grained stage {other}"),
+    }
+}
+
 struct Core {
     state: CoreState,
     state_since: u64,
     deque: VecDeque<Work>,
     current: Option<Work>,
+    /// Stage attribution of the in-flight work (busy state only).
+    current_stage: Option<Stage>,
+    /// Subframe attribution of the in-flight work (busy state only).
+    current_subframe: Option<u32>,
     owned_job: Option<usize>,
     wake_seq: u64,
     wake_pending: bool,
@@ -268,8 +327,13 @@ enum Event {
 
 /// The discrete-event simulator. Construct with a config, feed it a
 /// subframe sequence with [`Simulator::run`].
-pub struct Simulator {
+///
+/// Generic over the trace [`Recorder`]; [`Simulator::new`] uses the
+/// zero-cost [`NoopRecorder`], [`Simulator::with_recorder`] attaches a
+/// real sink.
+pub struct Simulator<R: Recorder = NoopRecorder> {
     cfg: SimConfig,
+    recorder: R,
     cores: Vec<Core>,
     jobs: Vec<JobState>,
     user_queue: VecDeque<usize>,
@@ -284,18 +348,38 @@ pub struct Simulator {
     steal_cursor: usize,
     /// Unfinished-job count per subframe index (for concurrency stats).
     open_jobs_per_subframe: Vec<usize>,
+    /// Dispatch time per subframe (for latency spans).
+    subframe_dispatched_at: Vec<u64>,
     busy_per_core: Vec<u64>,
+    stage_cycles: [u64; 4],
+    steals_per_core: Vec<u64>,
+    steal_fails_per_core: Vec<u64>,
+    tasks_per_core: Vec<u64>,
+    wake_pulses_per_core: Vec<u64>,
     open_subframes: usize,
     max_concurrent_subframes: usize,
 }
 
 impl Simulator {
-    /// Creates a simulator.
+    /// Creates a simulator with tracing disabled.
     ///
     /// # Panics
     ///
     /// Panics if `cfg.n_workers == 0` or `cfg.dispatch_period == 0`.
     pub fn new(cfg: SimConfig) -> Self {
+        Simulator::with_recorder(cfg, NoopRecorder)
+    }
+}
+
+impl<R: Recorder> Simulator<R> {
+    /// Creates a simulator that emits trace events into `recorder`.
+    ///
+    /// Pass `&recorder` (or an `Arc`) to keep the sink afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.n_workers == 0` or `cfg.dispatch_period == 0`.
+    pub fn with_recorder(cfg: SimConfig, recorder: R) -> Self {
         assert!(cfg.n_workers > 0, "need at least one worker");
         assert!(cfg.dispatch_period > 0, "dispatch period must be positive");
         let cores = (0..cfg.n_workers)
@@ -304,6 +388,8 @@ impl Simulator {
                 state_since: 0,
                 deque: VecDeque::new(),
                 current: None,
+                current_stage: None,
+                current_subframe: None,
                 owned_job: None,
                 wake_seq: 0,
                 wake_pending: false,
@@ -311,6 +397,7 @@ impl Simulator {
             .collect();
         Simulator {
             cfg,
+            recorder,
             cores,
             jobs: Vec::new(),
             user_queue: VecDeque::new(),
@@ -324,7 +411,13 @@ impl Simulator {
             dispatched_all: false,
             steal_cursor: 0,
             open_jobs_per_subframe: Vec::new(),
+            subframe_dispatched_at: Vec::new(),
             busy_per_core: vec![0; cfg.n_workers],
+            stage_cycles: [0; 4],
+            steals_per_core: vec![0; cfg.n_workers],
+            steal_fails_per_core: vec![0; cfg.n_workers],
+            tasks_per_core: vec![0; cfg.n_workers],
+            wake_pulses_per_core: vec![0; cfg.n_workers],
             open_subframes: 0,
             max_concurrent_subframes: 0,
         }
@@ -334,6 +427,7 @@ impl Simulator {
     pub fn run(mut self, subframes: &[SubframeLoad]) -> SimReport {
         self.buckets = vec![BucketStats::default(); subframes.len().max(1)];
         self.open_jobs_per_subframe = vec![0; subframes.len()];
+        self.subframe_dispatched_at = vec![0; subframes.len()];
         for (i, _) in subframes.iter().enumerate() {
             self.push_event(
                 i as u64 * self.cfg.dispatch_period,
@@ -358,6 +452,28 @@ impl Simulator {
             self.account(state, since, end);
             if state == CoreState::Busy && end > since {
                 self.busy_per_core[c] += end - since;
+                if let Some(stage) = self.cores[c].current_stage {
+                    self.stage_cycles[stage_slot(stage)] += end - since;
+                }
+            }
+            if self.recorder.enabled() && end > since {
+                let busy = state == CoreState::Busy;
+                self.recorder.record(TraceEvent::CoreSpan {
+                    core: c as u32,
+                    state: trace_state(state),
+                    start: since,
+                    end,
+                    stage: if busy {
+                        self.cores[c].current_stage
+                    } else {
+                        None
+                    },
+                    subframe: if busy {
+                        self.cores[c].current_subframe
+                    } else {
+                        None
+                    },
+                });
             }
         }
         debug_assert_eq!(self.jobs_completed, self.jobs.len(), "all jobs must finish");
@@ -368,6 +484,11 @@ impl Simulator {
             jobs_total: self.jobs.len(),
             max_concurrent_subframes: self.max_concurrent_subframes,
             busy_per_core: self.busy_per_core,
+            stage_cycles: self.stage_cycles,
+            steals_per_core: self.steals_per_core,
+            steal_fails_per_core: self.steal_fails_per_core,
+            tasks_per_core: self.tasks_per_core,
+            wake_pulses_per_core: self.wake_pulses_per_core,
         }
     }
 
@@ -410,17 +531,44 @@ impl Simulator {
         ((t / self.cfg.dispatch_period) as usize).min(self.buckets.len() - 1)
     }
 
-    /// Transitions a core to a new state, accounting the old interval.
+    /// Transitions a core to a new state, accounting the old interval
+    /// and emitting it as a trace span.
     fn set_state(&mut self, core: usize, state: CoreState) {
         let (old, since) = (self.cores[core].state, self.cores[core].state_since);
         let now = self.now;
         self.account(old, since, now);
         if old == CoreState::Busy && now > since {
             self.busy_per_core[core] += now - since;
+            if let Some(stage) = self.cores[core].current_stage {
+                self.stage_cycles[stage_slot(stage)] += now - since;
+            }
+        }
+        if self.recorder.enabled() && now > since {
+            let busy = old == CoreState::Busy;
+            self.recorder.record(TraceEvent::CoreSpan {
+                core: core as u32,
+                state: trace_state(old),
+                start: since,
+                end: now,
+                stage: if busy {
+                    self.cores[core].current_stage
+                } else {
+                    None
+                },
+                subframe: if busy {
+                    self.cores[core].current_subframe
+                } else {
+                    None
+                },
+            });
         }
         let c = &mut self.cores[core];
         c.state = state;
         c.state_since = now;
+        if state != CoreState::Busy {
+            c.current_stage = None;
+            c.current_subframe = None;
+        }
     }
 
     fn handle_dispatch(&mut self, subframe: usize, subframes: &[SubframeLoad]) {
@@ -432,11 +580,19 @@ impl Simulator {
         };
         let idx = self.bucket_idx(self.now);
         self.buckets[idx].active_target = self.target;
+        self.subframe_dispatched_at[subframe] = self.now;
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::Dispatch {
+                subframe: subframe as u32,
+                t: self.now,
+                jobs: load.jobs.len() as u32,
+                active_target: self.target as u32,
+            });
+        }
         if !load.jobs.is_empty() {
             self.open_jobs_per_subframe[subframe] = load.jobs.len();
             self.open_subframes += 1;
-            self.max_concurrent_subframes =
-                self.max_concurrent_subframes.max(self.open_subframes);
+            self.max_concurrent_subframes = self.max_concurrent_subframes.max(self.open_subframes);
         }
         for job in &load.jobs {
             let id = self.jobs.len();
@@ -467,8 +623,7 @@ impl Simulator {
             return;
         }
         for core in self.target..self.cfg.n_workers {
-            if self.cores[core].state == CoreState::SpinIdle
-                && self.cores[core].owned_job.is_none()
+            if self.cores[core].state == CoreState::SpinIdle && self.cores[core].owned_job.is_none()
             {
                 self.enter_nap(core, CoreState::NapProactive);
             }
@@ -488,7 +643,10 @@ impl Simulator {
     }
 
     fn enter_nap(&mut self, core: usize, kind: CoreState) {
-        debug_assert!(matches!(kind, CoreState::NapReactive | CoreState::NapProactive));
+        debug_assert!(matches!(
+            kind,
+            CoreState::NapReactive | CoreState::NapProactive
+        ));
         self.set_state(core, kind);
         if !self.all_work_done() {
             self.cores[core].wake_seq += 1;
@@ -506,10 +664,19 @@ impl Simulator {
         self.cores[core].wake_pending = false;
         match self.cores[core].state {
             CoreState::NapReactive | CoreState::NapProactive => {
+                let status_only = self.cores[core].state == CoreState::NapProactive;
                 let idx = self.bucket_idx(self.now);
                 self.buckets[idx].wake_pulses += 1;
-                if self.cores[core].state == CoreState::NapProactive {
+                if status_only {
                     self.buckets[idx].wake_pulses_status += 1;
+                }
+                self.wake_pulses_per_core[core] += 1;
+                if self.recorder.enabled() {
+                    self.recorder.record(TraceEvent::WakePulse {
+                        core: core as u32,
+                        t: self.now,
+                        status_only,
+                    });
                 }
                 self.find_work(core);
             }
@@ -519,13 +686,25 @@ impl Simulator {
     }
 
     fn start_work(&mut self, core: usize, work: Work, extra_latency: u64) {
-        let cost = match work {
-            Work::Task { cost, .. } => cost,
-            Work::Weights { job } => self.jobs[job].spec.weights_cost,
-            Work::Finish { job } => self.jobs[job].spec.finish_cost,
+        let (job, cost, stage) = match work {
+            Work::Task { job, cost } => {
+                let stage = match self.jobs[job].phase {
+                    Phase::Estimation => Stage::Estimation,
+                    Phase::Combine => Stage::Combine,
+                    p => unreachable!("tasks only run in estimation/combine, not {p:?}"),
+                };
+                (job, cost, stage)
+            }
+            Work::Weights { job } => (job, self.jobs[job].spec.weights_cost, Stage::Weights),
+            Work::Finish { job } => (job, self.jobs[job].spec.finish_cost, Stage::Finish),
         };
         self.set_state(core, CoreState::Busy);
-        self.cores[core].current = Some(work);
+        let subframe = self.jobs[job].subframe as u32;
+        let c = &mut self.cores[core];
+        c.current = Some(work);
+        c.current_stage = Some(stage);
+        c.current_subframe = Some(subframe);
+        self.tasks_per_core[core] += 1;
         let done_at = self.now + extra_latency + self.cfg.task_overhead + cost;
         self.push_event(done_at, Event::TaskDone { core });
     }
@@ -579,6 +758,13 @@ impl Simulator {
                 self.open_jobs_per_subframe[sf] -= 1;
                 if self.open_jobs_per_subframe[sf] == 0 {
                     self.open_subframes -= 1;
+                    if self.recorder.enabled() {
+                        self.recorder.record(TraceEvent::SubframeSpan {
+                            subframe: sf as u32,
+                            start: self.subframe_dispatched_at[sf],
+                            end: self.now,
+                        });
+                    }
                 }
                 self.cores[core].owned_job = None;
             }
@@ -656,11 +842,26 @@ impl Simulator {
                 .deque
                 .pop_front()
                 .expect("victim verified non-empty");
+            self.steals_per_core[core] += 1;
+            if self.recorder.enabled() {
+                self.recorder.record(TraceEvent::Steal {
+                    thief: core as u32,
+                    victim: victim as u32,
+                    t: self.now,
+                });
+            }
             self.start_work(core, task, self.cfg.steal_latency);
             return;
         }
 
         // Nothing to do.
+        self.steal_fails_per_core[core] += 1;
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::StealFail {
+                core: core as u32,
+                t: self.now,
+            });
+        }
         if self.cfg.policy.reactive() {
             self.enter_nap(core, CoreState::NapReactive);
         } else {
@@ -722,6 +923,28 @@ mod tests {
             let report = Simulator::new(small_cfg(policy)).run(&loads(10, 3_000, 4));
             assert_eq!(report.jobs_total, 10, "{policy}");
             assert_eq!(report.job_latencies.len(), 10, "{policy}");
+        }
+    }
+
+    #[test]
+    fn latency_percentile_bounds_are_min_and_max() {
+        let report = Simulator::new(small_cfg(NapPolicy::NoNap)).run(&loads(10, 3_000, 8));
+        let min = *report.job_latencies.iter().min().unwrap();
+        let max = *report.job_latencies.iter().max().unwrap();
+        assert_eq!(report.latency_percentile(0), min);
+        assert_eq!(report.latency_percentile(100), max);
+        // Out-of-range percentiles clamp to the maximum, never panic.
+        assert_eq!(report.latency_percentile(1000), max);
+        let p50 = report.latency_percentile(50);
+        assert!((min..=max).contains(&p50));
+    }
+
+    #[test]
+    fn empty_run_has_zero_latency_percentiles() {
+        let report = Simulator::new(small_cfg(NapPolicy::NoNap)).run(&[]);
+        assert_eq!(report.jobs_total, 0);
+        for p in [0, 50, 100] {
+            assert_eq!(report.latency_percentile(p), 0, "p{p} of an empty run");
         }
     }
 
@@ -999,6 +1222,136 @@ mod per_core_tests {
         let active = report.busy_per_core.iter().filter(|&&b| b > 0).count();
         assert!(active >= 4, "several cores should participate: {active}");
         let total: u64 = report.busy_per_core.iter().sum();
-        assert!(busiest < 0.8 * total as f64, "no single core should dominate");
+        assert!(
+            busiest < 0.8 * total as f64,
+            "no single core should dominate"
+        );
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+    use lte_obs::{JsonLinesRecorder, RingRecorder};
+
+    fn cfg(policy: NapPolicy) -> SimConfig {
+        SimConfig {
+            n_workers: 8,
+            dispatch_period: 100_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 20_000,
+            clock_hz: 700.0e6,
+            policy,
+        }
+    }
+
+    fn loads(n: usize, units: u64, target: usize) -> Vec<SubframeLoad> {
+        (0..n)
+            .map(|_| SubframeLoad {
+                jobs: vec![SimJob {
+                    est_tasks: vec![units; 4],
+                    weights_cost: units / 2,
+                    combine_tasks: vec![units; 8],
+                    finish_cost: units,
+                }],
+                active_target: target,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stage_breakdown_sums_to_busy_cycles_under_every_policy() {
+        for policy in NapPolicy::ALL {
+            let report = Simulator::new(cfg(policy)).run(&loads(10, 2_000, 3));
+            let stage_total: u64 = report.stage_breakdown().iter().map(|(_, c)| c).sum();
+            let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+            assert_eq!(stage_total, busy, "{policy}");
+            // Every coarse stage ran at least once.
+            for (stage, cycles) in report.stage_breakdown() {
+                assert!(cycles > 0, "{policy}: stage {stage} never accounted");
+            }
+        }
+    }
+
+    #[test]
+    fn per_core_counters_are_consistent() {
+        let report = Simulator::new(cfg(NapPolicy::NapIdle)).run(&loads(10, 2_000, 3));
+        // 4 est + 1 weights + 8 combine + 1 finish per job.
+        let tasks: u64 = report.tasks_per_core.iter().sum();
+        assert_eq!(tasks, 10 * 14);
+        let pulses: u64 = report.wake_pulses_per_core.iter().sum();
+        let bucket_pulses: u64 = report.buckets.iter().map(|b| b.wake_pulses).sum();
+        assert_eq!(pulses, bucket_pulses);
+        let steals: u64 = report.steals_per_core.iter().sum();
+        assert!(steals > 0, "parallel phases require steals");
+    }
+
+    #[test]
+    fn recorded_spans_cover_every_core_cycle() {
+        // The emitted CoreSpans must tile [0, end_time) on every core:
+        // contiguous, non-overlapping, starting at 0.
+        let recorder = RingRecorder::new(1 << 20);
+        let report =
+            Simulator::with_recorder(cfg(NapPolicy::NapIdle), &recorder).run(&loads(10, 2_000, 3));
+        let mut next_start = [0u64; 8];
+        let mut busy_from_spans = 0u64;
+        for ev in recorder.events() {
+            if let lte_obs::Event::CoreSpan {
+                core,
+                state,
+                start,
+                end,
+                ..
+            } = ev
+            {
+                assert_eq!(start, next_start[core as usize], "gap on core {core}");
+                assert!(end > start);
+                next_start[core as usize] = end;
+                if state == lte_obs::CoreState::Busy {
+                    busy_from_spans += end - start;
+                }
+            }
+        }
+        for (core, &t) in next_start.iter().enumerate() {
+            assert_eq!(t, report.end_time, "core {core} not covered to the end");
+        }
+        let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
+        assert_eq!(busy_from_spans, busy);
+    }
+
+    #[test]
+    fn recorder_sees_dispatches_subframes_steals_and_wakes() {
+        let recorder = RingRecorder::new(1 << 20);
+        Simulator::with_recorder(cfg(NapPolicy::NapIdle), &recorder).run(&loads(10, 2_000, 3));
+        let events = recorder.events();
+        let count = |f: &dyn Fn(&lte_obs::Event) -> bool| events.iter().filter(|e| f(e)).count();
+        assert_eq!(count(&|e| matches!(e, lte_obs::Event::Dispatch { .. })), 10);
+        assert_eq!(
+            count(&|e| matches!(e, lte_obs::Event::SubframeSpan { .. })),
+            10
+        );
+        assert!(count(&|e| matches!(e, lte_obs::Event::Steal { .. })) > 0);
+        assert!(count(&|e| matches!(e, lte_obs::Event::WakePulse { .. })) > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_results() {
+        let plain = Simulator::new(cfg(NapPolicy::NapIdle)).run(&loads(20, 1_500, 3));
+        let recorder = JsonLinesRecorder::new();
+        let traced =
+            Simulator::with_recorder(cfg(NapPolicy::NapIdle), &recorder).run(&loads(20, 1_500, 3));
+        assert_eq!(plain, traced);
+        assert!(!recorder.is_empty());
+    }
+
+    #[test]
+    fn identical_runs_record_identical_traces() {
+        let trace_of = || {
+            let r = JsonLinesRecorder::new();
+            Simulator::with_recorder(cfg(NapPolicy::NapIdle), &r).run(&loads(15, 1_500, 3));
+            r.into_string()
+        };
+        assert_eq!(trace_of(), trace_of());
     }
 }

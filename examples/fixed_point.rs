@@ -10,9 +10,7 @@
 //! ```
 
 use lte_uplink_repro::dsp::fft::{Direction, FftPlan, FftPlanner};
-use lte_uplink_repro::dsp::q15::{
-    dequantize_block, quantization_snr_db, quantize_block, FixedFft,
-};
+use lte_uplink_repro::dsp::q15::{dequantize_block, quantization_snr_db, quantize_block, FixedFft};
 use lte_uplink_repro::dsp::{Complex32, Modulation, Xoshiro256};
 use lte_uplink_repro::phy::estimator::{estimate_path, estimate_path_q15};
 use lte_uplink_repro::phy::params::{CellConfig, TurboMode, UserConfig};
@@ -41,8 +39,7 @@ fn main() {
     let cell = CellConfig::with_antennas(2);
     let user = UserConfig::new(16, 1, Modulation::Qpsk);
     let mut rng = Xoshiro256::seed_from_u64(4);
-    let input =
-        synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 30.0, &mut rng);
+    let input = synthesize_user_with_mode(&cell, &user, TurboMode::Passthrough, 30.0, &mut rng);
     let planner = FftPlanner::new();
     let float_est = estimate_path(&cell, &input, 0, 0, 0, &planner);
     let fixed_est = estimate_path_q15(&cell, &input, 0, 0, 0);

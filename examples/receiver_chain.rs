@@ -91,9 +91,8 @@ fn main() {
     // Bonus: the same frame with the real turbo decoder engaged (the
     // paper passes turbo through; the module is replaceable).
     let mode = TurboMode::Decode { iterations: 5 };
-    let coded = lte_uplink_repro::phy::tx::synthesize_user_with_mode(
-        &cell, &user, mode, 8.0, &mut rng,
-    );
+    let coded =
+        lte_uplink_repro::phy::tx::synthesize_user_with_mode(&cell, &user, mode, 8.0, &mut rng);
     let decoded = lte_uplink_repro::phy::receiver::process_user(&cell, &coded, mode);
     println!(
         "turbo-coded variant at 8 dB SNR: CRC {}",

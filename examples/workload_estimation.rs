@@ -17,7 +17,10 @@ fn main() {
         ..ExperimentContext::paper()
     };
 
-    println!("calibrating (Fig. 11 sweep, {} PRB steps) …\n", ctx.cal_prb_step);
+    println!(
+        "calibrating (Fig. 11 sweep, {} PRB steps) …\n",
+        ctx.cal_prb_step
+    );
     let (curves, estimator) = ctx.run_calibration();
 
     println!("fitted activity-per-PRB slopes k_LM (Eq. 3), ×10⁻³:");

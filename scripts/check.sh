@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, and the test suite.
+#
+#   scripts/check.sh            # fmt + clippy + workspace tests
+#   scripts/check.sh --tier1    # fmt + clippy + root-package tests only
+#
+# Every step must pass; the script stops at the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scope=(--workspace)
+if [[ "${1:-}" == "--tier1" ]]; then
+    scope=()
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q ${scope[*]:-}"
+cargo test --offline -q "${scope[@]}"
+
+echo "all checks passed"

@@ -1,0 +1,5 @@
+//! The `lte_sim` spelling of the benchmark CLI (see [`lte_uplink::cli`]).
+
+fn main() {
+    lte_uplink::cli::run();
+}

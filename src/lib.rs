@@ -19,6 +19,8 @@
 //!   ([`lte_model`]);
 //! * [`power`] — power/thermal model, workload estimator, power gating
 //!   ([`lte_power`]);
+//! * [`obs`] — the observability layer: recorders, metrics, Perfetto
+//!   trace export ([`lte_obs`]);
 //! * [`uplink`] — the benchmark binary's building blocks and every
 //!   figure/table experiment ([`lte_uplink`]).
 //!
@@ -40,6 +42,7 @@
 
 pub use lte_dsp as dsp;
 pub use lte_model as model;
+pub use lte_obs as obs;
 pub use lte_phy as phy;
 pub use lte_power as power;
 pub use lte_sched as sched;

@@ -3,8 +3,11 @@
 //! replay; these tests pin it down across the whole stack.
 
 use lte_uplink_repro::model::{DiurnalModel, ParameterModel, RampModel};
+use lte_uplink_repro::obs::{MetricsRegistry, PerfettoExporter, RingRecorder};
+use lte_uplink_repro::sched::sim::Simulator;
 use lte_uplink_repro::sched::NapPolicy;
 use lte_uplink_repro::uplink::experiments::ExperimentContext;
+use lte_uplink_repro::uplink::trace::fill_sim_metrics;
 
 fn ctx() -> ExperimentContext {
     ExperimentContext {
@@ -62,6 +65,36 @@ fn ramp_model_streams_are_stable_across_calls() {
     let mut chunked = two.subframes(60);
     chunked.extend(two.subframes(40));
     assert_eq!(all, chunked);
+}
+
+#[test]
+fn traced_runs_are_byte_identical() {
+    // The observability layer must not disturb reproducibility: two
+    // same-seed simulator runs produce byte-identical Perfetto JSON and
+    // metrics snapshots. (Only simulated-time events are compared — the
+    // real receiver's wall-clock spans are inherently run-dependent.)
+    let artifacts = || {
+        let c = ctx();
+        let subframes = c.subframes();
+        let targets = vec![c.controller.max_cores; subframes.len()];
+        let cfg = c.sim_config(NapPolicy::NapIdle);
+        let recorder = RingRecorder::new(2_000_000);
+        let report = Simulator::with_recorder(cfg, &recorder).run(&c.loads(&subframes, &targets));
+        let perfetto =
+            PerfettoExporter::new(cfg.clock_hz).export(&recorder.events(), cfg.n_workers);
+        let metrics = MetricsRegistry::new();
+        fill_sim_metrics(&metrics, &c, &report, subframes.len());
+        (perfetto, metrics.to_json())
+    };
+    let (trace_a, metrics_a) = artifacts();
+    let (trace_b, metrics_b) = artifacts();
+    assert_eq!(trace_a, trace_b, "Perfetto export must be byte-identical");
+    assert_eq!(
+        metrics_a, metrics_b,
+        "metrics snapshot must be byte-identical"
+    );
+    assert!(trace_a.contains("\"traceEvents\""));
+    assert!(metrics_a.contains("sim.activity"));
 }
 
 #[test]

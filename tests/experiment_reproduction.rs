@@ -116,7 +116,10 @@ fn throttling_increases_latency_but_saves_power() {
     let lat = |r: &lte_uplink_repro::uplink::experiments::PolicyRun| {
         *r.report.job_latencies.iter().max().unwrap()
     };
-    assert!(lat(&tight_run) > lat(&loose_run), "throttling must slow jobs");
+    assert!(
+        lat(&tight_run) > lat(&loose_run),
+        "throttling must slow jobs"
+    );
     assert!(
         tight_run.mean_total < loose_run.mean_total,
         "throttling must save power"

@@ -91,8 +91,7 @@ fn synthesize_through_frontend(
                 let mut acc = vec![Complex32::ZERO; fe.samples_per_symbol()];
                 for layer in 0..user.layers {
                     let time = fe.modulate(&layer_symbols[layer][sym_idx]);
-                    let through =
-                        fe.apply_time_channel(&[time], &impulses[rx][layer]);
+                    let through = fe.apply_time_channel(&[time], &impulses[rx][layer]);
                     for (a, b) in acc.iter_mut().zip(&through[0]) {
                         *a += *b;
                     }

@@ -1,8 +1,11 @@
-//! Cross-crate property-based tests (proptest): invariants of the DSP
-//! substrate, the receiver pipeline, the estimator algebra and the
-//! simulator, exercised over randomly drawn configurations.
-
-use proptest::prelude::*;
+//! Cross-crate randomized invariant tests: the DSP substrate, the
+//! receiver pipeline, the estimator algebra and the simulator, exercised
+//! over deterministically drawn configurations.
+//!
+//! These were originally written with `proptest`; the build environment
+//! has no network access, so they now draw cases from the repo's own
+//! [`Xoshiro256`] with fixed seeds — same invariants, bit-reproducible
+//! case lists, no external dependency.
 
 use lte_uplink_repro::dsp::fft::{dft_naive, Direction, FftPlan};
 use lte_uplink_repro::dsp::interleave::Interleaver;
@@ -12,24 +15,29 @@ use lte_uplink_repro::phy::params::{CellConfig, SubframeConfig, TurboMode, UserC
 use lte_uplink_repro::phy::receiver::process_user;
 use lte_uplink_repro::phy::tx::synthesize_user;
 use lte_uplink_repro::power::estimator::WorkloadEstimator;
-use lte_uplink_repro::sched::cycles::CostModel;
 use lte_uplink_repro::sched::sim::{NapPolicy, SimConfig, Simulator, SubframeLoad};
 
-fn arb_modulation() -> impl Strategy<Value = Modulation> {
-    prop_oneof![
-        Just(Modulation::Qpsk),
-        Just(Modulation::Qam16),
-        Just(Modulation::Qam64)
-    ]
+/// Draws `cases` parameter tuples from a seeded stream and runs `f`.
+fn for_cases(cases: usize, seed: u64, mut f: impl FnMut(&mut Xoshiro256, usize)) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    for case in 0..cases {
+        f(&mut rng, case);
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn draw(rng: &mut Xoshiro256, lo: u64, hi_inclusive: u64) -> u64 {
+    lo + rng.next_below(hi_inclusive - lo + 1)
+}
 
-    #[test]
-    fn fft_round_trip_any_smooth_size(prbs in 1usize..=40, seed in 0u64..1000) {
+fn draw_modulation(rng: &mut Xoshiro256) -> Modulation {
+    Modulation::ALL[rng.next_below(3) as usize]
+}
+
+#[test]
+fn fft_round_trip_any_smooth_size() {
+    for_cases(24, 0xF0F0, |rng, _| {
+        let prbs = draw(rng, 1, 40) as usize;
         let n = 12 * prbs;
-        let mut rng = Xoshiro256::seed_from_u64(seed);
         let original: Vec<Complex32> = (0..n)
             .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
             .collect();
@@ -37,13 +45,15 @@ proptest! {
         FftPlan::forward(n).process(&mut data);
         FftPlan::inverse(n).process(&mut data);
         for (a, b) in data.iter().zip(&original) {
-            prop_assert!((*a - *b).abs() < 1e-3);
+            assert!((*a - *b).abs() < 1e-3, "n={n}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn fft_matches_naive_dft(n in 1usize..=64, seed in 0u64..1000) {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+#[test]
+fn fft_matches_naive_dft() {
+    for_cases(24, 0xD1D1, |rng, _| {
+        let n = draw(rng, 1, 64) as usize;
         let input: Vec<Complex32> = (0..n)
             .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
             .collect();
@@ -51,73 +61,87 @@ proptest! {
         FftPlan::forward(n).process(&mut fast);
         let slow = dft_naive(&input, Direction::Forward);
         for (a, b) in fast.iter().zip(&slow) {
-            prop_assert!((*a - *b).abs() < 1e-3, "{a:?} vs {b:?}");
+            assert!((*a - *b).abs() < 1e-3, "n={n}: {a:?} vs {b:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaver_is_a_bijection(n in 1usize..=4096) {
+#[test]
+fn interleaver_is_a_bijection() {
+    for_cases(24, 0xB1B1, |rng, _| {
+        let n = draw(rng, 1, 4096) as usize;
         let il = Interleaver::subblock(n);
         let data: Vec<u32> = (0..n as u32).collect();
         let mixed = il.apply(&data);
         let mut sorted = mixed.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&sorted, &data, "permutation must preserve the set");
-        prop_assert_eq!(il.invert(&mixed), data);
-    }
+        assert_eq!(sorted, data, "permutation must preserve the set (n={n})");
+        assert_eq!(il.invert(&mixed), data, "n={n}");
+    });
+}
 
-    #[test]
-    fn crc_detects_random_corruption(len in 25usize..400, flips in 1usize..8, seed in 0u64..1000) {
-        let mut rng = Xoshiro256::seed_from_u64(seed);
+#[test]
+fn crc_detects_random_corruption() {
+    for_cases(24, 0xC4C4, |rng, _| {
+        let len = draw(rng, 25, 399) as usize;
+        let flips = draw(rng, 1, 7) as usize;
         let mut bits: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 1) as u8).collect();
         CRC24A.append_bits(&mut bits);
-        prop_assert!(CRC24A.check_bits(&bits));
+        assert!(CRC24A.check_bits(&bits));
         // Flip `flips` distinct positions.
-        let mut positions: Vec<usize> =
-            (0..flips).map(|_| rng.next_below(bits.len() as u64) as usize).collect();
+        let mut positions: Vec<usize> = (0..flips)
+            .map(|_| rng.next_below(bits.len() as u64) as usize)
+            .collect();
         positions.sort_unstable();
         positions.dedup();
         for &p in &positions {
             bits[p] ^= 1;
         }
-        prop_assert!(!CRC24A.check_bits(&bits), "corruption at {positions:?} missed");
-    }
+        assert!(
+            !CRC24A.check_bits(&bits),
+            "corruption at {positions:?} missed"
+        );
+    });
+}
 
-    #[test]
-    fn turbo_round_trips_any_tabulated_size(idx in 0usize..20, seed in 0u64..100) {
+#[test]
+fn turbo_round_trips_any_tabulated_size() {
+    for_cases(16, 0x7B07, |rng, _| {
         let sizes = lte_uplink_repro::dsp::turbo::tabulated_block_sizes();
+        let idx = rng.next_below(20) as usize;
         let k = sizes[idx % sizes.len()].min(512); // keep tests fast
         let k = lte_uplink_repro::dsp::turbo::nearest_block_size(k);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
         let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
         let code = TurboEncoder::new(k).encode(&bits);
         let out = TurboDecoder::new(k, 3).decode(&code.to_llrs(5.0));
-        prop_assert_eq!(out, bits);
-    }
+        assert_eq!(out, bits, "k={k}");
+    });
+}
 
-    #[test]
-    fn receiver_decodes_any_valid_user_on_clean_channel(
-        prbs in 2usize..=20,
-        layers in 1usize..=2,
-        modulation in arb_modulation(),
-        seed in 0u64..200,
-    ) {
+#[test]
+fn receiver_decodes_any_valid_user_on_clean_channel() {
+    for_cases(12, 0x5EED, |rng, _| {
+        let prbs = draw(rng, 2, 20) as usize;
+        let layers = draw(rng, 1, 2) as usize;
+        let modulation = draw_modulation(rng);
         let cell = CellConfig::with_antennas(4);
         let user = UserConfig::new(prbs, layers, modulation);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
-        let input = synthesize_user(&cell, &user, 45.0, &mut rng);
+        let input = synthesize_user(&cell, &user, 45.0, rng);
         let result = process_user(&cell, &input, TurboMode::Passthrough);
-        prop_assert!(result.matches(&input.ground_truth),
-            "{prbs} PRBs x{layers} {modulation} seed {seed} failed");
-    }
+        assert!(
+            result.matches(&input.ground_truth),
+            "{prbs} PRBs x{layers} {modulation} failed"
+        );
+    });
+}
 
-    #[test]
-    fn estimator_is_additive_and_monotonic(
-        prbs_a in 2usize..=100,
-        prbs_b in 2usize..=100,
-        layers in 1usize..=4,
-        modulation in arb_modulation(),
-    ) {
+#[test]
+fn estimator_is_additive_and_monotonic() {
+    for_cases(24, 0xE571, |rng, _| {
+        let prbs_a = draw(rng, 2, 100) as usize;
+        let prbs_b = draw(rng, 2, 100) as usize;
+        let layers = draw(rng, 1, 4) as usize;
+        let modulation = draw_modulation(rng);
         // With any positive slopes, Eq. 4 is additive in users and
         // monotone in PRBs (below the clamp).
         let est = WorkloadEstimator::from_slopes([[1e-4; 3]; 4]);
@@ -128,18 +152,18 @@ proptest! {
             UserConfig::new(prbs_b, layers, modulation),
         ]);
         let sum = est.subframe_activity(&a) + est.subframe_activity(&b);
-        prop_assert!((est.subframe_activity(&ab) - sum.min(1.0)).abs() < 1e-12);
-    }
+        assert!((est.subframe_activity(&ab) - sum.min(1.0)).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn simulator_conserves_work(
-        n_jobs in 1usize..6,
-        units in 200u64..5_000,
-        subframes in 1usize..8,
-        target in 2usize..8,
-        policy_idx in 0usize..4,
-    ) {
-        let policy = NapPolicy::ALL[policy_idx];
+#[test]
+fn simulator_conserves_work() {
+    for_cases(24, 0x51A1, |rng, case| {
+        let n_jobs = draw(rng, 1, 5) as usize;
+        let units = draw(rng, 200, 4_999);
+        let subframes = draw(rng, 1, 7) as usize;
+        let target = draw(rng, 2, 7) as usize;
+        let policy = NapPolicy::ALL[case % 4];
         let cfg = SimConfig {
             n_workers: 8,
             dispatch_period: 50_000,
@@ -149,8 +173,6 @@ proptest! {
             clock_hz: 700.0e6,
             policy,
         };
-        let job = CostModel::tilepro64().user_job(2, 1, 2, 2);
-        let _ = job; // template shape; use synthetic costs below
         let loads: Vec<SubframeLoad> = (0..subframes)
             .map(|_| SubframeLoad {
                 jobs: (0..n_jobs)
@@ -166,65 +188,75 @@ proptest! {
             .collect();
         let report = Simulator::new(cfg).run(&loads);
         // Every job completes.
-        prop_assert_eq!(report.jobs_total, n_jobs * subframes);
-        prop_assert_eq!(report.job_latencies.len(), n_jobs * subframes);
+        assert_eq!(report.jobs_total, n_jobs * subframes);
+        assert_eq!(report.job_latencies.len(), n_jobs * subframes);
         // Busy time covers at least the raw work.
         let busy: u64 = report.buckets.iter().map(|b| b.busy_cycles).sum();
-        let work: u64 = loads.iter().flat_map(|l| &l.jobs).map(|j| j.total_cycles()).sum();
-        prop_assert!(busy >= work, "busy {busy} < work {work}");
+        let work: u64 = loads
+            .iter()
+            .flat_map(|l| &l.jobs)
+            .map(|j| j.total_cycles())
+            .sum();
+        assert!(busy >= work, "busy {busy} < work {work}");
         // And never exceeds work plus maximal per-task overheads.
         let tasks = (n_jobs * subframes) as u64 * (4 + 1 + 6 + 1);
-        prop_assert!(busy <= work + tasks * (cfg.task_overhead + cfg.steal_latency));
-    }
+        assert!(busy <= work + tasks * (cfg.task_overhead + cfg.steal_latency));
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn rate_matching_round_trips_at_mother_rate_or_below(
-        k_idx in 0usize..10,
-        extra_frac in 0usize..100,
-        seed in 0u64..100,
-    ) {
+#[test]
+fn rate_matching_round_trips_at_mother_rate_or_below() {
+    for_cases(16, 0x4A7E, |rng, _| {
         use lte_uplink_repro::dsp::rate_match::RateMatcher;
         let sizes = lte_uplink_repro::dsp::turbo::tabulated_block_sizes();
+        let k_idx = rng.next_below(10) as usize;
+        let extra_frac = rng.next_below(100) as usize;
         let k = sizes[k_idx % sizes.len()].min(256);
         let k = lte_uplink_repro::dsp::turbo::nearest_block_size(k);
-        let mut rng = Xoshiro256::seed_from_u64(seed);
         let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
         let code = TurboEncoder::new(k).encode(&bits);
         let rm = RateMatcher::new(k);
         // E from exactly the mother-code size up to 2x (repetition).
         let e = rm.buffer_len() + extra_frac * rm.buffer_len() / 100;
         let tx = rm.match_bits(&code, e);
-        prop_assert_eq!(tx.len(), e);
-        let llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 4.0 } else { -4.0 }).collect();
+        assert_eq!(tx.len(), e);
+        let llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 4.0 } else { -4.0 })
+            .collect();
         let out = TurboDecoder::new(k, 4).decode(&rm.accumulate_llrs(&llrs));
-        prop_assert_eq!(out, bits);
-    }
+        assert_eq!(out, bits, "k={k} e={e}");
+    });
+}
 
-    #[test]
-    fn scrambling_round_trips_any_block(len in 1usize..2000, c_init in 0u32..0x7FFF_FFFF) {
+#[test]
+fn scrambling_round_trips_any_block() {
+    for_cases(16, 0x5C4A, |rng, _| {
         use lte_uplink_repro::dsp::scrambling::{descramble_llrs, scramble_bits};
-        let mut rng = Xoshiro256::seed_from_u64(len as u64);
+        let len = draw(rng, 1, 1999) as usize;
+        let c_init = rng.next_below(0x7FFF_FFFF) as u32;
         let bits: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 1) as u8).collect();
         let mut tx = bits.clone();
         scramble_bits(&mut tx, c_init);
-        let mut llrs: Vec<f32> = tx.iter().map(|&b| if b == 0 { 1.0 } else { -1.0 }).collect();
+        let mut llrs: Vec<f32> = tx
+            .iter()
+            .map(|&b| if b == 0 { 1.0 } else { -1.0 })
+            .collect();
         descramble_llrs(&mut llrs, c_init);
         let rx: Vec<u8> = llrs.iter().map(|&l| (l < 0.0) as u8).collect();
-        prop_assert_eq!(rx, bits);
-    }
+        assert_eq!(rx, bits, "len={len} c_init={c_init}");
+    });
+}
 
-    #[test]
-    fn segmentation_round_trips_any_transport_size(b in 30usize..30_000) {
+#[test]
+fn segmentation_round_trips_any_transport_size() {
+    for_cases(16, 0x5E69, |rng, _| {
         use lte_uplink_repro::dsp::segmentation::Segmentation;
-        let mut rng = Xoshiro256::seed_from_u64(b as u64);
+        let b = draw(rng, 30, 29_999) as usize;
         let bits: Vec<u8> = (0..b).map(|_| (rng.next_u64() & 1) as u8).collect();
         let seg = Segmentation::segment(&bits);
         let (out, ok) = seg.desegment(&seg.blocks);
-        prop_assert!(ok);
-        prop_assert_eq!(out, bits);
-    }
+        assert!(ok, "b={b}");
+        assert_eq!(out, bits, "b={b}");
+    });
 }

@@ -71,7 +71,9 @@ fn turbo_decode_mode_verifies_in_parallel() {
         },
     );
     let run = bench.run(&subframes);
-    bench.verify(&subframes, &run).expect("turbo mode must verify");
+    bench
+        .verify(&subframes, &run)
+        .expect("turbo mode must verify");
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no network access, so this shim implements
+//! the subset of the criterion API the workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] with `sample_size`/`measurement_time`/
+//! `bench_function`/`bench_with_input`/`finish`, [`Bencher::iter`],
+//! [`BenchmarkId`], and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! It measures real wall-clock time (median over a handful of samples)
+//! and prints one line per benchmark. It has no statistics engine, plots
+//! or baselines — the point is that `cargo bench` and `cargo test
+//! --benches` build and run offline with useful, honest numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id from a function name and a
+    /// parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the iteration body.
+pub struct Bencher<'a> {
+    samples: usize,
+    budget: Duration,
+    result: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting up to the configured number of samples
+    /// within the time budget (always at least one).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up iteration, also the first sample.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        self.result.push(start.elapsed());
+        let budget_start = Instant::now();
+        while self.result.len() < self.samples && budget_start.elapsed() < self.budget {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.result.push(start.elapsed());
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(id: &str, samples: usize, budget: Duration, f: impl FnOnce(&mut Bencher)) {
+    let mut durations = Vec::new();
+    f(&mut Bencher {
+        samples,
+        budget,
+        result: &mut durations,
+    });
+    durations.sort_unstable();
+    let median = durations
+        .get(durations.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let best = durations.first().copied().unwrap_or_default();
+    println!(
+        "bench {id:<40} median {:>12}  best {:>12}  ({} samples)",
+        human(median),
+        human(best),
+        durations.len()
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; command-line args are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        run_one(&id.into().id, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.measurement_time, f);
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.measurement_time, |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Re-export matching criterion's `black_box` (std's is identical).
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).measurement_time(Duration::from_millis(10));
+        g.bench_function(BenchmarkId::from_parameter(7), |b| b.iter(|| 7 * 6));
+        g.bench_with_input(BenchmarkId::new("f", 2), &2, |b, &x| b.iter(|| x * 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The build environment for this repository has no network access, so
+//! the real crates.io `crossbeam` cannot be fetched. This shim provides
+//! the exact subset the workspace uses — `deque::{Worker, Stealer,
+//! Injector, Steal}` — with the same ownership semantics (owner pops
+//! LIFO, thieves steal FIFO), implemented on `std::sync` primitives.
+//! It is correct and deterministic but not lock-free; if the real
+//! crossbeam ever becomes available it is a drop-in replacement.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt, mirroring `crossbeam_deque::Steal`.
+    #[derive(Debug)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// The operation lost a race and may be retried.
+        Retry,
+    }
+
+    fn lock<T>(m: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The owning end of a work-stealing deque. The owner pushes and pops
+    /// at the back (LIFO); [`Stealer`]s take from the front (FIFO).
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates a LIFO deque (the only flavour this workspace uses).
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Pushes onto the owner's end.
+        pub fn push(&self, item: T) {
+            lock(&self.queue).push_back(item);
+        }
+
+        /// Pops from the owner's end (most recently pushed first).
+        pub fn pop(&self) -> Option<T> {
+            lock(&self.queue).pop_back()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+
+        /// Creates a stealing handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A stealing handle: takes the *oldest* task (front of the deque).
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Stealer<T> {
+        /// Attempts to steal the front item.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A FIFO injector queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues at the back.
+        pub fn push(&self, item: T) {
+            lock(&self.queue).push_back(item);
+        }
+
+        /// Attempts to take the front item.
+        pub fn steal(&self) -> Steal<T> {
+            match lock(&self.queue).pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            lock(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert!(matches!(s.steal(), Steal::Success(1)));
+            assert_eq!(w.pop(), Some(3));
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(w.pop(), None);
+            assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            assert!(inj.is_empty());
+            inj.push("a");
+            inj.push("b");
+            assert!(matches!(inj.steal(), Steal::Success("a")));
+            assert!(matches!(inj.steal(), Steal::Success("b")));
+            assert!(matches!(inj.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn stealer_works_across_threads() {
+            let w = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let stealers: Vec<Stealer<i32>> = (0..4).map(|_| w.stealer()).collect();
+            let total: usize = std::thread::scope(|scope| {
+                stealers
+                    .iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            let mut n = 0;
+                            while let Steal::Success(_) = s.steal() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum()
+            });
+            assert_eq!(total + w.pop().into_iter().count(), 1000);
+        }
+    }
+}
