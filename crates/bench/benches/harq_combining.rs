@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the HARQ soft-combining path: the element-wise
+//! LLR accumulation kernel across transport-block sizes, and the two
+//! demapper fidelities the `DegradeDemap` overload policy switches
+//! between (exact log-sum-exp vs. max-log).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_dsp::llr::{combine_llrs, demap_block, demap_block_exact};
+use lte_dsp::{Complex32, Modulation, Xoshiro256};
+
+fn random_llrs(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n).map(|_| 4.0 * (rng.next_f32() - 0.5)).collect()
+}
+
+fn random_symbols(n: usize, seed: u64) -> Vec<Complex32> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Complex32::new(rng.next_f32() - 0.5, rng.next_f32() - 0.5))
+        .collect()
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harq_combine_llrs");
+    // QPSK payload bits for 2, 20 and 100 PRBs over one subframe.
+    for prbs in [2usize, 20, 100] {
+        let n = 12 * prbs * 12 * 2;
+        let acc = random_llrs(n, 1);
+        let update = random_llrs(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut work = acc.clone();
+                combine_llrs(&mut work, &update);
+                black_box(work[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_demap_fidelity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harq_demap_fidelity");
+    let symbols = random_symbols(1200, 3);
+    for modulation in [Modulation::Qpsk, Modulation::Qam16, Modulation::Qam64] {
+        group.bench_with_input(
+            BenchmarkId::new("max_log", format!("{modulation:?}")),
+            &modulation,
+            |b, &m| b.iter(|| black_box(demap_block(m, &symbols, 0.1))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("{modulation:?}")),
+            &modulation,
+            |b, &m| b.iter(|| black_box(demap_block_exact(m, &symbols, 0.1))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_combine, bench_demap_fidelity);
+criterion_main!(benches);

@@ -15,21 +15,24 @@
 //! subframes and then reused across all dispatched subframes").
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::Xoshiro256;
+use lte_fault::{DeadlineBudget, OverloadPolicy};
 use lte_phy::combiner::{combine_symbol, CombinerWeights};
 use lte_phy::estimator::{estimate_path, ChannelEstimate};
 use lte_phy::grid::UserInput;
+use lte_phy::harq::{HarqDecision, HarqEntity, HarqStats};
 use lte_phy::params::{
     CellConfig, SubframeConfig, TurboMode, UserConfig, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME,
 };
-use lte_phy::receiver::{demap_symbol, finish_user, UserResult};
-use lte_phy::tx::synthesize_user_with_mode;
+use lte_phy::receiver::{demap_symbol, demap_symbol_exact, finish_user, UserResult};
+use lte_phy::tx::{synthesize_retransmission, synthesize_user_with_mode};
 use lte_phy::verify::{GoldenRecord, VerifyError};
-use lte_sched::TaskPool;
+use lte_sched::{PoolError, TaskPool};
 
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +49,19 @@ pub struct BenchmarkConfig {
     pub turbo: TurboMode,
     /// RNG seed for data synthesis.
     pub seed: u64,
+    /// Per-subframe deadline budget (nanoseconds from dispatch to
+    /// completion) and the overload policy applied while the receiver is
+    /// behind. `None` dispatches blindly, as the paper's benchmark does.
+    pub deadline: Option<DeadlineBudget>,
+    /// HARQ retransmissions allowed per failed transport block
+    /// (0 disables the retransmission pass).
+    pub harq: usize,
+    /// Demap with the exact log-sum-exp LLRs instead of max-log. The
+    /// `DegradeDemap` overload policy downgrades exact → max-log for
+    /// subframes dispatched while the receiver is behind. Exact demap
+    /// diverges (slightly) from the max-log serial reference, so
+    /// [`UplinkBenchmark::verify`] only applies to max-log runs.
+    pub exact_demap: bool,
 }
 
 impl Default for BenchmarkConfig {
@@ -56,14 +72,35 @@ impl Default for BenchmarkConfig {
             snr_db: 30.0,
             turbo: TurboMode::Passthrough,
             seed: 42,
+            deadline: None,
+            harq: 0,
+            exact_demap: false,
         }
     }
+}
+
+/// Degradation and recovery accounting for one benchmark run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// Subframes whose completion exceeded the deadline budget.
+    pub overruns: u64,
+    /// Whole subframes discarded by [`OverloadPolicy::DropSubframe`].
+    pub dropped_subframes: u64,
+    /// Users shed (individually or as part of a dropped subframe).
+    pub shed_users: u64,
+    /// Subframes demapped at degraded fidelity
+    /// ([`OverloadPolicy::DegradeDemap`]).
+    pub degraded_subframes: u64,
+    /// HARQ statistics of the retransmission pass.
+    pub harq: HarqStats,
 }
 
 /// The outcome of a benchmark run.
 #[derive(Debug)]
 pub struct BenchmarkRun {
-    /// Decoded results, `results[subframe][user]`.
+    /// Decoded results, `results[subframe][user]`. Users shed by an
+    /// overload policy (and not redelivered by HARQ) are absent from
+    /// their subframe's row.
     pub results: Vec<Vec<UserResult>>,
     /// Wall-clock duration of the parallel run.
     pub elapsed: Duration,
@@ -71,8 +108,32 @@ pub struct BenchmarkRun {
     pub busy: Duration,
     /// Mean activity per Eq. 2 over the run.
     pub activity: f64,
-    /// Fraction of users whose CRC passed.
+    /// Fraction of delivered users whose CRC passed.
     pub crc_pass_rate: f64,
+    /// Overload shedding and HARQ recovery counters.
+    pub degradation: DegradationReport,
+}
+
+/// Waits for a dispatch deadline without pegging a host CPU: sleeps to
+/// within `SPIN_SLACK` of the deadline (OS timers overshoot by up to a
+/// timer tick), then spins the final stretch for precision.
+fn pace_until(deadline: Instant) {
+    const SPIN_SLACK: Duration = Duration::from_micros(200);
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return;
+        }
+        let left = deadline - now;
+        if left > SPIN_SLACK {
+            std::thread::sleep(left - SPIN_SLACK);
+        } else {
+            break;
+        }
+    }
+    while Instant::now() < deadline {
+        std::hint::spin_loop();
+    }
 }
 
 /// The benchmark: input synthesis, dispatch, parallel processing and
@@ -132,18 +193,47 @@ impl UplinkBenchmark {
     }
 
     /// Runs the parallel benchmark over a subframe sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the worker pool cannot be constructed; use
+    /// [`try_run`](UplinkBenchmark::try_run) to handle that gracefully.
     pub fn run(&mut self, subframes: &[SubframeConfig]) -> BenchmarkRun {
-        let pool = TaskPool::new(self.cfg.workers);
+        self.try_run(subframes)
+            .expect("failed to start the worker pool")
+    }
+
+    /// Runs the parallel benchmark over a subframe sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PoolError`] when the worker pool cannot be spawned.
+    pub fn try_run(&mut self, subframes: &[SubframeConfig]) -> Result<BenchmarkRun, PoolError> {
+        let pool = TaskPool::new(self.cfg.workers)?;
         let planner = Arc::new(FftPlanner::new());
         let cell = self.cell;
         let turbo = self.cfg.turbo;
+        let mut degradation = DegradationReport::default();
 
-        // Result slots, one per (subframe, user).
+        // Result slots, one per (subframe, user), plus per-subframe open
+        // counters and completion stamps for the deadline accounting.
         let results: Arc<Vec<Vec<OnceLock<UserResult>>>> = Arc::new(
             subframes
                 .iter()
                 .map(|sf| (0..sf.n_users()).map(|_| OnceLock::new()).collect())
                 .collect(),
+        );
+        let open: Arc<Vec<AtomicUsize>> = Arc::new(
+            subframes
+                .iter()
+                .map(|_| AtomicUsize::new(0))
+                .collect::<Vec<_>>(),
+        );
+        let done_at: Arc<Vec<OnceLock<u64>>> = Arc::new(
+            subframes
+                .iter()
+                .map(|_| OnceLock::new())
+                .collect::<Vec<_>>(),
         );
 
         // Pre-synthesise inputs on the maintenance thread (the paper does
@@ -155,21 +245,66 @@ impl UplinkBenchmark {
 
         let start = Instant::now();
         let busy_start = pool.busy_nanos();
+        let mut dispatched_at = vec![0u64; subframes.len()];
         // Maintenance loop: dispatch each subframe at its deadline.
         for (sf_idx, sf_inputs) in inputs.iter().enumerate() {
-            let deadline = start + self.cfg.delta * sf_idx as u32;
-            while Instant::now() < deadline {
-                std::hint::spin_loop();
+            pace_until(start + self.cfg.delta * sf_idx as u32);
+            dispatched_at[sf_idx] = start.elapsed().as_nanos() as u64;
+
+            // Overload policy: "behind" means an earlier subframe is
+            // still open at this dispatch instant.
+            let mut submit: Vec<usize> = (0..sf_inputs.len()).collect();
+            let mut exact = self.cfg.exact_demap;
+            let behind = (0..sf_idx).any(|i| open[i].load(Ordering::SeqCst) > 0);
+            if let Some(budget) = self.cfg.deadline {
+                if behind && !sf_inputs.is_empty() {
+                    match budget.policy {
+                        OverloadPolicy::DropSubframe => {
+                            degradation.dropped_subframes += 1;
+                            degradation.shed_users += submit.len() as u64;
+                            submit.clear();
+                        }
+                        OverloadPolicy::ShedUsers => {
+                            // Shed cheapest-first (lowest PRB count, then
+                            // index) until at most half the PRB load
+                            // remains; always shed one, always keep one.
+                            let sf = &subframes[sf_idx];
+                            let total: usize = sf.users.iter().map(|u| u.prbs).sum();
+                            submit.sort_by_key(|&i| (sf.users[i].prbs, i));
+                            let mut kept = total;
+                            let mut shed = 0usize;
+                            while submit.len() > 1 && (shed == 0 || kept * 2 > total) {
+                                kept -= sf.users[submit[0]].prbs;
+                                submit.remove(0);
+                                shed += 1;
+                            }
+                            submit.sort_unstable();
+                            degradation.shed_users += shed as u64;
+                        }
+                        OverloadPolicy::DegradeDemap => {
+                            exact = false;
+                            degradation.degraded_subframes += 1;
+                        }
+                    }
+                }
             }
-            for (user_idx, input) in sf_inputs.iter().enumerate() {
-                let input = Arc::clone(input);
+
+            // The open count must be in place before any job can finish.
+            open[sf_idx].store(submit.len(), Ordering::SeqCst);
+            for user_idx in submit {
+                let input = Arc::clone(&sf_inputs[user_idx]);
                 let planner = Arc::clone(&planner);
                 let results = Arc::clone(&results);
+                let open = Arc::clone(&open);
+                let done_at = Arc::clone(&done_at);
                 pool.submit_job(move |p| {
-                    let result = process_user_parallel(p, &cell, &input, turbo, &planner);
+                    let result = process_user_parallel(p, &cell, &input, turbo, &planner, exact);
                     results[sf_idx][user_idx]
                         .set(result)
                         .expect("each user slot is written once");
+                    if open[sf_idx].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        let _ = done_at[sf_idx].set(start.elapsed().as_nanos() as u64);
+                    }
                 });
             }
         }
@@ -178,14 +313,57 @@ impl UplinkBenchmark {
         let busy = Duration::from_nanos(pool.busy_nanos() - busy_start);
         let activity = busy.as_secs_f64() / (self.cfg.workers as f64 * elapsed.as_secs_f64());
 
-        let results: Vec<Vec<UserResult>> = Arc::try_unwrap(results)
+        if let Some(budget) = self.cfg.deadline {
+            for (sf_idx, done) in done_at.iter().enumerate() {
+                if let Some(&completed) = done.get() {
+                    if completed.saturating_sub(dispatched_at[sf_idx]) > budget.budget {
+                        degradation.overruns += 1;
+                    }
+                }
+            }
+        }
+
+        let mut rows: Vec<Vec<Option<UserResult>>> = Arc::try_unwrap(results)
             .expect("pool drained, no outstanding references")
             .into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|slot| slot.into_inner().expect("every user processed"))
-                    .collect()
-            })
+            .map(|row| row.into_iter().map(OnceLock::into_inner).collect())
+            .collect();
+
+        // HARQ pass: every failed or shed transport block is retried
+        // with chase combining, up to the retransmission budget. Shed
+        // users enter HARQ from their original (buffered) transmission.
+        if self.cfg.harq > 0 {
+            let mut entity = HarqEntity::new(self.cfg.harq);
+            for (sf_idx, row) in rows.iter_mut().enumerate() {
+                for (user_idx, slot) in row.iter_mut().enumerate() {
+                    if slot.as_ref().is_some_and(|r| r.crc_ok) {
+                        continue;
+                    }
+                    let input = &inputs[sf_idx][user_idx];
+                    let mut decision =
+                        entity.on_reception(0, &cell, input, turbo, planner.as_ref());
+                    while matches!(decision, HarqDecision::Retransmit { .. }) {
+                        let retx = synthesize_retransmission(
+                            &cell,
+                            &input.config,
+                            turbo,
+                            &input.ground_truth,
+                            self.cfg.snr_db,
+                            &mut self.rng,
+                        );
+                        decision = entity.on_reception(0, &cell, &retx, turbo, planner.as_ref());
+                    }
+                    if let HarqDecision::Delivered { result, .. } = decision {
+                        *slot = Some(result);
+                    }
+                }
+            }
+            degradation.harq = entity.stats;
+        }
+
+        let results: Vec<Vec<UserResult>> = rows
+            .into_iter()
+            .map(|row| row.into_iter().flatten().collect())
             .collect();
         let total_users: usize = results.iter().map(|r| r.len()).sum();
         let passed: usize = results
@@ -193,7 +371,7 @@ impl UplinkBenchmark {
             .flat_map(|r| r.iter())
             .filter(|r| r.crc_ok)
             .count();
-        BenchmarkRun {
+        Ok(BenchmarkRun {
             crc_pass_rate: if total_users == 0 {
                 1.0
             } else {
@@ -203,7 +381,8 @@ impl UplinkBenchmark {
             elapsed,
             busy,
             activity,
-        }
+            degradation,
+        })
     }
 
     /// Verifies a parallel run against the serial golden reference
@@ -232,12 +411,14 @@ impl UplinkBenchmark {
 }
 
 /// Processes one user on the pool with the paper's task decomposition.
+/// `exact_demap` selects the log-sum-exp demapper over max-log.
 pub(crate) fn process_user_parallel(
     pool: &TaskPool,
     cell: &CellConfig,
     input: &Arc<UserInput>,
     turbo: TurboMode,
     planner: &Arc<FftPlanner>,
+    exact_demap: bool,
 ) -> UserResult {
     let user = input.config;
     let n_rx = cell.n_rx;
@@ -302,7 +483,11 @@ pub(crate) fn process_user_parallel(
             let llr_chunks = Arc::clone(&llr_chunks);
             Box::new(move || {
                 let combined = combine_symbol(&input, &weights[slot], slot, sym, layer, &planner);
-                let llrs = demap_symbol(&input, &combined);
+                let llrs = if exact_demap {
+                    demap_symbol_exact(&input, &combined)
+                } else {
+                    demap_symbol(&input, &combined)
+                };
                 let idx = (slot * DATA_SYMBOLS_PER_SLOT + sym) * input.config.layers + layer;
                 *llr_chunks[idx].lock().expect("llr mutex") = Some(llrs);
             }) as Box<dyn FnOnce() + Send>
@@ -336,6 +521,7 @@ mod tests {
             snr_db: 30.0,
             turbo: TurboMode::Passthrough,
             seed: 7,
+            ..BenchmarkConfig::default()
         }
     }
 
@@ -388,5 +574,158 @@ mod tests {
         let run = bench.run(&[]);
         assert!(run.results.is_empty());
         assert_eq!(run.crc_pass_rate, 1.0);
+    }
+
+    #[test]
+    fn zero_workers_is_a_clean_error() {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::default(),
+            BenchmarkConfig {
+                workers: 0,
+                ..quick_cfg()
+            },
+        );
+        assert!(matches!(
+            bench.try_run(&RampModel::new(1).subframes(1)),
+            Err(lte_sched::PoolError::ZeroWorkers)
+        ));
+    }
+
+    #[test]
+    fn exact_demap_decodes_at_high_snr() {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                exact_demap: true,
+                ..quick_cfg()
+            },
+        );
+        let subframes = vec![SubframeConfig::new(vec![UserConfig::new(
+            4,
+            1,
+            lte_dsp::Modulation::Qam16,
+        )])];
+        let run = bench.run(&subframes);
+        assert_eq!(run.crc_pass_rate, 1.0);
+    }
+
+    /// Overload setup: zero dispatch interval means every subframe after
+    /// the first is dispatched while its predecessor is still in flight,
+    /// so the policy triggers on (nearly) every subframe.
+    fn pressured_cfg(policy: OverloadPolicy) -> BenchmarkConfig {
+        BenchmarkConfig {
+            workers: 2,
+            delta: Duration::ZERO,
+            deadline: Some(DeadlineBudget { budget: 1, policy }),
+            ..quick_cfg()
+        }
+    }
+
+    /// Six identical three-user subframes — enough PHY work per subframe
+    /// that a zero-delta dispatch is always behind.
+    fn pressured_subframes() -> Vec<SubframeConfig> {
+        vec![
+            SubframeConfig::new(vec![
+                UserConfig::new(2, 1, lte_dsp::Modulation::Qpsk),
+                UserConfig::new(4, 1, lte_dsp::Modulation::Qpsk),
+                UserConfig::new(8, 2, lte_dsp::Modulation::Qam16),
+            ]);
+            6
+        ]
+    }
+
+    #[test]
+    fn drop_policy_sheds_whole_subframes_and_harq_redelivers() {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                harq: 2,
+                ..pressured_cfg(OverloadPolicy::DropSubframe)
+            },
+        );
+        let subframes = pressured_subframes();
+        let run = bench.run(&subframes);
+        let d = &run.degradation;
+        assert!(d.dropped_subframes > 0, "pressure must drop subframes");
+        assert!(d.overruns > 0, "a 1 ns budget is always overrun");
+        // HARQ redelivers every shed user from its buffered first
+        // transmission, so no transport block is lost.
+        let delivered: usize = run.results.iter().map(Vec::len).sum();
+        let expected: usize = subframes.iter().map(SubframeConfig::n_users).sum();
+        assert_eq!(delivered, expected, "HARQ must redeliver dropped users");
+        assert!(d.harq.transmissions >= d.shed_users);
+    }
+
+    #[test]
+    fn shed_policy_drops_cheapest_users_and_keeps_one() {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            pressured_cfg(OverloadPolicy::ShedUsers),
+        );
+        let subframes = pressured_subframes();
+        let run = bench.run(&subframes);
+        assert!(run.degradation.shed_users > 0, "pressure must shed users");
+        let delivered: usize = run.results.iter().map(Vec::len).sum();
+        let expected: usize = subframes.iter().map(SubframeConfig::n_users).sum();
+        assert_eq!(
+            delivered + run.degradation.shed_users as usize,
+            expected,
+            "every user is either delivered or counted as shed"
+        );
+        for (sf, row) in subframes.iter().zip(&run.results) {
+            if sf.n_users() > 0 {
+                assert!(!row.is_empty(), "shedding must keep at least one user");
+            }
+        }
+    }
+
+    #[test]
+    fn degrade_policy_counts_degraded_subframes() {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                exact_demap: true,
+                ..pressured_cfg(OverloadPolicy::DegradeDemap)
+            },
+        );
+        let subframes = pressured_subframes();
+        let run = bench.run(&subframes);
+        assert!(run.degradation.degraded_subframes > 0);
+        // Degrading fidelity sheds nothing: every user is delivered.
+        let delivered: usize = run.results.iter().map(Vec::len).sum();
+        let expected: usize = subframes.iter().map(SubframeConfig::n_users).sum();
+        assert_eq!(delivered, expected);
+    }
+
+    #[test]
+    fn harq_pass_recovers_low_snr_failures() {
+        // At -6 dB QPSK single shots mostly fail; chase combining over
+        // independently faded retransmissions recovers them.
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                snr_db: -6.0,
+                harq: 6,
+                ..quick_cfg()
+            },
+        );
+        let subframes = vec![
+            SubframeConfig::new(vec![
+                UserConfig::new(2, 1, lte_dsp::Modulation::Qpsk),
+                UserConfig::new(3, 1, lte_dsp::Modulation::Qpsk),
+            ]);
+            3
+        ];
+        let run = bench.run(&subframes);
+        let d = &run.degradation;
+        assert!(
+            d.harq.transmissions > 0,
+            "low SNR must push blocks into HARQ"
+        );
+        assert!(
+            run.crc_pass_rate > 0.5,
+            "combining should recover most blocks, got {}",
+            run.crc_pass_rate
+        );
     }
 }

@@ -12,6 +12,7 @@
 //!   fig14 fig15 fig16 power traces (all run the full power study)
 //!   table1 table2    average power tables
 //!   trace            instrumented run: Perfetto trace + metrics JSON
+//!   chaos            deterministic fault-injection campaign
 //!   bench            run the real parallel benchmark briefly
 //!   all              everything above, written to --out
 //! ```
@@ -26,6 +27,7 @@ use crate::ablation;
 use crate::experiments::ExperimentContext;
 use crate::report;
 use crate::{BenchmarkConfig, UplinkBenchmark};
+use lte_fault::OverloadPolicy;
 use lte_model::{ParameterModel, RampModel};
 use lte_phy::params::CellConfig;
 
@@ -36,6 +38,7 @@ struct Options {
     perfetto: Option<PathBuf>,
     metrics: Option<PathBuf>,
     stride: usize,
+    policy: OverloadPolicy,
 }
 
 const USAGE: &str = "\
@@ -54,6 +57,9 @@ COMMANDS:
     concurrency       subframe concurrency and job latency percentiles
     trace             record an instrumented NAP+IDLE run: Perfetto
                       trace-event JSON plus a flat metrics snapshot
+    chaos             deterministic fault-injection campaign: DES chaos
+                      under an overload policy, real-pool conservation,
+                      link-level HARQ recovery (trace + metrics JSON)
     bench             run the real parallel benchmark briefly
     ablation          sweep the design constants the paper fixes
     diurnal           the diurnal-day power study
@@ -71,9 +77,11 @@ FLAGS:
                       (default: <out>/trace.perfetto.json)
     --metrics FILE    trace: write the metrics snapshot here
                       (default: <out>/metrics.json)
+    --policy P        chaos: overload policy — drop | shed | degrade
+                      (default: shed)
     -h, --help        print this help
 
-Parse errors exit with status 2.
+Parse errors exit with status 2; runtime failures exit with status 1.
 ";
 
 fn parse_args() -> Options {
@@ -83,6 +91,7 @@ fn parse_args() -> Options {
     let mut out = PathBuf::from("results");
     let mut perfetto = None;
     let mut metrics = None;
+    let mut policy = OverloadPolicy::ShedUsers;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -126,6 +135,14 @@ fn parse_args() -> Options {
                 metrics = Some(PathBuf::from(value_of(&args, i, "--metrics")));
                 i += 1;
             }
+            "--policy" => {
+                let text = value_of(&args, i, "--policy");
+                policy = text.parse().unwrap_or_else(|e| {
+                    eprintln!("--policy: {e}");
+                    std::process::exit(2);
+                });
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
                 eprintln!("run 'lte-sim --help' for the full flag list");
@@ -142,6 +159,7 @@ fn parse_args() -> Options {
         perfetto,
         metrics,
         stride: 25,
+        policy,
     }
 }
 
@@ -355,7 +373,10 @@ fn run_golden(opts: &Options) {
     let restored =
         GoldenRecord::from_text(&fs::read_to_string(&path).expect("read back golden record"))
             .expect("parse stored record");
-    let run = bench.run(&subframes);
+    let run = bench.try_run(&subframes).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     match restored.verify(&run.results) {
         Ok(()) => println!("parallel run verified against the stored golden record"),
         Err(e) => {
@@ -401,7 +422,10 @@ fn run_bench(opts: &Options) {
         },
     );
     println!("running the real parallel benchmark on 20 subframes …");
-    let run = bench.run(&subframes);
+    let run = bench.try_run(&subframes).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     println!(
         "processed {} subframes in {:?}; activity {:.1}%, CRC pass rate {:.1}%",
         run.results.len(),
@@ -460,6 +484,60 @@ fn run_trace_cmd(opts: &Options) {
     println!("open the trace in https://ui.perfetto.dev or chrome://tracing");
 }
 
+fn run_chaos_cmd(opts: &Options) {
+    use crate::chaos;
+    println!(
+        "running the chaos campaign ({} DES subframes, policy {}, seed {}) …",
+        opts.ctx.n_subframes.min(chaos::CHAOS_SUBFRAME_CAP),
+        opts.policy.name(),
+        opts.ctx.seed,
+    );
+    let art = chaos::run_chaos(&opts.ctx, opts.policy).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let perfetto_path = opts
+        .perfetto
+        .clone()
+        .unwrap_or_else(|| opts.out.join("chaos.perfetto.json"));
+    let metrics_path = opts
+        .metrics
+        .clone()
+        .unwrap_or_else(|| opts.out.join("chaos.metrics.json"));
+    write(&perfetto_path, &art.perfetto_json);
+    write(&metrics_path, &art.metrics_json);
+    let s = &art.summary;
+    println!(
+        "DES ({} subframes): overruns {}, dropped subframes {}, shed jobs {}, degraded subframes {}, poisoned tasks {}, adopted jobs {}",
+        art.subframes,
+        s.overruns,
+        s.dropped_subframes,
+        s.shed_jobs,
+        s.degraded_subframes,
+        s.sim_poisoned_tasks,
+        s.adopted_jobs,
+    );
+    println!(
+        "pool: {} tasks expected, {} run, {} panics injected, kills {}, worker respawns {}",
+        s.pool_tasks_expected, s.pool_tasks_run, s.task_panics, s.kills_injected, s.worker_respawns,
+    );
+    println!(
+        "link: {} blocks, noise bursts {}, grid corruptions {}, delivered ok {}",
+        s.link_blocks, s.noise_bursts, s.grid_corruptions, s.delivered_ok,
+    );
+    println!(
+        "harq transmissions: {} (retransmissions {}, failures {})",
+        s.harq.transmissions, s.harq.retransmissions, s.harq.failures,
+    );
+    println!("harq recoveries: {}", s.harq.recoveries);
+    println!("lost tasks: {}", s.lost_tasks);
+    println!("duplicated tasks: {}", s.duplicated_tasks);
+    if !s.conserved() {
+        eprintln!("chaos campaign LOST OR DUPLICATED tasks");
+        std::process::exit(1);
+    }
+}
+
 /// Parses `std::env::args` and runs the selected command. The two
 /// `lte-sim`/`lte_sim` binaries are thin wrappers around this.
 pub fn run() {
@@ -469,6 +547,7 @@ pub fn run() {
         "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table1" | "table2"
         | "concurrency" => run_power_study(&opts, &[opts.command.as_str()]),
         "trace" => run_trace_cmd(&opts),
+        "chaos" => run_chaos_cmd(&opts),
         "bench" => run_bench(&opts),
         "ablation" => run_ablations(&opts),
         "diurnal" => run_diurnal(&opts),
@@ -483,7 +562,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace ablation diurnal golden bench all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos ablation diurnal golden bench all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

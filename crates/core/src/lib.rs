@@ -17,6 +17,9 @@
 //! * [`ablation`] — sweeps of the design constants the paper fixes
 //!   (Eq. 5 margin, power-domain group size, nap wake period) plus the
 //!   estimator-driven DVFS extension the paper names as future work.
+//! * [`chaos`] — the deterministic fault-injection campaign: seeded
+//!   chaos in the DES, conservation proofs on the real pool, and
+//!   link-level HARQ recovery, all exported as one trace + metrics pair.
 //! * [`report`] — CSV/markdown rendering of experiment results.
 //!
 //! The `lte-sim` binary exposes all experiments from the command line:
@@ -29,11 +32,13 @@
 
 pub mod ablation;
 pub mod benchmark;
+pub mod chaos;
 pub mod cli;
 pub mod experiments;
 pub mod report;
 pub mod svg;
 pub mod trace;
 
-pub use benchmark::{BenchmarkConfig, BenchmarkRun, UplinkBenchmark};
+pub use benchmark::{BenchmarkConfig, BenchmarkRun, DegradationReport, UplinkBenchmark};
+pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use experiments::ExperimentContext;

@@ -95,7 +95,7 @@ pub fn run_trace(ctx: &ExperimentContext) -> TraceArtifacts {
     // The real work-stealing pool's counters: process the same sample
     // input as parallel per-user jobs (the paper's task decomposition)
     // so the per-worker counters carry genuine PHY work.
-    let pool = TaskPool::new(4);
+    let pool = TaskPool::new(4).expect("spawn the trace sample pool");
     let shared = std::sync::Arc::new(input.clone());
     let planner = std::sync::Arc::new(FftPlanner::new());
     for _ in 0..8 {
@@ -108,6 +108,7 @@ pub fn run_trace(ctx: &ExperimentContext) -> TraceArtifacts {
                 &input,
                 TurboMode::Passthrough,
                 &planner,
+                false,
             );
         });
     }
@@ -156,6 +157,12 @@ pub fn fill_sim_metrics(
             report.latency_percentile(p),
         );
     }
+    metrics.set_counter("sim.overruns", report.overruns);
+    metrics.set_counter("sim.dropped_subframes", report.dropped_subframes);
+    metrics.set_counter("sim.shed_jobs", report.shed_jobs);
+    metrics.set_counter("sim.degraded_subframes", report.degraded_subframes);
+    metrics.set_counter("sim.poisoned_tasks", report.poisoned_tasks);
+    metrics.set_counter("sim.adopted_jobs", report.adopted_jobs);
     let mut stage_total = 0;
     for (stage, cycles) in report.stage_breakdown() {
         metrics.set_counter(&format!("sim.stage.{}.cycles", stage.name()), cycles);

@@ -91,9 +91,48 @@ pub fn demap_block(modulation: Modulation, symbols: &[Complex32], noise_var: f32
     out
 }
 
+/// Demaps a block of symbols with the exact log-sum-exp demapper — the
+/// high-fidelity path the `DegradeDemap` overload policy falls back
+/// from when a subframe is behind its deadline budget.
+pub fn demap_block_exact(
+    modulation: Modulation,
+    symbols: &[Complex32],
+    noise_var: f32,
+) -> Vec<f32> {
+    let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
+    for &y in symbols {
+        exact_llr(modulation, y, noise_var, &mut out);
+    }
+    out
+}
+
 /// Hard decisions from LLRs (`llr >= 0` → bit 0).
 pub fn hard_decisions(llrs: &[f32]) -> Vec<u8> {
     llrs.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect()
+}
+
+/// HARQ chase combining: accumulates a retransmission's LLRs into the
+/// running per-bit sums.
+///
+/// Chase combining retransmits the identical encoded block; under
+/// independent noise the per-bit LLRs of the attempts add, so the
+/// combined stream carries the energy of every transmission. The kernel
+/// is deliberately a plain element-wise add — the `harq_combining` bench
+/// guards its cost.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length (retransmissions of one
+/// transport block always demap to the same bit count).
+pub fn combine_llrs(acc: &mut [f32], update: &[f32]) {
+    assert_eq!(
+        acc.len(),
+        update.len(),
+        "chase combining requires identical LLR lengths"
+    );
+    for (a, &u) in acc.iter_mut().zip(update) {
+        *a += u;
+    }
 }
 
 /// Per-axis Gray-coded 2-bit PAM max-log LLRs (16-QAM axis with levels
@@ -269,5 +308,28 @@ mod tests {
     #[test]
     fn hard_decisions_threshold() {
         assert_eq!(hard_decisions(&[1.0, -0.5, 0.0, -0.0]), vec![0, 1, 0, 0]);
+    }
+
+    #[test]
+    fn combine_llrs_is_elementwise_addition() {
+        let mut acc = vec![1.0, -2.0, 0.5, 0.0];
+        combine_llrs(&mut acc, &[0.5, -1.0, -2.0, 3.0]);
+        assert_eq!(acc, vec![1.5, -3.0, -1.5, 3.0]);
+    }
+
+    #[test]
+    fn combining_opposed_weak_llrs_follows_the_stronger_vote() {
+        // A weak wrong decision is outvoted by a stronger correct one —
+        // the essence of chase combining.
+        let mut acc = vec![-0.2]; // wrong lean for a transmitted 0
+        combine_llrs(&mut acc, &[0.9]); // confident correct retransmission
+        assert_eq!(hard_decisions(&acc), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical LLR lengths")]
+    fn combine_llrs_rejects_length_mismatch() {
+        let mut acc = vec![0.0; 3];
+        combine_llrs(&mut acc, &[0.0; 4]);
     }
 }

@@ -20,6 +20,8 @@ pub enum CoreState {
     NapReactive,
     /// Clock-gated by the proactive (NAP) path.
     NapProactive,
+    /// Fail-stopped by an injected fault; never runs again.
+    Dead,
 }
 
 impl CoreState {
@@ -31,7 +33,79 @@ impl CoreState {
             CoreState::Barrier => "barrier",
             CoreState::NapReactive => "nap",
             CoreState::NapProactive => "nap_proactive",
+            CoreState::Dead => "dead",
         }
+    }
+}
+
+/// The kind of an injected or observed fault event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A burst of extra channel noise corrupted a user's subframe.
+    NoiseBurst,
+    /// Resource-grid cells were overwritten with garbage.
+    GridCorruption,
+    /// A task panicked and was caught by the pool/simulator.
+    TaskPanic,
+    /// A worker/core died (fail-stop).
+    CoreDeath,
+    /// A dead worker was respawned.
+    WorkerRespawn,
+    /// A core runs at a degraded frequency.
+    SlowCore,
+    /// A transport block failed CRC and entered HARQ.
+    HarqRetransmit,
+    /// HARQ chase combining recovered a transport block.
+    HarqRecovery,
+    /// A subframe missed its deadline budget.
+    DeadlineOverrun,
+    /// The overload policy dropped a whole subframe.
+    SubframeDropped,
+    /// The overload policy shed a user job.
+    UserShed,
+    /// The overload policy degraded demapping for a subframe.
+    DemapDegraded,
+}
+
+impl FaultKind {
+    /// Every kind, in a stable export order.
+    pub const ALL: [FaultKind; 12] = [
+        FaultKind::NoiseBurst,
+        FaultKind::GridCorruption,
+        FaultKind::TaskPanic,
+        FaultKind::CoreDeath,
+        FaultKind::WorkerRespawn,
+        FaultKind::SlowCore,
+        FaultKind::HarqRetransmit,
+        FaultKind::HarqRecovery,
+        FaultKind::DeadlineOverrun,
+        FaultKind::SubframeDropped,
+        FaultKind::UserShed,
+        FaultKind::DemapDegraded,
+    ];
+
+    /// Stable snake_case name used in exports and metrics keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::NoiseBurst => "noise_burst",
+            FaultKind::GridCorruption => "grid_corruption",
+            FaultKind::TaskPanic => "task_panic",
+            FaultKind::CoreDeath => "core_death",
+            FaultKind::WorkerRespawn => "worker_respawn",
+            FaultKind::SlowCore => "slow_core",
+            FaultKind::HarqRetransmit => "harq_retransmit",
+            FaultKind::HarqRecovery => "harq_recovery",
+            FaultKind::DeadlineOverrun => "deadline_overrun",
+            FaultKind::SubframeDropped => "subframe_dropped",
+            FaultKind::UserShed => "user_shed",
+            FaultKind::DemapDegraded => "demap_degraded",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -208,6 +282,20 @@ pub enum Event {
         /// Sample value.
         value: f64,
     },
+    /// An injected fault or a recovery action, as an instant.
+    ///
+    /// Simulator-side faults carry times in simulated cycles; real-pool
+    /// faults use an event ordinal (wall-clock would break determinism).
+    Fault {
+        /// The fault (or recovery) kind.
+        kind: FaultKind,
+        /// Core/worker attribution (`u32::MAX` when not core-specific).
+        core: u32,
+        /// Subframe attribution (`u32::MAX` when not subframe-specific).
+        subframe: u32,
+        /// Event time (simulated cycles, or a deterministic ordinal).
+        t: u64,
+    },
 }
 
 #[cfg(test)]
@@ -228,5 +316,14 @@ mod tests {
         for s in Stage::SIM {
             assert!(Stage::ALL.contains(&s));
         }
+    }
+
+    #[test]
+    fn fault_kind_names_are_unique_and_stable() {
+        let mut names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FaultKind::ALL.len());
+        assert_eq!(FaultKind::HarqRecovery.to_string(), "harq_recovery");
     }
 }

@@ -19,7 +19,7 @@ pub mod metrics;
 pub mod perfetto;
 pub mod recorder;
 
-pub use event::{CoreState, Event, Stage};
+pub use event::{CoreState, Event, FaultKind, Stage};
 pub use metrics::{MetricValue, MetricsRegistry};
 pub use perfetto::PerfettoExporter;
 pub use recorder::{event_json, JsonLinesRecorder, NoopRecorder, Recorder, RingRecorder};

@@ -39,6 +39,7 @@ fn color(state: CoreState) -> &'static str {
         CoreState::Barrier => "thread_state_iowait",
         CoreState::NapReactive => "thread_state_sleeping",
         CoreState::NapProactive => "grey",
+        CoreState::Dead => "black",
     }
 }
 
@@ -163,6 +164,27 @@ impl PerfettoExporter {
             } => format!(
                 "{{\"name\":\"{series}\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{index},\"args\":{{\"value\":{value}}}}}"
             ),
+            Event::Fault {
+                kind,
+                core,
+                subframe,
+                t,
+            } => {
+                // Faults land on the attributed core's track (or track 0
+                // when not core-specific) as process-scoped instants so
+                // they stay visible at any zoom level.
+                let tid = if *core == u32::MAX { 0 } else { *core };
+                let mut args = format!("{{\"kind\":\"{}\"", kind.name());
+                if *subframe != u32::MAX {
+                    args.push_str(&format!(",\"subframe\":{subframe}"));
+                }
+                args.push('}');
+                format!(
+                    "{{\"name\":\"fault:{}\",\"ph\":\"i\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"s\":\"p\",\"args\":{args}}}",
+                    kind.name(),
+                    us(*t, hz),
+                )
+            }
         }
     }
 }
@@ -221,5 +243,33 @@ mod tests {
         for core in 0..3 {
             assert!(doc.contains(&format!("\"name\":\"core {core}\"")));
         }
+    }
+
+    #[test]
+    fn fault_events_render_as_instants() {
+        use crate::event::FaultKind;
+        let exporter = PerfettoExporter::new(700.0e6);
+        let doc = exporter.export(
+            &[
+                Event::Fault {
+                    kind: FaultKind::CoreDeath,
+                    core: 5,
+                    subframe: u32::MAX,
+                    t: 700,
+                },
+                Event::Fault {
+                    kind: FaultKind::HarqRecovery,
+                    core: u32::MAX,
+                    subframe: 9,
+                    t: 1400,
+                },
+            ],
+            8,
+        );
+        assert!(doc.contains("\"name\":\"fault:core_death\""));
+        assert!(doc.contains("\"tid\":5"));
+        assert!(doc.contains("\"name\":\"fault:harq_recovery\""));
+        assert!(doc.contains("\"subframe\":9"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 }

@@ -216,6 +216,15 @@ pub fn event_json(event: &Event) -> String {
             index,
             value,
         } => format!("{{\"ev\":\"sample\",\"series\":\"{series}\",\"index\":{index},\"value\":{value}}}"),
+        Event::Fault {
+            kind,
+            core,
+            subframe,
+            t,
+        } => format!(
+            "{{\"ev\":\"fault\",\"kind\":\"{}\",\"core\":{core},\"subframe\":{subframe},\"t\":{t}}}",
+            kind.name()
+        ),
     }
 }
 
@@ -338,6 +347,12 @@ mod tests {
                 series: "s",
                 index: 0,
                 value: 1.0,
+            },
+            Event::Fault {
+                kind: crate::event::FaultKind::CoreDeath,
+                core: 3,
+                subframe: u32::MAX,
+                t: 42,
             },
         ];
         for ev in &events {

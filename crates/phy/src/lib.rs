@@ -42,6 +42,7 @@ pub mod combiner;
 pub mod estimator;
 pub mod frontend;
 pub mod grid;
+pub mod harq;
 pub mod linalg;
 pub mod params;
 pub mod receiver;
@@ -49,6 +50,7 @@ pub mod trace;
 pub mod tx;
 pub mod verify;
 
+pub use harq::{HarqDecision, HarqEntity, HarqProcess, HarqStats};
 pub use params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
-pub use receiver::{process_user, UserResult};
+pub use receiver::{demodulate_user, process_user, UserResult};
 pub use trace::StageTimer;

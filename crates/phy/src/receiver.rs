@@ -128,6 +128,13 @@ pub fn demap_symbol(input: &UserInput, combined: &[Complex32]) -> Vec<f32> {
     demap_block(input.config.modulation, combined, input.noise_var)
 }
 
+/// [`demap_symbol`] with the exact log-sum-exp demapper instead of the
+/// max-log approximation — the fidelity the `DegradeDemap` overload
+/// policy gives up when the receiver falls behind its deadline budget.
+pub fn demap_symbol_exact(input: &UserInput, combined: &[Complex32]) -> Vec<f32> {
+    lte_dsp::llr::demap_block_exact(input.config.modulation, combined, input.noise_var)
+}
+
 /// Processes one user end to end, serially — the reference path.
 ///
 /// # Panics
@@ -166,6 +173,40 @@ pub fn process_user_traced<R: Recorder>(
     planner: &FftPlanner,
     timer: &StageTimer<'_, R>,
 ) -> UserResult {
+    let llrs = demodulate_user_traced(cell, input, planner, timer);
+    // Stage 3: deinterleave → (turbo) decode → CRC.
+    finish_user_traced(input, mode, &llrs, timer)
+}
+
+/// Runs the demodulation front half of the pipeline — estimation,
+/// combiner weights, antenna combining and soft demapping — and returns
+/// the raw (still scrambled/interleaved) LLRs in transmission order.
+///
+/// This is the HARQ soft-combining boundary: retransmissions of one
+/// transport block are scrambled identically, so their raw LLR streams
+/// add element-wise ([`lte_dsp::llr::combine_llrs`]) before a single
+/// [`finish_user`] pass descrambles and decodes the combination.
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn demodulate_user(cell: &CellConfig, input: &UserInput, planner: &FftPlanner) -> Vec<f32> {
+    demodulate_user_traced(cell, input, planner, &StageTimer::disabled())
+}
+
+/// [`demodulate_user`] with per-stage wall-clock trace spans.
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn demodulate_user_traced<R: Recorder>(
+    cell: &CellConfig,
+    input: &UserInput,
+    planner: &FftPlanner,
+    timer: &StageTimer<'_, R>,
+) -> Vec<f32> {
     input.validate();
     let user = &input.config;
 
@@ -196,9 +237,7 @@ pub fn process_user_traced<R: Recorder>(
             }
         }
     }
-
-    // Stage 3: deinterleave → (turbo) decode → CRC.
-    finish_user_traced(input, mode, &llrs, timer)
+    llrs
 }
 
 #[cfg(test)]

@@ -212,6 +212,54 @@ pub fn synthesize_user_over_channel(
     channel: &MimoChannel,
     rng: &mut Xoshiro256,
 ) -> UserInput {
+    // Payload first, then channel noise — preserves the historical draw
+    // order so seeded tests and golden records stay bit-exact.
+    let plan = FramePlan::for_user(user, mode);
+    let payload: Vec<u8> = (0..plan.payload_bits())
+        .map(|_| (rng.next_u64() & 1) as u8)
+        .collect();
+    synthesize_payload_over_channel(cell, user, mode, &payload, snr_db, channel, rng)
+}
+
+/// Synthesises a HARQ retransmission: the *same* transport block
+/// (identical payload, hence identical encoded bits and scrambling) sent
+/// again over a freshly drawn channel with fresh noise. Chase combining
+/// on the receive side adds the attempts' LLRs together.
+///
+/// # Panics
+///
+/// Panics if `payload.len()` does not match the user's framing plan.
+pub fn synthesize_retransmission(
+    cell: &CellConfig,
+    user: &UserConfig,
+    mode: TurboMode,
+    payload: &[u8],
+    snr_db: f64,
+    rng: &mut Xoshiro256,
+) -> UserInput {
+    let n_sc = user.subcarriers();
+    let n_taps = (n_sc / 16).clamp(1, 6);
+    let channel = MimoChannel::randomize(cell.n_rx, user.layers, n_taps, rng);
+    synthesize_payload_over_channel(cell, user, mode, payload, snr_db, &channel, rng)
+}
+
+/// Synthesises one user's received subframe for an explicit payload over
+/// an explicit channel realisation — the primitive behind both the
+/// first transmission and HARQ retransmissions.
+///
+/// # Panics
+///
+/// Panics if the channel dimensions don't match `cell`/`user`, or if
+/// `payload.len() != FramePlan::for_user(user, mode).payload_bits()`.
+pub fn synthesize_payload_over_channel(
+    cell: &CellConfig,
+    user: &UserConfig,
+    mode: TurboMode,
+    payload: &[u8],
+    snr_db: f64,
+    channel: &MimoChannel,
+    rng: &mut Xoshiro256,
+) -> UserInput {
     assert_eq!(channel.n_rx(), cell.n_rx, "channel antenna mismatch");
     assert_eq!(channel.n_layers(), user.layers, "channel layer mismatch");
     let n_sc = user.subcarriers();
@@ -219,12 +267,7 @@ pub fn synthesize_user_over_channel(
     let planner = FftPlanner::new();
     let dft = planner.forward(n_sc);
 
-    // Payload, framing, interleaving.
-    let plan = FramePlan::for_user(user, mode);
-    let payload: Vec<u8> = (0..plan.payload_bits())
-        .map(|_| (rng.next_u64() & 1) as u8)
-        .collect();
-    let channel_bits = encode_frame(user, mode, &payload);
+    let channel_bits = encode_frame(user, mode, payload);
     let chunks = split_bits(user, &channel_bits);
 
     // Per-layer reference sequences (transmitted simultaneously by all
@@ -270,7 +313,7 @@ pub fn synthesize_user_over_channel(
         config: *user,
         slots,
         noise_var,
-        ground_truth: payload,
+        ground_truth: payload.to_vec(),
     };
     input.validate();
     input
@@ -360,6 +403,28 @@ mod tests {
         let a = synthesize_user(&cell, &user, 20.0, &mut Xoshiro256::seed_from_u64(1));
         let b = synthesize_user(&cell, &user, 20.0, &mut Xoshiro256::seed_from_u64(2));
         assert_ne!(a.ground_truth, b.ground_truth);
+    }
+
+    #[test]
+    fn retransmission_carries_the_same_payload_over_a_new_channel() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(3, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let first = synthesize_user(&cell, &user, 10.0, &mut rng);
+        let retx = synthesize_retransmission(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            &first.ground_truth,
+            10.0,
+            &mut rng,
+        );
+        assert_eq!(retx.ground_truth, first.ground_truth);
+        // Different channel + noise realisation: the received grids differ.
+        assert_ne!(
+            retx.slots[0].data[0].antenna(0)[0],
+            first.slots[0].data[0].antenna(0)[0]
+        );
     }
 
     #[test]

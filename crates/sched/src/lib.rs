@@ -24,5 +24,7 @@ pub mod pool;
 pub mod sim;
 
 pub use cycles::{CostModel, SimJob};
-pub use pool::{TaskPool, WorkerSnapshot};
+pub use pool::{
+    silence_injected_panics, InjectedPanic, PoolError, TaskPool, WorkerKill, WorkerSnapshot,
+};
 pub use sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};

@@ -23,6 +23,7 @@
 //! and cannot change results (tasks write disjoint outputs).
 
 use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,6 +35,64 @@ use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce(&TaskPool) + Send + 'static>;
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why a pool could not be constructed.
+#[derive(Debug)]
+pub enum PoolError {
+    /// `n_workers == 0` was requested.
+    ZeroWorkers,
+    /// The OS refused to spawn a worker thread.
+    Spawn(std::io::Error),
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::ZeroWorkers => write!(f, "task pool needs at least one worker"),
+            PoolError::Spawn(e) => write!(f, "failed to spawn worker thread: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PoolError::ZeroWorkers => None,
+            PoolError::Spawn(e) => Some(e),
+        }
+    }
+}
+
+/// Panic payload that fail-stops the worker executing it; the pool's
+/// supervision loop catches it, counts a respawn and revives the worker
+/// in place (its deque — and any tasks on it — survive).
+///
+/// Injected by chaos campaigns via [`TaskPool::inject_worker_kill`].
+#[derive(Debug)]
+pub struct WorkerKill;
+
+/// Panic payload for seeded task-level fault injection: caught by the
+/// pool, counted under `poisoned_tasks`, never kills the worker.
+#[derive(Debug)]
+pub struct InjectedPanic;
+
+/// Installs (once, process-wide) a panic hook that suppresses the
+/// default stderr report for [`WorkerKill`] / [`InjectedPanic`]
+/// payloads, delegating everything else to the previous hook. Chaos
+/// campaigns inject panics by the hundred; real failures stay loud.
+pub fn silence_injected_panics() {
+    static INSTALLED: std::sync::Once = std::sync::Once::new();
+    INSTALLED.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected =
+                info.payload().is::<WorkerKill>() || info.payload().is::<InjectedPanic>();
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
 
 thread_local! {
     /// The local deque of the worker thread currently running, if any.
@@ -83,6 +142,9 @@ struct Inner {
     executed_tasks: AtomicU64,
     steal_count: AtomicU64,
     steal_failures: AtomicU64,
+    poisoned_tasks: AtomicU64,
+    poisoned_jobs: AtomicU64,
+    worker_respawns: AtomicU64,
     worker_stats: Vec<WorkerStats>,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -132,7 +194,7 @@ impl Inner {
 /// use std::sync::atomic::{AtomicUsize, Ordering};
 /// use std::sync::Arc;
 ///
-/// let pool = TaskPool::new(4);
+/// let pool = TaskPool::new(4).expect("spawn workers");
 /// let counter = Arc::new(AtomicUsize::new(0));
 /// for _ in 0..10 {
 ///     let c = Arc::clone(&counter);
@@ -161,11 +223,15 @@ pub struct TaskPool {
 impl TaskPool {
     /// Spawns a pool with `n_workers` OS threads.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_workers == 0`.
-    pub fn new(n_workers: usize) -> Self {
-        assert!(n_workers > 0, "need at least one worker");
+    /// Returns [`PoolError::ZeroWorkers`] for an empty pool and
+    /// [`PoolError::Spawn`] when the OS refuses a worker thread (any
+    /// already-spawned workers are shut down and joined first).
+    pub fn new(n_workers: usize) -> Result<Self, PoolError> {
+        if n_workers == 0 {
+            return Err(PoolError::ZeroWorkers);
+        }
         let deques: Vec<Worker<Task>> = (0..n_workers).map(|_| Worker::new_lifo()).collect();
         let stealers = deques.iter().map(|d| d.stealer()).collect();
         let inner = Arc::new(Inner {
@@ -178,28 +244,38 @@ impl TaskPool {
             executed_tasks: AtomicU64::new(0),
             steal_count: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
+            poisoned_tasks: AtomicU64::new(0),
+            poisoned_jobs: AtomicU64::new(0),
+            worker_respawns: AtomicU64::new(0),
             worker_stats: (0..n_workers).map(|_| WorkerStats::default()).collect(),
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
             done_cv: Condvar::new(),
         });
-        let workers = deques
-            .into_iter()
-            .enumerate()
-            .map(|(i, deque)| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("lte-worker-{i}"))
-                    .spawn(move || worker_loop(inner, i, deque))
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        TaskPool {
+        let mut workers = Vec::with_capacity(n_workers);
+        for (i, deque) in deques.into_iter().enumerate() {
+            let thread_inner = Arc::clone(&inner);
+            match std::thread::Builder::new()
+                .name(format!("lte-worker-{i}"))
+                .spawn(move || worker_entry(thread_inner, i, deque))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    inner.shutdown.store(true, Ordering::SeqCst);
+                    inner.idle_cv.notify_all();
+                    for w in workers {
+                        let _ = w.join();
+                    }
+                    return Err(PoolError::Spawn(e));
+                }
+            }
+        }
+        Ok(TaskPool {
             inner,
             workers,
             n_workers,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -233,9 +309,16 @@ impl TaskPool {
             let local = local.borrow();
             for task in tasks {
                 let remaining = Arc::clone(&remaining);
+                // The barrier decrement must happen even when the task
+                // panics — otherwise one poisoned task would hang the
+                // scope forever. The panic itself is re-raised for
+                // [`run_timed`] to account and contain.
                 let wrapped: Task = Box::new(move || {
-                    task();
+                    let result = catch_unwind(AssertUnwindSafe(task));
                     remaining.fetch_sub(1, Ordering::SeqCst);
+                    if let Err(payload) = result {
+                        resume_unwind(payload);
+                    }
                 });
                 match local.as_ref() {
                     Some(deque) => deque.push(wrapped),
@@ -289,6 +372,31 @@ impl TaskPool {
         self.inner.steal_failures.load(Ordering::Relaxed)
     }
 
+    /// Tasks that panicked and were contained by the pool.
+    pub fn poisoned_tasks(&self) -> u64 {
+        self.inner.poisoned_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Job bodies that panicked and were contained by the pool.
+    pub fn poisoned_jobs(&self) -> u64 {
+        self.inner.poisoned_jobs.load(Ordering::Relaxed)
+    }
+
+    /// Workers revived after a [`WorkerKill`] fail-stop.
+    pub fn worker_respawns(&self) -> u64 {
+        self.inner.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Chaos injection: enqueues a task that fail-stops whichever worker
+    /// executes it. The supervision loop revives the worker in place
+    /// (same deque, so no queued task is lost) and counts the respawn.
+    pub fn inject_worker_kill(&self) {
+        self.inner.overflow.push(Box::new(|| {
+            std::panic::panic_any(WorkerKill);
+        }));
+        self.inner.idle_cv.notify_all();
+    }
+
     /// A point-in-time copy of worker `i`'s counters.
     ///
     /// # Panics
@@ -311,6 +419,9 @@ impl TaskPool {
         metrics.set_counter("pool.executed_tasks", self.executed_tasks());
         metrics.set_counter("pool.steals", self.steal_count());
         metrics.set_counter("pool.steal_failures", self.steal_failures());
+        metrics.set_counter("pool.poisoned_tasks", self.poisoned_tasks());
+        metrics.set_counter("pool.poisoned_jobs", self.poisoned_jobs());
+        metrics.set_counter("pool.worker_respawns", self.worker_respawns());
         metrics.set_counter("pool.workers", self.n_workers as u64);
         for i in 0..self.n_workers {
             let s = self.worker_snapshot(i);
@@ -331,6 +442,14 @@ impl TaskPool {
 
 impl Drop for TaskPool {
     fn drop(&mut self) {
+        // Only the owning pool (the one holding the worker join handles)
+        // may initiate shutdown. `worker_loop` builds a borrowed handle
+        // with no threads for jobs to fan out through; that handle is
+        // dropped on every worker exit — including a WorkerKill unwind —
+        // and must not tear down the pool it borrows.
+        if self.workers.is_empty() {
+            return;
+        }
         self.inner.shutdown.store(true, Ordering::SeqCst);
         self.inner.idle_cv.notify_all();
         for w in self.workers.drain(..) {
@@ -339,9 +458,15 @@ impl Drop for TaskPool {
     }
 }
 
+/// Executes one task with cycle accounting and panic containment: a
+/// panicking task is counted under `poisoned_tasks` and swallowed — the
+/// worker (or helping user thread) survives. The one exception is the
+/// [`WorkerKill`] chaos payload, which is re-raised after accounting so
+/// it fail-stops the executing worker (the supervision loop in
+/// [`worker_entry`] then revives it).
 fn run_timed(inner: &Inner, task: Task) {
     let start = Instant::now();
-    task();
+    let result = catch_unwind(AssertUnwindSafe(task));
     let nanos = start.elapsed().as_nanos() as u64;
     inner.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
     inner.executed_tasks.fetch_add(1, Ordering::Relaxed);
@@ -350,14 +475,36 @@ fn run_timed(inner: &Inner, task: Task) {
         s.busy_nanos.fetch_add(nanos, Ordering::Relaxed);
         s.executed_tasks.fetch_add(1, Ordering::Relaxed);
     }
+    if let Err(payload) = result {
+        inner.poisoned_tasks.fetch_add(1, Ordering::Relaxed);
+        if payload.is::<WorkerKill>() && WORKER_INDEX.with(Cell::get).is_some() {
+            resume_unwind(payload);
+        }
+    }
 }
 
-fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
+/// Worker thread body: a supervision loop around [`worker_loop`]. A
+/// [`WorkerKill`] unwinding out of the work loop models a core dying;
+/// the supervisor counts the respawn and re-enters the loop on the same
+/// thread with the same deque, so queued tasks survive the "death".
+fn worker_entry(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
     LOCAL_DEQUE.with(|local| *local.borrow_mut() = Some(deque));
     WORKER_INDEX.with(|w| w.set(Some(index)));
+    loop {
+        let result = catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, index)));
+        match result {
+            Ok(()) => return, // clean shutdown
+            Err(_) => {
+                inner.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>, index: usize) {
     let n_workers = inner.stealers.len();
     let pool_handle = TaskPool {
-        inner: Arc::clone(&inner),
+        inner: Arc::clone(inner),
         workers: Vec::new(), // handle owns no threads; Drop join is a no-op
         n_workers,
     };
@@ -367,7 +514,7 @@ fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
         }
         // Own deque first (LIFO), …
         if let Some(t) = LOCAL_DEQUE.with(|local| local.borrow().as_ref().and_then(|d| d.pop())) {
-            run_timed(&inner, t);
+            run_timed(inner, t);
             continue;
         }
         // … then the global user queue (§IV-C: checked before stealing), …
@@ -375,12 +522,22 @@ fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
             Steal::Success(job) => {
                 let scope_before = SCOPE_NANOS.with(Cell::get);
                 let start = Instant::now();
-                job(&pool_handle);
+                // Contain job panics so one poisoned user cannot hang
+                // `wait_all`: the pending count always drops, then a
+                // WorkerKill (raised while this job helped at a barrier)
+                // still fail-stops the worker.
+                let result = catch_unwind(AssertUnwindSafe(|| job(&pool_handle)));
                 let scoped = SCOPE_NANOS.with(Cell::get) - scope_before;
                 let useful = (start.elapsed().as_nanos() as u64).saturating_sub(scoped);
                 inner.busy_nanos.fetch_add(useful, Ordering::Relaxed);
                 if inner.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
                     inner.done_cv.notify_all();
+                }
+                if let Err(payload) = result {
+                    if payload.is::<WorkerKill>() {
+                        resume_unwind(payload);
+                    }
+                    inner.poisoned_jobs.fetch_add(1, Ordering::Relaxed);
                 }
                 continue;
             }
@@ -389,7 +546,7 @@ fn worker_loop(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
         }
         // … then steal tasks from anyone.
         if let Some(t) = inner.steal_task(index + 1) {
-            run_timed(&inner, t);
+            run_timed(inner, t);
             continue;
         }
         // Nothing to do: count the failed search, then a brief wait
@@ -417,7 +574,7 @@ mod tests {
 
     #[test]
     fn executes_all_jobs() {
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         let counter = Arc::new(AtomicU32::new(0));
         for _ in 0..100 {
             let c = Arc::clone(&counter);
@@ -431,7 +588,7 @@ mod tests {
 
     #[test]
     fn scope_runs_every_task_exactly_once() {
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         let hits = Arc::new(AtomicU32::new(0));
         let h = Arc::clone(&hits);
         pool.submit_job(move |p| {
@@ -454,7 +611,7 @@ mod tests {
     fn scope_from_non_worker_thread_works() {
         // Calling scope() from the main thread (no local deque) routes
         // through the overflow queue.
-        let pool = TaskPool::new(2);
+        let pool = TaskPool::new(2).unwrap();
         let hits = Arc::new(AtomicU32::new(0));
         let tasks: Vec<Task> = (0..16)
             .map(|_| {
@@ -471,7 +628,7 @@ mod tests {
     #[test]
     fn nested_phases_preserve_order() {
         // Phase 2 tasks must observe every phase 1 effect.
-        let pool = TaskPool::new(8);
+        let pool = TaskPool::new(8).unwrap();
         let phase1 = Arc::new(AtomicU32::new(0));
         let violations = Arc::new(AtomicU32::new(0));
         for _ in 0..20 {
@@ -500,7 +657,7 @@ mod tests {
 
     #[test]
     fn accounting_accumulates() {
-        let pool = TaskPool::new(2);
+        let pool = TaskPool::new(2).unwrap();
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..4)
                 .map(|_| {
@@ -524,7 +681,7 @@ mod tests {
     fn parallel_speedup_on_sleep_tasks() {
         // 8 × 20 ms of sleeping on 8 workers should take well under the
         // 160 ms serial time.
-        let pool = TaskPool::new(8);
+        let pool = TaskPool::new(8).unwrap();
         let start = Instant::now();
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..8)
@@ -544,7 +701,7 @@ mod tests {
     fn stealing_happens_under_load() {
         // With several workers and sleeping tasks spawned on one user
         // thread, other workers must steal to overlap the sleeps.
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..12)
                 .map(|_| Box::new(|| std::thread::sleep(Duration::from_millis(3))) as Task)
@@ -560,14 +717,14 @@ mod tests {
 
     #[test]
     fn empty_scope_returns_immediately() {
-        let pool = TaskPool::new(1);
+        let pool = TaskPool::new(1).unwrap();
         pool.submit_job(|p| p.scope(Vec::new()));
         pool.wait_all();
     }
 
     #[test]
     fn drop_shuts_down_cleanly() {
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         pool.submit_job(|_| {});
         pool.wait_all();
         drop(pool); // must not hang
@@ -575,7 +732,7 @@ mod tests {
 
     #[test]
     fn many_jobs_stress() {
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         let total = Arc::new(AtomicU32::new(0));
         for j in 0..200 {
             let total = Arc::clone(&total);
@@ -597,14 +754,95 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
-        TaskPool::new(0);
+        assert!(matches!(TaskPool::new(0), Err(PoolError::ZeroWorkers)));
+    }
+
+    #[test]
+    fn poisoned_task_does_not_hang_the_scope() {
+        silence_injected_panics();
+        let pool = TaskPool::new(4).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        pool.submit_job(move |p| {
+            let mut tasks: Vec<Task> = (0..15)
+                .map(|_| {
+                    let h = Arc::clone(&h);
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                    }) as Task
+                })
+                .collect();
+            tasks.push(Box::new(|| std::panic::panic_any(InjectedPanic)) as Task);
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 15);
+        assert_eq!(pool.poisoned_tasks(), 1);
+        // The panic stayed inside the pool: no worker died for it.
+        assert_eq!(pool.worker_respawns(), 0);
+    }
+
+    #[test]
+    fn poisoned_job_does_not_hang_wait_all() {
+        silence_injected_panics();
+        let pool = TaskPool::new(2).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for i in 0..10 {
+            let h = Arc::clone(&hits);
+            pool.submit_job(move |_| {
+                if i == 3 {
+                    std::panic::panic_any(InjectedPanic);
+                }
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 9);
+        assert_eq!(pool.poisoned_jobs(), 1);
+    }
+
+    #[test]
+    fn killed_worker_respawns_without_losing_tasks() {
+        silence_injected_panics();
+        let pool = TaskPool::new(4).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for round in 0..8 {
+            if round == 3 || round == 5 {
+                pool.inject_worker_kill();
+            }
+            for _ in 0..25 {
+                let h = Arc::clone(&hits);
+                pool.submit_job(move |_| {
+                    h.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.wait_all();
+        }
+        assert_eq!(
+            hits.load(Ordering::SeqCst),
+            8 * 25,
+            "no task lost or doubled"
+        );
+        // Kills travel through the overflow queue, which `wait_all` does
+        // not track — give the workers a moment to consume them.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while pool.worker_respawns() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.worker_respawns(), 2);
+        // The pool is still fully functional after both revivals.
+        let h = Arc::clone(&hits);
+        pool.submit_job(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 8 * 25 + 1);
     }
 
     #[test]
     fn per_worker_counters_sum_to_totals() {
-        let pool = TaskPool::new(4);
+        let pool = TaskPool::new(4).unwrap();
         for _ in 0..8 {
             pool.submit_job(|p| {
                 let tasks: Vec<Task> = (0..16)
@@ -630,7 +868,7 @@ mod tests {
 
     #[test]
     fn metrics_export_covers_every_worker() {
-        let pool = TaskPool::new(3);
+        let pool = TaskPool::new(3).unwrap();
         pool.submit_job(|p| {
             let tasks: Vec<Task> = (0..6)
                 .map(|_| Box::new(|| std::thread::sleep(Duration::from_micros(100))) as Task)

@@ -34,7 +34,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use lte_obs::{Event as TraceEvent, NoopRecorder, Recorder, Stage};
+use lte_fault::{DeadlineBudget, FaultPlan, OverloadPolicy};
+use lte_obs::{Event as TraceEvent, FaultKind, NoopRecorder, Recorder, Stage};
 
 use crate::cycles::SimJob;
 
@@ -196,6 +197,21 @@ pub struct SimReport {
     pub tasks_per_core: Vec<u64>,
     /// Nap wake pulses taken per core.
     pub wake_pulses_per_core: Vec<u64>,
+    /// Subframes that completed after their deadline budget (only
+    /// counted when a [`DeadlineBudget`] is attached).
+    pub overruns: u64,
+    /// Subframes discarded whole by the `DropSubframe` overload policy.
+    pub dropped_subframes: u64,
+    /// User jobs shed by the `ShedUsers` / `DropSubframe` policies.
+    pub shed_jobs: u64,
+    /// Subframes whose demap work was degraded (exact → max-log) by the
+    /// `DegradeDemap` policy.
+    pub degraded_subframes: u64,
+    /// Tasks that hit a seeded panic and were re-executed (chaos runs).
+    pub poisoned_tasks: u64,
+    /// Jobs whose user-thread ownership was adopted by a surviving core
+    /// after their owner fail-stopped.
+    pub adopted_jobs: u64,
 }
 
 impl SimReport {
@@ -280,6 +296,8 @@ enum CoreState {
     WaitBarrier,
     NapReactive,
     NapProactive,
+    /// Fail-stopped by a chaos plan; never transitions out.
+    Dead,
 }
 
 /// Maps the simulator's internal state onto the trace vocabulary.
@@ -290,6 +308,7 @@ fn trace_state(state: CoreState) -> lte_obs::CoreState {
         CoreState::WaitBarrier => lte_obs::CoreState::Barrier,
         CoreState::NapReactive => lte_obs::CoreState::NapReactive,
         CoreState::NapProactive => lte_obs::CoreState::NapProactive,
+        CoreState::Dead => lte_obs::CoreState::Dead,
     }
 }
 
@@ -323,6 +342,7 @@ enum Event {
     Dispatch { subframe: usize },
     TaskDone { core: usize },
     Wake { core: usize, seq: u64 },
+    CoreDeath { core: usize },
 }
 
 /// The discrete-event simulator. Construct with a config, feed it a
@@ -358,6 +378,22 @@ pub struct Simulator<R: Recorder = NoopRecorder> {
     wake_pulses_per_core: Vec<u64>,
     open_subframes: usize,
     max_concurrent_subframes: usize,
+    /// Per-subframe deadline budget and overload policy, if attached.
+    degradation: Option<DeadlineBudget>,
+    /// Seeded chaos plan (core death, slow cores, task poisoning).
+    chaos: Option<FaultPlan>,
+    /// Jobs whose user core died mid-flight, bundled with their stranded
+    /// work, awaiting adoption by a surviving core.
+    orphan_owners: VecDeque<(usize, Vec<Work>)>,
+    /// Per-subframe count of tasks drawn against the chaos plan (the
+    /// deterministic task ordinal for `FaultPlan::task_panics`).
+    tasks_drawn_per_subframe: Vec<usize>,
+    overruns: u64,
+    dropped_subframes: u64,
+    shed_jobs: u64,
+    degraded_subframes: u64,
+    poisoned_tasks: u64,
+    adopted_jobs: u64,
 }
 
 impl Simulator {
@@ -420,7 +456,35 @@ impl<R: Recorder> Simulator<R> {
             wake_pulses_per_core: vec![0; cfg.n_workers],
             open_subframes: 0,
             max_concurrent_subframes: 0,
+            degradation: None,
+            chaos: None,
+            orphan_owners: VecDeque::new(),
+            tasks_drawn_per_subframe: Vec::new(),
+            overruns: 0,
+            dropped_subframes: 0,
+            shed_jobs: 0,
+            degraded_subframes: 0,
+            poisoned_tasks: 0,
+            adopted_jobs: 0,
         }
+    }
+
+    /// Attaches a per-subframe deadline budget: subframes finishing past
+    /// `budget.budget` cycles after dispatch count as overruns, and new
+    /// subframes dispatched while older ones are still open are subjected
+    /// to `budget.policy` (drop / shed / degrade).
+    pub fn with_degradation(mut self, budget: DeadlineBudget) -> Self {
+        self.degradation = Some(budget);
+        self
+    }
+
+    /// Attaches a seeded chaos plan. The DES honours the plan's
+    /// `dead_core` (fail-stop + orphan adoption), `slow_cores` (task-time
+    /// multipliers) and `task_panic_permille` (poisoned tasks burn their
+    /// cost, are counted, and re-execute).
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Runs the subframe sequence to completion and reports occupancy.
@@ -428,6 +492,26 @@ impl<R: Recorder> Simulator<R> {
         self.buckets = vec![BucketStats::default(); subframes.len().max(1)];
         self.open_jobs_per_subframe = vec![0; subframes.len()];
         self.subframe_dispatched_at = vec![0; subframes.len()];
+        self.tasks_drawn_per_subframe = vec![0; subframes.len()];
+        if let Some(plan) = self.chaos.clone() {
+            if let Some(dc) = plan.dead_core {
+                if dc.core < self.cfg.n_workers {
+                    self.push_event(dc.at_cycle, Event::CoreDeath { core: dc.core });
+                }
+            }
+            if self.recorder.enabled() {
+                for sc in &plan.slow_cores {
+                    if sc.core < self.cfg.n_workers {
+                        self.recorder.record(TraceEvent::Fault {
+                            kind: FaultKind::SlowCore,
+                            core: sc.core as u32,
+                            subframe: u32::MAX,
+                            t: 0,
+                        });
+                    }
+                }
+            }
+        }
         for (i, _) in subframes.iter().enumerate() {
             self.push_event(
                 i as u64 * self.cfg.dispatch_period,
@@ -443,6 +527,7 @@ impl<R: Recorder> Simulator<R> {
                 Event::Dispatch { subframe } => self.handle_dispatch(subframe, subframes),
                 Event::TaskDone { core } => self.handle_task_done(core),
                 Event::Wake { core, seq } => self.handle_wake(core, seq),
+                Event::CoreDeath { core } => self.handle_core_death(core),
             }
         }
         // Flush terminal states.
@@ -489,6 +574,12 @@ impl<R: Recorder> Simulator<R> {
             steal_fails_per_core: self.steal_fails_per_core,
             tasks_per_core: self.tasks_per_core,
             wake_pulses_per_core: self.wake_pulses_per_core,
+            overruns: self.overruns,
+            dropped_subframes: self.dropped_subframes,
+            shed_jobs: self.shed_jobs,
+            degraded_subframes: self.degraded_subframes,
+            poisoned_tasks: self.poisoned_tasks,
+            adopted_jobs: self.adopted_jobs,
         }
     }
 
@@ -521,7 +612,11 @@ impl<R: Recorder> Simulator<R> {
             match state {
                 CoreState::Busy => b.busy_cycles += span,
                 CoreState::SpinIdle | CoreState::WaitBarrier => b.spin_cycles += span,
-                CoreState::NapReactive | CoreState::NapProactive => b.nap_cycles += span,
+                // A dead core is power-gated: account it like a nap so
+                // occupancy still tiles workers × time.
+                CoreState::NapReactive | CoreState::NapProactive | CoreState::Dead => {
+                    b.nap_cycles += span
+                }
             }
             t = bucket_end.min(to);
         }
@@ -571,6 +666,75 @@ impl<R: Recorder> Simulator<R> {
         }
     }
 
+    /// Applies the attached overload policy to an incoming subframe when
+    /// the receiver is behind (older subframes still open at dispatch).
+    /// Returns the job list that actually runs.
+    fn apply_overload_policy(&mut self, subframe: usize, jobs: Vec<SimJob>) -> Vec<SimJob> {
+        let Some(budget) = self.degradation else {
+            return jobs;
+        };
+        if self.open_subframes == 0 || jobs.is_empty() {
+            return jobs;
+        }
+        let record_fault = |sim: &mut Self, kind: FaultKind| {
+            if sim.recorder.enabled() {
+                sim.recorder.record(TraceEvent::Fault {
+                    kind,
+                    core: u32::MAX,
+                    subframe: subframe as u32,
+                    t: sim.now,
+                });
+            }
+        };
+        match budget.policy {
+            OverloadPolicy::DropSubframe => {
+                self.dropped_subframes += 1;
+                self.shed_jobs += jobs.len() as u64;
+                record_fault(self, FaultKind::SubframeDropped);
+                Vec::new()
+            }
+            OverloadPolicy::ShedUsers => {
+                // Shed lowest-cost (lowest-PRB) users until the remainder
+                // fits the budget's cycle capacity; always shed at least
+                // one and always keep at least one.
+                let capacity = budget.budget.saturating_mul(self.target as u64);
+                let mut order: Vec<usize> = (0..jobs.len()).collect();
+                order.sort_by_key(|&i| (jobs[i].total_cycles(), i));
+                let mut total: u64 = jobs.iter().map(|j| j.total_cycles()).sum();
+                let mut shed = vec![false; jobs.len()];
+                let mut n_shed = 0;
+                for &i in &order {
+                    if (total <= capacity && n_shed > 0) || n_shed + 1 == jobs.len() {
+                        break;
+                    }
+                    total -= jobs[i].total_cycles();
+                    shed[i] = true;
+                    n_shed += 1;
+                    record_fault(self, FaultKind::UserShed);
+                }
+                self.shed_jobs += n_shed as u64;
+                jobs.into_iter()
+                    .zip(shed)
+                    .filter_map(|(j, s)| (!s).then_some(j))
+                    .collect()
+            }
+            OverloadPolicy::DegradeDemap => {
+                // Max-log demapping costs ~70% of the exact kernel; the
+                // subframe keeps every user at reduced combine cost.
+                self.degraded_subframes += 1;
+                record_fault(self, FaultKind::DemapDegraded);
+                jobs.into_iter()
+                    .map(|mut j| {
+                        for c in &mut j.combine_tasks {
+                            *c = *c * 7 / 10;
+                        }
+                        j
+                    })
+                    .collect()
+            }
+        }
+    }
+
     fn handle_dispatch(&mut self, subframe: usize, subframes: &[SubframeLoad]) {
         let load = &subframes[subframe];
         self.target = if self.cfg.policy.proactive() {
@@ -581,20 +745,21 @@ impl<R: Recorder> Simulator<R> {
         let idx = self.bucket_idx(self.now);
         self.buckets[idx].active_target = self.target;
         self.subframe_dispatched_at[subframe] = self.now;
+        let jobs = self.apply_overload_policy(subframe, load.jobs.clone());
         if self.recorder.enabled() {
             self.recorder.record(TraceEvent::Dispatch {
                 subframe: subframe as u32,
                 t: self.now,
-                jobs: load.jobs.len() as u32,
+                jobs: jobs.len() as u32,
                 active_target: self.target as u32,
             });
         }
-        if !load.jobs.is_empty() {
-            self.open_jobs_per_subframe[subframe] = load.jobs.len();
+        if !jobs.is_empty() {
+            self.open_jobs_per_subframe[subframe] = jobs.len();
             self.open_subframes += 1;
             self.max_concurrent_subframes = self.max_concurrent_subframes.max(self.open_subframes);
         }
-        for job in &load.jobs {
+        for job in &jobs {
             let id = self.jobs.len();
             self.jobs.push(JobState {
                 spec: job.clone(),
@@ -617,12 +782,24 @@ impl<R: Recorder> Simulator<R> {
         self.notify_spinners();
     }
 
+    /// The proactive active-core line, shifted up to compensate for dead
+    /// cores below it so a chaos plan cannot starve the machine.
+    fn effective_target(&self) -> usize {
+        let dead_below = self
+            .cores
+            .iter()
+            .take(self.target)
+            .filter(|c| c.state == CoreState::Dead)
+            .count();
+        (self.target + dead_below).min(self.cfg.n_workers)
+    }
+
     /// Proactively naps spinning cores whose id is at or above the target.
     fn renap_spinners_above_target(&mut self) {
         if !self.cfg.policy.proactive() {
             return;
         }
-        for core in self.target..self.cfg.n_workers {
+        for core in self.effective_target()..self.cfg.n_workers {
             if self.cores[core].state == CoreState::SpinIdle && self.cores[core].owned_job.is_none()
             {
                 self.enter_nap(core, CoreState::NapProactive);
@@ -685,8 +862,68 @@ impl<R: Recorder> Simulator<R> {
         }
     }
 
+    /// Fail-stops a core per the chaos plan: queued and in-flight work is
+    /// re-routed to surviving owners, and the core's own job (if any) is
+    /// bundled for adoption by the next free survivor.
+    fn handle_core_death(&mut self, core: usize) {
+        if self.cores[core].state == CoreState::Dead {
+            return;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(TraceEvent::Fault {
+                kind: FaultKind::CoreDeath,
+                core: core as u32,
+                subframe: u32::MAX,
+                t: self.now,
+            });
+        }
+        let inflight = self.cores[core].current.take();
+        self.set_state(core, CoreState::Dead);
+        // Cancel any pending wake; the Dead guard voids the pending
+        // TaskDone of the in-flight work.
+        self.cores[core].wake_seq += 1;
+        self.cores[core].wake_pending = false;
+        let mut stranded: Vec<Work> = self.cores[core].deque.drain(..).collect();
+        if let Some(w) = inflight {
+            stranded.push(w);
+        }
+        let owned = self.cores[core].owned_job.take();
+        let mut own_bundle: Vec<Work> = Vec::new();
+        for w in stranded {
+            let job = match w {
+                Work::Task { job, .. } | Work::Weights { job } | Work::Finish { job } => job,
+            };
+            if Some(job) == owned {
+                own_bundle.push(w);
+                continue;
+            }
+            let uc = self.jobs[job].user_core;
+            if self.cores[uc].state == CoreState::Dead {
+                // That owner died earlier; grow its adoption bundle.
+                if let Some(entry) = self.orphan_owners.iter_mut().find(|(j, _)| *j == job) {
+                    entry.1.push(w);
+                } else {
+                    let alive = self.first_alive_core();
+                    self.cores[alive].deque.push_back(w);
+                }
+            } else if self.cores[uc].state == CoreState::WaitBarrier {
+                // The owner is waiting on exactly this work: re-run it
+                // there, paying a steal latency for the migration.
+                self.start_work(uc, w, self.cfg.steal_latency);
+            } else {
+                self.cores[uc].deque.push_back(w);
+            }
+        }
+        if let Some(job) = owned {
+            self.orphan_owners.push_back((job, own_bundle));
+        }
+        // Wake survivors so stranded work and orphaned ownership are
+        // picked up promptly.
+        self.notify_spinners();
+    }
+
     fn start_work(&mut self, core: usize, work: Work, extra_latency: u64) {
-        let (job, cost, stage) = match work {
+        let (job, mut cost, stage) = match work {
             Work::Task { job, cost } => {
                 let stage = match self.jobs[job].phase {
                     Phase::Estimation => Stage::Estimation,
@@ -698,6 +935,11 @@ impl<R: Recorder> Simulator<R> {
             Work::Weights { job } => (job, self.jobs[job].spec.weights_cost, Stage::Weights),
             Work::Finish { job } => (job, self.jobs[job].spec.finish_cost, Stage::Finish),
         };
+        if let Some(plan) = &self.chaos {
+            if let Some(sc) = plan.slow_cores.iter().find(|s| s.core == core) {
+                cost = cost.saturating_mul(u64::from(sc.factor_permille)) / 1000;
+            }
+        }
         self.set_state(core, CoreState::Busy);
         let subframe = self.jobs[job].subframe as u32;
         let c = &mut self.cores[core];
@@ -721,17 +963,64 @@ impl<R: Recorder> Simulator<R> {
             }
         };
         let _ = phase;
-        let core = self.jobs[job_id].user_core;
-        self.jobs[job_id].pending = costs.len();
+        let sf = self.jobs[job_id].subframe;
+        // If the owning core died before this phase spawned (its Weights
+        // continuation ran elsewhere as an orphan), spawn onto the first
+        // surviving core instead.
+        let core = {
+            let uc = self.jobs[job_id].user_core;
+            if self.cores[uc].state == CoreState::Dead {
+                self.first_alive_core()
+            } else {
+                uc
+            }
+        };
+        self.jobs[job_id].pending = 0;
         for cost in costs {
-            self.cores[core]
-                .deque
-                .push_back(Work::Task { job: job_id, cost });
+            let mut copies = 1;
+            if let Some(plan) = &self.chaos {
+                let ord = self.tasks_drawn_per_subframe[sf];
+                self.tasks_drawn_per_subframe[sf] += 1;
+                if plan.task_panics(sf, ord) {
+                    // A poisoned task burns a full execution, is counted,
+                    // and re-runs: queue it twice, barrier on both.
+                    copies = 2;
+                    self.poisoned_tasks += 1;
+                    if self.recorder.enabled() {
+                        self.recorder.record(TraceEvent::Fault {
+                            kind: FaultKind::TaskPanic,
+                            core: core as u32,
+                            subframe: sf as u32,
+                            t: self.now,
+                        });
+                    }
+                }
+            }
+            self.jobs[job_id].pending += copies;
+            for _ in 0..copies {
+                self.cores[core]
+                    .deque
+                    .push_back(Work::Task { job: job_id, cost });
+            }
         }
         self.notify_spinners();
     }
 
+    /// Lowest-index core that has not fail-stopped. Panics only if every
+    /// core is dead, which a single-`dead_core` plan cannot produce.
+    fn first_alive_core(&self) -> usize {
+        self.cores
+            .iter()
+            .position(|c| c.state != CoreState::Dead)
+            .expect("at least one core must survive")
+    }
+
     fn handle_task_done(&mut self, core: usize) {
+        if self.cores[core].state == CoreState::Dead {
+            // The core died mid-task; its in-flight work was re-queued at
+            // death time, so this completion is void.
+            return;
+        }
         let work = self.cores[core]
             .current
             .take()
@@ -758,6 +1047,19 @@ impl<R: Recorder> Simulator<R> {
                 self.open_jobs_per_subframe[sf] -= 1;
                 if self.open_jobs_per_subframe[sf] == 0 {
                     self.open_subframes -= 1;
+                    if let Some(budget) = self.degradation {
+                        if self.now - self.subframe_dispatched_at[sf] > budget.budget {
+                            self.overruns += 1;
+                            if self.recorder.enabled() {
+                                self.recorder.record(TraceEvent::Fault {
+                                    kind: FaultKind::DeadlineOverrun,
+                                    core: u32::MAX,
+                                    subframe: sf as u32,
+                                    t: self.now,
+                                });
+                            }
+                        }
+                    }
                     if self.recorder.enabled() {
                         self.recorder.record(TraceEvent::SubframeSpan {
                             subframe: sf as u32,
@@ -821,8 +1123,21 @@ impl<R: Recorder> Simulator<R> {
             return;
         }
 
+        // Adopt a job orphaned by a core death before anything else: the
+        // adopter inherits ownership plus the stranded work, then re-runs
+        // the scheduling loop as the new user thread.
+        if let Some((job_id, stranded)) = self.orphan_owners.pop_front() {
+            self.jobs[job_id].user_core = core;
+            self.cores[core].owned_job = Some(job_id);
+            self.adopted_jobs += 1;
+            for w in stranded {
+                self.cores[core].deque.push_back(w);
+            }
+            return self.find_work(core);
+        }
+
         // Proactively deactivated cores go straight back to sleep.
-        if self.cfg.policy.proactive() && core >= self.target {
+        if self.cfg.policy.proactive() && core >= self.effective_target() {
             self.enter_nap(core, CoreState::NapProactive);
             return;
         }
@@ -1091,6 +1406,245 @@ mod tests {
     fn policy_display_names() {
         assert_eq!(NapPolicy::NoNap.to_string(), "NONAP");
         assert_eq!(NapPolicy::NapIdle.to_string(), "NAP+IDLE");
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use lte_fault::{DeadCore, SlowCore};
+
+    fn cfg(policy: NapPolicy) -> SimConfig {
+        SimConfig {
+            n_workers: 8,
+            dispatch_period: 100_000,
+            steal_latency: 100,
+            task_overhead: 50,
+            wake_period: 20_000,
+            clock_hz: 700.0e6,
+            policy,
+        }
+    }
+
+    fn job(units: u64) -> SimJob {
+        SimJob {
+            est_tasks: vec![units; 4],
+            weights_cost: units / 2,
+            combine_tasks: vec![units; 8],
+            finish_cost: units,
+        }
+    }
+
+    /// A load that overruns the dispatch period: each subframe carries
+    /// several multiples of one period of work.
+    fn overload(n: usize) -> Vec<SubframeLoad> {
+        (0..n)
+            .map(|i| SubframeLoad {
+                jobs: vec![job(8_000), job(12_000 + 100 * (i as u64 % 3)), job(20_000)],
+                active_target: 8,
+            })
+            .collect()
+    }
+
+    fn budget(policy: OverloadPolicy) -> DeadlineBudget {
+        DeadlineBudget {
+            budget: 100_000,
+            policy,
+        }
+    }
+
+    #[test]
+    fn overruns_are_counted_against_the_budget() {
+        let report = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_degradation(budget(OverloadPolicy::DegradeDemap))
+            .run(&overload(10));
+        assert!(report.overruns > 0, "overloaded run must overrun");
+        assert!(report.degraded_subframes > 0, "policy must have engaged");
+        // Degradation keeps every job: nothing shed or dropped.
+        assert_eq!(report.shed_jobs, 0);
+        assert_eq!(report.dropped_subframes, 0);
+        assert_eq!(report.jobs_total, 30);
+    }
+
+    #[test]
+    fn drop_policy_sacrifices_whole_subframes() {
+        let report = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_degradation(budget(OverloadPolicy::DropSubframe))
+            .run(&overload(10));
+        assert!(report.dropped_subframes > 0);
+        assert_eq!(report.shed_jobs, 3 * report.dropped_subframes);
+        assert_eq!(
+            report.jobs_total as u64,
+            30 - report.shed_jobs,
+            "dropped jobs never enter the machine"
+        );
+        assert_eq!(report.job_latencies.len(), report.jobs_total);
+    }
+
+    #[test]
+    fn shed_policy_drops_cheapest_users_first() {
+        let report = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_degradation(budget(OverloadPolicy::ShedUsers))
+            .run(&overload(10));
+        assert!(report.shed_jobs > 0);
+        assert_eq!(
+            report.dropped_subframes, 0,
+            "shedding never drops whole subframes"
+        );
+        assert!(
+            report.jobs_total as u64 >= 30 - report.shed_jobs,
+            "at least one user survives every shed subframe"
+        );
+        assert_eq!(report.job_latencies.len(), report.jobs_total);
+    }
+
+    #[test]
+    fn degradation_reduces_overruns_versus_no_policy() {
+        let baseline = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_degradation(DeadlineBudget {
+                budget: u64::MAX,
+                policy: OverloadPolicy::DropSubframe,
+            })
+            .run(&overload(12));
+        assert_eq!(baseline.overruns, 0, "infinite budget never overruns");
+        let dropping = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_degradation(budget(OverloadPolicy::DropSubframe))
+            .run(&overload(12));
+        // Dropping load must finish the campaign sooner than running it all.
+        let full = Simulator::new(cfg(NapPolicy::NoNap)).run(&overload(12));
+        assert!(dropping.end_time < full.end_time);
+    }
+
+    #[test]
+    fn dead_core_loses_no_jobs() {
+        for policy in NapPolicy::ALL {
+            let plan = FaultPlan {
+                dead_core: Some(DeadCore {
+                    core: 0,
+                    at_cycle: 150_000,
+                }),
+                ..FaultPlan::quiet(11)
+            };
+            let report = Simulator::new(cfg(policy))
+                .with_chaos(plan)
+                .run(&overload(10));
+            assert_eq!(report.jobs_total, 30, "{policy}");
+            assert_eq!(report.job_latencies.len(), 30, "{policy}");
+            // The dead core stops accumulating busy cycles; survivors
+            // carry the load.
+            assert!(
+                report.busy_per_core[1..].iter().sum::<u64>() > 0,
+                "{policy}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_user_core_job_is_adopted() {
+        // Core 0 picks up the first job immediately (it owns it) and dies
+        // mid-subframe: ownership must migrate.
+        let plan = FaultPlan {
+            dead_core: Some(DeadCore {
+                core: 0,
+                at_cycle: 10_000,
+            }),
+            ..FaultPlan::quiet(3)
+        };
+        let report = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_chaos(plan)
+            .run(&overload(6));
+        assert_eq!(report.job_latencies.len(), report.jobs_total);
+        assert!(report.adopted_jobs >= 1, "core 0 owned a job when it died");
+    }
+
+    #[test]
+    fn poisoned_tasks_are_retried_not_lost() {
+        let plan = FaultPlan {
+            task_panic_permille: 100,
+            ..FaultPlan::quiet(21)
+        };
+        let quiet = Simulator::new(cfg(NapPolicy::NoNap)).run(&overload(10));
+        let chaotic = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_chaos(plan)
+            .run(&overload(10));
+        assert!(
+            chaotic.poisoned_tasks > 0,
+            "10% rate must fire in 360 tasks"
+        );
+        assert_eq!(chaotic.jobs_total, 30);
+        assert_eq!(chaotic.job_latencies.len(), 30);
+        // Re-executed tasks burn extra cycles.
+        let busy = |r: &SimReport| r.buckets.iter().map(|b| b.busy_cycles).sum::<u64>();
+        assert!(busy(&chaotic) > busy(&quiet));
+    }
+
+    #[test]
+    fn slow_core_stretches_execution() {
+        let plan = FaultPlan {
+            slow_cores: vec![SlowCore {
+                core: 0,
+                factor_permille: 3000,
+            }],
+            ..FaultPlan::quiet(5)
+        };
+        let fast = Simulator::new(cfg(NapPolicy::NoNap)).run(&overload(6));
+        let slowed = Simulator::new(cfg(NapPolicy::NoNap))
+            .with_chaos(plan)
+            .run(&overload(6));
+        assert_eq!(slowed.jobs_total, fast.jobs_total);
+        let busy = |r: &SimReport| r.buckets.iter().map(|b| b.busy_cycles).sum::<u64>();
+        assert!(
+            busy(&slowed) > busy(&fast),
+            "3x slower core must inflate busy cycles"
+        );
+    }
+
+    #[test]
+    fn chaos_campaigns_are_deterministic() {
+        let run = || {
+            Simulator::new(cfg(NapPolicy::NapIdle))
+                .with_chaos(FaultPlan::smoke(42))
+                .with_degradation(budget(OverloadPolicy::ShedUsers))
+                .run(&overload(20))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fault_events_reach_the_recorder() {
+        let recorder = lte_obs::RingRecorder::new(1 << 20);
+        let plan = FaultPlan {
+            task_panic_permille: 100,
+            dead_core: Some(DeadCore {
+                core: 2,
+                at_cycle: 120_000,
+            }),
+            slow_cores: vec![SlowCore {
+                core: 1,
+                factor_permille: 1500,
+            }],
+            ..FaultPlan::quiet(9)
+        };
+        Simulator::with_recorder(cfg(NapPolicy::NoNap), &recorder)
+            .with_chaos(plan)
+            .with_degradation(budget(OverloadPolicy::DropSubframe))
+            .run(&overload(10));
+        let events = recorder.events();
+        let kinds: Vec<FaultKind> = events
+            .iter()
+            .filter_map(|e| match e {
+                lte_obs::Event::Fault { kind, .. } => Some(*kind),
+                _ => None,
+            })
+            .collect();
+        for expect in [
+            FaultKind::TaskPanic,
+            FaultKind::CoreDeath,
+            FaultKind::SlowCore,
+            FaultKind::SubframeDropped,
+        ] {
+            assert!(kinds.contains(&expect), "missing fault kind {expect}");
+        }
     }
 }
 

@@ -22,4 +22,17 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q ${scope[*]:-}"
 cargo test --offline -q "${scope[@]}"
 
+echo "==> chaos smoke (lte-sim chaos)"
+chaos_out="$(cargo run -q --offline -p lte-uplink --bin lte-sim -- \
+    chaos --quick --subframes 120 --out target/chaos-smoke)"
+echo "$chaos_out" | tail -n 6
+echo "$chaos_out" | grep -q "^lost tasks: 0$" \
+    || { echo "chaos smoke: tasks were lost"; exit 1; }
+echo "$chaos_out" | grep -q "^duplicated tasks: 0$" \
+    || { echo "chaos smoke: tasks ran twice"; exit 1; }
+echo "$chaos_out" | grep -q "^harq recoveries: 0$" \
+    && { echo "chaos smoke: no HARQ recoveries"; exit 1; }
+echo "$chaos_out" | grep -q "^harq recoveries: " \
+    || { echo "chaos smoke: missing recovery report"; exit 1; }
+
 echo "all checks passed"

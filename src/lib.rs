@@ -13,6 +13,8 @@
 //!   coding, channel models ([`lte_dsp`]);
 //! * [`phy`] — the per-user uplink receive pipeline and its transmitter
 //!   counterpart ([`lte_phy`]);
+//! * [`fault`] — seeded fault plans, overload policies and deadline
+//!   budgets for chaos campaigns ([`lte_fault`]);
 //! * [`sched`] — the work-stealing pool and the discrete-event tile
 //!   machine ([`lte_sched`]);
 //! * [`model`] — the paper's subframe input parameter models
@@ -41,6 +43,7 @@
 //! ```
 
 pub use lte_dsp as dsp;
+pub use lte_fault as fault;
 pub use lte_model as model;
 pub use lte_obs as obs;
 pub use lte_phy as phy;

@@ -98,6 +98,32 @@ fn traced_runs_are_byte_identical() {
 }
 
 #[test]
+fn chaos_campaigns_are_byte_identical() {
+    // The fault-injection campaign is a pure function of the seed: two
+    // same-seed runs — including the real pool's kills and respawns and
+    // the link-level HARQ recovery — export byte-identical artefacts.
+    use lte_uplink_repro::fault::OverloadPolicy;
+    use lte_uplink_repro::uplink::chaos::run_chaos;
+    let small = || ExperimentContext {
+        n_subframes: 120,
+        ..ctx()
+    };
+    let a = run_chaos(&small(), OverloadPolicy::ShedUsers).expect("pool spawns");
+    let b = run_chaos(&small(), OverloadPolicy::ShedUsers).expect("pool spawns");
+    assert_eq!(a.summary, b.summary, "campaign counters must match");
+    assert_eq!(
+        a.perfetto_json, b.perfetto_json,
+        "Perfetto export must be byte-identical"
+    );
+    assert_eq!(
+        a.metrics_json, b.metrics_json,
+        "metrics snapshot must be byte-identical"
+    );
+    assert!(a.summary.conserved(), "no task lost or double-run");
+    assert!(a.metrics_json.contains("chaos.link.harq_recoveries"));
+}
+
+#[test]
 fn policy_runs_share_the_same_workload() {
     // The four policies must see identical job sets (only scheduling
     // differs) — totals across buckets are equal.

@@ -205,6 +205,66 @@ fn simulator_conserves_work() {
 }
 
 #[test]
+fn pool_conserves_tasks_under_seeded_panics() {
+    use lte_uplink_repro::fault::FaultPlan;
+    use lte_uplink_repro::sched::{silence_injected_panics, InjectedPanic, TaskPool};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    silence_injected_panics();
+    for_cases(6, 0xFA17, |rng, case| {
+        let workers = draw(rng, 2, 4) as usize;
+        let subframes = draw(rng, 4, 12) as usize;
+        let jobs = draw(rng, 2, 4) as usize;
+        let tasks = draw(rng, 4, 8) as usize;
+        let plan = FaultPlan {
+            task_panic_permille: 150,
+            ..FaultPlan::quiet(0xFA17 + case as u64)
+        };
+        let pool = TaskPool::new(workers).expect("spawn pool");
+        let started = Arc::new(AtomicU64::new(0));
+        let mut planned = 0u64;
+        for sf in 0..subframes {
+            for job in 0..jobs {
+                for task in 0..tasks {
+                    if plan.task_panics(sf, job * tasks + task) {
+                        planned += 1;
+                    }
+                }
+                let started = Arc::clone(&started);
+                let plan = plan.clone();
+                pool.submit_job(move |p| {
+                    let list: Vec<Box<dyn FnOnce() + Send + 'static>> = (0..tasks)
+                        .map(|task| {
+                            let started = Arc::clone(&started);
+                            let panics = plan.task_panics(sf, job * tasks + task);
+                            Box::new(move || {
+                                started.fetch_add(1, Ordering::SeqCst);
+                                if panics {
+                                    std::panic::panic_any(InjectedPanic);
+                                }
+                            }) as Box<dyn FnOnce() + Send + 'static>
+                        })
+                        .collect();
+                    p.scope(list);
+                });
+            }
+            pool.wait_all();
+        }
+        let expected = (subframes * jobs * tasks) as u64;
+        assert_eq!(
+            started.load(Ordering::SeqCst),
+            expected,
+            "no task may be lost or double-run (case {case})"
+        );
+        assert_eq!(
+            pool.poisoned_tasks(),
+            planned,
+            "every seeded panic is caught and accounted (case {case})"
+        );
+    });
+}
+
+#[test]
 fn rate_matching_round_trips_at_mother_rate_or_below() {
     for_cases(16, 0x4A7E, |rng, _| {
         use lte_uplink_repro::dsp::rate_match::RateMatcher;

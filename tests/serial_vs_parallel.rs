@@ -16,6 +16,7 @@ fn config(workers: usize) -> BenchmarkConfig {
         snr_db: 30.0,
         turbo: TurboMode::Passthrough,
         seed: 11,
+        ..BenchmarkConfig::default()
     }
 }
 
