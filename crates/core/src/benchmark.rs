@@ -14,23 +14,27 @@
 //! configuration and reused (§IV-B1: data sets are "created for multiple
 //! subframes and then reused across all dispatched subframes").
 
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
+use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use lte_dsp::fft::FftPlanner;
-use lte_dsp::Xoshiro256;
+use lte_dsp::interleave::prewarm_subblock;
+use lte_dsp::llr::{demap_block_exact_into, demap_block_into};
+use lte_dsp::{Complex32, Xoshiro256};
 use lte_fault::{DeadlineBudget, OverloadPolicy};
-use lte_phy::combiner::{combine_symbol, CombinerWeights};
-use lte_phy::estimator::{estimate_path, ChannelEstimate};
+use lte_phy::combiner::{combine_symbol_into, CombinerWeights};
+use lte_phy::estimator::estimate_path_into;
 use lte_phy::grid::UserInput;
 use lte_phy::harq::{HarqDecision, HarqEntity, HarqStats};
 use lte_phy::params::{
     CellConfig, SubframeConfig, TurboMode, UserConfig, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME,
 };
-use lte_phy::receiver::{demap_symbol, demap_symbol_exact, finish_user, UserResult};
-use lte_phy::tx::{synthesize_retransmission, synthesize_user_with_mode};
+use lte_phy::receiver::{finish_user_with_arena, UserResult, UserScratch};
+use lte_phy::tx::{prewarm_references, synthesize_retransmission, synthesize_user_with_mode};
 use lte_phy::verify::{GoldenRecord, VerifyError};
 use lte_sched::{PoolError, TaskPool};
 
@@ -110,6 +114,12 @@ pub struct BenchmarkRun {
     pub activity: f64,
     /// Fraction of delivered users whose CRC passed.
     pub crc_pass_rate: f64,
+    /// Dispatch-to-completion latency per completed subframe, in
+    /// nanoseconds (subframes with no submitted users are absent).
+    pub latencies_ns: Vec<u64>,
+    /// Completion stamp per completed subframe, nanoseconds from run
+    /// start, in dispatch order (same filtering as `latencies_ns`).
+    pub completions_ns: Vec<u64>,
     /// Overload shedding and HARQ recovery counters.
     pub degradation: DegradationReport,
 }
@@ -243,6 +253,18 @@ impl UplinkBenchmark {
             .map(|sf| sf.users.iter().map(|u| self.input_for(u)).collect())
             .collect();
 
+        // Prewarm every cache the steady-state path reads — FFT plans,
+        // sub-block interleavers and DM-RS reference sequences — so no
+        // worker ever takes a cache's write lock after the first
+        // dispatch.
+        for sf in subframes {
+            planner.prewarm(sf.users.iter().map(|u| u.prbs));
+            prewarm_subblock(sf.users.iter().map(|u| u.bits_per_subframe()));
+            for u in &sf.users {
+                prewarm_references(&cell, u);
+            }
+        }
+
         let start = Instant::now();
         let busy_start = pool.busy_nanos();
         let mut dispatched_at = vec![0u64; subframes.len()];
@@ -322,6 +344,15 @@ impl UplinkBenchmark {
                 }
             }
         }
+        let latencies_ns: Vec<u64> = done_at
+            .iter()
+            .enumerate()
+            .filter_map(|(i, done)| {
+                done.get()
+                    .map(|&completed| completed.saturating_sub(dispatched_at[i]))
+            })
+            .collect();
+        let completions_ns: Vec<u64> = done_at.iter().filter_map(|d| d.get().copied()).collect();
 
         let mut rows: Vec<Vec<Option<UserResult>>> = Arc::try_unwrap(results)
             .expect("pool drained, no outstanding references")
@@ -381,6 +412,8 @@ impl UplinkBenchmark {
             elapsed,
             busy,
             activity,
+            latencies_ns,
+            completions_ns,
             degradation,
         })
     }
@@ -410,8 +443,61 @@ impl UplinkBenchmark {
     }
 }
 
+/// A flat buffer whose disjoint ranges are written concurrently by pool
+/// tasks and read only after the scope barrier joins every writer.
+///
+/// The paper's task decomposition makes the ranges disjoint by
+/// construction — every (slot, rx, layer) or (slot, symbol, layer)
+/// tuple maps to its own block — so tasks need neither a mutex to park
+/// results in nor a per-task allocation to hold them.
+struct SharedBuf<T> {
+    cells: Vec<UnsafeCell<T>>,
+}
+
+// SAFETY: writers touch disjoint ranges (enforced by the dispatcher's
+// index arithmetic), and readers only run after the pool scope joins
+// all writers, which synchronises the stores.
+unsafe impl<T: Send> Sync for SharedBuf<T> {}
+
+impl<T: Copy> SharedBuf<T> {
+    fn new(len: usize, fill: T) -> Self {
+        let mut cells = Vec::new();
+        cells.resize_with(len, || UnsafeCell::new(fill));
+        SharedBuf { cells }
+    }
+
+    /// A mutable view of `start..start + len`.
+    ///
+    /// # Safety
+    ///
+    /// No other live reference may overlap the range for the lifetime
+    /// of the returned slice.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        assert!(start + len <= self.cells.len(), "range out of bounds");
+        let base = UnsafeCell::raw_get(self.cells.as_ptr().add(start));
+        std::slice::from_raw_parts_mut(base, len)
+    }
+
+    /// Unwraps into a plain vector without copying.
+    fn into_vec(self) -> Vec<T> {
+        let mut cells = ManuallyDrop::new(self.cells);
+        let (ptr, len, cap) = (cells.as_mut_ptr(), cells.len(), cells.capacity());
+        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, and
+        // the original vector is leaked via `ManuallyDrop`, so ownership
+        // of the allocation transfers exactly once.
+        unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
+    }
+}
+
 /// Processes one user on the pool with the paper's task decomposition.
 /// `exact_demap` selects the log-sum-exp demapper over max-log.
+///
+/// Steady-state allocation discipline: every task draws its working
+/// buffers from its worker's thread-local [`UserScratch`] arena and
+/// writes results into a shared flat buffer, so per-task heap traffic
+/// is zero after warmup; the per-job cost is the two flat buffers and
+/// the boxed task closures.
 pub(crate) fn process_user_parallel(
     pool: &TaskPool,
     cell: &CellConfig,
@@ -423,54 +509,54 @@ pub(crate) fn process_user_parallel(
     let user = input.config;
     let n_rx = cell.n_rx;
     let n_layers = user.layers;
+    let n_sc = user.subcarriers();
 
-    // Phase 1: channel estimation, one task per (slot, rx, layer).
-    let paths: Arc<Vec<Mutex<Option<Vec<lte_dsp::Complex32>>>>> = Arc::new(
-        (0..SLOTS_PER_SUBFRAME * n_rx * n_layers)
-            .map(|_| Mutex::new(None))
-            .collect(),
-    );
+    // Phase 1: channel estimation, one task per (slot, rx, layer), each
+    // writing its own range of one flat shared buffer.
+    let est_buf = Arc::new(SharedBuf::new(
+        SLOTS_PER_SUBFRAME * n_rx * n_layers * n_sc,
+        Complex32::ZERO,
+    ));
     let est_tasks: Vec<Box<dyn FnOnce() + Send>> = (0..SLOTS_PER_SUBFRAME)
         .flat_map(|slot| (0..n_rx).flat_map(move |rx| (0..n_layers).map(move |l| (slot, rx, l))))
         .map(|(slot, rx, layer)| {
             let input = Arc::clone(input);
             let planner = Arc::clone(planner);
-            let paths = Arc::clone(&paths);
+            let est_buf = Arc::clone(&est_buf);
             let cell = *cell;
             Box::new(move || {
-                let est = estimate_path(&cell, &input, slot, rx, layer, &planner);
                 let idx = (slot * cell.n_rx + rx) * input.config.layers + layer;
-                *paths[idx].lock().expect("path mutex") = Some(est);
+                // SAFETY: each (slot, rx, layer) tuple owns its range.
+                let out = unsafe { est_buf.slice_mut(idx * n_sc, n_sc) };
+                UserScratch::with(|s| {
+                    estimate_path_into(&cell, &input, slot, rx, layer, &planner, &mut s.arena, out);
+                });
             }) as Box<dyn FnOnce() + Send>
         })
         .collect();
     pool.scope(est_tasks);
 
-    // Combiner weights on the user thread (not parallelised — §III).
-    let weights: Vec<CombinerWeights> = (0..SLOTS_PER_SUBFRAME)
-        .map(|slot| {
-            let mut est = ChannelEstimate::empty(n_rx, n_layers, user.subcarriers());
-            for rx in 0..n_rx {
-                for layer in 0..n_layers {
-                    let idx = (slot * n_rx + rx) * n_layers + layer;
-                    let path = paths[idx]
-                        .lock()
-                        .expect("path mutex")
-                        .take()
-                        .expect("estimation task completed");
-                    est.set_path(rx, layer, path);
-                }
-            }
-            CombinerWeights::mmse(&est, input.noise_var)
-        })
-        .collect();
+    // Combiner weights on the user thread (not parallelised — §III),
+    // solved through this thread's scratch matrices.
+    let weights: Vec<CombinerWeights> = UserScratch::with(|s| {
+        (0..SLOTS_PER_SUBFRAME)
+            .map(|slot| {
+                let base = slot * n_rx * n_layers * n_sc;
+                // SAFETY: the scope barrier joined every writer; this is
+                // the only live view.
+                let flat = unsafe { est_buf.slice_mut(base, n_rx * n_layers * n_sc) };
+                s.weights_from_flat_estimate(n_rx, n_layers, n_sc, flat, input.noise_var)
+            })
+            .collect()
+    });
     let weights = Arc::new(weights);
 
     // Phase 2: antenna combining + IFFT + demap, one task per
-    // (slot, symbol, layer).
+    // (slot, symbol, layer), writing straight into the flat LLR buffer
+    // in the transmitter's bit order.
+    let chunk_bits = n_sc * user.modulation.bits_per_symbol();
     let n_chunks = SLOTS_PER_SUBFRAME * DATA_SYMBOLS_PER_SLOT * n_layers;
-    let llr_chunks: Arc<Vec<Mutex<Option<Vec<f32>>>>> =
-        Arc::new((0..n_chunks).map(|_| Mutex::new(None)).collect());
+    let llr_buf = Arc::new(SharedBuf::new(n_chunks * chunk_bits, 0f32));
     let combine_tasks: Vec<Box<dyn FnOnce() + Send>> = (0..SLOTS_PER_SUBFRAME)
         .flat_map(|slot| {
             (0..DATA_SYMBOLS_PER_SLOT)
@@ -480,33 +566,60 @@ pub(crate) fn process_user_parallel(
             let input = Arc::clone(input);
             let planner = Arc::clone(planner);
             let weights = Arc::clone(&weights);
-            let llr_chunks = Arc::clone(&llr_chunks);
+            let llr_buf = Arc::clone(&llr_buf);
             Box::new(move || {
-                let combined = combine_symbol(&input, &weights[slot], slot, sym, layer, &planner);
-                let llrs = if exact_demap {
-                    demap_symbol_exact(&input, &combined)
-                } else {
-                    demap_symbol(&input, &combined)
-                };
                 let idx = (slot * DATA_SYMBOLS_PER_SLOT + sym) * input.config.layers + layer;
-                *llr_chunks[idx].lock().expect("llr mutex") = Some(llrs);
+                // SAFETY: each (slot, symbol, layer) tuple owns its range.
+                let out = unsafe { llr_buf.slice_mut(idx * chunk_bits, chunk_bits) };
+                UserScratch::with(|s| {
+                    let mut combined = s.arena.take_c32(n_sc);
+                    combine_symbol_into(
+                        &input,
+                        &weights[slot],
+                        slot,
+                        sym,
+                        layer,
+                        &planner,
+                        &mut s.arena,
+                        &mut combined,
+                    );
+                    let mut llrs = s.arena.take_f32(chunk_bits);
+                    if exact_demap {
+                        demap_block_exact_into(
+                            input.config.modulation,
+                            &combined,
+                            input.noise_var,
+                            &mut llrs,
+                        );
+                    } else {
+                        demap_block_into(
+                            input.config.modulation,
+                            &combined,
+                            input.noise_var,
+                            &mut llrs,
+                        );
+                    }
+                    out.copy_from_slice(&llrs);
+                    s.arena.recycle_f32(llrs);
+                    s.arena.recycle_c32(combined);
+                });
             }) as Box<dyn FnOnce() + Send>
         })
         .collect();
     pool.scope(combine_tasks);
 
-    // Serial tail on the user thread.
-    let mut llrs = Vec::with_capacity(user.bits_per_subframe());
-    for chunk in llr_chunks.iter() {
-        llrs.extend(
-            chunk
-                .lock()
-                .expect("llr mutex")
-                .take()
-                .expect("combine task completed"),
-        );
-    }
-    finish_user(input, turbo, &llrs)
+    // Serial tail on the user thread, through the arena. The LLR buffer
+    // is recycled into this thread's pools afterwards, so its capacity
+    // feeds future takes.
+    let Ok(llr_buf) = Arc::try_unwrap(llr_buf) else {
+        unreachable!("scope joined every task");
+    };
+    let llrs = llr_buf.into_vec();
+    UserScratch::with(|s| {
+        let result = finish_user_with_arena(input, turbo, &llrs, &mut s.arena);
+        s.arena.recycle_f32(llrs);
+        result
+    })
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 //!   trace            instrumented run: Perfetto trace + metrics JSON
 //!   chaos            deterministic fault-injection campaign
 //!   bench            run the real parallel benchmark briefly
+//!   perf             steady-state throughput harness (BENCH_PR3.json)
 //!   all              everything above, written to --out
 //! ```
 //!
@@ -39,6 +40,10 @@ struct Options {
     metrics: Option<PathBuf>,
     stride: usize,
     policy: OverloadPolicy,
+    quick: bool,
+    subframes_override: Option<usize>,
+    seed_override: Option<u64>,
+    baseline: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -61,6 +66,9 @@ COMMANDS:
                       under an overload policy, real-pool conservation,
                       link-level HARQ recovery (trace + metrics JSON)
     bench             run the real parallel benchmark briefly
+    perf              throughput harness: steady-state Fig. 8 load at
+                      zero dispatch interval, serial-vs-parallel
+                      byte-identity check, BENCH_PR3.json under --out
     ablation          sweep the design constants the paper fixes
     diurnal           the diurnal-day power study
     golden            store and verify a serial golden record
@@ -79,6 +87,8 @@ FLAGS:
                       (default: <out>/metrics.json)
     --policy P        chaos: overload policy — drop | shed | degrade
                       (default: shed)
+    --baseline FILE   perf: compare against this BENCH_PR3.json and exit
+                      1 on a >10% subframes/sec regression
     -h, --help        print this help
 
 Parse errors exit with status 2; runtime failures exit with status 1.
@@ -92,6 +102,10 @@ fn parse_args() -> Options {
     let mut perfetto = None;
     let mut metrics = None;
     let mut policy = OverloadPolicy::ShedUsers;
+    let mut quick = false;
+    let mut subframes_override = None;
+    let mut seed_override = None;
+    let mut baseline = None;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -113,14 +127,19 @@ fn parse_args() -> Options {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            "--quick" => ctx = ExperimentContext::quick(),
+            "--quick" => {
+                ctx = ExperimentContext::quick();
+                quick = true;
+            }
             "--subframes" => {
                 ctx.n_subframes =
                     parse_number(&value_of(&args, i, "--subframes"), "--subframes") as usize;
+                subframes_override = Some(ctx.n_subframes);
                 i += 1;
             }
             "--seed" => {
                 ctx.seed = parse_number(&value_of(&args, i, "--seed"), "--seed");
+                seed_override = Some(ctx.seed);
                 i += 1;
             }
             "--out" => {
@@ -143,6 +162,10 @@ fn parse_args() -> Options {
                 });
                 i += 1;
             }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(value_of(&args, i, "--baseline")));
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
                 eprintln!("run 'lte-sim --help' for the full flag list");
@@ -160,6 +183,10 @@ fn parse_args() -> Options {
         metrics,
         stride: 25,
         policy,
+        quick,
+        subframes_override,
+        seed_override,
+        baseline,
     }
 }
 
@@ -442,6 +469,70 @@ fn run_bench(opts: &Options) {
     }
 }
 
+fn run_perf_cmd(opts: &Options) {
+    use crate::perf;
+    let subframes = opts.subframes_override.unwrap_or(if opts.quick {
+        perf::QUICK_SUBFRAMES
+    } else {
+        perf::FULL_SUBFRAMES
+    });
+    // The harness scenario is fixed, and so is its default seed —
+    // reports stay comparable across machines and sessions unless the
+    // operator explicitly overrides the channel realisations.
+    let mut cfg = perf::PerfConfig {
+        subframes,
+        ..perf::PerfConfig::default()
+    };
+    if let Some(seed) = opts.seed_override {
+        cfg.seed = seed;
+    }
+    println!(
+        "running the throughput harness: {} steady-state subframes on {} workers …",
+        cfg.subframes, cfg.workers
+    );
+    let report = perf::run_perf(&cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    write(&opts.out.join("BENCH_PR3.json"), &report.to_json());
+    println!(
+        "parallel {:.1} subframes/sec (serial {:.1}, speedup {:.2}x)",
+        report.subframes_per_sec,
+        report.serial_subframes_per_sec,
+        report.speedup()
+    );
+    println!(
+        "subframe latency p50 {:.0} us, p99 {:.0} us; CRC pass rate {:.1}%",
+        report.p50_latency_us,
+        report.p99_latency_us,
+        100.0 * report.crc_pass_rate
+    );
+    println!(
+        "arena buffers: {} fresh, {} reused ({:.1}% reuse)",
+        report.arena_fresh,
+        report.arena_reused,
+        100.0 * report.arena_reused as f64
+            / (report.arena_fresh + report.arena_reused).max(1) as f64
+    );
+    println!("serial-vs-parallel byte-identity: OK");
+    if let Some(baseline_path) = &opts.baseline {
+        let baseline = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        match perf::check_against_baseline(&report, &baseline) {
+            Ok(()) => println!(
+                "throughput holds against the baseline in {}",
+                baseline_path.display()
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn run_trace_cmd(opts: &Options) {
     use crate::trace;
     println!(
@@ -549,6 +640,7 @@ pub fn run() {
         "trace" => run_trace_cmd(&opts),
         "chaos" => run_chaos_cmd(&opts),
         "bench" => run_bench(&opts),
+        "perf" => run_perf_cmd(&opts),
         "ablation" => run_ablations(&opts),
         "diurnal" => run_diurnal(&opts),
         "golden" => run_golden(&opts),
@@ -562,7 +654,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos ablation diurnal golden bench all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos ablation diurnal golden bench perf all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

@@ -35,6 +35,7 @@ pub mod benchmark;
 pub mod chaos;
 pub mod cli;
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod svg;
 pub mod trace;

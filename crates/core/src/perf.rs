@@ -1,0 +1,348 @@
+//! Throughput harness for the steady-state receive pipeline.
+//!
+//! The paper's Fig. 8 scenario holds the cell near its PRB budget with a
+//! mixed user population; this module replays that load shape as fast as
+//! the host allows (dispatch interval zero) and reports machine-readable
+//! throughput numbers so every future PR has a perf trajectory to
+//! defend:
+//!
+//! * parallel subframes/sec over the worker pool,
+//! * serial subframes/sec over the reference path (same inputs),
+//! * p50/p99 dispatch-to-completion subframe latency,
+//! * scratch-arena allocation counters (fresh vs reused buffers).
+//!
+//! Every perf run re-verifies the parallel results against the serial
+//! golden record — the throughput claim is only valid while the outputs
+//! stay byte-identical (§IV-D).
+//!
+//! `lte-sim perf [--quick] [--subframes N] [--out DIR] [--baseline FILE]`
+//! writes `BENCH_PR3.json` under `--out` and, when given a baseline,
+//! fails if subframes/sec regresses more than 10%.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lte_dsp::fft::FftPlanner;
+use lte_phy::grid::UserInput;
+use lte_phy::params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
+use lte_phy::receiver::process_user_pooled;
+
+use crate::{BenchmarkConfig, UplinkBenchmark};
+
+/// Subframes in the default (full) measurement.
+pub const FULL_SUBFRAMES: usize = 600;
+/// Subframes in the `--quick` measurement.
+pub const QUICK_SUBFRAMES: usize = 120;
+/// Warmup subframes processed (and discarded) before timing starts, so
+/// plan caches, input synthesis and scratch arenas reach steady state.
+const WARMUP_SUBFRAMES: usize = 16;
+/// Subframes timed on the serial reference path (enough for a stable
+/// rate without doubling the harness runtime).
+const SERIAL_SUBFRAMES: usize = 40;
+/// Tolerated regression against a committed baseline.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// Throughput harness configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfConfig {
+    /// Subframes in the timed parallel run.
+    pub subframes: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Input-synthesis seed.
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            subframes: FULL_SUBFRAMES,
+            workers: BenchmarkConfig::default().workers,
+            seed: 42,
+        }
+    }
+}
+
+/// One measured perf run, serialisable to `BENCH_PR3.json`.
+#[derive(Clone, Debug)]
+pub struct PerfReport {
+    /// Subframes in the timed run.
+    pub subframes: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds of the timed parallel run.
+    pub elapsed_s: f64,
+    /// Parallel throughput.
+    pub subframes_per_sec: f64,
+    /// Serial reference throughput over the same inputs.
+    pub serial_subframes_per_sec: f64,
+    /// Median per-subframe service latency, microseconds. Under the
+    /// harness's saturating zero-interval dispatch a queueing delay would
+    /// swamp dispatch-to-completion times, so service latency is measured
+    /// as the spacing between consecutive subframe completions.
+    pub p50_latency_us: f64,
+    /// 99th-percentile per-subframe service latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Fraction of users whose CRC passed (sanity: must be 1.0 at the
+    /// harness SNR).
+    pub crc_pass_rate: f64,
+    /// Scratch-arena buffers allocated fresh during the timed run.
+    pub arena_fresh: u64,
+    /// Scratch-arena buffers reused from free lists during the timed run.
+    pub arena_reused: u64,
+}
+
+impl PerfReport {
+    /// Parallel speedup over the serial reference.
+    pub fn speedup(&self) -> f64 {
+        if self.serial_subframes_per_sec > 0.0 {
+            self.subframes_per_sec / self.serial_subframes_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the flat JSON document written to `BENCH_PR3.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"lte-sim-perf-v1\",\n");
+        out.push_str(&format!("  \"subframes\": {},\n", self.subframes));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"elapsed_s\": {:.6},\n", self.elapsed_s));
+        out.push_str(&format!(
+            "  \"subframes_per_sec\": {:.3},\n",
+            self.subframes_per_sec
+        ));
+        out.push_str(&format!(
+            "  \"serial_subframes_per_sec\": {:.3},\n",
+            self.serial_subframes_per_sec
+        ));
+        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
+        out.push_str(&format!(
+            "  \"p50_latency_us\": {:.1},\n",
+            self.p50_latency_us
+        ));
+        out.push_str(&format!(
+            "  \"p99_latency_us\": {:.1},\n",
+            self.p99_latency_us
+        ));
+        out.push_str(&format!(
+            "  \"crc_pass_rate\": {:.4},\n",
+            self.crc_pass_rate
+        ));
+        out.push_str(&format!("  \"arena_fresh\": {},\n", self.arena_fresh));
+        out.push_str(&format!("  \"arena_reused\": {}\n", self.arena_reused));
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Reads one numeric field out of a flat JSON perf report. Only the
+/// `"key": number` shape written by [`PerfReport::to_json`] is
+/// understood — enough to compare against a committed baseline without a
+/// JSON dependency.
+pub fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let rest = &text[text.find(&needle)? + needle.len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The harness's steady-state subframe: four users spanning every
+/// modulation and 1–4 layers, 100 PRBs total — the sustained-load shape
+/// of the paper's Fig. 8 trace near the cell budget.
+pub fn steady_state_subframe() -> SubframeConfig {
+    SubframeConfig::new(vec![
+        UserConfig::new(25, 2, lte_dsp::Modulation::Qam16),
+        UserConfig::new(10, 1, lte_dsp::Modulation::Qpsk),
+        UserConfig::new(50, 2, lte_dsp::Modulation::Qam64),
+        UserConfig::new(15, 4, lte_dsp::Modulation::Qam16),
+    ])
+}
+
+fn percentile_us(sorted_ns: &[u64], pct: usize) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = (pct * sorted_ns.len()).div_ceil(100).saturating_sub(1);
+    sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// Runs the throughput harness: a warmed-up parallel run, a serial
+/// reference timing, and the byte-identity verification.
+///
+/// # Errors
+///
+/// Returns a message when the worker pool cannot start or the parallel
+/// results diverge from the serial golden record.
+pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
+    let cell = CellConfig::default();
+    let subframe = steady_state_subframe();
+    let bench_cfg = BenchmarkConfig {
+        workers: cfg.workers,
+        // Zero dispatch interval: measure the pipeline, not the pacing.
+        delta: Duration::ZERO,
+        turbo: TurboMode::Passthrough,
+        seed: cfg.seed,
+        ..BenchmarkConfig::default()
+    };
+    let mut bench = UplinkBenchmark::new(cell, bench_cfg);
+
+    // Warmup: synthesise inputs, fill plan caches, populate arenas.
+    let warmup = vec![subframe.clone(); WARMUP_SUBFRAMES];
+    bench.try_run(&warmup).map_err(|e| e.to_string())?;
+
+    // Timed parallel run.
+    let arena_before = lte_dsp::arena::stats();
+    let subframes = vec![subframe.clone(); cfg.subframes];
+    let run = bench.try_run(&subframes).map_err(|e| e.to_string())?;
+    let arena_after = lte_dsp::arena::stats();
+
+    // Serial reference throughput on the identical (cached) inputs,
+    // through the pooled (zero-allocation) serial pipeline.
+    let planner = Arc::new(FftPlanner::new());
+    let serial_inputs: Vec<Arc<UserInput>> =
+        subframe.users.iter().map(|u| bench.input_for(u)).collect();
+    let serial_n = SERIAL_SUBFRAMES.min(cfg.subframes).max(1);
+    let serial_start = Instant::now();
+    for _ in 0..serial_n {
+        for input in &serial_inputs {
+            let result = process_user_pooled(&cell, input, TurboMode::Passthrough, &planner);
+            std::hint::black_box(&result);
+        }
+    }
+    let serial_elapsed = serial_start.elapsed().as_secs_f64();
+
+    // The throughput claim is only valid while parallel == serial.
+    bench
+        .verify(&subframes, &run)
+        .map_err(|e| format!("serial/parallel divergence: {e}"))?;
+
+    // Service latency per subframe = spacing between consecutive
+    // completions (the first subframe contributes its full latency; its
+    // queue wait at a zero dispatch interval is negligible).
+    let mut completions = run.completions_ns.clone();
+    completions.sort_unstable();
+    let mut latencies: Vec<u64> = completions
+        .iter()
+        .scan(0u64, |prev, &done| {
+            let service = done - *prev;
+            *prev = done;
+            Some(service)
+        })
+        .collect();
+    latencies.sort_unstable();
+    Ok(PerfReport {
+        subframes: cfg.subframes,
+        workers: cfg.workers,
+        elapsed_s: run.elapsed.as_secs_f64(),
+        subframes_per_sec: cfg.subframes as f64 / run.elapsed.as_secs_f64(),
+        serial_subframes_per_sec: serial_n as f64 / serial_elapsed,
+        p50_latency_us: percentile_us(&latencies, 50),
+        p99_latency_us: percentile_us(&latencies, 99),
+        crc_pass_rate: run.crc_pass_rate,
+        arena_fresh: arena_after.fresh - arena_before.fresh,
+        arena_reused: arena_after.reused - arena_before.reused,
+    })
+}
+
+/// Compares a fresh report against a committed baseline document.
+///
+/// # Errors
+///
+/// Returns a message when the baseline cannot be parsed or throughput
+/// regressed beyond [`REGRESSION_TOLERANCE`].
+pub fn check_against_baseline(report: &PerfReport, baseline_json: &str) -> Result<(), String> {
+    let baseline = json_number(baseline_json, "subframes_per_sec")
+        .ok_or("baseline file has no subframes_per_sec field")?;
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    if report.subframes_per_sec < floor {
+        return Err(format!(
+            "throughput regression: {:.1} subframes/sec is below the {:.1} floor \
+             ({:.1} baseline − {:.0}% tolerance)",
+            report.subframes_per_sec,
+            floor,
+            baseline,
+            100.0 * REGRESSION_TOLERANCE
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrip_exposes_every_metric() {
+        let report = PerfReport {
+            subframes: 120,
+            workers: 8,
+            elapsed_s: 1.5,
+            subframes_per_sec: 80.0,
+            serial_subframes_per_sec: 20.0,
+            p50_latency_us: 950.0,
+            p99_latency_us: 2100.0,
+            crc_pass_rate: 1.0,
+            arena_fresh: 64,
+            arena_reused: 4096,
+        };
+        let json = report.to_json();
+        assert_eq!(json_number(&json, "subframes"), Some(120.0));
+        assert_eq!(json_number(&json, "subframes_per_sec"), Some(80.0));
+        assert_eq!(json_number(&json, "serial_subframes_per_sec"), Some(20.0));
+        assert_eq!(json_number(&json, "speedup"), Some(4.0));
+        assert_eq!(json_number(&json, "p99_latency_us"), Some(2100.0));
+        assert_eq!(json_number(&json, "arena_reused"), Some(4096.0));
+    }
+
+    #[test]
+    fn baseline_gate_triggers_on_regression() {
+        let mut report = PerfReport {
+            subframes: 120,
+            workers: 8,
+            elapsed_s: 1.5,
+            subframes_per_sec: 80.0,
+            serial_subframes_per_sec: 20.0,
+            p50_latency_us: 0.0,
+            p99_latency_us: 0.0,
+            crc_pass_rate: 1.0,
+            arena_fresh: 0,
+            arena_reused: 0,
+        };
+        let baseline = report.to_json();
+        assert!(check_against_baseline(&report, &baseline).is_ok());
+        report.subframes_per_sec = 80.0 * 0.95;
+        assert!(check_against_baseline(&report, &baseline).is_ok());
+        report.subframes_per_sec = 80.0 * 0.85;
+        assert!(check_against_baseline(&report, &baseline).is_err());
+        assert!(check_against_baseline(&report, "{}").is_err());
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let ns: Vec<u64> = (1..=100).map(|v| v * 1000).collect();
+        assert_eq!(percentile_us(&ns, 50), 50.0);
+        assert_eq!(percentile_us(&ns, 99), 99.0);
+        assert_eq!(percentile_us(&[], 50), 0.0);
+    }
+
+    #[test]
+    fn quick_perf_run_produces_consistent_report() {
+        let cfg = PerfConfig {
+            subframes: 6,
+            workers: 4,
+            seed: 1,
+        };
+        let report = run_perf(&cfg).expect("perf run");
+        assert_eq!(report.subframes, 6);
+        assert!(report.subframes_per_sec > 0.0);
+        assert!(report.serial_subframes_per_sec > 0.0);
+        assert_eq!(report.crc_pass_rate, 1.0);
+        assert!(report.p99_latency_us >= report.p50_latency_us);
+    }
+}

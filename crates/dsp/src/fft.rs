@@ -31,7 +31,7 @@
 
 use std::collections::HashMap;
 use std::f64::consts::TAU;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::complex::Complex32;
 
@@ -186,15 +186,27 @@ impl FftPlan {
         }
     }
 
+    /// Twiddle lookup for indices that may wrap past the table length
+    /// (only the generic radix's root products need the modulo).
     #[inline]
     fn tw(&self, idx: usize) -> Complex32 {
         self.twiddles[idx % self.n]
     }
 
+    /// Twiddle lookup for indices provably below `n`: in every radix the
+    /// data-twiddle index is at most `(r-1)(m-1)·n/(r·m) < n`, so the
+    /// modulo in [`tw`](Self::tw) would never fire — skipping it keeps an
+    /// integer division out of the innermost butterfly loops.
+    #[inline]
+    fn tw_nowrap(&self, idx: usize) -> Complex32 {
+        debug_assert!(idx < self.n);
+        self.twiddles[idx]
+    }
+
     fn combine2(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
         for k in 0..m {
             let a = out[k];
-            let b = out[m + k] * self.tw(k * tw_step);
+            let b = out[m + k] * self.tw_nowrap(k * tw_step);
             out[k] = a + b;
             out[m + k] = a - b;
         }
@@ -208,8 +220,8 @@ impl FftPlan {
         };
         for k in 0..m {
             let t0 = out[k];
-            let t1 = out[m + k] * self.tw(k * tw_step);
-            let t2 = out[2 * m + k] * self.tw(2 * k * tw_step);
+            let t1 = out[m + k] * self.tw_nowrap(k * tw_step);
+            let t2 = out[2 * m + k] * self.tw_nowrap(2 * k * tw_step);
             let sum = t1 + t2;
             let diff = (t1 - t2).scale(s3).mul_i();
             let base = t0 - sum.scale(0.5);
@@ -223,9 +235,9 @@ impl FftPlan {
         let forward = self.direction == Direction::Forward;
         for k in 0..m {
             let t0 = out[k];
-            let t1 = out[m + k] * self.tw(k * tw_step);
-            let t2 = out[2 * m + k] * self.tw(2 * k * tw_step);
-            let t3 = out[3 * m + k] * self.tw(3 * k * tw_step);
+            let t1 = out[m + k] * self.tw_nowrap(k * tw_step);
+            let t2 = out[2 * m + k] * self.tw_nowrap(2 * k * tw_step);
+            let t3 = out[3 * m + k] * self.tw_nowrap(3 * k * tw_step);
             let a = t0 + t2;
             let b = t0 - t2;
             let c = t1 + t3;
@@ -245,10 +257,21 @@ impl FftPlan {
     fn combine_generic(&self, out: &mut [Complex32], r: usize, m: usize, tw_step: usize) {
         debug_assert!(r >= 2);
         let root_step = self.n / r;
-        let mut t = vec![Complex32::ZERO; r];
+        // LTE sizes are 2/3/5-smooth so r = 5 in practice; a stack buffer
+        // keeps the hot path allocation-free, with a heap fallback for
+        // exotic prime lengths.
+        const STACK_RADIX: usize = 16;
+        let mut stack = [Complex32::ZERO; STACK_RADIX];
+        let mut heap = Vec::new();
+        let t: &mut [Complex32] = if r <= STACK_RADIX {
+            &mut stack[..r]
+        } else {
+            heap.resize(r, Complex32::ZERO);
+            &mut heap
+        };
         for k in 0..m {
             for (j, tj) in t.iter_mut().enumerate() {
-                *tj = out[j * m + k] * self.tw(j * k * tw_step);
+                *tj = out[j * m + k] * self.tw_nowrap(j * k * tw_step);
             }
             for q in 0..r {
                 let mut acc = t[0];
@@ -306,9 +329,28 @@ pub(crate) fn radix_schedule(mut n: usize) -> Vec<usize> {
 /// let b = planner.plan(120, Direction::Forward);
 /// assert!(std::sync::Arc::ptr_eq(&a, &b)); // cached
 /// ```
-#[derive(Debug, Default)]
+/// Largest PRB allocation with a dedicated lock-free plan slot (the
+/// 20 MHz LTE uplink schedules at most 110 PRBs).
+const DENSE_PRBS: usize = 110;
+
+#[derive(Debug)]
 pub struct FftPlanner {
-    cache: Mutex<HashMap<(usize, Direction), Arc<FftPlan>>>,
+    /// Lock-free slots for the LTE transform sizes `n = 12·prb`,
+    /// `prb ∈ 1..=110`, indexed `(prb − 1) + 110·direction`. A steady
+    /// state lookup is one atomic load — no lock, no hashing.
+    dense: Vec<OnceLock<Arc<FftPlan>>>,
+    /// Read-mostly fallback for every other size; the write lock is only
+    /// taken the first time a cold size is planned.
+    cold: RwLock<HashMap<(usize, Direction), Arc<FftPlan>>>,
+}
+
+impl Default for FftPlanner {
+    fn default() -> Self {
+        FftPlanner {
+            dense: (0..2 * DENSE_PRBS).map(|_| OnceLock::new()).collect(),
+            cold: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl FftPlanner {
@@ -317,18 +359,57 @@ impl FftPlanner {
         Self::default()
     }
 
+    fn dense_slot(&self, n: usize, direction: Direction) -> Option<&OnceLock<Arc<FftPlan>>> {
+        if n == 0 || !n.is_multiple_of(12) || n / 12 > DENSE_PRBS {
+            return None;
+        }
+        let dir = match direction {
+            Direction::Forward => 0,
+            Direction::Inverse => 1,
+        };
+        Some(&self.dense[(n / 12 - 1) + dir * DENSE_PRBS])
+    }
+
     /// Returns a (shared) plan for the given length and direction.
+    ///
+    /// LTE subcarrier counts (multiples of 12 up to 110 PRBs) resolve
+    /// through a dense lock-free table; other sizes fall back to a
+    /// read-mostly map whose write lock is only held while a cold size
+    /// is planned for the first time.
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn plan(&self, n: usize, direction: Direction) -> Arc<FftPlan> {
-        let mut cache = self.cache.lock().expect("planner mutex poisoned");
+        if let Some(slot) = self.dense_slot(n, direction) {
+            return Arc::clone(slot.get_or_init(|| Arc::new(FftPlan::new(n, direction))));
+        }
+        if let Some(plan) = self
+            .cold
+            .read()
+            .expect("planner lock poisoned")
+            .get(&(n, direction))
+        {
+            return Arc::clone(plan);
+        }
+        let mut cold = self.cold.write().expect("planner lock poisoned");
         Arc::clone(
-            cache
-                .entry((n, direction))
+            cold.entry((n, direction))
                 .or_insert_with(|| Arc::new(FftPlan::new(n, direction))),
         )
+    }
+
+    /// Builds the forward and inverse plans for each PRB allocation up
+    /// front, so no worker ever pays plan construction (or a cold-map
+    /// write lock) on the subframe path.
+    pub fn prewarm<I: IntoIterator<Item = usize>>(&self, prbs: I) {
+        for prb in prbs {
+            let n = prb * 12;
+            if n > 0 {
+                self.plan(n, Direction::Forward);
+                self.plan(n, Direction::Inverse);
+            }
+        }
     }
 
     /// Convenience wrapper for [`Direction::Forward`].
@@ -343,7 +424,12 @@ impl FftPlanner {
 
     /// Number of distinct plans currently cached.
     pub fn cached_plans(&self) -> usize {
-        self.cache.lock().expect("planner mutex poisoned").len()
+        let dense = self
+            .dense
+            .iter()
+            .filter(|slot| slot.get().is_some())
+            .count();
+        dense + self.cold.read().expect("planner lock poisoned").len()
     }
 }
 
@@ -549,5 +635,52 @@ mod tests {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<FftPlanner>();
         assert_sync::<FftPlan>();
+    }
+
+    #[test]
+    fn planner_caches_non_lte_sizes_too() {
+        let planner = FftPlanner::new();
+        // 17 is prime and not a multiple of 12 — cold-map path.
+        let a = planner.forward(17);
+        let b = planner.forward(17);
+        assert!(Arc::ptr_eq(&a, &b));
+        // 1332 = 12 × 111 exceeds the dense PRB range.
+        let c = planner.inverse(1332);
+        let d = planner.inverse(1332);
+        assert!(Arc::ptr_eq(&c, &d));
+        assert_eq!(planner.cached_plans(), 2);
+    }
+
+    #[test]
+    fn planner_prewarm_builds_both_directions() {
+        let planner = FftPlanner::new();
+        planner.prewarm([4, 25, 100]);
+        assert_eq!(planner.cached_plans(), 6);
+        // Prewarming twice is idempotent.
+        planner.prewarm([25]);
+        assert_eq!(planner.cached_plans(), 6);
+    }
+
+    #[test]
+    fn planner_survives_sixteen_thread_hammer() {
+        let planner = Arc::new(FftPlanner::new());
+        let sizes = [12, 120, 300, 600, 1200, 17, 1332];
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                let planner = Arc::clone(&planner);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let n = sizes[(t + i) % sizes.len()];
+                        let fwd = planner.forward(n);
+                        let inv = planner.inverse(n);
+                        assert_eq!(fwd.len(), n);
+                        assert_eq!(inv.len(), n);
+                        // Every thread must see the same shared plan.
+                        assert!(Arc::ptr_eq(&fwd, &planner.forward(n)));
+                    }
+                });
+            }
+        });
+        assert_eq!(planner.cached_plans(), 2 * sizes.len());
     }
 }

@@ -13,25 +13,51 @@ pub const COLUMN_PERMUTATION: [usize; 32] = [
     11, 27, 7, 23, 15, 31,
 ];
 
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+fn subblock_cache() -> &'static RwLock<HashMap<usize, Arc<Interleaver>>> {
+    static CACHE: OnceLock<RwLock<HashMap<usize, Arc<Interleaver>>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
 /// Returns a shared, cached sub-block interleaver for `n` elements.
 ///
 /// The benchmark (de)interleaves every user's full allocation each
 /// subframe; allocations repeat constantly, so construction is amortised
-/// through a global cache (the [`crate::fft::FftPlanner`] pattern).
+/// through a global read-mostly cache (the [`crate::fft::FftPlanner`]
+/// pattern): steady-state lookups take only the read lock, and the write
+/// lock is held once per distinct size. [`prewarm_subblock`] moves even
+/// that off the subframe path.
 ///
 /// # Panics
 ///
 /// Panics if `n == 0`.
-pub fn subblock_cached(n: usize) -> std::sync::Arc<Interleaver> {
-    use std::collections::HashMap;
-    use std::sync::{Arc, Mutex, OnceLock};
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Interleaver>>>> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut map = cache.lock().expect("interleaver cache poisoned");
+pub fn subblock_cached(n: usize) -> Arc<Interleaver> {
+    if let Some(il) = subblock_cache()
+        .read()
+        .expect("interleaver cache poisoned")
+        .get(&n)
+    {
+        return Arc::clone(il);
+    }
+    let mut map = subblock_cache()
+        .write()
+        .expect("interleaver cache poisoned");
     Arc::clone(
         map.entry(n)
             .or_insert_with(|| Arc::new(Interleaver::subblock(n))),
     )
+}
+
+/// Builds (and caches) the sub-block interleavers for the given sizes up
+/// front, so the steady-state path never takes the cache's write lock.
+pub fn prewarm_subblock<I: IntoIterator<Item = usize>>(sizes: I) {
+    for n in sizes {
+        if n > 0 {
+            subblock_cached(n);
+        }
+    }
 }
 
 /// A length-`n` interleaver: a precomputed bijection on `0..n`.
@@ -235,5 +261,24 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn apply_length_checked() {
         Interleaver::identity(4).apply(&[1u8, 2, 3]);
+    }
+
+    #[test]
+    fn cache_survives_sixteen_thread_hammer() {
+        let sizes = [96, 288, 1200, 2880, 7200, 97];
+        prewarm_subblock(sizes.iter().copied().take(3));
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let n = sizes[(t + i) % sizes.len()];
+                        let il = subblock_cached(n);
+                        assert_eq!(il.len(), n);
+                        // Every thread must share one instance per size.
+                        assert!(Arc::ptr_eq(&il, &subblock_cached(n)));
+                    }
+                });
+            }
+        });
     }
 }

@@ -39,6 +39,7 @@
 //! assert!((data[0].re - 300.0).abs() < 1e-3);
 //! ```
 
+pub mod arena;
 pub mod channel;
 pub mod complex;
 pub mod crc;

@@ -85,10 +85,21 @@ pub fn maxlog_llr(modulation: Modulation, y: Complex32, noise_var: f32, out: &mu
 /// Demaps a block of symbols with the max-log demapper.
 pub fn demap_block(modulation: Modulation, symbols: &[Complex32], noise_var: f32) -> Vec<f32> {
     let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
-    for &y in symbols {
-        maxlog_llr(modulation, y, noise_var, &mut out);
-    }
+    demap_block_into(modulation, symbols, noise_var, &mut out);
     out
+}
+
+/// [`demap_block`] appending into a caller-owned buffer — the
+/// zero-allocation hot path writes straight into an arena slice.
+pub fn demap_block_into(
+    modulation: Modulation,
+    symbols: &[Complex32],
+    noise_var: f32,
+    out: &mut Vec<f32>,
+) {
+    for &y in symbols {
+        maxlog_llr(modulation, y, noise_var, out);
+    }
 }
 
 /// Demaps a block of symbols with the exact log-sum-exp demapper — the
@@ -100,15 +111,32 @@ pub fn demap_block_exact(
     noise_var: f32,
 ) -> Vec<f32> {
     let mut out = Vec::with_capacity(symbols.len() * modulation.bits_per_symbol());
-    for &y in symbols {
-        exact_llr(modulation, y, noise_var, &mut out);
-    }
+    demap_block_exact_into(modulation, symbols, noise_var, &mut out);
     out
+}
+
+/// [`demap_block_exact`] appending into a caller-owned buffer.
+pub fn demap_block_exact_into(
+    modulation: Modulation,
+    symbols: &[Complex32],
+    noise_var: f32,
+    out: &mut Vec<f32>,
+) {
+    for &y in symbols {
+        exact_llr(modulation, y, noise_var, out);
+    }
 }
 
 /// Hard decisions from LLRs (`llr >= 0` → bit 0).
 pub fn hard_decisions(llrs: &[f32]) -> Vec<u8> {
-    llrs.iter().map(|&l| if l >= 0.0 { 0 } else { 1 }).collect()
+    let mut out = Vec::with_capacity(llrs.len());
+    hard_decisions_into(llrs, &mut out);
+    out
+}
+
+/// [`hard_decisions`] appending into a caller-owned buffer.
+pub fn hard_decisions_into(llrs: &[f32], out: &mut Vec<u8>) {
+    out.extend(llrs.iter().map(|&l| if l >= 0.0 { 0u8 } else { 1 }));
 }
 
 /// HARQ chase combining: accumulates a retransmission's LLRs into the

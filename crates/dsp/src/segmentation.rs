@@ -14,6 +14,48 @@ pub const MAX_BLOCK: usize = 6144;
 /// Per-code-block CRC bits when segmented.
 const BLOCK_CRC_BITS: usize = 24;
 
+/// The shape of a transport block's segmentation — everything the
+/// receiver needs to size buffers and reassemble decoded blocks, without
+/// materializing any payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentationShape {
+    /// Number of code blocks `C`.
+    pub n_blocks: usize,
+    /// The (uniform) code-block size `K`.
+    pub block_size: usize,
+    /// Filler bits prepended to the first block.
+    pub filler: usize,
+}
+
+impl SegmentationShape {
+    /// Reassembles decoded code blocks into the transport block,
+    /// verifying per-block CRCs when segmented.
+    ///
+    /// Returns `(bits, all_block_crcs_ok)`; the transport-block CRC-24A
+    /// is the caller's to check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decoded` disagrees with this shape.
+    pub fn desegment(&self, decoded: &[Vec<u8>]) -> (Vec<u8>, bool) {
+        assert_eq!(decoded.len(), self.n_blocks, "block count mismatch");
+        for d in decoded {
+            assert_eq!(d.len(), self.block_size, "block size mismatch");
+        }
+        if self.n_blocks == 1 {
+            return (decoded[0][self.filler..].to_vec(), true);
+        }
+        let mut ok = true;
+        let mut out = Vec::new();
+        for (i, d) in decoded.iter().enumerate() {
+            ok &= CRC24B.check_bits(d);
+            let start = if i == 0 { self.filler } else { 0 };
+            out.extend_from_slice(&d[start..d.len() - BLOCK_CRC_BITS]);
+        }
+        (out, ok)
+    }
+}
+
 /// The segmentation of one transport block.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Segmentation {
@@ -25,6 +67,37 @@ pub struct Segmentation {
 }
 
 impl Segmentation {
+    /// Computes the segmentation shape for a transport block of `b` bits
+    /// without building any blocks — the receive path only needs the
+    /// shape, never a payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b == 0`.
+    pub fn shape_for_len(b: usize) -> SegmentationShape {
+        assert!(b > 0, "cannot segment an empty block");
+        if b <= MAX_BLOCK {
+            let k = nearest_block_size(b);
+            return SegmentationShape {
+                n_blocks: 1,
+                block_size: k,
+                filler: k - b,
+            };
+        }
+        let c = b.div_ceil(MAX_BLOCK - BLOCK_CRC_BITS);
+        let b_prime = b + c * BLOCK_CRC_BITS;
+        // Uniform-ish per-block size: the smallest K with C·K ≥ B'.
+        let k_plus = supported_block_sizes()
+            .into_iter()
+            .find(|&k| c * k >= b_prime)
+            .unwrap_or(MAX_BLOCK);
+        SegmentationShape {
+            n_blocks: c,
+            block_size: k_plus,
+            filler: c * k_plus - b_prime,
+        }
+    }
+
     /// Segments transport-block bits (which already include their
     /// CRC-24A) into turbo code blocks.
     ///
@@ -32,12 +105,12 @@ impl Segmentation {
     ///
     /// Panics if `bits` is empty.
     pub fn segment(bits: &[u8]) -> Self {
-        assert!(!bits.is_empty(), "cannot segment an empty block");
         let b = bits.len();
-        if b <= MAX_BLOCK {
+        let shape = Self::shape_for_len(b.max(1));
+        assert!(!bits.is_empty(), "cannot segment an empty block");
+        let filler = shape.filler;
+        if shape.n_blocks == 1 {
             // Single block, no per-block CRC; pad to a supported size.
-            let k = nearest_block_size(b);
-            let filler = k - b;
             let mut block = vec![0u8; filler];
             block.extend_from_slice(bits);
             return Segmentation {
@@ -46,14 +119,8 @@ impl Segmentation {
             };
         }
         // C blocks, each carrying its own CRC-24B.
-        let c = b.div_ceil(MAX_BLOCK - BLOCK_CRC_BITS);
-        let b_prime = b + c * BLOCK_CRC_BITS;
-        // Uniform-ish per-block size: the smallest K with C·K ≥ B'.
-        let k_plus = supported_block_sizes()
-            .into_iter()
-            .find(|&k| c * k >= b_prime)
-            .unwrap_or(MAX_BLOCK);
-        let filler = c * k_plus - b_prime;
+        let c = shape.n_blocks;
+        let k_plus = shape.block_size;
         let payload_per_block = k_plus - BLOCK_CRC_BITS;
         let mut blocks = Vec::with_capacity(c);
         let mut cursor = 0usize;
@@ -73,6 +140,15 @@ impl Segmentation {
         }
         debug_assert_eq!(cursor, b, "all bits must be consumed");
         Segmentation { blocks, filler }
+    }
+
+    /// This segmentation's shape.
+    pub fn shape(&self) -> SegmentationShape {
+        SegmentationShape {
+            n_blocks: self.n_blocks(),
+            block_size: self.block_size(),
+            filler: self.filler,
+        }
     }
 
     /// Number of code blocks `C`.
@@ -95,21 +171,7 @@ impl Segmentation {
     ///
     /// Panics if `decoded` disagrees with this segmentation's shape.
     pub fn desegment(&self, decoded: &[Vec<u8>]) -> (Vec<u8>, bool) {
-        assert_eq!(decoded.len(), self.n_blocks(), "block count mismatch");
-        for d in decoded {
-            assert_eq!(d.len(), self.block_size(), "block size mismatch");
-        }
-        if self.n_blocks() == 1 {
-            return (decoded[0][self.filler..].to_vec(), true);
-        }
-        let mut ok = true;
-        let mut out = Vec::new();
-        for (i, d) in decoded.iter().enumerate() {
-            ok &= CRC24B.check_bits(d);
-            let start = if i == 0 { self.filler } else { 0 };
-            out.extend_from_slice(&d[start..d.len() - BLOCK_CRC_BITS]);
-        }
-        (out, ok)
+        self.shape().desegment(decoded)
     }
 }
 
@@ -205,5 +267,28 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_input_rejected() {
         Segmentation::segment(&[]);
+    }
+
+    #[test]
+    fn shape_for_len_matches_materialized_segmentation() {
+        for n in [1usize, 40, 100, 512, 6144, 6145, 12_000, 50_000, 100_000] {
+            let bits = random_bits(n, n as u64);
+            let seg = Segmentation::segment(&bits);
+            assert_eq!(Segmentation::shape_for_len(n), seg.shape(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shape_desegment_equals_segmentation_desegment() {
+        let bits = random_bits(15_000, 6);
+        let seg = Segmentation::segment(&bits);
+        let shape = Segmentation::shape_for_len(bits.len());
+        assert_eq!(shape.desegment(&seg.blocks), seg.desegment(&seg.blocks));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn shape_for_zero_len_rejected() {
+        Segmentation::shape_for_len(0);
     }
 }

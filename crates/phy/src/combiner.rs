@@ -13,12 +13,51 @@
 //! undo the SC-FDMA DFT precoding) is the per-(symbol, layer) task of the
 //! demodulation stage.
 
+use lte_dsp::arena::ScratchArena;
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::Complex32;
 
 use crate::estimator::ChannelEstimate;
 use crate::grid::UserInput;
 use crate::linalg::CMatrix;
+
+/// Reusable working matrices for [`CombinerWeights::compute`].
+///
+/// The MMSE solve needs six small matrices per subcarrier (`H`, `Hᴴ`,
+/// the Gram matrix, the Gauss–Jordan workspace, the inverse, and the
+/// weight product); allocating them fresh for every subcarrier of every
+/// slot dominated the combiner's runtime. One scratch lives per worker
+/// and is reshaped in place each subcarrier.
+#[derive(Clone, Debug)]
+pub struct MmseScratch {
+    h: CMatrix,
+    hh: CMatrix,
+    gram: CMatrix,
+    work: CMatrix,
+    inv: CMatrix,
+    wmat: CMatrix,
+}
+
+impl MmseScratch {
+    /// A minimal scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        let m = || CMatrix::zeros(1, 1);
+        MmseScratch {
+            h: m(),
+            hh: m(),
+            gram: m(),
+            work: m(),
+            inv: m(),
+            wmat: m(),
+        }
+    }
+}
+
+impl Default for MmseScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 /// Per-subcarrier MMSE weights for one slot: row `(sc, layer)` holds the
 /// `n_rx` weights applied to the antenna samples of subcarrier `sc`.
@@ -42,37 +81,71 @@ impl CombinerWeights {
     ///
     /// Panics if `noise_var <= 0`.
     pub fn mmse(estimate: &ChannelEstimate, noise_var: f32) -> Self {
+        let mut out = Self::empty();
+        out.compute(estimate, noise_var, &mut MmseScratch::new());
+        out
+    }
+
+    /// A placeholder with no weights, ready to be filled by
+    /// [`compute`](Self::compute) without reallocating across subframes.
+    pub fn empty() -> Self {
+        CombinerWeights {
+            w: Vec::new(),
+            n_sc: 0,
+            n_layers: 0,
+            n_rx: 0,
+        }
+    }
+
+    /// [`mmse`](Self::mmse) into this existing value, reusing its weight
+    /// storage and the caller's [`MmseScratch`]. Performs the exact
+    /// arithmetic of the allocating path in the exact order, so serial
+    /// and arena-backed runs stay byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `noise_var <= 0`.
+    pub fn compute(
+        &mut self,
+        estimate: &ChannelEstimate,
+        noise_var: f32,
+        scratch: &mut MmseScratch,
+    ) {
         assert!(noise_var > 0.0, "noise variance must be positive");
         let n_rx = estimate.n_rx();
         let n_layers = estimate.n_layers();
         let n_sc = estimate.n_sc();
-        let mut w = vec![Complex32::ZERO; n_sc * n_layers * n_rx];
+        self.w.clear();
+        self.w.resize(n_sc * n_layers * n_rx, Complex32::ZERO);
+        self.n_sc = n_sc;
+        self.n_layers = n_layers;
+        self.n_rx = n_rx;
         for sc in 0..n_sc {
             // H: n_rx × n_layers for this subcarrier.
-            let mut h = CMatrix::zeros(n_rx, n_layers);
+            let h = &mut scratch.h;
+            h.reset(n_rx, n_layers);
             for rx in 0..n_rx {
                 for layer in 0..n_layers {
                     h[(rx, layer)] = estimate.path(rx, layer)[sc];
                 }
             }
-            let hh = h.hermitian();
-            let mut gram = hh.mul(&h);
-            gram.add_diagonal(noise_var);
-            let weights = match gram.inverse() {
-                Some(inv) => inv.mul(&hh),
-                None => hh.clone(), // matched-filter fallback
+            h.hermitian_into(&mut scratch.hh);
+            scratch.hh.mul_into(&scratch.h, &mut scratch.gram);
+            scratch.gram.add_diagonal(noise_var);
+            let weights = if scratch
+                .gram
+                .inverse_into(&mut scratch.work, &mut scratch.inv)
+            {
+                scratch.inv.mul_into(&scratch.hh, &mut scratch.wmat);
+                &scratch.wmat
+            } else {
+                &scratch.hh // matched-filter fallback
             };
             for layer in 0..n_layers {
                 for rx in 0..n_rx {
-                    w[(sc * n_layers + layer) * n_rx + rx] = weights[(layer, rx)];
+                    self.w[(sc * n_layers + layer) * n_rx + rx] = weights[(layer, rx)];
                 }
             }
-        }
-        CombinerWeights {
-            w,
-            n_sc,
-            n_layers,
-            n_rx,
         }
     }
 
@@ -116,22 +189,58 @@ pub fn combine_symbol(
     layer: usize,
     planner: &FftPlanner,
 ) -> Vec<Complex32> {
+    let mut combined = Vec::new();
+    combine_symbol_into(
+        input,
+        weights,
+        slot,
+        symbol,
+        layer,
+        planner,
+        &mut ScratchArena::new(),
+        &mut combined,
+    );
+    combined
+}
+
+/// [`combine_symbol`] into a caller-provided buffer, with the IFFT's
+/// working space drawn from `arena` — the zero-allocation variant used
+/// by the steady-state receive path.
+///
+/// `out` is cleared and refilled; its capacity is reused.
+///
+/// # Panics
+///
+/// Panics if `slot`/`symbol` are out of range or the weights don't match
+/// the input dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn combine_symbol_into(
+    input: &UserInput,
+    weights: &CombinerWeights,
+    slot: usize,
+    symbol: usize,
+    layer: usize,
+    planner: &FftPlanner,
+    arena: &mut ScratchArena,
+    out: &mut Vec<Complex32>,
+) {
     let rx_symbol = &input.slots[slot].data[symbol];
     let n_sc = rx_symbol.n_sc();
     assert_eq!(weights.n_sc(), n_sc, "weights/subcarrier mismatch");
     assert_eq!(weights.n_rx(), rx_symbol.n_rx(), "weights/antenna mismatch");
-    let mut combined = Vec::with_capacity(n_sc);
+    out.clear();
+    out.reserve(n_sc);
     for sc in 0..n_sc {
         let row = weights.row(sc, layer);
         let mut acc = Complex32::ZERO;
         for (rx, &wgt) in row.iter().enumerate() {
             acc = acc.mul_add(wgt, rx_symbol.antenna(rx)[sc]);
         }
-        combined.push(acc);
+        out.push(acc);
     }
     // Undo the SC-FDMA DFT precoding.
-    planner.inverse(n_sc).process(&mut combined);
-    combined
+    let plan = planner.inverse(n_sc);
+    plan.process_with_scratch(out, arena.fft_scratch(n_sc));
 }
 
 #[cfg(test)]
@@ -242,5 +351,53 @@ mod tests {
     #[should_panic(expected = "noise variance")]
     fn mmse_rejects_nonpositive_noise() {
         CombinerWeights::mmse(&ChannelEstimate::empty(1, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn compute_with_dirty_scratch_matches_mmse_bitwise() {
+        let mut rng = Xoshiro256::seed_from_u64(77);
+        let mut scratch = MmseScratch::new();
+        let mut reused = CombinerWeights::empty();
+        for (n_rx, n_layers, n_sc) in [(2, 1, 12), (4, 2, 36), (4, 4, 24), (1, 1, 12)] {
+            let channel = MimoChannel::randomize(n_rx, n_layers, 2, &mut rng);
+            let mut est = ChannelEstimate::empty(n_rx, n_layers, n_sc);
+            for rx in 0..n_rx {
+                for layer in 0..n_layers {
+                    est.set_path(rx, layer, channel.frequency_response(rx, layer, n_sc));
+                }
+            }
+            let fresh = CombinerWeights::mmse(&est, 0.05);
+            // Same scratch and output across shapes: state must not leak.
+            reused.compute(&est, 0.05, &mut scratch);
+            assert_eq!(fresh, reused, "{n_rx}x{n_layers}x{n_sc}");
+        }
+    }
+
+    #[test]
+    fn combine_symbol_into_matches_allocating_path_bitwise() {
+        let cell = CellConfig::with_antennas(4);
+        let user = UserConfig::new(6, 2, Modulation::Qam16);
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let channel = MimoChannel::randomize(4, 2, 3, &mut rng);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            20.0,
+            &channel,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let est = estimate_slot(&cell, &input, 0, &planner);
+        let w = CombinerWeights::mmse(&est, input.noise_var);
+        let mut arena = ScratchArena::new();
+        let mut out = vec![Complex32::ONE; 3]; // dirty, wrong-sized
+        for symbol in 0..2 {
+            for layer in 0..2 {
+                let fresh = combine_symbol(&input, &w, 0, symbol, layer, &planner);
+                combine_symbol_into(&input, &w, 0, symbol, layer, &planner, &mut arena, &mut out);
+                assert_eq!(fresh, out, "symbol {symbol} layer {layer}");
+            }
+        }
     }
 }

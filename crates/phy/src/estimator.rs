@@ -14,6 +14,7 @@
 //! 4. **FFT** back to the frequency domain → the denoised estimate
 //!    `Ĥ(rx, layer, subcarrier)`.
 
+use lte_dsp::arena::ScratchArena;
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::matched_filter::matched_filter;
 use lte_dsp::window::ChannelWindow;
@@ -23,10 +24,13 @@ use lte_obs::{Recorder, Stage};
 use crate::grid::UserInput;
 use crate::params::CellConfig;
 use crate::trace::StageTimer;
-use crate::tx::reference_for_layer;
+use crate::tx::{reference_for_layer, reference_for_layer_cached};
 
 /// Channel estimates for one slot: `paths[rx][layer][subcarrier]`.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// The `Default` value has zero paths; [`reset`](Self::reset) shapes it
+/// before use.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ChannelEstimate {
     paths: Vec<Vec<Vec<Complex32>>>,
 }
@@ -54,9 +58,30 @@ impl ChannelEstimate {
         self.paths[rx][layer] = estimate;
     }
 
+    /// Reshapes to `n_rx × n_layers` paths of `n_sc` subcarriers, all
+    /// zeroed, reusing every nested buffer whose shape already matches —
+    /// the steady-state case, where this allocates nothing.
+    pub fn reset(&mut self, n_rx: usize, n_layers: usize, n_sc: usize) {
+        self.paths.truncate(n_rx);
+        self.paths.resize_with(n_rx, Vec::new);
+        for row in &mut self.paths {
+            row.truncate(n_layers);
+            row.resize_with(n_layers, Vec::new);
+            for path in row.iter_mut() {
+                path.clear();
+                path.resize(n_sc, Complex32::ZERO);
+            }
+        }
+    }
+
     /// One estimated path.
     pub fn path(&self, rx: usize, layer: usize) -> &[Complex32] {
         &self.paths[rx][layer]
+    }
+
+    /// Mutable access to one path's storage, for in-place estimation.
+    pub fn path_mut(&mut self, rx: usize, layer: usize) -> &mut Vec<Complex32> {
+        &mut self.paths[rx][layer]
     }
 
     /// Number of receive antennas.
@@ -113,7 +138,7 @@ pub fn estimate_path_traced<R: Recorder>(
 ) -> Vec<Complex32> {
     let received = input.slots[slot].reference.antenna(rx);
     let n = received.len();
-    let reference = reference_for_layer(cell, &input.config, layer);
+    let reference = reference_for_layer_cached(cell, &input.config, layer);
     let mut work = vec![Complex32::ZERO; n];
     timer.time(Stage::MatchedFilter, || {
         matched_filter(received, reference.samples(), &mut work)
@@ -122,6 +147,42 @@ pub fn estimate_path_traced<R: Recorder>(
     timer.time(Stage::Window, || ChannelWindow::for_len(n).apply(&mut work));
     timer.time(Stage::Fft, || planner.forward(n).process(&mut work));
     work
+}
+
+/// [`estimate_path`] into a caller-provided slice, with FFT working
+/// space drawn from `arena` and the DM-RS reference served from the
+/// global cache — the zero-allocation variant the worker pool runs in
+/// steady state. The kernel sequence and arithmetic are identical to
+/// the allocating path, so results are byte-for-byte equal.
+///
+/// Every element of `out` is overwritten.
+///
+/// # Panics
+///
+/// Panics if `slot`, `rx` or `layer` are out of range for the input, or
+/// if `out` is not exactly one reference symbol long.
+#[allow(clippy::too_many_arguments)] // mirrors estimate_path plus the two scratch outputs
+pub fn estimate_path_into(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    layer: usize,
+    planner: &FftPlanner,
+    arena: &mut ScratchArena,
+    out: &mut [Complex32],
+) {
+    let received = input.slots[slot].reference.antenna(rx);
+    let n = received.len();
+    let reference = reference_for_layer_cached(cell, &input.config, layer);
+    matched_filter(received, reference.samples(), out);
+    planner
+        .inverse(n)
+        .process_with_scratch(out, arena.fft_scratch(n));
+    ChannelWindow::for_len(n).apply(out);
+    planner
+        .forward(n)
+        .process_with_scratch(out, arena.fft_scratch(n));
 }
 
 /// Estimates every path of one slot serially (the reference
@@ -274,6 +335,72 @@ mod tests {
         let mut est = ChannelEstimate::empty(1, 1, 12);
         est.set_path(0, 0, vec![Complex32::ZERO; 13]);
     }
+
+    #[test]
+    fn reset_matches_empty_and_reuses_storage() {
+        let mut est = ChannelEstimate::empty(4, 2, 36);
+        est.set_path(0, 1, vec![Complex32::ONE; 36]);
+        est.reset(2, 4, 12);
+        assert_eq!(est, ChannelEstimate::empty(2, 4, 12));
+        // Shrinking then re-growing within capacity must not lose shape.
+        est.reset(4, 2, 36);
+        assert_eq!(est, ChannelEstimate::empty(4, 2, 36));
+    }
+
+    #[test]
+    fn estimate_path_into_matches_allocating_path_bitwise() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(6, 2, Modulation::Qam16);
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let channel = MimoChannel::randomize(4, 2, 3, &mut rng);
+        let input = synthesize_user_over_channel(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            15.0,
+            &channel,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let mut arena = lte_dsp::arena::ScratchArena::new();
+        let mut out = vec![Complex32::ONE; user.subcarriers()]; // dirty
+        for slot in 0..2 {
+            for rx in 0..4 {
+                for layer in 0..2 {
+                    let fresh = estimate_path(&cell, &input, slot, rx, layer, &planner);
+                    estimate_path_into(
+                        &cell, &input, slot, rx, layer, &planner, &mut arena, &mut out,
+                    );
+                    assert_eq!(fresh, out, "slot {slot} rx {rx} layer {layer}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_var_with_arena_matches_allocating_path_bitwise() {
+        let cell = CellConfig::with_antennas(2);
+        let user = UserConfig::new(8, 2, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(13);
+        let input = crate::tx::synthesize_user_with_mode(
+            &cell,
+            &user,
+            TurboMode::Passthrough,
+            12.0,
+            &mut rng,
+        );
+        let planner = FftPlanner::new();
+        let mut arena = lte_dsp::arena::ScratchArena::new();
+        for slot in 0..2 {
+            for rx in 0..2 {
+                let fresh = estimate_noise_var(&cell, &input, slot, rx, &planner);
+                let pooled =
+                    estimate_noise_var_with_arena(&cell, &input, slot, rx, &planner, &mut arena);
+                assert_eq!(fresh.to_bits(), pooled.to_bits(), "slot {slot} rx {rx}");
+            }
+        }
+        assert!(arena.pooled_buffers() >= 2, "buffers must return to pool");
+    }
 }
 
 /// Blind noise-variance estimation from one received reference symbol.
@@ -295,34 +422,57 @@ pub fn estimate_noise_var(
     rx: usize,
     planner: &FftPlanner,
 ) -> f32 {
+    estimate_noise_var_with_arena(cell, input, slot, rx, planner, &mut ScratchArena::new())
+}
+
+/// [`estimate_noise_var`] with all working buffers drawn from `arena` —
+/// the zero-allocation variant of the steady-state receive path.
+///
+/// # Panics
+///
+/// Panics if `slot` or `rx` is out of range.
+pub fn estimate_noise_var_with_arena(
+    cell: &CellConfig,
+    input: &UserInput,
+    slot: usize,
+    rx: usize,
+    planner: &FftPlanner,
+    arena: &mut ScratchArena,
+) -> f32 {
     let received = input.slots[slot].reference.antenna(rx);
     let n = received.len();
-    let reference = reference_for_layer(cell, &input.config, 0);
-    let mut work = vec![Complex32::ZERO; n];
+    let reference = reference_for_layer_cached(cell, &input.config, 0);
+    let mut work = arena.take_c32(n);
+    work.resize(n, Complex32::ZERO);
     matched_filter(received, reference.samples(), &mut work);
-    planner.inverse(n).process(&mut work);
+    planner
+        .inverse(n)
+        .process_with_scratch(&mut work, arena.fft_scratch(n));
     // Mark the kept window of every layer (relative to layer 0's
     // matched filter, layer l sits at offset l·N/L).
     let window = ChannelWindow::for_len(n);
     let layers = crate::tx::shift_denominator(&input.config);
-    let mut excluded = vec![false; n];
+    let mut excluded = arena.take_u8(n);
+    excluded.resize(n, 0);
     for l in 0..input.config.layers {
         let offset = l * n / layers;
         for t in 0..window.head {
-            excluded[(offset + t) % n] = true;
+            excluded[(offset + t) % n] = 1;
         }
         for t in 0..window.tail {
-            excluded[(offset + n - 1 - t) % n] = true;
+            excluded[(offset + n - 1 - t) % n] = 1;
         }
     }
     let mut acc = 0.0f64;
     let mut count = 0usize;
     for (t, z) in work.iter().enumerate() {
-        if !excluded[t] {
+        if excluded[t] == 0 {
             acc += z.norm_sqr() as f64;
             count += 1;
         }
     }
+    arena.recycle_c32(work);
+    arena.recycle_u8(excluded);
     if count == 0 {
         return input.noise_var; // degenerate tiny allocation
     }

@@ -60,15 +60,52 @@ impl CMatrix {
         self.cols
     }
 
+    /// Reshapes to an all-zero `rows × cols` matrix, reusing the backing
+    /// storage (no allocation once grown to the largest size seen).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        assert!(rows > 0 && cols > 0, "dimensions must be positive");
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, Complex32::ZERO);
+    }
+
+    /// Reshapes to the `n × n` identity, reusing the backing storage.
+    pub fn reset_identity(&mut self, n: usize) {
+        self.reset(n, n);
+        for i in 0..n {
+            self[(i, i)] = Complex32::ONE;
+        }
+    }
+
+    /// Becomes a copy of `src`, reusing the backing storage.
+    pub fn copy_from(&mut self, src: &CMatrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Conjugate transpose.
     pub fn hermitian(&self) -> CMatrix {
         let mut out = CMatrix::zeros(self.cols, self.rows);
+        self.hermitian_into(&mut out);
+        out
+    }
+
+    /// [`hermitian`](Self::hermitian) written into a reusable output
+    /// matrix (identical arithmetic, no allocation once `out` has grown).
+    pub fn hermitian_into(&self, out: &mut CMatrix) {
+        out.reset(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out[(c, r)] = self[(r, c)].conj();
             }
         }
-        out
     }
 
     /// Matrix product `self · rhs`.
@@ -79,6 +116,20 @@ impl CMatrix {
     pub fn mul(&self, rhs: &CMatrix) -> CMatrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        self.mul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`mul`](Self::mul) written into a reusable output matrix. The
+    /// accumulation order is identical to `mul`, so arena-path results
+    /// stay bit-exact with the allocating path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn mul_into(&self, rhs: &CMatrix, out: &mut CMatrix) {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        out.reset(self.rows, rhs.cols);
         for r in 0..self.rows {
             for k in 0..self.cols {
                 let a = self[(r, k)];
@@ -90,7 +141,6 @@ impl CMatrix {
                 }
             }
         }
-        out
     }
 
     /// Adds `lambda` to every diagonal entry (diagonal loading / noise
@@ -110,10 +160,27 @@ impl CMatrix {
     ///
     /// Panics if the matrix is not square.
     pub fn inverse(&self) -> Option<CMatrix> {
+        let mut work = CMatrix::zeros(self.rows, self.cols);
+        let mut out = CMatrix::zeros(self.rows, self.cols);
+        self.inverse_into(&mut work, &mut out).then_some(out)
+    }
+
+    /// [`inverse`](Self::inverse) using reusable elimination (`work`) and
+    /// output (`out`) matrices; both are reshaped as needed. Returns
+    /// `false` for a numerically singular matrix (with `work`/`out` in an
+    /// unspecified state). The elimination order is identical to
+    /// `inverse`, so results stay bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse_into(&self, work: &mut CMatrix, out: &mut CMatrix) -> bool {
         assert_eq!(self.rows, self.cols, "inverse needs a square matrix");
         let n = self.rows;
-        let mut a = self.clone();
-        let mut inv = CMatrix::identity(n);
+        let a = work;
+        a.copy_from(self);
+        let inv = out;
+        inv.reset_identity(n);
         for col in 0..n {
             // Partial pivot: largest magnitude in this column.
             let mut pivot = col;
@@ -126,7 +193,7 @@ impl CMatrix {
                 }
             }
             if best < 1e-20 {
-                return None;
+                return false;
             }
             if pivot != col {
                 a.swap_rows(pivot, col);
@@ -153,7 +220,7 @@ impl CMatrix {
                 }
             }
         }
-        Some(inv)
+        true
     }
 
     fn swap_rows(&mut self, i: usize, j: usize) {
@@ -293,5 +360,40 @@ mod tests {
     #[should_panic(expected = "square")]
     fn inverse_requires_square() {
         CMatrix::zeros(2, 3).inverse();
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ops_bitwise() {
+        // Reused (wrong-shaped, dirty) outputs must produce exactly the
+        // allocating results — the zero-alloc receive path depends on it.
+        let mut h = CMatrix::zeros(1, 1);
+        let mut p = CMatrix::zeros(1, 1);
+        let mut work = CMatrix::zeros(1, 1);
+        let mut inv = CMatrix::zeros(1, 1);
+        for seed in 0..10 {
+            for n in 1..=4 {
+                let m = random_matrix(n, seed);
+                m.hermitian_into(&mut h);
+                assert_eq!(h, m.hermitian());
+                let rhs = random_matrix(n, seed + 100);
+                m.mul_into(&rhs, &mut p);
+                assert_eq!(p, m.mul(&rhs));
+                let mut g = m.clone();
+                g.add_diagonal(0.5);
+                assert!(g.inverse_into(&mut work, &mut inv));
+                assert_eq!(inv, g.inverse().expect("invertible"));
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_storage_and_zeroes() {
+        let mut m = random_matrix(4, 1);
+        m.reset(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m, CMatrix::zeros(2, 3));
+        m.reset_identity(3);
+        assert_eq!(m, CMatrix::identity(3));
     }
 }

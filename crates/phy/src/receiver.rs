@@ -8,10 +8,13 @@
 //! [`finish_user`]) as work-stealing tasks; because every task computes an
 //! independent output block, serial and parallel results are bit-exact.
 
+use std::cell::RefCell;
+
+use lte_dsp::arena::ScratchArena;
 use lte_dsp::crc::CRC24A;
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::interleave::subblock_cached;
-use lte_dsp::llr::{demap_block, hard_decisions};
+use lte_dsp::llr::{demap_block, demap_block_into, hard_decisions, hard_decisions_into};
 use lte_dsp::rate_match::RateMatcher;
 use lte_dsp::scrambling::descramble_llrs;
 use lte_dsp::segmentation::Segmentation;
@@ -19,8 +22,8 @@ use lte_dsp::turbo::TurboDecoder;
 use lte_dsp::Complex32;
 use lte_obs::{Recorder, Stage};
 
-use crate::combiner::{combine_symbol, CombinerWeights};
-use crate::estimator::{estimate_slot, estimate_slot_traced};
+use crate::combiner::{combine_symbol, combine_symbol_into, CombinerWeights, MmseScratch};
+use crate::estimator::{estimate_path_into, estimate_slot, estimate_slot_traced, ChannelEstimate};
 use crate::grid::UserInput;
 use crate::params::{CellConfig, TurboMode, DATA_SYMBOLS_PER_SLOT, SLOTS_PER_SUBFRAME};
 use crate::trace::StageTimer;
@@ -106,7 +109,7 @@ pub fn finish_user_traced<R: Recorder>(
                     decoder.decode(&matcher.accumulate_llrs(llr))
                 })
                 .collect();
-            let shape = Segmentation::segment(&vec![0u8; transport_bits]);
+            let shape = Segmentation::shape_for_len(transport_bits);
             let (bits, _blocks_ok) = shape.desegment(&decoded);
             (bits, transport_bits)
         }
@@ -123,9 +126,90 @@ pub fn finish_user_traced<R: Recorder>(
     }
 }
 
+/// [`finish_user`] with every working buffer drawn from `arena` — the
+/// zero-allocation tail of the steady-state path. The returned payload's
+/// storage also comes from the arena; callers that want a fully
+/// allocation-free loop hand it back with
+/// [`ScratchArena::recycle_u8`] once they are done with it.
+///
+/// Arithmetic and ordering match [`finish_user`] exactly, so results are
+/// byte-identical.
+///
+/// # Panics
+///
+/// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
+pub fn finish_user_with_arena(
+    input: &UserInput,
+    mode: TurboMode,
+    llrs: &[f32],
+    arena: &mut ScratchArena,
+) -> UserResult {
+    let user = &input.config;
+    let total = user.bits_per_subframe();
+    assert_eq!(llrs.len(), total, "LLR count must match the allocation");
+    // Undo the Gold-sequence scrambling (sign flips), then deinterleave.
+    let mut scrambled = arena.take_f32(total);
+    scrambled.extend_from_slice(llrs);
+    descramble_llrs(&mut scrambled, crate::tx::scrambling_init(user));
+    let mut deinterleaved = arena.take_f32(total);
+    deinterleaved.resize(total, 0.0);
+    subblock_cached(total).invert_into(&scrambled, &mut deinterleaved);
+    arena.recycle_f32(scrambled);
+    let plan = FramePlan::for_user(user, mode);
+    let (mut frame_bits, expected_len) = match (mode, plan) {
+        (TurboMode::Passthrough, FramePlan::Passthrough { payload_bits }) => {
+            let mut bits = arena.take_u8(total);
+            hard_decisions_into(&deinterleaved, &mut bits);
+            (bits, payload_bits + 24)
+        }
+        (
+            TurboMode::Decode { iterations },
+            FramePlan::Coded {
+                transport_bits,
+                n_blocks,
+                block_size: k,
+                ..
+            },
+        ) => {
+            // The turbo decoder allocates internally; the zero-allocation
+            // guarantee covers the pass-through configuration the paper's
+            // steady-state scenarios run.
+            let decoder = TurboDecoder::new(k, iterations);
+            let matcher = RateMatcher::new(k);
+            let shares = crate::tx::rate_match_shares(total, n_blocks);
+            let mut cursor = 0usize;
+            let decoded: Vec<Vec<u8>> = shares
+                .iter()
+                .map(|&e| {
+                    let llr = &deinterleaved[cursor..cursor + e];
+                    cursor += e;
+                    decoder.decode(&matcher.accumulate_llrs(llr))
+                })
+                .collect();
+            let shape = Segmentation::shape_for_len(transport_bits);
+            let (bits, _blocks_ok) = shape.desegment(&decoded);
+            (bits, transport_bits)
+        }
+        _ => unreachable!("plan always matches mode"),
+    };
+    arena.recycle_f32(deinterleaved);
+    frame_bits.truncate(expected_len);
+    let crc_ok = CRC24A.check_bits(&frame_bits);
+    frame_bits.truncate(expected_len - 24);
+    UserResult {
+        payload: frame_bits,
+        crc_ok,
+    }
+}
+
 /// Soft-demaps one combined (symbol, layer) block into LLRs.
 pub fn demap_symbol(input: &UserInput, combined: &[Complex32]) -> Vec<f32> {
     demap_block(input.config.modulation, combined, input.noise_var)
+}
+
+/// [`demap_symbol`] appending into a caller-owned buffer.
+pub fn demap_symbol_into(input: &UserInput, combined: &[Complex32], out: &mut Vec<f32>) {
+    demap_block_into(input.config.modulation, combined, input.noise_var, out);
 }
 
 /// [`demap_symbol`] with the exact log-sum-exp demapper instead of the
@@ -238,6 +322,172 @@ pub fn demodulate_user_traced<R: Recorder>(
         }
     }
     llrs
+}
+
+/// Per-thread reusable state for the zero-allocation receive path: the
+/// buffer arena plus the estimate, weight and matrix scratch the
+/// pipeline reshapes in place every subframe.
+///
+/// One instance lives per worker thread (see [`UserScratch::with`]);
+/// nothing here is shared, so there is no locking on the hot path.
+#[derive(Default)]
+pub struct UserScratch {
+    /// Size-classed buffer pools and FFT working space.
+    pub arena: ScratchArena,
+    est: ChannelEstimate,
+    weights: Vec<CombinerWeights>,
+    mmse: MmseScratch,
+    combined: Vec<Complex32>,
+    llrs: Vec<f32>,
+}
+
+thread_local! {
+    static USER_SCRATCH: RefCell<UserScratch> = RefCell::new(UserScratch::default());
+}
+
+impl UserScratch {
+    /// A fresh scratch; buffers grow to steady-state sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with this thread's scratch.
+    ///
+    /// The closure must not call [`UserScratch::with`] again (the
+    /// `RefCell` would panic) — in particular it must not block on a
+    /// work-stealing scope whose stolen tasks might re-enter the
+    /// scratch. Keep each borrow confined to one task's straight-line
+    /// work.
+    pub fn with<T>(f: impl FnOnce(&mut UserScratch) -> T) -> T {
+        USER_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+    }
+
+    /// Computes one slot's combiner weights from a flat
+    /// `[rx][layer][subcarrier]` path buffer through this scratch's
+    /// matrices — the parallel runtime's estimation tasks write such a
+    /// buffer, and the user thread turns it into weights here without
+    /// allocating any intermediates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len() != n_rx * n_layers * n_sc` or
+    /// `noise_var <= 0`.
+    pub fn weights_from_flat_estimate(
+        &mut self,
+        n_rx: usize,
+        n_layers: usize,
+        n_sc: usize,
+        flat: &[Complex32],
+        noise_var: f32,
+    ) -> CombinerWeights {
+        assert_eq!(flat.len(), n_rx * n_layers * n_sc, "path buffer mismatch");
+        self.est.reset(n_rx, n_layers, n_sc);
+        for rx in 0..n_rx {
+            for layer in 0..n_layers {
+                let base = (rx * n_layers + layer) * n_sc;
+                self.est
+                    .path_mut(rx, layer)
+                    .copy_from_slice(&flat[base..base + n_sc]);
+            }
+        }
+        let mut weights = CombinerWeights::empty();
+        weights.compute(&self.est, noise_var, &mut self.mmse);
+        weights
+    }
+}
+
+/// [`demodulate_user`] with all working state drawn from `scratch`,
+/// appending the LLRs to `out` — the zero-allocation front half of the
+/// steady-state path. Kernel order and arithmetic match the allocating
+/// pipeline exactly, so the LLR stream is byte-identical.
+///
+/// `out` is cleared and refilled; its capacity is reused.
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn demodulate_user_into(
+    cell: &CellConfig,
+    input: &UserInput,
+    planner: &FftPlanner,
+    scratch: &mut UserScratch,
+    out: &mut Vec<f32>,
+) {
+    input.validate();
+    let user = &input.config;
+    let n_sc = user.subcarriers();
+
+    // Stage 1: channel estimation per slot (rx × layer tasks), then
+    // combiner weights — data processing for a slot needs that slot's
+    // estimate (§II-C).
+    scratch
+        .weights
+        .resize_with(SLOTS_PER_SUBFRAME, CombinerWeights::empty);
+    for slot in 0..SLOTS_PER_SUBFRAME {
+        scratch.est.reset(cell.n_rx, user.layers, n_sc);
+        for rx in 0..cell.n_rx {
+            for layer in 0..user.layers {
+                estimate_path_into(
+                    cell,
+                    input,
+                    slot,
+                    rx,
+                    layer,
+                    planner,
+                    &mut scratch.arena,
+                    scratch.est.path_mut(rx, layer),
+                );
+            }
+        }
+        scratch.weights[slot].compute(&scratch.est, input.noise_var, &mut scratch.mmse);
+    }
+
+    // Stage 2: antenna combining + IFFT per (slot, symbol, layer), then
+    // soft demapping, keeping the transmitter's bit order.
+    out.clear();
+    out.reserve(user.bits_per_subframe());
+    for slot in 0..SLOTS_PER_SUBFRAME {
+        for sym in 0..DATA_SYMBOLS_PER_SLOT {
+            for layer in 0..user.layers {
+                combine_symbol_into(
+                    input,
+                    &scratch.weights[slot],
+                    slot,
+                    sym,
+                    layer,
+                    planner,
+                    &mut scratch.arena,
+                    &mut scratch.combined,
+                );
+                demap_block_into(user.modulation, &scratch.combined, input.noise_var, out);
+            }
+        }
+    }
+}
+
+/// [`process_user_with_planner`] running entirely on this thread's
+/// [`UserScratch`] — the zero-allocation serial pipeline. After warmup
+/// the only heap traffic is the returned payload, whose storage cycles
+/// through the arena when the caller recycles it.
+///
+/// # Panics
+///
+/// Panics if `input` is internally inconsistent (see
+/// [`UserInput::validate`]).
+pub fn process_user_pooled(
+    cell: &CellConfig,
+    input: &UserInput,
+    mode: TurboMode,
+    planner: &FftPlanner,
+) -> UserResult {
+    UserScratch::with(|scratch| {
+        let mut llrs = std::mem::take(&mut scratch.llrs);
+        demodulate_user_into(cell, input, planner, scratch, &mut llrs);
+        let result = finish_user_with_arena(input, mode, &llrs, &mut scratch.arena);
+        scratch.llrs = llrs;
+        result
+    })
 }
 
 #[cfg(test)]
@@ -354,6 +604,56 @@ mod tests {
         let a = process_user(&cell, &input, TurboMode::Passthrough);
         let b = process_user(&cell, &input, TurboMode::Passthrough);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_allocating_pipeline_bitwise() {
+        let cell = CellConfig::default();
+        let planner = FftPlanner::new();
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        for (prbs, layers, modulation) in [
+            (4, 1, Modulation::Qpsk),
+            (10, 2, Modulation::Qam16),
+            (25, 4, Modulation::Qam64),
+        ] {
+            let user = UserConfig::new(prbs, layers, modulation);
+            let input = synthesize_user(&cell, &user, 35.0, &mut rng);
+            let fresh = process_user_with_planner(&cell, &input, TurboMode::Passthrough, &planner);
+            let pooled = process_user_pooled(&cell, &input, TurboMode::Passthrough, &planner);
+            assert_eq!(fresh, pooled, "{modulation} x{layers} prbs {prbs}");
+        }
+    }
+
+    #[test]
+    fn pooled_pipeline_matches_in_decode_mode() {
+        let cell = CellConfig::default();
+        let planner = FftPlanner::new();
+        let user = UserConfig::new(6, 2, Modulation::Qam16);
+        let mode = TurboMode::Decode { iterations: 4 };
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let input = synthesize_user_with_mode(&cell, &user, mode, 25.0, &mut rng);
+        let fresh = process_user_with_planner(&cell, &input, mode, &planner);
+        let pooled = process_user_pooled(&cell, &input, mode, &planner);
+        assert_eq!(fresh, pooled);
+        assert!(pooled.matches(&input.ground_truth));
+    }
+
+    #[test]
+    fn finish_user_with_arena_matches_and_recycles() {
+        let cell = CellConfig::default();
+        let user = UserConfig::new(8, 2, Modulation::Qam16);
+        let mut rng = Xoshiro256::seed_from_u64(17);
+        let input = synthesize_user(&cell, &user, 35.0, &mut rng);
+        let planner = FftPlanner::new();
+        let llrs = demodulate_user(&cell, &input, &planner);
+        let fresh = finish_user(&input, TurboMode::Passthrough, &llrs);
+        let mut arena = ScratchArena::new();
+        for _ in 0..3 {
+            let pooled = finish_user_with_arena(&input, TurboMode::Passthrough, &llrs, &mut arena);
+            assert_eq!(fresh, pooled);
+            arena.recycle_u8(pooled.payload);
+        }
+        assert!(arena.pooled_buffers() >= 3, "buffers must return to pool");
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! with AWGN. The ground-truth payload rides along so the receiver's CRC
 //! and the golden-reference verifier can be checked end to end.
 
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
 use lte_dsp::channel::{add_awgn, noise_var_for_snr_db, MimoChannel};
 use lte_dsp::crc::CRC24A;
 use lte_dsp::fft::FftPlanner;
@@ -79,11 +82,11 @@ impl FramePlan {
                 // mismatch between 3·C·(K+4) and the allocation by light
                 // puncturing or repetition.
                 let b = (total / 3).saturating_sub(16).max(25);
-                let shape = Segmentation::segment(&vec![0u8; b]);
+                let shape = Segmentation::shape_for_len(b);
                 FramePlan::Coded {
                     transport_bits: b,
-                    n_blocks: shape.n_blocks(),
-                    block_size: shape.block_size(),
+                    n_blocks: shape.n_blocks,
+                    block_size: shape.block_size,
                     coded_bits: total,
                     filler: 0,
                 }
@@ -163,6 +166,53 @@ pub fn reference_for_layer(
 ) -> ReferenceSequence {
     ReferenceSequence::new(user.subcarriers(), cell.zc_root)
         .with_cyclic_shift(layer_cyclic_shift(layer, shift_denominator(user)))
+}
+
+/// Key: `(subcarriers, zc_root, layer, shift denominator)`.
+type ReferenceKey = (usize, usize, usize, usize);
+
+fn reference_cache() -> &'static RwLock<HashMap<ReferenceKey, Arc<ReferenceSequence>>> {
+    static CACHE: OnceLock<RwLock<HashMap<ReferenceKey, Arc<ReferenceSequence>>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// [`reference_for_layer`] through a global read-mostly cache.
+///
+/// Generating a DM-RS sequence evaluates a complex exponential per
+/// subcarrier; the estimator needs the same handful of sequences on
+/// every subframe, so the steady-state path must not regenerate (or
+/// lock) anything. [`prewarm_references`] fills the cache up front.
+pub fn reference_for_layer_cached(
+    cell: &CellConfig,
+    user: &UserConfig,
+    layer: usize,
+) -> Arc<ReferenceSequence> {
+    let key = (
+        user.subcarriers(),
+        cell.zc_root,
+        layer,
+        shift_denominator(user),
+    );
+    if let Some(seq) = reference_cache()
+        .read()
+        .expect("reference cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(seq);
+    }
+    let mut map = reference_cache().write().expect("reference cache poisoned");
+    Arc::clone(
+        map.entry(key)
+            .or_insert_with(|| Arc::new(reference_for_layer(cell, user, layer))),
+    )
+}
+
+/// Builds every DM-RS sequence a user's subframe needs (all layers), so
+/// the estimation tasks never pay sequence generation or a write lock.
+pub fn prewarm_references(cell: &CellConfig, user: &UserConfig) {
+    for layer in 0..user.layers {
+        reference_for_layer_cached(cell, user, layer);
+    }
 }
 
 /// Splits interleaved channel bits into per-(slot, symbol, layer) chunks in

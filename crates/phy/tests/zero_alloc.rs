@@ -1,0 +1,84 @@
+//! Regression guard for the zero-allocation hot path.
+//!
+//! Installs a counting [`GlobalAlloc`] wrapper and asserts the pooled
+//! per-subframe receive performs **zero** heap allocations once every
+//! cache the pipeline reads (FFT plans, sub-block interleavers, reference
+//! sequences, thread-local scratch) is warm. Any new `Vec`/`Box` on the
+//! steady-state path fails this test with the exact allocation count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lte_dsp::fft::FftPlanner;
+use lte_dsp::interleave::prewarm_subblock;
+use lte_dsp::{Modulation, Xoshiro256};
+use lte_phy::params::{CellConfig, TurboMode, UserConfig};
+use lte_phy::receiver::{process_user_pooled, UserScratch};
+use lte_phy::tx::{prewarm_references, synthesize_user};
+
+/// Forwards to the system allocator, counting every allocation (fresh,
+/// zeroed, and growing reallocations — the three ways the hot path could
+/// touch the heap).
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn run_once(cell: &CellConfig, input: &lte_phy::grid::UserInput, planner: &FftPlanner) {
+    let result = process_user_pooled(cell, input, TurboMode::Passthrough, planner);
+    assert!(result.crc_ok, "steady-state subframe must pass CRC");
+    // Return the payload buffer to the pool so the next subframe can
+    // reuse it — exactly what the benchmark worker loop does.
+    UserScratch::with(|s| s.arena.recycle_u8(result.payload));
+}
+
+#[test]
+fn steady_state_subframe_is_allocation_free() {
+    let cell = CellConfig::default();
+    let user = UserConfig::new(25, 2, Modulation::Qam16);
+    let planner = FftPlanner::new();
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let input = synthesize_user(&cell, &user, 35.0, &mut rng);
+
+    // Warm every cache the hot path reads, then let the scratch pools
+    // grow to their steady-state sizes.
+    planner.prewarm([user.prbs]);
+    prewarm_subblock([user.bits_per_subframe()]);
+    prewarm_references(&cell, &user);
+    for _ in 0..3 {
+        run_once(&cell, &input, &planner);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        run_once(&cell, &input, &planner);
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state subframe processing hit the heap {delta} times"
+    );
+}

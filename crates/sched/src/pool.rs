@@ -423,6 +423,13 @@ impl TaskPool {
         metrics.set_counter("pool.poisoned_jobs", self.poisoned_jobs());
         metrics.set_counter("pool.worker_respawns", self.worker_respawns());
         metrics.set_counter("pool.workers", self.n_workers as u64);
+        // Scratch-arena traffic (process-wide): `fresh` counts buffers
+        // that had to grow, `reused` counts pool hits. In steady state
+        // `fresh` must stop moving — the observable form of the
+        // zero-allocation guarantee.
+        let arena = lte_dsp::arena::stats();
+        metrics.set_counter("pool.arena.fresh", arena.fresh);
+        metrics.set_counter("pool.arena.reused", arena.reused);
         for i in 0..self.n_workers {
             let s = self.worker_snapshot(i);
             metrics.set_counter(&format!("pool.worker.{i}.busy_nanos"), s.busy_nanos);

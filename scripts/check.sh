@@ -35,4 +35,11 @@ echo "$chaos_out" | grep -q "^harq recoveries: 0$" \
 echo "$chaos_out" | grep -q "^harq recoveries: " \
     || { echo "chaos smoke: missing recovery report"; exit 1; }
 
+echo "==> throughput smoke (lte-sim perf)"
+# Release build: the regression gate compares against numbers measured
+# in release mode; a debug run would trip the 10 % tolerance instantly.
+cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
+    perf --quick --out target/perf-smoke --baseline results/BENCH_PR3.json \
+    || { echo "perf smoke: throughput regressed versus results/BENCH_PR3.json"; exit 1; }
+
 echo "all checks passed"
