@@ -2,13 +2,22 @@
 //!
 //! A maintenance loop creates input parameters and data for each
 //! subframe and dispatches it to the worker pool every DELTA; each user
-//! becomes a job whose pipeline phases fan out into work-stealing tasks
-//! exactly as the paper describes:
+//! becomes a dependency-ordered **task graph** whose stages fan out into
+//! work-stealing tasks:
 //!
-//! 1. channel estimation — one task per (rx antenna, layer);
-//! 2. combiner weights — on the user thread;
-//! 3. antenna combining + IFFT — one task per (slot, symbol, layer);
-//! 4. deinterleave, soft demap, turbo (pass-through), CRC — user thread.
+//! 1. channel estimation — one task per (slot, rx antenna, layer);
+//! 2. combiner weights — computed by the slot's *last* estimation task
+//!    (cache-hot over the estimates it just joined), which then fans out
+//! 3. antenna combining + IFFT + soft demap — one task per
+//!    (slot, symbol, layer); the last one spawns
+//! 4. the serial join: deinterleave, turbo (pass-through), CRC.
+//!
+//! No thread ever blocks at a phase barrier: each stage's completion
+//! *spawns* the next stage (see [`spawn_user_graph`]), so independent
+//! users — and independent subframes — pipeline freely through the
+//! pool. The maintenance loop bounds that freedom with a configurable
+//! in-flight window ([`BenchmarkConfig::max_in_flight`]) so latency
+//! percentiles stay honest under backlog.
 //!
 //! Subframe input data are synthesised once per distinct user
 //! configuration and reused (§IV-B1: data sets are "created for multiple
@@ -16,9 +25,8 @@
 
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
-use std::mem::ManuallyDrop;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::time::{Duration, Instant};
 
 use lte_dsp::fft::FftPlanner;
@@ -36,7 +44,7 @@ use lte_phy::params::{
 use lte_phy::receiver::{finish_user_with_arena, UserResult, UserScratch};
 use lte_phy::tx::{prewarm_references, synthesize_retransmission, synthesize_user_with_mode};
 use lte_phy::verify::{GoldenRecord, VerifyError};
-use lte_sched::{PoolError, TaskPool};
+use lte_sched::{PoolConfig, PoolError, PoolHandle, TaskPool};
 
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +74,17 @@ pub struct BenchmarkConfig {
     /// diverges (slightly) from the max-log serial reference, so
     /// [`UplinkBenchmark::verify`] only applies to max-log runs.
     pub exact_demap: bool,
+    /// Upper bound on subframes simultaneously in flight. The task-graph
+    /// dispatch never blocks a thread, so without a bound a slow host
+    /// accumulates an unbounded backlog and the tail latencies lie about
+    /// it; with a window of `w`, subframe *n* is held at the door until
+    /// fewer than `w` earlier subframes remain open — the wait shows up
+    /// as a later dispatch stamp, not as hidden queueing. `None` keeps
+    /// the paper's blind dispatch.
+    pub max_in_flight: Option<usize>,
+    /// Pin worker `i` to CPU `i % host_cpus` (Linux only), removing OS
+    /// migration noise from scaling measurements.
+    pub pin_workers: bool,
 }
 
 impl Default for BenchmarkConfig {
@@ -79,6 +98,8 @@ impl Default for BenchmarkConfig {
             deadline: None,
             harq: 0,
             exact_demap: false,
+            max_in_flight: None,
+            pin_workers: false,
         }
     }
 }
@@ -97,6 +118,41 @@ pub struct DegradationReport {
     pub degraded_subframes: u64,
     /// HARQ statistics of the retransmission pass.
     pub harq: HarqStats,
+}
+
+/// Scheduler activity totals for one run, snapshotted from the pool the
+/// run executed on — the observable face of the low-overhead stealing
+/// machinery (LIFO slot, batched steals, parking).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolActivity {
+    /// Tasks executed across all workers.
+    pub executed_tasks: u64,
+    /// Successful steals from other workers' deques.
+    pub steals: u64,
+    /// Steals that moved more than one task (steal-half batches).
+    pub steal_batches: u64,
+    /// Extra tasks moved by batched steals (beyond the popped one).
+    pub batch_stolen_tasks: u64,
+    /// Tasks executed straight from a worker's bounded LIFO slot.
+    pub lifo_slot_hits: u64,
+    /// Times any worker parked on the idle condvar.
+    pub parks: u64,
+    /// Workers successfully pinned to a CPU at startup.
+    pub pinned_workers: u64,
+}
+
+impl PoolActivity {
+    fn snapshot(pool: &TaskPool) -> Self {
+        PoolActivity {
+            executed_tasks: pool.executed_tasks(),
+            steals: pool.steal_count(),
+            steal_batches: pool.steal_batches(),
+            batch_stolen_tasks: pool.batch_stolen_tasks(),
+            lifo_slot_hits: pool.lifo_slot_hits(),
+            parks: pool.parks(),
+            pinned_workers: pool.pinned_workers(),
+        }
+    }
 }
 
 /// The outcome of a benchmark run.
@@ -122,6 +178,8 @@ pub struct BenchmarkRun {
     pub completions_ns: Vec<u64>,
     /// Overload shedding and HARQ recovery counters.
     pub degradation: DegradationReport,
+    /// Scheduler counters for the run's pool.
+    pub pool: PoolActivity,
 }
 
 /// Waits for a dispatch deadline without pegging a host CPU: sleeps to
@@ -219,7 +277,11 @@ impl UplinkBenchmark {
     ///
     /// Returns the [`PoolError`] when the worker pool cannot be spawned.
     pub fn try_run(&mut self, subframes: &[SubframeConfig]) -> Result<BenchmarkRun, PoolError> {
-        let pool = TaskPool::new(self.cfg.workers)?;
+        let pool = TaskPool::with_config(PoolConfig {
+            n_workers: self.cfg.workers,
+            pin_workers: self.cfg.pin_workers,
+        })?;
+        let handle = pool.handle();
         let planner = Arc::new(FftPlanner::new());
         let cell = self.cell;
         let turbo = self.cfg.turbo;
@@ -265,12 +327,32 @@ impl UplinkBenchmark {
             }
         }
 
+        // In-flight accounting for the pipelining window: a counter of
+        // dispatched-but-incomplete subframes guarded by a mutex, with a
+        // condvar the completion callbacks signal. A condvar sleep (not
+        // a poll) keeps the maintenance thread off the CPU while it
+        // waits — on small hosts a polling dispatcher would steal cycles
+        // from the very workers it is waiting for.
+        let window = self.cfg.max_in_flight.map(|w| w.max(1));
+        let in_flight: Arc<(Mutex<usize>, Condvar)> = Arc::new((Mutex::new(0), Condvar::new()));
+
         let start = Instant::now();
         let busy_start = pool.busy_nanos();
         let mut dispatched_at = vec![0u64; subframes.len()];
         // Maintenance loop: dispatch each subframe at its deadline.
         for (sf_idx, sf_inputs) in inputs.iter().enumerate() {
             pace_until(start + self.cfg.delta * sf_idx as u32);
+            // In-flight window: hold this subframe at the door until
+            // fewer than `window` earlier subframes remain open. The
+            // wait lands in the dispatch stamp below, so the latency
+            // percentiles see the queueing delay instead of hiding it.
+            if let Some(window) = window {
+                let (lock, cv) = &*in_flight;
+                let mut count = lock.lock().unwrap_or_else(PoisonError::into_inner);
+                while *count >= window {
+                    count = cv.wait(count).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
             dispatched_at[sf_idx] = start.elapsed().as_nanos() as u64;
 
             // Overload policy: "behind" means an earlier subframe is
@@ -311,23 +393,38 @@ impl UplinkBenchmark {
                 }
             }
 
-            // The open count must be in place before any job can finish.
+            // The open count must be in place before any graph can finish.
             open[sf_idx].store(submit.len(), Ordering::SeqCst);
+            let tracked = window.is_some() && !submit.is_empty();
+            if tracked {
+                *in_flight.0.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+            }
             for user_idx in submit {
-                let input = Arc::clone(&sf_inputs[user_idx]);
-                let planner = Arc::clone(&planner);
                 let results = Arc::clone(&results);
                 let open = Arc::clone(&open);
                 let done_at = Arc::clone(&done_at);
-                pool.submit_job(move |p| {
-                    let result = process_user_parallel(p, &cell, &input, turbo, &planner, exact);
-                    results[sf_idx][user_idx]
-                        .set(result)
-                        .expect("each user slot is written once");
-                    if open[sf_idx].fetch_sub(1, Ordering::SeqCst) == 1 {
-                        let _ = done_at[sf_idx].set(start.elapsed().as_nanos() as u64);
-                    }
-                });
+                let in_flight = tracked.then(|| Arc::clone(&in_flight));
+                spawn_user_graph(
+                    &handle,
+                    &cell,
+                    &sf_inputs[user_idx],
+                    turbo,
+                    &planner,
+                    exact,
+                    Box::new(move |result| {
+                        results[sf_idx][user_idx]
+                            .set(result)
+                            .expect("each user slot is written once");
+                        if open[sf_idx].fetch_sub(1, Ordering::SeqCst) == 1 {
+                            let _ = done_at[sf_idx].set(start.elapsed().as_nanos() as u64);
+                            if let Some(in_flight) = &in_flight {
+                                let (lock, cv) = &**in_flight;
+                                *lock.lock().unwrap_or_else(PoisonError::into_inner) -= 1;
+                                cv.notify_one();
+                            }
+                        }
+                    }),
+                );
             }
         }
         pool.wait_all();
@@ -415,6 +512,7 @@ impl UplinkBenchmark {
             latencies_ns,
             completions_ns,
             degradation,
+            pool: PoolActivity::snapshot(&pool),
         })
     }
 
@@ -444,7 +542,7 @@ impl UplinkBenchmark {
 }
 
 /// A flat buffer whose disjoint ranges are written concurrently by pool
-/// tasks and read only after the scope barrier joins every writer.
+/// tasks and read only after a completion counter joins every writer.
 ///
 /// The paper's task decomposition makes the ranges disjoint by
 /// construction — every (slot, rx, layer) or (slot, symbol, layer)
@@ -478,148 +576,229 @@ impl<T: Copy> SharedBuf<T> {
         let base = UnsafeCell::raw_get(self.cells.as_ptr().add(start));
         std::slice::from_raw_parts_mut(base, len)
     }
-
-    /// Unwraps into a plain vector without copying.
-    fn into_vec(self) -> Vec<T> {
-        let mut cells = ManuallyDrop::new(self.cells);
-        let (ptr, len, cap) = (cells.as_mut_ptr(), cells.len(), cells.capacity());
-        // SAFETY: `UnsafeCell<T>` is `repr(transparent)` over `T`, and
-        // the original vector is leaked via `ManuallyDrop`, so ownership
-        // of the allocation transfers exactly once.
-        unsafe { Vec::from_raw_parts(ptr.cast::<T>(), len, cap) }
-    }
 }
 
-/// Processes one user on the pool with the paper's task decomposition.
+/// Shared state of one user's dependency-ordered task graph.
+///
+/// This replaces the old two-barrier design (estimate tasks → scope
+/// join → weights on the user thread → combine tasks → scope join →
+/// serial tail), where each user *blocked a worker* for its whole
+/// pipeline. Here the last task of each stage spawns the next stage, so
+/// no thread ever waits:
+///
+/// ```text
+/// est(slot 0, rx, layer) ┐
+///        …               ├─ last one → weights(0) → combine(0, sym, layer) ┐
+/// est(slot 0, rx, layer) ┘                                  …              ├─┐
+/// est(slot 1, rx, layer) ┐                                                 ┘ │
+///        …               ├─ last one → weights(1) → combine(1, sym, layer) ┐ ├─ last → finish
+/// est(slot 1, rx, layer) ┘                                  …              ├─┘
+///                                                                          ┘
+/// ```
+///
+/// Byte-identity with the serial reference holds because every task
+/// computes the same arithmetic on the same inputs into its own
+/// disjoint output range; the counters only decide *when* stages run,
+/// never *what* they compute.
+type UserDone = Box<dyn FnOnce(UserResult) + Send>;
+
+struct UserGraph {
+    cell: CellConfig,
+    input: Arc<UserInput>,
+    turbo: TurboMode,
+    exact_demap: bool,
+    planner: Arc<FftPlanner>,
+    /// Flat `[slot][rx][layer][subcarrier]` channel-estimate buffer.
+    est_buf: SharedBuf<Complex32>,
+    /// Estimation tasks still outstanding, per slot.
+    est_remaining: [AtomicUsize; SLOTS_PER_SUBFRAME],
+    /// Per-slot combiner weights, set by the slot's last estimation task
+    /// before any of the slot's combine tasks exist.
+    weights: [OnceLock<CombinerWeights>; SLOTS_PER_SUBFRAME],
+    /// Flat LLR buffer in the transmitter's bit order.
+    llr_buf: SharedBuf<f32>,
+    /// Combine tasks still outstanding across both slots.
+    combine_remaining: AtomicUsize,
+    /// Completion callback, taken exactly once by the join task.
+    on_done: Mutex<Option<UserDone>>,
+}
+
+/// Spawns one user's dependency-ordered task graph onto the pool and
+/// returns immediately; `on_done` runs on a worker thread once the
+/// user's result is ready. [`TaskPool::wait_all`] covers every task of
+/// the graph, including ones spawned after the call returns.
+///
 /// `exact_demap` selects the log-sum-exp demapper over max-log.
 ///
 /// Steady-state allocation discipline: every task draws its working
 /// buffers from its worker's thread-local [`UserScratch`] arena and
-/// writes results into a shared flat buffer, so per-task heap traffic
-/// is zero after warmup; the per-job cost is the two flat buffers and
-/// the boxed task closures.
-pub(crate) fn process_user_parallel(
-    pool: &TaskPool,
+/// writes results into a shared flat buffer; the per-user cost is the
+/// graph node (two flat buffers) and the boxed task closures.
+pub fn spawn_user_graph(
+    handle: &PoolHandle,
     cell: &CellConfig,
     input: &Arc<UserInput>,
     turbo: TurboMode,
     planner: &Arc<FftPlanner>,
     exact_demap: bool,
-) -> UserResult {
-    let user = input.config;
-    let n_rx = cell.n_rx;
+    on_done: Box<dyn FnOnce(UserResult) + Send>,
+) {
+    // The graph (and its two flat buffers) is built by a small *root*
+    // task on whichever worker picks the user up, not at dispatch time:
+    // under a deep admission backlog the dispatcher may queue hundreds
+    // of subframes ahead of the workers, and eager construction would
+    // hold every queued user's estimate and LLR buffers live at once.
+    let cell = *cell;
+    let input = Arc::clone(input);
+    let planner = Arc::clone(planner);
+    let root = handle.clone();
+    handle.spawn(move || {
+        let user = input.config;
+        let n_rx = cell.n_rx;
+        let n_layers = user.layers;
+        let n_sc = user.subcarriers();
+        let chunk_bits = n_sc * user.modulation.bits_per_symbol();
+        let n_chunks = SLOTS_PER_SUBFRAME * DATA_SYMBOLS_PER_SLOT * n_layers;
+        let graph = Arc::new(UserGraph {
+            cell,
+            input,
+            turbo,
+            exact_demap,
+            planner,
+            est_buf: SharedBuf::new(SLOTS_PER_SUBFRAME * n_rx * n_layers * n_sc, Complex32::ZERO),
+            est_remaining: std::array::from_fn(|_| AtomicUsize::new(n_rx * n_layers)),
+            weights: std::array::from_fn(|_| OnceLock::new()),
+            llr_buf: SharedBuf::new(n_chunks * chunk_bits, 0f32),
+            combine_remaining: AtomicUsize::new(n_chunks),
+            on_done: Mutex::new(Some(on_done)),
+        });
+        for slot in 0..SLOTS_PER_SUBFRAME {
+            for rx in 0..n_rx {
+                for layer in 0..n_layers {
+                    let graph = Arc::clone(&graph);
+                    let inner = root.clone();
+                    root.spawn(move || estimate_task(&inner, &graph, slot, rx, layer));
+                }
+            }
+        }
+    });
+}
+
+/// One channel-estimation task: (slot, rx, layer). The slot's last
+/// estimator also computes the combiner weights — cache-hot over the
+/// estimates it just joined — and fans out the slot's combine tasks.
+fn estimate_task(
+    handle: &PoolHandle,
+    graph: &Arc<UserGraph>,
+    slot: usize,
+    rx: usize,
+    layer: usize,
+) {
+    let user = &graph.input.config;
+    let n_rx = graph.cell.n_rx;
     let n_layers = user.layers;
     let n_sc = user.subcarriers();
-
-    // Phase 1: channel estimation, one task per (slot, rx, layer), each
-    // writing its own range of one flat shared buffer.
-    let est_buf = Arc::new(SharedBuf::new(
-        SLOTS_PER_SUBFRAME * n_rx * n_layers * n_sc,
-        Complex32::ZERO,
-    ));
-    let est_tasks: Vec<Box<dyn FnOnce() + Send>> = (0..SLOTS_PER_SUBFRAME)
-        .flat_map(|slot| (0..n_rx).flat_map(move |rx| (0..n_layers).map(move |l| (slot, rx, l))))
-        .map(|(slot, rx, layer)| {
-            let input = Arc::clone(input);
-            let planner = Arc::clone(planner);
-            let est_buf = Arc::clone(&est_buf);
-            let cell = *cell;
-            Box::new(move || {
-                let idx = (slot * cell.n_rx + rx) * input.config.layers + layer;
-                // SAFETY: each (slot, rx, layer) tuple owns its range.
-                let out = unsafe { est_buf.slice_mut(idx * n_sc, n_sc) };
-                UserScratch::with(|s| {
-                    estimate_path_into(&cell, &input, slot, rx, layer, &planner, &mut s.arena, out);
-                });
-            }) as Box<dyn FnOnce() + Send>
-        })
-        .collect();
-    pool.scope(est_tasks);
-
-    // Combiner weights on the user thread (not parallelised — §III),
-    // solved through this thread's scratch matrices.
-    let weights: Vec<CombinerWeights> = UserScratch::with(|s| {
-        (0..SLOTS_PER_SUBFRAME)
-            .map(|slot| {
-                let base = slot * n_rx * n_layers * n_sc;
-                // SAFETY: the scope barrier joined every writer; this is
-                // the only live view.
-                let flat = unsafe { est_buf.slice_mut(base, n_rx * n_layers * n_sc) };
-                s.weights_from_flat_estimate(n_rx, n_layers, n_sc, flat, input.noise_var)
-            })
-            .collect()
-    });
-    let weights = Arc::new(weights);
-
-    // Phase 2: antenna combining + IFFT + demap, one task per
-    // (slot, symbol, layer), writing straight into the flat LLR buffer
-    // in the transmitter's bit order.
-    let chunk_bits = n_sc * user.modulation.bits_per_symbol();
-    let n_chunks = SLOTS_PER_SUBFRAME * DATA_SYMBOLS_PER_SLOT * n_layers;
-    let llr_buf = Arc::new(SharedBuf::new(n_chunks * chunk_bits, 0f32));
-    let combine_tasks: Vec<Box<dyn FnOnce() + Send>> = (0..SLOTS_PER_SUBFRAME)
-        .flat_map(|slot| {
-            (0..DATA_SYMBOLS_PER_SLOT)
-                .flat_map(move |sym| (0..n_layers).map(move |l| (slot, sym, l)))
-        })
-        .map(|(slot, sym, layer)| {
-            let input = Arc::clone(input);
-            let planner = Arc::clone(planner);
-            let weights = Arc::clone(&weights);
-            let llr_buf = Arc::clone(&llr_buf);
-            Box::new(move || {
-                let idx = (slot * DATA_SYMBOLS_PER_SLOT + sym) * input.config.layers + layer;
-                // SAFETY: each (slot, symbol, layer) tuple owns its range.
-                let out = unsafe { llr_buf.slice_mut(idx * chunk_bits, chunk_bits) };
-                UserScratch::with(|s| {
-                    let mut combined = s.arena.take_c32(n_sc);
-                    combine_symbol_into(
-                        &input,
-                        &weights[slot],
-                        slot,
-                        sym,
-                        layer,
-                        &planner,
-                        &mut s.arena,
-                        &mut combined,
-                    );
-                    let mut llrs = s.arena.take_f32(chunk_bits);
-                    if exact_demap {
-                        demap_block_exact_into(
-                            input.config.modulation,
-                            &combined,
-                            input.noise_var,
-                            &mut llrs,
-                        );
-                    } else {
-                        demap_block_into(
-                            input.config.modulation,
-                            &combined,
-                            input.noise_var,
-                            &mut llrs,
-                        );
-                    }
-                    out.copy_from_slice(&llrs);
-                    s.arena.recycle_f32(llrs);
-                    s.arena.recycle_c32(combined);
-                });
-            }) as Box<dyn FnOnce() + Send>
-        })
-        .collect();
-    pool.scope(combine_tasks);
-
-    // Serial tail on the user thread, through the arena. The LLR buffer
-    // is recycled into this thread's pools afterwards, so its capacity
-    // feeds future takes.
-    let Ok(llr_buf) = Arc::try_unwrap(llr_buf) else {
-        unreachable!("scope joined every task");
-    };
-    let llrs = llr_buf.into_vec();
+    let idx = (slot * n_rx + rx) * n_layers + layer;
+    // SAFETY: each (slot, rx, layer) tuple owns its range.
+    let out = unsafe { graph.est_buf.slice_mut(idx * n_sc, n_sc) };
     UserScratch::with(|s| {
-        let result = finish_user_with_arena(input, turbo, &llrs, &mut s.arena);
+        estimate_path_into(
+            &graph.cell,
+            &graph.input,
+            slot,
+            rx,
+            layer,
+            &graph.planner,
+            &mut s.arena,
+            out,
+        );
+    });
+    if graph.est_remaining[slot].fetch_sub(1, Ordering::SeqCst) == 1 {
+        let base = slot * n_rx * n_layers * n_sc;
+        // SAFETY: the counter joined every writer of this slot's range;
+        // other slots' writers touch disjoint ranges.
+        let flat = unsafe { graph.est_buf.slice_mut(base, n_rx * n_layers * n_sc) };
+        let w = UserScratch::with(|s| {
+            s.weights_from_flat_estimate(n_rx, n_layers, n_sc, flat, graph.input.noise_var)
+        });
+        assert!(
+            graph.weights[slot].set(w).is_ok(),
+            "weights are computed once per slot"
+        );
+        for sym in 0..DATA_SYMBOLS_PER_SLOT {
+            for layer in 0..n_layers {
+                let graph = Arc::clone(graph);
+                let inner = handle.clone();
+                handle.spawn(move || combine_task(&inner, &graph, slot, sym, layer));
+            }
+        }
+    }
+}
+
+/// One combine + demap task: (slot, symbol, layer), writing straight
+/// into the flat LLR buffer in the transmitter's bit order. The last
+/// one spawns the serial join.
+fn combine_task(
+    handle: &PoolHandle,
+    graph: &Arc<UserGraph>,
+    slot: usize,
+    sym: usize,
+    layer: usize,
+) {
+    let user = &graph.input.config;
+    let n_sc = user.subcarriers();
+    let chunk_bits = n_sc * user.modulation.bits_per_symbol();
+    let idx = (slot * DATA_SYMBOLS_PER_SLOT + sym) * user.layers + layer;
+    let weights = graph.weights[slot]
+        .get()
+        .expect("weights are set before the slot's combines are spawned");
+    // SAFETY: each (slot, symbol, layer) tuple owns its range.
+    let out = unsafe { graph.llr_buf.slice_mut(idx * chunk_bits, chunk_bits) };
+    UserScratch::with(|s| {
+        let mut combined = s.arena.take_c32(n_sc);
+        combine_symbol_into(
+            &graph.input,
+            weights,
+            slot,
+            sym,
+            layer,
+            &graph.planner,
+            &mut s.arena,
+            &mut combined,
+        );
+        let mut llrs = s.arena.take_f32(chunk_bits);
+        if graph.exact_demap {
+            demap_block_exact_into(user.modulation, &combined, graph.input.noise_var, &mut llrs);
+        } else {
+            demap_block_into(user.modulation, &combined, graph.input.noise_var, &mut llrs);
+        }
+        out.copy_from_slice(&llrs);
         s.arena.recycle_f32(llrs);
-        result
-    })
+        s.arena.recycle_c32(combined);
+    });
+    if graph.combine_remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+        let graph = Arc::clone(graph);
+        handle.spawn(move || finish_task(&graph));
+    }
+}
+
+/// The serial join: deinterleave → turbo (pass-through) → CRC on the
+/// completed LLR buffer, then the completion callback.
+fn finish_task(graph: &UserGraph) {
+    let total = graph.input.config.bits_per_subframe();
+    // SAFETY: the combine counter joined every writer; this task is the
+    // only remaining accessor.
+    let llrs = unsafe { graph.llr_buf.slice_mut(0, total) };
+    let result = UserScratch::with(|s| {
+        finish_user_with_arena(&graph.input, graph.turbo, llrs, &mut s.arena)
+    });
+    let cb = graph
+        .on_done
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .take()
+        .expect("the join task runs once");
+    cb(result);
 }
 
 #[cfg(test)]
@@ -702,6 +881,49 @@ mod tests {
             bench.try_run(&RampModel::new(1).subframes(1)),
             Err(lte_sched::PoolError::ZeroWorkers)
         ));
+    }
+
+    #[test]
+    fn windowed_pipeline_matches_golden_reference() {
+        // A tight in-flight window with a zero dispatch interval keeps
+        // several subframes in the pipeline at once; results must still
+        // be byte-identical to the serial reference.
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                delta: Duration::ZERO,
+                max_in_flight: Some(2),
+                ..quick_cfg()
+            },
+        );
+        let subframes = RampModel::new(3).subframes(6);
+        let run = bench.run(&subframes);
+        bench
+            .verify(&subframes, &run)
+            .expect("pipelined subframes must stay bit-exact");
+        // Every subframe completed and carries a latency stamp.
+        assert_eq!(run.latencies_ns.len(), 6);
+    }
+
+    #[test]
+    fn window_of_one_serialises_subframes() {
+        // With a window of 1 a subframe is only admitted after its
+        // predecessor fully completed: completions are monotone in
+        // dispatch order and nothing overlaps.
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                delta: Duration::ZERO,
+                max_in_flight: Some(1),
+                ..quick_cfg()
+            },
+        );
+        let subframes = RampModel::new(2).subframes(4);
+        let run = bench.run(&subframes);
+        bench.verify(&subframes, &run).expect("bit-exact");
+        for pair in run.completions_ns.windows(2) {
+            assert!(pair[0] <= pair[1], "window=1 must serialise completions");
+        }
     }
 
     #[test]

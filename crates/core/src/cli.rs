@@ -44,6 +44,10 @@ struct Options {
     subframes_override: Option<usize>,
     seed_override: Option<u64>,
     baseline: Option<PathBuf>,
+    workers: Option<Vec<usize>>,
+    window: Option<usize>,
+    pin: bool,
+    scaling_baseline: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -68,7 +72,10 @@ COMMANDS:
     bench             run the real parallel benchmark briefly
     perf              throughput harness: steady-state Fig. 8 load at
                       zero dispatch interval, serial-vs-parallel
-                      byte-identity check, BENCH_PR3.json under --out
+                      byte-identity check, BENCH_PR3.json under --out,
+                      then the worker-scaling matrix (BENCH_PR4.json):
+                      throughput/speedup/efficiency per worker count,
+                      byte-identity verified at every point
     ablation          sweep the design constants the paper fixes
     diurnal           the diurnal-day power study
     golden            store and verify a serial golden record
@@ -89,6 +96,17 @@ FLAGS:
                       (default: shed)
     --baseline FILE   perf: compare against this BENCH_PR3.json and exit
                       1 on a >10% subframes/sec regression
+    --workers LIST    perf: comma-separated worker counts for the
+                      scaling matrix (default: powers of two up to the
+                      host's available parallelism)
+    --window N        perf: multi-subframe pipelining window — admit
+                      subframe n+1 while up to N earlier subframes are
+                      still in flight (0 = unbounded; default 4 for the
+                      scaling matrix)
+    --pin             perf: pin workers to CPUs round-robin
+    --scaling-baseline FILE
+                      perf: compare against this BENCH_PR4.json and exit
+                      1 on a >10% max-workers speedup regression
     -h, --help        print this help
 
 Parse errors exit with status 2; runtime failures exit with status 1.
@@ -106,6 +124,10 @@ fn parse_args() -> Options {
     let mut subframes_override = None;
     let mut seed_override = None;
     let mut baseline = None;
+    let mut workers = None;
+    let mut window = None;
+    let mut pin = false;
+    let mut scaling_baseline = None;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -166,6 +188,28 @@ fn parse_args() -> Options {
                 baseline = Some(PathBuf::from(value_of(&args, i, "--baseline")));
                 i += 1;
             }
+            "--workers" => {
+                let text = value_of(&args, i, "--workers");
+                let counts: Vec<usize> = text
+                    .split(',')
+                    .map(|part| parse_number(part.trim(), "--workers") as usize)
+                    .collect();
+                if counts.contains(&0) {
+                    eprintln!("--workers counts must be positive, got '{text}'");
+                    std::process::exit(2);
+                }
+                workers = Some(counts);
+                i += 1;
+            }
+            "--window" => {
+                window = Some(parse_number(&value_of(&args, i, "--window"), "--window") as usize);
+                i += 1;
+            }
+            "--pin" => pin = true,
+            "--scaling-baseline" => {
+                scaling_baseline = Some(PathBuf::from(value_of(&args, i, "--scaling-baseline")));
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
                 eprintln!("run 'lte-sim --help' for the full flag list");
@@ -187,6 +231,10 @@ fn parse_args() -> Options {
         subframes_override,
         seed_override,
         baseline,
+        workers,
+        window,
+        pin,
+        scaling_baseline,
     }
 }
 
@@ -481,10 +529,15 @@ fn run_perf_cmd(opts: &Options) {
     // operator explicitly overrides the channel realisations.
     let mut cfg = perf::PerfConfig {
         subframes,
+        pin_workers: opts.pin,
         ..perf::PerfConfig::default()
     };
     if let Some(seed) = opts.seed_override {
         cfg.seed = seed;
+    }
+    // --window 0 means unbounded (no admission limit).
+    if let Some(w) = opts.window {
+        cfg.window = if w == 0 { None } else { Some(w) };
     }
     println!(
         "running the throughput harness: {} steady-state subframes on {} workers …",
@@ -523,6 +576,71 @@ fn run_perf_cmd(opts: &Options) {
         match perf::check_against_baseline(&report, &baseline) {
             Ok(()) => println!(
                 "throughput holds against the baseline in {}",
+                baseline_path.display()
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The worker-scaling matrix: same load at a ladder of worker counts,
+    // byte-identity verified at every point.
+    let scaling_cfg = perf::ScalingConfig {
+        subframes,
+        worker_counts: opts
+            .workers
+            .clone()
+            .unwrap_or_else(perf::default_worker_ladder),
+        seed: cfg.seed,
+        window: match opts.window {
+            Some(0) => None,
+            Some(w) => Some(w),
+            None => perf::ScalingConfig::default().window,
+        },
+        pin_workers: opts.pin,
+    };
+    println!(
+        "running the scaling matrix: {} subframes at worker counts {:?} (host parallelism {}) …",
+        scaling_cfg.subframes,
+        scaling_cfg.worker_counts,
+        perf::host_parallelism()
+    );
+    let scaling = perf::run_scaling(&scaling_cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    write(&opts.out.join("BENCH_PR4.json"), &scaling.to_json());
+    println!(
+        "serial reference {:.1} subframes/sec; byte-identity OK at every point",
+        scaling.serial_subframes_per_sec
+    );
+    println!("  workers (eff) |    sf/sec | speedup | efficiency |  steals | batches | slot hits");
+    for p in &scaling.points {
+        println!(
+            "  {:7} ({:3}) | {:9.1} | {:7.2} | {:10.2} | {:7} | {:7} | {:9}",
+            p.workers_requested,
+            p.workers_effective,
+            p.subframes_per_sec,
+            p.speedup,
+            p.efficiency,
+            p.pool.steals,
+            p.pool.steal_batches,
+            p.pool.lifo_slot_hits
+        );
+    }
+    if let Some(baseline_path) = &opts.scaling_baseline {
+        let baseline = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read scaling baseline {}: {e}",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        });
+        match perf::check_scaling_against_baseline(&scaling, &baseline) {
+            Ok(()) => println!(
+                "scaling holds against the baseline in {}",
                 baseline_path.display()
             ),
             Err(e) => {

@@ -40,6 +40,9 @@ pub mod report;
 pub mod svg;
 pub mod trace;
 
-pub use benchmark::{BenchmarkConfig, BenchmarkRun, DegradationReport, UplinkBenchmark};
+pub use benchmark::{
+    BenchmarkConfig, BenchmarkRun, DegradationReport, PoolActivity, UplinkBenchmark,
+};
 pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use experiments::ExperimentContext;
+pub use perf::{PerfConfig, PerfReport, ScalingConfig, ScalingPoint, ScalingReport};

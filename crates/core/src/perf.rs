@@ -15,9 +15,21 @@
 //! golden record — the throughput claim is only valid while the outputs
 //! stay byte-identical (§IV-D).
 //!
-//! `lte-sim perf [--quick] [--subframes N] [--out DIR] [--baseline FILE]`
-//! writes `BENCH_PR3.json` under `--out` and, when given a baseline,
-//! fails if subframes/sec regresses more than 10%.
+//! On top of the single-point harness sits a *scaling matrix*
+//! ([`run_scaling`]): the same steady-state load replayed at a ladder of
+//! worker counts (default: powers of two up to `available_parallelism`),
+//! each point reporting throughput, speedup over the serial reference,
+//! parallel efficiency, scheduler counters (steals, batch steals, LIFO
+//! slot hits, parks) and a byte-identity verdict. Because speedup on a
+//! host with fewer cores than requested workers is physically capped,
+//! every point records both the *requested* and the *effective*
+//! (`min(requested, host)`) worker count, plus the host's parallelism.
+//!
+//! `lte-sim perf [--quick] [--subframes N] [--out DIR] [--baseline FILE]
+//! [--workers LIST] [--window N] [--pin] [--scaling-baseline FILE]`
+//! writes `BENCH_PR3.json` (single point) and `BENCH_PR4.json` (scaling
+//! matrix) under `--out` and, when given baselines, fails if
+//! subframes/sec or max-workers speedup regresses more than 10%.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -27,7 +39,7 @@ use lte_phy::grid::UserInput;
 use lte_phy::params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
 use lte_phy::receiver::process_user_pooled;
 
-use crate::{BenchmarkConfig, UplinkBenchmark};
+use crate::{BenchmarkConfig, PoolActivity, UplinkBenchmark};
 
 /// Subframes in the default (full) measurement.
 pub const FULL_SUBFRAMES: usize = 600;
@@ -47,10 +59,15 @@ const REGRESSION_TOLERANCE: f64 = 0.10;
 pub struct PerfConfig {
     /// Subframes in the timed parallel run.
     pub subframes: usize,
-    /// Worker threads.
+    /// Worker threads (requested; the host may cap the effective count).
     pub workers: usize,
     /// Input-synthesis seed.
     pub seed: u64,
+    /// Multi-subframe pipelining window (`None` = unbounded, matching
+    /// the pre-pipelining harness so baselines stay comparable).
+    pub window: Option<usize>,
+    /// Pin workers to CPUs round-robin.
+    pub pin_workers: bool,
 }
 
 impl Default for PerfConfig {
@@ -59,8 +76,22 @@ impl Default for PerfConfig {
             subframes: FULL_SUBFRAMES,
             workers: BenchmarkConfig::default().workers,
             seed: 42,
+            window: None,
+            pin_workers: false,
         }
     }
+}
+
+/// The host's available hardware parallelism (1 if unknown).
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Worker threads that can actually run concurrently for a request: the
+/// pool spawns every requested thread, but no more than the host's core
+/// count can execute at once — the honest denominator for efficiency.
+pub fn effective_workers(requested: usize) -> usize {
+    requested.min(host_parallelism()).max(1)
 }
 
 /// One measured perf run, serialisable to `BENCH_PR3.json`.
@@ -68,8 +99,13 @@ impl Default for PerfConfig {
 pub struct PerfReport {
     /// Subframes in the timed run.
     pub subframes: usize,
-    /// Worker threads used.
+    /// Worker threads requested (and spawned).
     pub workers: usize,
+    /// Worker threads that can run concurrently on this host
+    /// (`min(workers, host_parallelism)`).
+    pub workers_effective: usize,
+    /// The host's available hardware parallelism.
+    pub host_parallelism: usize,
     /// Wall-clock seconds of the timed parallel run.
     pub elapsed_s: f64,
     /// Parallel throughput.
@@ -108,6 +144,14 @@ impl PerfReport {
         out.push_str("  \"schema\": \"lte-sim-perf-v1\",\n");
         out.push_str(&format!("  \"subframes\": {},\n", self.subframes));
         out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"workers_effective\": {},\n",
+            self.workers_effective
+        ));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
         out.push_str(&format!("  \"elapsed_s\": {:.6},\n", self.elapsed_s));
         out.push_str(&format!(
             "  \"subframes_per_sec\": {:.3},\n",
@@ -188,6 +232,8 @@ pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
         delta: Duration::ZERO,
         turbo: TurboMode::Passthrough,
         seed: cfg.seed,
+        max_in_flight: cfg.window,
+        pin_workers: cfg.pin_workers,
         ..BenchmarkConfig::default()
     };
     let mut bench = UplinkBenchmark::new(cell, bench_cfg);
@@ -239,6 +285,8 @@ pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
     Ok(PerfReport {
         subframes: cfg.subframes,
         workers: cfg.workers,
+        workers_effective: effective_workers(cfg.workers),
+        host_parallelism: host_parallelism(),
         elapsed_s: run.elapsed.as_secs_f64(),
         subframes_per_sec: cfg.subframes as f64 / run.elapsed.as_secs_f64(),
         serial_subframes_per_sec: serial_n as f64 / serial_elapsed,
@@ -273,6 +321,293 @@ pub fn check_against_baseline(report: &PerfReport, baseline_json: &str) -> Resul
     Ok(())
 }
 
+/// Scaling-matrix configuration: the same steady-state load replayed at
+/// a ladder of worker counts.
+#[derive(Clone, Debug)]
+pub struct ScalingConfig {
+    /// Subframes in each timed run (per worker count).
+    pub subframes: usize,
+    /// Worker counts to measure, in order.
+    pub worker_counts: Vec<usize>,
+    /// Input-synthesis seed (shared by every point, so every point sees
+    /// byte-identical inputs).
+    pub seed: u64,
+    /// Multi-subframe pipelining window applied at every point.
+    pub window: Option<usize>,
+    /// Pin workers to CPUs round-robin.
+    pub pin_workers: bool,
+}
+
+impl Default for ScalingConfig {
+    fn default() -> Self {
+        ScalingConfig {
+            subframes: FULL_SUBFRAMES,
+            worker_counts: default_worker_ladder(),
+            seed: 42,
+            window: Some(4),
+            pin_workers: false,
+        }
+    }
+}
+
+/// The default worker ladder: powers of two up to the host's available
+/// parallelism, always ending at the host's core count. On a 1-core
+/// host this is just `[1]` — the matrix never pretends to parallelism
+/// the hardware cannot deliver.
+pub fn default_worker_ladder() -> Vec<usize> {
+    let host = host_parallelism();
+    let mut ladder = Vec::new();
+    let mut w = 1;
+    while w <= host {
+        ladder.push(w);
+        w *= 2;
+    }
+    if *ladder.last().expect("ladder has at least 1") != host {
+        ladder.push(host);
+    }
+    ladder
+}
+
+/// One point of the scaling matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalingPoint {
+    /// Worker threads requested (and spawned).
+    pub workers_requested: usize,
+    /// Worker threads that can run concurrently on this host.
+    pub workers_effective: usize,
+    /// Parallel throughput at this point.
+    pub subframes_per_sec: f64,
+    /// Speedup over the shared serial reference.
+    pub speedup: f64,
+    /// Parallel efficiency: speedup / effective workers.
+    pub efficiency: f64,
+    /// Whether this point's outputs matched the serial golden record
+    /// byte for byte (run_scaling fails hard otherwise, so a committed
+    /// report always shows `true` — the field keeps the claim explicit).
+    pub byte_identical: bool,
+    /// Scheduler counters for this point's run.
+    pub pool: PoolActivity,
+}
+
+/// A measured scaling matrix, serialisable to `BENCH_PR4.json`.
+#[derive(Clone, Debug)]
+pub struct ScalingReport {
+    /// Subframes per timed run.
+    pub subframes: usize,
+    /// The host's available hardware parallelism.
+    pub host_parallelism: usize,
+    /// Pipelining window (0 = unbounded).
+    pub window: usize,
+    /// Serial reference throughput shared by every point.
+    pub serial_subframes_per_sec: f64,
+    /// One entry per measured worker count.
+    pub points: Vec<ScalingPoint>,
+}
+
+impl ScalingReport {
+    /// The point with the largest requested worker count.
+    pub fn max_workers_point(&self) -> &ScalingPoint {
+        self.points
+            .iter()
+            .max_by_key(|p| p.workers_requested)
+            .expect("a scaling report has at least one point")
+    }
+
+    /// Speedup at the largest worker count — the headline number the
+    /// regression gate defends.
+    pub fn max_workers_speedup(&self) -> f64 {
+        self.max_workers_point().speedup
+    }
+
+    /// Renders the JSON document written to `BENCH_PR4.json`. The gate
+    /// keys (`max_workers_speedup`, `serial_subframes_per_sec`,
+    /// `host_parallelism`) come before the points array so the flat
+    /// [`json_number`] parser finds the top-level values first.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"lte-sim-scaling-v1\",\n");
+        out.push_str(&format!("  \"subframes\": {},\n", self.subframes));
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n",
+            self.host_parallelism
+        ));
+        out.push_str(&format!("  \"window\": {},\n", self.window));
+        out.push_str(&format!(
+            "  \"serial_subframes_per_sec\": {:.3},\n",
+            self.serial_subframes_per_sec
+        ));
+        let top = self.max_workers_point();
+        out.push_str(&format!("  \"max_workers\": {},\n", top.workers_requested));
+        out.push_str(&format!("  \"max_workers_speedup\": {:.3},\n", top.speedup));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!(
+                "      \"workers_requested\": {},\n",
+                p.workers_requested
+            ));
+            out.push_str(&format!(
+                "      \"workers_effective\": {},\n",
+                p.workers_effective
+            ));
+            out.push_str(&format!(
+                "      \"subframes_per_sec\": {:.3},\n",
+                p.subframes_per_sec
+            ));
+            out.push_str(&format!("      \"speedup\": {:.3},\n", p.speedup));
+            out.push_str(&format!("      \"efficiency\": {:.3},\n", p.efficiency));
+            out.push_str(&format!(
+                "      \"byte_identical\": {},\n",
+                p.byte_identical
+            ));
+            out.push_str(&format!("      \"tasks\": {},\n", p.pool.executed_tasks));
+            out.push_str(&format!("      \"steals\": {},\n", p.pool.steals));
+            out.push_str(&format!(
+                "      \"steal_batches\": {},\n",
+                p.pool.steal_batches
+            ));
+            out.push_str(&format!(
+                "      \"lifo_slot_hits\": {},\n",
+                p.pool.lifo_slot_hits
+            ));
+            out.push_str(&format!("      \"parks\": {}\n", p.pool.parks));
+            out.push_str(if i + 1 == self.points.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs the scaling matrix: one serial reference timing, then for every
+/// worker count a warmed-up pipelined run whose outputs are verified
+/// byte-for-byte against the serial golden record.
+///
+/// # Errors
+///
+/// Returns a message when the worker ladder is empty, a pool cannot
+/// start, or any point diverges from the serial reference.
+pub fn run_scaling(cfg: &ScalingConfig) -> Result<ScalingReport, String> {
+    if cfg.worker_counts.is_empty() {
+        return Err("scaling matrix needs at least one worker count".into());
+    }
+    let cell = CellConfig::default();
+    let subframe = steady_state_subframe();
+    let subframes = vec![subframe.clone(); cfg.subframes];
+
+    // Serial reference, timed once: every point below replays the same
+    // seed, so the same reference applies to all of them.
+    let mut serial_bench = UplinkBenchmark::new(
+        cell,
+        BenchmarkConfig {
+            workers: 1,
+            delta: Duration::ZERO,
+            turbo: TurboMode::Passthrough,
+            seed: cfg.seed,
+            ..BenchmarkConfig::default()
+        },
+    );
+    let planner = Arc::new(FftPlanner::new());
+    let serial_inputs: Vec<Arc<UserInput>> = subframe
+        .users
+        .iter()
+        .map(|u| serial_bench.input_for(u))
+        .collect();
+    // Warm the serial path (plan caches, scratch arenas) before timing.
+    for input in &serial_inputs {
+        let result = process_user_pooled(&cell, input, TurboMode::Passthrough, &planner);
+        std::hint::black_box(&result);
+    }
+    let serial_n = SERIAL_SUBFRAMES.min(cfg.subframes).max(1);
+    let serial_start = Instant::now();
+    for _ in 0..serial_n {
+        for input in &serial_inputs {
+            let result = process_user_pooled(&cell, input, TurboMode::Passthrough, &planner);
+            std::hint::black_box(&result);
+        }
+    }
+    let serial_rate = serial_n as f64 / serial_start.elapsed().as_secs_f64();
+
+    let mut points = Vec::with_capacity(cfg.worker_counts.len());
+    for &workers in &cfg.worker_counts {
+        let bench_cfg = BenchmarkConfig {
+            workers,
+            delta: Duration::ZERO,
+            turbo: TurboMode::Passthrough,
+            seed: cfg.seed,
+            max_in_flight: cfg.window,
+            pin_workers: cfg.pin_workers,
+            ..BenchmarkConfig::default()
+        };
+        let mut bench = UplinkBenchmark::new(cell, bench_cfg);
+        let warmup = vec![subframe.clone(); WARMUP_SUBFRAMES];
+        bench
+            .try_run(&warmup)
+            .map_err(|e| format!("{workers}-worker warmup: {e}"))?;
+        let run = bench
+            .try_run(&subframes)
+            .map_err(|e| format!("{workers}-worker run: {e}"))?;
+        bench
+            .verify(&subframes, &run)
+            .map_err(|e| format!("{workers}-worker divergence from serial reference: {e}"))?;
+        let rate = cfg.subframes as f64 / run.elapsed.as_secs_f64();
+        let effective = effective_workers(workers);
+        let speedup = if serial_rate > 0.0 {
+            rate / serial_rate
+        } else {
+            0.0
+        };
+        points.push(ScalingPoint {
+            workers_requested: workers,
+            workers_effective: effective,
+            subframes_per_sec: rate,
+            speedup,
+            efficiency: speedup / effective as f64,
+            byte_identical: true,
+            pool: run.pool,
+        });
+    }
+
+    Ok(ScalingReport {
+        subframes: cfg.subframes,
+        host_parallelism: host_parallelism(),
+        window: cfg.window.unwrap_or(0),
+        serial_subframes_per_sec: serial_rate,
+        points,
+    })
+}
+
+/// Compares a fresh scaling report against a committed baseline.
+///
+/// The gate defends the *speedup* at the largest worker count, not the
+/// absolute rate: speedup is a ratio of two measurements on the same
+/// host, so it transfers across machines far better than subframes/sec.
+///
+/// # Errors
+///
+/// Returns a message when the baseline cannot be parsed or speedup
+/// regressed beyond [`REGRESSION_TOLERANCE`].
+pub fn check_scaling_against_baseline(
+    report: &ScalingReport,
+    baseline_json: &str,
+) -> Result<(), String> {
+    let baseline = json_number(baseline_json, "max_workers_speedup")
+        .ok_or("scaling baseline has no max_workers_speedup field")?;
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    let actual = report.max_workers_speedup();
+    if actual < floor {
+        return Err(format!(
+            "scaling regression: max-workers speedup {actual:.3} is below the {floor:.3} floor \
+             ({baseline:.3} baseline − {:.0}% tolerance)",
+            100.0 * REGRESSION_TOLERANCE
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,6 +617,8 @@ mod tests {
         let report = PerfReport {
             subframes: 120,
             workers: 8,
+            workers_effective: 4,
+            host_parallelism: 4,
             elapsed_s: 1.5,
             subframes_per_sec: 80.0,
             serial_subframes_per_sec: 20.0,
@@ -293,6 +630,9 @@ mod tests {
         };
         let json = report.to_json();
         assert_eq!(json_number(&json, "subframes"), Some(120.0));
+        assert_eq!(json_number(&json, "workers"), Some(8.0));
+        assert_eq!(json_number(&json, "workers_effective"), Some(4.0));
+        assert_eq!(json_number(&json, "host_parallelism"), Some(4.0));
         assert_eq!(json_number(&json, "subframes_per_sec"), Some(80.0));
         assert_eq!(json_number(&json, "serial_subframes_per_sec"), Some(20.0));
         assert_eq!(json_number(&json, "speedup"), Some(4.0));
@@ -305,6 +645,8 @@ mod tests {
         let mut report = PerfReport {
             subframes: 120,
             workers: 8,
+            workers_effective: 4,
+            host_parallelism: 4,
             elapsed_s: 1.5,
             subframes_per_sec: 80.0,
             serial_subframes_per_sec: 20.0,
@@ -337,12 +679,116 @@ mod tests {
             subframes: 6,
             workers: 4,
             seed: 1,
+            window: Some(3),
+            pin_workers: false,
         };
         let report = run_perf(&cfg).expect("perf run");
         assert_eq!(report.subframes, 6);
+        assert_eq!(report.workers, 4);
+        assert_eq!(report.workers_effective, effective_workers(4));
+        assert_eq!(report.host_parallelism, host_parallelism());
         assert!(report.subframes_per_sec > 0.0);
         assert!(report.serial_subframes_per_sec > 0.0);
         assert_eq!(report.crc_pass_rate, 1.0);
         assert!(report.p99_latency_us >= report.p50_latency_us);
+    }
+
+    #[test]
+    fn default_ladder_is_powers_of_two_ending_at_the_host() {
+        let ladder = default_worker_ladder();
+        let host = host_parallelism();
+        assert_eq!(ladder[0], 1);
+        assert_eq!(*ladder.last().unwrap(), host);
+        assert!(ladder.windows(2).all(|w| w[0] < w[1]));
+        assert!(ladder.iter().all(|&w| w <= host));
+    }
+
+    fn sample_scaling_report() -> ScalingReport {
+        let point = |w: usize, rate: f64| ScalingPoint {
+            workers_requested: w,
+            workers_effective: w.min(4),
+            subframes_per_sec: rate,
+            speedup: rate / 20.0,
+            efficiency: rate / 20.0 / w.min(4) as f64,
+            byte_identical: true,
+            pool: PoolActivity {
+                executed_tasks: 1000,
+                steals: 40,
+                steal_batches: 8,
+                batch_stolen_tasks: 60,
+                lifo_slot_hits: 700,
+                parks: 12,
+                pinned_workers: 0,
+            },
+        };
+        ScalingReport {
+            subframes: 120,
+            host_parallelism: 4,
+            window: 4,
+            serial_subframes_per_sec: 20.0,
+            points: vec![point(1, 19.0), point(2, 36.0), point(4, 64.0)],
+        }
+    }
+
+    #[test]
+    fn scaling_json_exposes_the_gate_keys_at_top_level() {
+        let report = sample_scaling_report();
+        let json = report.to_json();
+        // The flat parser must resolve the gate keys to the *top-level*
+        // values, not to a field inside the points array.
+        assert_eq!(json_number(&json, "max_workers"), Some(4.0));
+        assert_eq!(json_number(&json, "max_workers_speedup"), Some(3.2));
+        assert_eq!(json_number(&json, "serial_subframes_per_sec"), Some(20.0));
+        assert_eq!(json_number(&json, "host_parallelism"), Some(4.0));
+        assert_eq!(json_number(&json, "window"), Some(4.0));
+        assert_eq!(json_number(&json, "workers_requested"), Some(1.0));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.contains("\"steal_batches\": 8"));
+        assert!(json.contains("\"lifo_slot_hits\": 700"));
+    }
+
+    #[test]
+    fn scaling_gate_triggers_on_speedup_regression() {
+        let mut report = sample_scaling_report();
+        let baseline = report.to_json();
+        assert!(check_scaling_against_baseline(&report, &baseline).is_ok());
+        // 5% down: within tolerance.
+        report.points[2].speedup *= 0.95;
+        assert!(check_scaling_against_baseline(&report, &baseline).is_ok());
+        // 15% down: regression.
+        report.points[2].speedup = 3.2 * 0.85;
+        assert!(check_scaling_against_baseline(&report, &baseline).is_err());
+        assert!(check_scaling_against_baseline(&report, "{}").is_err());
+    }
+
+    #[test]
+    fn quick_scaling_run_verifies_every_point() {
+        let cfg = ScalingConfig {
+            subframes: 6,
+            worker_counts: vec![1, 2],
+            seed: 1,
+            window: Some(2),
+            pin_workers: false,
+        };
+        let report = run_scaling(&cfg).expect("scaling run");
+        assert_eq!(report.points.len(), 2);
+        assert_eq!(report.host_parallelism, host_parallelism());
+        for point in &report.points {
+            assert!(point.byte_identical);
+            assert!(point.subframes_per_sec > 0.0);
+            assert!(point.speedup > 0.0);
+            assert!(point.efficiency > 0.0);
+            assert_eq!(
+                point.workers_effective,
+                effective_workers(point.workers_requested)
+            );
+            assert!(point.pool.executed_tasks > 0);
+        }
+        assert_eq!(report.max_workers_point().workers_requested, 2);
+        assert!(run_scaling(&ScalingConfig {
+            worker_counts: vec![],
+            ..cfg
+        })
+        .is_err());
     }
 }

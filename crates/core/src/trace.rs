@@ -93,24 +93,22 @@ pub fn run_trace(ctx: &ExperimentContext) -> TraceArtifacts {
     metrics.set_counter("phy.sample.crc_ok", u64::from(phy.crc_ok));
 
     // The real work-stealing pool's counters: process the same sample
-    // input as parallel per-user jobs (the paper's task decomposition)
+    // input as parallel task graphs (the paper's task decomposition)
     // so the per-worker counters carry genuine PHY work.
     let pool = TaskPool::new(4).expect("spawn the trace sample pool");
+    let handle = pool.handle();
     let shared = std::sync::Arc::new(input.clone());
     let planner = std::sync::Arc::new(FftPlanner::new());
     for _ in 0..8 {
-        let input = std::sync::Arc::clone(&shared);
-        let planner = std::sync::Arc::clone(&planner);
-        pool.submit_job(move |p| {
-            crate::benchmark::process_user_parallel(
-                p,
-                &cell,
-                &input,
-                TurboMode::Passthrough,
-                &planner,
-                false,
-            );
-        });
+        crate::benchmark::spawn_user_graph(
+            &handle,
+            &cell,
+            &shared,
+            TurboMode::Passthrough,
+            &planner,
+            false,
+            Box::new(|_| {}),
+        );
     }
     pool.wait_all();
     pool.export_metrics(&metrics);

@@ -92,6 +92,10 @@ fn help_lists_every_command_and_flag() {
             "--out",
             "--perfetto",
             "--metrics",
+            "--workers",
+            "--window",
+            "--pin",
+            "--scaling-baseline",
         ] {
             assert!(stdout.contains(f), "help missing flag {f}:\n{stdout}");
         }
@@ -108,6 +112,10 @@ fn parse_errors_exit_status_2() {
         vec!["fig7", "--subframes"],
         vec!["fig7", "--subframes", "many"],
         vec!["fig7", "--seed", "1.5"],
+        vec!["perf", "--workers"],
+        vec!["perf", "--workers", "1,x"],
+        vec!["perf", "--workers", "1,0"],
+        vec!["perf", "--window", "soon"],
     ] {
         let out = lte_sim().args(&args).output().expect("run lte-sim");
         assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
@@ -151,6 +159,68 @@ fn trace_writes_perfetto_and_metrics() {
     ] {
         assert!(snapshot.contains(key), "metrics missing {key}:\n{snapshot}");
     }
+}
+
+#[test]
+fn perf_writes_both_reports_and_the_scaling_matrix() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_perf");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = lte_sim()
+        .args([
+            "perf",
+            "--subframes",
+            "24",
+            "--workers",
+            "1,2",
+            "--window",
+            "2",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let pr3 = std::fs::read_to_string(dir.join("BENCH_PR3.json")).expect("BENCH_PR3.json exists");
+    assert!(pr3.contains("\"schema\": \"lte-sim-perf-v1\""));
+    assert!(pr3.contains("\"workers_effective\""));
+    assert!(pr3.contains("\"host_parallelism\""));
+    let pr4 = std::fs::read_to_string(dir.join("BENCH_PR4.json")).expect("BENCH_PR4.json exists");
+    assert!(pr4.contains("\"schema\": \"lte-sim-scaling-v1\""));
+    assert!(pr4.contains("\"max_workers\": 2"));
+    assert!(pr4.contains("\"max_workers_speedup\""));
+    assert!(pr4.contains("\"workers_requested\": 1"));
+    assert!(pr4.contains("\"workers_requested\": 2"));
+    assert!(pr4.contains("\"byte_identical\": true"));
+    // The committed matrix doubles as its own baseline: re-checking a
+    // fresh run against it through the CLI gate must succeed.
+    let out = lte_sim()
+        .args([
+            "perf",
+            "--subframes",
+            "24",
+            "--workers",
+            "1,2",
+            "--window",
+            "2",
+            "--scaling-baseline",
+        ])
+        .arg(dir.join("BENCH_PR4.json"))
+        .arg("--out")
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        stdout,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("scaling holds against the baseline"));
 }
 
 #[test]

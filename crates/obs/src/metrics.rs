@@ -108,6 +108,21 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// Every counter whose name starts with `prefix`, sorted by name —
+    /// the query behind per-subsystem summaries (`pool.`, `sim.core.`)
+    /// without copying the whole registry. Gauges are excluded.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) if k.starts_with(prefix) => Some((k.clone(), *c)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The snapshot as one pretty-printed JSON object with sorted keys.
     pub fn to_json(&self) -> String {
         let snapshot = self.snapshot();
@@ -147,6 +162,23 @@ mod tests {
             m.to_json(),
             "{\n  \"a.count\": 7,\n  \"b.activity\": 0.5,\n  \"c.whole\": 12.0\n}\n"
         );
+    }
+
+    #[test]
+    fn prefix_query_selects_sorted_counters_only() {
+        let m = MetricsRegistry::new();
+        m.set_counter("pool.worker.1.steals", 4);
+        m.set_counter("pool.worker.0.steals", 9);
+        m.set_counter("sim.jobs_total", 3);
+        m.set_gauge("pool.activity", 0.5);
+        assert_eq!(
+            m.counters_with_prefix("pool."),
+            vec![
+                ("pool.worker.0.steals".to_string(), 9),
+                ("pool.worker.1.steals".to_string(), 4),
+            ]
+        );
+        assert!(m.counters_with_prefix("nothing.").is_empty());
     }
 
     #[test]

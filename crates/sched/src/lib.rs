@@ -25,6 +25,7 @@ pub mod sim;
 
 pub use cycles::{CostModel, SimJob};
 pub use pool::{
-    silence_injected_panics, InjectedPanic, PoolError, TaskPool, WorkerKill, WorkerSnapshot,
+    silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, TaskPool,
+    WorkerKill, WorkerSnapshot,
 };
 pub use sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};

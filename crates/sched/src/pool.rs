@@ -10,9 +10,26 @@
 //!   `crossbeam::deque`), exactly the paper's "each worker thread has a
 //!   local task queue, and if no work exists in its own queue, it tries
 //!   to steal work from another worker thread";
+//! * **a bounded per-worker LIFO slot** — the most recently spawned
+//!   continuation task is kept in a one-element slot private to the
+//!   worker, so a dependency chain (estimate → weights → combine →
+//!   finish) runs back-to-back on one core with hot caches instead of
+//!   round-tripping through the deque;
+//! * **batched steals** — a thief takes up to half the victim's deque in
+//!   one operation ([`crossbeam::deque::MAX_BATCH`] cap), amortising the
+//!   steal synchronisation over many fine-grained tasks;
+//! * **spin-then-park idling** — a worker that finds no work anywhere
+//!   retries briefly, then parks on a condvar with exponentially growing
+//!   timeouts instead of burning a core, and is woken by the next
+//!   submit/spawn;
 //! * **task scopes** ([`TaskPool::scope`]) — the fork-join barrier
 //!   between pipeline phases: the caller helps execute until all tasks
 //!   of the scope complete;
+//! * **detached tasks** ([`TaskPool::spawn`], [`PoolHandle::spawn`]) —
+//!   dependency-graph continuations that block no thread: a task's
+//!   completion spawns its successors, and [`TaskPool::wait_all`] counts
+//!   every spawned task, so a whole subframe pipeline can drain without
+//!   any user thread standing at a barrier;
 //! * **cycle accounting** — every executed task is timed, the analogue of
 //!   the paper's `get_cycle_count()` instrumentation, so the activity
 //!   metric (Eq. 2) can be computed for real runs too.
@@ -35,6 +52,16 @@ use parking_lot::{Condvar, Mutex};
 
 type Job = Box<dyn FnOnce(&TaskPool) + Send + 'static>;
 type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Consecutive empty work searches a worker tolerates (yielding between
+/// attempts) before it parks on the idle condvar.
+const SPIN_RETRIES: u32 = 3;
+/// First parking timeout; doubles on every consecutive park up to
+/// [`PARK_MAX`]. Timeouts (rather than indefinite parks) also paper over
+/// the shim condvar's benign missed-wakeup window.
+const PARK_BASE: Duration = Duration::from_micros(50);
+/// Parking timeout ceiling.
+const PARK_MAX: Duration = Duration::from_millis(2);
 
 /// Why a pool could not be constructed.
 #[derive(Debug)]
@@ -61,6 +88,48 @@ impl std::error::Error for PoolError {
             PoolError::Spawn(e) => Some(e),
         }
     }
+}
+
+/// Pool construction parameters beyond the worker count.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker threads to spawn.
+    pub n_workers: usize,
+    /// Pin worker `i` to CPU `i % host_cpus` (Linux only; a no-op that
+    /// reports zero pinned workers elsewhere). Pinning removes OS
+    /// migration noise from scaling measurements.
+    pub pin_workers: bool,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            n_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            pin_workers: false,
+        }
+    }
+}
+
+/// Best-effort thread pinning. Linux: `sched_setaffinity` on the calling
+/// thread (glibc is already linked by `std`, so no extra dependency);
+/// other platforms: a no-op returning `false`.
+#[cfg(target_os = "linux")]
+fn pin_current_thread(cpu: usize) -> bool {
+    // A fixed 1024-bit mask matches glibc's `cpu_set_t`.
+    const MASK_WORDS: usize = 16;
+    let mut mask = [0u64; MASK_WORDS];
+    let cpu = cpu % (MASK_WORDS * 64);
+    mask[cpu / 64] |= 1u64 << (cpu % 64);
+    extern "C" {
+        fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+    }
+    // SAFETY: the mask outlives the call and cpusetsize matches it.
+    unsafe { sched_setaffinity(0, MASK_WORDS * 8, mask.as_ptr()) == 0 }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn pin_current_thread(_cpu: usize) -> bool {
+    false
 }
 
 /// Panic payload that fail-stops the worker executing it; the pool's
@@ -97,6 +166,10 @@ pub fn silence_injected_panics() {
 thread_local! {
     /// The local deque of the worker thread currently running, if any.
     static LOCAL_DEQUE: RefCell<Option<Worker<Task>>> = const { RefCell::new(None) };
+    /// The bounded (one-element) LIFO slot holding this worker's most
+    /// recently spawned task. Private to the worker — never stolen — so
+    /// a continuation chain keeps its working set in cache.
+    static LIFO_SLOT: RefCell<Option<Task>> = const { RefCell::new(None) };
     /// Index of the worker thread currently running, if any — used to
     /// attribute counters per worker.
     static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
@@ -115,6 +188,9 @@ struct WorkerStats {
     executed_tasks: AtomicU64,
     steals: AtomicU64,
     steal_failures: AtomicU64,
+    slot_hits: AtomicU64,
+    steal_batches: AtomicU64,
+    parks: AtomicU64,
 }
 
 /// A point-in-time copy of one worker's counters.
@@ -128,6 +204,12 @@ pub struct WorkerSnapshot {
     pub steals: u64,
     /// Work searches that found nothing anywhere.
     pub steal_failures: u64,
+    /// Tasks this worker took from its bounded LIFO slot.
+    pub slot_hits: u64,
+    /// Steals that moved more than one task in a batch.
+    pub steal_batches: u64,
+    /// Times this worker parked on the idle condvar.
+    pub parks: u64,
 }
 
 struct Inner {
@@ -142,10 +224,20 @@ struct Inner {
     executed_tasks: AtomicU64,
     steal_count: AtomicU64,
     steal_failures: AtomicU64,
+    steal_batches: AtomicU64,
+    batch_stolen_tasks: AtomicU64,
+    lifo_slot_hits: AtomicU64,
+    parks: AtomicU64,
+    pinned_workers: AtomicU64,
     poisoned_tasks: AtomicU64,
     poisoned_jobs: AtomicU64,
     worker_respawns: AtomicU64,
     worker_stats: Vec<WorkerStats>,
+    /// Workers currently parked (or about to park) on `idle_cv`; wakeups
+    /// are skipped entirely while this is zero, so the submit hot path
+    /// pays no condvar traffic when every worker is busy.
+    idle_workers: AtomicUsize,
+    pin_workers: bool,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
     done_lock: Mutex<()>,
@@ -153,8 +245,17 @@ struct Inner {
 }
 
 impl Inner {
+    /// Wakes parked workers if — and only if — any worker is parked.
+    fn wake_idle(&self) {
+        if self.idle_workers.load(Ordering::SeqCst) > 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
     /// Grabs one task from anywhere: the overflow queue, then other
-    /// workers' deques (round-robin from `start`).
+    /// workers' deques (round-robin from `start`). A steal from a deque
+    /// takes up to half the victim's queue when the calling thread has a
+    /// local deque to unload the batch into.
     fn steal_task(&self, start: usize) -> Option<Task> {
         loop {
             match self.overflow.steal() {
@@ -167,20 +268,120 @@ impl Inner {
         for i in 0..n {
             let victim = (start + i) % n;
             loop {
-                match self.stealers[victim].steal() {
-                    Steal::Success(t) => {
+                let stolen = LOCAL_DEQUE.with(|local| {
+                    let local = local.borrow();
+                    match local.as_ref() {
+                        // Batched steal: the oldest task comes back for
+                        // immediate execution, the rest of the batch
+                        // lands on our own deque.
+                        Some(dest) => {
+                            let before = dest.len();
+                            let result = self.stealers[victim].steal_batch_and_pop(dest);
+                            let moved = dest.len().saturating_sub(before);
+                            (result, moved)
+                        }
+                        None => (self.stealers[victim].steal(), 0),
+                    }
+                });
+                match stolen {
+                    (Steal::Success(t), moved) => {
                         self.steal_count.fetch_add(1, Ordering::Relaxed);
+                        if moved > 0 {
+                            self.steal_batches.fetch_add(1, Ordering::Relaxed);
+                            self.batch_stolen_tasks
+                                .fetch_add(moved as u64, Ordering::Relaxed);
+                        }
                         if let Some(w) = WORKER_INDEX.with(Cell::get) {
                             self.worker_stats[w].steals.fetch_add(1, Ordering::Relaxed);
+                            if moved > 0 {
+                                self.worker_stats[w]
+                                    .steal_batches
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
                         }
                         return Some(t);
                     }
-                    Steal::Retry => continue,
-                    Steal::Empty => break,
+                    (Steal::Retry, _) => continue,
+                    (Steal::Empty, _) => break,
                 }
             }
         }
         None
+    }
+}
+
+/// Takes the next locally available task: the LIFO slot first (hot
+/// continuation), then the worker's own deque.
+fn pop_local(inner: &Inner) -> Option<Task> {
+    if let Some(task) = LIFO_SLOT.with(|slot| slot.borrow_mut().take()) {
+        inner.lifo_slot_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(w) = WORKER_INDEX.with(Cell::get) {
+            inner.worker_stats[w]
+                .slot_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        return Some(task);
+    }
+    LOCAL_DEQUE.with(|local| local.borrow().as_ref().and_then(|d| d.pop()))
+}
+
+/// Enqueues a detached task: into the calling worker's LIFO slot when on
+/// a worker thread (displacing any previous occupant onto the stealable
+/// deque), or onto the shared overflow queue otherwise.
+fn spawn_inner(inner: &Arc<Inner>, task: Task) {
+    inner.pending_jobs.fetch_add(1, Ordering::SeqCst);
+    let done_inner = Arc::clone(inner);
+    let wrapped: Task = Box::new(move || {
+        // The pending count must drop even when the task panics —
+        // otherwise one poisoned continuation would hang `wait_all`.
+        // The panic is re-raised for `run_timed` to account and contain.
+        let result = catch_unwind(AssertUnwindSafe(task));
+        if done_inner.pending_jobs.fetch_sub(1, Ordering::SeqCst) == 1 {
+            done_inner.done_cv.notify_all();
+        }
+        if let Err(payload) = result {
+            resume_unwind(payload);
+        }
+    });
+    if WORKER_INDEX.with(Cell::get).is_some() {
+        let displaced = LIFO_SLOT.with(|slot| slot.borrow_mut().replace(wrapped));
+        if let Some(old) = displaced {
+            // The displaced task becomes stealable: other workers may be
+            // hungry for it.
+            LOCAL_DEQUE.with(|local| match local.borrow().as_ref() {
+                Some(deque) => deque.push(old),
+                None => inner.overflow.push(old),
+            });
+            inner.wake_idle();
+        }
+        // A task in the slot needs no wakeup: this worker is running.
+    } else {
+        inner.overflow.push(wrapped);
+        inner.wake_idle();
+    }
+}
+
+/// A cloneable, `'static` handle for spawning detached tasks onto the
+/// pool — the edge type of dependency-graph continuations: a task
+/// captures a handle and spawns its successors when it completes.
+///
+/// Handles keep the pool's shared state alive but own no worker threads;
+/// dropping the owning [`TaskPool`] still shuts the workers down.
+#[derive(Clone)]
+pub struct PoolHandle {
+    inner: Arc<Inner>,
+    n_workers: usize,
+}
+
+impl PoolHandle {
+    /// Number of worker threads in the pool this handle points at.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Spawns a detached task (see [`TaskPool::spawn`]).
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        spawn_inner(&self.inner, Box::new(task));
     }
 }
 
@@ -221,7 +422,7 @@ pub struct TaskPool {
 }
 
 impl TaskPool {
-    /// Spawns a pool with `n_workers` OS threads.
+    /// Spawns a pool with `n_workers` OS threads (no pinning).
     ///
     /// # Errors
     ///
@@ -229,6 +430,19 @@ impl TaskPool {
     /// [`PoolError::Spawn`] when the OS refuses a worker thread (any
     /// already-spawned workers are shut down and joined first).
     pub fn new(n_workers: usize) -> Result<Self, PoolError> {
+        Self::with_config(PoolConfig {
+            n_workers,
+            pin_workers: false,
+        })
+    }
+
+    /// Spawns a pool from a full [`PoolConfig`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TaskPool::new`].
+    pub fn with_config(cfg: PoolConfig) -> Result<Self, PoolError> {
+        let n_workers = cfg.n_workers;
         if n_workers == 0 {
             return Err(PoolError::ZeroWorkers);
         }
@@ -244,10 +458,17 @@ impl TaskPool {
             executed_tasks: AtomicU64::new(0),
             steal_count: AtomicU64::new(0),
             steal_failures: AtomicU64::new(0),
+            steal_batches: AtomicU64::new(0),
+            batch_stolen_tasks: AtomicU64::new(0),
+            lifo_slot_hits: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            pinned_workers: AtomicU64::new(0),
             poisoned_tasks: AtomicU64::new(0),
             poisoned_jobs: AtomicU64::new(0),
             worker_respawns: AtomicU64::new(0),
             worker_stats: (0..n_workers).map(|_| WorkerStats::default()).collect(),
+            idle_workers: AtomicUsize::new(0),
+            pin_workers: cfg.pin_workers,
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
             done_lock: Mutex::new(()),
@@ -283,13 +504,31 @@ impl TaskPool {
         self.n_workers
     }
 
+    /// A cloneable handle for spawning detached continuation tasks.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            inner: Arc::clone(&self.inner),
+            n_workers: self.n_workers,
+        }
+    }
+
     /// Enqueues a user job on the global queue. The job runs on some
     /// worker (its "user thread") and receives a pool handle for nested
     /// [`scope`](TaskPool::scope) fan-outs.
     pub fn submit_job(&self, job: impl FnOnce(&TaskPool) + Send + 'static) {
         self.inner.pending_jobs.fetch_add(1, Ordering::SeqCst);
         self.inner.jobs.push(Box::new(job));
-        self.inner.idle_cv.notify_all();
+        self.inner.wake_idle();
+    }
+
+    /// Spawns a detached task: no thread blocks on its completion, but
+    /// [`TaskPool::wait_all`] counts it. On a worker thread the task goes
+    /// into the worker's bounded LIFO slot (displacing any previous
+    /// occupant onto the stealable deque) — the building block of
+    /// dependency-ordered task graphs where each task spawns its
+    /// successors instead of a user thread standing at a barrier.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        spawn_inner(&self.inner, Box::new(task));
     }
 
     /// Runs a set of tasks to completion, helping execute them from the
@@ -326,13 +565,12 @@ impl TaskPool {
                 }
             }
         });
-        self.inner.idle_cv.notify_all();
-        // Help until the barrier resolves: own deque first, then steal.
+        self.inner.wake_idle();
+        // Help until the barrier resolves: slot and own deque first,
+        // then steal.
         let scope_start = Instant::now();
         while remaining.load(Ordering::SeqCst) > 0 {
-            let task = LOCAL_DEQUE
-                .with(|local| local.borrow().as_ref().and_then(|d| d.pop()))
-                .or_else(|| self.inner.steal_task(0));
+            let task = pop_local(&self.inner).or_else(|| self.inner.steal_task(0));
             match task {
                 Some(t) => run_timed(&self.inner, t),
                 None => std::hint::spin_loop(),
@@ -341,7 +579,7 @@ impl TaskPool {
         SCOPE_NANOS.with(|c| c.set(c.get() + scope_start.elapsed().as_nanos() as u64));
     }
 
-    /// Blocks until every submitted job has completed.
+    /// Blocks until every submitted job and spawned task has completed.
     pub fn wait_all(&self) {
         let mut guard = self.inner.done_lock.lock();
         while self.inner.pending_jobs.load(Ordering::SeqCst) > 0 {
@@ -370,6 +608,31 @@ impl TaskPool {
     /// Number of work searches that found nothing anywhere so far.
     pub fn steal_failures(&self) -> u64 {
         self.inner.steal_failures.load(Ordering::Relaxed)
+    }
+
+    /// Steals that moved more than one task (steal-half batches).
+    pub fn steal_batches(&self) -> u64 {
+        self.inner.steal_batches.load(Ordering::Relaxed)
+    }
+
+    /// Extra tasks moved by batched steals (beyond the popped one).
+    pub fn batch_stolen_tasks(&self) -> u64 {
+        self.inner.batch_stolen_tasks.load(Ordering::Relaxed)
+    }
+
+    /// Tasks executed straight from a worker's bounded LIFO slot.
+    pub fn lifo_slot_hits(&self) -> u64 {
+        self.inner.lifo_slot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Times any worker parked on the idle condvar.
+    pub fn parks(&self) -> u64 {
+        self.inner.parks.load(Ordering::Relaxed)
+    }
+
+    /// Workers successfully pinned to a CPU at startup.
+    pub fn pinned_workers(&self) -> u64 {
+        self.inner.pinned_workers.load(Ordering::Relaxed)
     }
 
     /// Tasks that panicked and were contained by the pool.
@@ -409,6 +672,9 @@ impl TaskPool {
             executed_tasks: s.executed_tasks.load(Ordering::Relaxed),
             steals: s.steals.load(Ordering::Relaxed),
             steal_failures: s.steal_failures.load(Ordering::Relaxed),
+            slot_hits: s.slot_hits.load(Ordering::Relaxed),
+            steal_batches: s.steal_batches.load(Ordering::Relaxed),
+            parks: s.parks.load(Ordering::Relaxed),
         }
     }
 
@@ -419,6 +685,11 @@ impl TaskPool {
         metrics.set_counter("pool.executed_tasks", self.executed_tasks());
         metrics.set_counter("pool.steals", self.steal_count());
         metrics.set_counter("pool.steal_failures", self.steal_failures());
+        metrics.set_counter("pool.steal_batches", self.steal_batches());
+        metrics.set_counter("pool.batch_stolen_tasks", self.batch_stolen_tasks());
+        metrics.set_counter("pool.lifo_slot_hits", self.lifo_slot_hits());
+        metrics.set_counter("pool.parks", self.parks());
+        metrics.set_counter("pool.pinned_workers", self.pinned_workers());
         metrics.set_counter("pool.poisoned_tasks", self.poisoned_tasks());
         metrics.set_counter("pool.poisoned_jobs", self.poisoned_jobs());
         metrics.set_counter("pool.worker_respawns", self.worker_respawns());
@@ -436,6 +707,9 @@ impl TaskPool {
             metrics.set_counter(&format!("pool.worker.{i}.executed_tasks"), s.executed_tasks);
             metrics.set_counter(&format!("pool.worker.{i}.steals"), s.steals);
             metrics.set_counter(&format!("pool.worker.{i}.steal_failures"), s.steal_failures);
+            metrics.set_counter(&format!("pool.worker.{i}.slot_hits"), s.slot_hits);
+            metrics.set_counter(&format!("pool.worker.{i}.steal_batches"), s.steal_batches);
+            metrics.set_counter(&format!("pool.worker.{i}.parks"), s.parks);
         }
     }
 
@@ -493,10 +767,17 @@ fn run_timed(inner: &Inner, task: Task) {
 /// Worker thread body: a supervision loop around [`worker_loop`]. A
 /// [`WorkerKill`] unwinding out of the work loop models a core dying;
 /// the supervisor counts the respawn and re-enters the loop on the same
-/// thread with the same deque, so queued tasks survive the "death".
+/// thread with the same deque — and the same LIFO slot — so queued tasks
+/// survive the "death".
 fn worker_entry(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
     LOCAL_DEQUE.with(|local| *local.borrow_mut() = Some(deque));
     WORKER_INDEX.with(|w| w.set(Some(index)));
+    if inner.pin_workers {
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if pin_current_thread(index % cpus) {
+            inner.pinned_workers.fetch_add(1, Ordering::Relaxed);
+        }
+    }
     loop {
         let result = catch_unwind(AssertUnwindSafe(|| worker_loop(&inner, index)));
         match result {
@@ -515,18 +796,22 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
         workers: Vec::new(), // handle owns no threads; Drop join is a no-op
         n_workers,
     };
+    // Consecutive failed work searches; reset by any successful find.
+    let mut idle_streak: u32 = 0;
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        // Own deque first (LIFO), …
-        if let Some(t) = LOCAL_DEQUE.with(|local| local.borrow().as_ref().and_then(|d| d.pop())) {
+        // LIFO slot and own deque first, …
+        if let Some(t) = pop_local(inner) {
+            idle_streak = 0;
             run_timed(inner, t);
             continue;
         }
         // … then the global user queue (§IV-C: checked before stealing), …
         match inner.jobs.steal() {
             Steal::Success(job) => {
+                idle_streak = 0;
                 let scope_before = SCOPE_NANOS.with(Cell::get);
                 let start = Instant::now();
                 // Contain job panics so one poisoned user cannot hang
@@ -551,26 +836,41 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
             Steal::Retry => continue,
             Steal::Empty => {}
         }
-        // … then steal tasks from anyone.
+        // … then steal tasks from anyone (batched when possible).
         if let Some(t) = inner.steal_task(index + 1) {
+            idle_streak = 0;
             run_timed(inner, t);
             continue;
         }
-        // Nothing to do: count the failed search, then a brief wait
-        // (the IDLE policy analogue).
+        // Nothing to do: count the failed search, then back off — a few
+        // cheap yields first (work often arrives within microseconds),
+        // then park on the idle condvar with exponentially growing
+        // timeouts (the IDLE policy analogue).
         inner.steal_failures.fetch_add(1, Ordering::Relaxed);
         inner.worker_stats[index]
             .steal_failures
             .fetch_add(1, Ordering::Relaxed);
+        idle_streak = idle_streak.saturating_add(1);
+        if idle_streak <= SPIN_RETRIES {
+            std::thread::yield_now();
+            continue;
+        }
+        let exp = (idle_streak - SPIN_RETRIES - 1).min(10);
+        let timeout = PARK_MAX.min(PARK_BASE * 2u32.saturating_pow(exp));
+        inner.idle_workers.fetch_add(1, Ordering::SeqCst);
         let mut guard = inner.idle_lock.lock();
         if inner.jobs.is_empty()
             && inner.overflow.is_empty()
             && !inner.shutdown.load(Ordering::SeqCst)
         {
-            inner
-                .idle_cv
-                .wait_for(&mut guard, Duration::from_micros(500));
+            inner.parks.fetch_add(1, Ordering::Relaxed);
+            inner.worker_stats[index]
+                .parks
+                .fetch_add(1, Ordering::Relaxed);
+            inner.idle_cv.wait_for(&mut guard, timeout);
         }
+        drop(guard);
+        inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -763,6 +1063,132 @@ mod tests {
     #[test]
     fn zero_workers_rejected() {
         assert!(matches!(TaskPool::new(0), Err(PoolError::ZeroWorkers)));
+        assert!(matches!(
+            TaskPool::with_config(PoolConfig {
+                n_workers: 0,
+                pin_workers: true
+            }),
+            Err(PoolError::ZeroWorkers)
+        ));
+    }
+
+    #[test]
+    fn spawned_tasks_counted_by_wait_all() {
+        let pool = TaskPool::new(2).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let h = Arc::clone(&hits);
+            pool.spawn(move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn spawned_chains_complete_and_hit_the_lifo_slot() {
+        // Each chain link spawns the next from inside a worker: the
+        // continuation should ride the LIFO slot, not the deque.
+        let pool = TaskPool::new(2).unwrap();
+        let handle = pool.handle();
+        let hits = Arc::new(AtomicU32::new(0));
+        fn link(handle: PoolHandle, hits: Arc<AtomicU32>, depth: u32) {
+            hits.fetch_add(1, Ordering::SeqCst);
+            if depth > 0 {
+                let next = handle.clone();
+                handle.spawn(move || link(next.clone(), hits, depth - 1));
+            }
+        }
+        for _ in 0..4 {
+            let handle = handle.clone();
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || link(handle.clone(), hits, 24));
+        }
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 4 * 25);
+        assert!(
+            pool.lifo_slot_hits() > 0,
+            "continuations must use the LIFO slot"
+        );
+    }
+
+    #[test]
+    fn lifo_slot_displacement_loses_no_task() {
+        // Spawning twice in a row from one worker displaces the first
+        // task from the slot to the deque; both must still run.
+        let pool = TaskPool::new(1).unwrap();
+        let handle = pool.handle();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        pool.spawn(move || {
+            for _ in 0..10 {
+                let h = Arc::clone(&h);
+                handle.spawn(move || {
+                    h.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn batched_steals_move_multiple_tasks() {
+        // A single job floods its worker's deque with slow tasks; the
+        // other three workers have no job of their own, so their steals
+        // hit a deep deque and must move batches.
+        let pool = TaskPool::new(4).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        let h = Arc::clone(&hits);
+        pool.submit_job(move |p| {
+            let tasks: Vec<Task> = (0..128)
+                .map(|_| {
+                    let h = Arc::clone(&h);
+                    Box::new(move || {
+                        h.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_micros(300));
+                    }) as Task
+                })
+                .collect();
+            p.scope(tasks);
+        });
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 128);
+        assert!(
+            pool.steal_batches() > 0,
+            "a flooded deque must trigger batch steals"
+        );
+        assert!(pool.batch_stolen_tasks() >= pool.steal_batches());
+    }
+
+    #[test]
+    fn idle_workers_park_instead_of_spinning() {
+        let pool = TaskPool::new(4).unwrap();
+        pool.submit_job(|_| {});
+        pool.wait_all();
+        // Give the workers time to exhaust their spin retries.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(pool.parks() > 0, "an empty pool must park its workers");
+    }
+
+    #[test]
+    fn pinning_is_counted_when_requested() {
+        let pool = TaskPool::with_config(PoolConfig {
+            n_workers: 2,
+            pin_workers: true,
+        })
+        .unwrap();
+        pool.submit_job(|_| {});
+        pool.wait_all();
+        if cfg!(target_os = "linux") {
+            assert_eq!(pool.pinned_workers(), 2, "both workers must pin on Linux");
+        } else {
+            assert_eq!(pool.pinned_workers(), 0);
+        }
+        // And an unpinned pool reports zero.
+        let plain = TaskPool::new(2).unwrap();
+        assert_eq!(plain.pinned_workers(), 0);
     }
 
     #[test]
@@ -788,6 +1214,25 @@ mod tests {
         assert_eq!(pool.poisoned_tasks(), 1);
         // The panic stayed inside the pool: no worker died for it.
         assert_eq!(pool.worker_respawns(), 0);
+    }
+
+    #[test]
+    fn poisoned_spawned_task_does_not_hang_wait_all() {
+        silence_injected_panics();
+        let pool = TaskPool::new(2).unwrap();
+        let hits = Arc::new(AtomicU32::new(0));
+        for i in 0..10 {
+            let h = Arc::clone(&hits);
+            pool.spawn(move || {
+                if i == 3 {
+                    std::panic::panic_any(InjectedPanic);
+                }
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_all();
+        assert_eq!(hits.load(Ordering::SeqCst), 9);
+        assert_eq!(pool.poisoned_tasks(), 1);
     }
 
     #[test]
@@ -867,6 +1312,8 @@ mod tests {
         assert_eq!(tasks, 8 * 16);
         let steals: u64 = per_worker.iter().map(|s| s.steals).sum();
         assert_eq!(steals, pool.steal_count());
+        let batches: u64 = per_worker.iter().map(|s| s.steal_batches).sum();
+        assert_eq!(batches, pool.steal_batches());
         let busy: u64 = per_worker.iter().map(|s| s.busy_nanos).sum();
         // Worker task time is a subset of total busy time (which also
         // counts job bodies run outside any single task).
@@ -889,11 +1336,33 @@ mod tests {
             metrics.get("pool.workers"),
             Some(lte_obs::MetricValue::Counter(3))
         );
+        for key in [
+            "pool.steal_batches",
+            "pool.batch_stolen_tasks",
+            "pool.lifo_slot_hits",
+            "pool.parks",
+            "pool.pinned_workers",
+        ] {
+            assert!(metrics.get(key).is_some(), "missing {key}");
+        }
         for i in 0..3 {
-            for key in ["busy_nanos", "executed_tasks", "steals", "steal_failures"] {
+            // Each worker's counters are reachable both directly and
+            // through the registry's prefix query.
+            let per_worker = metrics.counters_with_prefix(&format!("pool.worker.{i}."));
+            for key in [
+                "busy_nanos",
+                "executed_tasks",
+                "steals",
+                "steal_failures",
+                "slot_hits",
+                "steal_batches",
+                "parks",
+            ] {
+                let full = format!("pool.worker.{i}.{key}");
+                assert!(metrics.get(&full).is_some(), "missing {full}");
                 assert!(
-                    metrics.get(&format!("pool.worker.{i}.{key}")).is_some(),
-                    "missing pool.worker.{i}.{key}"
+                    per_worker.iter().any(|(name, _)| *name == full),
+                    "prefix query missing {full}"
                 );
             }
         }

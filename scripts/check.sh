@@ -35,11 +35,16 @@ echo "$chaos_out" | grep -q "^harq recoveries: 0$" \
 echo "$chaos_out" | grep -q "^harq recoveries: " \
     || { echo "chaos smoke: missing recovery report"; exit 1; }
 
-echo "==> throughput smoke (lte-sim perf)"
-# Release build: the regression gate compares against numbers measured
+echo "==> throughput + scaling smoke (lte-sim perf)"
+# Release build: the regression gates compare against numbers measured
 # in release mode; a debug run would trip the 10 % tolerance instantly.
+# The same worker ladder as the committed matrix keeps the speedup gate
+# apples-to-apples; the gate defends the max-workers *speedup* ratio, so
+# it transfers across hosts with different absolute rates.
 cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
-    perf --quick --out target/perf-smoke --baseline results/BENCH_PR3.json \
-    || { echo "perf smoke: throughput regressed versus results/BENCH_PR3.json"; exit 1; }
+    perf --quick --out target/perf-smoke \
+    --baseline results/BENCH_PR3.json \
+    --workers 1,2,4 --scaling-baseline results/BENCH_PR4.json \
+    || { echo "perf smoke: throughput or max-workers speedup regressed versus results/BENCH_PR3.json / results/BENCH_PR4.json"; exit 1; }
 
 echo "all checks passed"

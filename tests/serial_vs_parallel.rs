@@ -33,6 +33,52 @@ fn ramp_model_verifies_across_worker_counts() {
 }
 
 #[test]
+fn pipelined_runs_verify_across_worker_counts_and_windows() {
+    // The multi-subframe pipeline admits subframe n+1 while n is still
+    // draining; byte-identity must survive that overlap at every worker
+    // count and window depth, including the saturating zero-interval
+    // dispatch that maximises inter-subframe concurrency.
+    let subframes = RampModel::new(77).subframes(8);
+    for workers in [1, 2, 4] {
+        for window in [1, 2, 4] {
+            let mut bench = UplinkBenchmark::new(
+                CellConfig::with_antennas(2),
+                BenchmarkConfig {
+                    delta: Duration::ZERO,
+                    max_in_flight: Some(window),
+                    ..config(workers)
+                },
+            );
+            let run = bench.run(&subframes);
+            bench
+                .verify(&subframes, &run)
+                .unwrap_or_else(|e| panic!("{workers} workers / window {window} diverged: {e}"));
+        }
+    }
+}
+
+#[test]
+fn pipelined_run_matches_the_unbounded_run_bit_for_bit() {
+    let subframes = RampModel::new(9).subframes(6);
+    let make = |window| {
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            BenchmarkConfig {
+                delta: Duration::ZERO,
+                max_in_flight: window,
+                ..config(4)
+            },
+        );
+        bench.run(&subframes).results
+    };
+    assert_eq!(
+        make(Some(2)),
+        make(None),
+        "the in-flight window must only shape admission timing, never results"
+    );
+}
+
+#[test]
 fn repeated_parallel_runs_are_identical() {
     let subframes = RampModel::new(5).subframes(6);
     let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), config(4));

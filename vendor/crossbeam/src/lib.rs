@@ -56,6 +56,11 @@ pub mod deque {
             lock(&self.queue).is_empty()
         }
 
+        /// Number of queued items (approximate under concurrency).
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
+
         /// Creates a stealing handle for this deque.
         pub fn stealer(&self) -> Stealer<T> {
             Stealer {
@@ -63,6 +68,11 @@ pub mod deque {
             }
         }
     }
+
+    /// Upper bound on tasks moved per batch steal, mirroring
+    /// `crossbeam_deque::Stealer::steal_batch_and_pop` (which moves at
+    /// most half the victim's queue, capped at a small constant).
+    pub const MAX_BATCH: usize = 32;
 
     /// A stealing handle: takes the *oldest* task (front of the deque).
     pub struct Stealer<T> {
@@ -76,6 +86,33 @@ pub mod deque {
                 Some(item) => Steal::Success(item),
                 None => Steal::Empty,
             }
+        }
+
+        /// Steals up to half the victim's queue (capped at
+        /// [`MAX_BATCH`]): the oldest task is returned for immediate
+        /// execution and the rest are moved onto `dest`, the thief's own
+        /// deque, preserving FIFO order. One successful batch amortises
+        /// the steal synchronisation over many tasks.
+        ///
+        /// The victim's lock is released before `dest` is touched, so
+        /// two workers batch-stealing from each other cannot deadlock.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let batch: Vec<T> = {
+                let mut src = lock(&self.queue);
+                let n = src.len();
+                if n == 0 {
+                    return Steal::Empty;
+                }
+                let take = n.div_ceil(2).min(MAX_BATCH);
+                src.drain(..take).collect()
+            };
+            let mut batch = batch.into_iter();
+            let first = batch.next().expect("batch is non-empty");
+            let mut dst = lock(&dest.queue);
+            for item in batch {
+                dst.push_back(item);
+            }
+            Steal::Success(first)
         }
     }
 
@@ -141,6 +178,42 @@ pub mod deque {
             assert_eq!(w.pop(), Some(2));
             assert_eq!(w.pop(), None);
             assert!(matches!(s.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn batch_steal_halves_the_victim_queue() {
+            let victim = Worker::new_lifo();
+            let thief = Worker::new_lifo();
+            for i in 0..10 {
+                victim.push(i);
+            }
+            // 10 queued: the thief takes ceil(10/2) = 5 — the oldest is
+            // returned, four move to the thief's deque, five remain.
+            let s = victim.stealer();
+            assert!(matches!(s.steal_batch_and_pop(&thief), Steal::Success(0)));
+            assert_eq!(thief.len(), 4);
+            assert_eq!(victim.len(), 5);
+            // The thief's copy preserves the victim's FIFO order.
+            let thief_stealer = thief.stealer();
+            assert!(matches!(thief_stealer.steal(), Steal::Success(1)));
+            // An empty victim reports Empty without touching dest.
+            let empty = Worker::<i32>::new_lifo();
+            assert!(matches!(
+                empty.stealer().steal_batch_and_pop(&thief),
+                Steal::Empty
+            ));
+        }
+
+        #[test]
+        fn batch_steal_caps_at_max_batch() {
+            let victim = Worker::new_lifo();
+            let thief = Worker::new_lifo();
+            for i in 0..200 {
+                victim.push(i);
+            }
+            victim.stealer().steal_batch_and_pop(&thief);
+            assert_eq!(thief.len(), MAX_BATCH - 1);
+            assert_eq!(victim.len(), 200 - MAX_BATCH);
         }
 
         #[test]
