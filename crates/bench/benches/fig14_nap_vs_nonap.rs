@@ -4,7 +4,7 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lte_sched::NapPolicy;
+use lte_power::NapPolicy;
 
 fn fig14(c: &mut Criterion) {
     let ctx = lte_bench::bench_context();

@@ -4,8 +4,8 @@
 use std::hint::black_box;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use lte_power::NapPolicy;
 use lte_power::PowerGating;
-use lte_sched::NapPolicy;
 
 fn fig16(c: &mut Criterion) {
     let ctx = lte_bench::bench_context();

@@ -12,8 +12,8 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lte_obs::{NoopRecorder, RingRecorder};
+use lte_power::NapPolicy;
 use lte_sched::sim::Simulator;
-use lte_sched::NapPolicy;
 
 fn obs_overhead(c: &mut Criterion) {
     let ctx = lte_bench::tiny_context();

@@ -19,7 +19,7 @@
 use lte_power::dvfs::DvfsPolicy;
 use lte_power::gating::PowerGating;
 use lte_power::model::PowerModel;
-use lte_sched::sim::NapPolicy;
+use lte_power::NapPolicy;
 
 use crate::experiments::{ExperimentContext, PowerStudy};
 

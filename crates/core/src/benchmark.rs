@@ -46,6 +46,11 @@ use lte_phy::tx::{prewarm_references, synthesize_retransmission, synthesize_user
 use lte_phy::verify::{GoldenRecord, VerifyError};
 use lte_sched::{PoolConfig, PoolError, PoolHandle, TaskPool};
 
+/// A power-governance hook invoked at every subframe dispatch boundary,
+/// before the subframe's jobs are submitted (see
+/// [`UplinkBenchmark::try_run_governed`]).
+pub type GovernHook<'a> = &'a mut dyn FnMut(&TaskPool, usize, &SubframeConfig);
+
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchmarkConfig {
@@ -277,6 +282,30 @@ impl UplinkBenchmark {
     ///
     /// Returns the [`PoolError`] when the worker pool cannot be spawned.
     pub fn try_run(&mut self, subframes: &[SubframeConfig]) -> Result<BenchmarkRun, PoolError> {
+        self.try_run_governed(subframes, None)
+    }
+
+    /// Runs the parallel benchmark with an optional power-governance
+    /// hook called at every subframe dispatch boundary, *before* the
+    /// subframe's jobs are submitted.
+    ///
+    /// The hook receives the pool, the subframe index and the subframe's
+    /// configuration; a governor uses it to measure the closing window's
+    /// activity and apply a new active-worker target
+    /// (`lte_power::governed_boundary`). Capping workers changes only
+    /// *where and when* work runs — never what is computed — so governed
+    /// decoded output is byte-identical to an ungoverned run. After the
+    /// dispatch loop drains, the pool is restored to full width so the
+    /// final snapshot and any reuse see an ungoverned pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PoolError`] when the worker pool cannot be spawned.
+    pub fn try_run_governed(
+        &mut self,
+        subframes: &[SubframeConfig],
+        mut governed: Option<GovernHook<'_>>,
+    ) -> Result<BenchmarkRun, PoolError> {
         let pool = TaskPool::with_config(PoolConfig {
             n_workers: self.cfg.workers,
             pin_workers: self.cfg.pin_workers,
@@ -353,6 +382,9 @@ impl UplinkBenchmark {
                     count = cv.wait(count).unwrap_or_else(PoisonError::into_inner);
                 }
             }
+            if let Some(hook) = governed.as_deref_mut() {
+                hook(&pool, sf_idx, &subframes[sf_idx]);
+            }
             dispatched_at[sf_idx] = start.elapsed().as_nanos() as u64;
 
             // Overload policy: "behind" means an earlier subframe is
@@ -428,6 +460,9 @@ impl UplinkBenchmark {
             }
         }
         pool.wait_all();
+        if governed.is_some() {
+            pool.set_active_workers(self.cfg.workers);
+        }
         let elapsed = start.elapsed();
         let busy = Duration::from_nanos(pool.busy_nanos() - busy_start);
         let activity = busy.as_secs_f64() / (self.cfg.workers as f64 * elapsed.as_secs_f64());

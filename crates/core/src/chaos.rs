@@ -32,7 +32,8 @@ use lte_obs::{Event, FaultKind, MetricsRegistry, PerfettoExporter, Recorder, Rin
 use lte_phy::harq::{HarqDecision, HarqEntity, HarqStats};
 use lte_phy::params::{CellConfig, TurboMode, UserConfig};
 use lte_phy::tx::{synthesize_retransmission, synthesize_user};
-use lte_sched::sim::{NapPolicy, SimReport, Simulator};
+use lte_power::NapPolicy;
+use lte_sched::sim::{SimReport, Simulator};
 use lte_sched::{silence_injected_panics, InjectedPanic, PoolError, TaskPool};
 
 use crate::experiments::ExperimentContext;

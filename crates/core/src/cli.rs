@@ -13,6 +13,7 @@
 //!   table1 table2    average power tables
 //!   trace            instrumented run: Perfetto trace + metrics JSON
 //!   chaos            deterministic fault-injection campaign
+//!   govern           closed-loop power governance on both substrates
 //!   bench            run the real parallel benchmark briefly
 //!   perf             steady-state throughput harness (BENCH_PR3.json)
 //!   all              everything above, written to --out
@@ -39,7 +40,11 @@ struct Options {
     perfetto: Option<PathBuf>,
     metrics: Option<PathBuf>,
     stride: usize,
-    policy: OverloadPolicy,
+    /// Raw `--policy` value: an overload policy for `chaos`, a nap
+    /// policy (or `all`) for `govern`. Parsed at the use site because
+    /// the two commands accept different vocabularies.
+    policy: Option<String>,
+    calibration: Option<PathBuf>,
     quick: bool,
     subframes_override: Option<usize>,
     seed_override: Option<u64>,
@@ -69,6 +74,13 @@ COMMANDS:
     chaos             deterministic fault-injection campaign: DES chaos
                       under an overload policy, real-pool conservation,
                       link-level HARQ recovery (trace + metrics JSON)
+    govern            closed-loop power governance on both substrates:
+                      governed DES bursts with an estimated-vs-measured
+                      activity audit (Fig. 12 per subframe), governed
+                      real-pool runs verified byte-identical against
+                      ungoverned ones with parked-core-time accounting,
+                      and Eq. 3 slope re-calibration from real runs
+                      (GOVERN.json + governor trace/metrics)
     bench             run the real parallel benchmark briefly
     perf              throughput harness: steady-state Fig. 8 load at
                       zero dispatch interval, serial-vs-parallel
@@ -94,6 +106,12 @@ FLAGS:
                       (default: <out>/metrics.json)
     --policy P        chaos: overload policy — drop | shed | degrade
                       (default: shed)
+                      govern: nap policy — nonap | idle | nap | nap+idle
+                      | all (default: all)
+    --calibration FILE
+                      govern: load the estimator's fitted slopes from
+                      this JSON file when it exists; otherwise fit the
+                      Fig. 11 sweep and save the table here
     --baseline FILE   perf: compare against this BENCH_PR3.json and exit
                       1 on a >10% subframes/sec regression
     --workers LIST    perf: comma-separated worker counts for the
@@ -119,7 +137,8 @@ fn parse_args() -> Options {
     let mut out = PathBuf::from("results");
     let mut perfetto = None;
     let mut metrics = None;
-    let mut policy = OverloadPolicy::ShedUsers;
+    let mut policy = None;
+    let mut calibration = None;
     let mut quick = false;
     let mut subframes_override = None;
     let mut seed_override = None;
@@ -177,11 +196,11 @@ fn parse_args() -> Options {
                 i += 1;
             }
             "--policy" => {
-                let text = value_of(&args, i, "--policy");
-                policy = text.parse().unwrap_or_else(|e| {
-                    eprintln!("--policy: {e}");
-                    std::process::exit(2);
-                });
+                policy = Some(value_of(&args, i, "--policy"));
+                i += 1;
+            }
+            "--calibration" => {
+                calibration = Some(PathBuf::from(value_of(&args, i, "--calibration")));
                 i += 1;
             }
             "--baseline" => {
@@ -227,6 +246,7 @@ fn parse_args() -> Options {
         metrics,
         stride: 25,
         policy,
+        calibration,
         quick,
         subframes_override,
         seed_override,
@@ -293,11 +313,11 @@ fn run_power_study(opts: &Options, emit: &[&str]) {
     let study = ctx.run_power_study();
     let window_s = ctx.activity_window as f64
         * ctx
-            .sim_config(lte_sched::NapPolicy::NoNap)
+            .sim_config(lte_power::NapPolicy::NoNap)
             .dispatch_seconds();
     let rms_s = ctx.rms_window as f64
         * ctx
-            .sim_config(lte_sched::NapPolicy::NoNap)
+            .sim_config(lte_power::NapPolicy::NoNap)
             .dispatch_seconds();
     for e in emit {
         match *e {
@@ -352,9 +372,9 @@ fn run_power_study(opts: &Options, emit: &[&str]) {
                 // the benchmark's stress ramp deliberately drives the
                 // 5 ms-dispatch TILEPro64 model to saturation, where the
                 // backlog grows deeper at the load peak.
-                let clock = ctx.sim_config(lte_sched::NapPolicy::NoNap).clock_hz;
+                let clock = ctx.sim_config(lte_power::NapPolicy::NoNap).clock_hz;
                 let to_ms = |c: u64| c as f64 / clock * 1e3;
-                let nonap = study.run(lte_sched::NapPolicy::NoNap);
+                let nonap = study.run(lte_power::NapPolicy::NoNap);
                 println!(
                     "NONAP: max concurrent subframes {} | job latency p50 {:.1} ms, p95 {:.1} ms, max {:.1} ms",
                     nonap.report.max_concurrent_subframes,
@@ -362,7 +382,7 @@ fn run_power_study(opts: &Options, emit: &[&str]) {
                     to_ms(nonap.report.latency_percentile(95)),
                     to_ms(nonap.report.latency_percentile(100)),
                 );
-                let napidle = study.run(lte_sched::NapPolicy::NapIdle);
+                let napidle = study.run(lte_power::NapPolicy::NapIdle);
                 println!(
                     "NAP+IDLE: max concurrent subframes {} | job latency p50 {:.1} ms, p95 {:.1} ms, max {:.1} ms",
                     napidle.report.max_concurrent_subframes,
@@ -668,7 +688,7 @@ fn run_trace_cmd(opts: &Options) {
         .unwrap_or_else(|| opts.out.join("metrics.json"));
     write(&perfetto_path, &art.perfetto_json);
     write(&metrics_path, &art.metrics_json);
-    let cfg = opts.ctx.sim_config(lte_sched::NapPolicy::NapIdle);
+    let cfg = opts.ctx.sim_config(lte_power::NapPolicy::NapIdle);
     println!(
         "traced {} subframes: activity {:.1}% (Eq. 2), {} jobs",
         art.subframes,
@@ -693,15 +713,28 @@ fn run_trace_cmd(opts: &Options) {
     println!("open the trace in https://ui.perfetto.dev or chrome://tracing");
 }
 
+/// The `chaos` reading of `--policy`: an overload policy, shed by
+/// default.
+fn overload_policy(opts: &Options) -> OverloadPolicy {
+    match opts.policy.as_deref() {
+        None => OverloadPolicy::ShedUsers,
+        Some(text) => text.parse().unwrap_or_else(|e| {
+            eprintln!("--policy: {e}");
+            std::process::exit(2);
+        }),
+    }
+}
+
 fn run_chaos_cmd(opts: &Options) {
     use crate::chaos;
+    let policy = overload_policy(opts);
     println!(
         "running the chaos campaign ({} DES subframes, policy {}, seed {}) …",
         opts.ctx.n_subframes.min(chaos::CHAOS_SUBFRAME_CAP),
-        opts.policy.name(),
+        policy.name(),
         opts.ctx.seed,
     );
-    let art = chaos::run_chaos(&opts.ctx, opts.policy).unwrap_or_else(|e| {
+    let art = chaos::run_chaos(&opts.ctx, policy).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
@@ -747,6 +780,200 @@ fn run_chaos_cmd(opts: &Options) {
     }
 }
 
+fn run_govern_cmd(opts: &Options) {
+    use crate::govern;
+    use lte_obs::{MetricsRegistry, NoopRecorder, PerfettoExporter, RingRecorder};
+    use lte_power::{NapPolicy, WorkloadEstimator};
+
+    // The `govern` reading of `--policy`: one nap policy, or `all`.
+    let policies: Vec<NapPolicy> = match opts.policy.as_deref() {
+        None | Some("all") => NapPolicy::ALL.to_vec(),
+        Some(text) => vec![text.parse().unwrap_or_else(|e| {
+            eprintln!("--policy: {e}");
+            std::process::exit(2);
+        })],
+    };
+
+    // Calibration: load a saved table when --calibration names an
+    // existing file; otherwise fit the Fig. 11 sweep and save it when a
+    // path was given.
+    let estimator = match &opts.calibration {
+        Some(path) if path.exists() => {
+            let text = fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read calibration {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            let est = WorkloadEstimator::from_json(&text).unwrap_or_else(|e| {
+                eprintln!("cannot parse calibration {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            println!("loaded calibration from {}", path.display());
+            est
+        }
+        maybe_path => {
+            println!("calibrating the estimator (Fig. 11 sweep) …");
+            let (_curves, est) = opts.ctx.run_calibration();
+            if let Some(path) = maybe_path {
+                write(path, &est.to_json());
+            }
+            est
+        }
+    };
+
+    let metrics = MetricsRegistry::new();
+    let mut report = govern::GovernReport::default();
+
+    // DES bursts for every selected policy. The NAP+IDLE burst (or the
+    // last selected one) is recorded so the governor.target counter
+    // track sits next to the core occupancy tracks in the trace.
+    let traced_policy = if policies.contains(&NapPolicy::NapIdle) {
+        NapPolicy::NapIdle
+    } else {
+        *policies.last().expect("at least one policy")
+    };
+    let cfg = opts.ctx.sim_config(traced_policy);
+    let cap = opts.ctx.n_subframes.min(govern::GOVERN_DES_SUBFRAME_CAP);
+    let capacity = (cap * cfg.n_workers * 64).clamp(1024, 4_000_000);
+    let recorder = RingRecorder::new(capacity);
+    let mut gate_failed = false;
+    for &policy in &policies {
+        let run = if policy == traced_policy {
+            govern::run_des_governed(&opts.ctx, &estimator, policy, &recorder)
+        } else {
+            govern::run_des_governed(&opts.ctx, &estimator, policy, &NoopRecorder)
+        };
+        let slug = govern::policy_slug(policy);
+        metrics.set_gauge(&format!("governor.{slug}.mean_abs_err"), run.mean_abs_err);
+        metrics.set_gauge(&format!("governor.{slug}.max_abs_err"), run.max_abs_err);
+        metrics.set_counter(
+            &format!("governor.{slug}.deactivated_cycles"),
+            run.deactivated_cycles,
+        );
+        metrics.set_counter(&format!("governor.{slug}.decisions"), run.subframes as u64);
+        println!(
+            "govern DES {}: {} subframes, activity {:.1}%, mean |err| {:.2}%, max |err| {:.2}%, deactivated {} cycles",
+            run.policy,
+            run.subframes,
+            100.0 * run.mean_activity,
+            100.0 * run.mean_abs_err,
+            100.0 * run.max_abs_err,
+            run.deactivated_cycles,
+        );
+        let pass = run.mean_abs_err < 0.10;
+        println!(
+            "govern gate: {} estimator mean error {:.2}% {} 10% — {}",
+            run.policy,
+            100.0 * run.mean_abs_err,
+            if pass { "<" } else { ">=" },
+            if pass { "PASS" } else { "FAIL" },
+        );
+        gate_failed |= !pass;
+        report.des.push(run);
+    }
+
+    // Real-pool side: re-fit the Eq. 3 slopes from measured pool
+    // activity, then run governed vs ungoverned under each policy and
+    // require byte-identical decoded output.
+    let workers = 4.min(crate::perf::host_parallelism()).max(2);
+    report.pool_workers = workers;
+    let delta = Duration::from_millis(2);
+    println!("re-fitting Eq. 3 slopes from real pool runs ({workers} workers) …");
+    let real = govern::calibrate_real(workers, delta, 8, &[25, 100]).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "  k(1, QPSK): DES {:.6} vs real {:.6} activity per PRB",
+        estimator.k(1, lte_dsp::Modulation::Qpsk),
+        real.k(1, lte_dsp::Modulation::Qpsk),
+    );
+    for &policy in &policies {
+        let run = govern::run_pool_governed(workers, 30, delta, opts.ctx.seed, &real, policy)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+        let slug = govern::policy_slug(policy);
+        metrics.set_counter(
+            &format!("governor.pool.{slug}.parked_nanos"),
+            run.parked_nanos,
+        );
+        metrics.set_counter(
+            &format!("governor.pool.{slug}.identical"),
+            u64::from(run.identical),
+        );
+        println!(
+            "govern pool {}: {} workers, {} decisions, parked {:.2} ms, output {}",
+            run.policy,
+            run.workers,
+            run.decisions,
+            run.parked_nanos as f64 / 1e6,
+            if run.identical {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            },
+        );
+        if !run.identical {
+            eprintln!("governed pool output diverged from the ungoverned run");
+            std::process::exit(1);
+        }
+        report.pool.push(run);
+    }
+
+    // Parked-core-time demonstration: a steady low-load burst under
+    // NAP+IDLE, where the Eq. 5 target sits below the worker count and
+    // the surplus workers must bank real parked time.
+    let low = govern::low_load_subframes(20);
+    let low_run =
+        govern::run_pool_governed_subframes(&low, workers, delta, &real, NapPolicy::NapIdle)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+    metrics.set_counter("governor.pool.low_load.parked_nanos", low_run.parked_nanos);
+    println!(
+        "govern pool NAP+IDLE low load: {} workers, parked {:.2} ms over {} subframes, output {}",
+        low_run.workers,
+        low_run.parked_nanos as f64 / 1e6,
+        low_run.subframes,
+        if low_run.identical {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+    if !low_run.identical {
+        eprintln!("governed pool output diverged from the ungoverned run");
+        std::process::exit(1);
+    }
+    if low_run.parked_nanos == 0 {
+        eprintln!("NAP+IDLE parked no worker time at low load");
+        std::process::exit(1);
+    }
+    report.pool.push(low_run);
+
+    let events = recorder.events();
+    let perfetto_path = opts
+        .perfetto
+        .clone()
+        .unwrap_or_else(|| opts.out.join("govern.perfetto.json"));
+    let metrics_path = opts
+        .metrics
+        .clone()
+        .unwrap_or_else(|| opts.out.join("govern.metrics.json"));
+    write(
+        &perfetto_path,
+        &PerfettoExporter::new(cfg.clock_hz).export(&events, cfg.n_workers),
+    );
+    write(&metrics_path, &metrics.to_json());
+    write(&opts.out.join("GOVERN.json"), &report.to_json());
+    if gate_failed {
+        eprintln!("estimator error gate failed");
+        std::process::exit(1);
+    }
+}
+
 /// Parses `std::env::args` and runs the selected command. The two
 /// `lte-sim`/`lte_sim` binaries are thin wrappers around this.
 pub fn run() {
@@ -757,6 +984,7 @@ pub fn run() {
         | "concurrency" => run_power_study(&opts, &[opts.command.as_str()]),
         "trace" => run_trace_cmd(&opts),
         "chaos" => run_chaos_cmd(&opts),
+        "govern" => run_govern_cmd(&opts),
         "bench" => run_bench(&opts),
         "perf" => run_perf_cmd(&opts),
         "ablation" => run_ablations(&opts),
@@ -772,7 +1000,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos ablation diurnal golden bench perf all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern ablation diurnal golden bench perf all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

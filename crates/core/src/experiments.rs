@@ -24,8 +24,9 @@ use lte_power::estimator::{CalibrationPoint, CoreController, WorkloadEstimator};
 use lte_power::gating::PowerGating;
 use lte_power::meter::{mean_windows, rms_windows};
 use lte_power::model::PowerModel;
+use lte_power::NapPolicy;
 use lte_sched::cycles::CostModel;
-use lte_sched::sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};
+use lte_sched::sim::{SimConfig, SimReport, Simulator, SubframeLoad};
 
 /// Shared parameters for every experiment.
 #[derive(Clone, Copy, Debug)]
@@ -86,7 +87,7 @@ impl ExperimentContext {
 
     /// The simulator configuration for a policy.
     pub fn sim_config(&self, policy: NapPolicy) -> SimConfig {
-        let mut cfg = SimConfig::tilepro64(policy);
+        let mut cfg = SimConfig::tilepro64(policy.mode());
         cfg.n_workers = self.controller.max_cores;
         cfg
     }

@@ -17,6 +17,10 @@
 //! * [`ablation`] — sweeps of the design constants the paper fixes
 //!   (Eq. 5 margin, power-domain group size, nap wake period) plus the
 //!   estimator-driven DVFS extension the paper names as future work.
+//! * [`govern`] — the closed power-governance loop on both substrates:
+//!   governed DES bursts with a per-subframe estimated-vs-measured
+//!   audit, governed real-pool runs verified byte-identical against
+//!   ungoverned ones, and Eq. 3 slope re-calibration from real runs.
 //! * [`chaos`] — the deterministic fault-injection campaign: seeded
 //!   chaos in the DES, conservation proofs on the real pool, and
 //!   link-level HARQ recovery, all exported as one trace + metrics pair.
@@ -35,6 +39,7 @@ pub mod benchmark;
 pub mod chaos;
 pub mod cli;
 pub mod experiments;
+pub mod govern;
 pub mod perf;
 pub mod report;
 pub mod svg;
@@ -45,4 +50,5 @@ pub use benchmark::{
 };
 pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use experiments::ExperimentContext;
+pub use govern::{DesGovernRun, GovernReport, PoolGovernRun};
 pub use perf::{PerfConfig, PerfReport, ScalingConfig, ScalingPoint, ScalingReport};

@@ -20,7 +20,8 @@ use lte_phy::params::{CellConfig, TurboMode, UserConfig};
 use lte_phy::receiver::process_user_traced;
 use lte_phy::trace::StageTimer;
 use lte_phy::tx::synthesize_user;
-use lte_sched::sim::{NapPolicy, SimReport, Simulator};
+use lte_power::NapPolicy;
+use lte_sched::sim::{SimReport, Simulator};
 use lte_sched::TaskPool;
 
 use crate::experiments::ExperimentContext;

@@ -282,6 +282,25 @@ pub enum Event {
         /// Sample value.
         value: f64,
     },
+    /// A power-governor decision at a subframe boundary: the estimated
+    /// activity and the active-core target applied before dispatch.
+    ///
+    /// The *measured* activity of the window is not carried here — it
+    /// only exists one boundary later, and lives in the governor's
+    /// decision audit and the `governor.*` metrics instead.
+    GovernorDecision {
+        /// Subframe index the target applies to.
+        subframe: u32,
+        /// Decision time (simulated cycles, or a deterministic ordinal
+        /// on the real pool).
+        t: u64,
+        /// Stable policy name (`NONAP`, `IDLE`, `NAP`, `NAP+IDLE`).
+        policy: &'static str,
+        /// Estimated Eq. 4 activity in `[0, 1]`.
+        estimated_activity: f64,
+        /// Eq. 5 active-core target.
+        target: u32,
+    },
     /// An injected fault or a recovery action, as an instant.
     ///
     /// Simulator-side faults carry times in simulated cycles; real-pool

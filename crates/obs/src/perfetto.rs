@@ -164,6 +164,16 @@ impl PerfettoExporter {
             } => format!(
                 "{{\"name\":\"{series}\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{index},\"args\":{{\"value\":{value}}}}}"
             ),
+            Event::GovernorDecision {
+                subframe,
+                t,
+                policy,
+                estimated_activity,
+                target,
+            } => format!(
+                "{{\"name\":\"governor.target\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":{},\"args\":{{\"value\":{target},\"policy\":\"{policy}\",\"subframe\":{subframe},\"estimated_activity\":{estimated_activity}}}}}",
+                us(*t, hz),
+            ),
             Event::Fault {
                 kind,
                 core,
@@ -243,6 +253,26 @@ mod tests {
         for core in 0..3 {
             assert!(doc.contains(&format!("\"name\":\"core {core}\"")));
         }
+    }
+
+    #[test]
+    fn governor_decisions_render_as_counter_track() {
+        let exporter = PerfettoExporter::new(700.0e6);
+        let doc = exporter.export(
+            &[Event::GovernorDecision {
+                subframe: 3,
+                t: 2_100_000,
+                policy: "NAP+IDLE",
+                estimated_activity: 0.4,
+                target: 27,
+            }],
+            8,
+        );
+        assert!(doc.contains("\"name\":\"governor.target\""));
+        assert!(doc.contains("\"ph\":\"C\""));
+        assert!(doc.contains("\"value\":27"));
+        assert!(doc.contains("\"policy\":\"NAP+IDLE\""));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

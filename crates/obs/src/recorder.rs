@@ -216,6 +216,15 @@ pub fn event_json(event: &Event) -> String {
             index,
             value,
         } => format!("{{\"ev\":\"sample\",\"series\":\"{series}\",\"index\":{index},\"value\":{value}}}"),
+        Event::GovernorDecision {
+            subframe,
+            t,
+            policy,
+            estimated_activity,
+            target,
+        } => format!(
+            "{{\"ev\":\"governor\",\"subframe\":{subframe},\"t\":{t},\"policy\":\"{policy}\",\"estimated_activity\":{estimated_activity},\"target\":{target}}}"
+        ),
         Event::Fault {
             kind,
             core,
@@ -353,6 +362,13 @@ mod tests {
                 core: 3,
                 subframe: u32::MAX,
                 t: 42,
+            },
+            Event::GovernorDecision {
+                subframe: 7,
+                t: 99,
+                policy: "NAP+IDLE",
+                estimated_activity: 0.25,
+                target: 17,
             },
         ];
         for ev in &events {

@@ -107,6 +107,99 @@ impl WorkloadEstimator {
     pub fn is_calibrated(&self) -> bool {
         self.k.iter().flatten().all(|&k| k > 0.0)
     }
+
+    /// Serialises the fitted slopes under a versioned schema, so saved
+    /// calibrations from one build are refused (not misread) by an
+    /// incompatible later one.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n  \"schema\": \"");
+        out.push_str(Self::SCHEMA);
+        out.push_str("\",\n  \"k\": [\n");
+        for (l, row) in self.k.iter().enumerate() {
+            out.push_str("    [");
+            for (m, v) in row.iter().enumerate() {
+                if m > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{v:?}"));
+            }
+            out.push(']');
+            if l + 1 < self.k.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a calibration saved by [`WorkloadEstimator::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the schema tag is missing or foreign,
+    /// or when the slope table does not hold exactly 4×3 finite numbers.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let tag = format!("\"{}\"", Self::SCHEMA);
+        if !text.contains(&tag) {
+            return Err(format!(
+                "calibration file lacks the `{}` schema tag",
+                Self::SCHEMA
+            ));
+        }
+        let k_start = text
+            .find("\"k\"")
+            .ok_or_else(|| "calibration file lacks a \"k\" slope table".to_string())?;
+        // The slope table is the only nested array: read the 12 numbers
+        // between the "k" key and the close of its outer bracket.
+        let open = text[k_start..]
+            .find('[')
+            .map(|i| k_start + i)
+            .ok_or_else(|| "slope table is not an array".to_string())?;
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, c) in text[open..].char_indices() {
+            match c {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated slope table".to_string())?;
+        let numbers: Result<Vec<f64>, String> = text[open + 1..end]
+            .split(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<f64>()
+                    .map_err(|e| format!("bad slope `{s}`: {e}"))
+            })
+            .collect();
+        let numbers = numbers?;
+        if numbers.len() != 12 {
+            return Err(format!(
+                "slope table holds {} numbers, expected 12",
+                numbers.len()
+            ));
+        }
+        if numbers.iter().any(|v| !v.is_finite()) {
+            return Err("slope table holds non-finite values".to_string());
+        }
+        let mut k = [[0.0; 3]; 4];
+        for (i, v) in numbers.into_iter().enumerate() {
+            k[i / 3][i % 3] = v;
+        }
+        Ok(WorkloadEstimator { k })
+    }
+
+    /// Version tag of the calibration file format.
+    pub const SCHEMA: &'static str = "lte-sim-calibration-v1";
 }
 
 /// The active-core controller (Eq. 5 of the paper).
@@ -114,25 +207,33 @@ impl WorkloadEstimator {
 pub struct CoreController {
     /// Worker cores available (the paper: 62).
     pub max_cores: usize,
+    /// Floor on the active set: even a zero-user subframe keeps this
+    /// many cores awake so dispatch latency stays bounded.
+    pub min_cores: usize,
     /// Over-provisioning margin ("the system is over-provisioned with two
     /// cores").
     pub margin: usize,
 }
 
 impl CoreController {
-    /// The paper's controller: 62 cores, margin 2.
+    /// The paper's controller: 62 cores, margin 2, at least one core.
     pub fn paper() -> Self {
         CoreController {
             max_cores: 62,
+            min_cores: 1,
             margin: 2,
         }
     }
 
     /// Eq. 5: `active_cores = estimated_activity × max_cores + margin`,
-    /// clamped to `[margin, max_cores]`.
+    /// clamped to `[min_cores, max_cores]`. Non-finite estimates (a
+    /// degenerate calibration divides by zero) fail safe to `max_cores`.
     pub fn active_cores(&self, estimated_activity: f64) -> usize {
+        if !estimated_activity.is_finite() {
+            return self.max_cores;
+        }
         let raw = (estimated_activity.clamp(0.0, 1.0) * self.max_cores as f64) as usize;
-        (raw + self.margin).min(self.max_cores)
+        (raw + self.margin).clamp(self.min_cores.min(self.max_cores), self.max_cores)
     }
 
     /// Active-core targets for a subframe sequence.
@@ -251,5 +352,72 @@ mod tests {
     #[should_panic(expected = "layers")]
     fn out_of_range_layers_rejected() {
         calibrated().k(5, Modulation::Qpsk);
+    }
+
+    #[test]
+    fn calibration_json_round_trips() {
+        let est = calibrated();
+        let json = est.to_json();
+        assert!(json.contains(WorkloadEstimator::SCHEMA), "{json}");
+        let back = WorkloadEstimator::from_json(&json).expect("round trip");
+        assert_eq!(back, est, "slopes must survive save/load exactly");
+    }
+
+    #[test]
+    fn calibration_json_rejects_foreign_schema() {
+        let foreign = "{\"schema\": \"something-else-v9\", \"k\": [[0,0,0]]}";
+        let err = WorkloadEstimator::from_json(foreign).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn calibration_json_rejects_short_tables() {
+        let json = calibrated().to_json().replace(", ", " ");
+        // Still 12 numbers (separator change is cosmetic) — now truncate.
+        let truncated = format!(
+            "{{\"schema\": \"{}\", \"k\": [[0.1, 0.2]]}}",
+            WorkloadEstimator::SCHEMA
+        );
+        assert!(WorkloadEstimator::from_json(&json).is_ok());
+        let err = WorkloadEstimator::from_json(&truncated).unwrap_err();
+        assert!(err.contains("expected 12"), "{err}");
+    }
+
+    #[test]
+    fn controller_zero_user_subframe_keeps_min_cores() {
+        // Margin 0: a zero-activity subframe would shut every core off
+        // without the floor.
+        let c = CoreController {
+            max_cores: 62,
+            min_cores: 1,
+            margin: 0,
+        };
+        assert_eq!(c.active_cores(0.0), 1);
+        let est = calibrated();
+        let t = c.targets(&est, &[SubframeConfig::default()]);
+        assert_eq!(t, vec![1], "zero-user subframe clamps to min_cores");
+    }
+
+    #[test]
+    fn controller_saturates_above_full_activity() {
+        let c = CoreController::paper();
+        // Activities past 1.0 (measurement noise, mis-calibration) pin
+        // the target at max_cores instead of overflowing it.
+        for a in [1.0, 1.5, 10.0, f64::MAX] {
+            assert_eq!(c.active_cores(a), 62, "activity {a}");
+        }
+        assert_eq!(c.active_cores(f64::NAN), 62, "NaN fails safe to max");
+        assert_eq!(c.active_cores(f64::INFINITY), 62);
+    }
+
+    #[test]
+    fn controller_min_respects_small_machines() {
+        let c = CoreController {
+            max_cores: 2,
+            min_cores: 8,
+            margin: 0,
+        };
+        // A floor above the machine size cannot demand phantom cores.
+        assert_eq!(c.active_cores(0.0), 2);
     }
 }

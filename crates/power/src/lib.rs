@@ -17,15 +17,25 @@
 //!   per core and 15 mW switching overhead.
 //! * [`dvfs`] — the paper's stated future work: a voltage/frequency
 //!   ladder governed by the same workload estimate.
+//! * [`governor`] — the substrate-agnostic control loop: the single
+//!   [`NapPolicy`] definition (NONAP/IDLE/NAP/NAP+IDLE), the
+//!   [`Governor`] trait turning per-subframe workload observations into
+//!   [`CoreTarget`]s, and the [`ExecutionSubstrate`] trait implemented
+//!   by both the DES simulator session and the real task pool.
 
 pub mod dvfs;
 pub mod estimator;
 pub mod gating;
+pub mod governor;
 pub mod meter;
 pub mod model;
 
 pub use dvfs::DvfsPolicy;
 pub use estimator::{CoreController, WorkloadEstimator};
 pub use gating::PowerGating;
+pub use governor::{
+    governed_boundary, CoreTarget, ExecutionSubstrate, Governor, GovernorDecisionRecord, NapPolicy,
+    PolicyGovernor, SubframeObservation, UserLoad,
+};
 pub use meter::{record_series, rms_windows, rms_windows_recorded};
 pub use model::PowerModel;

@@ -137,10 +137,10 @@ impl Default for PowerModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lte_sched::sim::NapPolicy;
+    use lte_sched::sim::NapMode;
 
     fn cfg() -> SimConfig {
-        SimConfig::tilepro64(NapPolicy::NoNap)
+        SimConfig::tilepro64(NapMode::NONE)
     }
 
     fn bucket(busy_frac: f64, spin_frac: f64, cores: f64) -> BucketStats {

@@ -28,4 +28,4 @@ pub use pool::{
     silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, TaskPool,
     WorkerKill, WorkerSnapshot,
 };
-pub use sim::{NapPolicy, SimConfig, SimReport, Simulator, SubframeLoad};
+pub use sim::{NapMode, SimBoundary, SimConfig, SimReport, SimSession, Simulator, SubframeLoad};

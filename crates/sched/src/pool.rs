@@ -62,6 +62,10 @@ const SPIN_RETRIES: u32 = 3;
 const PARK_BASE: Duration = Duration::from_micros(50);
 /// Parking timeout ceiling.
 const PARK_MAX: Duration = Duration::from_millis(2);
+/// Parking timeout of a governor-deactivated worker (the `nap` wake-poll
+/// analogue): bounded so a raised limit — or shutdown — is noticed
+/// promptly even if a wakeup is missed.
+const GOVERNOR_PARK: Duration = Duration::from_micros(200);
 
 /// Why a pool could not be constructed.
 #[derive(Debug)]
@@ -237,6 +241,16 @@ struct Inner {
     /// are skipped entirely while this is zero, so the submit hot path
     /// pays no condvar traffic when every worker is busy.
     idle_workers: AtomicUsize,
+    /// Governor cap: only workers with `index < active_limit` search for
+    /// new work; the rest drain their local deque and park (the paper's
+    /// proactive `nap`). Always in `[1, n_workers]`.
+    active_limit: AtomicUsize,
+    /// Total nanoseconds workers have spent parked by the governor cap —
+    /// the real-pool analogue of the DES nap-cycle accounting.
+    governor_parked_nanos: AtomicU64,
+    /// `(instant, busy_nanos)` at the previous boundary measurement, for
+    /// [`TaskPool::boundary_activity`].
+    boundary: Mutex<(Instant, u64)>,
     pin_workers: bool,
     idle_lock: Mutex<()>,
     idle_cv: Condvar,
@@ -468,6 +482,9 @@ impl TaskPool {
             worker_respawns: AtomicU64::new(0),
             worker_stats: (0..n_workers).map(|_| WorkerStats::default()).collect(),
             idle_workers: AtomicUsize::new(0),
+            active_limit: AtomicUsize::new(n_workers),
+            governor_parked_nanos: AtomicU64::new(0),
+            boundary: Mutex::new((Instant::now(), 0)),
             pin_workers: cfg.pin_workers,
             idle_lock: Mutex::new(()),
             idle_cv: Condvar::new(),
@@ -694,6 +711,8 @@ impl TaskPool {
         metrics.set_counter("pool.poisoned_jobs", self.poisoned_jobs());
         metrics.set_counter("pool.worker_respawns", self.worker_respawns());
         metrics.set_counter("pool.workers", self.n_workers as u64);
+        metrics.set_counter("pool.active_workers", self.active_workers() as u64);
+        metrics.set_counter("pool.governor_parked_nanos", self.governor_parked_nanos());
         // Scratch-arena traffic (process-wide): `fresh` counts buffers
         // that had to grow, `reused` counts pool hits. In steady state
         // `fresh` must stop moving — the observable form of the
@@ -718,6 +737,59 @@ impl TaskPool {
     pub fn activity_since(&self, busy_start: u64, window: Duration) -> f64 {
         let busy = self.busy_nanos().saturating_sub(busy_start) as f64;
         busy / (self.n_workers as f64 * window.as_nanos() as f64)
+    }
+
+    /// Caps execution to the first `n` workers (clamped to
+    /// `[1, n_workers]`) — the elastic-control analogue of the paper's
+    /// proactive core deactivation. Workers at or above the cap finish
+    /// their local work, then park; their deques remain stealable, so
+    /// applying a target at a subframe boundary cannot change results.
+    pub fn set_active_workers(&self, n: usize) {
+        let n = n.clamp(1, self.n_workers);
+        self.inner.active_limit.store(n, Ordering::SeqCst);
+        // Parked workers re-check the limit on wake; the bounded park
+        // timeout covers any missed notification.
+        self.inner.wake_idle();
+    }
+
+    /// Workers currently allowed to search for work.
+    pub fn active_workers(&self) -> usize {
+        self.inner.active_limit.load(Ordering::SeqCst)
+    }
+
+    /// Parks `n` additional workers (never below one active) — the
+    /// `nap` analogue.
+    pub fn park_workers(&self, n: usize) {
+        self.set_active_workers(self.active_workers().saturating_sub(n));
+    }
+
+    /// Returns `n` parked workers to service (never above `n_workers`).
+    pub fn unpark_workers(&self, n: usize) {
+        self.set_active_workers(self.active_workers().saturating_add(n));
+    }
+
+    /// Total nanoseconds workers have spent parked under the governor
+    /// cap — the real-pool "deactivated core time" of Tables I–II.
+    pub fn governor_parked_nanos(&self) -> u64 {
+        self.inner.governor_parked_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Eq. 2 activity over the wall-clock window since the previous call
+    /// (or since pool construction): Δ`busy_nanos` over
+    /// `n_workers × Δt`. Designed for subframe-boundary sampling, where
+    /// it is the measured side of the Fig. 12 estimated-vs-measured
+    /// comparison.
+    pub fn boundary_activity(&self) -> f64 {
+        let mut last = self.inner.boundary.lock();
+        let now = Instant::now();
+        let busy = self.busy_nanos();
+        let (t0, busy0) = *last;
+        *last = (now, busy);
+        let window = now.duration_since(t0).as_nanos() as f64;
+        if window <= 0.0 {
+            return 0.0;
+        }
+        busy.saturating_sub(busy0) as f64 / (self.n_workers as f64 * window)
     }
 }
 
@@ -801,6 +873,34 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
+        }
+        // Governor gate: a worker at or above the active limit drains
+        // its local work (slot + own deque — the remainder of the
+        // subframe it was already running), then parks until the limit
+        // rises. It never takes a new job or steals, so a target applied
+        // at a subframe boundary changes where work runs, never what is
+        // computed. Its deque stays stealable throughout, so nothing it
+        // holds can be stranded.
+        if index >= inner.active_limit.load(Ordering::SeqCst) {
+            if let Some(t) = pop_local(inner) {
+                idle_streak = 0;
+                run_timed(inner, t);
+                continue;
+            }
+            let park_start = Instant::now();
+            inner.idle_workers.fetch_add(1, Ordering::SeqCst);
+            let mut guard = inner.idle_lock.lock();
+            if index >= inner.active_limit.load(Ordering::SeqCst)
+                && !inner.shutdown.load(Ordering::SeqCst)
+            {
+                inner.idle_cv.wait_for(&mut guard, GOVERNOR_PARK);
+            }
+            drop(guard);
+            inner.idle_workers.fetch_sub(1, Ordering::SeqCst);
+            inner
+                .governor_parked_nanos
+                .fetch_add(park_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            continue;
         }
         // LIFO slot and own deque first, …
         if let Some(t) = pop_local(inner) {
@@ -1368,5 +1468,64 @@ mod tests {
         }
         let json = metrics.to_json();
         assert!(json.contains("\"pool.executed_tasks\": 6"), "{json}");
+    }
+    #[test]
+    fn governor_cap_clamps_and_parks() {
+        let pool = TaskPool::new(4).unwrap();
+        assert_eq!(pool.active_workers(), 4);
+        pool.park_workers(3);
+        assert_eq!(pool.active_workers(), 1);
+        // Can never drop below one active worker.
+        pool.park_workers(10);
+        assert_eq!(pool.active_workers(), 1);
+        // Give the gated workers a moment to accumulate parked time.
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(pool.governor_parked_nanos() > 0, "parked time must accrue");
+        pool.unpark_workers(10);
+        assert_eq!(pool.active_workers(), 4);
+    }
+
+    #[test]
+    fn capped_pool_still_completes_all_work() {
+        let pool = TaskPool::new(4).unwrap();
+        pool.set_active_workers(1);
+        let counter = Arc::new(AtomicU32::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.submit_job(move |pool| {
+                let c2 = Arc::clone(&c);
+                pool.spawn(move || {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                });
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.wait_all();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        pool.set_active_workers(4);
+    }
+
+    #[test]
+    fn boundary_activity_tracks_busy_windows() {
+        let pool = TaskPool::new(2).unwrap();
+        // First call establishes the window baseline.
+        let _ = pool.boundary_activity();
+        let idle = {
+            std::thread::sleep(Duration::from_millis(2));
+            pool.boundary_activity()
+        };
+        assert!(idle < 0.5, "idle window must read (near) zero: {idle}");
+        for _ in 0..4 {
+            pool.submit_job(|_| {
+                let start = Instant::now();
+                while start.elapsed() < Duration::from_millis(2) {
+                    std::hint::spin_loop();
+                }
+            });
+        }
+        pool.wait_all();
+        let busy = pool.boundary_activity();
+        assert!(busy > 0.0, "busy window must read positive: {busy}");
+        assert!(busy <= 1.5, "activity is a fraction of capacity: {busy}");
     }
 }

@@ -1,0 +1,113 @@
+//! Machine parameters, nap mechanism flags and per-subframe workloads.
+
+use crate::cycles::SimJob;
+
+/// The nap *mechanism* flags a run executes with. This is deliberately
+/// not the paper's four-policy menu: the NONAP/IDLE/NAP/NAP+IDLE naming
+/// and the decision of which flags each policy sets live in
+/// `lte-power::governor` (the single `NapPolicy` definition); the
+/// scheduler only knows how to deactivate cores, not why.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct NapMode {
+    /// Deactivate cores whose id is at or above the per-subframe
+    /// active-core target (Eq. 5).
+    pub proactive: bool,
+    /// Nap idle cores that find no work instead of letting them spin.
+    pub reactive: bool,
+}
+
+impl NapMode {
+    /// Idle cores spin; nothing is ever deactivated.
+    pub const NONE: NapMode = NapMode {
+        proactive: false,
+        reactive: false,
+    };
+    /// Reactive only: cores that find no work nap and poll periodically.
+    pub const IDLE: NapMode = NapMode {
+        proactive: false,
+        reactive: true,
+    };
+    /// Proactive only: cores above the estimated requirement nap; active
+    /// cores spin when idle.
+    pub const NAP: NapMode = NapMode {
+        proactive: true,
+        reactive: false,
+    };
+    /// Proactive + reactive combined.
+    pub const NAP_IDLE: NapMode = NapMode {
+        proactive: true,
+        reactive: true,
+    };
+
+    /// All four mechanism combinations in the paper's presentation order.
+    pub const ALL: [NapMode; 4] = [
+        NapMode::NONE,
+        NapMode::IDLE,
+        NapMode::NAP,
+        NapMode::NAP_IDLE,
+    ];
+}
+
+impl std::fmt::Display for NapMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match (self.proactive, self.reactive) {
+            (false, false) => "NONAP",
+            (false, true) => "IDLE",
+            (true, false) => "NAP",
+            (true, true) => "NAP+IDLE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Machine and runtime parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimConfig {
+    /// Worker cores (the paper: 62 of the 64, one for drivers, one for
+    /// the maintenance thread).
+    pub n_workers: usize,
+    /// Cycles between subframe dispatches (the paper's DELTA; 5 ms at
+    /// 700 MHz when running the TILEPro64 at its sustainable rate).
+    pub dispatch_period: u64,
+    /// Cycles to locate and steal a task from another queue.
+    pub steal_latency: u64,
+    /// Fixed per-task dispatch overhead.
+    pub task_overhead: u64,
+    /// Nap wake-poll period in cycles.
+    pub wake_period: u64,
+    /// Core clock in Hz.
+    pub clock_hz: f64,
+    /// The nap mechanism flags.
+    pub nap: NapMode,
+}
+
+impl SimConfig {
+    /// The paper's evaluation platform: 62 workers at 700 MHz, subframes
+    /// every 5 ms, 1 ms nap wake polling.
+    pub fn tilepro64(nap: NapMode) -> Self {
+        SimConfig {
+            n_workers: 62,
+            dispatch_period: 3_500_000,
+            steal_latency: 400,
+            task_overhead: 200,
+            wake_period: 700_000,
+            clock_hz: 700.0e6,
+            nap,
+        }
+    }
+
+    /// Simulated seconds per dispatch period.
+    pub fn dispatch_seconds(&self) -> f64 {
+        self.dispatch_period as f64 / self.clock_hz
+    }
+}
+
+/// One subframe's workload: the user jobs plus the policy's active-core
+/// target (ignored when [`NapMode::proactive`] is off).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubframeLoad {
+    /// User jobs to dispatch.
+    pub jobs: Vec<SimJob>,
+    /// Active-core target from the workload estimator (Eq. 5).
+    pub active_target: usize,
+}

@@ -1,0 +1,55 @@
+//! Deterministic discrete-event simulator of a 64-core tile machine.
+//!
+//! This is the reproduction's stand-in for the Tilera TILEPro64: the power
+//! experiments of the paper are occupancy phenomena — which cores are
+//! busy, spinning, or napping at each instant under a given resource-
+//! management policy — and this simulator reproduces exactly those
+//! occupancy traces for the benchmark's task graph, deterministically.
+//!
+//! Modelled behaviour (matching §IV/§VI of the paper):
+//!
+//! * one global user queue; idle workers check it **before** stealing;
+//! * per-worker task queues; the user thread spawns its tasks locally and
+//!   pops LIFO, thieves steal FIFO from the front with a steal latency;
+//! * the user thread **waits** (spins) at each phase barrier instead of
+//!   stealing, exactly as described in §IV-C;
+//! * the `nap` instruction clock-gates a core; "there is no easy way to
+//!   reactivate a napping core; a core therefore periodically wakes up to
+//!   see if its status has changed" — napping cores here wake every
+//!   [`SimConfig::wake_period`] cycles, pay a wake pulse, and re-check;
+//! * proactive deactivation ([`NapMode::proactive`]) naps cores whose id
+//!   exceeds the per-subframe active-core target (Eq. 5); reactive napping
+//!   ([`NapMode::reactive`]) naps cores that find no work.
+//!
+//! Per-bucket occupancy statistics (busy / spin / nap cycles, wake pulses)
+//! feed the `lte-power` model, and the busy-cycle counts are the
+//! `get_cycle_count()` sums behind the paper's activity metric (Eq. 2).
+//!
+//! The *policy* that picks per-subframe targets lives outside this crate:
+//! `lte-power::governor` maps the paper's NONAP/IDLE/NAP/NAP+IDLE names
+//! onto the mechanism flags here ([`NapMode`]) and drives either this
+//! simulator or the real `TaskPool` through a shared substrate trait. A
+//! governed run steps the machine one subframe boundary at a time via
+//! [`SimSession`]; [`Simulator::run`] is the ungoverned one-shot wrapper
+//! and both produce byte-identical reports for identical targets.
+//!
+//! The simulator is generic over an [`lte_obs::Recorder`]; with the
+//! default [`NoopRecorder`](lte_obs::NoopRecorder) every trace emission
+//! compiles away. A real recorder receives per-core state-transition
+//! spans (stage- and subframe-attributed when busy), wake pulses, steals,
+//! dispatches and per-subframe latency spans, all timestamped in
+//! simulated cycles.
+//!
+//! Module layout: [`config`] holds the machine parameters and workload
+//! types, [`report`] the occupancy output, [`engine`] the event loop and
+//! the stepping session.
+
+mod config;
+mod engine;
+mod report;
+#[cfg(test)]
+mod tests;
+
+pub use config::{NapMode, SimConfig, SubframeLoad};
+pub use engine::{SimBoundary, SimSession, Simulator};
+pub use report::{BucketStats, SimReport};

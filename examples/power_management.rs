@@ -7,7 +7,7 @@
 //! cargo run --release --example power_management
 //! ```
 
-use lte_uplink_repro::sched::NapPolicy;
+use lte_uplink_repro::power::NapPolicy;
 use lte_uplink_repro::uplink::experiments::ExperimentContext;
 use lte_uplink_repro::uplink::report;
 

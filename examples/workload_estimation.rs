@@ -8,7 +8,8 @@
 
 use lte_uplink_repro::dsp::Modulation;
 use lte_uplink_repro::model::{ParameterModel, RampModel};
-use lte_uplink_repro::sched::{NapPolicy, Simulator};
+use lte_uplink_repro::power::NapPolicy;
+use lte_uplink_repro::sched::Simulator;
 use lte_uplink_repro::uplink::experiments::ExperimentContext;
 
 fn main() {

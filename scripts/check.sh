@@ -35,6 +35,24 @@ echo "$chaos_out" | grep -q "^harq recoveries: 0$" \
 echo "$chaos_out" | grep -q "^harq recoveries: " \
     || { echo "chaos smoke: missing recovery report"; exit 1; }
 
+echo "==> governor smoke (lte-sim govern)"
+# Release: the governed pool runs pace real subframes, and a debug-built
+# PHY pipeline would blow every dispatch window. The gate lines assert
+# the estimator tracks measured activity (mean error < 10% per policy)
+# and that governed pool output stays byte-identical, with parked core
+# time demonstrated on the low-load burst.
+govern_out="$(cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
+    govern --quick --subframes 200 --out target/govern-smoke)"
+echo "$govern_out" | tail -n 9
+[[ "$(echo "$govern_out" | grep -c "govern gate: .* — PASS")" -eq 4 ]] \
+    || { echo "governor smoke: estimator error gate did not pass all four policies"; exit 1; }
+echo "$govern_out" | grep -q "govern pool NAP+IDLE low load: .* output byte-identical" \
+    || { echo "governor smoke: governed pool output diverged"; exit 1; }
+
+echo "==> governor decision-cost gate (governor_overhead bench)"
+cargo bench -q --offline -p lte-bench --bench governor_overhead | grep "governor_overhead:" \
+    || { echo "governor decision-cost gate failed"; exit 1; }
+
 echo "==> throughput + scaling smoke (lte-sim perf)"
 # Release build: the regression gates compare against numbers measured
 # in release mode; a debug run would trip the 10 % tolerance instantly.

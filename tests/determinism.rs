@@ -4,8 +4,8 @@
 
 use lte_uplink_repro::model::{DiurnalModel, ParameterModel, RampModel};
 use lte_uplink_repro::obs::{MetricsRegistry, PerfettoExporter, RingRecorder};
+use lte_uplink_repro::power::NapPolicy;
 use lte_uplink_repro::sched::sim::Simulator;
-use lte_uplink_repro::sched::NapPolicy;
 use lte_uplink_repro::uplink::experiments::ExperimentContext;
 use lte_uplink_repro::uplink::trace::fill_sim_metrics;
 

@@ -4,7 +4,7 @@
 
 use lte_uplink_repro::dsp::math::slope_through_origin;
 use lte_uplink_repro::dsp::Modulation;
-use lte_uplink_repro::sched::NapPolicy;
+use lte_uplink_repro::power::NapPolicy;
 use lte_uplink_repro::uplink::experiments::ExperimentContext;
 
 fn ctx() -> ExperimentContext {

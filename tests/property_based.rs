@@ -15,7 +15,8 @@ use lte_uplink_repro::phy::params::{CellConfig, SubframeConfig, TurboMode, UserC
 use lte_uplink_repro::phy::receiver::process_user;
 use lte_uplink_repro::phy::tx::synthesize_user;
 use lte_uplink_repro::power::estimator::WorkloadEstimator;
-use lte_uplink_repro::sched::sim::{NapPolicy, SimConfig, Simulator, SubframeLoad};
+use lte_uplink_repro::power::NapPolicy;
+use lte_uplink_repro::sched::sim::{SimConfig, Simulator, SubframeLoad};
 
 /// Draws `cases` parameter tuples from a seeded stream and runs `f`.
 fn for_cases(cases: usize, seed: u64, mut f: impl FnMut(&mut Xoshiro256, usize)) {
@@ -171,7 +172,7 @@ fn simulator_conserves_work() {
             task_overhead: 50,
             wake_period: 10_000,
             clock_hz: 700.0e6,
-            policy,
+            nap: policy.mode(),
         };
         let loads: Vec<SubframeLoad> = (0..subframes)
             .map(|_| SubframeLoad {
