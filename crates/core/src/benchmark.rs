@@ -51,6 +51,43 @@ use lte_sched::{PoolConfig, PoolError, PoolHandle, TaskPool};
 /// [`UplinkBenchmark::try_run_governed`]).
 pub type GovernHook<'a> = &'a mut dyn FnMut(&TaskPool, usize, &SubframeConfig);
 
+/// Live telemetry sinks for a benchmark run, recorded from worker-side
+/// completion callbacks with no locking and no allocation.
+///
+/// * `latency` — subframe completion latency in nanoseconds (dispatch to
+///   last user done), recorded by the worker that closes the subframe.
+/// * `ebler` — per-user decode outcomes keyed by layer count, mirroring
+///   the R&S BLER measurement surface: every delivered user records
+///   ack/nack from its *first* transmission (HARQ recoveries are a
+///   separate counter), every shed user records dtx at shed time.
+///
+/// Attach one instance across several runs to aggregate, or snapshot and
+/// reset between runs to window.
+pub struct BenchmarkTelemetry {
+    /// Subframe completion latency histogram (nanoseconds).
+    pub latency: lte_obs::Histogram,
+    /// Decode-outcome surface, streams keyed by `layers - 1`.
+    pub ebler: lte_obs::EblerAccumulator,
+}
+
+impl BenchmarkTelemetry {
+    /// A sink with one EBLER stream per spatial-multiplexing order.
+    #[must_use]
+    pub fn new(streams: usize) -> Self {
+        BenchmarkTelemetry {
+            latency: lte_obs::Histogram::new(),
+            ebler: lte_obs::EblerAccumulator::new(streams),
+        }
+    }
+
+    /// The EBLER stream for a user: its spatial-multiplexing order,
+    /// clamped to the surface width.
+    #[must_use]
+    pub fn stream_for(&self, layers: usize) -> usize {
+        layers.saturating_sub(1).min(self.ebler.streams() - 1)
+    }
+}
+
 /// Benchmark configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct BenchmarkConfig {
@@ -235,6 +272,8 @@ pub struct UplinkBenchmark {
     /// configurations.
     input_cache: HashMap<UserConfig, Arc<UserInput>>,
     rng: Xoshiro256,
+    /// Optional live telemetry sinks, shared with completion callbacks.
+    telemetry: Option<Arc<BenchmarkTelemetry>>,
 }
 
 impl UplinkBenchmark {
@@ -245,7 +284,16 @@ impl UplinkBenchmark {
             cfg,
             input_cache: HashMap::new(),
             rng: Xoshiro256::seed_from_u64(cfg.seed),
+            telemetry: None,
         }
+    }
+
+    /// Attaches live telemetry sinks. Completion callbacks record each
+    /// subframe's latency and every user's decode outcome into the
+    /// shared sinks as they happen — atomic stores only, no allocation,
+    /// no effect on the decoded output.
+    pub fn attach_telemetry(&mut self, sinks: Arc<BenchmarkTelemetry>) {
+        self.telemetry = Some(sinks);
     }
 
     /// The input data used for a user configuration (synthesised once,
@@ -314,6 +362,7 @@ impl UplinkBenchmark {
         let planner = Arc::new(FftPlanner::new());
         let cell = self.cell;
         let turbo = self.cfg.turbo;
+        let telemetry = self.telemetry.clone();
         let mut degradation = DegradationReport::default();
 
         // Result slots, one per (subframe, user), plus per-subframe open
@@ -387,17 +436,30 @@ impl UplinkBenchmark {
             }
             dispatched_at[sf_idx] = start.elapsed().as_nanos() as u64;
 
-            // Overload policy: "behind" means an earlier subframe is
-            // still open at this dispatch instant.
+            // Overload policy: "behind" means an earlier subframe has
+            // already reached its deadline budget and is still open at
+            // this dispatch instant — benign pipelining inside the
+            // budget does not engage the policy (same trigger as the
+            // DES).
             let mut submit: Vec<usize> = (0..sf_inputs.len()).collect();
             let mut exact = self.cfg.exact_demap;
-            let behind = (0..sf_idx).any(|i| open[i].load(Ordering::SeqCst) > 0);
             if let Some(budget) = self.cfg.deadline {
+                let behind = (0..sf_idx).any(|i| {
+                    open[i].load(Ordering::SeqCst) > 0
+                        && dispatched_at[sf_idx].saturating_sub(dispatched_at[i]) >= budget.budget
+                });
                 if behind && !sf_inputs.is_empty() {
                     match budget.policy {
                         OverloadPolicy::DropSubframe => {
                             degradation.dropped_subframes += 1;
                             degradation.shed_users += submit.len() as u64;
+                            if let Some(t) = &telemetry {
+                                for &i in &submit {
+                                    t.ebler.record_dtx(
+                                        t.stream_for(subframes[sf_idx].users[i].layers),
+                                    );
+                                }
+                            }
                             submit.clear();
                         }
                         OverloadPolicy::ShedUsers => {
@@ -411,6 +473,9 @@ impl UplinkBenchmark {
                             let mut shed = 0usize;
                             while submit.len() > 1 && (shed == 0 || kept * 2 > total) {
                                 kept -= sf.users[submit[0]].prbs;
+                                if let Some(t) = &telemetry {
+                                    t.ebler.record_dtx(t.stream_for(sf.users[submit[0]].layers));
+                                }
                                 submit.remove(0);
                                 shed += 1;
                             }
@@ -436,6 +501,9 @@ impl UplinkBenchmark {
                 let open = Arc::clone(&open);
                 let done_at = Arc::clone(&done_at);
                 let in_flight = tracked.then(|| Arc::clone(&in_flight));
+                let tel = telemetry.clone();
+                let dispatched = dispatched_at[sf_idx];
+                let layers = subframes[sf_idx].users[user_idx].layers;
                 spawn_user_graph(
                     &handle,
                     &cell,
@@ -444,11 +512,22 @@ impl UplinkBenchmark {
                     &planner,
                     exact,
                     Box::new(move |result| {
+                        if let Some(t) = &tel {
+                            t.ebler.record_decode(
+                                t.stream_for(layers),
+                                result.crc_ok,
+                                result.payload.len() as u64,
+                            );
+                        }
                         results[sf_idx][user_idx]
                             .set(result)
                             .expect("each user slot is written once");
                         if open[sf_idx].fetch_sub(1, Ordering::SeqCst) == 1 {
-                            let _ = done_at[sf_idx].set(start.elapsed().as_nanos() as u64);
+                            let completed = start.elapsed().as_nanos() as u64;
+                            let _ = done_at[sf_idx].set(completed);
+                            if let Some(t) = &tel {
+                                t.latency.record(completed.saturating_sub(dispatched));
+                            }
                             if let Some(in_flight) = &in_flight {
                                 let (lock, cv) = &**in_flight;
                                 *lock.lock().unwrap_or_else(PoisonError::into_inner) -= 1;
@@ -979,6 +1058,24 @@ mod tests {
         assert_eq!(run.crc_pass_rate, 1.0);
     }
 
+    #[test]
+    fn telemetry_sinks_see_every_user_and_subframe() {
+        let sinks = Arc::new(BenchmarkTelemetry::new(4));
+        let mut bench = UplinkBenchmark::new(CellConfig::with_antennas(2), quick_cfg());
+        bench.attach_telemetry(Arc::clone(&sinks));
+        let subframes = RampModel::new(2).subframes(4);
+        let run = bench.run(&subframes);
+        bench
+            .verify(&subframes, &run)
+            .expect("telemetry must not change the decoded output");
+        let latency = sinks.latency.snapshot();
+        assert_eq!(latency.count, run.latencies_ns.len() as u64);
+        let surface = sinks.ebler.snapshot();
+        let expected: u64 = subframes.iter().map(|sf| sf.n_users() as u64).sum();
+        assert_eq!(surface.total.measured(), expected);
+        assert_eq!(surface.total.dtx, 0);
+    }
+
     /// Overload setup: zero dispatch interval means every subframe after
     /// the first is dispatched while its predecessor is still in flight,
     /// so the policy triggers on (nearly) every subframe.
@@ -1047,6 +1144,24 @@ mod tests {
                 assert!(!row.is_empty(), "shedding must keep at least one user");
             }
         }
+    }
+
+    #[test]
+    fn telemetry_counts_shed_users_as_dtx() {
+        let sinks = Arc::new(BenchmarkTelemetry::new(4));
+        let mut bench = UplinkBenchmark::new(
+            CellConfig::with_antennas(2),
+            pressured_cfg(OverloadPolicy::ShedUsers),
+        );
+        bench.attach_telemetry(Arc::clone(&sinks));
+        let run = bench.run(&pressured_subframes());
+        let surface = sinks.ebler.snapshot();
+        assert_eq!(surface.total.dtx, run.degradation.shed_users);
+        let expected: u64 = pressured_subframes()
+            .iter()
+            .map(|sf| sf.n_users() as u64)
+            .sum();
+        assert_eq!(surface.total.measured(), expected);
     }
 
     #[test]

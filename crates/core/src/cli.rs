@@ -45,6 +45,7 @@ struct Options {
     /// the two commands accept different vocabularies.
     policy: Option<String>,
     calibration: Option<PathBuf>,
+    chaos: bool,
     quick: bool,
     subframes_override: Option<usize>,
     seed_override: Option<u64>,
@@ -88,6 +89,17 @@ COMMANDS:
                       then the worker-scaling matrix (BENCH_PR4.json):
                       throughput/speedup/efficiency per worker count,
                       byte-identity verified at every point
+    soak              continuous-telemetry soak: N subframes through the
+                      governed DES in rolling windows of W, with
+                      per-window latency histograms (p50/p99/p999),
+                      an EBLER surface from real receiver decodes,
+                      per-window energy and governor target-vs-achieved
+                      cores, and SLO budgets (deadline-miss rate, shed
+                      rate). Writes SOAK.json + the rolling SOAK.jsonl
+                      stream + an OpenMetrics exposition (all byte-
+                      deterministic) plus a separate wall-clock host-
+                      metrics file; exits 1 when any window violates
+                      its SLO
     ablation          sweep the design constants the paper fixes
     diurnal           the diurnal-day power study
     golden            store and verify a serial golden record
@@ -108,6 +120,10 @@ FLAGS:
                       (default: shed)
                       govern: nap policy — nonap | idle | nap | nap+idle
                       | all (default: all)
+                      soak: nap policy — nonap | idle | nap | nap+idle
+                      (default: nonap)
+    --chaos           soak: inject the seeded fault plan (noise bursts,
+                      a fail-stopped core, task panics)
     --calibration FILE
                       govern: load the estimator's fitted slopes from
                       this JSON file when it exists; otherwise fit the
@@ -121,6 +137,8 @@ FLAGS:
                       subframe n+1 while up to N earlier subframes are
                       still in flight (0 = unbounded; default 4 for the
                       scaling matrix)
+                      soak: telemetry window length in subframes
+                      (default 1000)
     --pin             perf: pin workers to CPUs round-robin
     --scaling-baseline FILE
                       perf: compare against this BENCH_PR4.json and exit
@@ -139,6 +157,7 @@ fn parse_args() -> Options {
     let mut metrics = None;
     let mut policy = None;
     let mut calibration = None;
+    let mut chaos = false;
     let mut quick = false;
     let mut subframes_override = None;
     let mut seed_override = None;
@@ -203,6 +222,7 @@ fn parse_args() -> Options {
                 calibration = Some(PathBuf::from(value_of(&args, i, "--calibration")));
                 i += 1;
             }
+            "--chaos" => chaos = true,
             "--baseline" => {
                 baseline = Some(PathBuf::from(value_of(&args, i, "--baseline")));
                 i += 1;
@@ -247,6 +267,7 @@ fn parse_args() -> Options {
         stride: 25,
         policy,
         calibration,
+        chaos,
         quick,
         subframes_override,
         seed_override,
@@ -780,6 +801,100 @@ fn run_chaos_cmd(opts: &Options) {
     }
 }
 
+fn run_soak_cmd(opts: &Options) {
+    use crate::soak::{self, SoakConfig};
+    use std::io::Write as _;
+
+    let mut cfg = SoakConfig::new(
+        opts.subframes_override
+            .unwrap_or(if opts.quick { 2_000 } else { 20_000 }),
+        opts.window.unwrap_or(1_000).max(1),
+        opts.ctx.seed,
+    );
+    cfg.chaos = opts.chaos;
+    if let Some(text) = opts.policy.as_deref() {
+        cfg.policy = text.parse().unwrap_or_else(|e| {
+            eprintln!("--policy: {e}");
+            std::process::exit(2);
+        });
+    }
+    cfg.host_workers = opts
+        .workers
+        .as_ref()
+        .and_then(|w| w.first().copied())
+        .unwrap_or_else(|| 4.min(crate::perf::host_parallelism()));
+    println!(
+        "soaking {} subframes in windows of {} (policy {}, overload {}, chaos {}, seed {}) …",
+        cfg.subframes,
+        cfg.window,
+        cfg.policy,
+        cfg.overload.name(),
+        cfg.chaos,
+        cfg.seed,
+    );
+
+    // Stream each closed window into SOAK.jsonl as it happens, and echo
+    // a one-line digest so a long soak shows a heartbeat.
+    fs::create_dir_all(&opts.out).expect("create output directory");
+    let jsonl_path = opts.out.join("SOAK.jsonl");
+    let mut jsonl_file = fs::File::create(&jsonl_path).expect("create SOAK.jsonl");
+    let clock_hz = opts.ctx.sim_config(lte_power::NapPolicy::NapIdle).clock_hz;
+    let mut on_window = |w: &soak::SoakWindow, line: &str| {
+        writeln!(jsonl_file, "{line}").expect("append SOAK.jsonl");
+        let to_ms = |c: u64| c as f64 / clock_hz * 1e3;
+        println!(
+            "window {:>4}: {} sf, p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, misses {}, shed {}, bler {:.2}% {}",
+            w.index,
+            w.subframes,
+            to_ms(w.latency.quantile(0.50)),
+            to_ms(w.latency.quantile(0.99)),
+            to_ms(w.latency.quantile(0.999)),
+            w.deadline_misses,
+            w.shed_jobs,
+            w.ebler.total.bler_pct,
+            if w.verdict.ok() { "OK" } else { "SLO-VIOLATION" },
+        );
+    };
+    let art = soak::run_soak(&cfg, Some(&mut on_window)).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    drop(jsonl_file);
+    println!("wrote {}", jsonl_path.display());
+    write(&opts.out.join("SOAK.json"), &art.report.to_json());
+    write(&opts.out.join("SOAK.om"), &art.openmetrics);
+    if let Some(host) = &art.host_json {
+        write(&opts.out.join("SOAK_HOST.json"), host);
+    }
+    let r = &art.report;
+    println!(
+        "soak totals: {} jobs, energy {:.1} J ({:.1} mJ/subframe), mean power {:.2} W",
+        r.latency.count,
+        r.energy_joules,
+        1e3 * r.energy_joules / cfg.subframes.max(1) as f64,
+        r.mean_power_watts,
+    );
+    println!(
+        "EBLER: ack {:.2}%, nack {:.2}%, dtx {:.2}%, BLER {:.2}%, throughput {:.1} kbit/s avg",
+        r.ebler.total.ack_pct,
+        r.ebler.total.nack_pct,
+        r.ebler.total.dtx_pct,
+        r.ebler.total.bler_pct,
+        r.ebler.total.throughput_avg_kbps,
+    );
+    if r.healthy() {
+        println!("SLO: all {} windows within budget", r.windows.len());
+    } else {
+        eprintln!(
+            "SLO: {} of {} windows violated ({} violations total)",
+            r.violating_windows,
+            r.windows.len(),
+            r.violations,
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_govern_cmd(opts: &Options) {
     use crate::govern;
     use lte_obs::{MetricsRegistry, NoopRecorder, PerfettoExporter, RingRecorder};
@@ -985,6 +1100,7 @@ pub fn run() {
         "trace" => run_trace_cmd(&opts),
         "chaos" => run_chaos_cmd(&opts),
         "govern" => run_govern_cmd(&opts),
+        "soak" => run_soak_cmd(&opts),
         "bench" => run_bench(&opts),
         "perf" => run_perf_cmd(&opts),
         "ablation" => run_ablations(&opts),
@@ -1000,7 +1116,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern ablation diurnal golden bench perf all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern soak ablation diurnal golden bench perf all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

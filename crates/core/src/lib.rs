@@ -24,6 +24,9 @@
 //! * [`chaos`] — the deterministic fault-injection campaign: seeded
 //!   chaos in the DES, conservation proofs on the real pool, and
 //!   link-level HARQ recovery, all exported as one trace + metrics pair.
+//! * [`soak`] — continuous telemetry over a long governed run: rolling
+//!   latency/EBLER/power windows judged against SLO budgets, exported
+//!   as a deterministic snapshot stream plus an OpenMetrics exposition.
 //! * [`report`] — CSV/markdown rendering of experiment results.
 //!
 //! The `lte-sim` binary exposes all experiments from the command line:
@@ -42,13 +45,16 @@ pub mod experiments;
 pub mod govern;
 pub mod perf;
 pub mod report;
+pub mod soak;
 pub mod svg;
 pub mod trace;
 
 pub use benchmark::{
-    BenchmarkConfig, BenchmarkRun, DegradationReport, PoolActivity, UplinkBenchmark,
+    BenchmarkConfig, BenchmarkRun, BenchmarkTelemetry, DegradationReport, PoolActivity,
+    UplinkBenchmark,
 };
 pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use experiments::ExperimentContext;
 pub use govern::{DesGovernRun, GovernReport, PoolGovernRun};
 pub use perf::{PerfConfig, PerfReport, ScalingConfig, ScalingPoint, ScalingReport};
+pub use soak::{SoakArtifacts, SoakConfig, SoakReport, SoakWindow};

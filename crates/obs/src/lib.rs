@@ -13,16 +13,39 @@
 //! * [`perfetto`] — a Chrome/Perfetto trace-event JSON exporter
 //!   ([`PerfettoExporter`](perfetto::PerfettoExporter)) rendering one
 //!   track per simulated core plus a wall-clock PHY stage track.
+//!
+//! The continuous-telemetry layer adds four more:
+//!
+//! * [`hist`] — lock-free, zero-alloc-on-record HDR-style
+//!   [`Histogram`](hist::Histogram)s with mergeable snapshots.
+//! * [`window`] — [`RollingWindow`](window::RollingWindow) per-window
+//!   aggregation of histograms/counters/gauges off the hot path.
+//! * [`slo`] — [`SloSpec`](slo::SloSpec)/[`SloTracker`](slo::SloTracker)
+//!   budget evaluation with burn rates.
+//! * [`ebler`] — the R&S-`FetchStruct`-shaped
+//!   [`EblerSurface`](ebler::EblerSurface) measurement surface.
+//! * [`openmetrics`] — Prometheus/OpenMetrics text exposition of all of
+//!   the above.
 
+pub mod ebler;
 pub mod event;
+pub mod hist;
 pub mod metrics;
+pub mod openmetrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod slo;
+pub mod window;
 
+pub use ebler::{EblerAccumulator, EblerSurface, StreamEbler};
 pub use event::{CoreState, Event, FaultKind, Stage};
-pub use metrics::{MetricValue, MetricsRegistry};
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{f64_json, MetricValue, MetricsRegistry};
+pub use openmetrics::{sanitize_metric_name, OpenMetrics};
 pub use perfetto::PerfettoExporter;
 pub use recorder::{event_json, JsonLinesRecorder, NoopRecorder, Recorder, RingRecorder};
+pub use slo::{SloSpec, SloTracker, SloViolation, WindowObservation, WindowVerdict};
+pub use window::{Counter, Gauge, RollingWindow, WindowAggregate};
 
 impl<R: Recorder> Recorder for &R {
     fn enabled(&self) -> bool {

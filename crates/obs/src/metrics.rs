@@ -8,6 +8,22 @@
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
+/// Renders `v` as a JSON number that always reads back as a float
+/// (`12` -> `"12.0"`); non-finite values render as `null`. The shared
+/// float formatter behind every deterministic JSON export in this crate.
+pub fn f64_json(v: f64) -> String {
+    if v.is_finite() {
+        let s = v.to_string();
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
 /// A metric value: integer counters or floating-point gauges.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum MetricValue {
@@ -21,20 +37,7 @@ impl MetricValue {
     fn json(&self) -> String {
         match self {
             MetricValue::Counter(v) => v.to_string(),
-            MetricValue::Gauge(v) => {
-                if v.is_finite() {
-                    // Ensure the value parses back as a JSON number and
-                    // always reads as a float (12 -> "12.0").
-                    let s = v.to_string();
-                    if s.contains('.') || s.contains('e') || s.contains('E') {
-                        s
-                    } else {
-                        format!("{s}.0")
-                    }
-                } else {
-                    "null".to_string()
-                }
-            }
+            MetricValue::Gauge(v) => f64_json(*v),
         }
     }
 }
@@ -123,6 +126,21 @@ impl MetricsRegistry {
             .collect()
     }
 
+    /// Every gauge whose name starts with `prefix`, sorted by name —
+    /// the gauge twin of [`counters_with_prefix`](Self::counters_with_prefix).
+    /// Counters are excluded.
+    pub fn gauges_with_prefix(&self, prefix: &str) -> Vec<(String, f64)> {
+        self.values
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Gauge(g) if k.starts_with(prefix) => Some((k.clone(), *g)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// The snapshot as one pretty-printed JSON object with sorted keys.
     pub fn to_json(&self) -> String {
         let snapshot = self.snapshot();
@@ -179,6 +197,23 @@ mod tests {
             ]
         );
         assert!(m.counters_with_prefix("nothing.").is_empty());
+    }
+
+    #[test]
+    fn prefix_query_selects_sorted_gauges_only() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("pool.worker.1.activity", 0.25);
+        m.set_gauge("pool.worker.0.activity", 0.75);
+        m.set_gauge("sim.activity", 0.5);
+        m.set_counter("pool.worker.0.steals", 9);
+        assert_eq!(
+            m.gauges_with_prefix("pool."),
+            vec![
+                ("pool.worker.0.activity".to_string(), 0.75),
+                ("pool.worker.1.activity".to_string(), 0.25),
+            ]
+        );
+        assert!(m.gauges_with_prefix("nothing.").is_empty());
     }
 
     #[test]

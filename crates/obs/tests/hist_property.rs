@@ -1,0 +1,148 @@
+//! Property tests for the HDR histogram.
+//!
+//! Across randomized value distributions, every quantile estimate must
+//! sit within the log-linear bucket-resolution bound of the exact order
+//! statistic: `exact <= estimate <= exact + exact/32`. Merging must be
+//! associative and agree with recording everything into one histogram,
+//! because the soak path merges per-worker and per-window snapshots in
+//! whatever order the run produced them.
+
+use lte_obs::{Histogram, HistogramSnapshot};
+
+/// SplitMix64 — a tiny deterministic generator so the test needs no
+/// external RNG crate.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// One sampled distribution: a name plus its value stream.
+fn distributions(seed: u64, n: usize) -> Vec<(&'static str, Vec<u64>)> {
+    let mut rng = SplitMix64(seed);
+    let uniform_small: Vec<u64> = (0..n).map(|_| rng.next() % 100).collect();
+    let uniform_wide: Vec<u64> = (0..n).map(|_| rng.next() % 10_000_000).collect();
+    // Log-uniform: exercises every bucket group, not just one decade.
+    let log_uniform: Vec<u64> = (0..n)
+        .map(|_| {
+            let shift = rng.next() % 50;
+            (rng.next() % 1024) << shift
+        })
+        .collect();
+    // Latency-shaped: a tight body plus a 1 % far tail — the case the
+    // p999 gate cares about.
+    let heavy_tail: Vec<u64> = (0..n)
+        .map(|_| {
+            let base = 50_000 + rng.next() % 5_000;
+            if rng.next().is_multiple_of(100) {
+                base * 40
+            } else {
+                base
+            }
+        })
+        .collect();
+    let constant: Vec<u64> = vec![123_456; n];
+    let bimodal: Vec<u64> = (0..n)
+        .map(|_| {
+            if rng.next().is_multiple_of(2) {
+                10 + rng.next() % 5
+            } else {
+                1_000_000 + rng.next() % 100_000
+            }
+        })
+        .collect();
+    vec![
+        ("uniform_small", uniform_small),
+        ("uniform_wide", uniform_wide),
+        ("log_uniform", log_uniform),
+        ("heavy_tail", heavy_tail),
+        ("constant", constant),
+        ("bimodal", bimodal),
+    ]
+}
+
+/// The exact order statistic at the same rank the histogram targets.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let count = sorted.len() as u64;
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    sorted[(rank - 1) as usize]
+}
+
+#[test]
+fn quantiles_stay_within_bucket_resolution() {
+    let quantiles = [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+    for round in 0..4u64 {
+        for (name, values) in distributions(0xC0FFEE ^ round, 20_000) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            assert_eq!(snap.count, sorted.len() as u64, "{name}: count");
+            assert_eq!(snap.min, sorted[0], "{name}: exact min");
+            assert_eq!(snap.max, *sorted.last().unwrap(), "{name}: exact max");
+            for &q in &quantiles {
+                let exact = exact_quantile(&sorted, q);
+                let est = snap.quantile(q);
+                assert!(
+                    est >= exact,
+                    "{name} q={q}: estimate {est} under-reports exact {exact}"
+                );
+                assert!(
+                    est - exact <= exact / 32,
+                    "{name} q={q}: estimate {est} beyond bucket resolution of exact {exact}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn merge_is_associative_and_matches_single_histogram() {
+    for round in 0..4u64 {
+        for (name, values) in distributions(0xBEEF ^ round, 9_999) {
+            let mut rng = SplitMix64(round.wrapping_mul(0x5EED).wrapping_add(1));
+            // Partition the stream into three worker histograms.
+            let parts = [Histogram::new(), Histogram::new(), Histogram::new()];
+            let whole = Histogram::new();
+            for &v in &values {
+                parts[(rng.next() % 3) as usize].record(v);
+                whole.record(v);
+            }
+            let [a, b, c] = parts.map(|h| h.snapshot());
+
+            // (a ⊕ b) ⊕ c
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+
+            assert_eq!(left, right, "{name}: merge not associative");
+            assert_eq!(
+                left,
+                whole.snapshot(),
+                "{name}: merge differs from single histogram"
+            );
+
+            // Identity element on both sides.
+            let mut with_empty = left.clone();
+            with_empty.merge(&HistogramSnapshot::empty());
+            assert_eq!(with_empty, left, "{name}: right identity");
+            let mut from_empty = HistogramSnapshot::empty();
+            from_empty.merge(&left);
+            assert_eq!(from_empty, left, "{name}: left identity");
+        }
+    }
+}

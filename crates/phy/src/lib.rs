@@ -53,4 +53,4 @@ pub mod verify;
 pub use harq::{HarqDecision, HarqEntity, HarqProcess, HarqStats};
 pub use params::{CellConfig, SubframeConfig, TurboMode, UserConfig};
 pub use receiver::{demodulate_user, process_user, UserResult};
-pub use trace::StageTimer;
+pub use trace::{StageHists, StageTimer};

@@ -12,8 +12,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::interleave::prewarm_subblock;
 use lte_dsp::{Modulation, Xoshiro256};
+use lte_obs::{Counter, EblerAccumulator, Histogram, Stage};
 use lte_phy::params::{CellConfig, TurboMode, UserConfig};
 use lte_phy::receiver::{process_user_pooled, UserScratch};
+use lte_phy::trace::StageHists;
 use lte_phy::tx::{prewarm_references, synthesize_user};
 
 /// Forwards to the system allocator, counting every allocation (fresh,
@@ -81,4 +83,51 @@ fn steady_state_subframe_is_allocation_free() {
         delta, 0,
         "steady-state subframe processing hit the heap {delta} times"
     );
+}
+
+/// The soak path records continuous telemetry around every subframe:
+/// a latency histogram sample, per-stage histogram samples, the EBLER
+/// decode outcome, and window counters. All of that must stay off the
+/// heap too, or long soaks would slowly churn the allocator.
+#[test]
+fn telemetry_recording_is_allocation_free() {
+    let cell = CellConfig::default();
+    let user = UserConfig::new(25, 2, Modulation::Qam16);
+    let planner = FftPlanner::new();
+    let mut rng = Xoshiro256::seed_from_u64(43);
+    let input = synthesize_user(&cell, &user, 35.0, &mut rng);
+
+    planner.prewarm([user.prbs]);
+    prewarm_subblock([user.bits_per_subframe()]);
+    prewarm_references(&cell, &user);
+
+    // Construct every telemetry sink up front (construction allocates;
+    // recording must not).
+    let latency = Histogram::new();
+    let stage_hists = StageHists::new();
+    let ebler = EblerAccumulator::new(1);
+    let subframes = Counter::new();
+
+    for _ in 0..3 {
+        run_once(&cell, &input, &planner);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..5u64 {
+        let result = process_user_pooled(&cell, &input, TurboMode::Passthrough, &planner);
+        latency.record(1_000 * (round + 1));
+        stage_hists.record(Stage::Turbo, 500 + round);
+        stage_hists.record(Stage::Crc, 50 + round);
+        ebler.record_decode(0, result.crc_ok, (result.payload.len() * 8) as u64);
+        subframes.add(1);
+        UserScratch::with(|s| s.arena.recycle_u8(result.payload));
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "telemetry-instrumented subframe processing hit the heap {delta} times"
+    );
+    assert_eq!(latency.snapshot().count, 5);
+    assert_eq!(ebler.snapshot().total.ack, 5);
+    assert_eq!(subframes.get(), 5);
 }

@@ -29,6 +29,7 @@ pub mod gating;
 pub mod governor;
 pub mod meter;
 pub mod model;
+pub mod windows;
 
 pub use dvfs::DvfsPolicy;
 pub use estimator::{CoreController, WorkloadEstimator};
@@ -39,3 +40,4 @@ pub use governor::{
 };
 pub use meter::{record_series, rms_windows, rms_windows_recorded};
 pub use model::PowerModel;
+pub use windows::{PowerWindowSnapshot, PowerWindows};

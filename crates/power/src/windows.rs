@@ -1,0 +1,176 @@
+//! Windowed power telemetry: energy-per-subframe and governor
+//! target-vs-achieved, aggregated per rolling window.
+//!
+//! The continuous-telemetry soak drives one [`PowerWindows`] alongside
+//! the simulator session: every subframe boundary feeds the bucket's
+//! modelled power draw, the governor's active-core target, and the
+//! *achieved* busy core-equivalents (Eq. 2 activity × workers). At each
+//! window boundary the accumulator folds into a plain
+//! [`PowerWindowSnapshot`] with energy in joules, energy-per-subframe in
+//! millijoules, and the target/achieved means — everything a pure
+//! function of the (deterministic) simulation, so two identical soaks
+//! serialize byte-identical power windows.
+
+use lte_obs::f64_json;
+
+/// One completed window's power/governor aggregate.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PowerWindowSnapshot {
+    /// Subframes aggregated into this window.
+    pub subframes: u64,
+    /// Total energy over the window, joules.
+    pub energy_joules: f64,
+    /// Energy per subframe, millijoules.
+    pub energy_per_subframe_mj: f64,
+    /// Mean power draw over the window, watts.
+    pub mean_power_watts: f64,
+    /// Mean governor active-core target.
+    pub mean_target_cores: f64,
+    /// Mean achieved busy core-equivalents (activity × workers).
+    pub mean_achieved_cores: f64,
+}
+
+impl PowerWindowSnapshot {
+    /// Flat deterministic JSON object (fixed key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"subframes\":{},\"energy_joules\":{},\
+             \"energy_per_subframe_mj\":{},\"mean_power_watts\":{},\
+             \"mean_target_cores\":{},\"mean_achieved_cores\":{}}}",
+            self.subframes,
+            f64_json(self.energy_joules),
+            f64_json(self.energy_per_subframe_mj),
+            f64_json(self.mean_power_watts),
+            f64_json(self.mean_target_cores),
+            f64_json(self.mean_achieved_cores),
+        )
+    }
+}
+
+/// Accumulates per-subframe power samples into rolling windows.
+pub struct PowerWindows {
+    window_len: u64,
+    // Live accumulation for the open window.
+    subframes: u64,
+    energy_joules: f64,
+    watt_seconds_weight: f64,
+    target_sum: f64,
+    achieved_sum: f64,
+    snapshots: Vec<PowerWindowSnapshot>,
+}
+
+impl PowerWindows {
+    /// A tracker rolling every `window_len` subframes.
+    pub fn new(window_len: u64) -> Self {
+        assert!(window_len > 0, "window length must be positive");
+        Self {
+            window_len,
+            subframes: 0,
+            energy_joules: 0.0,
+            watt_seconds_weight: 0.0,
+            target_sum: 0.0,
+            achieved_sum: 0.0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Feeds one subframe: the modelled power draw over its dispatch
+    /// period (`watts` for `dt_seconds`), the governor's active-core
+    /// target, and the achieved busy core-equivalents. Returns the
+    /// completed snapshot when this subframe closes a window.
+    pub fn record_subframe(
+        &mut self,
+        watts: f64,
+        dt_seconds: f64,
+        target_cores: f64,
+        achieved_cores: f64,
+    ) -> Option<&PowerWindowSnapshot> {
+        self.subframes += 1;
+        self.energy_joules += watts * dt_seconds;
+        self.watt_seconds_weight += dt_seconds;
+        self.target_sum += target_cores;
+        self.achieved_sum += achieved_cores;
+        if self.subframes >= self.window_len {
+            Some(self.roll())
+        } else {
+            None
+        }
+    }
+
+    /// Closes the open window now (e.g. a final partial window); `None`
+    /// when it is empty.
+    pub fn flush(&mut self) -> Option<&PowerWindowSnapshot> {
+        if self.subframes == 0 {
+            return None;
+        }
+        Some(self.roll())
+    }
+
+    fn roll(&mut self) -> &PowerWindowSnapshot {
+        let n = self.subframes;
+        let snap = PowerWindowSnapshot {
+            subframes: n,
+            energy_joules: self.energy_joules,
+            energy_per_subframe_mj: 1_000.0 * self.energy_joules / n as f64,
+            mean_power_watts: if self.watt_seconds_weight > 0.0 {
+                self.energy_joules / self.watt_seconds_weight
+            } else {
+                0.0
+            },
+            mean_target_cores: self.target_sum / n as f64,
+            mean_achieved_cores: self.achieved_sum / n as f64,
+        };
+        self.subframes = 0;
+        self.energy_joules = 0.0;
+        self.watt_seconds_weight = 0.0;
+        self.target_sum = 0.0;
+        self.achieved_sum = 0.0;
+        self.snapshots.push(snap);
+        self.snapshots.last().expect("just pushed")
+    }
+
+    /// Completed windows, oldest first.
+    pub fn snapshots(&self) -> &[PowerWindowSnapshot] {
+        &self.snapshots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_integrates_power_over_window() {
+        let mut w = PowerWindows::new(2);
+        assert!(w.record_subframe(20.0, 0.005, 62.0, 31.0).is_none());
+        let snap = *w.record_subframe(24.0, 0.005, 62.0, 33.0).unwrap();
+        assert_eq!(snap.subframes, 2);
+        assert!((snap.energy_joules - (20.0 + 24.0) * 0.005).abs() < 1e-12);
+        assert!((snap.energy_per_subframe_mj - 110.0).abs() < 1e-9);
+        assert!((snap.mean_power_watts - 22.0).abs() < 1e-9);
+        assert_eq!(snap.mean_target_cores, 62.0);
+        assert_eq!(snap.mean_achieved_cores, 32.0);
+    }
+
+    #[test]
+    fn flush_emits_partial_window_once() {
+        let mut w = PowerWindows::new(10);
+        w.record_subframe(14.0, 0.005, 4.0, 1.0);
+        assert!(w.flush().is_some());
+        assert!(w.flush().is_none());
+        assert_eq!(w.snapshots().len(), 1);
+        assert_eq!(w.snapshots()[0].subframes, 1);
+    }
+
+    #[test]
+    fn snapshot_json_is_stable() {
+        let mut w = PowerWindows::new(1);
+        let snap = *w.record_subframe(20.0, 0.005, 62.0, 31.0).unwrap();
+        assert_eq!(
+            snap.to_json(),
+            "{\"subframes\":1,\"energy_joules\":0.1,\
+             \"energy_per_subframe_mj\":100.0,\"mean_power_watts\":20.0,\
+             \"mean_target_cores\":62.0,\"mean_achieved_cores\":31.0}"
+        );
+    }
+}

@@ -25,7 +25,7 @@ pub mod sim;
 
 pub use cycles::{CostModel, SimJob};
 pub use pool::{
-    silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, TaskPool,
-    WorkerKill, WorkerSnapshot,
+    silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, PoolTelemetry,
+    TaskPool, WorkerKill, WorkerSnapshot,
 };
 pub use sim::{NapMode, SimBoundary, SimConfig, SimReport, SimSession, Simulator, SubframeLoad};

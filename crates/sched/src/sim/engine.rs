@@ -119,6 +119,9 @@ pub struct Simulator<R: Recorder = NoopRecorder> {
     steal_cursor: usize,
     /// Unfinished-job count per subframe index (for concurrency stats).
     open_jobs_per_subframe: Vec<usize>,
+    /// Lower bound on the oldest dispatched subframe that still has
+    /// unfinished jobs (advanced lazily; drives the overload trigger).
+    oldest_open_subframe: usize,
     /// Dispatch time per subframe (for latency spans).
     subframe_dispatched_at: Vec<u64>,
     busy_per_core: Vec<u64>,
@@ -202,6 +205,7 @@ impl<R: Recorder> Simulator<R> {
             dispatched_all: false,
             steal_cursor: 0,
             open_jobs_per_subframe: Vec::new(),
+            oldest_open_subframe: 0,
             subframe_dispatched_at: Vec::new(),
             busy_per_core: vec![0; cfg.n_workers],
             stage_cycles: [0; 4],
@@ -227,8 +231,10 @@ impl<R: Recorder> Simulator<R> {
 
     /// Attaches a per-subframe deadline budget: subframes finishing past
     /// `budget.budget` cycles after dispatch count as overruns, and new
-    /// subframes dispatched while older ones are still open are subjected
-    /// to `budget.policy` (drop / shed / degrade).
+    /// subframes dispatched while an older subframe is already past its
+    /// deadline are subjected to `budget.policy` (drop / shed / degrade).
+    /// Benign pipelining — a subframe or two in flight but still inside
+    /// the budget — does not engage the policy.
     pub fn with_degradation(mut self, budget: DeadlineBudget) -> Self {
         self.degradation = Some(budget);
         self
@@ -261,6 +267,7 @@ impl<R: Recorder> Simulator<R> {
     pub fn session(mut self, subframes: &[SubframeLoad]) -> SimSession<'_, R> {
         self.buckets = vec![BucketStats::default(); subframes.len().max(1)];
         self.open_jobs_per_subframe = vec![0; subframes.len()];
+        self.oldest_open_subframe = 0;
         self.subframe_dispatched_at = vec![0; subframes.len()];
         self.tasks_drawn_per_subframe = vec![0; subframes.len()];
         self.target_overrides = vec![None; subframes.len()];
@@ -383,14 +390,31 @@ impl<R: Recorder> Simulator<R> {
         }
     }
 
+    /// True when the oldest still-open subframe has already blown its
+    /// deadline budget at the current instant — the receiver is genuinely
+    /// behind, not just pipelining a subframe or two.
+    fn deadline_pressure(&mut self, dispatching: usize, budget_cycles: u64) -> bool {
+        while self.oldest_open_subframe < dispatching
+            && self.open_jobs_per_subframe[self.oldest_open_subframe] == 0
+        {
+            self.oldest_open_subframe += 1;
+        }
+        self.oldest_open_subframe < dispatching
+            && self.now - self.subframe_dispatched_at[self.oldest_open_subframe] >= budget_cycles
+    }
+
     /// Applies the attached overload policy to an incoming subframe when
-    /// the receiver is behind (older subframes still open at dispatch).
-    /// Returns the job list that actually runs.
+    /// the receiver is behind (an older subframe already past its
+    /// deadline budget at dispatch). Returns the job list that actually
+    /// runs.
     fn apply_overload_policy(&mut self, subframe: usize, jobs: Vec<SimJob>) -> Vec<SimJob> {
         let Some(budget) = self.degradation else {
             return jobs;
         };
         if self.open_subframes == 0 || jobs.is_empty() {
+            return jobs;
+        }
+        if !self.deadline_pressure(subframe, budget.budget) {
             return jobs;
         }
         let record_fault = |sim: &mut Self, kind: FaultKind| {
@@ -934,6 +958,22 @@ pub struct SimBoundary {
 /// a session that never calls [`SimSession::set_target`] produces a
 /// byte-identical report and trace. Boundary measurements are
 /// non-destructive: they never split accounting buckets or trace spans.
+/// Cumulative counters of a paused [`SimSession`] — the same quantities
+/// the final [`SimReport`] carries, observable mid-run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionProgress {
+    /// Jobs completed so far.
+    pub jobs_done: u64,
+    /// Subframes past their deadline budget so far.
+    pub overruns: u64,
+    /// Subframes discarded whole by the `DropSubframe` policy so far.
+    pub dropped_subframes: u64,
+    /// User jobs shed so far.
+    pub shed_jobs: u64,
+    /// Subframes with degraded demap work so far.
+    pub degraded_subframes: u64,
+}
+
 pub struct SimSession<'a, R: Recorder = NoopRecorder> {
     sim: Simulator<R>,
     subframes: &'a [SubframeLoad],
@@ -1037,6 +1077,26 @@ impl<'a, R: Recorder> SimSession<'a, R> {
     /// Worker-core count of the simulated machine.
     pub fn n_workers(&self) -> usize {
         self.sim.cfg.n_workers
+    }
+
+    /// Completion latencies (cycles from dispatch) of every job finished
+    /// so far, in completion order. A windowed collector remembers how
+    /// many it has already consumed and reads only the tail — the
+    /// continuous-telemetry analogue of [`SimReport::job_latencies`].
+    pub fn job_latencies(&self) -> &[u64] {
+        &self.sim.job_latencies
+    }
+
+    /// Cumulative degradation counters so far — read at a boundary to
+    /// build per-window deltas without waiting for the final report.
+    pub fn progress(&self) -> SessionProgress {
+        SessionProgress {
+            jobs_done: self.sim.job_latencies.len() as u64,
+            overruns: self.sim.overruns,
+            dropped_subframes: self.sim.dropped_subframes,
+            shed_jobs: self.sim.shed_jobs,
+            degraded_subframes: self.sim.degraded_subframes,
+        }
     }
 
     /// Executes any pending dispatch, drains every remaining event, and

@@ -51,5 +51,5 @@ mod report;
 mod tests;
 
 pub use config::{NapMode, SimConfig, SubframeLoad};
-pub use engine::{SimBoundary, SimSession, Simulator};
+pub use engine::{SessionProgress, SimBoundary, SimSession, Simulator};
 pub use report::{BucketStats, SimReport};

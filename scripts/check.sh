@@ -65,4 +65,26 @@ cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
     --workers 1,2,4 --scaling-baseline results/BENCH_PR4.json \
     || { echo "perf smoke: throughput or max-workers speedup regressed versus results/BENCH_PR3.json / results/BENCH_PR4.json"; exit 1; }
 
+echo "==> soak smoke (lte-sim soak)"
+# A healthy low-load prefix must pass every SLO window (exit 0), and the
+# deterministic artifacts — SOAK.json, the window stream, the
+# OpenMetrics exposition — must be byte-identical across runs. The
+# histogram-record gate (< 50 ns/op, asserted inside the bench) rides
+# along via obs_overhead's greppable line.
+cargo run -q --offline -p lte-uplink --bin lte-sim -- \
+    soak --subframes 200 --window 100 --out target/soak-smoke-a \
+    | tail -n 3 \
+    || { echo "soak smoke: healthy run violated its SLO"; exit 1; }
+cargo run -q --offline -p lte-uplink --bin lte-sim -- \
+    soak --subframes 200 --window 100 --out target/soak-smoke-b >/dev/null \
+    || { echo "soak smoke: second run failed"; exit 1; }
+for f in SOAK.json SOAK.jsonl SOAK.om; do
+    cmp -s "target/soak-smoke-a/$f" "target/soak-smoke-b/$f" \
+        || { echo "soak smoke: $f differs between identical runs"; exit 1; }
+done
+
+echo "==> telemetry record-cost gate (obs_overhead bench)"
+cargo bench -q --offline -p lte-bench --bench obs_overhead -- --test | grep "hist_record:" \
+    || { echo "telemetry record-cost gate failed"; exit 1; }
+
 echo "all checks passed"

@@ -154,6 +154,11 @@ pub mod deque {
         pub fn is_empty(&self) -> bool {
             lock(&self.queue).is_empty()
         }
+
+        /// Number of queued items (a racy point-in-time sample).
+        pub fn len(&self) -> usize {
+            lock(&self.queue).len()
+        }
     }
 
     impl<T> Default for Injector<T> {
