@@ -227,7 +227,7 @@ pub struct BenchmarkRun {
 /// Waits for a dispatch deadline without pegging a host CPU: sleeps to
 /// within `SPIN_SLACK` of the deadline (OS timers overshoot by up to a
 /// timer tick), then spins the final stretch for precision.
-fn pace_until(deadline: Instant) {
+pub(crate) fn pace_until(deadline: Instant) {
     const SPIN_SLACK: Duration = Duration::from_micros(200);
     loop {
         let now = Instant::now();

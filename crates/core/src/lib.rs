@@ -27,6 +27,16 @@
 //! * [`soak`] — continuous telemetry over a long governed run: rolling
 //!   latency/EBLER/power windows judged against SLO budgets, exported
 //!   as a deterministic snapshot stream plus an OpenMetrics exposition.
+//! * [`serve`] — the continuously-running ingest service: subframe work
+//!   arrives through a bounded ring, admission control and the
+//!   reject → shed → degrade escalation ladder manage overload, the
+//!   pressure-wrapped governor closes its loop on live queue depth, and
+//!   the lifecycle machinery (graceful drain, hot reload, watchdog
+//!   restart) keeps the receiver long-running.
+//! * [`fingerprint`] — one-line FNV-1a 64 fingerprints of decoded
+//!   bytes, for cheap byte-identity comparisons between runs.
+//! * [`signals`] — dependency-free SIGINT/SIGTERM latching so every
+//!   long-running command drains and flushes instead of dying.
 //! * [`report`] — CSV/markdown rendering of experiment results.
 //!
 //! The `lte-sim` binary exposes all experiments from the command line:
@@ -42,9 +52,12 @@ pub mod benchmark;
 pub mod chaos;
 pub mod cli;
 pub mod experiments;
+pub mod fingerprint;
 pub mod govern;
 pub mod perf;
 pub mod report;
+pub mod serve;
+pub mod signals;
 pub mod soak;
 pub mod svg;
 pub mod trace;
@@ -55,6 +68,11 @@ pub use benchmark::{
 };
 pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use experiments::ExperimentContext;
+pub use fingerprint::{canonical_fingerprint, fingerprint_line, fingerprint_results, Fnv1a};
 pub use govern::{DesGovernRun, GovernReport, PoolGovernRun};
 pub use perf::{PerfConfig, PerfReport, ScalingConfig, ScalingPoint, ScalingReport};
+pub use serve::{
+    run_serve, DrainReason, LifecycleEvent, ServeConfig, ServeControl, ServeOutcome, ServeParams,
+    ServeWindow, TrafficModel,
+};
 pub use soak::{SoakArtifacts, SoakConfig, SoakReport, SoakWindow};

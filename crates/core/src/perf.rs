@@ -491,6 +491,22 @@ impl ScalingReport {
 /// Returns a message when the worker ladder is empty, a pool cannot
 /// start, or any point diverges from the serial reference.
 pub fn run_scaling(cfg: &ScalingConfig) -> Result<ScalingReport, String> {
+    run_scaling_with_stop(cfg, &|| false)
+}
+
+/// [`run_scaling`] with an early-stop hook, polled between worker
+/// counts. When `stop` returns `true` the remaining points are skipped
+/// and the report covers the points measured so far — the CLI wires a
+/// latched SIGINT/SIGTERM into this so an interrupted matrix still
+/// flushes a valid (partial) BENCH_PR4.json.
+///
+/// # Errors
+///
+/// Same as [`run_scaling`].
+pub fn run_scaling_with_stop(
+    cfg: &ScalingConfig,
+    stop: &dyn Fn() -> bool,
+) -> Result<ScalingReport, String> {
     if cfg.worker_counts.is_empty() {
         return Err("scaling matrix needs at least one worker count".into());
     }
@@ -533,6 +549,9 @@ pub fn run_scaling(cfg: &ScalingConfig) -> Result<ScalingReport, String> {
 
     let mut points = Vec::with_capacity(cfg.worker_counts.len());
     for &workers in &cfg.worker_counts {
+        if stop() {
+            break;
+        }
         let bench_cfg = BenchmarkConfig {
             workers,
             delta: Duration::ZERO,

@@ -398,7 +398,24 @@ pub type WindowSink<'a> = &'a mut dyn FnMut(&SoakWindow, &str);
 /// cannot start its worker pool.
 pub fn run_soak(
     cfg: &SoakConfig,
+    on_window: Option<WindowSink<'_>>,
+) -> Result<SoakArtifacts, String> {
+    run_soak_with_stop(cfg, on_window, &|| false)
+}
+
+/// [`run_soak`] with an early-stop hook, polled at every subframe
+/// boundary. When `stop` returns `true` the soak stops dispatching,
+/// closes the final (partial) window over what ran, and returns
+/// complete artifacts for the truncated run — the CLI wires a latched
+/// SIGINT/SIGTERM into this so an interrupted soak still flushes.
+///
+/// # Errors
+///
+/// Same as [`run_soak`].
+pub fn run_soak_with_stop(
+    cfg: &SoakConfig,
     mut on_window: Option<WindowSink<'_>>,
+    stop: &dyn Fn() -> bool,
 ) -> Result<SoakArtifacts, String> {
     let ctx = ExperimentContext {
         seed: cfg.seed,
@@ -500,7 +517,17 @@ pub fn run_soak(
         windows.push(window);
     };
 
+    // `Some(n)` once `stop` fires: only the first `n` subframes count.
+    let mut truncated_at: Option<usize> = None;
     while let Some(boundary) = session.advance() {
+        if stop() {
+            // The final-dispatch accounting below closes the partial
+            // window over everything dispatched so far; `finish` still
+            // drains the remaining DES events, so cap the power
+            // accounting at the truncation point.
+            truncated_at = Some(dispatched);
+            break;
+        }
         // The advance that returned this boundary executed the previous
         // subframe's dispatch; its shed decisions are now visible.
         if boundary.subframe > 0 {
@@ -567,7 +594,7 @@ pub fn run_soak(
     let watts = ctx.power.power_trace(&report.buckets, &sim_cfg);
     let dt = sim_cfg.dispatch_seconds();
     let mut power = PowerWindows::new(cfg.window as u64);
-    let n = cfg.subframes.min(watts.len());
+    let n = truncated_at.unwrap_or(cfg.subframes).min(watts.len());
     for i in 0..n {
         let achieved = report.buckets[i].busy_cycles as f64 / sim_cfg.dispatch_period as f64;
         power.record_subframe(watts[i], dt, targets[i] as f64, achieved);

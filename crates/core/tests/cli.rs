@@ -74,6 +74,11 @@ fn help_lists_every_command_and_flag() {
             "table2",
             "concurrency",
             "trace",
+            "chaos",
+            "govern",
+            "soak",
+            "serve",
+            "fingerprint",
             "bench",
             "ablation",
             "diurnal",
@@ -96,6 +101,12 @@ fn help_lists_every_command_and_flag() {
             "--window",
             "--pin",
             "--scaling-baseline",
+            "--traffic",
+            "--config",
+            "--policy",
+            "--chaos",
+            "--calibration",
+            "--baseline",
         ] {
             assert!(stdout.contains(f), "help missing flag {f}:\n{stdout}");
         }
@@ -116,6 +127,8 @@ fn parse_errors_exit_status_2() {
         vec!["perf", "--workers", "1,x"],
         vec!["perf", "--workers", "1,0"],
         vec!["perf", "--window", "soon"],
+        vec!["serve", "--traffic", "nonsense"],
+        vec!["serve", "--config"],
     ] {
         let out = lte_sim().args(&args).output().expect("run lte-sim");
         assert_eq!(out.status.code(), Some(2), "args {args:?} must exit 2");
@@ -221,6 +234,103 @@ fn perf_writes_both_reports_and_the_scaling_matrix() {
         String::from_utf8_lossy(&out.stderr)
     );
     assert!(stdout.contains("scaling holds against the baseline"));
+}
+
+#[test]
+fn fingerprint_prints_one_stable_line() {
+    let run = || {
+        let out = lte_sim()
+            .args(["fingerprint", "--seed", "7", "--subframes", "4"])
+            .output()
+            .expect("run lte-sim");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let a = run();
+    assert!(
+        a.starts_with("lte-sim-fingerprint-v1 seed=7 subframes=4 "),
+        "unexpected fingerprint line: {a}"
+    );
+    assert!(a.contains(" hash="));
+    assert_eq!(a.lines().count(), 1);
+    assert_eq!(a, run(), "the fingerprint is stable across processes");
+}
+
+#[test]
+fn serve_writes_artifacts_and_drains_clean() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_serve");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = lte_sim()
+        .args([
+            "serve",
+            "--subframes",
+            "80",
+            "--traffic",
+            "voip",
+            "--workers",
+            "2",
+            "--window",
+            "40",
+            "--out",
+        ])
+        .arg(&dir)
+        .output()
+        .expect("run lte-sim");
+    assert!(
+        out.status.success(),
+        "{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("serve campaign-complete:"), "{stdout}");
+    assert!(stdout.contains("verified byte-identical"), "{stdout}");
+    let json = std::fs::read_to_string(dir.join("SERVE.json")).expect("SERVE.json exists");
+    assert!(json.starts_with("{\"schema\":\"lte-sim-serve-v1\""));
+    let om = std::fs::read_to_string(dir.join("SERVE.om")).expect("SERVE.om exists");
+    assert!(om.contains("serve_admitted"));
+    assert!(om.ends_with("# EOF\n"));
+}
+
+#[test]
+#[cfg(unix)]
+fn serve_drains_on_sigterm_with_complete_artifacts_and_exit_3() {
+    let dir = std::env::temp_dir().join("lte_sim_cli_serve_sigterm");
+    let _ = std::fs::remove_dir_all(&dir);
+    // An unbounded campaign (--subframes 0 runs until drained): the
+    // signal is the only way it ends.
+    let mut child = lte_sim()
+        .args(["serve", "--subframes", "0", "--traffic", "voip", "--out"])
+        .arg(&dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn lte-sim serve");
+    // Give it time to install handlers and serve a few ticks.
+    std::thread::sleep(std::time::Duration::from_millis(1200));
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let status = child.wait().expect("serve exits");
+    assert_eq!(
+        status.code(),
+        Some(3),
+        "a signal-drained serve exits with the interrupted status"
+    );
+    let json = std::fs::read_to_string(dir.join("SERVE.json")).expect("SERVE.json flushed");
+    assert!(json.starts_with("{\"schema\":\"lte-sim-serve-v1\""));
+    assert!(
+        json.contains("\"drain_reason\":\"drain-requested\""),
+        "the report records the signal-requested drain"
+    );
+    let om = std::fs::read_to_string(dir.join("SERVE.om")).expect("SERVE.om flushed");
+    assert!(om.ends_with("# EOF\n"), "the exposition is complete");
 }
 
 #[test]

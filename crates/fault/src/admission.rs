@@ -1,0 +1,583 @@
+//! Admission control for the streaming ingest path.
+//!
+//! Where [`crate::DeadlineBudget`] decides what happens to a subframe
+//! that is *already dispatched* and running late, this module decides
+//! what happens *at the front door* while the ingest queue is filling:
+//!
+//! * [`TokenBucket`] — per-source rate limiting: a source that offers
+//!   work faster than its contracted rate is refused before its traffic
+//!   can crowd out well-behaved sources.
+//! * [`EscalationLadder`] — maps queue occupancy to an
+//!   [`EscalationDecision`]: as the backlog deepens past each watermark
+//!   the service escalates **reject → shed → degrade**, reusing the
+//!   [`crate::OverloadPolicy`] vocabulary but compounding the tiers
+//!   instead of picking one.
+//! * [`IngestFaults`] — seeded ingest-side chaos: source stalls, burst
+//!   floods and malformed arrivals, order-independent like
+//!   [`crate::FaultPlan`] so two same-seed campaigns see byte-identical
+//!   arrival streams.
+//!
+//! Everything is integer/pure so the serve loop's admission decisions
+//! are a function of `(seed, tick, queue depth)` alone — independent of
+//! worker count and wall clock, which is what keeps the streaming path
+//! byte-identical to the batch path for every admitted subframe.
+
+use lte_dsp::Xoshiro256;
+
+/// Escalation tiers in engagement order. Comparison order is the
+/// severity order: `Reject < Shed < Degrade`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EscalationTier {
+    /// Refuse new arrivals (cheapest: work not yet invested).
+    Reject,
+    /// Shed the cheapest users from admitted subframes.
+    Shed,
+    /// Degrade demapping (exact → max-log) on admitted subframes.
+    Degrade,
+}
+
+impl EscalationTier {
+    /// Every tier, in engagement order.
+    pub const ALL: [EscalationTier; 3] = [
+        EscalationTier::Reject,
+        EscalationTier::Shed,
+        EscalationTier::Degrade,
+    ];
+
+    /// Stable snake_case name used in exports and metrics.
+    pub fn name(self) -> &'static str {
+        match self {
+            EscalationTier::Reject => "reject",
+            EscalationTier::Shed => "shed",
+            EscalationTier::Degrade => "degrade",
+        }
+    }
+}
+
+impl std::fmt::Display for EscalationTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which mitigation tiers are engaged at one instant. Tiers compound:
+/// at the deepest fill all three are active at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EscalationDecision {
+    /// Refuse new arrivals at the front door.
+    pub reject_new: bool,
+    /// Shed cheapest users from subframes being dispatched.
+    pub shed_users: bool,
+    /// Degrade demapping on subframes being dispatched.
+    pub degrade_demap: bool,
+}
+
+impl EscalationDecision {
+    /// The most severe engaged tier, if any.
+    pub fn severest(self) -> Option<EscalationTier> {
+        if self.degrade_demap {
+            Some(EscalationTier::Degrade)
+        } else if self.shed_users {
+            Some(EscalationTier::Shed)
+        } else if self.reject_new {
+            Some(EscalationTier::Reject)
+        } else {
+            None
+        }
+    }
+
+    /// `true` when no mitigation is engaged.
+    pub fn calm(self) -> bool {
+        !(self.reject_new || self.shed_users || self.degrade_demap)
+    }
+}
+
+/// Occupancy watermarks (fractions of queue capacity) at which each
+/// mitigation tier engages. Construction enforces
+/// `reject_fill <= shed_fill <= degrade_fill`, which is what guarantees
+/// the reject → shed → degrade engagement *order* under a monotonically
+/// deepening flood.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EscalationLadder {
+    reject_fill: f64,
+    shed_fill: f64,
+    degrade_fill: f64,
+}
+
+impl Default for EscalationLadder {
+    fn default() -> Self {
+        // Reject early (the cheapest mitigation), shed when the backlog
+        // keeps growing anyway, degrade only near saturation.
+        EscalationLadder::new(0.70, 0.85, 0.95).unwrap()
+    }
+}
+
+impl EscalationLadder {
+    /// A ladder with the given watermarks.
+    ///
+    /// # Errors
+    ///
+    /// When a watermark is outside `(0, 1]` or the ordering invariant
+    /// `reject <= shed <= degrade` does not hold.
+    pub fn new(reject_fill: f64, shed_fill: f64, degrade_fill: f64) -> Result<Self, String> {
+        for (name, v) in [
+            ("reject", reject_fill),
+            ("shed", shed_fill),
+            ("degrade", degrade_fill),
+        ] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(format!("{name} watermark {v} outside (0, 1]"));
+            }
+        }
+        if !(reject_fill <= shed_fill && shed_fill <= degrade_fill) {
+            return Err(format!(
+                "watermarks must be ordered reject <= shed <= degrade \
+                 (got {reject_fill} / {shed_fill} / {degrade_fill})"
+            ));
+        }
+        Ok(EscalationLadder {
+            reject_fill,
+            shed_fill,
+            degrade_fill,
+        })
+    }
+
+    /// The fill at which new arrivals are rejected.
+    pub fn reject_fill(&self) -> f64 {
+        self.reject_fill
+    }
+
+    /// The fill at which user shedding starts.
+    pub fn shed_fill(&self) -> f64 {
+        self.shed_fill
+    }
+
+    /// The fill at which demap degradation starts.
+    pub fn degrade_fill(&self) -> f64 {
+        self.degrade_fill
+    }
+
+    /// The tiers engaged at queue occupancy `fill` (`[0, 1]`).
+    pub fn decide(&self, fill: f64) -> EscalationDecision {
+        EscalationDecision {
+            reject_new: fill >= self.reject_fill,
+            shed_users: fill >= self.shed_fill,
+            degrade_demap: fill >= self.degrade_fill,
+        }
+    }
+}
+
+/// The ladder tracked over time: an overload-*episode* state machine
+/// with hysteresis on top of the instantaneous fill watermarks.
+///
+/// This is the piece that makes reject → shed → degrade an actual
+/// *sequence* under a steady flood. Once the reject tier engages, new
+/// arrivals bounce off the front door, so the fill immediately drops
+/// back below the reject watermark — it can never climb to the shed
+/// watermark on its own, and a naive per-tick decision would flap
+/// between calm and reject forever. Instead, crossing the reject
+/// watermark opens an overload episode that only closes when the
+/// backlog has actually drained (fill ≤ `release_fill`). While the
+/// episode is open the reject tier stays engaged, and if rejection
+/// alone has not drained the backlog after `shed_after` ticks the
+/// service starts shedding users; after `degrade_after` more it
+/// degrades demapping too. A deep instantaneous spike still engages
+/// the deeper tiers immediately through the fill watermarks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EscalationState {
+    ladder: EscalationLadder,
+    release_fill: f64,
+    shed_after: u64,
+    degrade_after: u64,
+    pressured_ticks: u64,
+    episodes: u64,
+}
+
+impl EscalationState {
+    /// Default fill at which an overload episode ends: essentially
+    /// empty, so one episode sees the whole drain.
+    pub const DEFAULT_RELEASE_FILL: f64 = 0.05;
+    /// Episode ticks before shedding engages.
+    pub const DEFAULT_SHED_AFTER: u64 = 4;
+    /// Further episode ticks before demap degradation engages.
+    pub const DEFAULT_DEGRADE_AFTER: u64 = 4;
+
+    /// Tracks `ladder` with the default hysteresis and delays.
+    pub fn new(ladder: EscalationLadder) -> Self {
+        Self::with_delays(
+            ladder,
+            Self::DEFAULT_SHED_AFTER,
+            Self::DEFAULT_DEGRADE_AFTER,
+        )
+    }
+
+    /// Tracks `ladder`, escalating to shed after `shed_after` episode
+    /// ticks and to degrade after `degrade_after` more.
+    pub fn with_delays(ladder: EscalationLadder, shed_after: u64, degrade_after: u64) -> Self {
+        EscalationState {
+            ladder,
+            release_fill: Self::DEFAULT_RELEASE_FILL.min(ladder.reject_fill()),
+            shed_after,
+            degrade_after,
+            pressured_ticks: 0,
+            episodes: 0,
+        }
+    }
+
+    /// The underlying fill ladder.
+    pub fn ladder(&self) -> &EscalationLadder {
+        &self.ladder
+    }
+
+    /// Ticks the current overload episode has lasted (0 = calm).
+    pub fn pressured_ticks(&self) -> u64 {
+        self.pressured_ticks
+    }
+
+    /// Overload episodes opened so far (including any still open).
+    pub fn episodes(&self) -> u64 {
+        self.episodes
+    }
+
+    /// `true` while an overload episode is open.
+    pub fn in_episode(&self) -> bool {
+        self.pressured_ticks > 0
+    }
+
+    /// Observes one tick's queue occupancy and returns the engaged
+    /// tiers. Call exactly once per tick.
+    pub fn observe(&mut self, fill: f64) -> EscalationDecision {
+        let base = self.ladder.decide(fill);
+        if self.pressured_ticks == 0 && base.reject_new {
+            self.episodes += 1;
+            self.pressured_ticks = 1;
+        } else if self.pressured_ticks > 0 {
+            if fill <= self.release_fill {
+                self.pressured_ticks = 0;
+            } else {
+                self.pressured_ticks += 1;
+            }
+        }
+        EscalationDecision {
+            reject_new: base.reject_new || self.pressured_ticks > 0,
+            shed_users: base.shed_users || self.pressured_ticks > self.shed_after,
+            degrade_demap: base.degrade_demap
+                || self.pressured_ticks > self.shed_after + self.degrade_after,
+        }
+    }
+}
+
+/// An integer token bucket for per-source rate limiting.
+///
+/// Tokens are tracked in *milli-tokens* so fractional refill rates
+/// (e.g. 1.5 subframes per tick) stay exact integers: no float drift,
+/// identical decisions on every host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TokenBucket {
+    capacity_milli: u64,
+    refill_milli: u64,
+    level_milli: u64,
+    taken: u64,
+    refused: u64,
+}
+
+impl TokenBucket {
+    /// A bucket holding at most `capacity_milli` milli-tokens, refilled
+    /// by `refill_milli` per [`tick`](TokenBucket::tick). Starts full.
+    /// One admission costs 1000 milli-tokens.
+    pub fn new(capacity_milli: u64, refill_milli: u64) -> Self {
+        let capacity_milli = capacity_milli.max(1000);
+        TokenBucket {
+            capacity_milli,
+            refill_milli,
+            level_milli: capacity_milli,
+            taken: 0,
+            refused: 0,
+        }
+    }
+
+    /// Convenience: a bucket allowing a sustained `rate_milli`/1000
+    /// admissions per tick with a burst allowance of `burst` admissions.
+    pub fn per_tick(rate_milli: u64, burst: u64) -> Self {
+        TokenBucket::new(burst.max(1) * 1000, rate_milli)
+    }
+
+    /// Advances one tick, refilling the bucket (saturating at capacity).
+    pub fn tick(&mut self) {
+        self.level_milli = (self.level_milli + self.refill_milli).min(self.capacity_milli);
+    }
+
+    /// Tries to take one admission's worth of tokens.
+    pub fn try_take(&mut self) -> bool {
+        if self.level_milli >= 1000 {
+            self.level_milli -= 1000;
+            self.taken += 1;
+            true
+        } else {
+            self.refused += 1;
+            false
+        }
+    }
+
+    /// Current level in milli-tokens.
+    pub fn level_milli(&self) -> u64 {
+        self.level_milli
+    }
+
+    /// Admissions granted so far.
+    pub fn taken(&self) -> u64 {
+        self.taken
+    }
+
+    /// Admissions refused so far.
+    pub fn refused(&self) -> u64 {
+        self.refused
+    }
+}
+
+/// Ingest-side chaos salts (see [`crate::FaultPlan`] for the pattern).
+const SALT_MALFORMED: u64 = 0x6D61_6C66_6F72_6D31; // "malform1"
+
+/// Seeded ingest-side fault injection: what arrives *at* the service,
+/// rather than what breaks *inside* it. Draws are order-independent
+/// pure functions of `(seed, tick, index)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IngestFaults {
+    /// Master seed; per-arrival draws hash this with the indices.
+    pub seed: u64,
+    /// A window of ticks in which the source goes silent entirely:
+    /// `(first_tick, n_ticks)`.
+    pub stall: Option<(u64, u64)>,
+    /// A window of ticks in which the source floods at a multiple of
+    /// its normal rate: `(first_tick, n_ticks, factor)`.
+    pub flood: Option<(u64, u64, u64)>,
+    /// Per-arrival probability (‰) that the arrival is malformed and
+    /// must be refused at parse time.
+    pub malformed_permille: u16,
+}
+
+impl IngestFaults {
+    /// No ingest faults at all.
+    pub fn quiet(seed: u64) -> Self {
+        IngestFaults {
+            seed,
+            stall: None,
+            flood: None,
+            malformed_permille: 0,
+        }
+    }
+
+    /// The default serve chaos campaign: an early stall, a mid-run 2×
+    /// flood long enough to walk the whole escalation ladder, and a
+    /// trickle of malformed arrivals.
+    pub fn smoke(seed: u64) -> Self {
+        IngestFaults {
+            seed,
+            stall: Some((20, 10)),
+            flood: Some((60, 40, 2)),
+            malformed_permille: 20,
+        }
+    }
+
+    /// Is the source stalled (producing nothing) at `tick`?
+    pub fn stalled(&self, tick: u64) -> bool {
+        matches!(self.stall, Some((from, n)) if tick >= from && tick < from + n)
+    }
+
+    /// The arrival-rate multiplier at `tick` (1 = nominal).
+    pub fn flood_factor(&self, tick: u64) -> u64 {
+        match self.flood {
+            Some((from, n, factor)) if tick >= from && tick < from + n => factor.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Is arrival `index` of `tick` malformed?
+    pub fn malformed(&self, tick: u64, index: u64) -> bool {
+        if self.malformed_permille == 0 {
+            return false;
+        }
+        // SplitMix64-style avalanche, same shape as FaultPlan::rng_for:
+        // the outcome depends only on (seed, tick, index).
+        let mut z = self
+            .seed
+            .wrapping_add(SALT_MALFORMED)
+            .wrapping_add(tick.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Xoshiro256::seed_from_u64(z ^ (z >> 31)).next_below(1000)
+            < u64::from(self.malformed_permille)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_engages_tiers_in_order_as_fill_deepens() {
+        let ladder = EscalationLadder::default();
+        assert!(ladder.decide(0.0).calm());
+        assert!(ladder.decide(0.5).calm());
+
+        let reject_only = ladder.decide(0.75);
+        assert!(reject_only.reject_new && !reject_only.shed_users && !reject_only.degrade_demap);
+        assert_eq!(reject_only.severest(), Some(EscalationTier::Reject));
+
+        let reject_shed = ladder.decide(0.90);
+        assert!(reject_shed.reject_new && reject_shed.shed_users && !reject_shed.degrade_demap);
+        assert_eq!(reject_shed.severest(), Some(EscalationTier::Shed));
+
+        let all = ladder.decide(1.0);
+        assert!(all.reject_new && all.shed_users && all.degrade_demap);
+        assert_eq!(all.severest(), Some(EscalationTier::Degrade));
+    }
+
+    #[test]
+    fn ladder_engagement_is_monotone_in_fill() {
+        // Property: a deeper fill never disengages a tier — the formal
+        // statement behind "reject engages first, then shed, then
+        // degrade" for any monotonically growing backlog.
+        let ladder = EscalationLadder::new(0.3, 0.6, 0.9).unwrap();
+        let mut prev = EscalationDecision::default();
+        for step in 0..=100 {
+            let d = ladder.decide(f64::from(step) / 100.0);
+            assert!(d.reject_new >= prev.reject_new);
+            assert!(d.shed_users >= prev.shed_users);
+            assert!(d.degrade_demap >= prev.degrade_demap);
+            // Compounding invariant: degrade implies shed implies reject.
+            assert!(!d.degrade_demap || d.shed_users);
+            assert!(!d.shed_users || d.reject_new);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_escalates_reject_then_shed_then_degrade() {
+        // A plateau exactly at the reject watermark: fill alone would
+        // never engage the deeper tiers, persistence must.
+        let mut state = EscalationState::with_delays(EscalationLadder::default(), 3, 3);
+        let mut first = [None::<u64>; 3];
+        for tick in 0..20u64 {
+            let d = state.observe(0.72);
+            for (slot, engaged) in
+                first
+                    .iter_mut()
+                    .zip([d.reject_new, d.shed_users, d.degrade_demap])
+            {
+                if engaged && slot.is_none() {
+                    *slot = Some(tick);
+                }
+            }
+        }
+        let (reject, shed, degrade) = (
+            first[0].expect("reject"),
+            first[1].expect("shed"),
+            first[2].expect("degrade"),
+        );
+        assert!(
+            reject < shed && shed < degrade,
+            "escalation order violated: {reject} / {shed} / {degrade}"
+        );
+    }
+
+    #[test]
+    fn episode_persists_until_drained_then_resets() {
+        let mut state = EscalationState::with_delays(EscalationLadder::default(), 2, 2);
+        state.observe(0.72);
+        state.observe(0.72);
+        assert!(state.observe(0.72).shed_users, "escalated past shed_after");
+        // Fill has dropped below every watermark, but the backlog has
+        // not drained: the episode (and rejection) persists.
+        assert!(state.observe(0.2).reject_new);
+        assert!(state.in_episode());
+        // Fully drained: the episode closes and decisions calm down.
+        assert!(state.observe(0.0).calm());
+        assert_eq!(state.pressured_ticks(), 0);
+        assert_eq!(state.episodes(), 1);
+        // A new episode starts over at the reject tier.
+        let d = state.observe(0.72);
+        assert!(d.reject_new && !d.shed_users);
+        assert_eq!(state.episodes(), 2);
+    }
+
+    #[test]
+    fn deep_spike_engages_deeper_tiers_immediately() {
+        let mut state = EscalationState::new(EscalationLadder::default());
+        let d = state.observe(1.0);
+        assert!(d.reject_new && d.shed_users && d.degrade_demap);
+    }
+
+    #[test]
+    fn ladder_rejects_bad_watermarks() {
+        assert!(EscalationLadder::new(0.9, 0.5, 0.95).is_err());
+        assert!(EscalationLadder::new(0.0, 0.5, 0.9).is_err());
+        assert!(EscalationLadder::new(0.5, 0.6, 1.1).is_err());
+        assert!(EscalationLadder::new(0.5, 0.5, 0.5).is_ok());
+    }
+
+    #[test]
+    fn token_bucket_enforces_sustained_rate_with_burst() {
+        // 500 milli-tokens/tick = 1 admission per 2 ticks, burst of 3.
+        let mut b = TokenBucket::per_tick(500, 3);
+        // Starts full: the burst allowance is immediately spendable.
+        assert!(b.try_take() && b.try_take() && b.try_take());
+        assert!(!b.try_take(), "burst exhausted");
+        // One tick refills half an admission; two refill a whole one.
+        b.tick();
+        assert!(!b.try_take());
+        b.tick();
+        assert!(b.try_take());
+        assert_eq!(b.taken(), 4);
+        assert_eq!(b.refused(), 2);
+    }
+
+    #[test]
+    fn token_bucket_saturates_at_capacity() {
+        let mut b = TokenBucket::per_tick(10_000, 2);
+        for _ in 0..100 {
+            b.tick();
+        }
+        assert_eq!(b.level_milli(), 2000);
+        assert!(b.try_take() && b.try_take());
+        assert!(!b.try_take());
+    }
+
+    #[test]
+    fn ingest_faults_windows_and_quiet() {
+        let f = IngestFaults::smoke(11);
+        assert!(!f.stalled(19) && f.stalled(20) && f.stalled(29) && !f.stalled(30));
+        assert_eq!(f.flood_factor(59), 1);
+        assert_eq!(f.flood_factor(60), 2);
+        assert_eq!(f.flood_factor(99), 2);
+        assert_eq!(f.flood_factor(100), 1);
+
+        let q = IngestFaults::quiet(11);
+        for t in 0..200 {
+            assert!(!q.stalled(t));
+            assert_eq!(q.flood_factor(t), 1);
+            assert!(!q.malformed(t, 0));
+        }
+    }
+
+    #[test]
+    fn malformed_draws_are_seeded_and_order_independent() {
+        let f = IngestFaults {
+            malformed_permille: 300,
+            ..IngestFaults::quiet(5)
+        };
+        let forward: Vec<bool> = (0..500).map(|t| f.malformed(t, 1)).collect();
+        let backward: Vec<bool> = (0..500).rev().map(|t| f.malformed(t, 1)).collect();
+        let reversed: Vec<bool> = backward.into_iter().rev().collect();
+        assert_eq!(forward, reversed);
+        assert!(forward.iter().any(|&b| b));
+        assert!(forward.iter().any(|&b| !b));
+        let other = IngestFaults {
+            malformed_permille: 300,
+            ..IngestFaults::quiet(6)
+        };
+        let alt: Vec<bool> = (0..500).map(|t| other.malformed(t, 1)).collect();
+        assert_ne!(forward, alt);
+    }
+}

@@ -16,6 +16,13 @@
 
 use lte_dsp::Xoshiro256;
 
+pub mod admission;
+
+pub use admission::{
+    EscalationDecision, EscalationLadder, EscalationState, EscalationTier, IngestFaults,
+    TokenBucket,
+};
+
 /// What the scheduler does with a subframe that cannot meet its
 /// deadline budget.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -34,6 +34,7 @@ pub mod metrics;
 pub mod openmetrics;
 pub mod perfetto;
 pub mod recorder;
+pub mod service;
 pub mod slo;
 pub mod window;
 
@@ -44,6 +45,7 @@ pub use metrics::{f64_json, MetricValue, MetricsRegistry};
 pub use openmetrics::{sanitize_metric_name, OpenMetrics};
 pub use perfetto::PerfettoExporter;
 pub use recorder::{event_json, JsonLinesRecorder, NoopRecorder, Recorder, RingRecorder};
+pub use service::{ServiceCounters, ServiceSnapshot};
 pub use slo::{SloSpec, SloTracker, SloViolation, WindowObservation, WindowVerdict};
 pub use window::{Counter, Gauge, RollingWindow, WindowAggregate};
 

@@ -29,6 +29,7 @@ pub mod gating;
 pub mod governor;
 pub mod meter;
 pub mod model;
+pub mod pressure;
 pub mod windows;
 
 pub use dvfs::DvfsPolicy;
@@ -40,4 +41,5 @@ pub use governor::{
 };
 pub use meter::{record_series, rms_windows, rms_windows_recorded};
 pub use model::PowerModel;
+pub use pressure::PressureGovernor;
 pub use windows::{PowerWindowSnapshot, PowerWindows};

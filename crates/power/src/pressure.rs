@@ -1,0 +1,216 @@
+//! Backpressure-aware governance for the streaming service.
+//!
+//! The batch harness feeds the governor scripted per-subframe loads, so
+//! Eq. 4 sees everything there is to see. A *live* service has a second
+//! signal the estimator cannot: the ingest-queue backlog. A subframe's
+//! user list may estimate a small core target while fifty more
+//! subframes sit queued behind it — napping cores in that state trades
+//! watts for deadline misses at exactly the wrong time.
+//!
+//! [`PressureGovernor`] composes the two signals. It wraps any inner
+//! [`Governor`] (in practice the paper's [`crate::PolicyGovernor`]) and
+//! clamps its per-subframe target *upward* as queue occupancy grows:
+//! at zero backlog the inner decision passes through untouched (full
+//! paper-policy savings), and as fill approaches `full_at` the floor
+//! rises linearly to every core. The inner policy still decides *down*;
+//! pressure only ever raises the floor, so a deep backlog can never be
+//! starved by proactive napping.
+
+use crate::governor::{CoreTarget, Governor, NapPolicy, SubframeObservation};
+
+/// Wraps a [`Governor`] with an ingest-pressure floor on its core
+/// targets. Feed the queue occupancy in with
+/// [`set_pressure`](PressureGovernor::set_pressure) before each
+/// boundary.
+#[derive(Clone, Debug)]
+pub struct PressureGovernor<G: Governor> {
+    inner: G,
+    max_cores: usize,
+    /// Queue fill at which the floor reaches `max_cores`.
+    full_at: f64,
+    pressure: f64,
+    boosted_boundaries: u64,
+}
+
+impl<G: Governor> PressureGovernor<G> {
+    /// Default fill at which the floor reaches every core: a half-full
+    /// ingest queue already means the service is one burst away from
+    /// rejecting, so savings are abandoned well before saturation.
+    pub const DEFAULT_FULL_AT: f64 = 0.5;
+
+    /// Wraps `inner` for a substrate with `max_cores` workers.
+    pub fn new(inner: G, max_cores: usize) -> Self {
+        Self::with_full_at(inner, max_cores, Self::DEFAULT_FULL_AT)
+    }
+
+    /// Wraps `inner`, reaching the all-cores floor at fill `full_at`
+    /// (clamped into `(0, 1]`).
+    pub fn with_full_at(inner: G, max_cores: usize, full_at: f64) -> Self {
+        PressureGovernor {
+            inner,
+            max_cores: max_cores.max(1),
+            full_at: full_at.clamp(f64::EPSILON, 1.0),
+            pressure: 0.0,
+            boosted_boundaries: 0,
+        }
+    }
+
+    /// Publishes the current ingest-queue occupancy (`[0, 1]`); applies
+    /// from the next [`decide`](Governor::decide) on.
+    pub fn set_pressure(&mut self, fill: f64) {
+        self.pressure = fill.clamp(0.0, 1.0);
+    }
+
+    /// The core floor the current pressure imposes.
+    pub fn floor(&self) -> usize {
+        let fraction = (self.pressure / self.full_at).min(1.0);
+        ((self.max_cores as f64) * fraction).ceil() as usize
+    }
+
+    /// Boundaries where pressure raised the inner governor's target.
+    pub fn boosted_boundaries(&self) -> u64 {
+        self.boosted_boundaries
+    }
+
+    /// The wrapped governor.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// The wrapped governor, mutably (for `close()` etc.).
+    pub fn inner_mut(&mut self) -> &mut G {
+        &mut self.inner
+    }
+}
+
+impl<G: Governor> Governor for PressureGovernor<G> {
+    fn policy(&self) -> NapPolicy {
+        self.inner.policy()
+    }
+
+    fn decide(&mut self, obs: &SubframeObservation<'_>) -> CoreTarget {
+        let base = self.inner.decide(obs);
+        if !base.proactive {
+            // Nothing naps proactively, so there is nothing to boost.
+            return base;
+        }
+        let floored = base.active_cores.max(self.floor()).min(self.max_cores);
+        if floored > base.active_cores {
+            self.boosted_boundaries += 1;
+        }
+        CoreTarget {
+            active_cores: floored,
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{CoreController, WorkloadEstimator};
+    use crate::governor::{PolicyGovernor, UserLoad};
+    use lte_dsp::Modulation;
+
+    fn light_user() -> [UserLoad; 1] {
+        [UserLoad {
+            prbs: 10,
+            layers: 1,
+            modulation: Modulation::Qpsk,
+        }]
+    }
+
+    fn inner(policy: NapPolicy) -> PolicyGovernor {
+        PolicyGovernor::new(
+            policy,
+            // ~zero slopes: the inner estimate is always minimal, so any
+            // raised target is attributable to pressure alone.
+            WorkloadEstimator::from_slopes([[1e-6; 3]; 4]),
+            CoreController {
+                max_cores: 8,
+                min_cores: 1,
+                margin: 0,
+            },
+        )
+    }
+
+    fn obs<'a>(users: &'a [UserLoad]) -> SubframeObservation<'a> {
+        SubframeObservation {
+            subframe: 0,
+            users,
+            measured_activity: None,
+        }
+    }
+
+    #[test]
+    fn zero_pressure_passes_the_inner_decision_through() {
+        let users = light_user();
+        let mut base = inner(NapPolicy::NapIdle);
+        let expected = base.decide(&obs(&users));
+        let mut gov = PressureGovernor::new(inner(NapPolicy::NapIdle), 8);
+        assert_eq!(gov.decide(&obs(&users)), expected);
+        assert_eq!(gov.boosted_boundaries(), 0);
+    }
+
+    #[test]
+    fn full_pressure_demands_every_core() {
+        let users = light_user();
+        let mut gov = PressureGovernor::new(inner(NapPolicy::NapIdle), 8);
+        gov.set_pressure(1.0);
+        let t = gov.decide(&obs(&users));
+        assert_eq!(t.active_cores, 8);
+        assert_eq!(gov.boosted_boundaries(), 1);
+    }
+
+    #[test]
+    fn floor_rises_linearly_and_saturates_at_full_at() {
+        let mut gov = PressureGovernor::with_full_at(inner(NapPolicy::NapIdle), 8, 0.5);
+        gov.set_pressure(0.0);
+        assert_eq!(gov.floor(), 0);
+        gov.set_pressure(0.25); // halfway to full_at → half the cores
+        assert_eq!(gov.floor(), 4);
+        gov.set_pressure(0.5);
+        assert_eq!(gov.floor(), 8);
+        gov.set_pressure(0.9); // beyond full_at: still all cores
+        assert_eq!(gov.floor(), 8);
+    }
+
+    #[test]
+    fn pressure_never_lowers_the_inner_target() {
+        // Heavy inner estimate: flat slopes high enough to demand all 8
+        // cores regardless of pressure.
+        let users = [UserLoad {
+            prbs: 100,
+            layers: 4,
+            modulation: Modulation::Qam64,
+        }];
+        let mut gov = PressureGovernor::new(
+            PolicyGovernor::new(
+                NapPolicy::NapIdle,
+                WorkloadEstimator::from_slopes([[0.01; 3]; 4]),
+                CoreController {
+                    max_cores: 8,
+                    min_cores: 1,
+                    margin: 0,
+                },
+            ),
+            8,
+        );
+        gov.set_pressure(0.1); // floor 2, inner demands 8
+        let t = gov.decide(&obs(&users));
+        assert_eq!(t.active_cores, 8);
+        assert_eq!(gov.boosted_boundaries(), 0, "no boost when inner is higher");
+    }
+
+    #[test]
+    fn non_proactive_policies_are_untouched() {
+        let users = light_user();
+        let mut gov = PressureGovernor::new(inner(NapPolicy::Idle), 8);
+        gov.set_pressure(1.0);
+        let t = gov.decide(&obs(&users));
+        assert!(!t.proactive);
+        // IDLE never parks proactively, so the target is the inner one
+        // and the boost counter stays clean.
+        assert_eq!(gov.boosted_boundaries(), 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Bounded ingest queue: the front door of the streaming service.
+//!
+//! A long-running receiver cannot let arrivals queue without bound — a
+//! synchronous congestion burst would grow the backlog until memory (or
+//! the subframe deadline) gives out. [`IngestQueue`] is therefore a
+//! *bounded* multi-producer single-consumer ring: producers offer work
+//! with [`try_push`](IngestQueue::try_push) and get the item back when
+//! the ring is full (the admission layer turns that into an explicit
+//! *reject*, never silent loss), the consumer drains one item per
+//! dispatch tick, and every push/pop/reject is counted so backpressure
+//! is observable rather than inferred.
+//!
+//! The queue also carries the service's lifecycle edge:
+//! [`close`](IngestQueue::close) flips it into drain mode — producers
+//! are refused from that instant, while the consumer keeps popping until
+//! the ring is empty. [`drain_remaining`](IngestQueue::drain_remaining)
+//! hands the consumer whatever is left so a draining service can account
+//! every queued subframe as shed instead of dropping it on the floor.
+//!
+//! Depth is exposed both as an instantaneous gauge
+//! ([`depth`](IngestQueue::depth), [`fill`](IngestQueue::fill)) and as a
+//! high watermark, which is what the escalation ladder and the pressure
+//! governor key off.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why a [`IngestQueue::try_push`] was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The ring is at capacity — backpressure.
+    Full,
+    /// The queue is closed (the service is draining).
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full => f.write_str("queue full"),
+            PushError::Closed => f.write_str("queue closed"),
+        }
+    }
+}
+
+struct State<T> {
+    ring: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC ring buffer with explicit rejection, close-to-drain
+/// semantics and full admission accounting. All operations take `&self`;
+/// the queue is shared by reference (or `Arc`) between the source
+/// threads and the service loop.
+pub struct IngestQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signalled when an item arrives or the queue closes.
+    available: Condvar,
+    pushed: AtomicU64,
+    popped: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_closed: AtomicU64,
+    high_watermark: AtomicU64,
+}
+
+impl<T> IngestQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        IngestQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                ring: VecDeque::with_capacity(capacity.max(1)),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            pushed: AtomicU64::new(0),
+            popped: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_closed: AtomicU64::new(0),
+            high_watermark: AtomicU64::new(0),
+        }
+    }
+
+    /// The ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one item. Returns it back (with the reason) when the ring
+    /// is full or the queue is closed; the caller decides whether that
+    /// is a reject, a retry or a shed.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] under backpressure, [`PushError::Closed`]
+    /// once the service is draining. The item rides back in the error.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            self.rejected_closed.fetch_add(1, Ordering::Relaxed);
+            return Err((item, PushError::Closed));
+        }
+        if state.ring.len() >= self.capacity {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+            return Err((item, PushError::Full));
+        }
+        state.ring.push_back(item);
+        let depth = state.ring.len() as u64;
+        drop(state);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.high_watermark.fetch_max(depth, Ordering::Relaxed);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pops the oldest item without waiting. `None` when the ring is
+    /// empty (whether or not the queue is closed).
+    pub fn try_pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let item = state.ring.pop_front();
+        drop(state);
+        if item.is_some() {
+            self.popped.fetch_add(1, Ordering::Relaxed);
+        }
+        item
+    }
+
+    /// Pops the oldest item, waiting up to `timeout` for one to arrive.
+    /// Returns `None` on timeout or when the queue is closed and empty.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(item) = state.ring.pop_front() {
+                drop(state);
+                self.popped.fetch_add(1, Ordering::Relaxed);
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            let (next, result) = self
+                .available
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if result.timed_out() {
+                let item = state.ring.pop_front();
+                if item.is_some() {
+                    self.popped.fetch_add(1, Ordering::Relaxed);
+                }
+                return item;
+            }
+        }
+    }
+
+    /// Closes the queue: producers are refused from now on, consumers
+    /// drain what is already buffered. Idempotent.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// `true` once [`close`](IngestQueue::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+
+    /// Removes and returns everything still buffered, oldest first —
+    /// the drain path's "account every queued subframe" step.
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let items: Vec<T> = state.ring.drain(..).collect();
+        drop(state);
+        self.popped.fetch_add(items.len() as u64, Ordering::Relaxed);
+        items
+    }
+
+    /// Items currently buffered.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ring
+            .len()
+    }
+
+    /// Instantaneous occupancy in `[0, 1]` — the escalation ladder's
+    /// input signal.
+    pub fn fill(&self) -> f64 {
+        self.depth() as f64 / self.capacity as f64
+    }
+
+    /// Deepest occupancy ever observed.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark.load(Ordering::Relaxed)
+    }
+
+    /// Items accepted so far.
+    pub fn pushed(&self) -> u64 {
+        self.pushed.load(Ordering::Relaxed)
+    }
+
+    /// Items handed to the consumer so far (including drained ones).
+    pub fn popped(&self) -> u64 {
+        self.popped.load(Ordering::Relaxed)
+    }
+
+    /// Offers refused because the ring was full.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full.load(Ordering::Relaxed)
+    }
+
+    /// Offers refused because the queue had closed.
+    pub fn rejected_closed(&self) -> u64 {
+        self.rejected_closed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bounded_ring_rejects_when_full() {
+        let q = IngestQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let (item, why) = q.try_push(3).unwrap_err();
+        assert_eq!((item, why), (3, PushError::Full));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.rejected_full(), 1);
+        assert_eq!(q.high_watermark(), 2);
+        assert!((q.fill() - 1.0).abs() < f64::EPSILON);
+        // Popping opens a slot again.
+        assert_eq!(q.try_pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.popped(), 1);
+        assert_eq!(q.pushed(), 3);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let q = IngestQueue::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let out: Vec<i32> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_refuses_producers_but_drains_consumers() {
+        let q = IngestQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        q.close();
+        assert!(q.is_closed());
+        let (_, why) = q.try_push("c").unwrap_err();
+        assert_eq!(why, PushError::Closed);
+        assert_eq!(q.rejected_closed(), 1);
+        assert_eq!(q.drain_remaining(), vec!["a", "b"]);
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.popped(), 2);
+    }
+
+    #[test]
+    fn pop_timeout_returns_none_on_closed_empty_and_times_out() {
+        let q: IngestQueue<u32> = IngestQueue::new(2);
+        assert_eq!(q.pop_timeout(Duration::from_millis(5)), None);
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_secs(60)), None);
+    }
+
+    #[test]
+    fn pop_timeout_wakes_on_cross_thread_push() {
+        let q = Arc::new(IngestQueue::new(2));
+        let producer = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            producer.try_push(7u32).unwrap();
+        });
+        let got = q.pop_timeout(Duration::from_secs(5));
+        t.join().unwrap();
+        assert_eq!(got, Some(7));
+    }
+
+    #[test]
+    fn concurrent_producers_never_exceed_capacity_or_lose_items() {
+        let q = Arc::new(IngestQueue::new(16));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                let mut accepted = 0u64;
+                for i in 0..200u64 {
+                    if q.try_push(t * 1000 + i).is_ok() {
+                        accepted += 1;
+                    }
+                }
+                accepted
+            }));
+        }
+        let mut drained = 0u64;
+        // Consume concurrently until every producer has finished, then
+        // drain the remainder.
+        while !handles.iter().all(std::thread::JoinHandle::is_finished) {
+            if q.try_pop().is_some() {
+                drained += 1;
+            }
+            assert!(q.depth() <= 16);
+        }
+        let accepted: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        drained += q.drain_remaining().len() as u64;
+        assert_eq!(accepted, drained, "every accepted item is consumed");
+        assert_eq!(q.pushed(), accepted);
+        assert_eq!(q.pushed() + q.rejected_full(), 800);
+    }
+}

@@ -14,16 +14,22 @@
 //!   and per-state occupancy accounting. Every power experiment in the
 //!   reproduction runs here, bit-reproducibly.
 //!
+//! [`ingest`] adds the streaming front door: a bounded MPSC ring with
+//! explicit rejection and close-to-drain semantics, feeding the pool
+//! from live sources instead of a closed batch loop.
+//!
 //! [`cycles`] supplies the per-kernel cycle cost model that converts a
 //! user's subframe parameters into the simulator's task costs, calibrated
 //! so a maximally loaded subframe occupies 62 workers for ≈ 5 ms — the
 //! paper's measured rate on the TILEPro64.
 
 pub mod cycles;
+pub mod ingest;
 pub mod pool;
 pub mod sim;
 
 pub use cycles::{CostModel, SimJob};
+pub use ingest::{IngestQueue, PushError};
 pub use pool::{
     silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, PoolTelemetry,
     TaskPool, WorkerKill, WorkerSnapshot,

@@ -83,6 +83,28 @@ for f in SOAK.json SOAK.jsonl SOAK.om; do
         || { echo "soak smoke: $f differs between identical runs"; exit 1; }
 done
 
+echo "==> serve smoke (lte-sim serve)"
+# A short governed serve campaign under the seeded ingest chaos plan
+# (an arrival stall, a 2x flood burst, malformed arrivals): the service
+# must escalate reject → shed → degrade through the flood, keep its SLO
+# accounting intact, drain cleanly (exit 0 — chaos-marked windows are
+# exempt from the health gate, calm windows are not), and flush a
+# complete SERVE.json + OpenMetrics pair.
+serve_out="$(cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
+    serve --subframes 140 --chaos --out target/serve-smoke)" \
+    || { echo "serve smoke: campaign failed or a calm window violated its SLO"; exit 1; }
+echo "$serve_out" | tail -n 6
+[[ -s target/serve-smoke/SERVE.json ]] \
+    || { echo "serve smoke: SERVE.json missing or empty"; exit 1; }
+grep -q '"schema":"lte-sim-serve-v1"' target/serve-smoke/SERVE.json \
+    || { echo "serve smoke: SERVE.json has the wrong schema"; exit 1; }
+[[ -s target/serve-smoke/SERVE.om ]] \
+    || { echo "serve smoke: SERVE.om missing or empty"; exit 1; }
+echo "$serve_out" | grep -q "escalation: .* reject tick .* shed tick .* degrade tick " \
+    || { echo "serve smoke: the escalation ladder did not engage under the flood"; exit 1; }
+echo "$serve_out" | grep -q "SLO: all .* calm windows within budget" \
+    || { echo "serve smoke: a calm window violated its SLO"; exit 1; }
+
 echo "==> telemetry record-cost gate (obs_overhead bench)"
 cargo bench -q --offline -p lte-bench --bench obs_overhead -- --test | grep "hist_record:" \
     || { echo "telemetry record-cost gate failed"; exit 1; }
