@@ -11,7 +11,7 @@ use lte_phy::params::CellConfig;
 use lte_uplink::{BenchmarkConfig, UplinkBenchmark};
 
 fn bench_pool_scaling(c: &mut Criterion) {
-    let max = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let max = lte_sched::host_parallelism();
     let mut group = c.benchmark_group("pool_subframes");
     group.sample_size(10);
     for workers in [1usize, 2, 4, max]

@@ -45,7 +45,7 @@ fn bench_task_granularity(c: &mut Criterion) {
         })
         .collect();
 
-    let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let workers = lte_sched::host_parallelism();
     let pool = TaskPool::new(workers).expect("spawn bench pool");
     let handle = pool.handle();
 

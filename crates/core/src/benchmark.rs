@@ -132,7 +132,9 @@ pub struct BenchmarkConfig {
 impl Default for BenchmarkConfig {
     fn default() -> Self {
         BenchmarkConfig {
-            workers: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            // Same helper (and same fallback) as PoolConfig::default, so
+            // the benchmark and the pool can never disagree on workers.
+            workers: lte_sched::host_parallelism(),
             delta: Duration::from_millis(5),
             snr_db: 30.0,
             turbo: TurboMode::Passthrough,

@@ -18,6 +18,7 @@
 //!   serve            continuously-running ingest service with
 //!                    admission control, backpressure and graceful drain
 //!   fingerprint      one-line fingerprint of a canonical run's bytes
+//!   vectors          check (or --write) the golden kernel vectors
 //!   bench            run the real parallel benchmark briefly
 //!   perf             steady-state throughput harness (BENCH_PR3.json)
 //!   all              everything above, written to --out
@@ -60,6 +61,12 @@ struct Options {
     scaling_baseline: Option<PathBuf>,
     traffic: Option<String>,
     config: Option<PathBuf>,
+    /// vectors: regenerate the golden file instead of checking it.
+    write_vectors: bool,
+    /// vectors: pin every kernel to the scalar reference path.
+    scalar: bool,
+    /// vectors: golden-file location (default conformance/golden.json).
+    golden: Option<PathBuf>,
 }
 
 const USAGE: &str = "\
@@ -122,6 +129,14 @@ COMMANDS:
     fingerprint       print a one-line FNV-1a 64 fingerprint of the
                       canonical run's decoded bytes (seed, subframes,
                       user count, hash) for byte-identity diffing
+    vectors           conformance gate: recompute the golden kernel
+                      vectors (FFT, Zadoff-Chu, channel estimate, MMSE
+                      weights, demap LLRs, segmentation/rate matching,
+                      turbo, CRC, end-to-end receiver) and compare them
+                      against conformance/golden.json, failing on any
+                      byte drift; --write regenerates the file,
+                      --scalar forces the scalar reference path so the
+                      SIMD and fallback kernels are both gated
     ablation          sweep the design constants the paper fixes
     diurnal           the diurnal-day power study
     golden            store and verify a serial golden record
@@ -171,6 +186,14 @@ FLAGS:
                       1 on a >10% max-workers speedup regression
     --traffic MODEL   serve: built-in traffic generator — full-buffer |
                       bursty-iot | voip (default: full-buffer)
+    --write           vectors: write the recomputed vectors to the
+                      golden file instead of checking against it
+    --check           vectors: check against the golden file (the
+                      default)
+    --scalar          vectors: force scalar dispatch (disable the SIMD
+                      kernels) before computing
+    --golden FILE     vectors: golden-file location
+                      (default: conformance/golden.json)
     --config FILE     serve: key=value service parameters (traffic,
                       rate_milli, burst, fill watermarks, SLO budgets);
                       the file is watched while serving and re-applied
@@ -203,6 +226,9 @@ fn parse_args() -> Options {
     let mut scaling_baseline = None;
     let mut traffic = None;
     let mut config = None;
+    let mut write_vectors = false;
+    let mut scalar = false;
+    let mut golden = None;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -294,6 +320,15 @@ fn parse_args() -> Options {
                 config = Some(PathBuf::from(value_of(&args, i, "--config")));
                 i += 1;
             }
+            "--write" => write_vectors = true,
+            // Checking is the vectors default; the explicit flag is
+            // accepted so scripts can spell out their intent.
+            "--check" => write_vectors = false,
+            "--scalar" => scalar = true,
+            "--golden" => {
+                golden = Some(PathBuf::from(value_of(&args, i, "--golden")));
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
                 eprintln!("run 'lte-sim --help' for the full flag list");
@@ -323,6 +358,9 @@ fn parse_args() -> Options {
         scaling_baseline,
         traffic,
         config,
+        write_vectors,
+        scalar,
+        golden,
     }
 }
 
@@ -331,14 +369,10 @@ fn parse_args() -> Options {
 /// never leaves a truncated SOAK.json/GOVERN.json/SERVE.json behind —
 /// the file either has the old contents or the complete new ones.
 fn write(path: &Path, contents: &str) {
-    if let Some(dir) = path.parent() {
-        fs::create_dir_all(dir).expect("create output directory");
+    if let Err(e) = crate::report::write_atomic(path, contents) {
+        eprintln!("cannot write {}: {e}", path.display());
+        std::process::exit(1);
     }
-    let mut tmp = path.as_os_str().to_os_string();
-    tmp.push(".tmp");
-    let tmp = PathBuf::from(tmp);
-    fs::write(&tmp, contents).expect("write output file");
-    fs::rename(&tmp, path).expect("move output file into place");
     println!("wrote {}", path.display());
 }
 
@@ -1150,6 +1184,56 @@ fn run_serve_cmd(opts: &Options) {
     }
 }
 
+fn run_vectors_cmd(opts: &Options) {
+    use crate::conformance;
+    if opts.scalar {
+        lte_dsp::simd::force_scalar(true);
+    }
+    println!(
+        "computing golden kernel vectors (dispatch: {}) …",
+        lte_dsp::simd::dispatch_label()
+    );
+    let vectors = conformance::compute_vectors();
+    for v in &vectors {
+        println!("  {:24} {:016x}", v.kernel, v.hash);
+    }
+    let golden_path = opts
+        .golden
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(conformance::DEFAULT_GOLDEN_PATH));
+    if opts.write_vectors {
+        write(&golden_path, &conformance::render_golden(&vectors));
+        return;
+    }
+    let text = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {}: {e}", golden_path.display());
+        eprintln!("generate the golden set with 'lte-sim vectors --write'");
+        std::process::exit(1);
+    });
+    let golden = conformance::parse_golden(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {}: {e}", golden_path.display());
+        std::process::exit(1);
+    });
+    let drift = conformance::diff_vectors(&golden, &vectors);
+    if drift.is_empty() {
+        println!(
+            "conformance: all {} kernels bit-identical to {}",
+            vectors.len(),
+            golden_path.display()
+        );
+    } else {
+        for line in &drift {
+            eprintln!("conformance DRIFT: {line}");
+        }
+        eprintln!(
+            "{} kernel(s) drifted from {}",
+            drift.len(),
+            golden_path.display()
+        );
+        std::process::exit(1);
+    }
+}
+
 fn run_fingerprint_cmd(opts: &Options) {
     let subframes = opts.subframes_override.unwrap_or(20);
     println!(
@@ -1397,6 +1481,7 @@ pub fn run() {
         "soak" => run_soak_cmd(&opts),
         "serve" => run_serve_cmd(&opts),
         "fingerprint" => run_fingerprint_cmd(&opts),
+        "vectors" => run_vectors_cmd(&opts),
         "bench" => run_bench(&opts),
         "perf" => run_perf_cmd(&opts),
         "ablation" => run_ablations(&opts),
@@ -1412,7 +1497,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern soak serve fingerprint ablation diurnal golden bench perf all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern soak serve fingerprint vectors ablation diurnal golden bench perf all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

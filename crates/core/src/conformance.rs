@@ -1,0 +1,485 @@
+//! Golden kernel vectors: a committed, per-kernel hash of every DSP
+//! stage's exact output bits.
+//!
+//! The SIMD hot path ([`lte_dsp::simd`]) promises bit-identity with the
+//! scalar reference. This module turns that promise into a gate: each
+//! kernel — the FFT at every 100-PRB grid size, Zadoff–Chu reference
+//! generation, channel estimation per slot × antenna, MMSE weights,
+//! exact and max-log demap LLRs, segmentation + rate matching, turbo
+//! decode, the CRC family, and the end-to-end receiver — is driven with
+//! a fixed seeded input and its output bits are hashed with FNV-1a 64.
+//! The hashes are committed to `conformance/golden.json`; `lte-sim
+//! vectors --check` recomputes them and fails on any byte drift, with
+//! SIMD dispatch on or forced off (`--scalar`), so a kernel change that
+//! moves a single mantissa bit anywhere in the pipeline is caught
+//! before it lands.
+//!
+//! The vectors are deterministic across hosts: every input comes from
+//! the repo's own [`Xoshiro256`] and every hash is over IEEE-754 bit
+//! patterns, never formatted decimals.
+
+use std::fmt::Write as _;
+
+use crate::fingerprint::Fnv1a;
+use lte_dsp::channel::MimoChannel;
+use lte_dsp::crc::{CRC16, CRC24A, CRC24B, CRC8};
+use lte_dsp::fft::FftPlan;
+use lte_dsp::fft::FftPlanner;
+use lte_dsp::llr::{demap_block_exact_into, demap_block_into};
+use lte_dsp::rate_match::RateMatcher;
+use lte_dsp::segmentation::Segmentation;
+use lte_dsp::turbo::{TurboDecoder, TurboEncoder};
+use lte_dsp::zadoff_chu::{layer_cyclic_shift, ReferenceSequence};
+use lte_dsp::{Complex32, Modulation, Xoshiro256};
+use lte_phy::combiner::{CombinerWeights, MmseScratch};
+use lte_phy::estimator::estimate_slot;
+use lte_phy::params::{CellConfig, TurboMode, UserConfig};
+use lte_phy::tx::synthesize_user_over_channel;
+
+/// Schema tag written into the golden file.
+pub const SCHEMA: &str = "lte-sim-vectors-v1";
+
+/// Where the committed golden vectors live, relative to the repo root.
+pub const DEFAULT_GOLDEN_PATH: &str = "conformance/golden.json";
+
+/// One kernel's digest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelVector {
+    /// Stable kernel name, e.g. `fft-forward`.
+    pub kernel: String,
+    /// FNV-1a 64 over the kernel's output bits.
+    pub hash: u64,
+}
+
+/// The PRB allocations the 100-PRB grid can carry: every count up to
+/// 100 whose DFT size `12·prbs` factors into 2, 3 and 5 (the LTE
+/// transform-precoding constraint).
+pub fn lte_prb_counts() -> Vec<usize> {
+    (1..=100)
+        .filter(|&prbs| {
+            let mut n = prbs;
+            for f in [2, 3, 5] {
+                while n % f == 0 {
+                    n /= f;
+                }
+            }
+            n == 1
+        })
+        .collect()
+}
+
+fn hash_c32(h: &mut Fnv1a, data: &[Complex32]) {
+    for z in data {
+        h.write(&z.re.to_bits().to_le_bytes());
+        h.write(&z.im.to_bits().to_le_bytes());
+    }
+}
+
+fn hash_f32(h: &mut Fnv1a, data: &[f32]) {
+    for v in data {
+        h.write(&v.to_bits().to_le_bytes());
+    }
+}
+
+fn random_block(rng: &mut Xoshiro256, n: usize) -> Vec<Complex32> {
+    (0..n)
+        .map(|_| Complex32::new(rng.next_f32() * 2.0 - 1.0, rng.next_f32() * 2.0 - 1.0))
+        .collect()
+}
+
+fn random_bits(rng: &mut Xoshiro256, n: usize) -> Vec<u8> {
+    (0..n).map(|_| (rng.next_u32() & 1) as u8).collect()
+}
+
+fn fft_vector(forward: bool) -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(if forward { 0x0FF7 } else { 0x1FF7 });
+    let mut h = Fnv1a::new();
+    let mut sizes: Vec<usize> = lte_prb_counts().iter().map(|&p| 12 * p).collect();
+    sizes.push(2048); // the receive grid's full-bandwidth FFT
+    for &n in &sizes {
+        let mut data = random_block(&mut rng, n);
+        let plan = if forward {
+            FftPlan::forward(n)
+        } else {
+            FftPlan::inverse(n)
+        };
+        plan.process(&mut data);
+        h.write_u64(n as u64);
+        hash_c32(&mut h, &data);
+    }
+    KernelVector {
+        kernel: if forward {
+            "fft-forward"
+        } else {
+            "fft-inverse"
+        }
+        .to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn zadoff_chu_vector() -> KernelVector {
+    let mut h = Fnv1a::new();
+    for prbs in [1, 4, 6, 25, 64, 100] {
+        let len = 12 * prbs;
+        for root in [1, 7, 25] {
+            let base = ReferenceSequence::new(len, root);
+            h.write_u64(len as u64);
+            h.write_u64(root as u64);
+            hash_c32(&mut h, base.samples());
+            for layer in 0..4 {
+                let shifted = base.with_cyclic_shift(layer_cyclic_shift(layer, 4));
+                hash_c32(&mut h, shifted.samples());
+            }
+        }
+    }
+    KernelVector {
+        kernel: "zadoff-chu".to_string(),
+        hash: h.finish(),
+    }
+}
+
+/// One synthesized 4×2 user over a seeded multipath channel — shared by
+/// the estimate, MMSE-weight and receiver-stage vectors so they all see
+/// a realistic input.
+fn conformance_input() -> (CellConfig, lte_phy::grid::UserInput) {
+    let cell = CellConfig::with_antennas(4);
+    let user = UserConfig::new(6, 2, Modulation::Qam16);
+    let mut rng = Xoshiro256::seed_from_u64(0xE57);
+    let channel = MimoChannel::randomize(4, 2, 3, &mut rng);
+    let input = synthesize_user_over_channel(
+        &cell,
+        &user,
+        TurboMode::Passthrough,
+        20.0,
+        &channel,
+        &mut rng,
+    );
+    (cell, input)
+}
+
+fn estimate_vector() -> KernelVector {
+    let (cell, input) = conformance_input();
+    let planner = FftPlanner::new();
+    let mut h = Fnv1a::new();
+    for slot in 0..2 {
+        let est = estimate_slot(&cell, &input, slot, &planner);
+        h.write_u64(slot as u64);
+        for rx in 0..est.n_rx() {
+            for layer in 0..est.n_layers() {
+                hash_c32(&mut h, est.path(rx, layer));
+            }
+        }
+    }
+    KernelVector {
+        kernel: "channel-estimate".to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn mmse_vector() -> KernelVector {
+    let (cell, input) = conformance_input();
+    let planner = FftPlanner::new();
+    let mut h = Fnv1a::new();
+    let mut weights = CombinerWeights::empty();
+    let mut scratch = MmseScratch::new();
+    for slot in 0..2 {
+        let est = estimate_slot(&cell, &input, slot, &planner);
+        weights.compute(&est, input.noise_var, &mut scratch);
+        h.write_u64(slot as u64);
+        for sc in 0..weights.n_sc() {
+            for layer in 0..weights.n_layers() {
+                hash_c32(&mut h, weights.row(sc, layer));
+            }
+        }
+    }
+    KernelVector {
+        kernel: "mmse-weights".to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn demap_vector(exact: bool) -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(if exact { 0xDE4C } else { 0xDE4D });
+    let mut h = Fnv1a::new();
+    let mut out = Vec::new();
+    for modulation in Modulation::ALL {
+        // Cover the vector body, the scalar tail and sub-vector blocks.
+        for n in [3, 8, 37, 300, 1200] {
+            let symbols = random_block(&mut rng, n);
+            let noise_var = 0.05 + rng.next_f32() * 0.5;
+            out.clear();
+            if exact {
+                demap_block_exact_into(modulation, &symbols, noise_var, &mut out);
+            } else {
+                demap_block_into(modulation, &symbols, noise_var, &mut out);
+            }
+            h.write_u64(n as u64);
+            hash_f32(&mut h, &out);
+        }
+    }
+    KernelVector {
+        kernel: if exact { "demap-exact" } else { "demap-maxlog" }.to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn turbo_vector() -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(0x7B0);
+    let mut h = Fnv1a::new();
+    for k in [40, 512, 6144] {
+        let bits = random_bits(&mut rng, k);
+        let code = TurboEncoder::new(k).encode(&bits);
+        h.write_u64(k as u64);
+        h.write(&code.systematic);
+        h.write(&code.parity1);
+        h.write(&code.parity2);
+        let decoded = TurboDecoder::new(k, 4).decode(&code.to_llrs(4.0));
+        h.write(&decoded);
+    }
+    KernelVector {
+        kernel: "turbo".to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn segmentation_rate_match_vector() -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(0x5E6);
+    let mut h = Fnv1a::new();
+    for b in [40, 6144, 6200, 13_000] {
+        let bits = random_bits(&mut rng, b);
+        let seg = Segmentation::segment(&bits);
+        h.write_u64(b as u64);
+        h.write_u64(seg.n_blocks() as u64);
+        for block in &seg.blocks {
+            h.write(block);
+            let code = TurboEncoder::new(block.len()).encode(block);
+            let matcher = RateMatcher::new(block.len());
+            // Mother rate, puncturing and repetition.
+            for e in [3 * block.len() + 12, block.len(), 4 * block.len()] {
+                h.write(&matcher.match_bits(&code, e));
+            }
+        }
+    }
+    KernelVector {
+        kernel: "segmentation-rate-match".to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn crc_vector() -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(0xCC);
+    let mut h = Fnv1a::new();
+    for n in [8, 63, 512, 6144] {
+        let bits = random_bits(&mut rng, n);
+        h.write_u64(n as u64);
+        for crc in [CRC24A, CRC24B, CRC16, CRC8] {
+            h.write(&crc.compute_bits(&bits).to_le_bytes());
+        }
+    }
+    KernelVector {
+        kernel: "crc".to_string(),
+        hash: h.finish(),
+    }
+}
+
+fn receiver_vector() -> KernelVector {
+    let (hash, _users) = crate::fingerprint::canonical_fingerprint(0x901D, 6);
+    KernelVector {
+        kernel: "receiver-e2e".to_string(),
+        hash,
+    }
+}
+
+/// Computes every kernel vector with the *current* SIMD dispatch — the
+/// caller pins scalar mode via [`lte_dsp::simd::force_scalar`] when
+/// checking the fallback path.
+pub fn compute_vectors() -> Vec<KernelVector> {
+    vec![
+        fft_vector(true),
+        fft_vector(false),
+        zadoff_chu_vector(),
+        estimate_vector(),
+        mmse_vector(),
+        demap_vector(false),
+        demap_vector(true),
+        segmentation_rate_match_vector(),
+        turbo_vector(),
+        crc_vector(),
+        receiver_vector(),
+    ]
+}
+
+/// Renders the golden JSON document.
+pub fn render_golden(vectors: &[KernelVector]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    out.push_str("  \"vectors\": [\n");
+    for (i, v) in vectors.iter().enumerate() {
+        let comma = if i + 1 < vectors.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"kernel\": \"{}\", \"hash\": \"{:016x}\" }}{comma}",
+            v.kernel, v.hash
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a golden document produced by [`render_golden`] (tolerant of
+/// whitespace changes, strict about schema and hash syntax).
+pub fn parse_golden(text: &str) -> Result<Vec<KernelVector>, String> {
+    if !text.contains(&format!("\"schema\": \"{SCHEMA}\""))
+        && !text.contains(&format!("\"schema\":\"{SCHEMA}\""))
+    {
+        return Err(format!("missing or unknown schema (expected {SCHEMA})"));
+    }
+    let mut vectors = Vec::new();
+    let mut rest = text;
+    while let Some(at) = rest.find("\"kernel\"") {
+        rest = &rest[at + "\"kernel\"".len()..];
+        let kernel =
+            quoted_value(&mut rest).ok_or_else(|| "malformed \"kernel\" entry".to_string())?;
+        let at = rest
+            .find("\"hash\"")
+            .ok_or_else(|| format!("kernel {kernel}: missing \"hash\""))?;
+        rest = &rest[at + "\"hash\"".len()..];
+        let hex = quoted_value(&mut rest)
+            .ok_or_else(|| format!("kernel {kernel}: malformed \"hash\""))?;
+        let hash = u64::from_str_radix(&hex, 16)
+            .map_err(|_| format!("kernel {kernel}: bad hash '{hex}'"))?;
+        vectors.push(KernelVector { kernel, hash });
+    }
+    if vectors.is_empty() {
+        return Err("no vectors found".to_string());
+    }
+    Ok(vectors)
+}
+
+/// After a `"key"` token: skips to the next quoted string and returns
+/// it, advancing `rest` past the closing quote.
+fn quoted_value(rest: &mut &str) -> Option<String> {
+    let open = rest.find('"')?;
+    // Reject a `"key" "value"` pair with no colon between.
+    if !rest[..open].trim_start().starts_with(':') {
+        return None;
+    }
+    let tail = &rest[open + 1..];
+    let close = tail.find('"')?;
+    let value = tail[..close].to_string();
+    *rest = &tail[close + 1..];
+    Some(value)
+}
+
+/// Compares freshly computed vectors against the golden set. Returns
+/// human-readable drift descriptions — empty means conformant. Missing
+/// and unexpected kernels are drift too: the golden file is the
+/// exhaustive kernel inventory.
+pub fn diff_vectors(golden: &[KernelVector], current: &[KernelVector]) -> Vec<String> {
+    let mut drift = Vec::new();
+    for g in golden {
+        match current.iter().find(|c| c.kernel == g.kernel) {
+            None => drift.push(format!("{}: missing from this build", g.kernel)),
+            Some(c) if c.hash != g.hash => drift.push(format!(
+                "{}: golden {:016x} != computed {:016x}",
+                g.kernel, g.hash, c.hash
+            )),
+            Some(_) => {}
+        }
+    }
+    for c in current {
+        if !golden.iter().any(|g| g.kernel == c.kernel) {
+            drift.push(format!("{}: not in the golden set (regenerate)", c.kernel));
+        }
+    }
+    drift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_deterministic() {
+        assert_eq!(compute_vectors(), compute_vectors());
+    }
+
+    #[test]
+    fn simd_and_scalar_dispatch_hash_identically() {
+        // The heart of the conformance gate: forcing every kernel onto
+        // the scalar reference path must not move a single output bit.
+        let native = compute_vectors();
+        lte_dsp::simd::force_scalar(true);
+        let scalar = compute_vectors();
+        lte_dsp::simd::force_scalar(false);
+        assert_eq!(native, scalar);
+    }
+
+    #[test]
+    fn golden_roundtrips_through_json() {
+        let vectors = vec![
+            KernelVector {
+                kernel: "fft-forward".to_string(),
+                hash: 0x0123_4567_89ab_cdef,
+            },
+            KernelVector {
+                kernel: "crc".to_string(),
+                hash: u64::MAX,
+            },
+        ];
+        let parsed = parse_golden(&render_golden(&vectors)).expect("parse own output");
+        assert_eq!(parsed, vectors);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_golden("").is_err());
+        assert!(parse_golden("{\"schema\": \"other\"}").is_err());
+        assert!(parse_golden(&format!("{{\"schema\": \"{SCHEMA}\"}}")).is_err());
+        assert!(parse_golden(&format!(
+            "{{\"schema\": \"{SCHEMA}\", \"vectors\": [{{\"kernel\": \"x\", \"hash\": \"zz\"}}]}}"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn diff_reports_drift_missing_and_extra() {
+        let golden = vec![
+            KernelVector {
+                kernel: "a".into(),
+                hash: 1,
+            },
+            KernelVector {
+                kernel: "b".into(),
+                hash: 2,
+            },
+        ];
+        let current = vec![
+            KernelVector {
+                kernel: "a".into(),
+                hash: 9,
+            },
+            KernelVector {
+                kernel: "c".into(),
+                hash: 3,
+            },
+        ];
+        let drift = diff_vectors(&golden, &current);
+        assert_eq!(drift.len(), 3, "{drift:?}");
+        assert!(diff_vectors(&golden, &golden).is_empty());
+    }
+
+    #[test]
+    fn committed_golden_matches_this_build() {
+        // The committed file is the gate: any kernel change that moves
+        // output bits must regenerate it (lte-sim vectors --write) and
+        // justify the drift in review.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../conformance/golden.json");
+        let text = std::fs::read_to_string(path).expect("committed conformance/golden.json");
+        let golden = parse_golden(&text).expect("parse committed golden");
+        let drift = diff_vectors(&golden, &compute_vectors());
+        assert!(drift.is_empty(), "conformance drift: {drift:?}");
+    }
+}

@@ -51,6 +51,7 @@ pub mod ablation;
 pub mod benchmark;
 pub mod chaos;
 pub mod cli;
+pub mod conformance;
 pub mod experiments;
 pub mod fingerprint;
 pub mod govern;
@@ -67,6 +68,7 @@ pub use benchmark::{
     UplinkBenchmark,
 };
 pub use chaos::{ChaosArtifacts, ChaosSummary};
+pub use conformance::{compute_vectors, diff_vectors, parse_golden, render_golden, KernelVector};
 pub use experiments::ExperimentContext;
 pub use fingerprint::{canonical_fingerprint, fingerprint_line, fingerprint_results, Fnv1a};
 pub use govern::{DesGovernRun, GovernReport, PoolGovernRun};

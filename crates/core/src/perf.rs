@@ -83,9 +83,11 @@ impl Default for PerfConfig {
     }
 }
 
-/// The host's available hardware parallelism (1 if unknown).
+/// The host's available hardware parallelism (1 if unknown) — the
+/// scheduler crate's single source of truth, re-exported for report
+/// fields and the worker ladder.
 pub fn host_parallelism() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    lte_sched::host_parallelism()
 }
 
 /// Worker threads that can actually run concurrently for a request: the
@@ -218,6 +220,28 @@ fn quantile_us(snapshot: &lte_obs::HistogramSnapshot, q: f64) -> f64 {
     snapshot.quantile(q) as f64 / 1e3
 }
 
+/// Service-latency distribution from completion timestamps: the spacing
+/// between consecutive completions (sorted), with the first subframe
+/// contributing its full dispatch-to-completion time (its queue wait at
+/// a zero dispatch interval is negligible).
+///
+/// Degenerate runs are explicit rather than accidental: zero
+/// completions yield the empty snapshot (count 0, every quantile 0 —
+/// see `HistogramSnapshot::quantile`), and a single completion yields
+/// exactly one sample (that subframe's own latency), so p50 == p99 ==
+/// the one measurement instead of a panic or a bogus tail estimate.
+pub fn completion_spacing(completions_ns: &[u64]) -> lte_obs::HistogramSnapshot {
+    let mut completions = completions_ns.to_vec();
+    completions.sort_unstable();
+    let hist = Histogram::new();
+    let mut prev = 0u64;
+    for &done in &completions {
+        hist.record(done - prev);
+        prev = done;
+    }
+    hist.snapshot()
+}
+
 /// Runs the throughput harness: a warmed-up parallel run, a serial
 /// reference timing, and the byte-identity verification.
 ///
@@ -270,18 +294,7 @@ pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
         .verify(&subframes, &run)
         .map_err(|e| format!("serial/parallel divergence: {e}"))?;
 
-    // Service latency per subframe = spacing between consecutive
-    // completions (the first subframe contributes its full latency; its
-    // queue wait at a zero dispatch interval is negligible).
-    let mut completions = run.completions_ns.clone();
-    completions.sort_unstable();
-    let latency_hist = Histogram::new();
-    let mut prev = 0u64;
-    for &done in &completions {
-        latency_hist.record(done - prev);
-        prev = done;
-    }
-    let latency = latency_hist.snapshot();
+    let latency = completion_spacing(&run.completions_ns);
     Ok(PerfReport {
         subframes: cfg.subframes,
         workers: cfg.workers,
@@ -701,6 +714,30 @@ mod tests {
             );
         }
         assert_eq!(quantile_us(&Histogram::new().snapshot(), 0.50), 0.0);
+    }
+
+    #[test]
+    fn completion_spacing_handles_degenerate_runs() {
+        // Zero completions: the explicit empty report, not a panic.
+        let empty = completion_spacing(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(quantile_us(&empty, 0.50), 0.0);
+        assert_eq!(quantile_us(&empty, 0.999), 0.0);
+
+        // One completion: a single sample — its own latency — for every
+        // quantile, rather than an out-of-bounds spacing index.
+        let single = completion_spacing(&[2_000_000]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.min, 2_000_000);
+        assert_eq!(single.max, 2_000_000);
+        assert_eq!(quantile_us(&single, 0.50), quantile_us(&single, 0.99));
+        assert_eq!(single.quantile(1.0), 2_000_000);
+
+        // Multiple completions, unsorted input: spacings 1ms, 1ms, 3ms.
+        let multi = completion_spacing(&[2_000_000, 1_000_000, 5_000_000]);
+        assert_eq!(multi.count, 3);
+        assert_eq!(multi.min, 1_000_000);
+        assert_eq!(multi.max, 3_000_000);
     }
 
     #[test]

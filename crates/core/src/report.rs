@@ -5,11 +5,39 @@
 //! reproduced ones, ready for EXPERIMENTS.md.
 
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
 use lte_model::trace::Trace;
 
 use crate::experiments::{CalibrationCurve, EstimationValidation, PowerRow, PowerStudy};
 use crate::svg::{line_chart, Chart, Series};
+
+/// Writes an artifact atomically: the contents land in a `.tmp`
+/// sibling first and are renamed into place, so an interrupted run
+/// never leaves a truncated artifact behind — the destination either
+/// has the old contents or the complete new ones. If the rename (or
+/// the write itself) fails, the `.tmp` sibling is removed so failed
+/// runs leave no litter next to the real artifacts.
+pub fn write_atomic(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("create directory {}: {e}", dir.display()))?;
+    }
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let result = std::fs::write(&tmp, contents)
+        .map_err(|e| format!("write {}: {e}", tmp.display()))
+        .and_then(|()| {
+            std::fs::rename(&tmp, path)
+                .map_err(|e| format!("rename {} into place: {e}", tmp.display()))
+        });
+    if result.is_err() {
+        // Best effort: the temp file may not exist if the write failed.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
 
 /// Renders rows as CSV with a header line.
 pub fn csv(header: &[&str], rows: &[Vec<String>]) -> String {
@@ -322,6 +350,52 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[1], "0,2");
         assert_eq!(lines[2], "2,6");
+    }
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lte-report-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_tmp_on_success() {
+        let dir = scratch_dir("ok");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, "{\"ok\":true}\n").expect("atomic write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"ok\":true}\n");
+        let tmp = dir.join("artifact.json.tmp");
+        assert!(
+            !tmp.exists(),
+            "successful write left {} behind",
+            tmp.display()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_write_leaves_no_tmp_litter() {
+        // Force the rename to fail: the destination is a directory, so
+        // renaming a regular file over it is an error on every platform.
+        let dir = scratch_dir("litter");
+        let path = dir.join("artifact.json");
+        std::fs::create_dir_all(path.join("occupied")).unwrap();
+        let err = write_atomic(&path, "contents").expect_err("rename must fail");
+        assert!(err.contains("rename"), "unexpected error: {err}");
+        let tmp = dir.join("artifact.json.tmp");
+        assert!(
+            !tmp.exists(),
+            "failed write left orphaned {} behind",
+            tmp.display()
+        );
+        // The destination (and its contents) are untouched.
+        assert!(path.join("occupied").is_dir());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -703,11 +703,7 @@ pub fn run_serve(cfg: &ServeConfig, control: &ServeControl) -> Result<ServeOutco
         // declares the service stuck on a stale backlog.
         let fill = queue.fill();
         let stuck_after = cfg.deadline_ticks + params.shed_after + params.degrade_after;
-        let pressure = if miss_streak > stuck_after {
-            fill.max(params.ladder.reject_fill())
-        } else {
-            fill
-        };
+        let pressure = tick_pressure(fill, miss_streak, stuck_after, params.ladder.reject_fill());
         let decision = escalation.observe(pressure);
         for (slot, engaged) in first_tier_tick.iter_mut().zip([
             decision.reject_new,
@@ -1201,9 +1197,83 @@ fn render_openmetrics(o: &ServeOutcome) -> String {
     om.render()
 }
 
+/// The escalation pressure observed for one tick: the raw queue fill,
+/// boosted to at least the reject watermark only once the consecutive
+/// deadline-miss streak *exceeds* `stuck_after` (a full escalation's
+/// worth of ticks). The boundary is deliberate: a streak that reaches
+/// exactly `stuck_after` and then sees a fresh pop (resetting the
+/// streak one tick before the guard) never engages the boost — the
+/// guard is a safety net for a service stuck on a stale backlog, not a
+/// hair trigger on transient miss runs.
+fn tick_pressure(fill: f64, miss_streak: u64, stuck_after: u64, reject_fill: f64) -> f64 {
+    if miss_streak > stuck_after {
+        fill.max(reject_fill)
+    } else {
+        fill
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn miss_streak_guard_boundary_is_strictly_greater() {
+        let reject = 0.70;
+        let stuck_after = 6;
+        // Below the fill watermarks throughout: only the streak decides.
+        let fill = 0.2;
+        // Exactly at the guard threshold: no boost yet.
+        assert_eq!(tick_pressure(fill, stuck_after, stuck_after, reject), fill);
+        // One past it: boosted to the reject watermark.
+        assert_eq!(
+            tick_pressure(fill, stuck_after + 1, stuck_after, reject),
+            reject
+        );
+        // A deeper actual fill is never reduced by the boost.
+        assert_eq!(
+            tick_pressure(0.9, stuck_after + 1, stuck_after, reject),
+            0.9
+        );
+    }
+
+    #[test]
+    fn miss_streak_reset_one_tick_before_guard_never_boosts() {
+        // The serve loop resets the streak on any fresh (in-deadline)
+        // pop. A workload that misses `stuck_after` deadlines in a row
+        // and then recovers — resetting one tick before the guard —
+        // must never see boosted pressure, no matter how many times the
+        // pattern repeats.
+        let reject = 0.70;
+        let stuck_after = 4;
+        let fill = 0.3;
+        let mut miss_streak = 0u64;
+        for tick in 0..100u64 {
+            // Miss for `stuck_after` ticks, then one fresh pop.
+            if tick % (stuck_after + 1) == stuck_after {
+                miss_streak = 0;
+            } else {
+                miss_streak += 1;
+            }
+            assert_eq!(
+                tick_pressure(fill, miss_streak, stuck_after, reject),
+                fill,
+                "tick {tick} (streak {miss_streak}) must not engage the guard"
+            );
+        }
+        // Remove the reset: the same pattern crosses the guard exactly
+        // one tick after the streak passes stuck_after.
+        miss_streak = 0;
+        let mut first_boost = None;
+        for tick in 0..100u64 {
+            miss_streak += 1;
+            if tick_pressure(fill, miss_streak, stuck_after, reject) > fill {
+                first_boost = Some(tick);
+                break;
+            }
+        }
+        assert_eq!(first_boost, Some(stuck_after));
+    }
 
     #[test]
     fn traffic_models_are_deterministic_and_shaped() {

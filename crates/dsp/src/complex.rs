@@ -20,7 +20,12 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssi
 /// assert_eq!(a * b, Complex32::new(5.0, 5.0));
 /// assert_eq!(a.conj(), Complex32::new(1.0, -2.0));
 /// ```
+/// Layout note: `repr(C)` guarantees `re` precedes `im` with no padding,
+/// so a `&[Complex32]` is reinterpretable as an interleaved `&[f32]` of
+/// twice the length — the contract the SIMD kernels in [`crate::simd`]
+/// rely on.
 #[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct Complex32 {
     /// Real part.
     pub re: f32,

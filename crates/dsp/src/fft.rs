@@ -50,10 +50,32 @@ pub enum Direction {
 pub struct FftPlan {
     n: usize,
     direction: Direction,
-    /// `twiddles[k] = e^{∓2πi k/n}` (sign per direction).
-    twiddles: Vec<Complex32>,
     /// Radix schedule, product equals `n` (empty for `n == 1`).
     factors: Vec<usize>,
+    /// Per-recursion-level butterfly twiddles, packed contiguously so the
+    /// innermost loops walk unit-stride lanes (see [`StageTwiddles`]).
+    stages: Vec<StageTwiddles>,
+}
+
+/// Packed twiddle tables for one recursion level of the mixed-radix
+/// decomposition.
+///
+/// The recursive schedule visits a fixed sub-length per level (every
+/// sibling call at level `l` combines blocks of the same size), so the
+/// strided lookups `twiddles[j·k·tw_step]` of the original butterflies
+/// can be gathered once at plan time into `r` contiguous rows of `m`
+/// entries each. The butterflies then stream rows with unit stride — the
+/// layout the SIMD lanes want — and the scalar path reads the exact same
+/// values, so packing cannot change results.
+#[derive(Debug)]
+struct StageTwiddles {
+    /// Row-major `[j][k]`: `packed[j·m + k] = twiddles[j·k·tw_step]`,
+    /// `j ∈ 0..r`, `k ∈ 0..m`.
+    packed: Vec<Complex32>,
+    /// Butterfly span (`sub_len / r`).
+    m: usize,
+    /// DFT roots for the generic radix: `root[j·r + q] = tw(j·q·n/r)`.
+    root: Vec<Complex32>,
 }
 
 impl FftPlan {
@@ -86,17 +108,44 @@ impl FftPlan {
             Direction::Forward => -1.0,
             Direction::Inverse => 1.0,
         };
-        let twiddles = (0..n)
+        let twiddles: Vec<Complex32> = (0..n)
             .map(|k| {
                 let theta = sign * TAU * k as f64 / n as f64;
                 Complex32::new(theta.cos() as f32, theta.sin() as f32)
             })
             .collect();
+        let factors = radix_schedule(n);
+        let mut stages = Vec::with_capacity(factors.len());
+        let mut sub = n;
+        for &r in &factors {
+            let m = sub / r;
+            let tw_step = n / sub;
+            let mut packed = Vec::with_capacity(r * m);
+            for j in 0..r {
+                for k in 0..m {
+                    // j·k·tw_step < n for j ≤ r−1, k ≤ m−1 (tw_nowrap's
+                    // bound), so no modulo is needed.
+                    packed.push(twiddles[j * k * tw_step]);
+                }
+            }
+            let root_step = n / r;
+            let mut root = Vec::new();
+            if !matches!(r, 2..=4) {
+                root.reserve(r * r);
+                for j in 0..r {
+                    for q in 0..r {
+                        root.push(twiddles[(j * q * root_step) % n]);
+                    }
+                }
+            }
+            stages.push(StageTwiddles { packed, m, root });
+            sub = m;
+        }
         FftPlan {
             n,
             direction,
-            twiddles,
-            factors: radix_schedule(n),
+            factors,
+            stages,
         }
     }
 
@@ -141,9 +190,28 @@ impl FftPlan {
             scratch.len() >= self.n,
             "scratch must be at least the plan length"
         );
+        self.process_with_dispatch(data, scratch, crate::simd::simd_enabled());
+    }
+
+    /// [`process_with_scratch`](Self::process_with_scratch) with the SIMD
+    /// dispatch decision pinned by the caller — the seam the conformance
+    /// suite and differential tests use to compare both paths in one
+    /// process without global state. `simd` must only be `true` when
+    /// [`crate::simd::simd_available`] holds.
+    pub(crate) fn process_with_dispatch(
+        &self,
+        data: &mut [Complex32],
+        scratch: &mut [Complex32],
+        simd: bool,
+    ) {
+        assert_eq!(data.len(), self.n, "data length must equal plan length");
+        assert!(
+            scratch.len() >= self.n,
+            "scratch must be at least the plan length"
+        );
         let scratch = &mut scratch[..self.n];
         scratch.copy_from_slice(data);
-        self.recurse(scratch, 1, data, &self.factors);
+        self.recurse(scratch, 1, data, 0, simd);
         if self.direction == Direction::Inverse {
             let k = 1.0 / self.n as f32;
             for z in data.iter_mut() {
@@ -153,132 +221,303 @@ impl FftPlan {
     }
 
     /// Recursive decimation-in-time step: transforms `input` (viewed with
-    /// `stride`) into `out` (contiguous, length `out.len()`).
+    /// `stride`) into `out` (contiguous, length `out.len()`). `level`
+    /// indexes [`FftPlan::factors`] / [`FftPlan::stages`]; every sibling
+    /// call at one level combines blocks of the same size, so the packed
+    /// per-level twiddle tables apply to all of them.
     fn recurse(
         &self,
         input: &[Complex32],
         stride: usize,
         out: &mut [Complex32],
-        factors: &[usize],
+        level: usize,
+        simd: bool,
     ) {
         let n = out.len();
         if n == 1 {
             out[0] = input[0];
             return;
         }
-        let r = factors[0];
+        let r = self.factors[level];
         let m = n / r;
         for j in 0..r {
             self.recurse(
                 &input[j * stride..],
                 stride * r,
                 &mut out[j * m..(j + 1) * m],
-                &factors[1..],
+                level + 1,
+                simd,
             );
         }
-        // Twiddle stride mapping sub-size n to the full-size table.
-        let tw_step = self.n / n;
+        let stage = &self.stages[level];
+        debug_assert_eq!(stage.m, m);
         match r {
-            2 => self.combine2(out, m, tw_step),
-            3 => self.combine3(out, m, tw_step),
-            4 => self.combine4(out, m, tw_step),
-            _ => self.combine_generic(out, r, m, tw_step),
+            2 => combine2(out, m, &stage.packed, simd),
+            3 => combine3(out, m, &stage.packed, self.direction, simd),
+            4 => combine4(out, m, &stage.packed, self.direction, simd),
+            _ => combine_generic(out, r, m, stage, simd),
         }
     }
+}
 
-    /// Twiddle lookup for indices that may wrap past the table length
-    /// (only the generic radix's root products need the modulo).
-    #[inline]
-    fn tw(&self, idx: usize) -> Complex32 {
-        self.twiddles[idx % self.n]
+/// Radix-2 butterfly over packed twiddles (`tw[m..2m]` is the `j = 1`
+/// row; row 0 is all ones and unused here).
+fn combine2(out: &mut [Complex32], m: usize, tw: &[Complex32], simd: bool) {
+    let mut k = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd && m >= 4 {
+        k = m & !3;
+        // SAFETY: dispatch verified AVX2+FMA; slices are in bounds.
+        unsafe { avx::combine2(out, m, tw, k) };
     }
-
-    /// Twiddle lookup for indices provably below `n`: in every radix the
-    /// data-twiddle index is at most `(r-1)(m-1)·n/(r·m) < n`, so the
-    /// modulo in [`tw`](Self::tw) would never fire — skipping it keeps an
-    /// integer division out of the innermost butterfly loops.
-    #[inline]
-    fn tw_nowrap(&self, idx: usize) -> Complex32 {
-        debug_assert!(idx < self.n);
-        self.twiddles[idx]
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    while k < m {
+        let a = out[k];
+        let b = out[m + k] * tw[m + k];
+        out[k] = a + b;
+        out[m + k] = a - b;
+        k += 1;
     }
+}
 
-    fn combine2(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
-        for k in 0..m {
-            let a = out[k];
-            let b = out[m + k] * self.tw_nowrap(k * tw_step);
-            out[k] = a + b;
-            out[m + k] = a - b;
-        }
+fn combine3(out: &mut [Complex32], m: usize, tw: &[Complex32], direction: Direction, simd: bool) {
+    // sin(2π/3), sign-flipped for the inverse transform.
+    let s3 = match direction {
+        Direction::Forward => -0.866_025_4_f32,
+        Direction::Inverse => 0.866_025_4_f32,
+    };
+    let mut k = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd && m >= 4 {
+        k = m & !3;
+        // SAFETY: dispatch verified AVX2+FMA; slices are in bounds.
+        unsafe { avx::combine3(out, m, tw, s3, k) };
     }
-
-    fn combine3(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
-        // sin(2π/3), sign-flipped for the inverse transform.
-        let s3 = match self.direction {
-            Direction::Forward => -0.866_025_4_f32,
-            Direction::Inverse => 0.866_025_4_f32,
-        };
-        for k in 0..m {
-            let t0 = out[k];
-            let t1 = out[m + k] * self.tw_nowrap(k * tw_step);
-            let t2 = out[2 * m + k] * self.tw_nowrap(2 * k * tw_step);
-            let sum = t1 + t2;
-            let diff = (t1 - t2).scale(s3).mul_i();
-            let base = t0 - sum.scale(0.5);
-            out[k] = t0 + sum;
-            out[m + k] = base + diff;
-            out[2 * m + k] = base - diff;
-        }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    while k < m {
+        let t0 = out[k];
+        let t1 = out[m + k] * tw[m + k];
+        let t2 = out[2 * m + k] * tw[2 * m + k];
+        let sum = t1 + t2;
+        let diff = (t1 - t2).scale(s3).mul_i();
+        let base = t0 - sum.scale(0.5);
+        out[k] = t0 + sum;
+        out[m + k] = base + diff;
+        out[2 * m + k] = base - diff;
+        k += 1;
     }
+}
 
-    fn combine4(&self, out: &mut [Complex32], m: usize, tw_step: usize) {
-        let forward = self.direction == Direction::Forward;
-        for k in 0..m {
-            let t0 = out[k];
-            let t1 = out[m + k] * self.tw_nowrap(k * tw_step);
-            let t2 = out[2 * m + k] * self.tw_nowrap(2 * k * tw_step);
-            let t3 = out[3 * m + k] * self.tw_nowrap(3 * k * tw_step);
-            let a = t0 + t2;
-            let b = t0 - t2;
-            let c = t1 + t3;
-            let d = if forward {
-                (t1 - t3).mul_neg_i()
-            } else {
-                (t1 - t3).mul_i()
-            };
-            out[k] = a + c;
-            out[m + k] = b + d;
-            out[2 * m + k] = a - c;
-            out[3 * m + k] = b - d;
-        }
+fn combine4(out: &mut [Complex32], m: usize, tw: &[Complex32], direction: Direction, simd: bool) {
+    let forward = direction == Direction::Forward;
+    let mut k = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd && m >= 4 {
+        k = m & !3;
+        // SAFETY: dispatch verified AVX2+FMA; slices are in bounds.
+        unsafe { avx::combine4(out, m, tw, forward, k) };
     }
-
-    /// Table-driven radix used for 5 and any other prime factor.
-    fn combine_generic(&self, out: &mut [Complex32], r: usize, m: usize, tw_step: usize) {
-        debug_assert!(r >= 2);
-        let root_step = self.n / r;
-        // LTE sizes are 2/3/5-smooth so r = 5 in practice; a stack buffer
-        // keeps the hot path allocation-free, with a heap fallback for
-        // exotic prime lengths.
-        const STACK_RADIX: usize = 16;
-        let mut stack = [Complex32::ZERO; STACK_RADIX];
-        let mut heap = Vec::new();
-        let t: &mut [Complex32] = if r <= STACK_RADIX {
-            &mut stack[..r]
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    while k < m {
+        let t0 = out[k];
+        let t1 = out[m + k] * tw[m + k];
+        let t2 = out[2 * m + k] * tw[2 * m + k];
+        let t3 = out[3 * m + k] * tw[3 * m + k];
+        let a = t0 + t2;
+        let b = t0 - t2;
+        let c = t1 + t3;
+        let d = if forward {
+            (t1 - t3).mul_neg_i()
         } else {
-            heap.resize(r, Complex32::ZERO);
-            &mut heap
+            (t1 - t3).mul_i()
         };
-        for k in 0..m {
-            for (j, tj) in t.iter_mut().enumerate() {
-                *tj = out[j * m + k] * self.tw_nowrap(j * k * tw_step);
+        out[k] = a + c;
+        out[m + k] = b + d;
+        out[2 * m + k] = a - c;
+        out[3 * m + k] = b - d;
+        k += 1;
+    }
+}
+
+/// Table-driven radix used for 5 and any other prime factor.
+fn combine_generic(out: &mut [Complex32], r: usize, m: usize, stage: &StageTwiddles, simd: bool) {
+    debug_assert!(r >= 2);
+    let tw = &stage.packed;
+    let root = &stage.root;
+    let mut k0 = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd && m >= 4 && r <= avx::MAX_GENERIC_RADIX {
+        k0 = m & !3;
+        // SAFETY: dispatch verified AVX2+FMA; slices are in bounds.
+        unsafe { avx::combine_generic(out, r, m, tw, root, k0) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    // LTE sizes are 2/3/5-smooth so r = 5 in practice; a stack buffer
+    // keeps the hot path allocation-free, with a heap fallback for
+    // exotic prime lengths.
+    const STACK_RADIX: usize = 16;
+    let mut stack = [Complex32::ZERO; STACK_RADIX];
+    let mut heap = Vec::new();
+    let t: &mut [Complex32] = if r <= STACK_RADIX {
+        &mut stack[..r]
+    } else {
+        heap.resize(r, Complex32::ZERO);
+        &mut heap
+    };
+    for k in k0..m {
+        for (j, tj) in t.iter_mut().enumerate() {
+            *tj = out[j * m + k] * tw[j * m + k];
+        }
+        for q in 0..r {
+            let mut acc = t[0];
+            for (j, &tj) in t.iter().enumerate().skip(1) {
+                acc = acc.mul_add(tj, root[j * r + q]);
             }
-            for q in 0..r {
-                let mut acc = t[0];
-                for (j, &tj) in t.iter().enumerate().skip(1) {
-                    acc = acc.mul_add(tj, self.tw(j * q * root_step));
+            out[q * m + k] = acc;
+        }
+    }
+}
+
+/// AVX2+FMA butterflies: identical per-element arithmetic to the scalar
+/// loops above, vectorized across four independent butterfly indices
+/// `k`. Each handles `k < split` (a multiple of 4); the caller finishes
+/// the tail with the scalar loop.
+#[cfg(target_arch = "x86_64")]
+mod avx {
+    use core::arch::x86_64::*;
+
+    use super::Complex32;
+    use crate::simd::x86::{cfma_broadcast, cmul, load, mul_i, mul_neg_i, store};
+
+    /// Largest generic radix the fixed vector register block supports.
+    pub(super) const MAX_GENERIC_RADIX: usize = 8;
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `out.len() >= 2m`, `tw.len() >= 2m`, `split ≤ m`
+    /// and a multiple of 4.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn combine2(out: &mut [Complex32], m: usize, tw: &[Complex32], split: usize) {
+        unsafe {
+            let o = out.as_mut_ptr();
+            let w = tw.as_ptr();
+            let mut k = 0;
+            while k < split {
+                let a = load(o.add(k));
+                let b = cmul(load(o.add(m + k)), load(w.add(m + k)));
+                store(o.add(k), _mm256_add_ps(a, b));
+                store(o.add(m + k), _mm256_sub_ps(a, b));
+                k += 4;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `out.len() >= 3m`, `tw.len() >= 3m`, `split ≤ m`
+    /// and a multiple of 4.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn combine3(
+        out: &mut [Complex32],
+        m: usize,
+        tw: &[Complex32],
+        s3: f32,
+        split: usize,
+    ) {
+        unsafe {
+            let o = out.as_mut_ptr();
+            let w = tw.as_ptr();
+            let s3v = _mm256_set1_ps(s3);
+            let half = _mm256_set1_ps(0.5);
+            let mut k = 0;
+            while k < split {
+                let t0 = load(o.add(k));
+                let t1 = cmul(load(o.add(m + k)), load(w.add(m + k)));
+                let t2 = cmul(load(o.add(2 * m + k)), load(w.add(2 * m + k)));
+                let sum = _mm256_add_ps(t1, t2);
+                let diff = mul_i(_mm256_mul_ps(_mm256_sub_ps(t1, t2), s3v));
+                let base = _mm256_sub_ps(t0, _mm256_mul_ps(sum, half));
+                store(o.add(k), _mm256_add_ps(t0, sum));
+                store(o.add(m + k), _mm256_add_ps(base, diff));
+                store(o.add(2 * m + k), _mm256_sub_ps(base, diff));
+                k += 4;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `out.len() >= 4m`, `tw.len() >= 4m`, `split ≤ m`
+    /// and a multiple of 4.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn combine4(
+        out: &mut [Complex32],
+        m: usize,
+        tw: &[Complex32],
+        forward: bool,
+        split: usize,
+    ) {
+        unsafe {
+            let o = out.as_mut_ptr();
+            let w = tw.as_ptr();
+            let mut k = 0;
+            while k < split {
+                let t0 = load(o.add(k));
+                let t1 = cmul(load(o.add(m + k)), load(w.add(m + k)));
+                let t2 = cmul(load(o.add(2 * m + k)), load(w.add(2 * m + k)));
+                let t3 = cmul(load(o.add(3 * m + k)), load(w.add(3 * m + k)));
+                let a = _mm256_add_ps(t0, t2);
+                let b = _mm256_sub_ps(t0, t2);
+                let c = _mm256_add_ps(t1, t3);
+                let d = if forward {
+                    mul_neg_i(_mm256_sub_ps(t1, t3))
+                } else {
+                    mul_i(_mm256_sub_ps(t1, t3))
+                };
+                store(o.add(k), _mm256_add_ps(a, c));
+                store(o.add(m + k), _mm256_add_ps(b, d));
+                store(o.add(2 * m + k), _mm256_sub_ps(a, c));
+                store(o.add(3 * m + k), _mm256_sub_ps(b, d));
+                k += 4;
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Requires AVX2+FMA; `2 ≤ r ≤ MAX_GENERIC_RADIX`, `out.len() >= r·m`,
+    /// `tw.len() >= r·m`, `root.len() >= r²`, `split ≤ m` and a multiple
+    /// of 4.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn combine_generic(
+        out: &mut [Complex32],
+        r: usize,
+        m: usize,
+        tw: &[Complex32],
+        root: &[Complex32],
+        split: usize,
+    ) {
+        unsafe {
+            let o = out.as_mut_ptr();
+            let w = tw.as_ptr();
+            let mut t = [_mm256_setzero_ps(); MAX_GENERIC_RADIX];
+            let mut k = 0;
+            while k < split {
+                for (j, tj) in t.iter_mut().enumerate().take(r) {
+                    *tj = cmul(load(o.add(j * m + k)), load(w.add(j * m + k)));
                 }
-                out[q * m + k] = acc;
+                for q in 0..r {
+                    let mut acc = t[0];
+                    for (j, &tj) in t.iter().enumerate().take(r).skip(1) {
+                        acc = cfma_broadcast(acc, tj, root[j * r + q]);
+                    }
+                    store(o.add(q * m + k), acc);
+                }
+                k += 4;
             }
         }
     }
@@ -597,6 +836,36 @@ mod tests {
         for k in 0..n {
             let phase = Complex32::cis(TAU as f32 * k as f32 / n as f32);
             assert!((f1[k] - f0[k] * phase).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_paths_are_bit_identical() {
+        // Covers every butterfly: radix 2 (n=24=4·3·2), 3, 4, 5 via the
+        // LTE grid sizes, plus a prime (generic radix, 71 > MAX tail-only,
+        // 7 within the vector block) and power-of-two front-end sizes.
+        let mut sizes: Vec<usize> = [1, 2, 4, 10, 15, 25, 50, 75, 100, 110]
+            .iter()
+            .map(|p| 12 * p)
+            .collect();
+        sizes.extend([1, 2, 3, 5, 7, 8, 71, 128, 2048]);
+        for direction in [Direction::Forward, Direction::Inverse] {
+            for &n in &sizes {
+                let plan = FftPlan::new(n, direction);
+                let input = random_block(n, 9000 + n as u64);
+                let mut scratch = vec![Complex32::ZERO; n];
+                let mut vectored = input.clone();
+                let simd = crate::simd::simd_available();
+                plan.process_with_dispatch(&mut vectored, &mut scratch, simd);
+                let mut scalar = input;
+                plan.process_with_dispatch(&mut scalar, &mut scratch, false);
+                for (i, (a, b)) in vectored.iter().zip(&scalar).enumerate() {
+                    assert!(
+                        a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                        "n={n} {direction:?} index {i}: {a:?} vs {b:?}"
+                    );
+                }
+            }
         }
     }
 

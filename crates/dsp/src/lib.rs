@@ -55,6 +55,7 @@ pub mod rate_match;
 pub mod rng;
 pub mod scrambling;
 pub mod segmentation;
+pub mod simd;
 pub mod turbo;
 pub mod window;
 pub mod zadoff_chu;

@@ -91,12 +91,18 @@ pub fn demap_block(modulation: Modulation, symbols: &[Complex32], noise_var: f32
 
 /// [`demap_block`] appending into a caller-owned buffer — the
 /// zero-allocation hot path writes straight into an arena slice.
+///
+/// Dispatches to the AVX2 demapper when available (see [`crate::simd`]);
+/// the vector path is bit-identical to the scalar loop below.
 pub fn demap_block_into(
     modulation: Modulation,
     symbols: &[Complex32],
     noise_var: f32,
     out: &mut Vec<f32>,
 ) {
+    if crate::simd::demap_block_maxlog(modulation, symbols, noise_var, out) {
+        return;
+    }
     for &y in symbols {
         maxlog_llr(modulation, y, noise_var, out);
     }

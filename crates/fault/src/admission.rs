@@ -503,6 +503,103 @@ mod tests {
     }
 
     #[test]
+    fn watermark_equal_fill_engages_the_tier_exactly() {
+        // Engagement is `fill >= watermark`: a queue depth that lands
+        // exactly on a watermark engages that tier, and the largest
+        // representable fill below it does not.
+        let ladder = EscalationLadder::new(0.25, 0.5, 0.75).unwrap();
+        type Check = (f64, fn(EscalationDecision) -> bool);
+        let checks: [Check; 3] = [
+            (0.25, |d| d.reject_new),
+            (0.5, |d| d.shed_users),
+            (0.75, |d| d.degrade_demap),
+        ];
+        for (watermark, check) in checks {
+            assert!(
+                check(ladder.decide(watermark)),
+                "fill == {watermark} must engage"
+            );
+            let below = f64::from_bits(watermark.to_bits() - 1);
+            assert!(
+                !check(ladder.decide(below)),
+                "fill just below {watermark} must not engage"
+            );
+        }
+        // A watermark at exactly 1.0 is reachable by a full queue.
+        let saturating = EscalationLadder::new(0.5, 0.75, 1.0).unwrap();
+        assert!(saturating.decide(1.0).degrade_demap);
+        assert!(!saturating.decide(0.999_999).degrade_demap);
+    }
+
+    #[test]
+    fn episode_releases_at_exactly_the_release_fill() {
+        // Release is `fill <= release_fill` (DEFAULT_RELEASE_FILL):
+        // landing exactly on it closes the episode; the next
+        // representable fill above keeps it open.
+        let release = EscalationState::DEFAULT_RELEASE_FILL;
+        let just_above = f64::from_bits(release.to_bits() + 1);
+
+        let mut state = EscalationState::new(EscalationLadder::default());
+        state.observe(0.72);
+        assert!(state.in_episode());
+        assert!(!state.observe(just_above).calm(), "above release: open");
+        assert!(state.in_episode());
+        assert!(state.observe(release).calm(), "at release: closed");
+        assert!(!state.in_episode());
+        assert_eq!(state.episodes(), 1);
+    }
+
+    #[test]
+    fn shed_and_degrade_engage_one_tick_after_their_thresholds() {
+        // Escalation is `pressured_ticks > shed_after` (and
+        // `> shed_after + degrade_after`): pin down the exact ticks so
+        // an off-by-one in either comparison fails loudly.
+        let (shed_after, degrade_after) = (3, 2);
+        let ladder = EscalationLadder::default();
+        let mut state = EscalationState::with_delays(ladder, shed_after, degrade_after);
+        // Plateau at the reject watermark: fill alone never engages
+        // shed or degrade, persistence must.
+        let fill = ladder.reject_fill();
+        for tick in 1..=(shed_after + degrade_after + 1) {
+            let d = state.observe(fill);
+            assert_eq!(state.pressured_ticks(), tick);
+            assert_eq!(
+                d.shed_users,
+                tick > shed_after,
+                "shed at episode tick {tick}"
+            );
+            assert_eq!(
+                d.degrade_demap,
+                tick > shed_after + degrade_after,
+                "degrade at episode tick {tick}"
+            );
+        }
+    }
+
+    #[test]
+    fn streak_reset_one_tick_before_shed_restarts_the_count() {
+        // Drain the episode when pressured_ticks == shed_after — one
+        // tick before shedding would engage. On re-pressure the count
+        // restarts from 1: shedding again takes shed_after + 1 ticks,
+        // with no carry-over from the aborted episode.
+        let shed_after = 4;
+        let mut state = EscalationState::with_delays(EscalationLadder::default(), shed_after, 2);
+        for _ in 0..shed_after {
+            assert!(!state.observe(0.72).shed_users);
+        }
+        assert_eq!(state.pressured_ticks(), shed_after);
+        assert!(state.observe(0.0).calm(), "drained one tick before shed");
+
+        for tick in 1..=shed_after {
+            let d = state.observe(0.72);
+            assert_eq!(state.pressured_ticks(), tick);
+            assert!(!d.shed_users, "no carry-over at new-episode tick {tick}");
+        }
+        assert!(state.observe(0.72).shed_users);
+        assert_eq!(state.episodes(), 2);
+    }
+
+    #[test]
     fn deep_spike_engages_deeper_tiers_immediately() {
         let mut state = EscalationState::new(EscalationLadder::default());
         let d = state.observe(1.0);

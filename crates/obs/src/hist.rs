@@ -180,11 +180,22 @@ impl HistogramSnapshot {
 
     /// The value at quantile `q` in `[0, 1]`: the upper bound of the
     /// bucket holding rank `ceil(q · count)`, clamped to the exact
-    /// recorded maximum. Within `value/32` of the exact order statistic;
-    /// 0 for an empty snapshot.
+    /// recorded maximum. Within `value/32` of the exact order statistic.
+    ///
+    /// Edge semantics are exact, not bucket-bound approximations: an
+    /// empty snapshot returns 0 for every `q` (so an SLO gate on a
+    /// window with zero samples reads 0, never a stale bucket bound),
+    /// `q ≤ 0` returns the exact recorded minimum and `q ≥ 1` the exact
+    /// recorded maximum. NaN is treated as 1.0 (the conservative tail).
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 || q.is_nan() {
+            return self.max;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
@@ -298,6 +309,32 @@ mod tests {
         assert_eq!(s.quantile(0.5), 1_000_003);
         assert_eq!(s.quantile(1.0), 1_000_003);
         assert_eq!(s.min, 1_000_003);
+    }
+
+    #[test]
+    fn quantile_edges_are_exact_min_max() {
+        // 100 and 120 share nothing: 100 lives in a width-2 bucket whose
+        // upper bound is 101, so a bucket-bound answer for q=0 would be
+        // 101, not the recorded min.
+        let h = Histogram::new();
+        h.record(100);
+        h.record(120);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 100, "q=0 must be the exact min");
+        assert_eq!(s.quantile(-1.0), 100);
+        assert_eq!(s.quantile(1.0), 120, "q=1 must be the exact max");
+        assert_eq!(s.quantile(2.0), 120);
+        assert_eq!(s.quantile(f64::NAN), 120, "NaN resolves to the tail");
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero_for_every_q() {
+        let s = HistogramSnapshot::empty();
+        for q in [-1.0, 0.0, 0.5, 0.99, 1.0, 2.0, f64::NAN] {
+            assert_eq!(s.quantile(q), 0, "empty snapshot at q={q}");
+        }
+        // A live histogram that recorded nothing behaves the same.
+        assert_eq!(Histogram::new().snapshot().quantile(0.99), 0);
     }
 
     #[test]

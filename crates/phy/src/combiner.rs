@@ -65,6 +65,10 @@ impl Default for MmseScratch {
 pub struct CombinerWeights {
     /// Flattened `[sc][layer][rx]`.
     w: Vec<Complex32>,
+    /// The same weights transposed to `[layer][rx][sc]`, so combining one
+    /// layer walks each antenna's weights with unit stride — the layout
+    /// the SIMD combine kernel streams. Values are bit-copies of `w`.
+    wt: Vec<Complex32>,
     n_sc: usize,
     n_layers: usize,
     n_rx: usize,
@@ -91,6 +95,7 @@ impl CombinerWeights {
     pub fn empty() -> Self {
         CombinerWeights {
             w: Vec::new(),
+            wt: Vec::new(),
             n_sc: 0,
             n_layers: 0,
             n_rx: 0,
@@ -117,6 +122,8 @@ impl CombinerWeights {
         let n_sc = estimate.n_sc();
         self.w.clear();
         self.w.resize(n_sc * n_layers * n_rx, Complex32::ZERO);
+        self.wt.clear();
+        self.wt.resize(n_sc * n_layers * n_rx, Complex32::ZERO);
         self.n_sc = n_sc;
         self.n_layers = n_layers;
         self.n_rx = n_rx;
@@ -144,6 +151,7 @@ impl CombinerWeights {
             for layer in 0..n_layers {
                 for rx in 0..n_rx {
                     self.w[(sc * n_layers + layer) * n_rx + rx] = weights[(layer, rx)];
+                    self.wt[(layer * n_rx + rx) * n_sc + sc] = weights[(layer, rx)];
                 }
             }
         }
@@ -154,6 +162,15 @@ impl CombinerWeights {
     pub fn row(&self, sc: usize, layer: usize) -> &[Complex32] {
         let base = (sc * self.n_layers + layer) * self.n_rx;
         &self.w[base..base + self.n_rx]
+    }
+
+    /// The per-subcarrier weight lane for (layer, antenna) — `n_sc`
+    /// contiguous weights, one per subcarrier, bit-identical to reading
+    /// `row(sc, layer)[rx]` for each `sc`.
+    #[inline]
+    pub fn lane(&self, layer: usize, rx: usize) -> &[Complex32] {
+        let base = (layer * self.n_rx + rx) * self.n_sc;
+        &self.wt[base..base + self.n_sc]
     }
 
     /// Number of subcarriers.
@@ -229,14 +246,12 @@ pub fn combine_symbol_into(
     assert_eq!(weights.n_sc(), n_sc, "weights/subcarrier mismatch");
     assert_eq!(weights.n_rx(), rx_symbol.n_rx(), "weights/antenna mismatch");
     out.clear();
-    out.reserve(n_sc);
-    for sc in 0..n_sc {
-        let row = weights.row(sc, layer);
-        let mut acc = Complex32::ZERO;
-        for (rx, &wgt) in row.iter().enumerate() {
-            acc = acc.mul_add(wgt, rx_symbol.antenna(rx)[sc]);
-        }
-        out.push(acc);
+    out.resize(n_sc, Complex32::ZERO);
+    // One fused multiply-add pass per antenna over contiguous lanes; the
+    // per-subcarrier operation order (rx 0, 1, …) matches the scalar
+    // accumulator loop exactly, so the result is bit-identical.
+    for rx in 0..rx_symbol.n_rx() {
+        lte_dsp::simd::cmul_add_assign(out, weights.lane(layer, rx), rx_symbol.antenna(rx));
     }
     // Undo the SC-FDMA DFT precoding.
     let plan = planner.inverse(n_sc);

@@ -31,7 +31,7 @@ pub mod sim;
 pub use cycles::{CostModel, SimJob};
 pub use ingest::{IngestQueue, PushError};
 pub use pool::{
-    silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle, PoolTelemetry,
-    TaskPool, WorkerKill, WorkerSnapshot,
+    host_parallelism, silence_injected_panics, InjectedPanic, PoolConfig, PoolError, PoolHandle,
+    PoolTelemetry, TaskPool, WorkerKill, WorkerSnapshot,
 };
 pub use sim::{NapMode, SimBoundary, SimConfig, SimReport, SimSession, Simulator, SubframeLoad};

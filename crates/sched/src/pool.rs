@@ -96,6 +96,20 @@ impl std::error::Error for PoolError {
     }
 }
 
+/// The host's available hardware parallelism, falling back to **1**
+/// when it cannot be determined.
+///
+/// This is the single source of truth for every default-worker
+/// decision — pool defaults, benchmark defaults, CPU pinning and the
+/// perf harness all route through here, so two layers can never
+/// disagree on the worker count when `available_parallelism` fails.
+/// The fallback is 1 (not some optimistic core count): on a host whose
+/// parallelism is unknowable, spawning extra threads only adds
+/// contention noise to the measurements the pool exists to make.
+pub fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Pool construction parameters beyond the worker count.
 #[derive(Clone, Copy, Debug)]
 pub struct PoolConfig {
@@ -110,7 +124,7 @@ pub struct PoolConfig {
 impl Default for PoolConfig {
     fn default() -> Self {
         PoolConfig {
-            n_workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n_workers: host_parallelism(),
             pin_workers: false,
         }
     }
@@ -891,7 +905,7 @@ fn worker_entry(inner: Arc<Inner>, index: usize, deque: Worker<Task>) {
     LOCAL_DEQUE.with(|local| *local.borrow_mut() = Some(deque));
     WORKER_INDEX.with(|w| w.set(Some(index)));
     if inner.pin_workers {
-        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cpus = host_parallelism();
         if pin_current_thread(index % cpus) {
             inner.pinned_workers.fetch_add(1, Ordering::Relaxed);
         }

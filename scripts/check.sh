@@ -22,6 +22,24 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> cargo test -q ${scope[*]:-}"
 cargo test --offline -q "${scope[@]}"
 
+echo "==> conformance vectors (SIMD + forced-scalar)"
+# Golden kernel vectors: every DSP kernel's output hashed and diffed
+# against conformance/golden.json, once on the runtime-detected SIMD
+# path and once forced scalar. Byte drift on either path — or any
+# SIMD/scalar disagreement — fails the build. Regenerate (only for an
+# *intentional* numerics change) with `lte-sim vectors --write`.
+cargo run -q --offline --release -p lte-uplink --bin lte-sim -- vectors --check \
+    || { echo "conformance: kernel output drifted from the golden vectors"; exit 1; }
+cargo run -q --offline --release -p lte-uplink --bin lte-sim -- vectors --check --scalar \
+    || { echo "conformance: forced-scalar path drifted from the golden vectors"; exit 1; }
+
+echo "==> fuzz smoke (lte-fuzz)"
+# Short deterministic corpus (fixed default seed, bounded iterations):
+# a reintroduced kernel panic or SIMD/scalar divergence fails the
+# build. Longer hunts just raise --iters / vary --seed.
+cargo run -q --offline --release -p lte-fuzz -- all --iters 120 \
+    || { echo "fuzz smoke: a kernel panicked or the SIMD/scalar paths diverged"; exit 1; }
+
 echo "==> chaos smoke (lte-sim chaos)"
 chaos_out="$(cargo run -q --offline -p lte-uplink --bin lte-sim -- \
     chaos --quick --subframes 120 --out target/chaos-smoke)"
