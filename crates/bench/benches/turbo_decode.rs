@@ -1,0 +1,74 @@
+//! Decode-tail micro-benchmark: the state-parallel max-log-MAP turbo
+//! decoder across QPP block sizes, scalar vs SIMD dispatch, with and
+//! without deterministic early termination.
+//!
+//! The SIMD rows exercise the AVX2 path (when the host has it) through
+//! the allocation-free `decode_into` entry point — the same call the
+//! receiver's steady-state decode tail makes — so the ratio between the
+//! `scalar/` and `simd/` groups is the kernel-level counterpart of the
+//! `turbo_simd_speedup` figure in `BENCH_PR9.json`.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_dsp::simd::force_scalar;
+use lte_dsp::turbo::{TurboDecoder, TurboEncoder, TurboLlrs, TurboWorkspace};
+use lte_dsp::Xoshiro256;
+
+const ITERATIONS: usize = 5;
+
+/// QPP interleaver sizes spanning the 3GPP table: the smallest block,
+/// two mid-range sizes, and the largest.
+const SIZES: [usize; 4] = [40, 512, 2048, 6144];
+
+fn encoded_llrs(k: usize, seed: u64) -> TurboLlrs {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let bits: Vec<u8> = (0..k).map(|_| (rng.next_u64() & 1) as u8).collect();
+    let code = TurboEncoder::new(k).encode(&bits);
+    let mut llrs = code.to_llrs(4.0);
+    // Mild noise so early termination converges in a realistic number
+    // of half-iterations instead of on the first agreement check.
+    for v in llrs
+        .systematic
+        .iter_mut()
+        .chain(llrs.parity1.iter_mut())
+        .chain(llrs.parity2.iter_mut())
+    {
+        *v += (rng.next_f32() - 0.5) * 1.5;
+    }
+    llrs
+}
+
+fn bench_dispatch(c: &mut Criterion, label: &str, scalar: bool) {
+    let mut group = c.benchmark_group(format!("turbo_decode/{label}"));
+    for &k in &SIZES {
+        let llrs = encoded_llrs(k, k as u64);
+        let decoder = TurboDecoder::new(k, ITERATIONS);
+        let early = TurboDecoder::new(k, ITERATIONS).with_early_termination();
+        let mut ws = TurboWorkspace::new();
+        let mut out = Vec::new();
+        force_scalar(scalar);
+        group.bench_with_input(BenchmarkId::new("full", k), &k, |b, _| {
+            b.iter(|| {
+                decoder.decode_into(&llrs, &mut ws, &mut out);
+                black_box(out.first().copied())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("early-term", k), &k, |b, _| {
+            b.iter(|| {
+                early.decode_into(&llrs, &mut ws, &mut out);
+                black_box(out.first().copied())
+            })
+        });
+        force_scalar(false);
+    }
+    group.finish();
+}
+
+fn bench_turbo_decode(c: &mut Criterion) {
+    bench_dispatch(c, "simd", false);
+    bench_dispatch(c, "scalar", true);
+}
+
+criterion_group!(turbo_decode, bench_turbo_decode);
+criterion_main!(turbo_decode);

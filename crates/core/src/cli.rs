@@ -59,6 +59,8 @@ struct Options {
     window: Option<usize>,
     pin: bool,
     scaling_baseline: Option<PathBuf>,
+    /// perf: BENCH_PR9.json baseline for the decode-tail gate.
+    decode_baseline: Option<PathBuf>,
     traffic: Option<String>,
     config: Option<PathBuf>,
     /// vectors: regenerate the golden file instead of checking it.
@@ -99,7 +101,11 @@ COMMANDS:
     perf              throughput harness: steady-state Fig. 8 load at
                       zero dispatch interval, serial-vs-parallel
                       byte-identity check, BENCH_PR3.json under --out,
-                      then the worker-scaling matrix (BENCH_PR4.json):
+                      a turbo-decode leg run twice in the same process
+                      (SIMD dispatch, then forced-scalar) for the
+                      decode-tail speedup, per-stage time-breakdown
+                      tables for both modes (BENCH_PR9.json), then the
+                      worker-scaling matrix (BENCH_PR4.json):
                       throughput/speedup/efficiency per worker count,
                       byte-identity verified at every point
     soak              continuous-telemetry soak: N subframes through the
@@ -184,6 +190,10 @@ FLAGS:
     --scaling-baseline FILE
                       perf: compare against this BENCH_PR4.json and exit
                       1 on a >10% max-workers speedup regression
+    --decode-baseline FILE
+                      perf: compare against this BENCH_PR9.json and exit
+                      1 on a >10% regression of either the pass-through
+                      or the turbo-mode subframes/sec
     --traffic MODEL   serve: built-in traffic generator — full-buffer |
                       bursty-iot | voip (default: full-buffer)
     --write           vectors: write the recomputed vectors to the
@@ -224,6 +234,7 @@ fn parse_args() -> Options {
     let mut window = None;
     let mut pin = false;
     let mut scaling_baseline = None;
+    let mut decode_baseline = None;
     let mut traffic = None;
     let mut config = None;
     let mut write_vectors = false;
@@ -312,6 +323,10 @@ fn parse_args() -> Options {
                 scaling_baseline = Some(PathBuf::from(value_of(&args, i, "--scaling-baseline")));
                 i += 1;
             }
+            "--decode-baseline" => {
+                decode_baseline = Some(PathBuf::from(value_of(&args, i, "--decode-baseline")));
+                i += 1;
+            }
             "--traffic" => {
                 traffic = Some(value_of(&args, i, "--traffic"));
                 i += 1;
@@ -356,6 +371,7 @@ fn parse_args() -> Options {
         window,
         pin,
         scaling_baseline,
+        decode_baseline,
         traffic,
         config,
         write_vectors,
@@ -675,15 +691,23 @@ fn run_perf_cmd(opts: &Options) {
     if let Some(w) = opts.window {
         cfg.window = if w == 0 { None } else { Some(w) };
     }
+    let turbo_subframes = if opts.quick {
+        perf::TURBO_QUICK_SUBFRAMES
+    } else {
+        perf::TURBO_FULL_SUBFRAMES
+    };
     println!(
-        "running the throughput harness: {} steady-state subframes on {} workers …",
-        cfg.subframes, cfg.workers
+        "running the throughput harness: {} steady-state subframes on {} workers, \
+         then a {}-subframe turbo leg (SIMD and forced-scalar) …",
+        cfg.subframes, cfg.workers, turbo_subframes
     );
-    let report = perf::run_perf(&cfg).unwrap_or_else(|e| {
+    let decode = perf::run_decode_perf(&cfg, turbo_subframes).unwrap_or_else(|e| {
         eprintln!("error: {e}");
         std::process::exit(1);
     });
+    let report = &decode.passthrough;
     write(&opts.out.join("BENCH_PR3.json"), &report.to_json());
+    write(&opts.out.join("BENCH_PR9.json"), &decode.to_json());
     println!(
         "parallel {:.1} subframes/sec (serial {:.1}, speedup {:.2}x)",
         report.subframes_per_sec,
@@ -704,14 +728,58 @@ fn run_perf_cmd(opts: &Options) {
             / (report.arena_fresh + report.arena_reused).max(1) as f64
     );
     println!("serial-vs-parallel byte-identity: OK");
+    println!(
+        "turbo decode ({} iterations, {}): {:.1} subframes/sec parallel, \
+         {:.1} serial; forced-scalar {:.1} serial → SIMD speedup {:.2}x",
+        decode.turbo_iterations,
+        decode.dispatch,
+        decode.turbo.subframes_per_sec,
+        decode.turbo.serial_subframes_per_sec,
+        decode.turbo_scalar.serial_subframes_per_sec,
+        decode.turbo_simd_speedup()
+    );
+    for (label, stages) in [
+        ("pass-through", &decode.passthrough_stages),
+        ("turbo-decode", &decode.turbo_stages),
+    ] {
+        println!("per-stage breakdown ({label} mode):");
+        println!("  {:>16} | {:>11} | {:>6}", "stage", "total us", "share");
+        for s in stages {
+            println!(
+                "  {:>16} | {:>11.1} | {:>5.1}%",
+                s.stage,
+                s.total_us,
+                100.0 * s.share
+            );
+        }
+    }
     if let Some(baseline_path) = &opts.baseline {
         let baseline = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
             eprintln!("cannot read baseline {}: {e}", baseline_path.display());
             std::process::exit(1);
         });
-        match perf::check_against_baseline(&report, &baseline) {
+        match perf::check_against_baseline(report, &baseline) {
             Ok(()) => println!(
                 "throughput holds against the baseline in {}",
+                baseline_path.display()
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(baseline_path) = &opts.decode_baseline {
+        let baseline = fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot read decode baseline {}: {e}",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        });
+        match perf::check_decode_against_baseline(&decode, &baseline) {
+            Ok(()) => println!(
+                "decode-tail throughput holds against the baseline in {}",
                 baseline_path.display()
             ),
             Err(e) => {

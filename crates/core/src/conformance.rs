@@ -4,9 +4,10 @@
 //! The SIMD hot path ([`lte_dsp::simd`]) promises bit-identity with the
 //! scalar reference. This module turns that promise into a gate: each
 //! kernel — the FFT at every 100-PRB grid size, Zadoff–Chu reference
-//! generation, channel estimation per slot × antenna, MMSE weights,
-//! exact and max-log demap LLRs, segmentation + rate matching, turbo
-//! decode, the CRC family, and the end-to-end receiver — is driven with
+//! generation, channel estimation per slot × antenna, the matched
+//! filter, MMSE weights, exact and max-log demap LLRs, segmentation +
+//! rate matching, turbo decode (including the SISO alpha/beta/extrinsic
+//! planes), the CRC family, and the end-to-end receiver — is driven with
 //! a fixed seeded input and its output bits are hashed with FNV-1a 64.
 //! The hashes are committed to `conformance/golden.json`; `lte-sim
 //! vectors --check` recomputes them and fails on any byte drift, with
@@ -26,9 +27,10 @@ use lte_dsp::crc::{CRC16, CRC24A, CRC24B, CRC8};
 use lte_dsp::fft::FftPlan;
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::llr::{demap_block_exact_into, demap_block_into};
+use lte_dsp::matched_filter::{matched_filter, matched_filter_inplace};
 use lte_dsp::rate_match::RateMatcher;
 use lte_dsp::segmentation::Segmentation;
-use lte_dsp::turbo::{TurboDecoder, TurboEncoder};
+use lte_dsp::turbo::{siso_probe, TurboDecoder, TurboEncoder, TurboWorkspace};
 use lte_dsp::zadoff_chu::{layer_cyclic_shift, ReferenceSequence};
 use lte_dsp::{Complex32, Modulation, Xoshiro256};
 use lte_phy::combiner::{CombinerWeights, MmseScratch};
@@ -243,6 +245,63 @@ fn turbo_vector() -> KernelVector {
     }
 }
 
+/// Pins the turbo decoder's *internal* stages — the alpha/beta metric
+/// planes and the extrinsic LLR output of one SISO pass — not just the
+/// final hard decisions. The state-parallel AVX2 trellis kernels must
+/// reproduce every one of these f32 bit patterns.
+fn turbo_siso_vector() -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(0x5150);
+    let mut h = Fnv1a::new();
+    let mut ws = TurboWorkspace::new();
+    for k in [40, 104, 512, 2048] {
+        let bits = random_bits(&mut rng, k);
+        let code = TurboEncoder::new(k).encode(&bits);
+        // Noisy channel LLRs: clean ±4 observations plus seeded Gaussian-ish
+        // perturbation, so the metric recursions see realistic mixed signs.
+        let mut llrs = code.to_llrs(4.0);
+        let mut perturb = |v: &mut f32| *v += (rng.next_f32() - 0.5) * 6.0;
+        llrs.systematic.iter_mut().for_each(&mut perturb);
+        llrs.parity1.iter_mut().for_each(&mut perturb);
+        llrs.parity2.iter_mut().for_each(&mut perturb);
+        for t in llrs.tail1.iter_mut().chain(llrs.tail2.iter_mut()) {
+            perturb(&mut t.0);
+            perturb(&mut t.1);
+        }
+        let (alpha, beta, extrinsic) = siso_probe(&llrs, &mut ws);
+        h.write_u64(k as u64);
+        hash_f32(&mut h, alpha);
+        hash_f32(&mut h, beta);
+        hash_f32(&mut h, extrinsic);
+    }
+    KernelVector {
+        kernel: "turbo-siso".to_string(),
+        hash: h.finish(),
+    }
+}
+
+/// The channel-estimation matched filter (conjugate multiply), out of
+/// place and in place, across lengths that cover the AVX2 body and the
+/// scalar tail.
+fn matched_filter_vector() -> KernelVector {
+    let mut rng = Xoshiro256::seed_from_u64(0x3F17);
+    let mut h = Fnv1a::new();
+    for n in [3, 4, 8, 37, 48, 300] {
+        let received = random_block(&mut rng, n);
+        let reference = random_block(&mut rng, n);
+        let mut out = vec![Complex32::ZERO; n];
+        matched_filter(&received, &reference, &mut out);
+        h.write_u64(n as u64);
+        hash_c32(&mut h, &out);
+        let mut inplace = received.clone();
+        matched_filter_inplace(&mut inplace, &reference);
+        hash_c32(&mut h, &inplace);
+    }
+    KernelVector {
+        kernel: "matched-filter".to_string(),
+        hash: h.finish(),
+    }
+}
+
 fn segmentation_rate_match_vector() -> KernelVector {
     let mut rng = Xoshiro256::seed_from_u64(0x5E6);
     let mut h = Fnv1a::new();
@@ -305,6 +364,8 @@ pub fn compute_vectors() -> Vec<KernelVector> {
         demap_vector(true),
         segmentation_rate_match_vector(),
         turbo_vector(),
+        turbo_siso_vector(),
+        matched_filter_vector(),
         crc_vector(),
         receiver_vector(),
     ]

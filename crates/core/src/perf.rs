@@ -52,6 +52,12 @@ const WARMUP_SUBFRAMES: usize = 16;
 /// Subframes timed on the serial reference path (enough for a stable
 /// rate without doubling the harness runtime).
 const SERIAL_SUBFRAMES: usize = 40;
+/// Back-to-back passes of each timed phase; the report keeps the
+/// fastest. A single pass is at the mercy of scheduler interference
+/// (the harness often runs on small shared hosts), and since every
+/// pass performs identical deterministic work, the least-perturbed
+/// pass is the measurement.
+const MEASURE_PASSES: usize = 3;
 /// Tolerated regression against a committed baseline.
 const REGRESSION_TOLERANCE: f64 = 0.10;
 
@@ -69,6 +75,9 @@ pub struct PerfConfig {
     pub window: Option<usize>,
     /// Pin workers to CPUs round-robin.
     pub pin_workers: bool,
+    /// Receiver tail mode for both the parallel and serial legs —
+    /// `Decode` turns the harness into the turbo-decode benchmark.
+    pub mode: TurboMode,
 }
 
 impl Default for PerfConfig {
@@ -79,6 +88,7 @@ impl Default for PerfConfig {
             seed: 42,
             window: None,
             pin_workers: false,
+            mode: TurboMode::Passthrough,
         }
     }
 }
@@ -141,46 +151,41 @@ impl PerfReport {
         }
     }
 
+    /// The report's flat `"key": value` entries, optionally key-prefixed
+    /// (`turbo_`), without commas — shared by [`Self::to_json`] and the
+    /// composite PR 9 document.
+    fn json_fields(&self, prefix: &str) -> Vec<String> {
+        vec![
+            format!("\"{prefix}subframes\": {}", self.subframes),
+            format!("\"{prefix}workers\": {}", self.workers),
+            format!("\"{prefix}workers_effective\": {}", self.workers_effective),
+            format!("\"{prefix}host_parallelism\": {}", self.host_parallelism),
+            format!("\"{prefix}elapsed_s\": {:.6}", self.elapsed_s),
+            format!(
+                "\"{prefix}subframes_per_sec\": {:.3}",
+                self.subframes_per_sec
+            ),
+            format!(
+                "\"{prefix}serial_subframes_per_sec\": {:.3}",
+                self.serial_subframes_per_sec
+            ),
+            format!("\"{prefix}speedup\": {:.3}", self.speedup()),
+            format!("\"{prefix}p50_latency_us\": {:.1}", self.p50_latency_us),
+            format!("\"{prefix}p99_latency_us\": {:.1}", self.p99_latency_us),
+            format!("\"{prefix}crc_pass_rate\": {:.4}", self.crc_pass_rate),
+            format!("\"{prefix}arena_fresh\": {}", self.arena_fresh),
+            format!("\"{prefix}arena_reused\": {}", self.arena_reused),
+        ]
+    }
+
     /// Renders the flat JSON document written to `BENCH_PR3.json`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"lte-sim-perf-v1\",\n");
-        out.push_str(&format!("  \"subframes\": {},\n", self.subframes));
-        out.push_str(&format!("  \"workers\": {},\n", self.workers));
-        out.push_str(&format!(
-            "  \"workers_effective\": {},\n",
-            self.workers_effective
-        ));
-        out.push_str(&format!(
-            "  \"host_parallelism\": {},\n",
-            self.host_parallelism
-        ));
-        out.push_str(&format!("  \"elapsed_s\": {:.6},\n", self.elapsed_s));
-        out.push_str(&format!(
-            "  \"subframes_per_sec\": {:.3},\n",
-            self.subframes_per_sec
-        ));
-        out.push_str(&format!(
-            "  \"serial_subframes_per_sec\": {:.3},\n",
-            self.serial_subframes_per_sec
-        ));
-        out.push_str(&format!("  \"speedup\": {:.3},\n", self.speedup()));
-        out.push_str(&format!(
-            "  \"p50_latency_us\": {:.1},\n",
-            self.p50_latency_us
-        ));
-        out.push_str(&format!(
-            "  \"p99_latency_us\": {:.1},\n",
-            self.p99_latency_us
-        ));
-        out.push_str(&format!(
-            "  \"crc_pass_rate\": {:.4},\n",
-            self.crc_pass_rate
-        ));
-        out.push_str(&format!("  \"arena_fresh\": {},\n", self.arena_fresh));
-        out.push_str(&format!("  \"arena_reused\": {}\n", self.arena_reused));
-        out.push('}');
-        out.push('\n');
+        let mut out = String::from("{\n  \"schema\": \"lte-sim-perf-v1\"");
+        for field in self.json_fields("") {
+            out.push_str(",\n  ");
+            out.push_str(&field);
+        }
+        out.push_str("\n}\n");
         out
     }
 }
@@ -256,7 +261,7 @@ pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
         workers: cfg.workers,
         // Zero dispatch interval: measure the pipeline, not the pacing.
         delta: Duration::ZERO,
-        turbo: TurboMode::Passthrough,
+        turbo: cfg.mode,
         seed: cfg.seed,
         max_in_flight: cfg.window,
         pin_workers: cfg.pin_workers,
@@ -268,26 +273,36 @@ pub fn run_perf(cfg: &PerfConfig) -> Result<PerfReport, String> {
     let warmup = vec![subframe.clone(); WARMUP_SUBFRAMES];
     bench.try_run(&warmup).map_err(|e| e.to_string())?;
 
-    // Timed parallel run.
+    // Timed parallel run: best of [`MEASURE_PASSES`] identical passes.
     let arena_before = lte_dsp::arena::stats();
     let subframes = vec![subframe.clone(); cfg.subframes];
-    let run = bench.try_run(&subframes).map_err(|e| e.to_string())?;
+    let mut run = bench.try_run(&subframes).map_err(|e| e.to_string())?;
+    for _ in 1..MEASURE_PASSES {
+        let pass = bench.try_run(&subframes).map_err(|e| e.to_string())?;
+        if pass.elapsed < run.elapsed {
+            run = pass;
+        }
+    }
     let arena_after = lte_dsp::arena::stats();
 
     // Serial reference throughput on the identical (cached) inputs,
-    // through the pooled (zero-allocation) serial pipeline.
+    // through the pooled (zero-allocation) serial pipeline — also the
+    // best of [`MEASURE_PASSES`] passes.
     let planner = Arc::new(FftPlanner::new());
     let serial_inputs: Vec<Arc<UserInput>> =
         subframe.users.iter().map(|u| bench.input_for(u)).collect();
     let serial_n = SERIAL_SUBFRAMES.min(cfg.subframes).max(1);
-    let serial_start = Instant::now();
-    for _ in 0..serial_n {
-        for input in &serial_inputs {
-            let result = process_user_pooled(&cell, input, TurboMode::Passthrough, &planner);
-            std::hint::black_box(&result);
+    let mut serial_elapsed = f64::INFINITY;
+    for _ in 0..MEASURE_PASSES {
+        let serial_start = Instant::now();
+        for _ in 0..serial_n {
+            for input in &serial_inputs {
+                let result = process_user_pooled(&cell, input, cfg.mode, &planner);
+                std::hint::black_box(&result);
+            }
         }
+        serial_elapsed = serial_elapsed.min(serial_start.elapsed().as_secs_f64());
     }
-    let serial_elapsed = serial_start.elapsed().as_secs_f64();
 
     // The throughput claim is only valid while parallel == serial.
     bench
@@ -326,6 +341,259 @@ pub fn check_against_baseline(report: &PerfReport, baseline_json: &str) -> Resul
             "throughput regression: {:.1} subframes/sec is below the {:.1} floor \
              ({:.1} baseline − {:.0}% tolerance)",
             report.subframes_per_sec,
+            floor,
+            baseline,
+            100.0 * REGRESSION_TOLERANCE
+        ));
+    }
+    Ok(())
+}
+
+/// One stage's share of the serial reference pipeline's wall clock.
+#[derive(Clone, Debug)]
+pub struct StageShare {
+    /// Stage name as reported by the trace spans.
+    pub stage: &'static str,
+    /// Total wall-clock microseconds across the breakdown run.
+    pub total_us: f64,
+    /// Fraction of the summed stage time (0..1).
+    pub share: f64,
+}
+
+/// Subframes replayed through the traced serial path for a per-stage
+/// time breakdown — enough rounds for stable shares without doubling
+/// the harness runtime.
+const BREAKDOWN_SUBFRAMES: usize = 8;
+
+/// Measures the per-stage time breakdown of the serial reference
+/// pipeline under the steady-state load: every subframe runs through
+/// [`lte_phy::receiver::process_user_traced`] with a span recorder, and
+/// span durations are aggregated per stage (sorted, largest first).
+pub fn stage_breakdown(mode: TurboMode, seed: u64) -> Vec<StageShare> {
+    use lte_obs::{Event, RingRecorder};
+    use lte_phy::receiver::process_user_traced;
+    use lte_phy::trace::StageTimer;
+
+    let cell = CellConfig::default();
+    let subframe = steady_state_subframe();
+    let mut bench = UplinkBenchmark::new(
+        cell,
+        BenchmarkConfig {
+            turbo: mode,
+            seed,
+            ..BenchmarkConfig::default()
+        },
+    );
+    let inputs: Vec<Arc<UserInput>> = subframe.users.iter().map(|u| bench.input_for(u)).collect();
+    let planner = FftPlanner::new();
+    // Warm plan caches and decoder state outside the recorded window.
+    for input in &inputs {
+        let result = process_user_traced(&cell, input, mode, &planner, &StageTimer::disabled());
+        std::hint::black_box(&result);
+    }
+    let recorder = RingRecorder::new(1 << 20);
+    let timer = StageTimer::new(&recorder);
+    for _ in 0..BREAKDOWN_SUBFRAMES {
+        for input in &inputs {
+            let result = process_user_traced(&cell, input, mode, &planner, &timer);
+            std::hint::black_box(&result);
+        }
+    }
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    for ev in recorder.events() {
+        if let Event::StageSpan {
+            stage,
+            start_ns,
+            end_ns,
+        } = ev
+        {
+            let name = stage.name();
+            match totals.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, t)) => *t += end_ns.saturating_sub(start_ns),
+                None => totals.push((name, end_ns.saturating_sub(start_ns))),
+            }
+        }
+    }
+    totals.sort_by_key(|e| std::cmp::Reverse(e.1));
+    let grand: u64 = totals.iter().map(|&(_, t)| t).sum();
+    totals
+        .into_iter()
+        .map(|(stage, t)| StageShare {
+            stage,
+            total_us: t as f64 / 1e3,
+            share: t as f64 / grand.max(1) as f64,
+        })
+        .collect()
+}
+
+fn stages_json(stages: &[StageShare]) -> String {
+    let mut out = String::from("[\n");
+    for (i, s) in stages.iter().enumerate() {
+        let comma = if i + 1 < stages.len() { "," } else { "" };
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "    {{ \"stage\": \"{}\", \"total_us\": {:.1}, \"share\": {:.4} }}{comma}\n",
+                s.stage, s.total_us, s.share
+            ),
+        );
+    }
+    out.push_str("  ]");
+    out
+}
+
+/// Subframes in the full turbo-mode legs (turbo decode is an order of
+/// magnitude heavier per subframe than pass-through, so the legs run
+/// shorter while still timing thousands of code-block decodes).
+pub const TURBO_FULL_SUBFRAMES: usize = 120;
+/// Subframes in the `--quick` turbo-mode legs.
+pub const TURBO_QUICK_SUBFRAMES: usize = 24;
+/// Decoder iterations in the turbo-mode legs (the repo's default
+/// operating point).
+pub const TURBO_ITERATIONS: usize = 4;
+
+/// The decode-tail perf document (`BENCH_PR9.json`): the pass-through
+/// single point (same gate keys as `BENCH_PR3.json`), the turbo-mode
+/// legs with SIMD dispatch and with the scalar reference forced — both
+/// measured in the same process on the same inputs, so their ratio is
+/// the state-parallel decoder's speedup — and a per-stage serial time
+/// breakdown for each mode.
+#[derive(Clone, Debug)]
+pub struct DecodePerfReport {
+    /// The pass-through single point (the PR 3 scenario).
+    pub passthrough: PerfReport,
+    /// Pass-through per-stage serial time breakdown.
+    pub passthrough_stages: Vec<StageShare>,
+    /// Decoder iterations in the turbo legs.
+    pub turbo_iterations: usize,
+    /// The turbo-mode point with native SIMD dispatch.
+    pub turbo: PerfReport,
+    /// The turbo-mode point with the scalar reference forced.
+    pub turbo_scalar: PerfReport,
+    /// Turbo-mode per-stage serial time breakdown.
+    pub turbo_stages: Vec<StageShare>,
+    /// The dispatch label of the native path (`avx2+fma` or `scalar`).
+    pub dispatch: &'static str,
+}
+
+impl DecodePerfReport {
+    /// Turbo-mode SIMD throughput over forced-scalar throughput — the
+    /// headline the PR 9 gate defends.
+    pub fn turbo_simd_speedup(&self) -> f64 {
+        if self.turbo_scalar.subframes_per_sec > 0.0 {
+            self.turbo.subframes_per_sec / self.turbo_scalar.subframes_per_sec
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the JSON document written to `BENCH_PR9.json`. The flat
+    /// gate keys (`subframes_per_sec` for the pass-through point,
+    /// `turbo_subframes_per_sec` for the turbo point) come before the
+    /// stage arrays so [`json_number`] resolves them at top level.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"lte-sim-perf-pr9-v1\"");
+        for field in self.passthrough.json_fields("") {
+            out.push_str(",\n  ");
+            out.push_str(&field);
+        }
+        out.push_str(&format!(
+            ",\n  \"turbo_iterations\": {}",
+            self.turbo_iterations
+        ));
+        for field in self.turbo.json_fields("turbo_") {
+            out.push_str(",\n  ");
+            out.push_str(&field);
+        }
+        out.push_str(&format!(
+            ",\n  \"turbo_scalar_subframes_per_sec\": {:.3}",
+            self.turbo_scalar.subframes_per_sec
+        ));
+        out.push_str(&format!(
+            ",\n  \"turbo_scalar_serial_subframes_per_sec\": {:.3}",
+            self.turbo_scalar.serial_subframes_per_sec
+        ));
+        out.push_str(&format!(
+            ",\n  \"turbo_simd_speedup\": {:.3}",
+            self.turbo_simd_speedup()
+        ));
+        out.push_str(&format!(",\n  \"dispatch\": \"{}\"", self.dispatch));
+        out.push_str(",\n  \"passthrough_stages\": ");
+        out.push_str(&stages_json(&self.passthrough_stages));
+        out.push_str(",\n  \"turbo_stages\": ");
+        out.push_str(&stages_json(&self.turbo_stages));
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Runs the full PR 9 harness: the pass-through point, the turbo-mode
+/// point with SIMD dispatch, the turbo-mode point with the scalar
+/// reference forced (same inputs, same process), and the per-stage
+/// breakdowns.
+///
+/// # Errors
+///
+/// Returns a message when any leg's pool cannot start or its parallel
+/// results diverge from the serial golden record.
+pub fn run_decode_perf(
+    cfg: &PerfConfig,
+    turbo_subframes: usize,
+) -> Result<DecodePerfReport, String> {
+    let pass_cfg = PerfConfig {
+        mode: TurboMode::Passthrough,
+        ..*cfg
+    };
+    let passthrough = run_perf(&pass_cfg)?;
+    let passthrough_stages = stage_breakdown(TurboMode::Passthrough, cfg.seed);
+
+    let mode = TurboMode::Decode {
+        iterations: TURBO_ITERATIONS,
+    };
+    let turbo_cfg = PerfConfig {
+        mode,
+        subframes: turbo_subframes,
+        ..*cfg
+    };
+    let turbo = run_perf(&turbo_cfg)?;
+    lte_dsp::simd::force_scalar(true);
+    let scalar_result = run_perf(&turbo_cfg);
+    lte_dsp::simd::force_scalar(false);
+    let turbo_scalar = scalar_result.map_err(|e| format!("forced-scalar turbo leg: {e}"))?;
+    let turbo_stages = stage_breakdown(mode, cfg.seed);
+
+    Ok(DecodePerfReport {
+        passthrough,
+        passthrough_stages,
+        turbo_iterations: TURBO_ITERATIONS,
+        turbo,
+        turbo_scalar,
+        turbo_stages,
+        dispatch: lte_dsp::simd::dispatch_label(),
+    })
+}
+
+/// Compares a fresh decode-tail report against a committed
+/// `BENCH_PR9.json` baseline: both the pass-through and the turbo-mode
+/// throughput must hold within [`REGRESSION_TOLERANCE`].
+///
+/// # Errors
+///
+/// Returns a message when the baseline cannot be parsed or either
+/// mode's throughput regressed beyond tolerance.
+pub fn check_decode_against_baseline(
+    report: &DecodePerfReport,
+    baseline_json: &str,
+) -> Result<(), String> {
+    check_against_baseline(&report.passthrough, baseline_json)?;
+    let baseline = json_number(baseline_json, "turbo_subframes_per_sec")
+        .ok_or("baseline file has no turbo_subframes_per_sec field")?;
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    if report.turbo.subframes_per_sec < floor {
+        return Err(format!(
+            "turbo throughput regression: {:.1} subframes/sec is below the {:.1} floor \
+             ({:.1} baseline − {:.0}% tolerance)",
+            report.turbo.subframes_per_sec,
             floor,
             baseline,
             100.0 * REGRESSION_TOLERANCE
@@ -748,6 +1016,7 @@ mod tests {
             seed: 1,
             window: Some(3),
             pin_workers: false,
+            mode: TurboMode::Passthrough,
         };
         let report = run_perf(&cfg).expect("perf run");
         assert_eq!(report.subframes, 6);
@@ -758,6 +1027,93 @@ mod tests {
         assert!(report.serial_subframes_per_sec > 0.0);
         assert_eq!(report.crc_pass_rate, 1.0);
         assert!(report.p99_latency_us >= report.p50_latency_us);
+    }
+
+    fn sample_perf_report(rate: f64) -> PerfReport {
+        PerfReport {
+            subframes: 24,
+            workers: 2,
+            workers_effective: 2,
+            host_parallelism: 4,
+            elapsed_s: 1.0,
+            subframes_per_sec: rate,
+            serial_subframes_per_sec: rate / 2.0,
+            p50_latency_us: 100.0,
+            p99_latency_us: 200.0,
+            crc_pass_rate: 1.0,
+            arena_fresh: 0,
+            arena_reused: 100,
+        }
+    }
+
+    fn sample_decode_report() -> DecodePerfReport {
+        let share = |stage, total_us, share| StageShare {
+            stage,
+            total_us,
+            share,
+        };
+        DecodePerfReport {
+            passthrough: sample_perf_report(200.0),
+            passthrough_stages: vec![share("fft", 800.0, 0.8), share("demap", 200.0, 0.2)],
+            turbo_iterations: 4,
+            turbo: sample_perf_report(30.0),
+            turbo_scalar: sample_perf_report(12.0),
+            turbo_stages: vec![share("turbo", 900.0, 0.9), share("fft", 100.0, 0.1)],
+            dispatch: "avx2+fma",
+        }
+    }
+
+    #[test]
+    fn decode_report_json_exposes_both_gates_and_the_stage_tables() {
+        let report = sample_decode_report();
+        let json = report.to_json();
+        // Pass-through keys stay BENCH_PR3-compatible so the PR 8
+        // baseline still gates this file.
+        assert_eq!(json_number(&json, "subframes_per_sec"), Some(200.0));
+        assert_eq!(json_number(&json, "speedup"), Some(2.0));
+        // Turbo keys are distinct (quoted-needle lookup cannot collide).
+        assert_eq!(json_number(&json, "turbo_subframes_per_sec"), Some(30.0));
+        assert_eq!(
+            json_number(&json, "turbo_scalar_subframes_per_sec"),
+            Some(12.0)
+        );
+        assert_eq!(json_number(&json, "turbo_simd_speedup"), Some(2.5));
+        assert_eq!(json_number(&json, "turbo_iterations"), Some(4.0));
+        assert!(json.contains("\"dispatch\": \"avx2+fma\""));
+        assert!(json.contains("\"stage\": \"turbo\""));
+        assert!(json.contains("\"share\": 0.9000"));
+    }
+
+    #[test]
+    fn decode_gate_defends_both_modes() {
+        let mut report = sample_decode_report();
+        let baseline = report.to_json();
+        assert!(check_decode_against_baseline(&report, &baseline).is_ok());
+        // Turbo 5% down: within tolerance.
+        report.turbo.subframes_per_sec = 30.0 * 0.95;
+        assert!(check_decode_against_baseline(&report, &baseline).is_ok());
+        // Turbo 15% down: regression, even with pass-through healthy.
+        report.turbo.subframes_per_sec = 30.0 * 0.85;
+        assert!(check_decode_against_baseline(&report, &baseline).is_err());
+        // Pass-through regression trips the shared gate too.
+        report.turbo.subframes_per_sec = 30.0;
+        report.passthrough.subframes_per_sec = 200.0 * 0.85;
+        assert!(check_decode_against_baseline(&report, &baseline).is_err());
+        assert!(check_decode_against_baseline(&report, "{}").is_err());
+    }
+
+    #[test]
+    fn stage_breakdown_covers_the_decode_tail() {
+        let stages = stage_breakdown(TurboMode::Decode { iterations: 2 }, 7);
+        assert!(!stages.is_empty());
+        let total: f64 = stages.iter().map(|s| s.share).sum();
+        assert!((total - 1.0).abs() < 1e-6, "shares must sum to 1: {total}");
+        assert!(
+            stages.iter().any(|s| s.stage == "turbo"),
+            "decode-mode breakdown must include the turbo stage: {stages:?}"
+        );
+        // Sorted largest-first.
+        assert!(stages.windows(2).all(|w| w[0].total_us >= w[1].total_us));
     }
 
     #[test]

@@ -167,6 +167,21 @@ impl Interleaver {
         self.inverse.iter().map(|&p| input[p as usize]).collect()
     }
 
+    /// Interleaves into a caller-provided buffer, avoiding allocation on
+    /// the receiver hot path (the turbo decoder's QPP applies run twice
+    /// per iteration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch.
+    pub fn apply_into<T: Copy>(&self, input: &[T], out: &mut [T]) {
+        assert_eq!(input.len(), self.len(), "input length mismatch");
+        assert_eq!(out.len(), self.len(), "output length mismatch");
+        for (o, &p) in out.iter_mut().zip(self.forward.iter()) {
+            *o = input[p as usize];
+        }
+    }
+
     /// Deinterleaves into a caller-provided buffer, avoiding allocation on
     /// the receiver hot path.
     ///

@@ -5,11 +5,17 @@
 //! known reference sequence. Because the reference is CAZAC (unit
 //! magnitude), the product is exactly the raw per-subcarrier channel
 //! estimate `H(f) = Y(f)·X*(f)`.
+//!
+//! Both entry points route through [`crate::simd`]'s conjugate-multiply
+//! kernel: AVX2 when available, with the scalar expression below as the
+//! bit-identical reference.
 
 use crate::complex::Complex32;
+use crate::simd::{cmul_conj_assign, cmul_conj_into};
 
 /// Multiplies `received` by the conjugate of `reference`, writing the raw
-/// frequency-domain channel estimate into `out`.
+/// frequency-domain channel estimate into `out`
+/// (`out[i] = received[i]·reference[i].conj()`).
 ///
 /// # Panics
 ///
@@ -17,9 +23,7 @@ use crate::complex::Complex32;
 pub fn matched_filter(received: &[Complex32], reference: &[Complex32], out: &mut [Complex32]) {
     assert_eq!(received.len(), reference.len(), "length mismatch");
     assert_eq!(received.len(), out.len(), "output length mismatch");
-    for ((y, x), o) in received.iter().zip(reference).zip(out.iter_mut()) {
-        *o = *y * x.conj();
-    }
+    cmul_conj_into(out, received, reference);
 }
 
 /// In-place variant of [`matched_filter`].
@@ -29,9 +33,7 @@ pub fn matched_filter(received: &[Complex32], reference: &[Complex32], out: &mut
 /// Panics if the slices differ in length.
 pub fn matched_filter_inplace(received: &mut [Complex32], reference: &[Complex32]) {
     assert_eq!(received.len(), reference.len(), "length mismatch");
-    for (y, x) in received.iter_mut().zip(reference) {
-        *y *= x.conj();
-    }
+    cmul_conj_assign(received, reference);
 }
 
 #[cfg(test)]

@@ -158,12 +158,45 @@ impl RateMatcher {
     ///
     /// Panics if every block is empty.
     pub fn accumulate_llrs_rv(&self, transmissions: &[(&[f32], u8)]) -> TurboLlrs {
+        let mut out = TurboLlrs::default();
+        self.accumulate_llrs_rv_into(transmissions, &mut out);
+        out
+    }
+
+    /// [`accumulate_llrs`](Self::accumulate_llrs) into a caller-provided
+    /// buffer: with a warm `out` (capacity from a previous block of the
+    /// same size) this allocates nothing — the receiver's turbo hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `llrs` is empty.
+    pub fn accumulate_llrs_into(&self, llrs: &[f32], out: &mut TurboLlrs) {
+        self.accumulate_llrs_rv_into(&[(llrs, 0)], out)
+    }
+
+    /// [`accumulate_llrs_rv`](Self::accumulate_llrs_rv) into a
+    /// caller-provided buffer (see [`accumulate_llrs_into`]).
+    ///
+    /// The three stream vectors double as the length-`k+4` accumulators
+    /// during the scatter-add and are truncated to `k` once the four tail
+    /// positions have been extracted, so no scratch allocation is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every block is empty.
+    ///
+    /// [`accumulate_llrs_into`]: Self::accumulate_llrs_into
+    pub fn accumulate_llrs_rv_into(&self, transmissions: &[(&[f32], u8)], out: &mut TurboLlrs) {
         assert!(
             transmissions.iter().any(|(l, _)| !l.is_empty()),
             "need at least one LLR"
         );
         let d = stream_len(self.k);
-        let mut acc = [vec![0f32; d], vec![0f32; d], vec![0f32; d]];
+        for stream in [&mut out.systematic, &mut out.parity1, &mut out.parity2] {
+            stream.clear();
+            stream.resize(d, 0.0);
+        }
+        let acc = [&mut out.systematic, &mut out.parity1, &mut out.parity2];
         for &(llrs, rv) in transmissions {
             let k0 = self.rv_offset(rv);
             for (j, &l) in llrs.iter().enumerate() {
@@ -172,23 +205,19 @@ impl RateMatcher {
             }
         }
         let k = self.k;
-        let tail1 = [
-            (acc[0][k], acc[1][k]),
-            (acc[0][k + 1], acc[1][k + 1]),
-            (acc[0][k + 2], acc[1][k + 2]),
+        out.tail1 = [
+            (out.systematic[k], out.parity1[k]),
+            (out.systematic[k + 1], out.parity1[k + 1]),
+            (out.systematic[k + 2], out.parity1[k + 2]),
         ];
-        let tail2 = [
-            (acc[0][k + 3], acc[2][k]),
-            (acc[1][k + 3], acc[2][k + 1]),
-            (acc[2][k + 2], acc[2][k + 3]),
+        out.tail2 = [
+            (out.systematic[k + 3], out.parity2[k]),
+            (out.parity1[k + 3], out.parity2[k + 1]),
+            (out.parity2[k + 2], out.parity2[k + 3]),
         ];
-        TurboLlrs {
-            systematic: acc[0][..k].to_vec(),
-            parity1: acc[1][..k].to_vec(),
-            parity2: acc[2][..k].to_vec(),
-            tail1,
-            tail2,
-        }
+        out.systematic.truncate(k);
+        out.parity1.truncate(k);
+        out.parity2.truncate(k);
     }
 }
 

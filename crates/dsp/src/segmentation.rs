@@ -7,7 +7,7 @@
 //! the previous stage). Filler bits pad the front of the first block.
 
 use crate::crc::CRC24B;
-use crate::turbo::{nearest_block_size, supported_block_sizes};
+use crate::turbo::{nearest_block_size, supported_block_sizes_cached};
 
 /// Maximum turbo code block size `Z`.
 pub const MAX_BLOCK: usize = 6144;
@@ -39,20 +39,34 @@ impl SegmentationShape {
     /// Panics if `decoded` disagrees with this shape.
     pub fn desegment(&self, decoded: &[Vec<u8>]) -> (Vec<u8>, bool) {
         assert_eq!(decoded.len(), self.n_blocks, "block count mismatch");
-        for d in decoded {
-            assert_eq!(d.len(), self.block_size, "block size mismatch");
-        }
-        if self.n_blocks == 1 {
-            return (decoded[0][self.filler..].to_vec(), true);
-        }
         let mut ok = true;
         let mut out = Vec::new();
         for (i, d) in decoded.iter().enumerate() {
-            ok &= CRC24B.check_bits(d);
-            let start = if i == 0 { self.filler } else { 0 };
-            out.extend_from_slice(&d[start..d.len() - BLOCK_CRC_BITS]);
+            ok &= self.desegment_block_into(i, d, &mut out);
         }
         (out, ok)
+    }
+
+    /// Streaming variant of [`desegment`](Self::desegment): appends one
+    /// decoded block's payload to `out`, returning whether its per-block
+    /// CRC passed (single-block shapes carry no block CRC and always
+    /// return `true`). Decoding block-by-block into one reused buffer is
+    /// what keeps the receiver's turbo path allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `block` has the wrong size.
+    pub fn desegment_block_into(&self, index: usize, block: &[u8], out: &mut Vec<u8>) -> bool {
+        assert!(index < self.n_blocks, "block index out of range");
+        assert_eq!(block.len(), self.block_size, "block size mismatch");
+        if self.n_blocks == 1 {
+            out.extend_from_slice(&block[self.filler..]);
+            return true;
+        }
+        let ok = CRC24B.check_bits(block);
+        let start = if index == 0 { self.filler } else { 0 };
+        out.extend_from_slice(&block[start..block.len() - BLOCK_CRC_BITS]);
+        ok
     }
 }
 
@@ -87,8 +101,9 @@ impl Segmentation {
         let c = b.div_ceil(MAX_BLOCK - BLOCK_CRC_BITS);
         let b_prime = b + c * BLOCK_CRC_BITS;
         // Uniform-ish per-block size: the smallest K with C·K ≥ B'.
-        let k_plus = supported_block_sizes()
-            .into_iter()
+        let k_plus = supported_block_sizes_cached()
+            .iter()
+            .copied()
             .find(|&k| c * k >= b_prime)
             .unwrap_or(MAX_BLOCK);
         SegmentationShape {

@@ -112,6 +112,127 @@ pub fn cmul_add_assign(acc: &mut [Complex32], w: &[Complex32], x: &[Complex32]) 
     }
 }
 
+/// `out[i] = y[i]·w[i]` for every element, with the exact arithmetic of
+/// [`Complex32::mul`] per element — the reference-sequence rotation
+/// kernel (Zadoff-Chu cyclic shift).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cmul_into(out: &mut [Complex32], y: &[Complex32], w: &[Complex32]) {
+    assert_eq!(out.len(), y.len(), "sample length mismatch");
+    assert_eq!(out.len(), w.len(), "rotation length mismatch");
+    let mut start = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() && out.len() >= 4 {
+        start = out.len() & !3;
+        // SAFETY: AVX2+FMA presence was checked by `simd_enabled`.
+        unsafe { x86::cmul_into(&mut out[..start], &y[..start], &w[..start]) };
+    }
+    for i in start..out.len() {
+        out[i] = y[i] * w[i];
+    }
+}
+
+/// `out[i] = y[i]·x[i].conj()` for every element, with the exact
+/// arithmetic of [`Complex32::mul`] per element — the channel-estimate
+/// matched-filter kernel.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cmul_conj_into(out: &mut [Complex32], y: &[Complex32], x: &[Complex32]) {
+    assert_eq!(out.len(), y.len(), "received length mismatch");
+    assert_eq!(out.len(), x.len(), "reference length mismatch");
+    let mut start = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() && out.len() >= 4 {
+        start = out.len() & !3;
+        // SAFETY: AVX2+FMA presence was checked by `simd_enabled`.
+        unsafe { x86::cmul_conj_into(&mut out[..start], &y[..start], &x[..start]) };
+    }
+    for i in start..out.len() {
+        out[i] = y[i] * x[i].conj();
+    }
+}
+
+/// In-place variant of [`cmul_conj_into`]: `y[i] = y[i]·x[i].conj()`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn cmul_conj_assign(y: &mut [Complex32], x: &[Complex32]) {
+    assert_eq!(y.len(), x.len(), "reference length mismatch");
+    let mut start = 0;
+    #[cfg(target_arch = "x86_64")]
+    if simd_enabled() && y.len() >= 4 {
+        start = y.len() & !3;
+        // SAFETY: AVX2+FMA presence was checked by `simd_enabled`.
+        unsafe { x86::cmul_conj_assign(&mut y[..start], &x[..start]) };
+    }
+    for i in start..y.len() {
+        y[i] *= x[i].conj();
+    }
+}
+
+/// State-parallel forward (alpha) and backward (beta) recursions of the
+/// max-log-MAP SISO over the information section, interleaved in one
+/// loop: each 8-state trellis row is one AVX2 vector, and because the
+/// two walks are independent the fused loop keeps two dependency chains
+/// in flight where the separate passes were each latency-bound on one.
+/// `alpha` row 0 and `beta` row `sys.len()` must already be seeded;
+/// alpha rows `1..=sys.len()` and beta rows `sys.len()-1..=0` are
+/// written. Returns `false` when the caller should run the scalar
+/// reference passes.
+pub(crate) fn turbo_alpha_beta(
+    sys: &[f32],
+    par: &[f32],
+    apriori: &[f32],
+    alpha: &mut [f32],
+    beta: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !simd_enabled() {
+            return false;
+        }
+        // SAFETY: AVX2+FMA presence was checked by `simd_enabled`.
+        unsafe { x86::turbo_alpha_beta(sys, par, apriori, alpha, beta) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (sys, par, apriori, alpha, beta);
+        false
+    }
+}
+
+/// State-parallel branch-metric/LLR extraction of the max-log-MAP SISO.
+/// Returns `false` when the caller should run the scalar reference.
+pub(crate) fn turbo_extrinsic(
+    sys: &[f32],
+    par: &[f32],
+    apriori: &[f32],
+    alpha: &[f32],
+    beta: &[f32],
+    extrinsic: &mut [f32],
+) -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !simd_enabled() {
+            return false;
+        }
+        // SAFETY: AVX2+FMA presence was checked by `simd_enabled`.
+        unsafe { x86::turbo_extrinsic(sys, par, apriori, alpha, beta, extrinsic) };
+        true
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (sys, par, apriori, alpha, beta, extrinsic);
+        false
+    }
+}
+
 /// Max-log demap of a whole symbol block, appending LLRs to `out`.
 /// Returns `false` when the caller should run the scalar loop instead
 /// (vector path unavailable or block too short).
@@ -271,6 +392,259 @@ pub(crate) mod x86 {
                 let xv = load(xp.add(i));
                 store(ap.add(i), cfma(a, wv, xv));
                 i += 4;
+            }
+        }
+    }
+
+    /// `out[i] = y[i]·w[i]` over length-multiple-of-4 slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn cmul_into(out: &mut [Complex32], y: &[Complex32], w: &[Complex32]) {
+        unsafe {
+            let n = out.len();
+            let op = out.as_mut_ptr();
+            let yp = y.as_ptr();
+            let wp = w.as_ptr();
+            let mut i = 0;
+            while i + 4 <= n {
+                store(op.add(i), cmul(load(yp.add(i)), load(wp.add(i))));
+                i += 4;
+            }
+        }
+    }
+
+    /// `out[i] = y[i]·x[i].conj()` over length-multiple-of-4 slices: the
+    /// conjugate is a sign flip of the imaginary lanes, then the shared
+    /// [`cmul`] DAG.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn cmul_conj_into(out: &mut [Complex32], y: &[Complex32], x: &[Complex32]) {
+        unsafe {
+            let n = out.len();
+            let op = out.as_mut_ptr();
+            let yp = y.as_ptr();
+            let xp = x.as_ptr();
+            let conj = odd_sign();
+            let mut i = 0;
+            while i + 4 <= n {
+                let xc = _mm256_xor_ps(load(xp.add(i)), conj);
+                store(op.add(i), cmul(load(yp.add(i)), xc));
+                i += 4;
+            }
+        }
+    }
+
+    /// In-place [`cmul_conj_into`] over length-multiple-of-4 slices.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn cmul_conj_assign(y: &mut [Complex32], x: &[Complex32]) {
+        unsafe {
+            let n = y.len();
+            let yp = y.as_mut_ptr();
+            let xp = x.as_ptr();
+            let conj = odd_sign();
+            let mut i = 0;
+            while i + 4 <= n {
+                let xc = _mm256_xor_ps(load(xp.add(i)), conj);
+                store(yp.add(i), cmul(load(yp.add(i)), xc));
+                i += 4;
+            }
+        }
+    }
+
+    // ---- state-parallel turbo SISO kernels ----
+    //
+    // One 8-lane vector holds a whole trellis row (alpha[i][0..8] or
+    // beta[i][0..8]); the recursions become two `permutevar` gathers,
+    // sign-flipped branch-metric adds, and a max chain seeded at the NEG
+    // sentinel — lane `t` computes exactly the scalar gather expression
+    // for state `t`, so the paths are bit-identical by construction.
+
+    use crate::turbo::{
+        ALPHA_INPUT, ALPHA_PARITY, ALPHA_PRED, BRANCH_PARITY, NEG, NEXT_STATE, STATES,
+    };
+
+    /// Lane-gather indices for `_mm256_permutevar8x32_ps`.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn perm_index(p: [usize; STATES]) -> __m256i {
+        _mm256_setr_epi32(
+            p[0] as i32,
+            p[1] as i32,
+            p[2] as i32,
+            p[3] as i32,
+            p[4] as i32,
+            p[5] as i32,
+            p[6] as i32,
+            p[7] as i32,
+        )
+    }
+
+    /// Per-lane sign mask: `-0.0` where the branch bit is 1 (XOR with the
+    /// mask is the vector twin of the scalar `signed()` sign flip).
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn sign_mask(bits: [u8; STATES]) -> __m256 {
+        let f = |b: u8| if b == 0 { 0.0f32 } else { -0.0 };
+        _mm256_setr_ps(
+            f(bits[0]),
+            f(bits[1]),
+            f(bits[2]),
+            f(bits[3]),
+            f(bits[4]),
+            f(bits[5]),
+            f(bits[6]),
+            f(bits[7]),
+        )
+    }
+
+    /// Vector twin of `turbo::scalar_alpha` + `turbo::scalar_beta`, fused:
+    /// both recursions walk the information section in one loop (alpha
+    /// forward from row 0, beta backward from row `n`). Each row's
+    /// operation DAG is exactly the separate scalar pass's — the walks
+    /// never read each other's planes — but fusing them keeps two
+    /// independent permute→add→max dependency chains in flight, which is
+    /// what the latency-bound trellis recursion needs to fill the vector
+    /// ports.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `alpha` and `beta`
+    /// must each hold at least `(sys.len() + 1) * 8` elements, with
+    /// alpha row 0 and beta row `sys.len()` seeded.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn turbo_alpha_beta(
+        sys: &[f32],
+        par: &[f32],
+        apriori: &[f32],
+        alpha: &mut [f32],
+        beta: &mut [f32],
+    ) {
+        unsafe {
+            let p0 = perm_index(ALPHA_PRED[0]);
+            let p1 = perm_index(ALPHA_PRED[1]);
+            let u0 = sign_mask(ALPHA_INPUT[0]);
+            let u1 = sign_mask(ALPHA_INPUT[1]);
+            let aq0 = sign_mask(ALPHA_PARITY[0]);
+            let aq1 = sign_mask(ALPHA_PARITY[1]);
+            let n0 = perm_index(NEXT_STATE[0]);
+            let n1 = perm_index(NEXT_STATE[1]);
+            let bq0 = sign_mask(BRANCH_PARITY[0]);
+            let bq1 = sign_mask(BRANCH_PARITY[1]);
+            let neg_zero = _mm256_set1_ps(-0.0);
+            let negv = _mm256_set1_ps(NEG);
+            let n = sys.len();
+            let ap = alpha.as_mut_ptr();
+            let bp = beta.as_mut_ptr();
+            let mut prev = _mm256_loadu_ps(ap);
+            let mut next = _mm256_loadu_ps(bp.add(n * STATES));
+            for i in 0..n {
+                let j = n - 1 - i;
+                // Alpha step i: predecessors gathered by state, branch
+                // metric signs applied per lane.
+                let hs = _mm256_set1_ps(0.5 * (sys[i] + apriori[i]));
+                let hp = _mm256_set1_ps(0.5 * par[i]);
+                let c0 = _mm256_add_ps(
+                    _mm256_add_ps(_mm256_permutevar8x32_ps(prev, p0), _mm256_xor_ps(hs, u0)),
+                    _mm256_xor_ps(hp, aq0),
+                );
+                let c1 = _mm256_add_ps(
+                    _mm256_add_ps(_mm256_permutevar8x32_ps(prev, p1), _mm256_xor_ps(hs, u1)),
+                    _mm256_xor_ps(hp, aq1),
+                );
+                // max(c1, max(c0, NEG)): candidate-first operand order so
+                // MAXPS tie/NaN semantics match the scalar `if c > best`.
+                let arow = _mm256_max_ps(c1, _mm256_max_ps(c0, negv));
+                _mm256_storeu_ps(ap.add((i + 1) * STATES), arow);
+                prev = arow;
+                // Beta step j: successors gathered by state; u = 0 adds
+                // +hs on every lane, u = 1 adds −hs.
+                let hs = _mm256_set1_ps(0.5 * (sys[j] + apriori[j]));
+                let hp = _mm256_set1_ps(0.5 * par[j]);
+                let d0 = _mm256_add_ps(
+                    _mm256_add_ps(_mm256_permutevar8x32_ps(next, n0), hs),
+                    _mm256_xor_ps(hp, bq0),
+                );
+                let d1 = _mm256_add_ps(
+                    _mm256_add_ps(
+                        _mm256_permutevar8x32_ps(next, n1),
+                        _mm256_xor_ps(hs, neg_zero),
+                    ),
+                    _mm256_xor_ps(hp, bq1),
+                );
+                let brow = _mm256_max_ps(d1, _mm256_max_ps(d0, negv));
+                _mm256_storeu_ps(bp.add(j * STATES), brow);
+                next = brow;
+            }
+        }
+    }
+
+    /// In-register twin of `turbo::reduce_states`: the same balanced tree
+    /// (adjacent pairs, quads, halves, then the NEG seed), built from
+    /// candidate-first MAXPS so every node has the scalar `pick`
+    /// semantics. Lane 0 of the result holds the reduction.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn reduce_states_lane0(m: __m256, negv: __m256) -> __m256 {
+        // Pairs: lane 2t ← pick(m[2t], m[2t+1]).
+        let r1 = _mm256_max_ps(_mm256_movehdup_ps(m), _mm256_moveldup_ps(m));
+        // Quads: lane 4t ← pick(pair 4t, pair 4t+2).
+        let r2 = _mm256_max_ps(_mm256_permute_ps(r1, 0b01_00_11_10), r1);
+        // Halves: lane 0 ← pick(quad 0, quad 4).
+        let r3 = _mm256_max_ps(_mm256_permute2f128_ps(r2, r2, 0x01), r2);
+        // Seed: pick(NEG, tree) with the tree as the candidate.
+        _mm256_max_ps(r3, negv)
+    }
+
+    /// Vector twin of `turbo::scalar_extrinsic`: the two 8-branch metric
+    /// rows are formed vectorized and reduced in-register by the same
+    /// balanced tree `finish_llr` uses (`turbo::reduce_states`), so the
+    /// reduction never round-trips through memory and the max order is
+    /// identical on both paths by construction. The final APP assembly
+    /// repeats `finish_llr`'s scalar arithmetic on the extracted maxima.
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified AVX2+FMA support; `alpha`/`beta` must
+    /// hold at least `(sys.len() + 1) * 8` elements.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn turbo_extrinsic(
+        sys: &[f32],
+        par: &[f32],
+        apriori: &[f32],
+        alpha: &[f32],
+        beta: &[f32],
+        extrinsic: &mut [f32],
+    ) {
+        unsafe {
+            let n0 = perm_index(NEXT_STATE[0]);
+            let n1 = perm_index(NEXT_STATE[1]);
+            let q0 = sign_mask(BRANCH_PARITY[0]);
+            let q1 = sign_mask(BRANCH_PARITY[1]);
+            let negv = _mm256_set1_ps(NEG);
+            for i in 0..sys.len() {
+                let a = _mm256_loadu_ps(alpha.as_ptr().add(i * STATES));
+                let b = _mm256_loadu_ps(beta.as_ptr().add((i + 1) * STATES));
+                let hp = _mm256_set1_ps(0.5 * par[i]);
+                let v0 = _mm256_add_ps(
+                    _mm256_add_ps(a, _mm256_permutevar8x32_ps(b, n0)),
+                    _mm256_xor_ps(hp, q0),
+                );
+                let v1 = _mm256_add_ps(
+                    _mm256_add_ps(a, _mm256_permutevar8x32_ps(b, n1)),
+                    _mm256_xor_ps(hp, q1),
+                );
+                let best0 = _mm256_cvtss_f32(reduce_states_lane0(v0, negv));
+                let best1 = _mm256_cvtss_f32(reduce_states_lane0(v1, negv));
+                let ls = sys[i] + apriori[i];
+                let app = (best0 + 0.5 * ls) - (best1 - 0.5 * ls);
+                extrinsic[i] = app - ls;
             }
         }
     }
@@ -536,6 +910,35 @@ mod tests {
                         "{m} n={n} bit {i}: {a} vs {b} ({:08x} vs {:08x})",
                         a.to_bits(),
                         b.to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cmul_wrappers_match_scalar_bitwise() {
+        for n in [1, 3, 4, 5, 8, 33, 300] {
+            let y = random_symbols(n, 40 + n as u64, 3.0);
+            let x = random_symbols(n, 50 + n as u64, 3.0);
+            let mut out = vec![Complex32::ZERO; n];
+            cmul_into(&mut out, &y, &x);
+            let mut conj_out = vec![Complex32::ZERO; n];
+            cmul_conj_into(&mut conj_out, &y, &x);
+            let mut assign = y.clone();
+            cmul_conj_assign(&mut assign, &x);
+            for i in 0..n {
+                let plain = y[i] * x[i];
+                let conj = y[i] * x[i].conj();
+                for (got, want, what) in [
+                    (out[i], plain, "cmul_into"),
+                    (conj_out[i], conj, "cmul_conj_into"),
+                    (assign[i], conj, "cmul_conj_assign"),
+                ] {
+                    assert!(
+                        got.re.to_bits() == want.re.to_bits()
+                            && got.im.to_bits() == want.im.to_bits(),
+                        "{what} n={n} i={i}: {got:?} vs {want:?}"
                     );
                 }
             }

@@ -28,7 +28,7 @@ use crate::interleave::Interleaver;
 use crate::math::gcd;
 
 /// Number of trellis states of each constituent encoder.
-const STATES: usize = 8;
+pub(crate) const STATES: usize = 8;
 /// Tail steps used to terminate each constituent trellis.
 const TAIL: usize = 3;
 
@@ -175,6 +175,16 @@ impl QppInterleaver {
     pub fn invert<T: Copy>(&self, input: &[T]) -> Vec<T> {
         self.inner.invert(input)
     }
+
+    /// Interleaves into a caller-provided buffer (no allocation).
+    pub fn apply_into<T: Copy>(&self, input: &[T], out: &mut [T]) {
+        self.inner.apply_into(input, out)
+    }
+
+    /// Deinterleaves into a caller-provided buffer (no allocation).
+    pub fn invert_into<T: Copy>(&self, input: &[T], out: &mut [T]) {
+        self.inner.invert_into(input, out)
+    }
 }
 
 /// One constituent-encoder trellis transition.
@@ -240,7 +250,10 @@ impl TurboCodeword {
 }
 
 /// Channel LLRs for a turbo codeword (`ln P(0)/P(1)` convention).
-#[derive(Clone, Debug, PartialEq)]
+///
+/// `Default` gives an empty (`k = 0`) instance meant as a reusable
+/// staging buffer for [`crate::rate_match::RateMatcher::accumulate_llrs_into`].
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TurboLlrs {
     /// Systematic LLRs, length `k`.
     pub systematic: Vec<f32>,
@@ -330,11 +343,93 @@ fn rsc_encode(bits: &[u8]) -> (Vec<u8>, [(u8, u8); TAIL]) {
     (parity, tail)
 }
 
+/// Unreachable-path sentinel for the max-log recursions.
+///
+/// Finite rather than `-inf` so that the guard-free gather form below can
+/// add branch metrics to unreachable states without producing NaN
+/// (`-inf + inf`): for any metric `|x|` below one ulp of 1e30 (~7.6e22),
+/// `NEG + x == NEG` exactly, so unreachable lanes stay pinned at the
+/// sentinel and never win a max against a reachable path.
+pub(crate) const NEG: f32 = -1.0e30;
+
+/// Predecessor state feeding next-state `t` whose oldest register bit
+/// (the one shifted out) is `d3`: `ALPHA_PRED[d3][t]`. Every state has
+/// exactly one even (`d3 = 0`) and one odd (`d3 = 1`) predecessor, which
+/// is what makes the forward recursion two vector gathers.
+pub(crate) const ALPHA_PRED: [[usize; STATES]; 2] =
+    [[0, 2, 4, 6, 0, 2, 4, 6], [1, 3, 5, 7, 1, 3, 5, 7]];
+
+/// Information bit on the branch `ALPHA_PRED[d3][t] → t`
+/// (`u = t2 ^ t0 ^ d3` with `t = (t2,t1,t0)`).
+pub(crate) const ALPHA_INPUT: [[u8; STATES]; 2] =
+    [[0, 1, 0, 1, 1, 0, 1, 0], [1, 0, 1, 0, 0, 1, 0, 1]];
+
+/// Parity bit on the branch `ALPHA_PRED[d3][t] → t` (`p = t2 ^ t1 ^ d3`).
+pub(crate) const ALPHA_PARITY: [[u8; STATES]; 2] =
+    [[0, 0, 1, 1, 1, 1, 0, 0], [1, 1, 0, 0, 0, 0, 1, 1]];
+
+/// Successor state `NEXT_STATE[u][s]` of the constituent encoder
+/// (`next = (u^d2^d3, d1, d2)`), used by the backward recursion and the
+/// LLR extraction as vector gathers over the next-step column.
+pub(crate) const NEXT_STATE: [[usize; STATES]; 2] =
+    [[0, 4, 5, 1, 2, 6, 7, 3], [4, 0, 1, 5, 6, 2, 3, 7]];
+
+/// Parity bit on the branch `s → NEXT_STATE[u][s]` (`p = u ^ d1 ^ d2`).
+pub(crate) const BRANCH_PARITY: [[u8; STATES]; 2] =
+    [[0, 0, 1, 1, 1, 1, 0, 0], [1, 1, 0, 0, 0, 0, 1, 1]];
+
+/// `+h` when the branch bit is 0, `-h` (a sign-bit flip, the scalar twin
+/// of the vector XOR-with-`-0.0`) when it is 1.
+#[inline(always)]
+fn signed(h: f32, bit: u8) -> f32 {
+    if bit == 0 {
+        h
+    } else {
+        -h
+    }
+}
+
+/// Reusable scratch for the iterative decoder: the per-iteration LLR
+/// vectors plus the flat state-major `alpha`/`beta` metric planes
+/// (`metric[i * 8 + state]`, one cache-aligned-enough 8-lane row per
+/// trellis step). Grown on first use per block size and then reused, so
+/// a warm workspace makes [`TurboDecoder::decode_into`] allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct TurboWorkspace {
+    sys_interleaved: Vec<f32>,
+    apriori1: Vec<f32>,
+    apriori2: Vec<f32>,
+    extrinsic1: Vec<f32>,
+    extrinsic2: Vec<f32>,
+    next_apriori: Vec<f32>,
+    alpha: Vec<f32>,
+    beta: Vec<f32>,
+    app: Vec<f32>,
+}
+
+impl TurboWorkspace {
+    /// Creates an empty workspace; buffers grow on first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, k: usize) {
+        self.sys_interleaved.resize(k, 0.0);
+        self.apriori1.resize(k, 0.0);
+        self.apriori2.resize(k, 0.0);
+        self.extrinsic1.resize(k, 0.0);
+        self.extrinsic2.resize(k, 0.0);
+        self.next_apriori.resize(k, 0.0);
+        // alpha/beta are sized inside the SISO pass.
+    }
+}
+
 /// Iterative max-log-MAP turbo decoder.
 #[derive(Clone, Debug)]
 pub struct TurboDecoder {
     interleaver: QppInterleaver,
     iterations: usize,
+    early_termination: bool,
 }
 
 impl TurboDecoder {
@@ -349,7 +444,31 @@ impl TurboDecoder {
         TurboDecoder {
             interleaver: QppInterleaver::new(k),
             iterations,
+            early_termination: false,
         }
+    }
+
+    /// Enables deterministic early termination: the iteration loop exits
+    /// as soon as the deinterleaved extrinsic feedback reaches a bitwise
+    /// fixed point (`apriori1` identical, bit for bit, to the previous
+    /// iteration's). Because each iteration is a pure function of
+    /// `(channel LLRs, apriori1)`, a repeated `apriori1` reproduces the
+    /// same `extrinsic1` and `apriori1` for every remaining iteration, so
+    /// the final APP — `sys + apriori1 + extrinsic1` — is provably
+    /// identical to running all `iterations`.
+    pub fn with_early_termination(mut self) -> Self {
+        self.early_termination = true;
+        self
+    }
+
+    /// Whether deterministic early termination is enabled.
+    pub fn early_termination(&self) -> bool {
+        self.early_termination
+    }
+
+    /// Configured full-iteration count.
+    pub fn iterations(&self) -> usize {
+        self.iterations
     }
 
     /// Block size `k`.
@@ -363,10 +482,10 @@ impl TurboDecoder {
     ///
     /// Panics if the LLR block sizes do not match `k`.
     pub fn decode(&self, llrs: &TurboLlrs) -> Vec<u8> {
-        self.decode_soft(llrs)
-            .into_iter()
-            .map(|l| if l >= 0.0 { 0 } else { 1 })
-            .collect()
+        let mut ws = TurboWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_into(llrs, &mut ws, &mut out);
+        out
     }
 
     /// Decodes channel LLRs into a-posteriori LLRs for the information bits.
@@ -375,175 +494,345 @@ impl TurboDecoder {
     ///
     /// Panics if the LLR block sizes do not match `k`.
     pub fn decode_soft(&self, llrs: &TurboLlrs) -> Vec<f32> {
+        let mut ws = TurboWorkspace::new();
+        let mut out = Vec::new();
+        self.decode_soft_into(llrs, &mut ws, &mut out);
+        out
+    }
+
+    /// [`decode`](Self::decode) into caller-provided buffers; with a warm
+    /// workspace and sufficient `out` capacity this allocates nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LLR block sizes do not match `k`.
+    pub fn decode_into(&self, llrs: &TurboLlrs, ws: &mut TurboWorkspace, out: &mut Vec<u8>) {
+        let mut app = std::mem::take(&mut ws.app);
+        self.decode_soft_into(llrs, ws, &mut app);
+        out.clear();
+        out.extend(app.iter().map(|&l| if l >= 0.0 { 0u8 } else { 1 }));
+        ws.app = app;
+    }
+
+    /// [`decode_soft`](Self::decode_soft) into caller-provided buffers;
+    /// with a warm workspace and sufficient `out` capacity this allocates
+    /// nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the LLR block sizes do not match `k`.
+    pub fn decode_soft_into(&self, llrs: &TurboLlrs, ws: &mut TurboWorkspace, out: &mut Vec<f32>) {
         let k = self.block_size();
         assert_eq!(llrs.systematic.len(), k, "systematic length mismatch");
         assert_eq!(llrs.parity1.len(), k, "parity1 length mismatch");
         assert_eq!(llrs.parity2.len(), k, "parity2 length mismatch");
 
-        let sys_interleaved = self.interleaver.apply(&llrs.systematic);
-        let mut apriori1 = vec![0.0f32; k];
-        let mut extrinsic1 = vec![0.0f32; k];
-        let trellis = trellis();
+        ws.prepare(k);
+        let TurboWorkspace {
+            sys_interleaved,
+            apriori1,
+            apriori2,
+            extrinsic1,
+            extrinsic2,
+            next_apriori,
+            alpha,
+            beta,
+            ..
+        } = ws;
+        self.interleaver
+            .apply_into(&llrs.systematic, sys_interleaved);
+        apriori1.fill(0.0);
 
         for _ in 0..self.iterations {
-            extrinsic1 = siso_maxlog(
-                &trellis,
+            siso_maxlog_into(
                 &llrs.systematic,
                 &llrs.parity1,
-                &apriori1,
+                apriori1,
                 &llrs.tail1,
+                alpha,
+                beta,
+                extrinsic1,
             );
-            let apriori2 = self.interleaver.apply(&extrinsic1);
-            let extrinsic2 = siso_maxlog(
-                &trellis,
-                &sys_interleaved,
+            self.interleaver.apply_into(extrinsic1, apriori2);
+            siso_maxlog_into(
+                sys_interleaved,
                 &llrs.parity2,
-                &apriori2,
+                apriori2,
                 &llrs.tail2,
+                alpha,
+                beta,
+                extrinsic2,
             );
-            apriori1 = self.interleaver.invert(&extrinsic2);
+            self.interleaver.invert_into(extrinsic2, next_apriori);
+            let converged = self.early_termination
+                && next_apriori
+                    .iter()
+                    .zip(apriori1.iter())
+                    .all(|(a, b)| a.to_bits() == b.to_bits());
+            std::mem::swap(apriori1, next_apriori);
+            if converged {
+                break;
+            }
         }
 
-        (0..k)
-            .map(|i| llrs.systematic[i] + apriori1[i] + extrinsic1[i])
-            .collect()
+        out.clear();
+        out.reserve(k);
+        for i in 0..k {
+            out.push(llrs.systematic[i] + apriori1[i] + extrinsic1[i]);
+        }
     }
 }
 
-/// One max-log-MAP (BCJR) pass over a terminated RSC trellis.
+/// Runs one SISO pass with zero a-priori input and exposes the raw
+/// `alpha`/`beta` metric planes and extrinsic output — the conformance
+/// hook that pins each turbo sub-kernel (not just the final bits) on
+/// both dispatch paths.
+pub fn siso_probe<'w>(
+    llrs: &TurboLlrs,
+    ws: &'w mut TurboWorkspace,
+) -> (&'w [f32], &'w [f32], &'w [f32]) {
+    let k = llrs.systematic.len();
+    assert_eq!(llrs.parity1.len(), k, "parity1 length mismatch");
+    ws.prepare(k);
+    let TurboWorkspace {
+        apriori1,
+        extrinsic1,
+        alpha,
+        beta,
+        ..
+    } = ws;
+    apriori1.fill(0.0);
+    siso_maxlog_into(
+        &llrs.systematic,
+        &llrs.parity1,
+        apriori1,
+        &llrs.tail1,
+        alpha,
+        beta,
+        extrinsic1,
+    );
+    (alpha.as_slice(), beta.as_slice(), extrinsic1.as_slice())
+}
+
+/// One max-log-MAP (BCJR) pass over a terminated RSC trellis, writing
+/// into workspace buffers.
 ///
 /// Inputs and outputs use the `ln P(0)/P(1)` convention; `sys`/`apriori`
-/// refer to the information bit, `par` to the branch parity.
-fn siso_maxlog(
-    trellis: &[[Transition; 2]; STATES],
+/// refer to the information bit, `par` to the branch parity. The three
+/// hot loops (forward, backward, extrinsic) are gather-form over the
+/// 8-state rows — [`crate::simd`] runs the same operation DAG with each
+/// row in one AVX2 register — while the three tail steps stay scalar.
+fn siso_maxlog_into(
     sys: &[f32],
     par: &[f32],
     apriori: &[f32],
     tail: &[(f32, f32); TAIL],
-) -> Vec<f32> {
+    alpha: &mut Vec<f32>,
+    beta: &mut Vec<f32>,
+    extrinsic: &mut [f32],
+) {
     let k = sys.len();
     let n = k + TAIL;
-    const NEG: f32 = -1.0e30;
+    debug_assert_eq!(par.len(), k);
+    debug_assert_eq!(apriori.len(), k);
+    debug_assert_eq!(extrinsic.len(), k);
 
-    // Branch metric for (input u, parity p): +LLR/2 when the bit is 0.
-    let half = |l: f32, bit: u8| if bit == 0 { 0.5 * l } else { -0.5 * l };
+    // Both recursions over the information section: alpha rows 1..=k
+    // forward, beta rows k-1..=0 backward. The walks are completely
+    // independent (alpha reads only earlier alpha rows, beta only later
+    // beta rows), so the vector kernel interleaves them in one loop —
+    // two dependency chains in flight instead of one, with each row's
+    // operation DAG unchanged. The scalar reference keeps the two
+    // separate loops; independence makes the results identical.
+    alpha.resize((n + 1) * STATES, 0.0);
+    alpha[..STATES].copy_from_slice(&[0.0, NEG, NEG, NEG, NEG, NEG, NEG, NEG]);
+    beta.resize((k + 1) * STATES, 0.0);
+    beta_tail(beta, tail, k);
+    if !crate::simd::turbo_alpha_beta(sys, par, apriori, alpha, beta) {
+        scalar_alpha(sys, par, apriori, alpha);
+        scalar_beta(sys, par, apriori, beta);
+    }
+    // The three forced-flush tail steps extend alpha past row k; they
+    // only read row k, so they run after the fused kernel.
+    alpha_tail(alpha, tail, k);
 
-    // Forward recursion.
-    let mut alpha = vec![[NEG; STATES]; n + 1];
-    alpha[0][0] = 0.0;
-    for i in 0..n {
-        let (ls, lp) = if i < k {
-            (sys[i] + apriori[i], par[i])
-        } else {
-            (tail[i - k].0, tail[i - k].1)
-        };
-        for s in 0..STATES {
-            let a = alpha[i][s];
+    if !crate::simd::turbo_extrinsic(sys, par, apriori, alpha, beta, extrinsic) {
+        scalar_extrinsic(sys, par, apriori, alpha, beta, extrinsic);
+    }
+}
+
+/// Scalar forward recursion over the information section, in gather form:
+/// `alpha[i+1][t] = max over d3 of alpha[i][pred] + branch metric`, with
+/// the max seeded at [`NEG`] and candidates taken in `d3 = 0, 1` order —
+/// the exact DAG of the vector kernel.
+pub(crate) fn scalar_alpha(sys: &[f32], par: &[f32], apriori: &[f32], alpha: &mut [f32]) {
+    for i in 0..sys.len() {
+        let hs = 0.5 * (sys[i] + apriori[i]);
+        let hp = 0.5 * par[i];
+        let (prev, rest) = alpha[i * STATES..].split_at_mut(STATES);
+        let next = &mut rest[..STATES];
+        for t in 0..STATES {
+            let c0 = (prev[ALPHA_PRED[0][t]] + signed(hs, ALPHA_INPUT[0][t]))
+                + signed(hp, ALPHA_PARITY[0][t]);
+            let c1 = (prev[ALPHA_PRED[1][t]] + signed(hs, ALPHA_INPUT[1][t]))
+                + signed(hp, ALPHA_PARITY[1][t]);
+            let mut best = NEG;
+            if c0 > best {
+                best = c0;
+            }
+            if c1 > best {
+                best = c1;
+            }
+            next[t] = best;
+        }
+    }
+}
+
+/// The three forced-flush tail steps of the forward recursion (scalar on
+/// both dispatch paths; 24 branches total, not worth a vector twin).
+fn alpha_tail(alpha: &mut [f32], tail: &[(f32, f32); TAIL], k: usize) {
+    for (j, &(ls, lp)) in tail.iter().enumerate() {
+        let hs = 0.5 * ls;
+        let hp = 0.5 * lp;
+        let (prev, rest) = alpha[(k + j) * STATES..].split_at_mut(STATES);
+        let next = &mut rest[..STATES];
+        next.fill(NEG);
+        for (s, &a) in prev.iter().enumerate() {
             if a <= NEG {
                 continue;
             }
-            for u in 0..2u8 {
-                // Tail steps have a forced input, but metric-wise we still
-                // weigh both branches; the termination constraint enters via
-                // beta's zero-state boundary. For exactness we only allow the
-                // flush branch during the tail.
-                if i >= k {
-                    let d2 = (s >> 1) & 1;
-                    let d3 = s & 1;
-                    if u as usize != (d2 ^ d3) {
-                        continue;
-                    }
-                }
-                let tr = trellis[s][u as usize];
-                let m = a + half(ls, u) + half(lp, tr.parity);
-                let t = &mut alpha[i + 1][tr.next as usize];
-                if m > *t {
-                    *t = m;
-                }
+            let d1 = (s >> 2) & 1;
+            let d2 = (s >> 1) & 1;
+            let d3 = s & 1;
+            // Forced flush input cancels the feedback (a = 0).
+            let u = (d2 ^ d3) as u8;
+            let parity = (u as usize ^ d1 ^ d2) as u8;
+            let nxt = (d1 << 1) | d2;
+            let m = (a + signed(hs, u)) + signed(hp, parity);
+            if m > next[nxt] {
+                next[nxt] = m;
             }
         }
     }
+}
 
-    // Backward recursion.
-    #[allow(clippy::needless_range_loop)] // states index parallel arrays
-    let mut beta_next = [NEG; STATES];
-    beta_next[0] = 0.0; // terminated trellis
-    let mut beta_store = vec![[NEG; STATES]; k + 1];
-    beta_store[k] = beta_next;
-    for i in (k..n).rev() {
-        let (ls, lp) = (tail[i - k].0, tail[i - k].1);
-        let mut beta = [NEG; STATES];
-        for s in 0..STATES {
+/// Seeds `beta[k]` by walking the three forced-flush tail steps backward
+/// from the terminated zero state (scalar on both dispatch paths).
+fn beta_tail(beta: &mut [f32], tail: &[(f32, f32); TAIL], k: usize) {
+    let mut next = [NEG; STATES];
+    next[0] = 0.0; // terminated trellis
+    for &(ls, lp) in tail.iter().rev() {
+        let hs = 0.5 * ls;
+        let hp = 0.5 * lp;
+        let mut row = [NEG; STATES];
+        for (s, r) in row.iter_mut().enumerate() {
+            let d1 = (s >> 2) & 1;
             let d2 = (s >> 1) & 1;
             let d3 = s & 1;
             let u = (d2 ^ d3) as u8;
-            let tr = trellis[s][u as usize];
-            let b = beta_next[tr.next as usize];
+            let parity = (u as usize ^ d1 ^ d2) as u8;
+            let nxt = (d1 << 1) | d2;
+            let b = next[nxt];
             if b <= NEG {
                 continue;
             }
-            let m = b + half(ls, u) + half(lp, tr.parity);
-            if m > beta[s] {
-                beta[s] = m;
+            let m = (b + signed(hs, u)) + signed(hp, parity);
+            if m > *r {
+                *r = m;
             }
         }
-        beta_next = beta;
+        next = row;
     }
-    beta_store[k] = beta_next;
-    for i in (0..k).rev() {
-        let ls = sys[i] + apriori[i];
-        let lp = par[i];
-        let mut beta = [NEG; STATES];
-        for s in 0..STATES {
-            for u in 0..2u8 {
-                let tr = trellis[s][u as usize];
-                let b = beta_store[i + 1][tr.next as usize];
-                if b <= NEG {
-                    continue;
-                }
-                let m = b + half(ls, u) + half(lp, tr.parity);
-                if m > beta[s] {
-                    beta[s] = m;
-                }
-            }
-        }
-        beta_store[i] = beta;
-    }
+    beta[k * STATES..(k + 1) * STATES].copy_from_slice(&next);
+}
 
-    // Extrinsic output.
-    let mut extrinsic = Vec::with_capacity(k);
-    for i in 0..k {
-        let ls = sys[i] + apriori[i];
-        let lp = par[i];
-        let mut best0 = NEG;
-        let mut best1 = NEG;
+/// Scalar backward recursion over the information section, in gather
+/// form: `beta[i][s] = max over u of beta[i+1][next] + branch metric`,
+/// candidates in `u = 0, 1` order — the exact DAG of the vector kernel.
+pub(crate) fn scalar_beta(sys: &[f32], par: &[f32], apriori: &[f32], beta: &mut [f32]) {
+    for i in (0..sys.len()).rev() {
+        let hs = 0.5 * (sys[i] + apriori[i]);
+        let hp = 0.5 * par[i];
+        let (row, rest) = beta[i * STATES..].split_at_mut(STATES);
+        let next = &rest[..STATES];
         for s in 0..STATES {
-            let a = alpha[i][s];
-            if a <= NEG {
-                continue;
+            let c0 = (next[NEXT_STATE[0][s]] + hs) + signed(hp, BRANCH_PARITY[0][s]);
+            let c1 = (next[NEXT_STATE[1][s]] + (-hs)) + signed(hp, BRANCH_PARITY[1][s]);
+            let mut best = NEG;
+            if c0 > best {
+                best = c0;
             }
-            for u in 0..2u8 {
-                let tr = trellis[s][u as usize];
-                let b = beta_store[i + 1][tr.next as usize];
-                if b <= NEG {
-                    continue;
-                }
-                let m = a + b + half(lp, tr.parity);
-                if u == 0 {
-                    if m > best0 {
-                        best0 = m;
-                    }
-                } else if m > best1 {
-                    best1 = m;
-                }
+            if c1 > best {
+                best = c1;
             }
+            row[s] = best;
         }
-        // Total APP for bit i is (best0 + ls/2) − (best1 − ls/2);
-        // the extrinsic removes systematic and a-priori contributions.
-        let app = (best0 + 0.5 * ls) - (best1 - 0.5 * ls);
-        extrinsic.push(app - ls);
     }
-    extrinsic
+}
+
+/// Scalar LLR extraction: per step, the 8 branch metrics for `u = 0` and
+/// `u = 1` are formed in gather form and reduced by [`finish_llr`].
+pub(crate) fn scalar_extrinsic(
+    sys: &[f32],
+    par: &[f32],
+    apriori: &[f32],
+    alpha: &[f32],
+    beta: &[f32],
+    extrinsic: &mut [f32],
+) {
+    let mut m0 = [0f32; STATES];
+    let mut m1 = [0f32; STATES];
+    for i in 0..sys.len() {
+        let hp = 0.5 * par[i];
+        let a = &alpha[i * STATES..(i + 1) * STATES];
+        let b = &beta[(i + 1) * STATES..(i + 2) * STATES];
+        for s in 0..STATES {
+            m0[s] = (a[s] + b[NEXT_STATE[0][s]]) + signed(hp, BRANCH_PARITY[0][s]);
+            m1[s] = (a[s] + b[NEXT_STATE[1][s]]) + signed(hp, BRANCH_PARITY[1][s]);
+        }
+        extrinsic[i] = finish_llr(&m0, &m1, sys[i] + apriori[i]);
+    }
+}
+
+/// `if cand > acc { cand } else { acc }` — the one max primitive both
+/// dispatch paths reduce with. Candidate-first `MAXPS` has exactly these
+/// semantics (ties, signed zeros, and NaNs all resolve to the
+/// accumulator), so the vector tree in [`crate::simd`] matches this
+/// scalar fold bit-for-bit.
+#[inline(always)]
+pub(crate) fn pick(acc: f32, cand: f32) -> f32 {
+    if cand > acc {
+        cand
+    } else {
+        acc
+    }
+}
+
+/// Balanced-tree max over the 8 branch metrics, seeded at [`NEG`]:
+/// adjacent lane pairs, then quads, then halves — the order an in-register
+/// shuffle/max ladder reduces in, so the vector kernel never has to spill
+/// its metric rows to memory to match the scalar reduction.
+#[inline(always)]
+pub(crate) fn reduce_states(m: &[f32; STATES]) -> f32 {
+    let x01 = pick(m[0], m[1]);
+    let x23 = pick(m[2], m[3]);
+    let x45 = pick(m[4], m[5]);
+    let x67 = pick(m[6], m[7]);
+    let lo = pick(x01, x23);
+    let hi = pick(x45, x67);
+    pick(NEG, pick(lo, hi))
+}
+
+/// Tree max reduction plus APP assembly; the vector kernel runs the
+/// identical tree in-register (see [`reduce_states`]), so the reduction
+/// order is the same on both dispatch paths by construction.
+pub(crate) fn finish_llr(m0: &[f32; STATES], m1: &[f32; STATES], ls: f32) -> f32 {
+    let best0 = reduce_states(m0);
+    let best1 = reduce_states(m1);
+    // Total APP for bit i is (best0 + ls/2) − (best1 − ls/2);
+    // the extrinsic removes systematic and a-priori contributions.
+    let app = (best0 + 0.5 * ls) - (best1 - 0.5 * ls);
+    app - ls
 }
 
 /// Supported 3GPP table sizes (sorted).
@@ -556,17 +845,28 @@ pub fn tabulated_block_sizes() -> Vec<usize> {
 /// denser ladder keeps segmentation's padding overhead small, mirroring
 /// the full 188-entry standard table's granularity.
 pub fn supported_block_sizes() -> Vec<usize> {
-    let mut sizes = tabulated_block_sizes();
-    sizes.extend((1024..=6144).step_by(64));
-    sizes.sort_unstable();
-    sizes.dedup();
-    sizes
+    supported_block_sizes_cached().to_vec()
+}
+
+/// [`supported_block_sizes`] as a borrowed static table — the form the
+/// receiver's steady-state segmentation lookups use, since it never
+/// touches the heap after the first call.
+pub fn supported_block_sizes_cached() -> &'static [usize] {
+    static SIZES: std::sync::OnceLock<Vec<usize>> = std::sync::OnceLock::new();
+    SIZES.get_or_init(|| {
+        let mut sizes = tabulated_block_sizes();
+        sizes.extend((1024..=6144).step_by(64));
+        sizes.sort_unstable();
+        sizes.dedup();
+        sizes
+    })
 }
 
 /// The nearest supported block size `>= k` (or the maximum, 6144).
 pub fn nearest_block_size(k: usize) -> usize {
-    supported_block_sizes()
-        .into_iter()
+    supported_block_sizes_cached()
+        .iter()
+        .copied()
         .find(|&s| s >= k)
         .unwrap_or(6144)
 }
@@ -712,5 +1012,127 @@ mod tests {
     #[should_panic(expected = "block size")]
     fn wrong_input_length_panics() {
         TurboEncoder::new(40).encode(&[0; 39]);
+    }
+
+    #[test]
+    fn gather_tables_match_trellis() {
+        let t = trellis();
+        for s in 0..STATES {
+            for u in 0..2usize {
+                assert_eq!(
+                    t[s][u].next as usize, NEXT_STATE[u][s],
+                    "next state ({s}, {u})"
+                );
+                assert_eq!(t[s][u].parity, BRANCH_PARITY[u][s], "parity ({s}, {u})");
+            }
+        }
+        for d3 in 0..2usize {
+            for nxt in 0..STATES {
+                let pred = ALPHA_PRED[d3][nxt];
+                assert_eq!(pred & 1, d3, "predecessor parity ({d3}, {nxt})");
+                let u = ALPHA_INPUT[d3][nxt] as usize;
+                assert_eq!(t[pred][u].next as usize, nxt, "pred edge ({d3}, {nxt})");
+                assert_eq!(
+                    t[pred][u].parity, ALPHA_PARITY[d3][nxt],
+                    "pred parity ({d3}, {nxt})"
+                );
+            }
+        }
+    }
+
+    fn noisy_llrs(k: usize, sigma: f32, seed: u64) -> (Vec<u8>, TurboLlrs) {
+        let bits = random_bits(k, seed);
+        let code = TurboEncoder::new(k).encode(&bits);
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xD00D);
+        let mut noisy = |b: u8| {
+            let tx = if b == 0 { 1.0f32 } else { -1.0 };
+            let y = tx + sigma * rng.next_gaussian() as f32;
+            2.0 * y / (sigma * sigma)
+        };
+        let llrs = TurboLlrs {
+            systematic: code.systematic.iter().map(|&b| noisy(b)).collect(),
+            parity1: code.parity1.iter().map(|&b| noisy(b)).collect(),
+            parity2: code.parity2.iter().map(|&b| noisy(b)).collect(),
+            tail1: code.tail1.map(|(x, p)| (noisy(x), noisy(p))),
+            tail2: code.tail2.map(|(x, p)| (noisy(x), noisy(p))),
+        };
+        (bits, llrs)
+    }
+
+    #[test]
+    fn decode_into_matches_decode_across_workspace_reuse() {
+        // One workspace serves mixed block sizes; results must not depend
+        // on what the buffers previously held.
+        let mut ws = TurboWorkspace::new();
+        let mut hard = Vec::new();
+        let mut soft = Vec::new();
+        for (k, sigma) in [(104, 0.6), (40, 0.9), (512, 0.7), (48, 0.5)] {
+            let (_, llrs) = noisy_llrs(k, sigma, k as u64);
+            let dec = TurboDecoder::new(k, 3);
+            dec.decode_into(&llrs, &mut ws, &mut hard);
+            assert_eq!(hard, dec.decode(&llrs), "hard k={k}");
+            dec.decode_soft_into(&llrs, &mut ws, &mut soft);
+            let fresh = dec.decode_soft(&llrs);
+            assert_eq!(soft.len(), fresh.len());
+            for (a, b) in soft.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits(), "soft k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_decodes_are_bit_identical() {
+        for (k, sigma) in [(40, 0.4), (104, 0.8), (256, 1.0), (1088, 0.7)] {
+            let (_, llrs) = noisy_llrs(k, sigma, 0x51D ^ k as u64);
+            let dec = TurboDecoder::new(k, 4);
+            crate::simd::force_scalar(false);
+            let simd = dec.decode_soft(&llrs);
+            crate::simd::force_scalar(true);
+            let scalar = dec.decode_soft(&llrs);
+            crate::simd::force_scalar(false);
+            for (i, (a, b)) in simd.iter().zip(&scalar).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "k={k} bit {i}: {a:e} vs {b:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn early_termination_is_output_preserving() {
+        // Saturated noiseless inputs converge in a couple of iterations,
+        // so the early-exit path is definitely taken; the soft outputs
+        // must still match the full run bit for bit.
+        let k = 104;
+        let bits = random_bits(k, 21);
+        let llrs = TurboEncoder::new(k).encode(&bits).to_llrs(8.0);
+        let full = TurboDecoder::new(k, 8);
+        let early = TurboDecoder::new(k, 8).with_early_termination();
+        assert!(early.early_termination());
+        let a = full.decode_soft(&llrs);
+        let b = early.decode_soft(&llrs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(early.decode(&llrs), bits);
+    }
+
+    #[test]
+    fn siso_probe_is_dispatch_invariant() {
+        let (_, llrs) = noisy_llrs(104, 0.7, 3);
+        let mut ws = TurboWorkspace::new();
+        crate::simd::force_scalar(false);
+        let (a, b, e) = siso_probe(&llrs, &mut ws);
+        let (a, b, e) = (a.to_vec(), b.to_vec(), e.to_vec());
+        let mut ws2 = TurboWorkspace::new();
+        crate::simd::force_scalar(true);
+        let (a2, b2, e2) = siso_probe(&llrs, &mut ws2);
+        crate::simd::force_scalar(false);
+        for (x, y) in a
+            .iter()
+            .zip(a2)
+            .chain(b.iter().zip(b2))
+            .chain(e.iter().zip(e2))
+        {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
     }
 }

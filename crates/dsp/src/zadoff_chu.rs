@@ -77,13 +77,19 @@ impl ReferenceSequence {
         let n_zc = largest_prime_at_most(len);
         let u = 1 + root % (n_zc - 1); // valid ZC roots are 1..n_zc-1
         let mut samples = Vec::with_capacity(len);
-        for n in 0..len {
-            let m = n % n_zc;
+        // The sequence is periodic in N_zc (m = n mod N_zc), so the f64
+        // trig runs only over one prime period; the cyclic extension is a
+        // bit-exact copy of the first period.
+        for m in 0..len.min(n_zc) {
             // x_u(m) = exp(-iπ u m (m+1) / N_zc); compute the phase with
             // integer arithmetic modulo 2·N_zc to keep precision at large m.
             let q = (u * m % (2 * n_zc)) * ((m + 1) % (2 * n_zc)) % (2 * n_zc);
             let phase = -(std::f64::consts::PI) * q as f64 / n_zc as f64;
             samples.push(Complex32::new(phase.cos() as f32, phase.sin() as f32));
+        }
+        for n in n_zc..len {
+            let s = samples[n - n_zc];
+            samples.push(s);
         }
         ReferenceSequence { samples, root: u }
     }
@@ -91,13 +97,16 @@ impl ReferenceSequence {
     /// Applies a cyclic time shift of `alpha` (radians per subcarrier): a
     /// frequency-domain phase ramp distinguishing users/layers that share a
     /// base sequence.
+    ///
+    /// The per-subcarrier rotators come from the scalar `cis` table (cold
+    /// construction); the rotation itself is the [`crate::simd`]
+    /// complex-multiply kernel, vectorized when AVX2 is available.
     pub fn with_cyclic_shift(&self, alpha: f32) -> ReferenceSequence {
-        let samples = self
-            .samples
-            .iter()
-            .enumerate()
-            .map(|(n, z)| *z * Complex32::cis(alpha * n as f32))
+        let rot: Vec<Complex32> = (0..self.samples.len())
+            .map(|n| Complex32::cis(alpha * n as f32))
             .collect();
+        let mut samples = vec![Complex32::ZERO; self.samples.len()];
+        crate::simd::cmul_into(&mut samples, &self.samples, &rot);
         ReferenceSequence {
             samples,
             root: self.root,

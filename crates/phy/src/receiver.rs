@@ -18,7 +18,7 @@ use lte_dsp::llr::{demap_block, demap_block_into, hard_decisions, hard_decisions
 use lte_dsp::rate_match::RateMatcher;
 use lte_dsp::scrambling::descramble_llrs;
 use lte_dsp::segmentation::Segmentation;
-use lte_dsp::turbo::TurboDecoder;
+use lte_dsp::turbo::{TurboDecoder, TurboLlrs, TurboWorkspace};
 use lte_dsp::Complex32;
 use lte_obs::{Recorder, Stage};
 
@@ -42,6 +42,85 @@ impl UserResult {
     /// `true` when the payload matches the transmitted ground truth.
     pub fn matches(&self, ground_truth: &[u8]) -> bool {
         self.crc_ok && self.payload == ground_truth
+    }
+}
+
+/// Per-worker turbo-decode state: a small cache of constructed
+/// decoder/rate-matcher pairs keyed on `(block size, iterations)` (QPP
+/// interleaver construction is far too expensive to repeat per subframe),
+/// the reusable SISO workspace, and the LLR/bit staging buffers. With a
+/// warm cache the whole decode tail allocates nothing — the fix for
+/// turbo mode having been outside PR 3's zero-alloc guarantee.
+#[derive(Default)]
+pub struct TurboScratch {
+    codecs: Vec<(usize, usize, TurboDecoder, RateMatcher)>,
+    workspace: TurboWorkspace,
+    llrs: TurboLlrs,
+    block_bits: Vec<u8>,
+}
+
+impl TurboScratch {
+    /// A fresh scratch; the codec cache fills on first decode.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rate-dematches and turbo-decodes one code block's LLR share,
+    /// returning the decoded bits (borrowed from the internal staging
+    /// buffer, valid until the next call).
+    fn decode_block(&mut self, k: usize, iterations: usize, llr: &[f32]) -> &[u8] {
+        let pos = match self
+            .codecs
+            .iter()
+            .position(|&(ck, ci, ..)| ck == k && ci == iterations)
+        {
+            Some(pos) => pos,
+            None => {
+                self.codecs.push((
+                    k,
+                    iterations,
+                    TurboDecoder::new(k, iterations),
+                    RateMatcher::new(k),
+                ));
+                self.codecs.len() - 1
+            }
+        };
+        let (_, _, decoder, matcher) = &self.codecs[pos];
+        matcher.accumulate_llrs_into(llr, &mut self.llrs);
+        decoder.decode_into(&self.llrs, &mut self.workspace, &mut self.block_bits);
+        &self.block_bits
+    }
+}
+
+/// Undoes rate matching, turbo-decodes and desegments one transport
+/// block from its deinterleaved LLR stream, appending the reassembled
+/// bits to `bits`. Shared by the allocating and arena-backed tails so
+/// their results are byte-identical by construction. Per-block CRC-24B
+/// failures are absorbed here (a failed block CRC implies the transport
+/// CRC-24A will fail too, matching `desegment`'s contract).
+fn decode_transport(
+    turbo: &mut TurboScratch,
+    deinterleaved: &[f32],
+    iterations: usize,
+    transport_bits: usize,
+    n_blocks: usize,
+    k: usize,
+    bits: &mut Vec<u8>,
+) {
+    let shape = Segmentation::shape_for_len(transport_bits);
+    debug_assert_eq!(shape.n_blocks, n_blocks);
+    debug_assert_eq!(shape.block_size, k);
+    // The per-block shares of crate::tx::rate_match_shares, computed
+    // inline to keep this path allocation-free.
+    let total = deinterleaved.len();
+    let base = total / n_blocks;
+    let rem = total % n_blocks;
+    let mut cursor = 0usize;
+    for b in 0..n_blocks {
+        let e = base + usize::from(b < rem);
+        let llr = &deinterleaved[cursor..cursor + e];
+        cursor += e;
+        let _block_ok = shape.desegment_block_into(b, turbo.decode_block(k, iterations, llr), bits);
     }
 }
 
@@ -94,23 +173,20 @@ pub fn finish_user_traced<R: Recorder>(
             },
         ) => {
             // Undo rate matching per block (soft-combining repeats),
-            // decode, then reassemble the transport block (per-block
-            // CRC-24B checks happen inside desegment; a failed block CRC
-            // implies the transport CRC-24A will fail too).
-            let decoder = TurboDecoder::new(k, iterations);
-            let matcher = RateMatcher::new(k);
-            let shares = crate::tx::rate_match_shares(total, n_blocks);
-            let mut cursor = 0usize;
-            let decoded: Vec<Vec<u8>> = shares
-                .iter()
-                .map(|&e| {
-                    let llr = &deinterleaved[cursor..cursor + e];
-                    cursor += e;
-                    decoder.decode(&matcher.accumulate_llrs(llr))
-                })
-                .collect();
-            let shape = Segmentation::shape_for_len(transport_bits);
-            let (bits, _blocks_ok) = shape.desegment(&decoded);
+            // decode, then reassemble the transport block. This reference
+            // path builds its turbo state fresh each call; the steady-state
+            // path reuses a per-worker [`TurboScratch`].
+            let mut turbo = TurboScratch::new();
+            let mut bits = Vec::new();
+            decode_transport(
+                &mut turbo,
+                &deinterleaved,
+                iterations,
+                transport_bits,
+                n_blocks,
+                k,
+                &mut bits,
+            );
             (bits, transport_bits)
         }
         _ => unreachable!("plan always matches mode"),
@@ -143,6 +219,7 @@ pub fn finish_user_with_arena(
     mode: TurboMode,
     llrs: &[f32],
     arena: &mut ScratchArena,
+    turbo: &mut TurboScratch,
 ) -> UserResult {
     let user = &input.config;
     let total = user.bits_per_subframe();
@@ -171,23 +248,19 @@ pub fn finish_user_with_arena(
                 ..
             },
         ) => {
-            // The turbo decoder allocates internally; the zero-allocation
-            // guarantee covers the pass-through configuration the paper's
-            // steady-state scenarios run.
-            let decoder = TurboDecoder::new(k, iterations);
-            let matcher = RateMatcher::new(k);
-            let shares = crate::tx::rate_match_shares(total, n_blocks);
-            let mut cursor = 0usize;
-            let decoded: Vec<Vec<u8>> = shares
-                .iter()
-                .map(|&e| {
-                    let llr = &deinterleaved[cursor..cursor + e];
-                    cursor += e;
-                    decoder.decode(&matcher.accumulate_llrs(llr))
-                })
-                .collect();
-            let shape = Segmentation::shape_for_len(transport_bits);
-            let (bits, _blocks_ok) = shape.desegment(&decoded);
+            // Decode through the per-worker turbo scratch: with a warm
+            // codec cache the whole tail — rate dematch, SISO iterations,
+            // desegmentation — reuses held buffers and allocates nothing.
+            let mut bits = arena.take_u8(transport_bits);
+            decode_transport(
+                turbo,
+                &deinterleaved,
+                iterations,
+                transport_bits,
+                n_blocks,
+                k,
+                &mut bits,
+            );
             (bits, transport_bits)
         }
         _ => unreachable!("plan always matches mode"),
@@ -334,6 +407,8 @@ pub fn demodulate_user_traced<R: Recorder>(
 pub struct UserScratch {
     /// Size-classed buffer pools and FFT working space.
     pub arena: ScratchArena,
+    /// Cached turbo decoders, SISO workspace and LLR staging buffers.
+    pub turbo: TurboScratch,
     est: ChannelEstimate,
     weights: Vec<CombinerWeights>,
     mmse: MmseScratch,
@@ -484,7 +559,8 @@ pub fn process_user_pooled(
     UserScratch::with(|scratch| {
         let mut llrs = std::mem::take(&mut scratch.llrs);
         demodulate_user_into(cell, input, planner, scratch, &mut llrs);
-        let result = finish_user_with_arena(input, mode, &llrs, &mut scratch.arena);
+        let result =
+            finish_user_with_arena(input, mode, &llrs, &mut scratch.arena, &mut scratch.turbo);
         scratch.llrs = llrs;
         result
     })
@@ -648,8 +724,15 @@ mod tests {
         let llrs = demodulate_user(&cell, &input, &planner);
         let fresh = finish_user(&input, TurboMode::Passthrough, &llrs);
         let mut arena = ScratchArena::new();
+        let mut turbo = TurboScratch::new();
         for _ in 0..3 {
-            let pooled = finish_user_with_arena(&input, TurboMode::Passthrough, &llrs, &mut arena);
+            let pooled = finish_user_with_arena(
+                &input,
+                TurboMode::Passthrough,
+                &llrs,
+                &mut arena,
+                &mut turbo,
+            );
             assert_eq!(fresh, pooled);
             arena.recycle_u8(pooled.payload);
         }

@@ -16,7 +16,7 @@ use lte_obs::{Counter, EblerAccumulator, Histogram, Stage};
 use lte_phy::params::{CellConfig, TurboMode, UserConfig};
 use lte_phy::receiver::{process_user_pooled, UserScratch};
 use lte_phy::trace::StageHists;
-use lte_phy::tx::{prewarm_references, synthesize_user};
+use lte_phy::tx::{prewarm_references, synthesize_user, synthesize_user_with_mode};
 
 /// Forwards to the system allocator, counting every allocation (fresh,
 /// zeroed, and growing reallocations — the three ways the hot path could
@@ -49,12 +49,21 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-fn run_once(cell: &CellConfig, input: &lte_phy::grid::UserInput, planner: &FftPlanner) {
-    let result = process_user_pooled(cell, input, TurboMode::Passthrough, planner);
+fn run_once_with_mode(
+    cell: &CellConfig,
+    input: &lte_phy::grid::UserInput,
+    mode: TurboMode,
+    planner: &FftPlanner,
+) {
+    let result = process_user_pooled(cell, input, mode, planner);
     assert!(result.crc_ok, "steady-state subframe must pass CRC");
     // Return the payload buffer to the pool so the next subframe can
     // reuse it — exactly what the benchmark worker loop does.
     UserScratch::with(|s| s.arena.recycle_u8(result.payload));
+}
+
+fn run_once(cell: &CellConfig, input: &lte_phy::grid::UserInput, planner: &FftPlanner) {
+    run_once_with_mode(cell, input, TurboMode::Passthrough, planner);
 }
 
 #[test]
@@ -82,6 +91,41 @@ fn steady_state_subframe_is_allocation_free() {
     assert_eq!(
         delta, 0,
         "steady-state subframe processing hit the heap {delta} times"
+    );
+}
+
+/// The same guarantee in turbo-decode mode: once the per-worker
+/// [`lte_phy::receiver::TurboScratch`] codec cache and workspaces are
+/// warm, the full decode tail — rate dematch, SISO iterations,
+/// desegmentation, transport CRC — must not touch the heap. This is the
+/// regression guard for the per-subframe `TurboDecoder::new` the decode
+/// branch used to perform.
+#[test]
+fn steady_state_turbo_subframe_is_allocation_free() {
+    let cell = CellConfig::default();
+    let user = UserConfig::new(25, 2, Modulation::Qam16);
+    let mode = TurboMode::Decode { iterations: 4 };
+    let planner = FftPlanner::new();
+    let mut rng = Xoshiro256::seed_from_u64(44);
+    let input = synthesize_user_with_mode(&cell, &user, mode, 35.0, &mut rng);
+
+    // Warm every cache the hot path reads — including the turbo codec
+    // cache, whose QPP interleavers are built on the first decode.
+    planner.prewarm([user.prbs]);
+    prewarm_subblock([user.bits_per_subframe()]);
+    prewarm_references(&cell, &user);
+    for _ in 0..3 {
+        run_once_with_mode(&cell, &input, mode, &planner);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..5 {
+        run_once_with_mode(&cell, &input, mode, &planner);
+    }
+    let delta = ALLOCATIONS.load(Ordering::SeqCst) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state turbo subframe processing hit the heap {delta} times"
     );
 }
 

@@ -19,6 +19,7 @@
 //! ```text
 //! lte-fuzz [TARGET] [--iters N] [--seed S]
 //! TARGET: demap | fft | segmentation | rate-match | turbo |
+//!         turbo-simd | turbo-early-term | matched-filter |
 //!         calibration | all (default)
 //! ```
 
@@ -26,10 +27,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 use lte_dsp::llr::{demap_block_exact_into, demap_block_into};
+use lte_dsp::matched_filter::{matched_filter, matched_filter_inplace};
 use lte_dsp::rate_match::RateMatcher;
 use lte_dsp::segmentation::Segmentation;
 use lte_dsp::simd::force_scalar;
-use lte_dsp::turbo::{supported_block_sizes, TurboDecoder, TurboEncoder};
+use lte_dsp::turbo::{supported_block_sizes, TurboDecoder, TurboEncoder, TurboLlrs};
 use lte_dsp::{Complex32, Modulation, Xoshiro256};
 use lte_power::WorkloadEstimator;
 
@@ -41,6 +43,9 @@ const TARGETS: &[Target] = &[
     ("segmentation", fuzz_segmentation),
     ("rate-match", fuzz_rate_match),
     ("turbo", fuzz_turbo),
+    ("turbo-simd", fuzz_turbo_simd),
+    ("turbo-early-term", fuzz_turbo_early_term),
+    ("matched-filter", fuzz_matched_filter),
     ("calibration", fuzz_calibration),
 ];
 
@@ -113,8 +118,8 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: lte-fuzz [demap|fft|segmentation|rate-match|turbo|calibration|all] \
-         [--iters N] [--seed S]"
+        "usage: lte-fuzz [demap|fft|segmentation|rate-match|turbo|turbo-simd|\
+         turbo-early-term|matched-filter|calibration|all] [--iters N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -253,6 +258,131 @@ fn fuzz_turbo(seed: u64) {
     let decoder = TurboDecoder::new(k, 1 + rng.next_below(6) as usize);
     let decoded = decoder.decode(&code.to_llrs(mag));
     assert_eq!(decoded, bits, "k={k} mag={mag}: noiseless decode diverged");
+}
+
+/// Finite LLRs spanning ~60 decades, with exact zeros, subnormals and
+/// near-overflow (±∞-adjacent) magnitudes mixed in — everything the
+/// trellis recursions could meet short of actual non-finite channel
+/// output.
+fn wild_llrs(rng: &mut Xoshiro256, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|_| match rng.next_below(16) {
+            0 => 0.0,
+            1 => f32::MIN_POSITIVE / 2.0, // subnormal
+            2 => f32::MAX / 2.0,          // ±∞-adjacent
+            3 => -f32::MAX / 2.0,
+            _ => {
+                let scale = 10f32.powi(rng.next_below(61) as i32 - 30);
+                (rng.next_f32() * 2.0 - 1.0) * scale
+            }
+        })
+        .collect()
+}
+
+/// Sizes the differential turbo targets draw from: the full supported
+/// ladder capped at 1088 so a fuzz run stays fast while still covering
+/// tabulated and dense-ladder interleavers.
+fn fuzz_turbo_size(rng: &mut Xoshiro256) -> usize {
+    let sizes: Vec<usize> = supported_block_sizes()
+        .into_iter()
+        .filter(|&k| k <= 1088)
+        .collect();
+    sizes[rng.next_below(sizes.len() as u64) as usize]
+}
+
+/// The heart of the PR 9 contract: arbitrary (wild, mixed-sign,
+/// huge/tiny) channel LLRs through the state-parallel AVX2 decoder and
+/// the forced-scalar reference must produce bit-identical soft output
+/// and hard decisions.
+fn fuzz_turbo_simd(seed: u64) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let k = fuzz_turbo_size(&mut rng);
+    let mut llrs = TurboLlrs {
+        systematic: wild_llrs(&mut rng, k),
+        parity1: wild_llrs(&mut rng, k),
+        parity2: wild_llrs(&mut rng, k),
+        ..TurboLlrs::default()
+    };
+    for t in llrs.tail1.iter_mut().chain(llrs.tail2.iter_mut()) {
+        t.0 = wild_llrs(&mut rng, 1)[0];
+        t.1 = wild_llrs(&mut rng, 1)[0];
+    }
+    let decoder = TurboDecoder::new(k, 1 + rng.next_below(3) as usize);
+    force_scalar(false);
+    let simd_soft = decoder.decode_soft(&llrs);
+    let simd_bits = decoder.decode(&llrs);
+    force_scalar(true);
+    let scalar_soft = decoder.decode_soft(&llrs);
+    let scalar_bits = decoder.decode(&llrs);
+    force_scalar(false);
+    assert_bits_equal(&simd_soft, &scalar_soft, "turbo-simd soft");
+    assert_eq!(
+        simd_bits, scalar_bits,
+        "turbo-simd: hard decisions diverged (k={k})"
+    );
+}
+
+/// Deterministic early termination: the opt-in convergence check may
+/// stop iterating early but must never change a single output bit
+/// relative to running every configured iteration.
+fn fuzz_turbo_early_term(seed: u64) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let k = fuzz_turbo_size(&mut rng);
+    let bits: Vec<u8> = (0..k).map(|_| (rng.next_u32() & 1) as u8).collect();
+    let code = TurboEncoder::new(k).encode(&bits);
+    let mag = 0.25 + rng.next_f32() * 8.0;
+    let mut llrs = code.to_llrs(mag);
+    // Mix in noise up to the signal magnitude so some cases converge
+    // early (clean) and others keep iterating (marginal).
+    let sigma = rng.next_f32() * mag;
+    let mut perturb = |v: &mut f32| *v += (rng.next_f32() * 2.0 - 1.0) * sigma;
+    llrs.systematic.iter_mut().for_each(&mut perturb);
+    llrs.parity1.iter_mut().for_each(&mut perturb);
+    llrs.parity2.iter_mut().for_each(&mut perturb);
+    let iterations = 2 + rng.next_below(5) as usize;
+    let full = TurboDecoder::new(k, iterations);
+    let early = TurboDecoder::new(k, iterations).with_early_termination();
+    assert_bits_equal(
+        &early.decode_soft(&llrs),
+        &full.decode_soft(&llrs),
+        "turbo-early-term soft",
+    );
+    assert_eq!(
+        early.decode(&llrs),
+        full.decode(&llrs),
+        "turbo-early-term: hard decisions diverged (k={k} iters={iterations})"
+    );
+}
+
+/// The matched filter's conjugate multiply, out of place and in place,
+/// must be bit-identical across dispatch paths on wild inputs.
+fn fuzz_matched_filter(seed: u64) {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let n = 1 + rng.next_below(700) as usize;
+    let received = wild_symbols(&mut rng, n);
+    let reference = wild_symbols(&mut rng, n);
+    let run = |scalar: bool| {
+        force_scalar(scalar);
+        let mut out = vec![Complex32::ZERO; n];
+        matched_filter(&received, &reference, &mut out);
+        let mut inplace = received.clone();
+        matched_filter_inplace(&mut inplace, &reference);
+        force_scalar(false);
+        (out, inplace)
+    };
+    let (simd_out, simd_in) = run(false);
+    let (scalar_out, scalar_in) = run(true);
+    for (what, simd, scalar) in [
+        ("matched-filter", &simd_out, &scalar_out),
+        ("matched-filter-inplace", &simd_in, &scalar_in),
+    ] {
+        for (i, (a, b)) in simd.iter().zip(scalar).enumerate() {
+            assert!(
+                a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits(),
+                "{what} n={n}: divergence at {i}: {a:?} vs {b:?}"
+            );
+        }
+    }
 }
 
 fn fuzz_calibration(seed: u64) {

@@ -71,17 +71,20 @@ echo "==> governor decision-cost gate (governor_overhead bench)"
 cargo bench -q --offline -p lte-bench --bench governor_overhead | grep "governor_overhead:" \
     || { echo "governor decision-cost gate failed"; exit 1; }
 
-echo "==> throughput + scaling smoke (lte-sim perf)"
+echo "==> throughput + scaling + decode-tail smoke (lte-sim perf)"
 # Release build: the regression gates compare against numbers measured
 # in release mode; a debug run would trip the 10 % tolerance instantly.
 # The same worker ladder as the committed matrix keeps the speedup gate
 # apples-to-apples; the gate defends the max-workers *speedup* ratio, so
-# it transfers across hosts with different absolute rates.
+# it transfers across hosts with different absolute rates. The decode
+# baseline additionally gates the turbo-mode leg (SIMD dispatch)
+# against the committed BENCH_PR9.json within the same 10 % tolerance.
 cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
     perf --quick --out target/perf-smoke \
     --baseline results/BENCH_PR3.json \
+    --decode-baseline results/BENCH_PR9.json \
     --workers 1,2,4 --scaling-baseline results/BENCH_PR4.json \
-    || { echo "perf smoke: throughput or max-workers speedup regressed versus results/BENCH_PR3.json / results/BENCH_PR4.json"; exit 1; }
+    || { echo "perf smoke: throughput, turbo decode, or max-workers speedup regressed versus results/BENCH_PR3.json / BENCH_PR9.json / BENCH_PR4.json"; exit 1; }
 
 echo "==> soak smoke (lte-sim soak)"
 # A healthy low-load prefix must pass every SLO window (exit 0), and the
