@@ -1,0 +1,43 @@
+//! Multi-cell deployment throughput: one subframe tick across N cells
+//! sharded onto the shared pool, measured end to end (synthesis,
+//! optional interference injection, sharded dispatch, decode, harvest).
+//!
+//! The cell count sweep shows how the deployment layer scales when the
+//! per-cell work is fixed; the coupled variant adds the deterministic
+//! inter-cell interference stage so its field-construction cost is
+//! visible next to the isolated baseline.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lte_uplink::deploy::{run_deploy, DeployConfig};
+
+fn config(cells: usize, coupling_milli: u32) -> DeployConfig {
+    let mut cfg = DeployConfig::new(cells, 1000 * cells, 1, 7);
+    cfg.workers = lte_sched::host_parallelism().min(8);
+    cfg.coupling_milli = coupling_milli;
+    cfg
+}
+
+fn bench_multi_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_cell_subframe");
+    group.sample_size(10);
+    for cells in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("isolated", cells), &cells, |b, &cells| {
+            b.iter(|| {
+                let report = run_deploy(&config(cells, 0)).expect("deploy runs");
+                black_box(report.fingerprint)
+            })
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("coupled", 4usize), &4usize, |b, &cells| {
+        b.iter(|| {
+            let report = run_deploy(&config(cells, 300)).expect("deploy runs");
+            black_box(report.fingerprint)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_cell);
+criterion_main!(benches);

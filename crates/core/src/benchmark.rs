@@ -906,7 +906,14 @@ fn finish_task(graph: &UserGraph) {
     // only remaining accessor.
     let llrs = unsafe { graph.llr_buf.slice_mut(0, total) };
     let result = UserScratch::with(|s| {
-        finish_user_with_arena(&graph.input, graph.turbo, llrs, &mut s.arena, &mut s.turbo)
+        finish_user_with_arena(
+            &graph.cell,
+            &graph.input,
+            graph.turbo,
+            llrs,
+            &mut s.arena,
+            &mut s.turbo,
+        )
     });
     let cb = graph
         .on_done

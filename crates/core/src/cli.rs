@@ -69,6 +69,14 @@ struct Options {
     scalar: bool,
     /// vectors: golden-file location (default conformance/golden.json).
     golden: Option<PathBuf>,
+    /// deploy: number of cells to provision.
+    cells: Option<usize>,
+    /// deploy: total UE population across cells.
+    ues: Option<usize>,
+    /// deploy: inter-cell coupling amplitude in thousandths.
+    coupling_milli: Option<u32>,
+    /// deploy: cell kind — macro | nbiot.
+    cell_kind: Option<String>,
 }
 
 const USAGE: &str = "\
@@ -132,9 +140,24 @@ COMMANDS:
                       exits 0 on a clean drain, 1 when a calm (chaos-
                       free) window violates its SLO, 3 when drained by
                       a signal
+    deploy            multi-cell deployment: provision --cells cells
+                      (each with its own physical-cell identity,
+                      Zadoff-Chu root and scrambling sequence) and
+                      split --ues UEs across them; every tick each
+                      cell's traffic model offers population-scaled
+                      load, the per-cell scheduler grants within its
+                      PRB budget, and one receiver per cell shards
+                      onto the shared pool with fair round-robin
+                      dispatch. Nonzero --coupling-milli injects
+                      deterministic inter-cell interference; at zero
+                      coupling cells are provably independent. Writes
+                      DEPLOY.json + DEPLOY.om, byte-deterministic
+                      under a fixed seed for every worker count
     fingerprint       print a one-line FNV-1a 64 fingerprint of the
-                      canonical run's decoded bytes (seed, subframes,
-                      user count, hash) for byte-identity diffing
+                      canonical run's decoded bytes plus the canonical
+                      trace-event stream (seed, subframes, user count,
+                      hash, trace_events, trace) for byte-identity
+                      diffing
     vectors           conformance gate: recompute the golden kernel
                       vectors (FFT, Zadoff-Chu, channel estimate, MMSE
                       weights, demap LLRs, segmentation/rate matching,
@@ -204,6 +227,15 @@ FLAGS:
                       kernels) before computing
     --golden FILE     vectors: golden-file location
                       (default: conformance/golden.json)
+    --cells N         deploy: number of cells (default 2)
+    --ues N           deploy: total UE population (default 1000)
+    --coupling-milli N
+                      deploy: inter-cell coupling amplitude in
+                      thousandths (default 0 = isolated cells)
+    --cell-kind KIND  deploy: macro | nbiot (default macro); nbiot
+                      squeezes grants to 2-3 PRB single-layer QPSK
+                      with 4 coverage repetitions and selection
+                      combining
     --config FILE     serve: key=value service parameters (traffic,
                       rate_milli, burst, fill watermarks, SLO budgets);
                       the file is watched while serving and re-applied
@@ -240,6 +272,10 @@ fn parse_args() -> Options {
     let mut write_vectors = false;
     let mut scalar = false;
     let mut golden = None;
+    let mut cells = None;
+    let mut ues = None;
+    let mut coupling_milli = None;
+    let mut cell_kind = None;
     let mut i = 0;
     // Fetch the value of `--flag value`, exiting with a clear message if
     // it is missing.
@@ -344,6 +380,30 @@ fn parse_args() -> Options {
                 golden = Some(PathBuf::from(value_of(&args, i, "--golden")));
                 i += 1;
             }
+            "--cells" => {
+                let n = parse_number(&value_of(&args, i, "--cells"), "--cells") as usize;
+                if n == 0 {
+                    eprintln!("--cells must be positive");
+                    std::process::exit(2);
+                }
+                cells = Some(n);
+                i += 1;
+            }
+            "--ues" => {
+                ues = Some(parse_number(&value_of(&args, i, "--ues"), "--ues") as usize);
+                i += 1;
+            }
+            "--coupling-milli" => {
+                coupling_milli = Some(parse_number(
+                    &value_of(&args, i, "--coupling-milli"),
+                    "--coupling-milli",
+                ) as u32);
+                i += 1;
+            }
+            "--cell-kind" => {
+                cell_kind = Some(value_of(&args, i, "--cell-kind"));
+                i += 1;
+            }
             flag if flag.starts_with('-') => {
                 eprintln!("unknown flag: {flag}");
                 eprintln!("run 'lte-sim --help' for the full flag list");
@@ -377,6 +437,10 @@ fn parse_args() -> Options {
         write_vectors,
         scalar,
         golden,
+        cells,
+        ues,
+        coupling_milli,
+        cell_kind,
     }
 }
 
@@ -1310,6 +1374,71 @@ fn run_fingerprint_cmd(opts: &Options) {
     );
 }
 
+fn run_deploy_cmd(opts: &Options) {
+    use crate::deploy::{run_deploy, DeployConfig};
+
+    let mut cfg = DeployConfig::new(
+        opts.cells.unwrap_or(2),
+        opts.ues.unwrap_or(1000),
+        opts.subframes_override.unwrap_or(32) as u64,
+        opts.ctx.seed,
+    );
+    cfg.workers = opts
+        .workers
+        .as_ref()
+        .and_then(|w| w.first().copied())
+        .unwrap_or_else(|| 4.min(crate::perf::host_parallelism()));
+    cfg.coupling_milli = opts.coupling_milli.unwrap_or(0);
+    if let Some(text) = opts.traffic.as_deref() {
+        cfg.traffic = text.parse().unwrap_or_else(|e| {
+            eprintln!("--traffic: {e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(text) = opts.cell_kind.as_deref() {
+        cfg.kind = text.parse().unwrap_or_else(|e| {
+            eprintln!("--cell-kind: {e}");
+            std::process::exit(2);
+        });
+    }
+
+    println!(
+        "deploying {} {} cells, {} UEs, {} ticks of {} traffic (coupling {}/1000, {} workers, seed {}) …",
+        cfg.cells,
+        cfg.kind.name(),
+        cfg.ues,
+        cfg.ticks,
+        cfg.traffic.name(),
+        cfg.coupling_milli,
+        cfg.workers,
+        cfg.seed,
+    );
+    let report = run_deploy(&cfg).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    write(&opts.out.join("DEPLOY.json"), &report.to_json());
+    write(&opts.out.join("DEPLOY.om"), &report.openmetrics());
+    let agg = &report.aggregate.total;
+    println!(
+        "deploy complete: fingerprint {:016x}, {} decodes ({} ack / {} nack / {} dtx), BLER {:.2}%, mean target {:.1} cores (max {})",
+        report.fingerprint,
+        agg.ack + agg.nack,
+        agg.ack,
+        agg.nack,
+        agg.dtx,
+        agg.bler_pct,
+        report.mean_target_cores,
+        report.max_target_cores,
+    );
+    for c in &report.per_cell {
+        println!(
+            "  cell {:3}: pop {:7}, offered {:6}, scheduled {:5}, deferred {:6}, fingerprint {:016x}",
+            c.cell_id, c.population, c.offered, c.scheduled, c.deferred, c.fingerprint
+        );
+    }
+}
+
 fn run_govern_cmd(opts: &Options) {
     use crate::govern;
     use lte_obs::{MetricsRegistry, NoopRecorder, PerfettoExporter, RingRecorder};
@@ -1548,6 +1677,7 @@ pub fn run() {
         "govern" => run_govern_cmd(&opts),
         "soak" => run_soak_cmd(&opts),
         "serve" => run_serve_cmd(&opts),
+        "deploy" => run_deploy_cmd(&opts),
         "fingerprint" => run_fingerprint_cmd(&opts),
         "vectors" => run_vectors_cmd(&opts),
         "bench" => run_bench(&opts),
@@ -1565,7 +1695,7 @@ pub fn run() {
         }
         other => {
             eprintln!("unknown command: {other}");
-            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern soak serve fingerprint vectors ablation diurnal golden bench perf all");
+            eprintln!("commands: fig7 fig8 fig9 fig11 fig12 fig13 fig14 fig15 fig16 table1 table2 concurrency trace chaos govern soak serve deploy fingerprint vectors ablation diurnal golden bench perf all");
             eprintln!("run 'lte-sim --help' for details");
             std::process::exit(2);
         }

@@ -326,6 +326,43 @@ fn segmentation_rate_match_vector() -> KernelVector {
     }
 }
 
+fn rate_match_fused_vector() -> KernelVector {
+    use lte_dsp::interleave::subblock_cached;
+    use lte_dsp::turbo::TurboLlrs;
+    // The fused gather path: sub-block deinterleaving folded into the
+    // rate-match accumulation, exactly as the receiver's turbo tail
+    // drives it — a 2-block transport whose interleaver permutation is
+    // sliced per block. Guards the fusion against drift from the
+    // two-step reference.
+    let mut rng = Xoshiro256::seed_from_u64(0xF05E);
+    let mut h = Fnv1a::new();
+    for (k, total) in [(40usize, 194usize), (64, 408), (104, 648)] {
+        let src: Vec<f32> = (0..total)
+            .map(|_| (rng.next_u64() % 2000) as f32 / 100.0 - 10.0)
+            .collect();
+        let interleaver = subblock_cached(total);
+        let inverse = interleaver.inverse_permutation();
+        let base = total / 2;
+        let matcher = RateMatcher::new(k);
+        let mut llrs = TurboLlrs::default();
+        h.write_u64(k as u64);
+        h.write_u64(total as u64);
+        for range in [0..base, base..total] {
+            matcher.accumulate_llrs_gather_into(&src, &inverse[range], &mut llrs);
+            hash_f32(&mut h, &llrs.systematic);
+            hash_f32(&mut h, &llrs.parity1);
+            hash_f32(&mut h, &llrs.parity2);
+            for (s, p) in llrs.tail1.iter().chain(llrs.tail2.iter()) {
+                hash_f32(&mut h, &[*s, *p]);
+            }
+        }
+    }
+    KernelVector {
+        kernel: "rate-match-fused".to_string(),
+        hash: h.finish(),
+    }
+}
+
 fn crc_vector() -> KernelVector {
     let mut rng = Xoshiro256::seed_from_u64(0xCC);
     let mut h = Fnv1a::new();
@@ -363,6 +400,7 @@ pub fn compute_vectors() -> Vec<KernelVector> {
         demap_vector(false),
         demap_vector(true),
         segmentation_rate_match_vector(),
+        rate_match_fused_vector(),
         turbo_vector(),
         turbo_siso_vector(),
         matched_filter_vector(),

@@ -18,9 +18,14 @@
 use lte_dsp::fft::FftPlanner;
 use lte_dsp::Xoshiro256;
 use lte_model::{ParameterModel, RampModel};
+use lte_obs::{event_json, RingRecorder};
 use lte_phy::params::{CellConfig, TurboMode};
 use lte_phy::receiver::{process_user_with_planner, UserResult};
 use lte_phy::tx::synthesize_user_with_mode;
+use lte_power::NapPolicy;
+use lte_sched::sim::Simulator;
+
+use crate::experiments::ExperimentContext;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -102,11 +107,53 @@ pub fn canonical_fingerprint(seed: u64, subframes: usize) -> (u64, usize) {
     (fingerprint_results(&rows), users)
 }
 
-/// The one-line report `lte-sim fingerprint` prints.
+/// A canonical scheduler run: the same ramp-model subframes dispatched
+/// through the deterministic discrete-event simulator (NAP+IDLE, every
+/// core targeted) with a ring recorder attached, and every recorded
+/// trace event's canonical JSON line hashed in order. DES events carry
+/// *simulated* cycle timestamps — pure functions of the load sequence —
+/// so the hash is identical on every host and across worker interleavings
+/// that don't exist in the DES. Returns `(hash, event_count)`.
+///
+/// Together with [`canonical_fingerprint`] this closes the fingerprint
+/// gap: decoded bytes prove the PHY pipeline, the trace stream proves
+/// the scheduling-visible state (dispatch order, steal traffic, core
+/// occupancy, governor decisions).
+pub fn canonical_trace_fingerprint(seed: u64, subframes: usize) -> (u64, u64) {
+    let mut ctx = ExperimentContext::quick();
+    ctx.seed = seed;
+    ctx.n_subframes = subframes;
+    let sequence = ctx.subframes();
+    let cfg = ctx.sim_config(NapPolicy::NapIdle);
+    // Fixed all-cores targets: the trace hash must not depend on a
+    // host-side calibration run.
+    let targets = vec![cfg.n_workers; sequence.len()];
+    let capacity = (sequence.len() * cfg.n_workers * 64).clamp(1024, 4_000_000);
+    let recorder = RingRecorder::new(capacity);
+    let _report = Simulator::with_recorder(cfg, &recorder).run(&ctx.loads(&sequence, &targets));
+    assert_eq!(
+        recorder.total_recorded() as usize,
+        recorder.events().len(),
+        "trace ring overflowed; the hash would be truncated"
+    );
+    let mut h = Fnv1a::new();
+    let events = recorder.events();
+    h.write_u64(events.len() as u64);
+    for ev in &events {
+        h.write(event_json(ev).as_bytes());
+        h.write(b"\n");
+    }
+    (h.finish(), events.len() as u64)
+}
+
+/// The one-line report `lte-sim fingerprint` prints: decoded-byte hash
+/// plus the canonical trace-stream hash.
 pub fn fingerprint_line(seed: u64, subframes: usize) -> String {
     let (hash, users) = canonical_fingerprint(seed, subframes);
+    let (trace, events) = canonical_trace_fingerprint(seed, subframes);
     format!(
-        "lte-sim-fingerprint-v1 seed={seed} subframes={subframes} users={users} hash={hash:016x}"
+        "lte-sim-fingerprint-v2 seed={seed} subframes={subframes} users={users} \
+         hash={hash:016x} trace_events={events} trace={trace:016x}"
     )
 }
 
@@ -167,7 +214,20 @@ mod tests {
         let (b, _) = canonical_fingerprint(8, 4);
         assert_ne!(a1, b);
         let line = fingerprint_line(7, 4);
-        assert!(line.starts_with("lte-sim-fingerprint-v1 seed=7 subframes=4"));
+        assert!(line.starts_with("lte-sim-fingerprint-v2 seed=7 subframes=4"));
         assert!(line.contains(&format!("hash={a1:016x}")));
+        assert!(line.contains("trace_events="));
+        assert!(line.contains("trace="));
+    }
+
+    #[test]
+    fn trace_fingerprint_is_reproducible_and_seed_sensitive() {
+        let (a1, n1) = canonical_trace_fingerprint(7, 4);
+        let (a2, n2) = canonical_trace_fingerprint(7, 4);
+        assert_eq!(a1, a2);
+        assert_eq!(n1, n2);
+        assert!(n1 > 0, "a non-empty run records at least one trace event");
+        let (b, _) = canonical_trace_fingerprint(8, 4);
+        assert_ne!(a1, b);
     }
 }

@@ -33,8 +33,13 @@
 //!   pressure-wrapped governor closes its loop on live queue depth, and
 //!   the lifecycle machinery (graceful drain, hot reload, watchdog
 //!   restart) keeps the receiver long-running.
+//! * [`deploy`] — the multi-cell deployment engine: N cells with their
+//!   own identities and mMTC-scale UE populations shard one shared
+//!   pool, with deterministic inter-cell interference and per-cell
+//!   fingerprints proving isolation at zero coupling.
 //! * [`fingerprint`] — one-line FNV-1a 64 fingerprints of decoded
-//!   bytes, for cheap byte-identity comparisons between runs.
+//!   bytes and of the canonical trace-event stream, for cheap
+//!   byte-identity comparisons between runs.
 //! * [`signals`] — dependency-free SIGINT/SIGTERM latching so every
 //!   long-running command drains and flushes instead of dying.
 //! * [`report`] — CSV/markdown rendering of experiment results.
@@ -52,6 +57,7 @@ pub mod benchmark;
 pub mod chaos;
 pub mod cli;
 pub mod conformance;
+pub mod deploy;
 pub mod experiments;
 pub mod fingerprint;
 pub mod govern;
@@ -69,8 +75,12 @@ pub use benchmark::{
 };
 pub use chaos::{ChaosArtifacts, ChaosSummary};
 pub use conformance::{compute_vectors, diff_vectors, parse_golden, render_golden, KernelVector};
+pub use deploy::{run_deploy, CellKind, CellReport, DeployConfig, DeployReport};
 pub use experiments::ExperimentContext;
-pub use fingerprint::{canonical_fingerprint, fingerprint_line, fingerprint_results, Fnv1a};
+pub use fingerprint::{
+    canonical_fingerprint, canonical_trace_fingerprint, fingerprint_line, fingerprint_results,
+    Fnv1a,
+};
 pub use govern::{DesGovernRun, GovernReport, PoolGovernRun};
 pub use perf::{PerfConfig, PerfReport, ScalingConfig, ScalingPoint, ScalingReport};
 pub use serve::{

@@ -252,7 +252,7 @@ fn fingerprint_prints_one_stable_line() {
     };
     let a = run();
     assert!(
-        a.starts_with("lte-sim-fingerprint-v1 seed=7 subframes=4 "),
+        a.starts_with("lte-sim-fingerprint-v2 seed=7 subframes=4 "),
         "unexpected fingerprint line: {a}"
     );
     assert!(a.contains(" hash="));

@@ -200,6 +200,15 @@ impl Interleaver {
     pub fn permutation(&self) -> &[u32] {
         &self.forward
     }
+
+    /// The inverse permutation: `invert` output position `i` reads input
+    /// position `inverse_permutation()[i]`. Exposed so downstream
+    /// consumers (the fused rate-match gather) can deinterleave lazily —
+    /// reading through this table instead of materialising the
+    /// deinterleaved buffer first.
+    pub fn inverse_permutation(&self) -> &[u32] {
+        &self.inverse
+    }
 }
 
 #[cfg(test)]

@@ -174,6 +174,60 @@ impl RateMatcher {
         self.accumulate_llrs_rv_into(&[(llrs, 0)], out)
     }
 
+    /// Fused deinterleave + rate-match accumulation: equivalent to
+    /// deinterleaving `src` through `gather` (`deinterleaved[j] =
+    /// src[gather[j]]`) and then calling
+    /// [`accumulate_llrs_into`](Self::accumulate_llrs_into) on the
+    /// result, but without ever materialising the deinterleaved buffer.
+    /// The scatter-add visits positions in the same order with the same
+    /// f32 values, so the output is bit-exact versus the two-step path —
+    /// this removes the separate deinterleave pass (and its store/reload
+    /// of the whole allocation) from the turbo decode tail.
+    ///
+    /// `gather` is one code block's slice of the allocation
+    /// interleaver's inverse permutation
+    /// ([`crate::interleave::Interleaver::inverse_permutation`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gather` is empty. Indexes `src` through `gather`
+    /// unchecked-by-assert: an out-of-range table entry panics on the
+    /// slice access.
+    pub fn accumulate_llrs_gather_into(&self, src: &[f32], gather: &[u32], out: &mut TurboLlrs) {
+        assert!(!gather.is_empty(), "need at least one LLR");
+        let d = stream_len(self.k);
+        for stream in [&mut out.systematic, &mut out.parity1, &mut out.parity2] {
+            stream.clear();
+            stream.resize(d, 0.0);
+        }
+        let acc = [&mut out.systematic, &mut out.parity1, &mut out.parity2];
+        let len = self.buffer.len();
+        for (j, &g) in gather.iter().enumerate() {
+            let (s, i) = self.buffer[j % len];
+            acc[s as usize][i as usize] += src[g as usize];
+        }
+        self.extract_tails(out);
+    }
+
+    /// Pulls the four distributed tail positions out of the length-`k+4`
+    /// accumulators and truncates the streams to `k`.
+    fn extract_tails(&self, out: &mut TurboLlrs) {
+        let k = self.k;
+        out.tail1 = [
+            (out.systematic[k], out.parity1[k]),
+            (out.systematic[k + 1], out.parity1[k + 1]),
+            (out.systematic[k + 2], out.parity1[k + 2]),
+        ];
+        out.tail2 = [
+            (out.systematic[k + 3], out.parity2[k]),
+            (out.parity1[k + 3], out.parity2[k + 1]),
+            (out.parity2[k + 2], out.parity2[k + 3]),
+        ];
+        out.systematic.truncate(k);
+        out.parity1.truncate(k);
+        out.parity2.truncate(k);
+    }
+
     /// [`accumulate_llrs_rv`](Self::accumulate_llrs_rv) into a
     /// caller-provided buffer (see [`accumulate_llrs_into`]).
     ///
@@ -204,20 +258,7 @@ impl RateMatcher {
                 acc[s as usize][i as usize] += l;
             }
         }
-        let k = self.k;
-        out.tail1 = [
-            (out.systematic[k], out.parity1[k]),
-            (out.systematic[k + 1], out.parity1[k + 1]),
-            (out.systematic[k + 2], out.parity1[k + 2]),
-        ];
-        out.tail2 = [
-            (out.systematic[k + 3], out.parity2[k]),
-            (out.parity1[k + 3], out.parity2[k + 1]),
-            (out.parity2[k + 2], out.parity2[k + 3]),
-        ];
-        out.systematic.truncate(k);
-        out.parity1.truncate(k);
-        out.parity2.truncate(k);
+        self.extract_tails(out);
     }
 }
 
@@ -328,6 +369,54 @@ mod tests {
             let tx = rm.match_bits(&code, e);
             assert_eq!(tx.len(), e);
             let _ = rm.accumulate_llrs(&llrs_from_bits(&tx, 1.0));
+        }
+    }
+
+    #[test]
+    fn gathered_accumulation_is_bit_exact_versus_two_step() {
+        // The fused path must reproduce deinterleave-then-accumulate
+        // exactly: same add order, same f32 values, bit-identical output.
+        use crate::interleave::Interleaver;
+        let mut rng = Xoshiro256::seed_from_u64(0xFA57);
+        for (k, e) in [(40usize, 97usize), (64, 204), (128, 396), (104, 3 * 108)] {
+            let rm = RateMatcher::new(k);
+            // An allocation-level interleaver over several blocks' shares.
+            let total = 2 * e + 3;
+            let il = Interleaver::subblock(total);
+            let scrambled: Vec<f32> = (0..total)
+                .map(|_| (rng.next_u64() % 1000) as f32 / 250.0 - 2.0)
+                .collect();
+            let deinterleaved = il.invert(&scrambled);
+            let inv = il.inverse_permutation();
+            let mut cursor = 0usize;
+            for share in [e, e + 3] {
+                let mut two_step = TurboLlrs::default();
+                rm.accumulate_llrs_into(&deinterleaved[cursor..cursor + share], &mut two_step);
+                let mut fused = TurboLlrs::default();
+                rm.accumulate_llrs_gather_into(
+                    &scrambled,
+                    &inv[cursor..cursor + share],
+                    &mut fused,
+                );
+                assert_eq!(
+                    two_step
+                        .systematic
+                        .iter()
+                        .map(|f| f.to_bits())
+                        .collect::<Vec<_>>(),
+                    fused
+                        .systematic
+                        .iter()
+                        .map(|f| f.to_bits())
+                        .collect::<Vec<_>>(),
+                    "k={k} share={share}: systematic diverged"
+                );
+                assert_eq!(two_step.parity1, fused.parity1, "k={k}");
+                assert_eq!(two_step.parity2, fused.parity2, "k={k}");
+                assert_eq!(two_step.tail1, fused.tail1, "k={k}");
+                assert_eq!(two_step.tail2, fused.tail2, "k={k}");
+                cursor += share;
+            }
         }
     }
 

@@ -266,6 +266,104 @@ impl EblerSurface {
     }
 }
 
+/// A labelled bank of EBLER accumulators — one per cell — plus a
+/// running aggregate, all recordable concurrently from worker threads.
+/// This is the multi-cell measurement surface: the deployment layer
+/// records each decode under its cell's label, and the snapshot yields
+/// one FetchStruct-shaped [`EblerSurface`] per cell plus the
+/// deployment-wide aggregate (the "all cells folded together" block a
+/// tester would read off the instrument).
+pub struct EblerBank {
+    cells: Vec<(String, EblerAccumulator)>,
+    aggregate: EblerAccumulator,
+}
+
+impl EblerBank {
+    /// A bank with one accumulator of `streams` streams per label.
+    pub fn new<L: Into<String>>(labels: impl IntoIterator<Item = L>, streams: usize) -> Self {
+        Self {
+            cells: labels
+                .into_iter()
+                .map(|l| (l.into(), EblerAccumulator::new(streams)))
+                .collect(),
+            aggregate: EblerAccumulator::new(streams),
+        }
+    }
+
+    /// Number of labelled cells.
+    pub fn cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The label of cell `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn label(&self, cell: usize) -> &str {
+        &self.cells[cell].0
+    }
+
+    /// Records one decode outcome under `cell` and in the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` or `stream` is out of range.
+    #[inline]
+    pub fn record_decode(&self, cell: usize, stream: usize, crc_ok: bool, payload_bits: u64) {
+        self.cells[cell]
+            .1
+            .record_decode(stream, crc_ok, payload_bits);
+        self.aggregate.record_decode(stream, crc_ok, payload_bits);
+    }
+
+    /// Records a scheduled-but-undecoded transmission (DTX) under
+    /// `cell` and in the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` or `stream` is out of range.
+    #[inline]
+    pub fn record_dtx(&self, cell: usize, stream: usize) {
+        self.cells[cell].1.record_dtx(stream);
+        self.aggregate.record_dtx(stream);
+    }
+
+    /// One cell's point-in-time surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn cell_snapshot(&self, cell: usize) -> EblerSurface {
+        self.cells[cell].1.snapshot()
+    }
+
+    /// The deployment-wide aggregate surface.
+    pub fn aggregate_snapshot(&self) -> EblerSurface {
+        self.aggregate.snapshot()
+    }
+
+    /// Deterministic JSON:
+    /// `{"aggregate":{...},"cells":[{"label":"...","ebler":{...}},...]}`.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|(label, acc)| {
+                format!(
+                    "{{\"label\":\"{label}\",\"ebler\":{}}}",
+                    acc.snapshot().to_json()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"aggregate\":{},\"cells\":[{}]}}",
+            self.aggregate.snapshot().to_json(),
+            cells.join(",")
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +408,30 @@ mod tests {
         assert_eq!(first.total.ack, 1);
         let second = acc.snapshot();
         assert_eq!(second.total.measured(), 0);
+    }
+
+    #[test]
+    fn bank_splits_per_cell_and_aggregates() {
+        let bank = EblerBank::new(["cell0", "cell1"], 2);
+        bank.record_decode(0, 0, true, 1_000);
+        bank.record_decode(1, 0, false, 0);
+        bank.record_dtx(1, 1);
+        assert_eq!(bank.cells(), 2);
+        assert_eq!(bank.label(1), "cell1");
+        let c0 = bank.cell_snapshot(0);
+        let c1 = bank.cell_snapshot(1);
+        assert_eq!(c0.total.ack, 1);
+        assert_eq!(c0.total.measured(), 1);
+        assert_eq!(c1.total.nack, 1);
+        assert_eq!(c1.total.dtx, 1);
+        let agg = bank.aggregate_snapshot();
+        assert_eq!(agg.total.measured(), 3);
+        assert_eq!(agg.total.ack, 1);
+        assert_eq!(agg.total.crc_fail, 1);
+        let json = bank.to_json();
+        assert!(json.starts_with("{\"aggregate\":{\"total\":{\"ack\":1,"));
+        assert!(json.contains("\"label\":\"cell0\""));
+        assert!(json.contains("\"label\":\"cell1\""));
     }
 
     #[test]

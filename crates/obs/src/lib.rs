@@ -38,7 +38,7 @@ pub mod service;
 pub mod slo;
 pub mod window;
 
-pub use ebler::{EblerAccumulator, EblerSurface, StreamEbler};
+pub use ebler::{EblerAccumulator, EblerBank, EblerSurface, StreamEbler};
 pub use event::{CoreState, Event, FaultKind, Stage};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{f64_json, MetricValue, MetricsRegistry};

@@ -70,7 +70,7 @@ impl HarqProcess {
             combine_llrs(&mut self.combined, &update);
         }
         self.attempts += 1;
-        finish_user(input, mode, &self.combined)
+        finish_user(cell, input, mode, &self.combined)
     }
 }
 

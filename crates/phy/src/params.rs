@@ -91,6 +91,15 @@ impl UserConfig {
     }
 }
 
+/// Number of physical-cell identities (TS 36.211 §6.11: 0..=503).
+pub const N_CELL_IDENTITIES: usize = 504;
+
+/// Zadoff–Chu roots assigned round-robin to cell identities by
+/// [`CellConfig::with_identity`]: small primes, so every pair of
+/// distinct roots is coprime to every practical sequence length and
+/// neighbouring cells' reference sequences stay near-orthogonal.
+const ZC_ROOT_TABLE: [usize; 8] = [7, 11, 13, 17, 19, 23, 29, 31];
+
 /// Cell-wide (base-station) configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CellConfig {
@@ -98,17 +107,54 @@ pub struct CellConfig {
     pub n_rx: usize,
     /// Zadoff–Chu root used for the cell's reference sequences.
     pub zc_root: usize,
+    /// Physical-cell identity (0..=503) — seeds the cell-specific part
+    /// of the PUSCH scrambling sequence, so co-scheduled users in
+    /// different cells descramble differently.
+    pub cell_id: usize,
 }
 
+/// The historical single-cell identity: every pre-multi-cell run
+/// scrambled with cell id 101, so [`CellConfig::with_antennas`] keeps it
+/// to preserve golden records and fingerprints bit-for-bit.
+pub const LEGACY_CELL_ID: usize = 101;
+
 impl CellConfig {
-    /// A cell with `n_rx` receive antennas.
+    /// A cell with `n_rx` receive antennas and the legacy single-cell
+    /// identity ([`LEGACY_CELL_ID`]).
     ///
     /// # Panics
     ///
     /// Panics if `n_rx == 0` or `n_rx > 8`.
     pub fn with_antennas(n_rx: usize) -> Self {
         assert!((1..=8).contains(&n_rx), "n_rx must be in 1..=8");
-        CellConfig { n_rx, zc_root: 7 }
+        CellConfig {
+            n_rx,
+            zc_root: 7,
+            cell_id: LEGACY_CELL_ID,
+        }
+    }
+
+    /// A cell with an explicit physical-cell identity: the Zadoff–Chu
+    /// root is derived from the identity (distinct prime roots cycle
+    /// with the identity), so neighbouring deployment cells get distinct
+    /// reference sequences and distinct scrambling without extra
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rx` is out of `1..=8` or
+    /// `cell_id >= N_CELL_IDENTITIES`.
+    pub fn with_identity(n_rx: usize, cell_id: usize) -> Self {
+        assert!((1..=8).contains(&n_rx), "n_rx must be in 1..=8");
+        assert!(
+            cell_id < N_CELL_IDENTITIES,
+            "cell_id must be in 0..{N_CELL_IDENTITIES}, got {cell_id}"
+        );
+        CellConfig {
+            n_rx,
+            zc_root: ZC_ROOT_TABLE[cell_id % ZC_ROOT_TABLE.len()],
+            cell_id,
+        }
     }
 }
 
@@ -210,6 +256,26 @@ mod tests {
     fn cell_defaults() {
         let cell = CellConfig::default();
         assert_eq!(cell.n_rx, 4);
+        assert_eq!(cell.cell_id, LEGACY_CELL_ID);
+        assert_eq!(cell.zc_root, 7);
+    }
+
+    #[test]
+    fn cell_identities_get_distinct_roots_and_ids() {
+        let a = CellConfig::with_identity(2, 0);
+        let b = CellConfig::with_identity(2, 1);
+        assert_ne!(a.zc_root, b.zc_root);
+        assert_ne!(a.cell_id, b.cell_id);
+        // Identity wraps through the root table but cell_id stays exact.
+        let c = CellConfig::with_identity(2, 8);
+        assert_eq!(c.zc_root, a.zc_root);
+        assert_ne!(c.cell_id, a.cell_id);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell_id")]
+    fn out_of_range_identity_rejected() {
+        CellConfig::with_identity(2, N_CELL_IDENTITIES);
     }
 
     #[test]

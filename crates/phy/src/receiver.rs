@@ -13,7 +13,7 @@ use std::cell::RefCell;
 use lte_dsp::arena::ScratchArena;
 use lte_dsp::crc::CRC24A;
 use lte_dsp::fft::FftPlanner;
-use lte_dsp::interleave::subblock_cached;
+use lte_dsp::interleave::{subblock_cached, Interleaver};
 use lte_dsp::llr::{demap_block, demap_block_into, hard_decisions, hard_decisions_into};
 use lte_dsp::rate_match::RateMatcher;
 use lte_dsp::scrambling::descramble_llrs;
@@ -65,10 +65,22 @@ impl TurboScratch {
         Self::default()
     }
 
-    /// Rate-dematches and turbo-decodes one code block's LLR share,
-    /// returning the decoded bits (borrowed from the internal staging
-    /// buffer, valid until the next call).
-    fn decode_block(&mut self, k: usize, iterations: usize, llr: &[f32]) -> &[u8] {
+    /// Rate-dematches and turbo-decodes one code block's share of the
+    /// descrambled allocation, returning the decoded bits (borrowed
+    /// from the internal staging buffer, valid until the next call).
+    ///
+    /// The deinterleave is fused into the rate-match scatter-add:
+    /// `gather` is this block's slice of the allocation interleaver's
+    /// inverse permutation, and the accumulator reads `src` through it
+    /// instead of a pre-deinterleaved buffer — bit-exact versus the
+    /// two-step path, minus one full pass over the allocation.
+    fn decode_block_gathered(
+        &mut self,
+        k: usize,
+        iterations: usize,
+        src: &[f32],
+        gather: &[u32],
+    ) -> &[u8] {
         let pos = match self
             .codecs
             .iter()
@@ -86,41 +98,50 @@ impl TurboScratch {
             }
         };
         let (_, _, decoder, matcher) = &self.codecs[pos];
-        matcher.accumulate_llrs_into(llr, &mut self.llrs);
+        matcher.accumulate_llrs_gather_into(src, gather, &mut self.llrs);
         decoder.decode_into(&self.llrs, &mut self.workspace, &mut self.block_bits);
         &self.block_bits
     }
 }
 
 /// Undoes rate matching, turbo-decodes and desegments one transport
-/// block from its deinterleaved LLR stream, appending the reassembled
-/// bits to `bits`. Shared by the allocating and arena-backed tails so
-/// their results are byte-identical by construction. Per-block CRC-24B
-/// failures are absorbed here (a failed block CRC implies the transport
-/// CRC-24A will fail too, matching `desegment`'s contract).
+/// block straight from the *descrambled* (still interleaved) LLR
+/// stream, appending the reassembled bits to `bits`. The allocation
+/// deinterleave is fused into each block's rate-match gather through
+/// `interleaver`'s inverse permutation — no deinterleaved buffer is
+/// ever materialised, which removes a full store/reload pass over the
+/// allocation from the decode tail. Shared by the allocating and
+/// arena-backed tails so their results are byte-identical by
+/// construction. Per-block CRC-24B failures are absorbed here (a failed
+/// block CRC implies the transport CRC-24A will fail too, matching
+/// `desegment`'s contract).
 fn decode_transport(
     turbo: &mut TurboScratch,
-    deinterleaved: &[f32],
+    descrambled: &[f32],
+    interleaver: &Interleaver,
     iterations: usize,
     transport_bits: usize,
-    n_blocks: usize,
-    k: usize,
     bits: &mut Vec<u8>,
 ) {
     let shape = Segmentation::shape_for_len(transport_bits);
-    debug_assert_eq!(shape.n_blocks, n_blocks);
-    debug_assert_eq!(shape.block_size, k);
+    let (n_blocks, k) = (shape.n_blocks, shape.block_size);
     // The per-block shares of crate::tx::rate_match_shares, computed
     // inline to keep this path allocation-free.
-    let total = deinterleaved.len();
+    let inverse = interleaver.inverse_permutation();
+    let total = descrambled.len();
+    debug_assert_eq!(inverse.len(), total);
     let base = total / n_blocks;
     let rem = total % n_blocks;
     let mut cursor = 0usize;
     for b in 0..n_blocks {
         let e = base + usize::from(b < rem);
-        let llr = &deinterleaved[cursor..cursor + e];
+        let gather = &inverse[cursor..cursor + e];
         cursor += e;
-        let _block_ok = shape.desegment_block_into(b, turbo.decode_block(k, iterations, llr), bits);
+        let _block_ok = shape.desegment_block_into(
+            b,
+            turbo.decode_block_gathered(k, iterations, descrambled, gather),
+            bits,
+        );
     }
 }
 
@@ -134,8 +155,13 @@ fn decode_transport(
 /// # Panics
 ///
 /// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
-pub fn finish_user(input: &UserInput, mode: TurboMode, llrs: &[f32]) -> UserResult {
-    finish_user_traced(input, mode, llrs, &StageTimer::disabled())
+pub fn finish_user(
+    cell: &CellConfig,
+    input: &UserInput,
+    mode: TurboMode,
+    llrs: &[f32],
+) -> UserResult {
+    finish_user_traced(cell, input, mode, llrs, &StageTimer::disabled())
 }
 
 /// [`finish_user`] with deinterleave / turbo / CRC trace spans.
@@ -144,6 +170,7 @@ pub fn finish_user(input: &UserInput, mode: TurboMode, llrs: &[f32]) -> UserResu
 ///
 /// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
 pub fn finish_user_traced<R: Recorder>(
+    cell: &CellConfig,
     input: &UserInput,
     mode: TurboMode,
     llrs: &[f32],
@@ -152,45 +179,47 @@ pub fn finish_user_traced<R: Recorder>(
     let user = &input.config;
     let total = user.bits_per_subframe();
     assert_eq!(llrs.len(), total, "LLR count must match the allocation");
-    // Undo the Gold-sequence scrambling (sign flips), then deinterleave.
-    let deinterleaved = timer.time(Stage::Deinterleave, || {
-        let mut llrs = llrs.to_vec();
-        descramble_llrs(&mut llrs, crate::tx::scrambling_init(user));
-        subblock_cached(total).invert(&llrs)
-    });
     let plan = FramePlan::for_user(user, mode);
-    let (mut frame_bits, expected_len) = timer.time(Stage::Turbo, || match (mode, plan) {
+    let (mut frame_bits, expected_len) = match (mode, plan) {
         (TurboMode::Passthrough, FramePlan::Passthrough { payload_bits }) => {
-            (hard_decisions(&deinterleaved), payload_bits + 24)
+            // Undo the Gold-sequence scrambling (sign flips), then
+            // deinterleave before the hard decision.
+            let deinterleaved = timer.time(Stage::Deinterleave, || {
+                let mut llrs = llrs.to_vec();
+                descramble_llrs(&mut llrs, crate::tx::scrambling_init(cell, user));
+                subblock_cached(total).invert(&llrs)
+            });
+            timer.time(Stage::Turbo, || {
+                (hard_decisions(&deinterleaved), payload_bits + 24)
+            })
         }
-        (
-            TurboMode::Decode { iterations },
-            FramePlan::Coded {
-                transport_bits,
-                n_blocks,
-                block_size: k,
-                ..
-            },
-        ) => {
-            // Undo rate matching per block (soft-combining repeats),
-            // decode, then reassemble the transport block. This reference
-            // path builds its turbo state fresh each call; the steady-state
-            // path reuses a per-worker [`TurboScratch`].
-            let mut turbo = TurboScratch::new();
-            let mut bits = Vec::new();
-            decode_transport(
-                &mut turbo,
-                &deinterleaved,
-                iterations,
-                transport_bits,
-                n_blocks,
-                k,
-                &mut bits,
-            );
-            (bits, transport_bits)
+        (TurboMode::Decode { iterations }, FramePlan::Coded { transport_bits, .. }) => {
+            // Descramble only: the deinterleave is fused into the
+            // per-block rate-match gather inside `decode_transport`, so
+            // the deinterleaved buffer is never materialised. This
+            // reference path builds its turbo state fresh each call; the
+            // steady-state path reuses a per-worker [`TurboScratch`].
+            let descrambled = timer.time(Stage::Deinterleave, || {
+                let mut llrs = llrs.to_vec();
+                descramble_llrs(&mut llrs, crate::tx::scrambling_init(cell, user));
+                llrs
+            });
+            timer.time(Stage::Turbo, || {
+                let mut turbo = TurboScratch::new();
+                let mut bits = Vec::new();
+                decode_transport(
+                    &mut turbo,
+                    &descrambled,
+                    &subblock_cached(total),
+                    iterations,
+                    transport_bits,
+                    &mut bits,
+                );
+                (bits, transport_bits)
+            })
         }
         _ => unreachable!("plan always matches mode"),
-    });
+    };
     let crc_ok = timer.time(Stage::Crc, || {
         frame_bits.truncate(expected_len);
         CRC24A.check_bits(&frame_bits)
@@ -215,6 +244,7 @@ pub fn finish_user_traced<R: Recorder>(
 ///
 /// Panics if `llrs.len()` does not equal the user's bits-per-subframe.
 pub fn finish_user_with_arena(
+    cell: &CellConfig,
     input: &UserInput,
     mode: TurboMode,
     llrs: &[f32],
@@ -224,48 +254,42 @@ pub fn finish_user_with_arena(
     let user = &input.config;
     let total = user.bits_per_subframe();
     assert_eq!(llrs.len(), total, "LLR count must match the allocation");
-    // Undo the Gold-sequence scrambling (sign flips), then deinterleave.
+    // Undo the Gold-sequence scrambling (sign flips).
     let mut scrambled = arena.take_f32(total);
     scrambled.extend_from_slice(llrs);
-    descramble_llrs(&mut scrambled, crate::tx::scrambling_init(user));
-    let mut deinterleaved = arena.take_f32(total);
-    deinterleaved.resize(total, 0.0);
-    subblock_cached(total).invert_into(&scrambled, &mut deinterleaved);
-    arena.recycle_f32(scrambled);
+    descramble_llrs(&mut scrambled, crate::tx::scrambling_init(cell, user));
     let plan = FramePlan::for_user(user, mode);
     let (mut frame_bits, expected_len) = match (mode, plan) {
         (TurboMode::Passthrough, FramePlan::Passthrough { payload_bits }) => {
+            let mut deinterleaved = arena.take_f32(total);
+            deinterleaved.resize(total, 0.0);
+            subblock_cached(total).invert_into(&scrambled, &mut deinterleaved);
             let mut bits = arena.take_u8(total);
             hard_decisions_into(&deinterleaved, &mut bits);
+            arena.recycle_f32(deinterleaved);
             (bits, payload_bits + 24)
         }
-        (
-            TurboMode::Decode { iterations },
-            FramePlan::Coded {
-                transport_bits,
-                n_blocks,
-                block_size: k,
-                ..
-            },
-        ) => {
-            // Decode through the per-worker turbo scratch: with a warm
-            // codec cache the whole tail — rate dematch, SISO iterations,
-            // desegmentation — reuses held buffers and allocates nothing.
+        (TurboMode::Decode { iterations }, FramePlan::Coded { transport_bits, .. }) => {
+            // Decode through the per-worker turbo scratch with the
+            // deinterleave fused into each block's rate-match gather:
+            // with a warm codec cache the whole tail — gather-dematch,
+            // SISO iterations, desegmentation — reuses held buffers and
+            // allocates nothing, and the separate deinterleave pass over
+            // the allocation is gone entirely.
             let mut bits = arena.take_u8(transport_bits);
             decode_transport(
                 turbo,
-                &deinterleaved,
+                &scrambled,
+                &subblock_cached(total),
                 iterations,
                 transport_bits,
-                n_blocks,
-                k,
                 &mut bits,
             );
             (bits, transport_bits)
         }
         _ => unreachable!("plan always matches mode"),
     };
-    arena.recycle_f32(deinterleaved);
+    arena.recycle_f32(scrambled);
     frame_bits.truncate(expected_len);
     let crc_ok = CRC24A.check_bits(&frame_bits);
     frame_bits.truncate(expected_len - 24);
@@ -332,7 +356,7 @@ pub fn process_user_traced<R: Recorder>(
 ) -> UserResult {
     let llrs = demodulate_user_traced(cell, input, planner, timer);
     // Stage 3: deinterleave → (turbo) decode → CRC.
-    finish_user_traced(input, mode, &llrs, timer)
+    finish_user_traced(cell, input, mode, &llrs, timer)
 }
 
 /// Runs the demodulation front half of the pipeline — estimation,
@@ -559,8 +583,14 @@ pub fn process_user_pooled(
     UserScratch::with(|scratch| {
         let mut llrs = std::mem::take(&mut scratch.llrs);
         demodulate_user_into(cell, input, planner, scratch, &mut llrs);
-        let result =
-            finish_user_with_arena(input, mode, &llrs, &mut scratch.arena, &mut scratch.turbo);
+        let result = finish_user_with_arena(
+            cell,
+            input,
+            mode,
+            &llrs,
+            &mut scratch.arena,
+            &mut scratch.turbo,
+        );
         scratch.llrs = llrs;
         result
     })
@@ -673,6 +703,20 @@ mod tests {
     }
 
     #[test]
+    fn wrong_cell_identity_fails_to_decode() {
+        // A subframe synthesized for one cell must not decode in a
+        // neighbouring cell: the reference sequences (Zadoff–Chu root)
+        // and scrambling (physical-cell identity) both differ.
+        let a = CellConfig::with_identity(2, 3);
+        let b = CellConfig::with_identity(2, 4);
+        let user = UserConfig::new(6, 1, Modulation::Qpsk);
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let input = synthesize_user(&a, &user, 30.0, &mut rng);
+        assert!(process_user(&a, &input, TurboMode::Passthrough).matches(&input.ground_truth));
+        assert!(!process_user(&b, &input, TurboMode::Passthrough).crc_ok);
+    }
+
+    #[test]
     fn deterministic_results() {
         let cell = CellConfig::default();
         let user = UserConfig::new(10, 3, Modulation::Qam16);
@@ -722,11 +766,12 @@ mod tests {
         let input = synthesize_user(&cell, &user, 35.0, &mut rng);
         let planner = FftPlanner::new();
         let llrs = demodulate_user(&cell, &input, &planner);
-        let fresh = finish_user(&input, TurboMode::Passthrough, &llrs);
+        let fresh = finish_user(&cell, &input, TurboMode::Passthrough, &llrs);
         let mut arena = ScratchArena::new();
         let mut turbo = TurboScratch::new();
         for _ in 0..3 {
             let pooled = finish_user_with_arena(
+                &cell,
                 &input,
                 TurboMode::Passthrough,
                 &llrs,
@@ -745,7 +790,7 @@ mod tests {
         let cell = CellConfig::default();
         let user = UserConfig::new(2, 1, Modulation::Qpsk);
         let input = synthesize_user(&cell, &user, 30.0, &mut Xoshiro256::seed_from_u64(1));
-        finish_user(&input, TurboMode::Passthrough, &[0.0; 10]);
+        finish_user(&cell, &input, TurboMode::Passthrough, &[0.0; 10]);
     }
 
     #[test]
@@ -825,7 +870,7 @@ pub fn process_user_blind(cell: &CellConfig, input: &UserInput, mode: TurboMode)
             }
         }
     }
-    finish_user(input, mode, &llrs)
+    finish_user(cell, input, mode, &llrs)
 }
 
 #[cfg(test)]

@@ -109,7 +109,12 @@ impl FramePlan {
 /// # Panics
 ///
 /// Panics if `payload.len() != plan.payload_bits()`.
-pub fn encode_frame(user: &UserConfig, mode: TurboMode, payload: &[u8]) -> Vec<u8> {
+pub fn encode_frame(
+    cell: &CellConfig,
+    user: &UserConfig,
+    mode: TurboMode,
+    payload: &[u8],
+) -> Vec<u8> {
     let plan = FramePlan::for_user(user, mode);
     assert_eq!(
         payload.len(),
@@ -137,17 +142,20 @@ pub fn encode_frame(user: &UserConfig, mode: TurboMode, payload: &[u8]) -> Vec<u
     debug_assert_eq!(channel_bits.len(), total);
     let mut out = subblock_cached(total).apply(&channel_bits);
     // TS 36.211 §7.2 scrambling: after interleaving, before modulation.
-    scramble_bits(&mut out, scrambling_init(user));
+    scramble_bits(&mut out, scrambling_init(cell, user));
     out
 }
 
 /// The Gold-sequence initialisation for a user's allocation. A real
-/// eNodeB seeds this from the UE's RNTI; the benchmark derives a stable
-/// pseudo-identity from the allocation parameters so that transmitter
-/// and receiver agree without extra plumbing.
-pub fn scrambling_init(user: &UserConfig) -> u32 {
+/// eNodeB seeds this from the UE's RNTI and the serving cell's
+/// physical-cell identity; the benchmark derives a stable
+/// pseudo-identity from the allocation parameters and takes the cell id
+/// from [`CellConfig::cell_id`], so co-scheduled users in different
+/// cells scramble differently while transmitter and receiver agree
+/// without extra plumbing.
+pub fn scrambling_init(cell: &CellConfig, user: &UserConfig) -> u32 {
     let rnti = (user.prbs * 29 + user.layers * 7 + user.modulation.bits_per_symbol()) as u16;
-    pusch_c_init(rnti, 0, 0, 101)
+    pusch_c_init(rnti, 0, 0, cell.cell_id as u16)
 }
 
 /// The denominator used for layer cyclic shifts: at least 2 so a
@@ -213,6 +221,23 @@ pub fn prewarm_references(cell: &CellConfig, user: &UserConfig) {
     for layer in 0..user.layers {
         reference_for_layer_cached(cell, user, layer);
     }
+}
+
+/// Prewarms every global and planner cache one cell's user population
+/// touches: DM-RS reference sequences (keyed on `(subcarriers, zc_root,
+/// layer, shift denominator)`, so cells with distinct roots never alias),
+/// the sub-block interleavers for each allocation's bit count (keyed on
+/// size alone — cell-independent by construction, identical for every
+/// cell), and the FFT plans for each allocation width. Multi-cell
+/// deployments call this once per (cell, distinct user config) before
+/// the timed region so no cache write lock is ever taken on the
+/// steady-state path.
+pub fn prewarm_cell(cell: &CellConfig, users: &[UserConfig], planner: &FftPlanner) {
+    for user in users {
+        prewarm_references(cell, user);
+        lte_dsp::interleave::prewarm_subblock([user.bits_per_subframe()]);
+    }
+    planner.prewarm(users.iter().map(|u| u.prbs));
 }
 
 /// Splits interleaved channel bits into per-(slot, symbol, layer) chunks in
@@ -317,7 +342,7 @@ pub fn synthesize_payload_over_channel(
     let planner = FftPlanner::new();
     let dft = planner.forward(n_sc);
 
-    let channel_bits = encode_frame(user, mode, payload);
+    let channel_bits = encode_frame(cell, user, mode, payload);
     let chunks = split_bits(user, &channel_bits);
 
     // Per-layer reference sequences (transmitted simultaneously by all
@@ -416,13 +441,53 @@ mod tests {
 
     #[test]
     fn encode_frame_length_and_determinism() {
+        let cell = CellConfig::default();
         let user = UserConfig::new(3, 2, Modulation::Qam16);
         let plan = FramePlan::for_user(&user, TurboMode::Passthrough);
         let payload = vec![1u8; plan.payload_bits()];
-        let a = encode_frame(&user, TurboMode::Passthrough, &payload);
-        let b = encode_frame(&user, TurboMode::Passthrough, &payload);
+        let a = encode_frame(&cell, &user, TurboMode::Passthrough, &payload);
+        let b = encode_frame(&cell, &user, TurboMode::Passthrough, &payload);
         assert_eq!(a.len(), user.bits_per_subframe());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_cell_identities_scramble_differently() {
+        // Two cells with different physical-cell identities must encode
+        // the same payload to different channel bits (cell-specific
+        // scrambling), while the legacy constructor reproduces the
+        // historical single-cell sequence exactly.
+        let user = UserConfig::new(3, 1, Modulation::Qpsk);
+        let plan = FramePlan::for_user(&user, TurboMode::Passthrough);
+        let payload = vec![1u8; plan.payload_bits()];
+        let legacy = CellConfig::with_antennas(2);
+        let a = CellConfig::with_identity(2, 0);
+        let b = CellConfig::with_identity(2, 1);
+        let bits_legacy = encode_frame(&legacy, &user, TurboMode::Passthrough, &payload);
+        let bits_a = encode_frame(&a, &user, TurboMode::Passthrough, &payload);
+        let bits_b = encode_frame(&b, &user, TurboMode::Passthrough, &payload);
+        assert_ne!(bits_a, bits_b);
+        assert_ne!(bits_a, bits_legacy);
+        assert_ne!(scrambling_init(&a, &user), scrambling_init(&b, &user));
+    }
+
+    #[test]
+    fn reference_cache_cannot_alias_across_cells() {
+        // Distinct Zadoff–Chu roots must produce distinct cached
+        // sequences for the same allocation: the cache key includes the
+        // root, so two deployment cells sharing a PRB width never read
+        // each other's DM-RS entries.
+        let user = UserConfig::new(4, 2, Modulation::Qpsk);
+        let a = CellConfig::with_identity(2, 0);
+        let b = CellConfig::with_identity(2, 1);
+        prewarm_references(&a, &user);
+        prewarm_references(&b, &user);
+        let ra = reference_for_layer_cached(&a, &user, 0);
+        let rb = reference_for_layer_cached(&b, &user, 0);
+        assert!(!Arc::ptr_eq(&ra, &rb), "cache must hold distinct entries");
+        assert_ne!(ra.samples()[1], rb.samples()[1]);
+        // Same cell, same allocation: the entry is shared, not rebuilt.
+        assert!(Arc::ptr_eq(&ra, &reference_for_layer_cached(&a, &user, 0)));
     }
 
     #[test]

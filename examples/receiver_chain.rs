@@ -79,7 +79,7 @@ fn main() {
     );
 
     // Stage 3: deinterleave → turbo (pass-through) → CRC.
-    let result = finish_user(&input, TurboMode::Passthrough, &llrs);
+    let result = finish_user(&cell, &input, TurboMode::Passthrough, &llrs);
     println!(
         "CRC: {} — decoded payload of {} bits matches ground truth: {}",
         if result.crc_ok { "OK" } else { "FAILED" },

@@ -104,6 +104,25 @@ for f in SOAK.json SOAK.jsonl SOAK.om; do
         || { echo "soak smoke: $f differs between identical runs"; exit 1; }
 done
 
+echo "==> deploy smoke (lte-sim deploy)"
+# A multi-cell deployment must complete and write a byte-deterministic
+# DEPLOY.json: the report is a pure function of the seed, so two runs
+# at *different worker counts* must produce cmp-identical artifacts.
+cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
+    deploy --cells 3 --ues 10000 --subframes 8 --seed 7 --workers 2 \
+    --out target/deploy-smoke-a | tail -n 4 \
+    || { echo "deploy smoke: first run failed"; exit 1; }
+cargo run -q --offline --release -p lte-uplink --bin lte-sim -- \
+    deploy --cells 3 --ues 10000 --subframes 8 --seed 7 --workers 1 \
+    --out target/deploy-smoke-b >/dev/null \
+    || { echo "deploy smoke: second run failed"; exit 1; }
+for f in DEPLOY.json DEPLOY.om; do
+    cmp -s "target/deploy-smoke-a/$f" "target/deploy-smoke-b/$f" \
+        || { echo "deploy smoke: $f differs across worker counts"; exit 1; }
+done
+grep -q '"schema": "lte-sim-deploy-v1"' target/deploy-smoke-a/DEPLOY.json \
+    || { echo "deploy smoke: DEPLOY.json has the wrong schema"; exit 1; }
+
 echo "==> serve smoke (lte-sim serve)"
 # A short governed serve campaign under the seeded ingest chaos plan
 # (an arrival stall, a 2x flood burst, malformed arrivals): the service

@@ -35,7 +35,7 @@ fn synthesize_through_frontend(
     let payload: Vec<u8> = (0..plan.payload_bits())
         .map(|_| (rng.next_u64() & 1) as u8)
         .collect();
-    let channel_bits = encode_frame(user, TurboMode::Passthrough, &payload);
+    let channel_bits = encode_frame(cell, user, TurboMode::Passthrough, &payload);
     let chunks = split_bits(user, &channel_bits);
 
     // Per-(rx, layer) multipath impulse responses within the CP budget.
